@@ -1,0 +1,52 @@
+//! Ablation bench: the piecewise-linear interpolation of the logistic
+//! non-linearity (§4.2). Measures the per-call cost of the interpolated
+//! coefficients against the exact sigmoid for different grid resolutions —
+//! the grid size trades the Theorem-4 error bound O((Δx)²) against nothing
+//! at run time (coefficient lookup is O(1) regardless), which this bench
+//! makes visible.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use priu_core::interpolation::PiecewiseLinearSigmoid;
+
+fn bench_interpolation(c: &mut Criterion) {
+    let inputs: Vec<f64> = (0..1024).map(|i| -15.0 + i as f64 * 0.03).collect();
+
+    let mut group = c.benchmark_group("ablation_interpolation");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_secs(2));
+
+    group.bench_function("exact_sigmoid_1024_calls", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &x in &inputs {
+                acc += PiecewiseLinearSigmoid::exact(black_box(x));
+            }
+            acc
+        })
+    });
+
+    for intervals in [1_000usize, 100_000, 1_000_000] {
+        let interp = PiecewiseLinearSigmoid::new(20.0, intervals);
+        group.bench_with_input(
+            BenchmarkId::new("interpolated_1024_calls", intervals),
+            &interp,
+            |b, interp| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for &x in &inputs {
+                        let seg = interp.coefficients(black_box(x));
+                        acc += seg.evaluate(x);
+                    }
+                    acc
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interpolation);
+criterion_main!(benches);

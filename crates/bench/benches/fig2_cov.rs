@@ -1,0 +1,50 @@
+//! Criterion bench for Figure 2: multinomial logistic-regression update time
+//! on the Covtype analogue with small and large mini-batches (the Q6
+//! mini-batch-size effect).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use priu_bench::runner::ExperimentOptions;
+use priu_core::session::MultinomialSession;
+use priu_core::TrainerConfig;
+use priu_data::catalog::DatasetCatalog;
+use priu_data::dirty::inject_dirty_samples;
+
+fn bench_fig2(c: &mut Criterion) {
+    let options = ExperimentOptions::default();
+    let mut group = c.benchmark_group("fig2_cov_update_time");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(3));
+
+    for (label, spec) in [
+        ("Cov (small)", DatasetCatalog::cov_small().scaled(0.05)),
+        ("Cov (large 1)", DatasetCatalog::cov_large1().scaled(0.05)),
+    ] {
+        let dataset = spec.generate().as_dense().unwrap().clone();
+        let train = dataset.split(0.9, 2).train;
+        let rate = 0.01;
+        let injection = inject_dirty_samples(&train, rate, options.dirty_rescale, options.seed);
+        let session = MultinomialSession::fit(
+            injection.dirty_dataset.clone(),
+            TrainerConfig::from_hyper(spec.hyper).with_seed(2),
+        )
+        .expect("training failed");
+        let removed = injection.dirty_indices.clone();
+
+        group.bench_with_input(BenchmarkId::new("BaseL", label), &removed, |b, r| {
+            b.iter(|| session.retrain(r).unwrap().model)
+        });
+        group.bench_with_input(BenchmarkId::new("PrIU", label), &removed, |b, r| {
+            b.iter(|| session.priu(r).unwrap().model)
+        });
+        group.bench_with_input(BenchmarkId::new("PrIU-opt", label), &removed, |b, r| {
+            b.iter(|| session.priu_opt(r).unwrap().model)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion bench for Figure 3: update times across datasets with different
+//! feature-space sizes (HIGGS: 28 features; Heartbeat: 188 × 7 classes) and
+//! for the sparse RCV1 analogue.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use priu_bench::runner::ExperimentOptions;
+use priu_core::session::{BinaryLogisticSession, MultinomialSession, SparseLogisticSession};
+use priu_core::TrainerConfig;
+use priu_data::catalog::DatasetCatalog;
+use priu_data::dirty::{inject_dirty_samples, random_subsets};
+
+fn bench_fig3(c: &mut Criterion) {
+    let options = ExperimentOptions::default();
+    let rate = 0.01;
+    let mut group = c.benchmark_group("fig3_update_time");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(3));
+
+    // Figure 3b: HIGGS (binary, small feature space).
+    {
+        let spec = DatasetCatalog::higgs().scaled(0.03);
+        let train = spec.generate().as_dense().unwrap().split(0.9, 3).train;
+        let injection = inject_dirty_samples(&train, rate, options.dirty_rescale, options.seed);
+        let session = BinaryLogisticSession::fit(
+            injection.dirty_dataset.clone(),
+            TrainerConfig::from_hyper(spec.hyper).with_seed(3),
+        )
+        .expect("training failed");
+        let removed = injection.dirty_indices.clone();
+        group.bench_with_input(BenchmarkId::new("BaseL", "HIGGS"), &removed, |b, r| {
+            b.iter(|| session.retrain(r).unwrap().model)
+        });
+        group.bench_with_input(BenchmarkId::new("PrIU-opt", "HIGGS"), &removed, |b, r| {
+            b.iter(|| session.priu_opt(r).unwrap().model)
+        });
+    }
+
+    // Figure 3a: Heartbeat (multinomial, larger feature space).
+    {
+        let spec = DatasetCatalog::heartbeat().scaled(0.05);
+        let train = spec.generate().as_dense().unwrap().split(0.9, 4).train;
+        let injection = inject_dirty_samples(&train, rate, options.dirty_rescale, options.seed);
+        let session = MultinomialSession::fit(
+            injection.dirty_dataset.clone(),
+            TrainerConfig::from_hyper(spec.hyper).with_seed(4),
+        )
+        .expect("training failed");
+        let removed = injection.dirty_indices.clone();
+        group.bench_with_input(BenchmarkId::new("BaseL", "Heartbeat"), &removed, |b, r| {
+            b.iter(|| session.retrain(r).unwrap().model)
+        });
+        group.bench_with_input(BenchmarkId::new("PrIU", "Heartbeat"), &removed, |b, r| {
+            b.iter(|| session.priu(r).unwrap().model)
+        });
+    }
+
+    // Figure 3c: RCV1 (sparse).
+    {
+        let mut spec = DatasetCatalog::rcv1();
+        spec.num_samples = 1_000;
+        spec.num_features = 1_500;
+        spec.hyper.num_iterations = 60;
+        let sparse = spec.generate().as_sparse().unwrap().clone();
+        let removed = random_subsets(sparse.num_samples(), 0.001, 1, options.seed)[0].clone();
+        let session = SparseLogisticSession::fit(
+            sparse,
+            TrainerConfig::from_hyper(spec.hyper).with_seed(5),
+        )
+        .expect("training failed");
+        group.bench_with_input(BenchmarkId::new("BaseL", "RCV1"), &removed, |b, r| {
+            b.iter(|| session.retrain(r).unwrap().model)
+        });
+        group.bench_with_input(BenchmarkId::new("PrIU", "RCV1"), &removed, |b, r| {
+            b.iter(|| session.priu(r).unwrap().model)
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench for Figure 4: the repeated-deletion scenario — removing
+//! one random 0.1% subset from the extended HIGGS analogue, comparing one
+//! incremental update against one retraining pass (the figure's cumulative
+//! times are 10x these).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use priu_core::session::BinaryLogisticSession;
+use priu_core::TrainerConfig;
+use priu_data::catalog::DatasetCatalog;
+use priu_data::dirty::random_subsets;
+
+fn bench_fig4(c: &mut Criterion) {
+    let spec = DatasetCatalog::higgs_extended().scaled(0.02);
+    let dataset = spec.generate().as_dense().unwrap().clone();
+    let n = dataset.num_samples();
+    let session = BinaryLogisticSession::fit(
+        dataset,
+        TrainerConfig::from_hyper(spec.hyper).with_seed(6),
+    )
+    .expect("training failed");
+    let subsets = random_subsets(n, 0.001, 3, 99);
+
+    let mut group = c.benchmark_group("fig4_repeated_removal");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(3));
+
+    for (k, subset) in subsets.iter().enumerate() {
+        group.bench_with_input(BenchmarkId::new("BaseL", k), subset, |b, r| {
+            b.iter(|| session.retrain(r).unwrap().model)
+        });
+        group.bench_with_input(BenchmarkId::new("PrIU-opt", k), subset, |b, r| {
+            b.iter(|| session.priu_opt(r).unwrap().model)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Micro-benchmarks of the linear-algebra substrate kernels that dominate
+//! PrIU's training and update phases: matrix-vector products, weighted Gram
+//! accumulation, truncated eigendecompositions, Jacobi eigendecomposition and
+//! sparse matrix-vector products.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use priu_linalg::decomposition::eigen::SymmetricEigen;
+use priu_linalg::decomposition::{GramFactor, TruncationMethod};
+use priu_linalg::sparse::CooBuilder;
+use priu_linalg::{Matrix, Vector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linalg_kernels");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_secs(2));
+
+    // Dense matvec at the batch sizes PrIU uses.
+    for &(rows, cols) in &[(200usize, 54usize), (500, 188)] {
+        let a = random_matrix(rows, cols, 1);
+        let x = Vector::from_fn(cols, |i| (i as f64).sin());
+        group.bench_with_input(
+            BenchmarkId::new("matvec", format!("{rows}x{cols}")),
+            &a,
+            |b, a| b.iter(|| a.matvec(black_box(&x)).unwrap()),
+        );
+    }
+
+    // Weighted Gram accumulation (the provenance-capture kernel).
+    let batch = random_matrix(200, 54, 2);
+    let weights = vec![-0.2; 200];
+    group.bench_function("weighted_gram_200x54", |b| {
+        b.iter(|| batch.weighted_gram(Some(black_box(&weights))))
+    });
+
+    // Truncated eigendecompositions of a Gram factor.
+    let factor_rows = random_matrix(500, 188, 3);
+    group.bench_function("truncated_exact_rank16_500x188", |b| {
+        b.iter(|| {
+            GramFactor::unweighted(factor_rows.clone())
+                .truncate(16, TruncationMethod::Exact)
+                .unwrap()
+        })
+    });
+    group.bench_function("truncated_randomized_rank16_500x188", |b| {
+        b.iter(|| {
+            GramFactor::unweighted(factor_rows.clone())
+                .truncate(
+                    16,
+                    TruncationMethod::Randomized {
+                        oversample: 8,
+                        seed: 3,
+                    },
+                )
+                .unwrap()
+        })
+    });
+
+    // Jacobi eigendecomposition (PrIU-opt offline step).
+    let sym = {
+        let base = random_matrix(54, 54, 4);
+        base.gram()
+    };
+    group.bench_function("jacobi_eigen_54x54", |b| {
+        b.iter(|| SymmetricEigen::new(black_box(&sym)).unwrap())
+    });
+
+    // Sparse matvec at RCV1-like density.
+    let sparse = {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut builder = CooBuilder::new(1000, 2000);
+        for i in 0..1000 {
+            for _ in 0..30 {
+                let j = rng.gen_range(0..2000);
+                builder.push(i, j, rng.gen_range(0.1..1.0)).unwrap();
+            }
+        }
+        builder.build()
+    };
+    let xs = Vector::from_fn(2000, |i| (i as f64 * 0.01).cos());
+    group.bench_function("csr_spmv_1000x2000_nnz30", |b| {
+        b.iter(|| sparse.spmv(black_box(&xs)).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

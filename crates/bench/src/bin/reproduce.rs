@@ -1,0 +1,327 @@
+//! `reproduce` — regenerates every table and figure of the PrIU paper's
+//! evaluation section on the synthetic dataset analogues.
+//!
+//! Usage:
+//!
+//! ```text
+//! reproduce [EXPERIMENT ...] [--scale S] [--no-influence] [--json]
+//!
+//! EXPERIMENT ∈ {table1, table2, table3, table4,
+//!               fig1a, fig1b, fig2, fig3a, fig3b, fig3c, fig4, all}
+//! ```
+//!
+//! `--scale` multiplies every configuration's sample count and iteration
+//! count (default 1.0 — the catalog defaults). `--json` additionally prints
+//! machine-readable rows.
+
+use std::env;
+use std::process::ExitCode;
+
+use priu_bench::report::{fmt_seconds, render_table};
+use priu_bench::runner::{
+    default_deletion_rates, fig1_linear, fig2_and_3_logistic, fig3c_large_feature_space,
+    fig4_repeated, table1, table2, table3_memory, table4_accuracy, ExperimentOptions,
+};
+use priu_bench::FigureRow;
+use priu_data::catalog::DatasetCatalog;
+
+struct Cli {
+    experiments: Vec<String>,
+    options: ExperimentOptions,
+    json: bool,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut experiments = Vec::new();
+    let mut options = ExperimentOptions::default();
+    let mut json = false;
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let value = args.next().ok_or("--scale needs a value")?;
+                options.scale = value
+                    .parse::<f64>()
+                    .map_err(|_| format!("invalid scale '{value}'"))?;
+                if options.scale <= 0.0 {
+                    return Err("--scale must be positive".to_string());
+                }
+            }
+            "--no-influence" => options.include_influence = false,
+            "--seed" => {
+                let value = args.next().ok_or("--seed needs a value")?;
+                options.seed = value
+                    .parse::<u64>()
+                    .map_err(|_| format!("invalid seed '{value}'"))?;
+            }
+            "--json" => json = true,
+            "--help" | "-h" => {
+                experiments.push("help".to_string());
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag '{other}'"));
+            }
+            other => experiments.push(other.to_lowercase()),
+        }
+    }
+    if experiments.is_empty() {
+        experiments.push("all".to_string());
+    }
+    Ok(Cli {
+        experiments,
+        options,
+        json,
+    })
+}
+
+fn print_figure_rows(title: &str, rows: &[FigureRow], json: bool) {
+    println!("\n== {title} ==");
+    let text = render_table(
+        &[
+            "dataset",
+            "deletion rate",
+            "method",
+            "update time",
+            "quality",
+            "distance",
+            "similarity",
+            "speedup vs BaseL",
+        ],
+        rows,
+        |r| {
+            let basel = rows
+                .iter()
+                .find(|b| {
+                    b.method == "BaseL"
+                        && b.dataset == r.dataset
+                        && (b.deletion_rate - r.deletion_rate).abs() < 1e-12
+                })
+                .map(|b| b.update_seconds)
+                .unwrap_or(f64::NAN);
+            vec![
+                r.dataset.clone(),
+                format!("{:.4}%", r.deletion_rate * 100.0),
+                r.method.clone(),
+                fmt_seconds(r.update_seconds),
+                format!("{:.4}", r.quality),
+                format!("{:.4}", r.distance),
+                format!("{:.4}", r.similarity),
+                if r.method == "BaseL" {
+                    "1.00x".to_string()
+                } else {
+                    format!("{:.2}x", r.speedup_over(basel))
+                },
+            ]
+        },
+    );
+    print!("{text}");
+    if json {
+        println!("{}", serde_json::to_string(rows).expect("serialisable rows"));
+    }
+}
+
+fn run(cli: &Cli) {
+    let options = cli.options;
+    let rates = default_deletion_rates();
+    let wants = |name: &str| {
+        cli.experiments.iter().any(|e| e == name) || cli.experiments.iter().any(|e| e == "all")
+    };
+
+    if cli.experiments.iter().any(|e| e == "help") {
+        println!(
+            "usage: reproduce [table1 table2 table3 table4 fig1a fig1b fig2 fig3a fig3b fig3c fig4 | all] \
+             [--scale S] [--seed N] [--no-influence] [--json]"
+        );
+        return;
+    }
+
+    println!("PrIU reproduction harness (scale {:.2})", options.scale);
+
+    if wants("table1") {
+        println!("\n== Table 1: dataset analogues ==");
+        let rows = table1(&options);
+        print!(
+            "{}",
+            render_table(
+                &["name", "# features", "# classes", "# samples", "sparse"],
+                &rows,
+                |r| vec![
+                    r.0.clone(),
+                    r.1.to_string(),
+                    r.2.to_string(),
+                    r.3.to_string(),
+                    r.4.to_string()
+                ],
+            )
+        );
+    }
+    if wants("table2") {
+        println!("\n== Table 2: hyperparameters ==");
+        let rows = table2(&options);
+        print!(
+            "{}",
+            render_table(
+                &["name", "mini-batch", "# iterations", "learning rate", "lambda"],
+                &rows,
+                |r| vec![
+                    r.0.clone(),
+                    r.1.to_string(),
+                    r.2.to_string(),
+                    format!("{:e}", r.3),
+                    format!("{:e}", r.4)
+                ],
+            )
+        );
+    }
+    if wants("fig1a") {
+        let rows = fig1_linear(&DatasetCatalog::sgemm_original(), &rates, &options);
+        print_figure_rows("Figure 1a: SGEMM (original), linear regression", &rows, cli.json);
+    }
+    if wants("fig1b") {
+        let rows = fig1_linear(&DatasetCatalog::sgemm_extended(), &rates, &options);
+        print_figure_rows("Figure 1b: SGEMM (extended), linear regression", &rows, cli.json);
+    }
+    if wants("fig2") {
+        for spec in [
+            DatasetCatalog::cov_small(),
+            DatasetCatalog::cov_large1(),
+            DatasetCatalog::cov_large2(),
+        ] {
+            let rows = fig2_and_3_logistic(&spec, &rates, &options);
+            print_figure_rows(
+                &format!("Figure 2: {} (multinomial logistic regression)", spec.name),
+                &rows,
+                cli.json,
+            );
+        }
+    }
+    if wants("fig3a") {
+        let rows = fig2_and_3_logistic(&DatasetCatalog::heartbeat(), &rates, &options);
+        print_figure_rows("Figure 3a: Heartbeat", &rows, cli.json);
+    }
+    if wants("fig3b") {
+        let rows = fig2_and_3_logistic(&DatasetCatalog::higgs(), &rates, &options);
+        print_figure_rows("Figure 3b: HIGGS", &rows, cli.json);
+    }
+    if wants("fig3c") {
+        let rows = fig3c_large_feature_space(
+            &DatasetCatalog::rcv1(),
+            &DatasetCatalog::cifar10(),
+            &options,
+        );
+        print_figure_rows("Figure 3c: RCV1 and cifar10 (deletion rate 0.1%)", &rows, cli.json);
+    }
+    if wants("fig4") {
+        let specs = [
+            DatasetCatalog::cov_extended(),
+            DatasetCatalog::higgs_extended(),
+            DatasetCatalog::heartbeat_extended(),
+        ];
+        let rows = fig4_repeated(&specs, &options);
+        println!("\n== Figure 4: repeatedly removing 10 subsets (0.1% each) ==");
+        print!(
+            "{}",
+            render_table(
+                &["dataset", "method", "# subsets", "total time"],
+                &rows,
+                |r| vec![
+                    r.dataset.clone(),
+                    r.method.clone(),
+                    r.num_subsets.to_string(),
+                    fmt_seconds(r.total_seconds)
+                ],
+            )
+        );
+        if cli.json {
+            println!("{}", serde_json::to_string(&rows).expect("serialisable rows"));
+        }
+    }
+    if wants("table3") {
+        let specs = [
+            DatasetCatalog::cov_small(),
+            DatasetCatalog::cov_large1(),
+            DatasetCatalog::cov_large2(),
+            DatasetCatalog::higgs(),
+            DatasetCatalog::sgemm_original(),
+            DatasetCatalog::sgemm_extended(),
+            DatasetCatalog::heartbeat(),
+            DatasetCatalog::rcv1(),
+            DatasetCatalog::cifar10(),
+        ];
+        let rows = table3_memory(&specs, &options);
+        println!("\n== Table 3: provenance memory consumption ==");
+        print!(
+            "{}",
+            render_table(
+                &["dataset", "BaseL working set (MiB)", "provenance (MiB)", "ratio"],
+                &rows,
+                |r| vec![
+                    r.dataset.clone(),
+                    format!("{:.2}", r.basel_mib),
+                    format!("{:.2}", r.provenance_mib),
+                    format!("{:.2}x", r.ratio)
+                ],
+            )
+        );
+        if cli.json {
+            println!("{}", serde_json::to_string(&rows).expect("serialisable rows"));
+        }
+    }
+    if wants("table4") {
+        let specs = [
+            DatasetCatalog::cov_small(),
+            DatasetCatalog::cov_large1(),
+            DatasetCatalog::cov_large2(),
+            DatasetCatalog::higgs(),
+            DatasetCatalog::heartbeat(),
+            DatasetCatalog::sgemm_original(),
+            DatasetCatalog::sgemm_extended(),
+        ];
+        let rows = table4_accuracy(&specs, &options);
+        println!("\n== Table 4: accuracy and similarity at deletion rate 20% ==");
+        print!(
+            "{}",
+            render_table(
+                &[
+                    "dataset",
+                    "BaseL=PrIU quality",
+                    "PrIU quality",
+                    "INFL quality",
+                    "PrIU dist",
+                    "INFL dist",
+                    "PrIU sim",
+                    "INFL sim",
+                    "PrIU sign flips",
+                ],
+                &rows,
+                |r| vec![
+                    r.dataset.clone(),
+                    format!("{:.4}", r.basel_quality),
+                    format!("{:.4}", r.priu_quality),
+                    format!("{:.4}", r.infl_quality),
+                    format!("{:.4}", r.priu_distance),
+                    format!("{:.4}", r.infl_distance),
+                    format!("{:.4}", r.priu_similarity),
+                    format!("{:.4}", r.infl_similarity),
+                    r.priu_sign_flips.to_string(),
+                ],
+            )
+        );
+        if cli.json {
+            println!("{}", serde_json::to_string(&rows).expect("serialisable rows"));
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match parse_args() {
+        Ok(cli) => {
+            run(&cli);
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # priu-bench
+//!
+//! The benchmark harness of the PrIU reproduction: shared experiment runners
+//! used both by the `reproduce` binary (which regenerates every table and
+//! figure of the paper's §6) and by the Criterion micro-benches.
+//!
+//! Each experiment follows the paper's protocol:
+//!
+//! 1. generate the dataset analogue and split it 90% / 10% into training and
+//!    validation sets;
+//! 2. *cleaning scenario* (Figures 1-3, Tables 3-4): inject dirty samples at
+//!    the requested deletion rate by rescaling, train the initial model on
+//!    the dirtied training set (provenance capture happens here, offline),
+//!    then remove exactly the dirty samples with each method and record the
+//!    online update time plus model-quality metrics;
+//! 3. *repeated-deletion scenario* (Figure 4): train once on the extended
+//!    dataset, then remove ten different random subsets and compare the
+//!    cumulative update time of PrIU/PrIU-opt against retraining each time.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod report;
+pub mod runner;
+
+pub use report::{FigureRow, RepeatedRow, Table3Row, Table4Row};
+pub use runner::{
+    default_deletion_rates, fig1_linear, fig2_and_3_logistic, fig3c_large_feature_space,
+    fig4_repeated, table1, table2, table3_memory, table4_accuracy, ExperimentOptions,
+};

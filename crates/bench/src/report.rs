@@ -1,0 +1,173 @@
+//! Result-row types and plain-text table rendering for the reproduction
+//! harness.
+
+use serde::{Deserialize, Serialize};
+
+/// One point of an update-time figure (Figures 1-3): a (dataset, deletion
+/// rate, method) triple with its online update time and model quality.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FigureRow {
+    /// Dataset / configuration name (paper naming).
+    pub dataset: String,
+    /// Deletion rate (fraction of training samples removed).
+    pub deletion_rate: f64,
+    /// Method name (`BaseL`, `PrIU`, `PrIU-opt`, `Closed-form`, `INFL`).
+    pub method: String,
+    /// Online update time in seconds.
+    pub update_seconds: f64,
+    /// Validation accuracy (classification) or validation MSE (regression).
+    pub quality: f64,
+    /// L2 distance of the parameters to the BaseL (retrained) model.
+    pub distance: f64,
+    /// Cosine similarity of the parameters to the BaseL model.
+    pub similarity: f64,
+}
+
+impl FigureRow {
+    /// Speed-up of this row relative to a BaseL time.
+    pub fn speedup_over(&self, basel_seconds: f64) -> f64 {
+        if self.update_seconds > 0.0 {
+            basel_seconds / self.update_seconds
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// One row of the repeated-deletion experiment (Figure 4).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RepeatedRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Method name.
+    pub method: String,
+    /// Number of removed subsets.
+    pub num_subsets: usize,
+    /// Total time to process all subsets, in seconds.
+    pub total_seconds: f64,
+}
+
+/// One row of the memory-consumption table (Table 3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// Dataset / configuration name.
+    pub dataset: String,
+    /// Approximate working-set of BaseL (the dataset itself), in MiB.
+    pub basel_mib: f64,
+    /// Captured provenance of PrIU / PrIU-opt, in MiB.
+    pub provenance_mib: f64,
+    /// Ratio provenance / BaseL.
+    pub ratio: f64,
+}
+
+/// One row of the accuracy / similarity comparison (Table 4, deletion rate
+/// 0.2).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table4Row {
+    /// Dataset / configuration name.
+    pub dataset: String,
+    /// Validation quality of the BaseL (retrained) model (accuracy or MSE).
+    pub basel_quality: f64,
+    /// Validation quality of the PrIU / PrIU-opt model.
+    pub priu_quality: f64,
+    /// Validation quality of the INFL model (NaN when INFL was skipped).
+    pub infl_quality: f64,
+    /// L2 distance PrIU vs BaseL.
+    pub priu_distance: f64,
+    /// L2 distance INFL vs BaseL.
+    pub infl_distance: f64,
+    /// Cosine similarity PrIU vs BaseL.
+    pub priu_similarity: f64,
+    /// Cosine similarity INFL vs BaseL.
+    pub infl_similarity: f64,
+    /// Sign flips of PrIU vs BaseL (Q4 fine-grained analysis).
+    pub priu_sign_flips: usize,
+}
+
+/// Renders a slice of serialisable rows as an aligned plain-text table with
+/// the given column headers and per-row cell extractor.
+pub fn render_table<T>(headers: &[&str], rows: &[T], cells: impl Fn(&T) -> Vec<String>) -> String {
+    let mut table: Vec<Vec<String>> = vec![headers.iter().map(|h| h.to_string()).collect()];
+    for row in rows {
+        table.push(cells(row));
+    }
+    let cols = headers.len();
+    let mut widths = vec![0usize; cols];
+    for row in &table {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in table.iter().enumerate() {
+        for (i, cell) in row.iter().enumerate() {
+            out.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+        }
+        out.push('\n');
+        if r == 0 {
+            for (i, w) in widths.iter().enumerate() {
+                out.push_str(&"-".repeat(*w));
+                if i + 1 < cols {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Formats seconds with adaptive precision.
+pub fn fmt_seconds(s: f64) -> String {
+    if s < 0.001 {
+        format!("{:.1}us", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{s:.3}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_is_relative_to_basel() {
+        let row = FigureRow {
+            dataset: "x".into(),
+            deletion_rate: 0.01,
+            method: "PrIU".into(),
+            update_seconds: 0.5,
+            quality: 0.9,
+            distance: 0.0,
+            similarity: 1.0,
+        };
+        assert_eq!(row.speedup_over(5.0), 10.0);
+        let zero = FigureRow {
+            update_seconds: 0.0,
+            ..row
+        };
+        assert!(zero.speedup_over(5.0).is_infinite());
+    }
+
+    #[test]
+    fn render_table_aligns_columns() {
+        let rows = vec![("a", 1.0), ("longer", 2.5)];
+        let text = render_table(&["name", "value"], &rows, |r| {
+            vec![r.0.to_string(), format!("{:.1}", r.1)]
+        });
+        assert!(text.contains("name"));
+        assert!(text.contains("longer"));
+        assert!(text.lines().count() >= 4);
+        // Header separator line present.
+        assert!(text.lines().nth(1).unwrap().starts_with('-'));
+    }
+
+    #[test]
+    fn seconds_formatting_adapts_to_magnitude() {
+        assert!(fmt_seconds(0.0000005).ends_with("us"));
+        assert!(fmt_seconds(0.005).ends_with("ms"));
+        assert!(fmt_seconds(2.0).ends_with('s'));
+    }
+}

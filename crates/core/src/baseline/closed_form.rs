@@ -1,0 +1,165 @@
+//! The closed-form (normal equation) baseline for linear regression.
+//!
+//! Prior incremental-maintenance systems [13, 22, 40] maintain the linear
+//! views `M = XᵀX` and `N = XᵀY`; a deletion updates them to
+//! `M' = M − ΔXᵀΔX`, `N' = N − ΔXᵀΔY` and the model is recovered by solving
+//! the regularised normal equations. The paper compares PrIU-opt against this
+//! "Closed-form" approach in Figure 1.
+//!
+//! For the objective `h(w) = (1/n) Σ (y_i − x_iᵀw)² + (λ/2)‖w‖²` the
+//! stationarity condition is `(2/n)(XᵀX w − XᵀY) + λ w = 0`, i.e.
+//! `(XᵀX + (nλ/2) I) w = XᵀY`.
+
+use priu_data::dataset::DenseDataset;
+use priu_linalg::decomposition::Cholesky;
+use priu_linalg::{Matrix, Vector};
+
+use crate::error::{CoreError, Result};
+use crate::model::{Model, ModelKind};
+use crate::update::normalize_removed;
+
+/// The maintained views `M = XᵀX` and `N = XᵀY`, built offline.
+#[derive(Debug, Clone)]
+pub struct ClosedFormCapture {
+    /// `XᵀX` over the full training data.
+    pub xtx: Matrix,
+    /// `XᵀY` over the full training data.
+    pub xty: Vector,
+    /// Number of training samples `n`.
+    pub num_samples: usize,
+    /// Regularisation rate `λ`.
+    pub regularization: f64,
+}
+
+impl ClosedFormCapture {
+    /// Builds the views from a regression dataset.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::LabelMismatch`] for non-regression datasets.
+    pub fn build(dataset: &DenseDataset, regularization: f64) -> Result<Self> {
+        let y = dataset.labels.as_continuous().ok_or(CoreError::LabelMismatch {
+            expected: "continuous labels for the closed-form baseline",
+        })?;
+        Ok(Self {
+            xtx: dataset.x.gram(),
+            xty: dataset.x.transpose_matvec(y)?,
+            num_samples: dataset.num_samples(),
+            regularization,
+        })
+    }
+}
+
+/// Solves the regularised normal equations for the *full* dataset (no
+/// deletions) — used as a reference point and by tests.
+///
+/// # Errors
+/// Propagates factorisation failures.
+pub fn closed_form_full(capture: &ClosedFormCapture) -> Result<Model> {
+    solve(capture.xtx.clone(), capture.xty.clone(), capture.num_samples, capture.regularization)
+}
+
+/// Incrementally updates the closed-form solution after removing the given
+/// samples: downdate the views with the removed block and re-solve
+/// (`O(Δn·m² + m³)`).
+///
+/// # Errors
+/// Label mismatches, invalid removals and factorisation failures are
+/// reported as usual.
+pub fn closed_form_incremental(
+    dataset: &DenseDataset,
+    capture: &ClosedFormCapture,
+    removed: &[usize],
+) -> Result<Model> {
+    let y = dataset.labels.as_continuous().ok_or(CoreError::LabelMismatch {
+        expected: "continuous labels for the closed-form baseline",
+    })?;
+    let removed = normalize_removed(dataset.num_samples(), removed)?;
+    if removed.len() >= capture.num_samples {
+        return Err(CoreError::InvalidRemoval {
+            index: capture.num_samples,
+            num_samples: capture.num_samples,
+        });
+    }
+    let delta_x = dataset.x.select_rows(&removed);
+    let delta_y = Vector::from_vec(removed.iter().map(|&i| y[i]).collect());
+
+    let mut xtx = capture.xtx.clone();
+    xtx.axpy(-1.0, &delta_x.gram())?;
+    let mut xty = capture.xty.clone();
+    xty.axpy(-1.0, &delta_x.transpose_matvec(&delta_y)?)?;
+
+    solve(
+        xtx,
+        xty,
+        capture.num_samples - removed.len(),
+        capture.regularization,
+    )
+}
+
+fn solve(mut xtx: Matrix, xty: Vector, n: usize, regularization: f64) -> Result<Model> {
+    xtx.add_diagonal_mut(n as f64 * regularization / 2.0)?;
+    let chol = Cholesky::new(&xtx)?;
+    let w = chol.solve(&xty)?;
+    Model::new(ModelKind::Linear, vec![w])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::mean_squared_error;
+    use priu_data::dataset::Labels;
+    use priu_data::dirty::random_subsets;
+    use priu_data::synthetic::regression::{generate_regression, RegressionConfig};
+
+    fn dataset() -> DenseDataset {
+        generate_regression(&RegressionConfig {
+            num_samples: 400,
+            num_features: 6,
+            noise_std: 0.05,
+            seed: 91,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn full_solution_fits_the_data_well() {
+        let data = dataset();
+        let capture = ClosedFormCapture::build(&data, 1e-3).unwrap();
+        let model = closed_form_full(&capture).unwrap();
+        let mse = mean_squared_error(&model, &data).unwrap();
+        assert!(mse < 0.01, "mse {mse}");
+    }
+
+    #[test]
+    fn incremental_update_equals_rebuilding_from_scratch() {
+        let data = dataset();
+        let capture = ClosedFormCapture::build(&data, 1e-3).unwrap();
+        let removed = random_subsets(data.num_samples(), 0.1, 1, 5)[0].clone();
+        let incremental = closed_form_incremental(&data, &capture, &removed).unwrap();
+
+        // Ground truth: rebuild the views over the surviving samples only.
+        let kept: Vec<usize> = (0..data.num_samples())
+            .filter(|i| !removed.contains(i))
+            .collect();
+        let remaining = data.select(&kept);
+        let fresh_capture = ClosedFormCapture::build(&remaining, 1e-3).unwrap();
+        let fresh = closed_form_full(&fresh_capture).unwrap();
+
+        let diff = (&incremental.flatten() - &fresh.flatten()).norm_inf();
+        assert!(diff < 1e-8, "difference {diff}");
+    }
+
+    #[test]
+    fn rejects_wrong_labels_and_full_removal() {
+        let data = dataset();
+        let capture = ClosedFormCapture::build(&data, 1e-3).unwrap();
+        let everything: Vec<usize> = (0..data.num_samples()).collect();
+        assert!(closed_form_incremental(&data, &capture, &everything).is_err());
+
+        let bad = DenseDataset::new(
+            Matrix::zeros(5, 2),
+            Labels::Binary(Vector::from_fn(5, |i| if i % 2 == 0 { 1.0 } else { -1.0 })),
+        );
+        assert!(ClosedFormCapture::build(&bad, 0.1).is_err());
+    }
+}

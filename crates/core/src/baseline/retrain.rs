@@ -1,0 +1,297 @@
+//! BaseL: retraining from scratch after a deletion.
+//!
+//! The paper's baseline retrains with "the same standard method as before but
+//! excluding the removed samples from each mini-batch". These routines do
+//! exactly that: they replay the *same* deterministic batch schedule as the
+//! original training run (taken from the captured provenance) with the
+//! removal set filtered out of every batch, and they do **not** capture any
+//! provenance — this is the cost PrIU is compared against.
+
+use priu_data::dataset::{DenseDataset, Labels, SparseDataset};
+use priu_linalg::Vector;
+
+use crate::capture::{LinearProvenance, LogisticProvenance};
+use crate::error::{CoreError, Result};
+use crate::interpolation::PiecewiseLinearSigmoid;
+use crate::model::{Model, ModelKind};
+use crate::trainer::sparse::SparseLogisticProvenance;
+use crate::update::normalize_removed;
+
+/// Retrains a linear-regression model from scratch on the surviving samples.
+///
+/// # Errors
+/// Label mismatches and invalid removal indices are reported as usual.
+pub fn retrain_linear(
+    dataset: &DenseDataset,
+    provenance: &LinearProvenance,
+    removed: &[usize],
+) -> Result<Model> {
+    let y = match &dataset.labels {
+        Labels::Continuous(y) => y,
+        _ => {
+            return Err(CoreError::LabelMismatch {
+                expected: "continuous labels for linear regression",
+            })
+        }
+    };
+    let removed = normalize_removed(dataset.num_samples(), removed)?;
+    let eta = provenance.learning_rate;
+    let lambda = provenance.regularization;
+    let m = dataset.num_features();
+    let mut w = provenance.initial_model.weight().clone();
+
+    for t in 0..provenance.schedule.num_iterations() {
+        let (batch, b_u) = provenance.schedule.batch_excluding(t, &removed);
+        if b_u == 0 {
+            w.scale_mut(1.0 - eta * lambda);
+            continue;
+        }
+        let mut grad = Vector::zeros(m);
+        for &i in &batch {
+            let row = dataset.x.row(i);
+            let residual: f64 =
+                row.iter().zip(w.iter()).map(|(a, b)| a * b).sum::<f64>() - y[i];
+            for (j, &v) in row.iter().enumerate() {
+                grad[j] += v * residual;
+            }
+        }
+        w.scale_mut(1.0 - eta * lambda);
+        w.axpy(-2.0 * eta / b_u as f64, &grad)?;
+    }
+    Model::new(ModelKind::Linear, vec![w])
+}
+
+/// Retrains a binary logistic-regression model from scratch on the surviving
+/// samples.
+///
+/// # Errors
+/// Label mismatches and invalid removal indices are reported as usual.
+pub fn retrain_binary_logistic(
+    dataset: &DenseDataset,
+    provenance: &LogisticProvenance,
+    removed: &[usize],
+) -> Result<Model> {
+    let y = match &dataset.labels {
+        Labels::Binary(y) => y,
+        _ => {
+            return Err(CoreError::LabelMismatch {
+                expected: "binary labels for binary logistic regression",
+            })
+        }
+    };
+    let removed = normalize_removed(dataset.num_samples(), removed)?;
+    let eta = provenance.learning_rate;
+    let lambda = provenance.regularization;
+    let m = dataset.num_features();
+    let mut w = provenance.initial_model.weight().clone();
+
+    for t in 0..provenance.schedule.num_iterations() {
+        let (batch, b_u) = provenance.schedule.batch_excluding(t, &removed);
+        if b_u == 0 {
+            w.scale_mut(1.0 - eta * lambda);
+            continue;
+        }
+        let mut acc = Vector::zeros(m);
+        for &i in &batch {
+            let row = dataset.x.row(i);
+            let margin: f64 =
+                y[i] * row.iter().zip(w.iter()).map(|(a, b)| a * b).sum::<f64>();
+            let coeff = y[i] * PiecewiseLinearSigmoid::exact(margin);
+            for (j, &v) in row.iter().enumerate() {
+                acc[j] += coeff * v;
+            }
+        }
+        w.scale_mut(1.0 - eta * lambda);
+        w.axpy(eta / b_u as f64, &acc)?;
+    }
+    Model::new(ModelKind::BinaryLogistic, vec![w])
+}
+
+/// Retrains a multinomial logistic-regression model from scratch on the
+/// surviving samples.
+///
+/// # Errors
+/// Label mismatches and invalid removal indices are reported as usual.
+pub fn retrain_multinomial_logistic(
+    dataset: &DenseDataset,
+    provenance: &LogisticProvenance,
+    removed: &[usize],
+) -> Result<Model> {
+    let (classes, q) = match &dataset.labels {
+        Labels::Multiclass {
+            classes,
+            num_classes,
+        } => (classes, *num_classes),
+        _ => {
+            return Err(CoreError::LabelMismatch {
+                expected: "multiclass labels for multinomial logistic regression",
+            })
+        }
+    };
+    let removed = normalize_removed(dataset.num_samples(), removed)?;
+    let eta = provenance.learning_rate;
+    let lambda = provenance.regularization;
+    let mut weights: Vec<Vector> = provenance.initial_model.weights().to_vec();
+
+    for t in 0..provenance.schedule.num_iterations() {
+        let (batch, b_u) = provenance.schedule.batch_excluding(t, &removed);
+        if b_u == 0 {
+            for w in &mut weights {
+                w.scale_mut(1.0 - eta * lambda);
+            }
+            continue;
+        }
+        let rows = dataset.x.select_rows(&batch);
+        let logits: Vec<Vector> = weights
+            .iter()
+            .map(|wk| rows.matvec(wk))
+            .collect::<std::result::Result<_, _>>()?;
+        let mut new_weights = Vec::with_capacity(q);
+        for k in 0..q {
+            let mut coeffs = Vec::with_capacity(batch.len());
+            for (pos, &i) in batch.iter().enumerate() {
+                let max = (0..q).fold(f64::NEG_INFINITY, |acc, c| acc.max(logits[c][pos]));
+                let sum: f64 = (0..q).map(|c| (logits[c][pos] - max).exp()).sum();
+                let p = (logits[k][pos] - max).exp() / sum;
+                let indicator = if classes[i] as usize == k { 1.0 } else { 0.0 };
+                coeffs.push(p - indicator);
+            }
+            let grad = rows.transpose_matvec(&Vector::from_vec(coeffs))?;
+            let mut wk = weights[k].scaled(1.0 - eta * lambda);
+            wk.axpy(-eta / b_u as f64, &grad)?;
+            new_weights.push(wk);
+        }
+        weights = new_weights;
+    }
+    Model::new(ModelKind::MultinomialLogistic { num_classes: q }, weights)
+}
+
+/// Retrains a sparse binary logistic-regression model from scratch on the
+/// surviving samples.
+///
+/// # Errors
+/// Label mismatches and invalid removal indices are reported as usual.
+pub fn retrain_sparse_binary_logistic(
+    dataset: &SparseDataset,
+    provenance: &SparseLogisticProvenance,
+    removed: &[usize],
+) -> Result<Model> {
+    let y = match &dataset.labels {
+        Labels::Binary(y) => y,
+        _ => {
+            return Err(CoreError::LabelMismatch {
+                expected: "binary labels for sparse logistic regression",
+            })
+        }
+    };
+    let removed = normalize_removed(dataset.num_samples(), removed)?;
+    let eta = provenance.learning_rate;
+    let lambda = provenance.regularization;
+    let m = dataset.num_features();
+    let mut w = provenance.initial_model.weight().clone();
+
+    for t in 0..provenance.schedule.num_iterations() {
+        let (batch, b_u) = provenance.schedule.batch_excluding(t, &removed);
+        if b_u == 0 {
+            w.scale_mut(1.0 - eta * lambda);
+            continue;
+        }
+        let mut acc = Vector::zeros(m);
+        for &i in &batch {
+            let margin = y[i] * dataset.x.row_dot(i, &w)?;
+            dataset
+                .x
+                .scatter_row(i, y[i] * PiecewiseLinearSigmoid::exact(margin), &mut acc)?;
+        }
+        w.scale_mut(1.0 - eta * lambda);
+        w.axpy(eta / b_u as f64, &acc)?;
+    }
+    Model::new(ModelKind::BinaryLogistic, vec![w])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TrainerConfig;
+    use crate::trainer::linear::train_linear;
+    use crate::trainer::logistic::train_binary_logistic;
+    use priu_data::catalog::Hyperparameters;
+    use priu_data::synthetic::classification::{
+        generate_binary_classification, ClassificationConfig,
+    };
+    use priu_data::synthetic::regression::{generate_regression, RegressionConfig};
+
+    fn config() -> TrainerConfig {
+        TrainerConfig::from_hyper(Hyperparameters {
+            batch_size: 40,
+            num_iterations: 120,
+            learning_rate: 0.05,
+            regularization: 0.05,
+        })
+        .with_seed(5)
+        .with_opt_capture(false)
+    }
+
+    #[test]
+    fn retraining_with_empty_removal_matches_training_exactly_for_linear() {
+        let data = generate_regression(&RegressionConfig {
+            num_samples: 300,
+            num_features: 5,
+            seed: 81,
+            ..Default::default()
+        });
+        let trained = train_linear(&data, &config()).unwrap();
+        let retrained = retrain_linear(&data, &trained.provenance, &[]).unwrap();
+        let diff = (&trained.model.flatten() - &retrained.flatten()).norm_inf();
+        assert!(diff < 1e-10, "difference {diff}");
+    }
+
+    #[test]
+    fn retraining_with_empty_removal_matches_training_for_binary_logistic() {
+        let data = generate_binary_classification(&ClassificationConfig {
+            num_samples: 300,
+            num_features: 6,
+            seed: 82,
+            ..Default::default()
+        });
+        let mut cfg = config();
+        cfg.hyper.learning_rate = 0.3;
+        let trained = train_binary_logistic(&data, &cfg).unwrap();
+        let retrained = retrain_binary_logistic(&data, &trained.provenance, &[]).unwrap();
+        let diff = (&trained.model.flatten() - &retrained.flatten()).norm_inf();
+        assert!(diff < 1e-10, "difference {diff}");
+    }
+
+    #[test]
+    fn retraining_actually_changes_the_model_when_samples_are_removed() {
+        let data = generate_regression(&RegressionConfig {
+            num_samples: 200,
+            num_features: 4,
+            seed: 83,
+            ..Default::default()
+        });
+        let trained = train_linear(&data, &config()).unwrap();
+        let removed: Vec<usize> = (0..40).collect();
+        let retrained = retrain_linear(&data, &trained.provenance, &removed).unwrap();
+        assert_ne!(trained.model, retrained);
+        assert!(retrained.is_finite());
+    }
+
+    #[test]
+    fn mismatched_labels_are_rejected() {
+        let data = generate_regression(&RegressionConfig {
+            num_samples: 100,
+            num_features: 3,
+            seed: 84,
+            ..Default::default()
+        });
+        let trained = train_linear(&data, &config()).unwrap();
+        let bin = generate_binary_classification(&ClassificationConfig {
+            num_samples: 100,
+            num_features: 3,
+            seed: 85,
+            ..Default::default()
+        });
+        assert!(retrain_linear(&bin, &trained.provenance, &[]).is_err());
+    }
+}

@@ -1,0 +1,330 @@
+//! Provenance capture: the per-iteration intermediate results cached during
+//! the training phase and consumed by the incremental-update phase.
+//!
+//! In provenance terms (§4.1), each cached object is the specialisation at
+//! `1_prov` of a provenance-annotated expression whose annotated terms are
+//! the per-sample contributions. Deletion propagation ("zeroing out" the
+//! removed samples' tokens) then amounts to subtracting the removed samples'
+//! contributions — which only needs the caches below plus the removed rows
+//! themselves.
+
+use priu_data::minibatch::BatchSchedule;
+use priu_linalg::decomposition::{GramFactor, TruncatedGram, TruncationMethod};
+use priu_linalg::decomposition::eigen::SymmetricEigen;
+use priu_linalg::{Matrix, Vector};
+
+use crate::config::Compression;
+use crate::error::Result;
+use crate::model::Model;
+
+/// A cached Gram-form intermediate `Σ_i c_i x_i x_i^T`, either dense or in
+/// the truncated `P Vᵀ` form of Eq. 14 / Eq. 20.
+#[derive(Debug, Clone)]
+pub enum GramCache {
+    /// The dense `m x m` matrix.
+    Dense(Matrix),
+    /// The rank-`r` factorisation `P Vᵀ`.
+    Truncated(TruncatedGram),
+}
+
+impl GramCache {
+    /// Builds a cache from batch rows and per-row coefficients according to
+    /// the chosen compression strategy (`Auto` must be resolved beforehand).
+    ///
+    /// # Errors
+    /// Propagates factorisation failures.
+    pub fn build(rows: Matrix, coefficients: Vec<f64>, compression: Compression) -> Result<Self> {
+        match compression.resolve(rows.ncols()) {
+            Compression::None | Compression::Auto => {
+                Ok(GramCache::Dense(rows.weighted_gram(Some(&coefficients))))
+            }
+            Compression::Exact { rank } => {
+                let factor = GramFactor::new(rows, coefficients)?;
+                Ok(GramCache::Truncated(
+                    factor.truncate(rank, TruncationMethod::Exact)?,
+                ))
+            }
+            Compression::Randomized { rank, oversample } => {
+                let factor = GramFactor::new(rows, coefficients)?;
+                Ok(GramCache::Truncated(factor.truncate(
+                    rank,
+                    TruncationMethod::Randomized {
+                        oversample,
+                        // The seed only needs to differ between calls within a
+                        // run for statistical robustness; determinism per
+                        // (dim, batch) is preferable for reproducibility.
+                        seed: 0x5EED ^ (rank as u64) << 32 ^ factor_dims_seed(&factor),
+                    },
+                )?))
+            }
+        }
+    }
+
+    /// Applies the cached operator to a parameter vector in `O(m²)` (dense)
+    /// or `O(r·m)` (truncated).
+    ///
+    /// # Errors
+    /// Propagates shape mismatches.
+    pub fn apply(&self, w: &Vector) -> Result<Vector> {
+        match self {
+            GramCache::Dense(g) => Ok(g.matvec(w)?),
+            GramCache::Truncated(t) => Ok(t.apply(w)?),
+        }
+    }
+
+    /// Number of `f64` values held by the cache (memory accounting, Q8).
+    pub fn stored_values(&self) -> usize {
+        match self {
+            GramCache::Dense(g) => g.nrows() * g.ncols(),
+            GramCache::Truncated(t) => t.stored_values(),
+        }
+    }
+}
+
+fn factor_dims_seed(factor: &GramFactor) -> u64 {
+    (factor.batch_size() as u64) << 20 ^ factor.dim() as u64
+}
+
+/// Per-iteration cache for linear regression (Eq. 13/14): the batch Gram
+/// matrix `Σ_{i∈B_t} x_i x_i^T` and moment vector `Σ_{i∈B_t} x_i y_i`.
+#[derive(Debug, Clone)]
+pub struct LinearIterationCache {
+    /// Cached `Σ x_i x_i^T` (possibly truncated).
+    pub gram: GramCache,
+    /// Cached `Σ x_i y_i`.
+    pub xy: Vector,
+    /// Batch size `B^{(t)}`.
+    pub batch_size: usize,
+}
+
+/// Per-iteration, per-class cache for (linearised) logistic regression
+/// (Eq. 19/20): `C_t = Σ a_{i,(t)} x_i x_i^T`, `D_t = Σ b'_{i,(t)} x_i`, and
+/// the per-sample coefficients needed to subtract removed contributions.
+#[derive(Debug, Clone)]
+pub struct ClassIterationCache {
+    /// Cached `C_t` (possibly truncated). Coefficients are uniformly
+    /// negative because the interpolated non-linearity is decreasing.
+    pub gram: GramCache,
+    /// Cached `D_t`.
+    pub d: Vector,
+    /// Per-batch-member `(a, b')` coefficients in batch order, where the
+    /// sample's contribution to the update is `a·x xᵀ w + b'·x`.
+    pub coefficients: Vec<(f64, f64)>,
+}
+
+/// Per-iteration cache for logistic regression across all classes.
+#[derive(Debug, Clone)]
+pub struct LogisticIterationCache {
+    /// One cache per class (a single entry for binary logistic regression).
+    pub classes: Vec<ClassIterationCache>,
+    /// Batch size `B^{(t)}`.
+    pub batch_size: usize,
+}
+
+/// PrIU-opt capture for linear regression (§5.2): the offline eigen-
+/// decomposition of `M = X^T X` plus the moment vector `N = X^T Y`.
+#[derive(Debug, Clone)]
+pub struct LinearOptCapture {
+    /// Eigendecomposition of the full-data Gram matrix `X^T X`.
+    pub eigen: SymmetricEigen,
+    /// Full-data moment vector `X^T Y`.
+    pub xty: Vector,
+}
+
+/// PrIU-opt capture for one class of a logistic model (§5.4): at iteration
+/// `ts` the linearisation coefficients are frozen, a full-data `C*` / `D*` is
+/// materialised, and `C*` is eigendecomposed offline.
+#[derive(Debug, Clone)]
+pub struct LogisticOptClassCapture {
+    /// Eigendecomposition of the frozen full-data `C*`.
+    pub eigen: SymmetricEigen,
+    /// Frozen full-data `D*`.
+    pub d_star: Vector,
+    /// Frozen per-sample `(a, b')` coefficients for every training sample.
+    pub coefficients: Vec<(f64, f64)>,
+}
+
+/// PrIU-opt capture for a logistic model.
+#[derive(Debug, Clone)]
+pub struct LogisticOptCapture {
+    /// The iteration `ts` after which provenance capture stopped.
+    pub switch_iteration: usize,
+    /// The model parameters at iteration `ts` (needed to restart the scalar
+    /// recursion in the eigenbasis).
+    pub model_at_switch: Model,
+    /// One capture per class.
+    pub classes: Vec<LogisticOptClassCapture>,
+}
+
+/// Everything the training phase captures for a linear-regression model.
+#[derive(Debug, Clone)]
+pub struct LinearProvenance {
+    /// The deterministic mini-batch schedule shared with the update phase.
+    pub schedule: BatchSchedule,
+    /// Learning rate `η`.
+    pub learning_rate: f64,
+    /// Regularisation rate `λ`.
+    pub regularization: f64,
+    /// Initial parameters `w^{(0)}`.
+    pub initial_model: Model,
+    /// Per-iteration caches (length `τ`).
+    pub iterations: Vec<LinearIterationCache>,
+    /// PrIU-opt capture (present unless disabled in the config).
+    pub opt: Option<LinearOptCapture>,
+}
+
+/// Everything the training phase captures for a (binary or multinomial)
+/// logistic-regression model.
+#[derive(Debug, Clone)]
+pub struct LogisticProvenance {
+    /// The deterministic mini-batch schedule shared with the update phase.
+    pub schedule: BatchSchedule,
+    /// Learning rate `η`.
+    pub learning_rate: f64,
+    /// Regularisation rate `λ`.
+    pub regularization: f64,
+    /// Initial parameters `w^{(0)}`.
+    pub initial_model: Model,
+    /// Per-iteration caches. With an opt capture present this only covers
+    /// iterations `0..ts`; otherwise all `τ` iterations.
+    pub iterations: Vec<LogisticIterationCache>,
+    /// PrIU-opt capture (present unless disabled in the config).
+    pub opt: Option<LogisticOptCapture>,
+}
+
+/// Memory accounting for captured provenance (Table 3 / Q8).
+pub trait ProvenanceMemory {
+    /// Total bytes of cached provenance information.
+    fn provenance_bytes(&self) -> usize;
+}
+
+impl ProvenanceMemory for LinearProvenance {
+    fn provenance_bytes(&self) -> usize {
+        let per_iter: usize = self
+            .iterations
+            .iter()
+            .map(|it| (it.gram.stored_values() + it.xy.len()) * 8)
+            .sum();
+        let opt = self.opt.as_ref().map_or(0, |o| {
+            (o.eigen.values.len()
+                + o.eigen.vectors.nrows() * o.eigen.vectors.ncols()
+                + o.xty.len())
+                * 8
+        });
+        per_iter + opt
+    }
+}
+
+impl ProvenanceMemory for LogisticProvenance {
+    fn provenance_bytes(&self) -> usize {
+        let per_iter: usize = self
+            .iterations
+            .iter()
+            .map(|it| {
+                it.classes
+                    .iter()
+                    .map(|c| (c.gram.stored_values() + c.d.len()) * 8 + c.coefficients.len() * 16)
+                    .sum::<usize>()
+            })
+            .sum();
+        let opt = self.opt.as_ref().map_or(0, |o| {
+            o.classes
+                .iter()
+                .map(|c| {
+                    (c.eigen.values.len()
+                        + c.eigen.vectors.nrows() * c.eigen.vectors.ncols()
+                        + c.d_star.len())
+                        * 8
+                        + c.coefficients.len() * 16
+                })
+                .sum::<usize>()
+                + o.model_at_switch.num_parameters() * 8
+        });
+        per_iter + opt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use priu_data::catalog::Hyperparameters;
+
+    fn rows() -> Matrix {
+        Matrix::from_fn(6, 4, |i, j| ((i * 7 + j * 3) % 5) as f64 - 2.0)
+    }
+
+    #[test]
+    fn dense_cache_matches_weighted_gram() {
+        let r = rows();
+        let coeffs = vec![1.0; 6];
+        let cache = GramCache::build(r.clone(), coeffs.clone(), Compression::None).unwrap();
+        let w = Vector::from_fn(4, |i| i as f64 + 1.0);
+        let expected = r.weighted_gram(Some(&coeffs)).matvec(&w).unwrap();
+        let got = cache.apply(&w).unwrap();
+        assert!((&got - &expected).norm2() < 1e-10);
+        assert_eq!(cache.stored_values(), 16);
+    }
+
+    #[test]
+    fn truncated_cache_approximates_dense_cache() {
+        let r = rows();
+        let coeffs = vec![-0.5; 6];
+        let dense = GramCache::build(r.clone(), coeffs.clone(), Compression::None).unwrap();
+        let exact =
+            GramCache::build(r.clone(), coeffs.clone(), Compression::Exact { rank: 4 }).unwrap();
+        let randomized = GramCache::build(
+            r,
+            coeffs,
+            Compression::Randomized {
+                rank: 4,
+                oversample: 4,
+            },
+        )
+        .unwrap();
+        let w = Vector::ones(4);
+        let d = dense.apply(&w).unwrap();
+        assert!((&exact.apply(&w).unwrap() - &d).norm2() < 1e-8);
+        assert!((&randomized.apply(&w).unwrap() - &d).norm2() < 1e-6);
+        assert!(exact.stored_values() <= 2 * 4 * 4);
+    }
+
+    #[test]
+    fn auto_compression_resolves_against_feature_count() {
+        // 4 features → Auto resolves to dense.
+        let cache = GramCache::build(rows(), vec![1.0; 6], Compression::Auto).unwrap();
+        assert!(matches!(cache, GramCache::Dense(_)));
+    }
+
+    #[test]
+    fn provenance_memory_accounts_for_all_pieces() {
+        let hyper = Hyperparameters {
+            batch_size: 6,
+            num_iterations: 2,
+            learning_rate: 0.1,
+            regularization: 0.01,
+        };
+        let schedule = BatchSchedule::new(6, hyper.batch_size, hyper.num_iterations, 0);
+        let gram = GramCache::build(rows(), vec![1.0; 6], Compression::None).unwrap();
+        let prov = LinearProvenance {
+            schedule,
+            learning_rate: hyper.learning_rate,
+            regularization: hyper.regularization,
+            initial_model: Model::zeros(crate::model::ModelKind::Linear, 4),
+            iterations: vec![
+                LinearIterationCache {
+                    gram: gram.clone(),
+                    xy: Vector::zeros(4),
+                    batch_size: 6,
+                },
+                LinearIterationCache {
+                    gram,
+                    xy: Vector::zeros(4),
+                    batch_size: 6,
+                },
+            ],
+            opt: None,
+        };
+        // 2 iterations × (16 gram values + 4 xy values) × 8 bytes.
+        assert_eq!(prov.provenance_bytes(), 2 * (16 + 4) * 8);
+    }
+}

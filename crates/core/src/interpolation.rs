@@ -1,0 +1,230 @@
+//! Piecewise linear interpolation of the logistic non-linearity (§4.2).
+//!
+//! The non-linear part of the binary-logistic update rule (Eq. 6) is
+//! `f(x) = 1 − 1/(1 + e^{−x})` (i.e. `σ(−x)`), evaluated at `x = y_i w^T x_i`.
+//! PrIU replaces `f` with a piecewise-linear interpolant `s(x) = a·x + b`
+//! on `[-A, A]` split into `K` equal sub-intervals (the paper uses `A = 20`,
+//! `K = 10^6`); outside the range `s` is the constant `f(±A)`. The
+//! interpolation error is `O((Δx)²)` (Lemma 9 / Theorem 4), which this
+//! module's tests verify empirically.
+//!
+//! The same interpolant is reused for the multinomial case through the
+//! increasing sigmoid `σ(u) = 1/(1+e^{-u})` evaluated at the per-class
+//! margin minus a captured log-sum-exp offset (see `trainer::logistic`).
+
+use serde::{Deserialize, Serialize};
+
+/// Linear coefficients `(slope, intercept)` of one interpolation segment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Slope `a` of `s(x) = a·x + b`.
+    pub slope: f64,
+    /// Intercept `b` of `s(x) = a·x + b`.
+    pub intercept: f64,
+}
+
+impl Segment {
+    /// Evaluates the segment at `x`.
+    pub fn evaluate(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// A piecewise-linear interpolant of `f(x) = 1 − 1/(1+e^{−x})` on `[-a, a]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PiecewiseLinearSigmoid {
+    half_range: f64,
+    num_intervals: usize,
+    step: f64,
+}
+
+impl Default for PiecewiseLinearSigmoid {
+    /// The paper's configuration: range `[-20, 20]`, 10⁶ sub-intervals.
+    fn default() -> Self {
+        Self::new(20.0, 1_000_000)
+    }
+}
+
+impl PiecewiseLinearSigmoid {
+    /// Creates an interpolant over `[-half_range, half_range]` with
+    /// `num_intervals` equal sub-intervals.
+    ///
+    /// # Panics
+    /// Panics if `half_range <= 0` or `num_intervals == 0`.
+    pub fn new(half_range: f64, num_intervals: usize) -> Self {
+        assert!(half_range > 0.0, "half_range must be positive");
+        assert!(num_intervals > 0, "need at least one sub-interval");
+        Self {
+            half_range,
+            num_intervals,
+            step: 2.0 * half_range / num_intervals as f64,
+        }
+    }
+
+    /// The exact non-linearity `f(x) = 1 − 1/(1+e^{−x}) = σ(−x)`.
+    pub fn exact(x: f64) -> f64 {
+        1.0 / (1.0 + x.exp())
+    }
+
+    /// The exact increasing sigmoid `σ(x) = 1/(1+e^{−x})`.
+    pub fn exact_sigmoid(x: f64) -> f64 {
+        1.0 / (1.0 + (-x).exp())
+    }
+
+    /// Length `Δx` of one sub-interval.
+    pub fn interval_length(&self) -> f64 {
+        self.step
+    }
+
+    /// Number of sub-intervals `K`.
+    pub fn num_intervals(&self) -> usize {
+        self.num_intervals
+    }
+
+    /// Half-range `A` of the interpolation domain `[-A, A]`.
+    pub fn half_range(&self) -> f64 {
+        self.half_range
+    }
+
+    /// The linear coefficients `(a, b)` of `f` at `x` — the `a_{i,(t)}`,
+    /// `b_{i,(t)}` of Eq. 9. Outside `[-A, A]` the segment is the constant
+    /// `f(±A)` (slope 0), per the paper.
+    pub fn coefficients(&self, x: f64) -> Segment {
+        if x <= -self.half_range {
+            return Segment {
+                slope: 0.0,
+                intercept: Self::exact(-self.half_range),
+            };
+        }
+        if x >= self.half_range {
+            return Segment {
+                slope: 0.0,
+                intercept: Self::exact(self.half_range),
+            };
+        }
+        let idx = ((x + self.half_range) / self.step).floor() as usize;
+        let idx = idx.min(self.num_intervals - 1);
+        let x0 = -self.half_range + idx as f64 * self.step;
+        let x1 = x0 + self.step;
+        let f0 = Self::exact(x0);
+        let f1 = Self::exact(x1);
+        let slope = (f1 - f0) / self.step;
+        let intercept = f0 - slope * x0;
+        Segment { slope, intercept }
+    }
+
+    /// The interpolated value `s(x)`.
+    pub fn evaluate(&self, x: f64) -> f64 {
+        self.coefficients(x).evaluate(x)
+    }
+
+    /// The linear coefficients of the *increasing* sigmoid `σ(x)` at `x`,
+    /// obtained from `σ(x) = 1 − f(x)`: slope `-a`, intercept `1 − b`.
+    pub fn sigmoid_coefficients(&self, x: f64) -> Segment {
+        let seg = self.coefficients(x);
+        Segment {
+            slope: -seg.slope,
+            intercept: 1.0 - seg.intercept,
+        }
+    }
+
+    /// The theoretical worst-case interpolation error bound
+    /// `(Δx)²/8 · max|f''|` from Lemma 9 (`max|f''| ≤ 1/(6√3)` for the
+    /// sigmoid family).
+    pub fn error_bound(&self) -> f64 {
+        let max_second_derivative = 1.0 / (6.0 * 3.0_f64.sqrt());
+        self.step * self.step / 8.0 * max_second_derivative
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_matches_closed_form() {
+        assert!((PiecewiseLinearSigmoid::exact(0.0) - 0.5).abs() < 1e-12);
+        assert!(PiecewiseLinearSigmoid::exact(20.0) < 1e-8);
+        assert!(PiecewiseLinearSigmoid::exact(-20.0) > 1.0 - 1e-8);
+        assert!((PiecewiseLinearSigmoid::exact_sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(
+            (PiecewiseLinearSigmoid::exact(1.3) + PiecewiseLinearSigmoid::exact_sigmoid(1.3) - 1.0)
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn interpolation_is_accurate_inside_the_range() {
+        let interp = PiecewiseLinearSigmoid::default();
+        for &x in &[-19.5, -3.0, -0.7, 0.0, 0.2, 1.0, 5.0, 18.9] {
+            let err = (interp.evaluate(x) - PiecewiseLinearSigmoid::exact(x)).abs();
+            assert!(err <= interp.error_bound() * 1.01, "error {err} at x={x}");
+        }
+    }
+
+    #[test]
+    fn interpolation_error_shrinks_quadratically() {
+        // Halving Δx should roughly quarter the worst observed error — the
+        // O((Δx)²) behaviour of Theorem 4.
+        let coarse = PiecewiseLinearSigmoid::new(8.0, 64);
+        let fine = PiecewiseLinearSigmoid::new(8.0, 128);
+        let probe: Vec<f64> = (0..1000).map(|i| -7.9 + i as f64 * 0.0158).collect();
+        let max_err = |interp: &PiecewiseLinearSigmoid| {
+            probe
+                .iter()
+                .map(|&x| (interp.evaluate(x) - PiecewiseLinearSigmoid::exact(x)).abs())
+                .fold(0.0_f64, f64::max)
+        };
+        let e_coarse = max_err(&coarse);
+        let e_fine = max_err(&fine);
+        assert!(e_fine < e_coarse / 3.0, "coarse {e_coarse}, fine {e_fine}");
+    }
+
+    #[test]
+    fn outside_range_is_clamped_to_constants() {
+        let interp = PiecewiseLinearSigmoid::new(5.0, 100);
+        let seg = interp.coefficients(10.0);
+        assert_eq!(seg.slope, 0.0);
+        assert!((seg.intercept - PiecewiseLinearSigmoid::exact(5.0)).abs() < 1e-12);
+        let seg = interp.coefficients(-10.0);
+        assert_eq!(seg.slope, 0.0);
+        assert!((seg.intercept - PiecewiseLinearSigmoid::exact(-5.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coefficients_reproduce_segment_endpoints() {
+        let interp = PiecewiseLinearSigmoid::new(4.0, 16);
+        let step = interp.interval_length();
+        // At a breakpoint the interpolant is exact.
+        let x0 = -4.0 + 3.0 * step;
+        assert!((interp.evaluate(x0) - PiecewiseLinearSigmoid::exact(x0)).abs() < 1e-12);
+        assert_eq!(interp.num_intervals(), 16);
+        assert_eq!(interp.half_range(), 4.0);
+    }
+
+    #[test]
+    fn slopes_are_negative_for_f_and_positive_for_sigma() {
+        let interp = PiecewiseLinearSigmoid::default();
+        for &x in &[-5.0, -1.0, 0.0, 1.0, 5.0] {
+            assert!(interp.coefficients(x).slope < 0.0, "f is decreasing");
+            assert!(interp.sigmoid_coefficients(x).slope > 0.0, "σ is increasing");
+            let s = interp.sigmoid_coefficients(x).evaluate(x);
+            assert!((s - PiecewiseLinearSigmoid::exact_sigmoid(x)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn default_matches_paper_configuration() {
+        let interp = PiecewiseLinearSigmoid::default();
+        assert_eq!(interp.half_range(), 20.0);
+        assert_eq!(interp.num_intervals(), 1_000_000);
+        assert!(interp.error_bound() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_intervals_panics() {
+        PiecewiseLinearSigmoid::new(1.0, 0);
+    }
+}

@@ -1,0 +1,87 @@
+//! # priu-core
+//!
+//! The core of the PrIU reproduction (Wu, Tannen, Davidson, SIGMOD 2020):
+//! provenance-based incremental updates of regression models after deleting
+//! subsets of their training samples.
+//!
+//! ## What the library does
+//!
+//! 1. **Train** a linear-regression, binary-logistic or multinomial-logistic
+//!    model with mini-batch SGD (Eq. 5/6) while *capturing provenance*: the
+//!    per-iteration contributions of the training samples to the update rule
+//!    (Gram forms and interpolation coefficients, §4.1/§4.2), optionally
+//!    compressed with truncated SVD (§5.1/§5.3).
+//! 2. **Delete** an arbitrary subset of training samples (data cleaning,
+//!    interpretability probes, deletion diagnostics).
+//! 3. **Update** the model parameters *incrementally* with
+//!    [`update::priu`] / [`update::priu_opt`] instead of retraining, obtaining
+//!    a model provably close to the retrained one (Theorems 5/8/9) at a small
+//!    fraction of the cost.
+//!
+//! The crate also contains the paper's comparison points — retraining from
+//! scratch ([`baseline::retrain`]), the closed-form ridge update
+//! ([`baseline::closed_form`]) and the influence-function extension
+//! ([`baseline::influence`]) — plus the evaluation metrics of §6 and the
+//! provenance memory accounting of Q8.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use priu_core::prelude::*;
+//! use priu_data::prelude::*;
+//!
+//! // A small synthetic regression dataset standing in for UCI SGEMM.
+//! let spec = DatasetCatalog::sgemm_original().scaled(0.02);
+//! let dataset = spec.generate();
+//! let dense = dataset.as_dense().unwrap();
+//!
+//! // Train once, capturing provenance.
+//! let config = TrainerConfig::from_hyper(spec.hyper).with_seed(7);
+//! let session = LinearSession::fit(dense.clone(), config).unwrap();
+//!
+//! // Delete 1% of the training samples and update incrementally.
+//! let removed = random_subsets(dense.num_samples(), 0.01, 1, 3)[0].clone();
+//! let updated = session.priu(&removed).unwrap();
+//! let retrained = session.retrain(&removed).unwrap();
+//! let cmp = compare_models(&updated.model, &retrained.model).unwrap();
+//! assert!(cmp.cosine_similarity > 0.99);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod baseline;
+pub mod capture;
+pub mod config;
+pub mod error;
+pub mod interpolation;
+pub mod metrics;
+pub mod model;
+pub mod objective;
+pub mod reference;
+pub mod session;
+pub mod trainer;
+pub mod update;
+
+pub use config::{Compression, TrainerConfig};
+pub use error::{CoreError, Result};
+pub use metrics::{compare_models, ModelComparison};
+pub use model::{Model, ModelKind};
+pub use session::{
+    BinaryLogisticSession, LinearSession, MultinomialSession, SparseLogisticSession, UpdateOutcome,
+};
+
+/// Convenience prelude bringing the most commonly used types into scope.
+pub mod prelude {
+    pub use crate::baseline::influence::influence_update;
+    pub use crate::capture::ProvenanceMemory;
+    pub use crate::config::{Compression, TrainerConfig};
+    pub use crate::error::{CoreError, Result};
+    pub use crate::interpolation::PiecewiseLinearSigmoid;
+    pub use crate::metrics::{compare_models, ModelComparison};
+    pub use crate::model::{Model, ModelKind};
+    pub use crate::session::{
+        BinaryLogisticSession, LinearSession, MultinomialSession, SparseLogisticSession,
+        UpdateOutcome,
+    };
+}

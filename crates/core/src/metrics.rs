@@ -1,0 +1,236 @@
+//! Evaluation metrics used throughout §6: validation MSE / accuracy, and the
+//! model-comparison measures (L2 distance, cosine similarity, coordinate
+//! drift) of Q3/Q4.
+
+use priu_data::dataset::{DenseDataset, Labels, SparseDataset};
+use priu_linalg::stats::{coordinate_drift, cosine_similarity, l2_distance, CoordinateDrift};
+
+use crate::error::{CoreError, Result};
+use crate::model::{Model, ModelKind};
+
+/// Mean squared error of a linear model over a dense dataset (the paper's
+/// accuracy measure for regression: lower is better).
+///
+/// # Errors
+/// Returns [`CoreError::LabelMismatch`] if the dataset is not a regression
+/// dataset or the model is not linear.
+pub fn mean_squared_error(model: &Model, dataset: &DenseDataset) -> Result<f64> {
+    let y = dataset.labels.as_continuous().ok_or(CoreError::LabelMismatch {
+        expected: "continuous labels",
+    })?;
+    if model.kind() != ModelKind::Linear {
+        return Err(CoreError::LabelMismatch {
+            expected: "a linear model",
+        });
+    }
+    let n = dataset.num_samples();
+    if n == 0 {
+        return Ok(0.0);
+    }
+    let mut sum = 0.0;
+    for i in 0..n {
+        let r = y[i] - model.predict_linear(dataset.x.row(i));
+        sum += r * r;
+    }
+    Ok(sum / n as f64)
+}
+
+/// Classification accuracy of a binary or multinomial model over a dense
+/// dataset (the paper's "validation accuracy").
+///
+/// # Errors
+/// Returns [`CoreError::LabelMismatch`] if labels and model kind disagree.
+pub fn classification_accuracy(model: &Model, dataset: &DenseDataset) -> Result<f64> {
+    let n = dataset.num_samples();
+    if n == 0 {
+        return Ok(0.0);
+    }
+    let correct = match (&dataset.labels, model.kind()) {
+        (Labels::Binary(y), ModelKind::BinaryLogistic) => (0..n)
+            .filter(|&i| {
+                let predicted = if model.decision_value(dataset.x.row(i)) >= 0.0 {
+                    1.0
+                } else {
+                    -1.0
+                };
+                predicted == y[i]
+            })
+            .count(),
+        (
+            Labels::Multiclass {
+                classes,
+                num_classes,
+            },
+            ModelKind::MultinomialLogistic { num_classes: q },
+        ) if *num_classes == q => (0..n)
+            .filter(|&i| model.predict_class(dataset.x.row(i)) == classes[i] as usize)
+            .count(),
+        _ => {
+            return Err(CoreError::LabelMismatch {
+                expected: "classification labels matching the model kind",
+            })
+        }
+    };
+    Ok(correct as f64 / n as f64)
+}
+
+/// Classification accuracy of a binary model over a sparse dataset.
+///
+/// # Errors
+/// Returns [`CoreError::LabelMismatch`] if labels and model kind disagree.
+pub fn sparse_classification_accuracy(model: &Model, dataset: &SparseDataset) -> Result<f64> {
+    let y = dataset.labels.as_binary().ok_or(CoreError::LabelMismatch {
+        expected: "binary labels",
+    })?;
+    if model.kind() != ModelKind::BinaryLogistic {
+        return Err(CoreError::LabelMismatch {
+            expected: "a binary logistic model",
+        });
+    }
+    let n = dataset.num_samples();
+    if n == 0 {
+        return Ok(0.0);
+    }
+    let correct = (0..n)
+        .filter(|&i| {
+            let predicted = if model.decision_value_sparse(&dataset.x, i) >= 0.0 {
+                1.0
+            } else {
+                -1.0
+            };
+            predicted == y[i]
+        })
+        .count();
+    Ok(correct as f64 / n as f64)
+}
+
+/// Structural comparison of two models of the same kind (§6.2 "Model
+/// comparison"): L2 distance and cosine similarity of the flattened parameter
+/// vectors, plus the fine-grained coordinate drift of Q4.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelComparison {
+    /// L2 norm of the parameter difference (the "distance" column).
+    pub l2_distance: f64,
+    /// Cosine of the angle between the parameter vectors (the "similarity"
+    /// column).
+    pub cosine_similarity: f64,
+    /// Coordinate-wise sign flips / magnitude changes (Q4).
+    pub drift: CoordinateDrift,
+}
+
+/// Compares two models parameter-wise.
+///
+/// # Errors
+/// Returns [`CoreError::InvalidConfig`] if the models have different kinds or
+/// sizes.
+pub fn compare_models(reference: &Model, other: &Model) -> Result<ModelComparison> {
+    if reference.kind() != other.kind() || reference.num_parameters() != other.num_parameters() {
+        return Err(CoreError::InvalidConfig(
+            "cannot compare models of different kinds or sizes".to_string(),
+        ));
+    }
+    let a = reference.flatten();
+    let b = other.flatten();
+    Ok(ModelComparison {
+        l2_distance: l2_distance(&a, &b)?,
+        cosine_similarity: cosine_similarity(&a, &b)?,
+        drift: coordinate_drift(&a, &b, 1e-9)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use priu_linalg::{Matrix, Vector};
+
+    #[test]
+    fn mse_of_perfect_model_is_zero() {
+        let x = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]).unwrap();
+        let w = Vector::from_vec(vec![2.0, -1.0]);
+        let y = x.matvec(&w).unwrap();
+        let data = DenseDataset::new(x, Labels::Continuous(y));
+        let model = Model::new(ModelKind::Linear, vec![w]).unwrap();
+        assert!(mean_squared_error(&model, &data).unwrap() < 1e-24);
+        let zero = Model::zeros(ModelKind::Linear, 2);
+        assert!(mean_squared_error(&zero, &data).unwrap() > 0.1);
+    }
+
+    #[test]
+    fn binary_accuracy_counts_correct_signs() {
+        let x = Matrix::from_vec(4, 1, vec![1.0, 2.0, -1.0, -3.0]).unwrap();
+        let y = Vector::from_vec(vec![1.0, 1.0, -1.0, 1.0]);
+        let data = DenseDataset::new(x, Labels::Binary(y));
+        let model = Model::new(ModelKind::BinaryLogistic, vec![Vector::from_vec(vec![1.0])]).unwrap();
+        assert!((classification_accuracy(&model, &data).unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiclass_accuracy() {
+        let x = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, -1.0, -1.0]).unwrap();
+        let data = DenseDataset::new(
+            x,
+            Labels::Multiclass {
+                classes: vec![0, 1, 1],
+                num_classes: 2,
+            },
+        );
+        let model = Model::new(
+            ModelKind::MultinomialLogistic { num_classes: 2 },
+            vec![
+                Vector::from_vec(vec![1.0, 0.0]),
+                Vector::from_vec(vec![0.0, 1.0]),
+            ],
+        )
+        .unwrap();
+        // predictions: class 0, class 1, tie→argmax first max... (-1,-1) → class 0 ≠ 1.
+        assert!((classification_accuracy(&model, &data).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_accuracy() {
+        let dense = Matrix::from_vec(2, 3, vec![1.0, 0.0, 0.0, 0.0, 0.0, -2.0]).unwrap();
+        let data = SparseDataset::new(
+            priu_linalg::CsrMatrix::from_dense(&dense),
+            Labels::Binary(Vector::from_vec(vec![1.0, -1.0])),
+        );
+        let model = Model::new(
+            ModelKind::BinaryLogistic,
+            vec![Vector::from_vec(vec![1.0, 0.0, 1.0])],
+        )
+        .unwrap();
+        assert!((sparse_classification_accuracy(&model, &data).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn label_mismatches_are_rejected() {
+        let reg = DenseDataset::new(Matrix::zeros(2, 1), Labels::Continuous(Vector::zeros(2)));
+        let bin_model = Model::zeros(ModelKind::BinaryLogistic, 1);
+        assert!(classification_accuracy(&bin_model, &reg).is_err());
+        assert!(mean_squared_error(&bin_model, &reg).is_err());
+        let lin_model = Model::zeros(ModelKind::Linear, 1);
+        assert!(mean_squared_error(&lin_model, &reg).is_ok());
+    }
+
+    #[test]
+    fn empty_datasets_give_zero_metrics() {
+        let empty = DenseDataset::new(Matrix::zeros(0, 2), Labels::Continuous(Vector::zeros(0)));
+        let model = Model::zeros(ModelKind::Linear, 2);
+        assert_eq!(mean_squared_error(&model, &empty).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn compare_models_reports_distance_and_similarity() {
+        let a = Model::new(ModelKind::Linear, vec![Vector::from_vec(vec![1.0, 0.0])]).unwrap();
+        let b = Model::new(ModelKind::Linear, vec![Vector::from_vec(vec![0.0, 1.0])]).unwrap();
+        let cmp = compare_models(&a, &b).unwrap();
+        assert!((cmp.l2_distance - 2.0_f64.sqrt()).abs() < 1e-12);
+        assert!(cmp.cosine_similarity.abs() < 1e-12);
+        assert_eq!(cmp.drift.sign_flips, 0);
+        let same = compare_models(&a, &a).unwrap();
+        assert_eq!(same.l2_distance, 0.0);
+        assert!((same.cosine_similarity - 1.0).abs() < 1e-12);
+        // Mismatched kinds are rejected.
+        let c = Model::zeros(ModelKind::BinaryLogistic, 2);
+        assert!(compare_models(&a, &c).is_err());
+    }
+}

@@ -1,0 +1,295 @@
+//! Model parameters for the three regression families the paper covers.
+
+use priu_linalg::{CsrMatrix, Matrix, Vector};
+use serde::{Deserialize, Serialize};
+
+use crate::error::{CoreError, Result};
+
+/// Which regression family a model belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Linear regression (Eq. 2).
+    Linear,
+    /// Binary logistic regression with labels in `{-1, +1}` (Eq. 3).
+    BinaryLogistic,
+    /// Multinomial logistic regression with `q` classes (Eq. 4).
+    MultinomialLogistic {
+        /// Number of classes `q`.
+        num_classes: usize,
+    },
+}
+
+impl ModelKind {
+    /// Number of per-class weight vectors this kind carries.
+    pub fn num_weight_vectors(&self) -> usize {
+        match self {
+            ModelKind::Linear | ModelKind::BinaryLogistic => 1,
+            ModelKind::MultinomialLogistic { num_classes } => *num_classes,
+        }
+    }
+}
+
+/// A trained (or incrementally updated) model: one weight vector per class
+/// (a single vector for linear and binary logistic regression).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Model {
+    kind: ModelKind,
+    weights: Vec<Vector>,
+}
+
+impl Model {
+    /// Creates a model from explicit weight vectors.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::InvalidConfig`] if the number of weight vectors
+    /// does not match the kind or the vectors have inconsistent lengths.
+    pub fn new(kind: ModelKind, weights: Vec<Vector>) -> Result<Self> {
+        if weights.len() != kind.num_weight_vectors() {
+            return Err(CoreError::InvalidConfig(format!(
+                "expected {} weight vectors, got {}",
+                kind.num_weight_vectors(),
+                weights.len()
+            )));
+        }
+        if weights.is_empty() {
+            return Err(CoreError::InvalidConfig(
+                "a model needs at least one weight vector".to_string(),
+            ));
+        }
+        let m = weights[0].len();
+        if weights.iter().any(|w| w.len() != m) {
+            return Err(CoreError::InvalidConfig(
+                "all weight vectors must have the same length".to_string(),
+            ));
+        }
+        Ok(Self { kind, weights })
+    }
+
+    /// A zero-initialised model with `num_features` features.
+    pub fn zeros(kind: ModelKind, num_features: usize) -> Self {
+        let weights = (0..kind.num_weight_vectors())
+            .map(|_| Vector::zeros(num_features))
+            .collect();
+        Self { kind, weights }
+    }
+
+    /// The model family.
+    pub fn kind(&self) -> ModelKind {
+        self.kind
+    }
+
+    /// Number of features `m`.
+    pub fn num_features(&self) -> usize {
+        self.weights[0].len()
+    }
+
+    /// Total number of parameters (`m` or `m·q`).
+    pub fn num_parameters(&self) -> usize {
+        self.weights.len() * self.num_features()
+    }
+
+    /// The per-class weight vectors.
+    pub fn weights(&self) -> &[Vector] {
+        &self.weights
+    }
+
+    /// Mutable access to the per-class weight vectors.
+    pub fn weights_mut(&mut self) -> &mut [Vector] {
+        &mut self.weights
+    }
+
+    /// The single weight vector of a linear / binary-logistic model.
+    ///
+    /// # Panics
+    /// Panics for multinomial models with more than one class vector.
+    pub fn weight(&self) -> &Vector {
+        assert_eq!(
+            self.weights.len(),
+            1,
+            "Model::weight is only defined for single-vector models"
+        );
+        &self.weights[0]
+    }
+
+    /// The flattened parameter vector `vec([w_1, .., w_q])` used by the
+    /// paper's model-comparison metrics.
+    pub fn flatten(&self) -> Vector {
+        Vector::concat(&self.weights)
+    }
+
+    /// Whether every parameter is finite.
+    pub fn is_finite(&self) -> bool {
+        self.weights.iter().all(Vector::is_finite)
+    }
+
+    /// Linear-regression prediction for a dense feature row.
+    pub fn predict_linear(&self, features: &[f64]) -> f64 {
+        dot(self.weights[0].as_slice(), features)
+    }
+
+    /// Decision value `w·x` of a binary-logistic model (positive ⇒ class +1).
+    pub fn decision_value(&self, features: &[f64]) -> f64 {
+        dot(self.weights[0].as_slice(), features)
+    }
+
+    /// Predicted probability of the positive class for a binary model.
+    pub fn predict_probability(&self, features: &[f64]) -> f64 {
+        1.0 / (1.0 + (-self.decision_value(features)).exp())
+    }
+
+    /// Predicted class index for a multinomial (or binary) model on a dense
+    /// feature row. For binary models, returns 1 for the positive class and
+    /// 0 for the negative class.
+    pub fn predict_class(&self, features: &[f64]) -> usize {
+        match self.kind {
+            ModelKind::Linear => 0,
+            ModelKind::BinaryLogistic => {
+                if self.decision_value(features) >= 0.0 {
+                    1
+                } else {
+                    0
+                }
+            }
+            ModelKind::MultinomialLogistic { .. } => {
+                let mut best = 0;
+                let mut best_score = f64::NEG_INFINITY;
+                for (k, w) in self.weights.iter().enumerate() {
+                    let s = dot(w.as_slice(), features);
+                    if s > best_score {
+                        best_score = s;
+                        best = k;
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// Per-class logits for a dense feature row.
+    pub fn logits(&self, features: &[f64]) -> Vector {
+        Vector::from_vec(
+            self.weights
+                .iter()
+                .map(|w| dot(w.as_slice(), features))
+                .collect(),
+        )
+    }
+
+    /// Decision value of a binary model on a sparse row of a [`CsrMatrix`].
+    pub fn decision_value_sparse(&self, x: &CsrMatrix, row: usize) -> f64 {
+        let (cols, vals) = x.row(row);
+        cols.iter()
+            .zip(vals.iter())
+            .map(|(&c, &v)| v * self.weights[0][c])
+            .sum()
+    }
+
+    /// Batch of linear predictions `X w` for a dense feature matrix.
+    ///
+    /// # Errors
+    /// Propagates shape mismatches from the matrix-vector product.
+    pub fn predict_linear_batch(&self, x: &Matrix) -> Result<Vector> {
+        Ok(x.matvec(&self.weights[0])?)
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validation() {
+        assert!(Model::new(ModelKind::Linear, vec![Vector::zeros(3)]).is_ok());
+        assert!(Model::new(ModelKind::Linear, vec![]).is_err());
+        assert!(Model::new(
+            ModelKind::MultinomialLogistic { num_classes: 3 },
+            vec![Vector::zeros(2); 2]
+        )
+        .is_err());
+        assert!(Model::new(
+            ModelKind::MultinomialLogistic { num_classes: 2 },
+            vec![Vector::zeros(2), Vector::zeros(3)]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn zeros_and_accessors() {
+        let m = Model::zeros(ModelKind::MultinomialLogistic { num_classes: 4 }, 5);
+        assert_eq!(m.num_features(), 5);
+        assert_eq!(m.num_parameters(), 20);
+        assert_eq!(m.weights().len(), 4);
+        assert_eq!(m.flatten().len(), 20);
+        assert!(m.is_finite());
+        assert_eq!(m.kind(), ModelKind::MultinomialLogistic { num_classes: 4 });
+        assert_eq!(ModelKind::Linear.num_weight_vectors(), 1);
+    }
+
+    #[test]
+    fn linear_prediction() {
+        let m = Model::new(
+            ModelKind::Linear,
+            vec![Vector::from_vec(vec![1.0, -2.0])],
+        )
+        .unwrap();
+        assert_eq!(m.predict_linear(&[3.0, 1.0]), 1.0);
+        assert_eq!(m.weight().as_slice(), &[1.0, -2.0]);
+        let x = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        let preds = m.predict_linear_batch(&x).unwrap();
+        assert_eq!(preds.as_slice(), &[1.0, -2.0]);
+    }
+
+    #[test]
+    fn binary_prediction() {
+        let m = Model::new(
+            ModelKind::BinaryLogistic,
+            vec![Vector::from_vec(vec![2.0, 0.0])],
+        )
+        .unwrap();
+        assert_eq!(m.predict_class(&[1.0, 0.0]), 1);
+        assert_eq!(m.predict_class(&[-1.0, 0.0]), 0);
+        assert!((m.predict_probability(&[0.0, 0.0]) - 0.5).abs() < 1e-12);
+        assert!(m.predict_probability(&[5.0, 0.0]) > 0.99);
+    }
+
+    #[test]
+    fn multiclass_prediction() {
+        let m = Model::new(
+            ModelKind::MultinomialLogistic { num_classes: 3 },
+            vec![
+                Vector::from_vec(vec![1.0, 0.0]),
+                Vector::from_vec(vec![0.0, 1.0]),
+                Vector::from_vec(vec![-1.0, -1.0]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(m.predict_class(&[2.0, 0.1]), 0);
+        assert_eq!(m.predict_class(&[0.1, 2.0]), 1);
+        assert_eq!(m.predict_class(&[-3.0, -3.0]), 2);
+        assert_eq!(m.logits(&[1.0, 1.0]).len(), 3);
+    }
+
+    #[test]
+    fn sparse_decision_value() {
+        let dense = Matrix::from_vec(2, 3, vec![1.0, 0.0, 2.0, 0.0, 3.0, 0.0]).unwrap();
+        let xs = CsrMatrix::from_dense(&dense);
+        let m = Model::new(
+            ModelKind::BinaryLogistic,
+            vec![Vector::from_vec(vec![1.0, 1.0, -1.0])],
+        )
+        .unwrap();
+        assert_eq!(m.decision_value_sparse(&xs, 0), -1.0);
+        assert_eq!(m.decision_value_sparse(&xs, 1), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-vector")]
+    fn weight_panics_for_multinomial() {
+        Model::zeros(ModelKind::MultinomialLogistic { num_classes: 2 }, 3).weight();
+    }
+}

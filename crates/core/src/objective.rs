@@ -1,0 +1,372 @@
+//! Objective functions, gradients and Hessians for the three regression
+//! families (Eq. 2-4), used by the trainers (gradient checks), the
+//! influence-function baseline (Hessian solves) and the evaluation metrics.
+
+use priu_data::dataset::{DenseDataset, Labels};
+use priu_linalg::{Matrix, Vector};
+
+use crate::error::{CoreError, Result};
+use crate::model::{Model, ModelKind};
+
+/// Softmax probabilities of a logit vector (numerically stabilised).
+pub fn softmax(logits: &Vector) -> Vector {
+    let max = logits.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+    let exps: Vec<f64> = logits.iter().map(|&z| (z - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    Vector::from_vec(exps.into_iter().map(|e| e / sum).collect())
+}
+
+/// Value of the regularised objective function `h(w)` (Eq. 2-4) over a dense
+/// dataset.
+///
+/// # Errors
+/// Returns [`CoreError::LabelMismatch`] if the labels do not match the model.
+pub fn objective_value(model: &Model, dataset: &DenseDataset, regularization: f64) -> Result<f64> {
+    let n = dataset.num_samples();
+    if n == 0 {
+        return Ok(0.0);
+    }
+    let reg = 0.5 * regularization * model.flatten().norm2_squared();
+    let data_term = match (model.kind(), &dataset.labels) {
+        (ModelKind::Linear, Labels::Continuous(y)) => {
+            let mut sum = 0.0;
+            for i in 0..n {
+                let r = y[i] - model.predict_linear(dataset.x.row(i));
+                sum += r * r;
+            }
+            sum / n as f64
+        }
+        (ModelKind::BinaryLogistic, Labels::Binary(y)) => {
+            let mut sum = 0.0;
+            for i in 0..n {
+                let margin = y[i] * model.decision_value(dataset.x.row(i));
+                sum += ln_1p_exp(-margin);
+            }
+            sum / n as f64
+        }
+        (ModelKind::MultinomialLogistic { num_classes }, Labels::Multiclass { classes, num_classes: q })
+            if num_classes == *q =>
+        {
+            let mut sum = 0.0;
+            for i in 0..n {
+                let logits = model.logits(dataset.x.row(i));
+                let max = logits.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+                let lse = max
+                    + logits
+                        .iter()
+                        .map(|&z| (z - max).exp())
+                        .sum::<f64>()
+                        .ln();
+                sum += lse - logits[classes[i] as usize];
+            }
+            sum / n as f64
+        }
+        _ => {
+            return Err(CoreError::LabelMismatch {
+                expected: "labels matching the model kind",
+            })
+        }
+    };
+    Ok(data_term + reg)
+}
+
+/// Numerically-stable `ln(1 + e^x)`.
+fn ln_1p_exp(x: f64) -> f64 {
+    if x > 0.0 {
+        x + (-x).exp().ln_1p()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+/// Per-sample gradient `∇h_i(w)` of the *unregularised* loss, flattened to
+/// the model's parameter layout. This is the quantity the influence-function
+/// baseline sums over the removed samples.
+///
+/// # Errors
+/// Returns [`CoreError::LabelMismatch`] on mismatched labels and
+/// [`CoreError::InvalidRemoval`] if `i` is out of range.
+pub fn sample_gradient(model: &Model, dataset: &DenseDataset, i: usize) -> Result<Vector> {
+    let n = dataset.num_samples();
+    if i >= n {
+        return Err(CoreError::InvalidRemoval {
+            index: i,
+            num_samples: n,
+        });
+    }
+    let x = dataset.x.row(i);
+    match (model.kind(), &dataset.labels) {
+        (ModelKind::Linear, Labels::Continuous(y)) => {
+            // ∇ (y - xᵀw)² = 2 x (xᵀw - y)
+            let r = model.predict_linear(x) - y[i];
+            Ok(Vector::from_vec(x.iter().map(|&v| 2.0 * r * v).collect()))
+        }
+        (ModelKind::BinaryLogistic, Labels::Binary(y)) => {
+            // ∇ ln(1+e^{-y wᵀx}) = -y x σ(-y wᵀx)
+            let margin = y[i] * model.decision_value(x);
+            let f = 1.0 / (1.0 + margin.exp());
+            Ok(Vector::from_vec(
+                x.iter().map(|&v| -y[i] * v * f).collect(),
+            ))
+        }
+        (ModelKind::MultinomialLogistic { num_classes }, Labels::Multiclass { classes, num_classes: q })
+            if num_classes == *q =>
+        {
+            let probs = softmax(&model.logits(x));
+            let mut grad = Vec::with_capacity(num_classes * x.len());
+            for k in 0..num_classes {
+                let indicator = if classes[i] as usize == k { 1.0 } else { 0.0 };
+                let coeff = probs[k] - indicator;
+                grad.extend(x.iter().map(|&v| coeff * v));
+            }
+            Ok(Vector::from_vec(grad))
+        }
+        _ => Err(CoreError::LabelMismatch {
+            expected: "labels matching the model kind",
+        }),
+    }
+}
+
+/// Full gradient of the regularised objective `∇h(w)` over the dataset,
+/// flattened to the model's parameter layout.
+///
+/// # Errors
+/// Returns [`CoreError::LabelMismatch`] on mismatched labels.
+pub fn full_gradient(model: &Model, dataset: &DenseDataset, regularization: f64) -> Result<Vector> {
+    let n = dataset.num_samples();
+    let mut grad = Vector::zeros(model.num_parameters());
+    for i in 0..n {
+        let g = sample_gradient(model, dataset, i)?;
+        grad.axpy(1.0 / n as f64, &g)?;
+    }
+    grad.axpy(regularization, &model.flatten())?;
+    Ok(grad)
+}
+
+/// Hessian of the regularised objective `∇²h(w)` over the dataset, in the
+/// flattened parameter layout (an `m x m` matrix for linear / binary models
+/// and an `mq x mq` block matrix for multinomial models).
+///
+/// # Errors
+/// Returns [`CoreError::LabelMismatch`] on mismatched labels.
+pub fn full_hessian(model: &Model, dataset: &DenseDataset, regularization: f64) -> Result<Matrix> {
+    let n = dataset.num_samples();
+    let m = model.num_features();
+    match (model.kind(), &dataset.labels) {
+        (ModelKind::Linear, Labels::Continuous(_)) => {
+            // ∇² = (2/n) Σ x xᵀ + λ I
+            let mut h = dataset.x.gram();
+            h.scale_mut(2.0 / n as f64);
+            h.add_diagonal_mut(regularization)?;
+            Ok(h)
+        }
+        (ModelKind::BinaryLogistic, Labels::Binary(y)) => {
+            // ∇² = (1/n) Σ σ'(margin) x xᵀ + λ I  with σ' = σ(z)(1-σ(z)).
+            let mut weights = Vec::with_capacity(n);
+            for i in 0..n {
+                let margin = y[i] * model.decision_value(dataset.x.row(i));
+                let s = 1.0 / (1.0 + (-margin).exp());
+                weights.push(s * (1.0 - s) / n as f64);
+            }
+            let mut h = dataset.x.weighted_gram(Some(&weights));
+            h.add_diagonal_mut(regularization)?;
+            Ok(h)
+        }
+        (ModelKind::MultinomialLogistic { num_classes }, Labels::Multiclass { num_classes: q, .. })
+            if num_classes == *q =>
+        {
+            // Block (k,l) = (1/n) Σ_i (σ_k δ_kl − σ_k σ_l) x_i x_iᵀ + λ I δ_kl.
+            let dim = m * num_classes;
+            let mut h = Matrix::zeros(dim, dim);
+            for i in 0..n {
+                let x = dataset.x.row(i);
+                let probs = softmax(&model.logits(x));
+                for k in 0..num_classes {
+                    for l in 0..num_classes {
+                        let coeff = if k == l {
+                            probs[k] * (1.0 - probs[k])
+                        } else {
+                            -probs[k] * probs[l]
+                        } / n as f64;
+                        if coeff == 0.0 {
+                            continue;
+                        }
+                        for a in 0..m {
+                            let va = coeff * x[a];
+                            if va == 0.0 {
+                                continue;
+                            }
+                            for b in 0..m {
+                                h[(k * m + a, l * m + b)] += va * x[b];
+                            }
+                        }
+                    }
+                }
+            }
+            h.add_diagonal_mut(regularization)?;
+            Ok(h)
+        }
+        _ => Err(CoreError::LabelMismatch {
+            expected: "labels matching the model kind",
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use priu_data::synthetic::classification::{
+        generate_binary_classification, generate_multiclass_classification, ClassificationConfig,
+    };
+    use priu_data::synthetic::regression::{generate_regression, RegressionConfig};
+
+    fn fd_gradient(model: &Model, dataset: &DenseDataset, regularization: f64) -> Vector {
+        let flat = model.flatten();
+        let eps = 1e-6;
+        let to_model = |v: &Vector| {
+            let weights = v.split(model.weights().len()).unwrap();
+            Model::new(model.kind(), weights).unwrap()
+        };
+        Vector::from_fn(flat.len(), |j| {
+            let mut plus = flat.clone();
+            plus[j] += eps;
+            let mut minus = flat.clone();
+            minus[j] -= eps;
+            let fp = objective_value(&to_model(&plus), dataset, regularization).unwrap();
+            let fm = objective_value(&to_model(&minus), dataset, regularization).unwrap();
+            (fp - fm) / (2.0 * eps)
+        })
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let s = softmax(&Vector::from_vec(vec![1000.0, 1001.0, 999.0]));
+        assert!((s.sum() - 1.0).abs() < 1e-12);
+        assert!(s.iter().all(|&p| p.is_finite() && p >= 0.0));
+        assert!(s[1] > s[0] && s[0] > s[2]);
+    }
+
+    #[test]
+    fn linear_gradient_matches_finite_differences() {
+        let data = generate_regression(&RegressionConfig {
+            num_samples: 20,
+            num_features: 4,
+            seed: 1,
+            ..Default::default()
+        });
+        let mut model = Model::zeros(ModelKind::Linear, 4);
+        model.weights_mut()[0] = Vector::from_vec(vec![0.3, -0.2, 0.1, 0.5]);
+        let g = full_gradient(&model, &data, 0.1).unwrap();
+        let fd = fd_gradient(&model, &data, 0.1);
+        assert!((&g - &fd).norm_inf() < 1e-5, "analytic {:?} vs fd {:?}", g, fd);
+    }
+
+    #[test]
+    fn binary_gradient_matches_finite_differences() {
+        let data = generate_binary_classification(&ClassificationConfig {
+            num_samples: 25,
+            num_features: 3,
+            seed: 2,
+            ..Default::default()
+        });
+        let mut model = Model::zeros(ModelKind::BinaryLogistic, 3);
+        model.weights_mut()[0] = Vector::from_vec(vec![0.2, 0.4, -0.3]);
+        let g = full_gradient(&model, &data, 0.05).unwrap();
+        let fd = fd_gradient(&model, &data, 0.05);
+        assert!((&g - &fd).norm_inf() < 1e-5);
+    }
+
+    #[test]
+    fn multinomial_gradient_matches_finite_differences() {
+        let data = generate_multiclass_classification(&ClassificationConfig {
+            num_samples: 30,
+            num_features: 3,
+            num_classes: 4,
+            seed: 3,
+            ..Default::default()
+        });
+        let mut model = Model::zeros(ModelKind::MultinomialLogistic { num_classes: 4 }, 3);
+        for (k, w) in model.weights_mut().iter_mut().enumerate() {
+            *w = Vector::from_fn(3, |j| 0.1 * (k as f64 - j as f64));
+        }
+        let g = full_gradient(&model, &data, 0.01).unwrap();
+        let fd = fd_gradient(&model, &data, 0.01);
+        assert!((&g - &fd).norm_inf() < 1e-5);
+    }
+
+    #[test]
+    fn hessians_are_symmetric_and_regularised() {
+        let data = generate_binary_classification(&ClassificationConfig {
+            num_samples: 30,
+            num_features: 4,
+            seed: 4,
+            ..Default::default()
+        });
+        let model = Model::zeros(ModelKind::BinaryLogistic, 4);
+        let h = full_hessian(&model, &data, 0.5).unwrap();
+        assert!(h.asymmetry().unwrap() < 1e-10);
+        // With w = 0, σ' = 1/4, so diagonal ≥ λ.
+        for i in 0..4 {
+            assert!(h[(i, i)] >= 0.5);
+        }
+
+        let reg_data = generate_regression(&RegressionConfig {
+            num_samples: 10,
+            num_features: 3,
+            seed: 5,
+            ..Default::default()
+        });
+        let lin = Model::zeros(ModelKind::Linear, 3);
+        let h = full_hessian(&lin, &reg_data, 0.2).unwrap();
+        assert!(h.asymmetry().unwrap() < 1e-10);
+
+        let mc_data = generate_multiclass_classification(&ClassificationConfig {
+            num_samples: 15,
+            num_features: 2,
+            num_classes: 3,
+            seed: 6,
+            ..Default::default()
+        });
+        let mc = Model::zeros(ModelKind::MultinomialLogistic { num_classes: 3 }, 2);
+        let h = full_hessian(&mc, &mc_data, 0.1).unwrap();
+        assert_eq!(h.shape(), (6, 6));
+        assert!(h.asymmetry().unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn label_mismatch_is_reported() {
+        let data = generate_regression(&RegressionConfig {
+            num_samples: 5,
+            num_features: 2,
+            seed: 7,
+            ..Default::default()
+        });
+        let model = Model::zeros(ModelKind::BinaryLogistic, 2);
+        assert!(matches!(
+            objective_value(&model, &data, 0.1),
+            Err(CoreError::LabelMismatch { .. })
+        ));
+        assert!(matches!(
+            full_gradient(&model, &data, 0.1),
+            Err(CoreError::LabelMismatch { .. })
+        ));
+        assert!(matches!(
+            full_hessian(&model, &data, 0.1),
+            Err(CoreError::LabelMismatch { .. })
+        ));
+        assert!(matches!(
+            sample_gradient(&model, &data, 99),
+            Err(CoreError::InvalidRemoval { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_dataset_has_zero_objective() {
+        let data = DenseDataset::new(
+            Matrix::zeros(0, 2),
+            Labels::Continuous(Vector::zeros(0)),
+        );
+        let model = Model::zeros(ModelKind::Linear, 2);
+        assert_eq!(objective_value(&model, &data, 0.3).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Reference implementation built directly on provenance-annotated matrices.
+//!
+//! This module is the executable counterpart of §4.1: the gradient-descent
+//! update rule for linear regression is assembled as a provenance-annotated
+//! expression (`Σ p_i² ∗ x_i x_iᵀ`, `Σ p_i² ∗ x_i y_i`), deletions are
+//! propagated by *zeroing out* tokens through a [`Valuation`], and the model
+//! is obtained by iterating the specialised expression. It is exponentially
+//! more expensive than PrIU's cached-contribution path and exists to (a)
+//! demonstrate the semantics and (b) give the test-suite an independent
+//! oracle: specialising the annotated expression must agree exactly with
+//! retraining on the surviving samples, and PrIU must agree with both.
+
+use priu_data::dataset::DenseDataset;
+use priu_linalg::{Matrix, Vector};
+use priu_provenance::{AnnotatedMatrix, AnnotatedVector, Polynomial, Token, TokenRegistry, Valuation};
+
+use crate::error::{CoreError, Result};
+use crate::model::{Model, ModelKind};
+
+/// A provenance-annotated full-batch gradient-descent "trainer" for linear
+/// regression on small datasets.
+#[derive(Debug, Clone)]
+pub struct AnnotatedLinearGd {
+    gram_expr: AnnotatedMatrix,
+    moment_expr: AnnotatedVector,
+    tokens: Vec<Token>,
+    learning_rate: f64,
+    regularization: f64,
+    num_iterations: usize,
+}
+
+impl AnnotatedLinearGd {
+    /// Builds the annotated expressions, allocating one provenance token per
+    /// training sample (`p_i`), and annotating each sample's contribution to
+    /// the update rule with `p_i²` exactly as in Eq. 7.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::LabelMismatch`] for non-regression datasets.
+    pub fn build(
+        dataset: &DenseDataset,
+        learning_rate: f64,
+        regularization: f64,
+        num_iterations: usize,
+    ) -> Result<Self> {
+        let y = dataset.labels.as_continuous().ok_or(CoreError::LabelMismatch {
+            expected: "continuous labels for the annotated reference trainer",
+        })?;
+        let n = dataset.num_samples();
+        let m = dataset.num_features();
+        let mut registry = TokenRegistry::new();
+        let tokens = registry.register_samples(n);
+
+        let mut gram_expr = AnnotatedMatrix::zeros(m, m);
+        let mut moment_expr = AnnotatedVector::zeros(m);
+        for i in 0..n {
+            let xi = dataset.x.row_vector(i);
+            let annotation = Polynomial::token_power(tokens[i], 2);
+            let outer = Matrix::outer(&xi, &xi);
+            gram_expr = gram_expr.add(&AnnotatedMatrix::annotated(annotation.clone(), outer));
+            moment_expr =
+                moment_expr.add(&AnnotatedVector::annotated(annotation, xi.scaled(y[i])));
+        }
+
+        Ok(Self {
+            gram_expr,
+            moment_expr,
+            tokens,
+            learning_rate,
+            regularization,
+            num_iterations,
+        })
+    }
+
+    /// The provenance tokens, indexed by sample.
+    pub fn tokens(&self) -> &[Token] {
+        &self.tokens
+    }
+
+    /// The annotated Gram expression `Σ p_i² ∗ x_i x_iᵀ`.
+    pub fn gram_expression(&self) -> &AnnotatedMatrix {
+        &self.gram_expr
+    }
+
+    /// Specialises the annotated expressions under a valuation and iterates
+    /// the GD recursion over the surviving samples.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::InvalidRemoval`] if the valuation deletes every
+    /// sample.
+    pub fn model_for_valuation(&self, valuation: &Valuation) -> Result<Model> {
+        let surviving = self
+            .tokens
+            .iter()
+            .filter(|&&t| !valuation.is_deleted(t))
+            .count();
+        if surviving == 0 {
+            return Err(CoreError::InvalidRemoval {
+                index: self.tokens.len(),
+                num_samples: self.tokens.len(),
+            });
+        }
+        // Deletion propagation: zero out the removed tokens.
+        let gram = self.gram_expr.specialize(valuation);
+        let moment = self.moment_expr.specialize(valuation);
+        let m = moment.len();
+        let n_u = surviving as f64;
+        let eta = self.learning_rate;
+        let lambda = self.regularization;
+
+        let mut w = Vector::zeros(m);
+        for _ in 0..self.num_iterations {
+            let gw = gram.matvec(&w)?;
+            let mut next = w.scaled(1.0 - eta * lambda);
+            next.axpy(-2.0 * eta / n_u, &gw)?;
+            next.axpy(2.0 * eta / n_u, &moment)?;
+            w = next;
+        }
+        Model::new(ModelKind::Linear, vec![w])
+    }
+
+    /// Convenience wrapper: deletes the given sample indices and returns the
+    /// updated model.
+    ///
+    /// # Errors
+    /// As [`Self::model_for_valuation`], plus [`CoreError::InvalidRemoval`]
+    /// for out-of-range indices.
+    pub fn update_after_deletion(&self, removed: &[usize]) -> Result<Model> {
+        let mut valuation = Valuation::all_present();
+        for &i in removed {
+            let token = *self
+                .tokens
+                .get(i)
+                .ok_or(CoreError::InvalidRemoval {
+                    index: i,
+                    num_samples: self.tokens.len(),
+                })?;
+            valuation.delete(token);
+        }
+        self.model_for_valuation(&valuation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use priu_data::dataset::Labels;
+    use priu_data::synthetic::regression::{generate_regression, RegressionConfig};
+
+    fn tiny() -> DenseDataset {
+        generate_regression(&RegressionConfig {
+            num_samples: 12,
+            num_features: 3,
+            noise_std: 0.01,
+            seed: 77,
+            ..Default::default()
+        })
+    }
+
+    /// Plain GD over an explicit subset of the samples — the oracle.
+    fn gd_on_subset(
+        dataset: &DenseDataset,
+        keep: &[usize],
+        eta: f64,
+        lambda: f64,
+        iterations: usize,
+    ) -> Vector {
+        let y = dataset.labels.as_continuous().unwrap();
+        let m = dataset.num_features();
+        let n_u = keep.len() as f64;
+        let mut w = Vector::zeros(m);
+        for _ in 0..iterations {
+            let mut grad = Vector::zeros(m);
+            for &i in keep {
+                let row = dataset.x.row(i);
+                let residual: f64 =
+                    row.iter().zip(w.iter()).map(|(a, b)| a * b).sum::<f64>() - y[i];
+                for (j, &v) in row.iter().enumerate() {
+                    grad[j] += v * residual;
+                }
+            }
+            w.scale_mut(1.0 - eta * lambda);
+            w.axpy(-2.0 * eta / n_u, &grad).unwrap();
+        }
+        w
+    }
+
+    #[test]
+    fn no_deletion_matches_plain_gd() {
+        let data = tiny();
+        let reference = AnnotatedLinearGd::build(&data, 0.05, 0.01, 60).unwrap();
+        let model = reference.update_after_deletion(&[]).unwrap();
+        let keep: Vec<usize> = (0..data.num_samples()).collect();
+        let oracle = gd_on_subset(&data, &keep, 0.05, 0.01, 60);
+        assert!((&model.flatten() - &oracle).norm_inf() < 1e-10);
+        assert_eq!(reference.tokens().len(), 12);
+        assert_eq!(reference.gram_expression().num_terms(), 12);
+    }
+
+    #[test]
+    fn zeroing_out_tokens_equals_retraining_on_survivors() {
+        let data = tiny();
+        let reference = AnnotatedLinearGd::build(&data, 0.05, 0.01, 60).unwrap();
+        let removed = vec![1, 4, 9];
+        let model = reference.update_after_deletion(&removed).unwrap();
+        let keep: Vec<usize> = (0..data.num_samples())
+            .filter(|i| !removed.contains(i))
+            .collect();
+        let oracle = gd_on_subset(&data, &keep, 0.05, 0.01, 60);
+        assert!((&model.flatten() - &oracle).norm_inf() < 1e-10);
+    }
+
+    #[test]
+    fn valuations_and_index_wrappers_agree() {
+        let data = tiny();
+        let reference = AnnotatedLinearGd::build(&data, 0.05, 0.01, 30).unwrap();
+        let mut valuation = Valuation::all_present();
+        valuation.delete(reference.tokens()[3]);
+        let via_valuation = reference.model_for_valuation(&valuation).unwrap();
+        let via_indices = reference.update_after_deletion(&[3]).unwrap();
+        assert_eq!(via_valuation, via_indices);
+    }
+
+    #[test]
+    fn deleting_everything_or_out_of_range_is_rejected() {
+        let data = tiny();
+        let reference = AnnotatedLinearGd::build(&data, 0.05, 0.01, 10).unwrap();
+        let everything: Vec<usize> = (0..data.num_samples()).collect();
+        assert!(reference.update_after_deletion(&everything).is_err());
+        assert!(reference.update_after_deletion(&[999]).is_err());
+    }
+
+    #[test]
+    fn wrong_labels_are_rejected() {
+        let bad = DenseDataset::new(
+            Matrix::zeros(4, 2),
+            Labels::Binary(Vector::from_fn(4, |i| if i % 2 == 0 { 1.0 } else { -1.0 })),
+        );
+        assert!(AnnotatedLinearGd::build(&bad, 0.1, 0.1, 5).is_err());
+    }
+}

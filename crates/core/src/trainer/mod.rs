@@ -1,0 +1,15 @@
+//! Training with provenance capture.
+//!
+//! The trainers run the *exact* mb-SGD update rules (Eq. 5/6) to produce the
+//! initial model `M_init`, and simultaneously capture the per-iteration
+//! provenance intermediates PrIU needs for later incremental updates:
+//! Gram-form sample contributions, moment vectors, linearisation
+//! coefficients, and (optionally) the PrIU-opt eigendecompositions.
+
+pub mod linear;
+pub mod logistic;
+pub mod sparse;
+
+pub use linear::{train_linear, TrainedLinear};
+pub use logistic::{train_binary_logistic, train_multinomial_logistic, TrainedLogistic};
+pub use sparse::{train_sparse_binary_logistic, SparseLogisticProvenance, TrainedSparseLogistic};

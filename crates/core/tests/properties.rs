@@ -1,0 +1,152 @@
+//! Property-based tests of the core invariants: for *arbitrary* removal
+//! sets, PrIU's incrementally updated model must coincide (linear
+//! regression) or near-coincide (logistic regression, Theorem 5) with the
+//! model retrained on the surviving samples, and the interpolation error
+//! must respect the Theorem 4 bound.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use priu_core::baseline::retrain::{retrain_binary_logistic, retrain_linear};
+use priu_core::interpolation::PiecewiseLinearSigmoid;
+use priu_core::metrics::compare_models;
+use priu_core::trainer::linear::{train_linear, TrainedLinear};
+use priu_core::trainer::logistic::{train_binary_logistic, TrainedLogistic};
+use priu_core::update::priu_linear::priu_update_linear;
+use priu_core::update::priu_logistic::priu_update_logistic;
+use priu_core::TrainerConfig;
+use priu_data::catalog::Hyperparameters;
+use priu_data::dataset::DenseDataset;
+use priu_data::synthetic::classification::{generate_binary_classification, ClassificationConfig};
+use priu_data::synthetic::regression::{generate_regression, RegressionConfig};
+
+const N: usize = 160;
+
+fn linear_fixture() -> &'static (DenseDataset, TrainedLinear) {
+    static FIXTURE: OnceLock<(DenseDataset, TrainedLinear)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let data = generate_regression(&RegressionConfig {
+            num_samples: N,
+            num_features: 5,
+            noise_std: 0.1,
+            seed: 1001,
+            ..Default::default()
+        });
+        let config = TrainerConfig::from_hyper(Hyperparameters {
+            batch_size: 32,
+            num_iterations: 120,
+            learning_rate: 0.05,
+            regularization: 0.05,
+        })
+        .with_seed(4)
+        .with_opt_capture(false);
+        let trained = train_linear(&data, &config).expect("training fixture");
+        (data, trained)
+    })
+}
+
+fn logistic_fixture() -> &'static (DenseDataset, TrainedLogistic) {
+    static FIXTURE: OnceLock<(DenseDataset, TrainedLogistic)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let data = generate_binary_classification(&ClassificationConfig {
+            num_samples: N,
+            num_features: 6,
+            separation: 3.0,
+            label_noise: 0.5,
+            seed: 1002,
+            ..Default::default()
+        });
+        let config = TrainerConfig::from_hyper(Hyperparameters {
+            batch_size: 32,
+            num_iterations: 120,
+            learning_rate: 0.3,
+            regularization: 0.02,
+        })
+        .with_seed(5)
+        .with_opt_capture(false);
+        let trained = train_binary_logistic(&data, &config).expect("training fixture");
+        (data, trained)
+    })
+}
+
+/// Strategy: an arbitrary removal set of up to a quarter of the samples
+/// (possibly with duplicates and in arbitrary order, which the API must
+/// normalise).
+fn removal_set() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0usize..N, 0..(N / 4))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn priu_linear_matches_retraining_for_arbitrary_removals(removed in removal_set()) {
+        let (data, trained) = linear_fixture();
+        let updated = priu_update_linear(data, &trained.provenance, &removed).unwrap();
+        let retrained = retrain_linear(data, &trained.provenance, &removed).unwrap();
+        // For linear regression PrIU replays the exact update rule, so the
+        // two results agree to floating-point accuracy.
+        let cmp = compare_models(&retrained, &updated).unwrap();
+        prop_assert!(cmp.l2_distance < 1e-7, "distance {}", cmp.l2_distance);
+        prop_assert!(updated.is_finite());
+    }
+
+    #[test]
+    fn priu_logistic_stays_within_theorem5_distance_of_retraining(removed in removal_set()) {
+        let (data, trained) = logistic_fixture();
+        let updated = priu_update_logistic(data, &trained.provenance, &removed).unwrap();
+        let retrained = retrain_binary_logistic(data, &trained.provenance, &removed).unwrap();
+        let cmp = compare_models(&retrained, &updated).unwrap();
+        // Theorem 5: the gap grows with the removed fraction; for at most a
+        // quarter of the samples the direction must stay essentially intact.
+        prop_assert!(cmp.cosine_similarity > 0.98, "similarity {}", cmp.cosine_similarity);
+        prop_assert!(updated.is_finite());
+    }
+
+    #[test]
+    fn removing_nothing_is_a_fixed_point(seed in 0u64..1000) {
+        // Independent of any seed-derived argument, the empty removal leaves
+        // the linear model unchanged and the logistic model within the
+        // linearisation tolerance.
+        let _ = seed;
+        let (ldata, ltrained) = linear_fixture();
+        let lin = priu_update_linear(ldata, &ltrained.provenance, &[]).unwrap();
+        prop_assert!(compare_models(&ltrained.model, &lin).unwrap().l2_distance < 1e-9);
+
+        let (bdata, btrained) = logistic_fixture();
+        let log = priu_update_logistic(bdata, &btrained.provenance, &[]).unwrap();
+        prop_assert!(compare_models(&btrained.model, &log).unwrap().l2_distance < 1e-6);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn interpolation_error_respects_the_theorem4_bound(x in -25.0f64..25.0) {
+        let interp = PiecewiseLinearSigmoid::new(20.0, 4096);
+        let exact = PiecewiseLinearSigmoid::exact(x);
+        let approx = interp.evaluate(x);
+        if x.abs() <= 20.0 {
+            prop_assert!((exact - approx).abs() <= interp.error_bound() * 1.01);
+        } else {
+            // Outside the range the interpolant is clamped to f(±20), which
+            // is within 1e-8 of the true tail value.
+            prop_assert!((exact - approx).abs() < 1e-8);
+        }
+        // Coefficients always reproduce the evaluation.
+        let seg = interp.coefficients(x);
+        prop_assert!((seg.evaluate(x) - approx).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sigmoid_and_f_coefficients_are_complementary(x in -19.0f64..19.0) {
+        let interp = PiecewiseLinearSigmoid::new(20.0, 2048);
+        let f = interp.coefficients(x);
+        let s = interp.sigmoid_coefficients(x);
+        prop_assert!((f.evaluate(x) + s.evaluate(x) - 1.0).abs() < 1e-12);
+        prop_assert!(f.slope <= 0.0);
+        prop_assert!(s.slope >= 0.0);
+    }
+}

@@ -1,0 +1,365 @@
+//! Dataset containers: dense and sparse feature matrices with typed labels.
+
+use priu_linalg::{CsrMatrix, Matrix, Vector};
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+use crate::rng::seeded_rng;
+
+/// The learning task a dataset is meant for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// Continuous labels, linear regression (Eq. 2).
+    Regression,
+    /// Labels in `{-1, +1}`, binary logistic regression (Eq. 3).
+    BinaryClassification,
+    /// Labels in `{0, .., q-1}`, multinomial logistic regression (Eq. 4).
+    MulticlassClassification {
+        /// Number of classes `q`.
+        num_classes: usize,
+    },
+}
+
+/// Labels attached to a dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Labels {
+    /// Continuous targets for linear regression.
+    Continuous(Vector),
+    /// Binary targets encoded as `-1.0` / `+1.0`.
+    Binary(Vector),
+    /// Multiclass targets encoded as class indices.
+    Multiclass {
+        /// Class index of each sample.
+        classes: Vec<u32>,
+        /// Number of classes `q`.
+        num_classes: usize,
+    },
+}
+
+impl Labels {
+    /// Number of labelled samples.
+    pub fn len(&self) -> usize {
+        match self {
+            Labels::Continuous(v) | Labels::Binary(v) => v.len(),
+            Labels::Multiclass { classes, .. } => classes.len(),
+        }
+    }
+
+    /// Whether there are no labels.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The task kind implied by the label type.
+    pub fn task(&self) -> TaskKind {
+        match self {
+            Labels::Continuous(_) => TaskKind::Regression,
+            Labels::Binary(_) => TaskKind::BinaryClassification,
+            Labels::Multiclass { num_classes, .. } => TaskKind::MulticlassClassification {
+                num_classes: *num_classes,
+            },
+        }
+    }
+
+    /// Selects a subset of labels by row index (order preserved).
+    ///
+    /// # Panics
+    /// Panics if an index is out of bounds.
+    pub fn select(&self, indices: &[usize]) -> Labels {
+        match self {
+            Labels::Continuous(v) => {
+                Labels::Continuous(Vector::from_vec(indices.iter().map(|&i| v[i]).collect()))
+            }
+            Labels::Binary(v) => {
+                Labels::Binary(Vector::from_vec(indices.iter().map(|&i| v[i]).collect()))
+            }
+            Labels::Multiclass {
+                classes,
+                num_classes,
+            } => Labels::Multiclass {
+                classes: indices.iter().map(|&i| classes[i]).collect(),
+                num_classes: *num_classes,
+            },
+        }
+    }
+
+    /// The continuous targets, if this is a regression label set.
+    pub fn as_continuous(&self) -> Option<&Vector> {
+        match self {
+            Labels::Continuous(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The `±1` targets, if this is a binary label set.
+    pub fn as_binary(&self) -> Option<&Vector> {
+        match self {
+            Labels::Binary(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The class indices and class count, if this is a multiclass label set.
+    pub fn as_multiclass(&self) -> Option<(&[u32], usize)> {
+        match self {
+            Labels::Multiclass {
+                classes,
+                num_classes,
+            } => Some((classes, *num_classes)),
+            _ => None,
+        }
+    }
+}
+
+/// A dense dataset: an `n x m` feature matrix plus labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseDataset {
+    /// Feature matrix (rows are samples).
+    pub x: Matrix,
+    /// Labels (one per row of `x`).
+    pub labels: Labels,
+}
+
+/// A sparse dataset: a CSR feature matrix plus labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseDataset {
+    /// Sparse feature matrix (rows are samples).
+    pub x: CsrMatrix,
+    /// Labels (one per row of `x`).
+    pub labels: Labels,
+}
+
+/// A train/validation split of a dense dataset (the paper uses 90%/10%).
+#[derive(Debug, Clone)]
+pub struct TrainValidationSplit<D> {
+    /// Training portion.
+    pub train: D,
+    /// Validation portion.
+    pub validation: D,
+}
+
+impl DenseDataset {
+    /// Creates a dataset, checking that features and labels agree in length.
+    ///
+    /// # Panics
+    /// Panics if `x.nrows() != labels.len()`.
+    pub fn new(x: Matrix, labels: Labels) -> Self {
+        assert_eq!(
+            x.nrows(),
+            labels.len(),
+            "feature rows ({}) and labels ({}) must match",
+            x.nrows(),
+            labels.len()
+        );
+        Self { x, labels }
+    }
+
+    /// Number of samples.
+    pub fn num_samples(&self) -> usize {
+        self.x.nrows()
+    }
+
+    /// Number of features.
+    pub fn num_features(&self) -> usize {
+        self.x.ncols()
+    }
+
+    /// The task kind implied by the labels.
+    pub fn task(&self) -> TaskKind {
+        self.labels.task()
+    }
+
+    /// Number of model parameters for this task (features × classes for the
+    /// multinomial case, matching the paper's Q7 discussion).
+    pub fn num_parameters(&self) -> usize {
+        match self.task() {
+            TaskKind::Regression | TaskKind::BinaryClassification => self.num_features(),
+            TaskKind::MulticlassClassification { num_classes } => {
+                self.num_features() * num_classes
+            }
+        }
+    }
+
+    /// Selects a subset of samples by index (order preserved).
+    pub fn select(&self, indices: &[usize]) -> DenseDataset {
+        DenseDataset {
+            x: self.x.select_rows(indices),
+            labels: self.labels.select(indices),
+        }
+    }
+
+    /// Splits into train/validation with the given training fraction, after a
+    /// seeded shuffle (the paper uses 90% / 10%).
+    ///
+    /// # Panics
+    /// Panics if `train_fraction` is not in `(0, 1]`.
+    pub fn split(&self, train_fraction: f64, seed: u64) -> TrainValidationSplit<DenseDataset> {
+        assert!(
+            train_fraction > 0.0 && train_fraction <= 1.0,
+            "train_fraction must be in (0, 1], got {train_fraction}"
+        );
+        let n = self.num_samples();
+        let mut indices: Vec<usize> = (0..n).collect();
+        let mut rng = seeded_rng(seed, 0xDA7A);
+        indices.shuffle(&mut rng);
+        let n_train = ((n as f64) * train_fraction).round().max(1.0) as usize;
+        let n_train = n_train.min(n);
+        let train_idx = &indices[..n_train];
+        let val_idx = &indices[n_train..];
+        TrainValidationSplit {
+            train: self.select(train_idx),
+            validation: if val_idx.is_empty() {
+                self.select(&[]) // empty validation set
+            } else {
+                self.select(val_idx)
+            },
+        }
+    }
+
+    /// Concatenates `copies` copies of this dataset (the paper's "extended"
+    /// datasets for the repeated-deletion scenario are built this way).
+    pub fn repeat(&self, copies: usize) -> DenseDataset {
+        if copies <= 1 {
+            return self.clone();
+        }
+        let indices: Vec<usize> = (0..copies).flat_map(|_| 0..self.num_samples()).collect();
+        self.select(&indices)
+    }
+}
+
+impl SparseDataset {
+    /// Creates a sparse dataset, checking length agreement.
+    ///
+    /// # Panics
+    /// Panics if `x.nrows() != labels.len()`.
+    pub fn new(x: CsrMatrix, labels: Labels) -> Self {
+        assert_eq!(
+            x.nrows(),
+            labels.len(),
+            "feature rows ({}) and labels ({}) must match",
+            x.nrows(),
+            labels.len()
+        );
+        Self { x, labels }
+    }
+
+    /// Number of samples.
+    pub fn num_samples(&self) -> usize {
+        self.x.nrows()
+    }
+
+    /// Number of features.
+    pub fn num_features(&self) -> usize {
+        self.x.ncols()
+    }
+
+    /// The task kind implied by the labels.
+    pub fn task(&self) -> TaskKind {
+        self.labels.task()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> DenseDataset {
+        let x = Matrix::from_fn(10, 3, |i, j| (i * 3 + j) as f64);
+        let y = Vector::from_fn(10, |i| i as f64);
+        DenseDataset::new(x, Labels::Continuous(y))
+    }
+
+    #[test]
+    fn accessors_and_task() {
+        let d = toy();
+        assert_eq!(d.num_samples(), 10);
+        assert_eq!(d.num_features(), 3);
+        assert_eq!(d.task(), TaskKind::Regression);
+        assert_eq!(d.num_parameters(), 3);
+        let mc = DenseDataset::new(
+            Matrix::zeros(4, 2),
+            Labels::Multiclass {
+                classes: vec![0, 1, 2, 1],
+                num_classes: 3,
+            },
+        );
+        assert_eq!(mc.num_parameters(), 6);
+        assert_eq!(
+            mc.task(),
+            TaskKind::MulticlassClassification { num_classes: 3 }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn mismatched_lengths_panic() {
+        DenseDataset::new(Matrix::zeros(3, 2), Labels::Continuous(Vector::zeros(4)));
+    }
+
+    #[test]
+    fn select_preserves_order_and_pairing() {
+        let d = toy();
+        let s = d.select(&[7, 2, 2]);
+        assert_eq!(s.num_samples(), 3);
+        assert_eq!(s.x.row(0)[0], 21.0);
+        assert_eq!(s.x.row(1)[0], 6.0);
+        assert_eq!(s.labels.as_continuous().unwrap().as_slice(), &[7.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn split_is_deterministic_and_partitions() {
+        let d = toy();
+        let s1 = d.split(0.8, 99);
+        let s2 = d.split(0.8, 99);
+        assert_eq!(s1.train.x, s2.train.x);
+        assert_eq!(s1.train.num_samples(), 8);
+        assert_eq!(s1.validation.num_samples(), 2);
+        let s3 = d.split(0.8, 100);
+        // Different seed very likely shuffles differently.
+        assert_ne!(
+            s1.train.labels.as_continuous().unwrap().as_slice(),
+            s3.train.labels.as_continuous().unwrap().as_slice()
+        );
+        // Full-train split keeps everything.
+        let full = d.split(1.0, 1);
+        assert_eq!(full.train.num_samples(), 10);
+        assert_eq!(full.validation.num_samples(), 0);
+    }
+
+    #[test]
+    fn repeat_concatenates_copies() {
+        let d = toy();
+        let r = d.repeat(3);
+        assert_eq!(r.num_samples(), 30);
+        assert_eq!(r.x.row(10), d.x.row(0));
+        assert_eq!(d.repeat(1).num_samples(), 10);
+    }
+
+    #[test]
+    fn labels_select_and_casts() {
+        let bin = Labels::Binary(Vector::from_vec(vec![1.0, -1.0, 1.0]));
+        assert_eq!(bin.task(), TaskKind::BinaryClassification);
+        assert_eq!(bin.select(&[2, 0]).as_binary().unwrap().as_slice(), &[1.0, 1.0]);
+        assert!(bin.as_continuous().is_none());
+        assert!(bin.as_multiclass().is_none());
+        let mc = Labels::Multiclass {
+            classes: vec![0, 2, 1],
+            num_classes: 3,
+        };
+        assert_eq!(mc.select(&[1]).as_multiclass().unwrap().0, &[2]);
+        assert!(!mc.is_empty());
+        assert_eq!(mc.len(), 3);
+    }
+
+    #[test]
+    fn sparse_dataset_accessors() {
+        let dense = Matrix::from_vec(2, 3, vec![0.0, 1.0, 0.0, 2.0, 0.0, 0.0]).unwrap();
+        let d = SparseDataset::new(
+            CsrMatrix::from_dense(&dense),
+            Labels::Binary(Vector::from_vec(vec![1.0, -1.0])),
+        );
+        assert_eq!(d.num_samples(), 2);
+        assert_eq!(d.num_features(), 3);
+        assert_eq!(d.task(), TaskKind::BinaryClassification);
+    }
+}

@@ -1,0 +1,205 @@
+//! Deletion-set construction: dirty-sample injection for the cleaning
+//! scenario (§6.2, first experiment set) and random subset selection for the
+//! repeated-deletion / interpretability scenario (second experiment set).
+
+use priu_linalg::{Matrix, Vector};
+use rand::seq::index::sample;
+
+use crate::dataset::{DenseDataset, Labels};
+use crate::rng::seeded_rng;
+
+/// The result of injecting dirty samples into a clean training set.
+#[derive(Debug, Clone)]
+pub struct DirtyInjection {
+    /// The corrupted dataset `T_dirty` the initial model is trained on.
+    pub dirty_dataset: DenseDataset,
+    /// Indices of the corrupted samples — the removal set `R` of the
+    /// incremental-update phase.
+    pub dirty_indices: Vec<usize>,
+}
+
+/// Injects dirty samples into a dataset by rescaling, as in the paper's
+/// cleaning experiments: a fraction `deletion_rate` of the training samples
+/// is selected and "modified to incorrect values by rescaling" — the selected
+/// samples' feature vectors are multiplied by `rescale_factor` while their
+/// labels are left untouched, which makes them genuinely inconsistent with
+/// the ground truth (rescaling features *and* labels of a linear model would
+/// leave the sample on the regression surface).
+///
+/// Returns the corrupted dataset along with the indices of the corrupted
+/// samples (sorted ascending), which become the deletion set.
+///
+/// # Panics
+/// Panics if `deletion_rate` is not in `[0, 1]`.
+pub fn inject_dirty_samples(
+    clean: &DenseDataset,
+    deletion_rate: f64,
+    rescale_factor: f64,
+    seed: u64,
+) -> DirtyInjection {
+    assert!(
+        (0.0..=1.0).contains(&deletion_rate),
+        "deletion_rate must be in [0, 1], got {deletion_rate}"
+    );
+    let n = clean.num_samples();
+    let num_dirty = ((n as f64) * deletion_rate).round() as usize;
+    let num_dirty = num_dirty.min(n);
+    let mut rng = seeded_rng(seed, 0xD1B7);
+    let mut dirty_indices = if num_dirty == 0 {
+        Vec::new()
+    } else {
+        sample(&mut rng, n, num_dirty).into_vec()
+    };
+    dirty_indices.sort_unstable();
+
+    let mut x = clean.x.clone();
+    for &i in &dirty_indices {
+        for v in x.row_mut(i) {
+            *v *= rescale_factor;
+        }
+    }
+    DirtyInjection {
+        dirty_dataset: DenseDataset::new(x, clean.labels.clone()),
+        dirty_indices,
+    }
+}
+
+/// Draws `count` independent random subsets of `[0, n)` each containing
+/// `rate · n` samples (rounded, at least 1 if `rate > 0`), as used by the
+/// repeated-deletion experiments (Figure 4: ten different subsets at 0.1%).
+///
+/// # Panics
+/// Panics if `rate` is not in `[0, 1]` or `n == 0`.
+pub fn random_subsets(n: usize, rate: f64, count: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(n > 0, "cannot draw subsets from an empty index range");
+    assert!(
+        (0.0..=1.0).contains(&rate),
+        "rate must be in [0, 1], got {rate}"
+    );
+    let size = if rate == 0.0 {
+        0
+    } else {
+        (((n as f64) * rate).round() as usize).clamp(1, n)
+    };
+    (0..count)
+        .map(|k| {
+            if size == 0 {
+                return Vec::new();
+            }
+            let mut rng = seeded_rng(seed, 0x5B5E7 ^ k as u64);
+            let mut indices = sample(&mut rng, n, size).into_vec();
+            indices.sort_unstable();
+            indices
+        })
+        .collect()
+}
+
+/// Helper: the rows of the removed samples as a dense matrix `ΔX`, plus their
+/// labels (`ΔY`), in removal-set order. Used by PrIU-opt and the closed-form
+/// baseline, which work with `ΔXᵀΔX` and `ΔXᵀΔY` directly.
+pub fn removed_block(dataset: &DenseDataset, removed: &[usize]) -> (Matrix, Vector) {
+    let delta_x = dataset.x.select_rows(removed);
+    let delta_y = match &dataset.labels {
+        Labels::Continuous(y) | Labels::Binary(y) => {
+            Vector::from_vec(removed.iter().map(|&i| y[i]).collect())
+        }
+        Labels::Multiclass { classes, .. } => {
+            Vector::from_vec(removed.iter().map(|&i| classes[i] as f64).collect())
+        }
+    };
+    (delta_x, delta_y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::regression::{generate_regression, RegressionConfig};
+
+    fn toy() -> DenseDataset {
+        generate_regression(&RegressionConfig {
+            num_samples: 100,
+            num_features: 4,
+            seed: 1,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn injection_marks_expected_fraction() {
+        let clean = toy();
+        let inj = inject_dirty_samples(&clean, 0.1, 100.0, 7);
+        assert_eq!(inj.dirty_indices.len(), 10);
+        assert_eq!(inj.dirty_dataset.num_samples(), 100);
+        // Dirty rows are rescaled, clean rows untouched.
+        let first_dirty = inj.dirty_indices[0];
+        for j in 0..4 {
+            assert!(
+                (inj.dirty_dataset.x[(first_dirty, j)] - 100.0 * clean.x[(first_dirty, j)]).abs()
+                    < 1e-9
+            );
+        }
+        let clean_row = (0..100).find(|i| !inj.dirty_indices.contains(i)).unwrap();
+        for j in 0..4 {
+            assert_eq!(inj.dirty_dataset.x[(clean_row, j)], clean.x[(clean_row, j)]);
+        }
+        // Labels are never touched: only the features are corrupted, which is
+        // what makes the dirty samples inconsistent with the ground truth.
+        assert_eq!(inj.dirty_dataset.labels, clean.labels);
+    }
+
+    #[test]
+    fn zero_rate_injects_nothing() {
+        let clean = toy();
+        let inj = inject_dirty_samples(&clean, 0.0, 100.0, 7);
+        assert!(inj.dirty_indices.is_empty());
+        assert_eq!(inj.dirty_dataset, clean);
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let clean = toy();
+        let a = inject_dirty_samples(&clean, 0.05, 10.0, 3);
+        let b = inject_dirty_samples(&clean, 0.05, 10.0, 3);
+        assert_eq!(a.dirty_indices, b.dirty_indices);
+        assert_eq!(a.dirty_dataset, b.dirty_dataset);
+        let c = inject_dirty_samples(&clean, 0.05, 10.0, 4);
+        assert_ne!(a.dirty_indices, c.dirty_indices);
+    }
+
+    #[test]
+    fn classification_labels_are_not_rescaled() {
+        let d = DenseDataset::new(
+            Matrix::from_fn(10, 2, |i, j| (i + j) as f64),
+            Labels::Binary(Vector::from_fn(10, |i| if i % 2 == 0 { 1.0 } else { -1.0 })),
+        );
+        let inj = inject_dirty_samples(&d, 0.3, 50.0, 1);
+        assert_eq!(inj.dirty_dataset.labels, d.labels);
+    }
+
+    #[test]
+    fn random_subsets_have_requested_size_and_differ() {
+        let subsets = random_subsets(1000, 0.01, 5, 42);
+        assert_eq!(subsets.len(), 5);
+        for s in &subsets {
+            assert_eq!(s.len(), 10);
+            assert!(s.windows(2).all(|w| w[0] < w[1]));
+            assert!(s.iter().all(|&i| i < 1000));
+        }
+        assert_ne!(subsets[0], subsets[1]);
+        // Deterministic.
+        assert_eq!(subsets, random_subsets(1000, 0.01, 5, 42));
+        // Zero rate gives empty subsets; tiny rates round up to one sample.
+        assert!(random_subsets(1000, 0.0, 2, 1).iter().all(Vec::is_empty));
+        assert_eq!(random_subsets(50, 0.001, 1, 1)[0].len(), 1);
+    }
+
+    #[test]
+    fn removed_block_extracts_rows_and_labels() {
+        let d = toy();
+        let removed = vec![3, 8];
+        let (dx, dy) = removed_block(&d, &removed);
+        assert_eq!(dx.shape(), (2, 4));
+        assert_eq!(dx.row(0), d.x.row(3));
+        assert_eq!(dy[1], d.labels.as_continuous().unwrap()[8]);
+    }
+}

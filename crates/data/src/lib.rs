@@ -1,0 +1,49 @@
+//! # priu-data
+//!
+//! Dataset substrate for the PrIU reproduction.
+//!
+//! The paper evaluates on six public datasets (UCI SGEMM, Covtype, HIGGS,
+//! RCV1, Kaggle Heartbeat, CIFAR-10). Those files are not available in this
+//! offline build, so this crate provides **seeded synthetic generators whose
+//! shape matches each dataset**: feature count, class count, dense/sparse
+//! layout and (scaled-down) sample count, with labels produced by a ground
+//! truth model plus noise so that training converges and validation accuracy
+//! is meaningful. The substitution is documented in `DESIGN.md` §3/§4.
+//!
+//! The crate also provides the experiment plumbing the evaluation needs:
+//!
+//! * [`dataset`] — dense and sparse dataset containers with train/validation
+//!   splits and row selection;
+//! * [`standardize`] — feature standardisation fitted on training data;
+//! * [`synthetic`] — the generators themselves;
+//! * [`dirty`] — dirty-sample injection by rescaling (the cleaning scenario
+//!   of §6.2) and random deletion-subset selection (the interpretability
+//!   scenario);
+//! * [`minibatch`] — deterministic mini-batch schedules shared by training,
+//!   retraining and incremental updates;
+//! * [`catalog`] — named dataset/hyperparameter configurations mirroring
+//!   Table 1 and Table 2 of the paper.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod catalog;
+pub mod dataset;
+pub mod dirty;
+pub mod minibatch;
+pub mod rng;
+pub mod standardize;
+pub mod synthetic;
+
+pub use catalog::{DatasetCatalog, DatasetSpec, Hyperparameters};
+pub use dataset::{DenseDataset, Labels, SparseDataset, TaskKind, TrainValidationSplit};
+pub use dirty::{inject_dirty_samples, random_subsets, DirtyInjection};
+pub use minibatch::BatchSchedule;
+
+/// Convenience prelude bringing the most commonly used types into scope.
+pub mod prelude {
+    pub use crate::catalog::{DatasetCatalog, DatasetSpec, Hyperparameters};
+    pub use crate::dataset::{DenseDataset, Labels, SparseDataset, TaskKind};
+    pub use crate::dirty::{inject_dirty_samples, random_subsets};
+    pub use crate::minibatch::BatchSchedule;
+}

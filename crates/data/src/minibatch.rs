@@ -1,0 +1,190 @@
+//! Deterministic mini-batch schedules.
+//!
+//! PrIU's correctness argument relies on the incremental update replaying the
+//! *same* mini-batch sequence `B^{(t)}` as the original training run, with
+//! removed samples excluded (Eq. 8/13/19). [`BatchSchedule`] therefore derives
+//! batch `t` purely from `(seed, t)`, so the training phase, the BaseL
+//! retraining baseline and the incremental update all observe identical batch
+//! composition without storing `τ · B` indices.
+
+use rand::seq::index::sample;
+use serde::{Deserialize, Serialize};
+
+use crate::rng::seeded_rng;
+
+/// A deterministic mini-batch schedule over `n` samples.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchSchedule {
+    num_samples: usize,
+    batch_size: usize,
+    num_iterations: usize,
+    seed: u64,
+}
+
+impl BatchSchedule {
+    /// Creates a schedule.
+    ///
+    /// # Panics
+    /// Panics if `num_samples == 0` or `batch_size == 0`.
+    pub fn new(num_samples: usize, batch_size: usize, num_iterations: usize, seed: u64) -> Self {
+        assert!(num_samples > 0, "a schedule needs at least one sample");
+        assert!(batch_size > 0, "a schedule needs a positive batch size");
+        Self {
+            num_samples,
+            batch_size: batch_size.min(num_samples),
+            num_iterations,
+            seed,
+        }
+    }
+
+    /// A full-gradient-descent schedule: every batch is the whole dataset.
+    pub fn full_batch(num_samples: usize, num_iterations: usize) -> Self {
+        Self::new(num_samples, num_samples, num_iterations, 0)
+    }
+
+    /// Number of samples the schedule draws from.
+    pub fn num_samples(&self) -> usize {
+        self.num_samples
+    }
+
+    /// Nominal batch size `B`.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Total number of iterations `τ`.
+    pub fn num_iterations(&self) -> usize {
+        self.num_iterations
+    }
+
+    /// The seed the schedule derives batches from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether every batch covers the entire dataset (plain GD).
+    pub fn is_full_batch(&self) -> bool {
+        self.batch_size == self.num_samples
+    }
+
+    /// The sample indices of mini-batch `t`, drawn without replacement.
+    /// Deterministic: the same `(schedule, t)` always yields the same batch.
+    ///
+    /// # Panics
+    /// Panics if `t >= num_iterations`.
+    pub fn batch(&self, t: usize) -> Vec<usize> {
+        assert!(
+            t < self.num_iterations,
+            "iteration {t} out of range ({} iterations)",
+            self.num_iterations
+        );
+        if self.is_full_batch() {
+            return (0..self.num_samples).collect();
+        }
+        // A distinct ChaCha stream per iteration gives random access to the
+        // schedule without storing it.
+        let mut rng = seeded_rng(self.seed, 0xB47C_0000 ^ t as u64);
+        let mut indices = sample(&mut rng, self.num_samples, self.batch_size).into_vec();
+        indices.sort_unstable();
+        indices
+    }
+
+    /// The batch at iteration `t` with the removal set excluded, plus the
+    /// surviving batch size `B_U^{(t)}` — the quantities the incremental
+    /// update rules iterate with. `removed` must be a sorted-or-not slice of
+    /// sample indices; membership is tested via binary search after sorting
+    /// internally, so pass the same set used elsewhere.
+    pub fn batch_excluding(&self, t: usize, removed: &[usize]) -> (Vec<usize>, usize) {
+        let mut removed_sorted = removed.to_vec();
+        removed_sorted.sort_unstable();
+        let batch = self.batch(t);
+        let kept: Vec<usize> = batch
+            .into_iter()
+            .filter(|i| removed_sorted.binary_search(i).is_err())
+            .collect();
+        let size = kept.len();
+        (kept, size)
+    }
+
+    /// Number of passes over the full training set (`τ · B / n`), the
+    /// quantity the paper's Q6 discussion calls "passes".
+    pub fn num_passes(&self) -> f64 {
+        (self.num_iterations * self.batch_size) as f64 / self.num_samples as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_are_deterministic_and_within_range() {
+        let s = BatchSchedule::new(100, 10, 50, 7);
+        let b1 = s.batch(3);
+        let b2 = s.batch(3);
+        assert_eq!(b1, b2);
+        assert_eq!(b1.len(), 10);
+        assert!(b1.iter().all(|&i| i < 100));
+        // Sorted and distinct.
+        for w in b1.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        // Different iterations give different batches (overwhelmingly likely).
+        assert_ne!(s.batch(3), s.batch(4));
+        // Different seeds give different batches.
+        let s2 = BatchSchedule::new(100, 10, 50, 8);
+        assert_ne!(s.batch(3), s2.batch(3));
+    }
+
+    #[test]
+    fn full_batch_schedule_returns_everything() {
+        let s = BatchSchedule::full_batch(5, 3);
+        assert!(s.is_full_batch());
+        assert_eq!(s.batch(0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(s.batch(2), vec![0, 1, 2, 3, 4]);
+        assert_eq!(s.num_passes(), 3.0);
+    }
+
+    #[test]
+    fn batch_size_is_clamped_to_population() {
+        let s = BatchSchedule::new(4, 10, 2, 0);
+        assert_eq!(s.batch_size(), 4);
+        assert!(s.is_full_batch());
+    }
+
+    #[test]
+    fn excluding_removes_only_requested_samples() {
+        let s = BatchSchedule::new(20, 20, 1, 0);
+        let (kept, size) = s.batch_excluding(0, &[3, 17, 99]);
+        assert_eq!(size, 18);
+        assert!(!kept.contains(&3));
+        assert!(!kept.contains(&17));
+        assert!(kept.contains(&0));
+        // Excluding nothing keeps the batch intact.
+        let (all, b) = s.batch_excluding(0, &[]);
+        assert_eq!(b, 20);
+        assert_eq!(all, s.batch(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_iteration_panics() {
+        BatchSchedule::new(10, 2, 5, 0).batch(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_panics() {
+        BatchSchedule::new(0, 2, 5, 0);
+    }
+
+    #[test]
+    fn accessors() {
+        let s = BatchSchedule::new(100, 25, 8, 3);
+        assert_eq!(s.num_samples(), 100);
+        assert_eq!(s.batch_size(), 25);
+        assert_eq!(s.num_iterations(), 8);
+        assert_eq!(s.seed(), 3);
+        assert_eq!(s.num_passes(), 2.0);
+    }
+}

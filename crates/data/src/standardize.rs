@@ -1,0 +1,108 @@
+//! Feature standardisation (zero mean, unit variance), fitted on training
+//! data and applied to both training and validation features.
+
+use priu_linalg::dense::ops::{column_means, column_stds};
+use priu_linalg::{Matrix, Vector};
+
+/// A fitted standardiser: per-column means and standard deviations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Standardizer {
+    means: Vector,
+    stds: Vector,
+}
+
+impl Standardizer {
+    /// Fits a standardiser to the columns of `x`. Columns with (near-)zero
+    /// variance are left unscaled to avoid dividing by zero.
+    pub fn fit(x: &Matrix) -> Self {
+        let means = column_means(x);
+        let mut stds = column_stds(x, &means).expect("means computed from the same matrix");
+        for s in stds.iter_mut() {
+            if *s < 1e-12 {
+                *s = 1.0;
+            }
+        }
+        Self { means, stds }
+    }
+
+    /// Applies the fitted transformation to a (possibly different) matrix.
+    ///
+    /// # Panics
+    /// Panics if the column count differs from the fitted one.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        assert_eq!(
+            x.ncols(),
+            self.means.len(),
+            "standardizer fitted on {} columns, got {}",
+            self.means.len(),
+            x.ncols()
+        );
+        Matrix::from_fn(x.nrows(), x.ncols(), |i, j| {
+            (x[(i, j)] - self.means[j]) / self.stds[j]
+        })
+    }
+
+    /// Fits on `x` and immediately transforms it.
+    pub fn fit_transform(x: &Matrix) -> (Self, Matrix) {
+        let s = Self::fit(x);
+        let t = s.transform(x);
+        (s, t)
+    }
+
+    /// The fitted per-column means.
+    pub fn means(&self) -> &Vector {
+        &self.means
+    }
+
+    /// The fitted per-column standard deviations.
+    pub fn stds(&self) -> &Vector {
+        &self.stds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use priu_linalg::dense::ops::{column_means, column_stds};
+
+    #[test]
+    fn fit_transform_centres_and_scales() {
+        let x = Matrix::from_vec(4, 2, vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0]).unwrap();
+        let (_, t) = Standardizer::fit_transform(&x);
+        let means = column_means(&t);
+        let stds = column_stds(&t, &means).unwrap();
+        for j in 0..2 {
+            assert!(means[j].abs() < 1e-12);
+            assert!((stds[j] - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_columns_are_left_alone() {
+        let x = Matrix::from_vec(3, 2, vec![5.0, 1.0, 5.0, 2.0, 5.0, 3.0]).unwrap();
+        let s = Standardizer::fit(&x);
+        let t = s.transform(&x);
+        for i in 0..3 {
+            assert_eq!(t[(i, 0)], 0.0);
+        }
+        assert_eq!(s.stds()[0], 1.0);
+        assert_eq!(s.means()[0], 5.0);
+    }
+
+    #[test]
+    fn transform_applies_training_statistics_to_new_data() {
+        let train = Matrix::from_vec(2, 1, vec![0.0, 2.0]).unwrap();
+        let s = Standardizer::fit(&train);
+        let test = Matrix::from_vec(1, 1, vec![4.0]).unwrap();
+        let t = s.transform(&test);
+        // mean 1, std 1 → (4-1)/1 = 3.
+        assert!((t[(0, 0)] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn mismatched_columns_panic() {
+        let s = Standardizer::fit(&Matrix::zeros(2, 2));
+        s.transform(&Matrix::zeros(2, 3));
+    }
+}

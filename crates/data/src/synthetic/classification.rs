@@ -1,0 +1,234 @@
+//! Synthetic dense classification data (the Covtype / HIGGS / Heartbeat /
+//! CIFAR-10 stand-ins).
+
+use priu_linalg::{Matrix, Vector};
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::{DenseDataset, Labels};
+use crate::rng::{seeded_rng, standard_gumbel, standard_normal};
+
+/// Configuration of the classification generators.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassificationConfig {
+    /// Number of samples `n`.
+    pub num_samples: usize,
+    /// Number of features `m`.
+    pub num_features: usize,
+    /// Number of classes `q` (2 for the binary generator).
+    pub num_classes: usize,
+    /// Scale of the ground-truth class separators; larger values make the
+    /// classes more separable (higher attainable accuracy).
+    pub separation: f64,
+    /// Scale of the label noise injected through the Gumbel-max sampling
+    /// (1.0 = softmax sampling; 0.0 = deterministic argmax labels).
+    pub label_noise: f64,
+    /// Seed for all randomness.
+    pub seed: u64,
+}
+
+impl Default for ClassificationConfig {
+    fn default() -> Self {
+        Self {
+            num_samples: 1000,
+            num_features: 20,
+            num_classes: 2,
+            separation: 1.5,
+            label_noise: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Generates a dense binary classification dataset with labels in `{-1, +1}`.
+///
+/// Features are standard normal; labels are sampled from a logistic ground
+/// truth `P(y=+1|x) = σ(separation · w*ᵀx)` (with optional extra noise), so a
+/// logistic regression can recover most but not all labels — mirroring the
+/// moderate accuracies the paper reports on HIGGS.
+pub fn generate_binary_classification(config: &ClassificationConfig) -> DenseDataset {
+    let mut feat_rng = seeded_rng(config.seed, 10);
+    let mut weight_rng = seeded_rng(config.seed, 11);
+    let mut label_rng = seeded_rng(config.seed, 12);
+
+    let x = Matrix::from_fn(config.num_samples, config.num_features, |_, _| {
+        standard_normal(&mut feat_rng)
+    });
+    let norm = (config.num_features as f64).sqrt();
+    let w_star = Vector::from_fn(config.num_features, |_| {
+        config.separation * standard_normal(&mut weight_rng) / norm
+    });
+    let margins = x.matvec(&w_star).expect("shapes consistent by construction");
+    let y = Vector::from_fn(config.num_samples, |i| {
+        let p = 1.0 / (1.0 + (-margins[i]).exp());
+        let noisy = if config.label_noise > 0.0 {
+            use rand::Rng;
+            let u: f64 = label_rng.gen_range(0.0..1.0);
+            u < p
+        } else {
+            p >= 0.5
+        };
+        if noisy {
+            1.0
+        } else {
+            -1.0
+        }
+    });
+    DenseDataset::new(x, Labels::Binary(y))
+}
+
+/// Generates a dense multiclass classification dataset with labels in
+/// `{0, .., q-1}`, sampled from a softmax ground truth via the Gumbel-max
+/// trick (the Covtype / Heartbeat / CIFAR-10 stand-ins).
+pub fn generate_multiclass_classification(config: &ClassificationConfig) -> DenseDataset {
+    assert!(
+        config.num_classes >= 2,
+        "multiclass generation needs at least 2 classes"
+    );
+    let mut feat_rng = seeded_rng(config.seed, 20);
+    let mut weight_rng = seeded_rng(config.seed, 21);
+    let mut label_rng = seeded_rng(config.seed, 22);
+
+    let x = Matrix::from_fn(config.num_samples, config.num_features, |_, _| {
+        standard_normal(&mut feat_rng)
+    });
+    let norm = (config.num_features as f64).sqrt();
+    // One ground-truth separator per class.
+    let w_stars: Vec<Vector> = (0..config.num_classes)
+        .map(|_| {
+            Vector::from_fn(config.num_features, |_| {
+                config.separation * standard_normal(&mut weight_rng) / norm
+            })
+        })
+        .collect();
+    let logits: Vec<Vector> = w_stars
+        .iter()
+        .map(|w| x.matvec(w).expect("shapes consistent by construction"))
+        .collect();
+    let classes: Vec<u32> = (0..config.num_samples)
+        .map(|i| {
+            let mut best_class = 0u32;
+            let mut best_score = f64::NEG_INFINITY;
+            for (k, logit) in logits.iter().enumerate() {
+                let noise = if config.label_noise > 0.0 {
+                    config.label_noise * standard_gumbel(&mut label_rng)
+                } else {
+                    0.0
+                };
+                let score = logit[i] + noise;
+                if score > best_score {
+                    best_score = score;
+                    best_class = k as u32;
+                }
+            }
+            best_class
+        })
+        .collect();
+    DenseDataset::new(
+        x,
+        Labels::Multiclass {
+            classes,
+            num_classes: config.num_classes,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::TaskKind;
+
+    #[test]
+    fn binary_shapes_and_label_values() {
+        let cfg = ClassificationConfig {
+            num_samples: 200,
+            num_features: 8,
+            ..Default::default()
+        };
+        let d = generate_binary_classification(&cfg);
+        assert_eq!(d.num_samples(), 200);
+        assert_eq!(d.num_features(), 8);
+        assert_eq!(d.task(), TaskKind::BinaryClassification);
+        let y = d.labels.as_binary().unwrap();
+        assert!(y.iter().all(|&v| v == 1.0 || v == -1.0));
+        // Both classes occur.
+        assert!(y.iter().any(|&v| v == 1.0));
+        assert!(y.iter().any(|&v| v == -1.0));
+    }
+
+    #[test]
+    fn multiclass_shapes_and_label_values() {
+        let cfg = ClassificationConfig {
+            num_samples: 300,
+            num_features: 10,
+            num_classes: 5,
+            ..Default::default()
+        };
+        let d = generate_multiclass_classification(&cfg);
+        assert_eq!(
+            d.task(),
+            TaskKind::MulticlassClassification { num_classes: 5 }
+        );
+        let (classes, q) = d.labels.as_multiclass().unwrap();
+        assert_eq!(q, 5);
+        assert!(classes.iter().all(|&c| c < 5));
+        // With 300 samples and separation 1.5 all five classes should appear.
+        let mut seen = [false; 5];
+        for &c in classes {
+            seen[c as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all classes should be represented");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let cfg = ClassificationConfig {
+            num_samples: 50,
+            num_features: 4,
+            num_classes: 3,
+            seed: 5,
+            ..Default::default()
+        };
+        assert_eq!(
+            generate_multiclass_classification(&cfg),
+            generate_multiclass_classification(&cfg)
+        );
+        assert_eq!(
+            generate_binary_classification(&cfg),
+            generate_binary_classification(&cfg)
+        );
+        let other = ClassificationConfig { seed: 6, ..cfg };
+        assert_ne!(
+            generate_multiclass_classification(&cfg),
+            generate_multiclass_classification(&other)
+        );
+    }
+
+    #[test]
+    fn zero_label_noise_gives_deterministic_argmax_labels() {
+        let cfg = ClassificationConfig {
+            num_samples: 40,
+            num_features: 6,
+            num_classes: 3,
+            label_noise: 0.0,
+            seed: 9,
+            ..Default::default()
+        };
+        let a = generate_multiclass_classification(&cfg);
+        let b = generate_multiclass_classification(&cfg);
+        assert_eq!(a, b);
+        let bin = generate_binary_classification(&ClassificationConfig {
+            num_classes: 2,
+            ..cfg
+        });
+        assert_eq!(bin.num_samples(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 classes")]
+    fn multiclass_requires_two_classes() {
+        generate_multiclass_classification(&ClassificationConfig {
+            num_classes: 1,
+            ..Default::default()
+        });
+    }
+}

@@ -1,0 +1,18 @@
+//! Seeded synthetic dataset generators standing in for the paper's six
+//! public datasets (see `DESIGN.md` §3 for the substitution rationale).
+//!
+//! All generators draw features from a standard normal (optionally with a
+//! planted low-rank correlation structure so the Gram spectra are realistic)
+//! and produce labels from a ground-truth model plus noise, so trained models
+//! achieve non-trivial validation accuracy and the deletion experiments have
+//! signal to disturb.
+
+pub mod classification;
+pub mod regression;
+pub mod sparse_text;
+
+pub use classification::{
+    generate_binary_classification, generate_multiclass_classification, ClassificationConfig,
+};
+pub use regression::{generate_regression, RegressionConfig};
+pub use sparse_text::{generate_sparse_binary, SparseConfig};

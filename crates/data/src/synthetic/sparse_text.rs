@@ -1,0 +1,143 @@
+//! Synthetic sparse binary-classification data (the RCV1 stand-in).
+//!
+//! RCV1 is a bag-of-words text corpus: each document touches a few hundred
+//! of ~47k features with positive tf-idf-like weights. The generator mimics
+//! that layout: a configurable number of non-zeros per row placed at random
+//! feature positions, values drawn from a log-normal-ish positive
+//! distribution, and labels produced by a sparse ground-truth separator.
+
+use priu_linalg::sparse::CooBuilder;
+use priu_linalg::Vector;
+use rand::seq::index::sample;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::{Labels, SparseDataset};
+use crate::rng::{seeded_rng, standard_normal};
+
+/// Configuration of the sparse generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SparseConfig {
+    /// Number of samples `n`.
+    pub num_samples: usize,
+    /// Number of features `m` (large, RCV1-like).
+    pub num_features: usize,
+    /// Average number of non-zero features per sample.
+    pub nnz_per_row: usize,
+    /// Fraction of features that carry signal in the ground-truth separator.
+    pub informative_fraction: f64,
+    /// Seed for all randomness.
+    pub seed: u64,
+}
+
+impl Default for SparseConfig {
+    fn default() -> Self {
+        Self {
+            num_samples: 2000,
+            num_features: 5000,
+            nnz_per_row: 50,
+            informative_fraction: 0.05,
+            seed: 0,
+        }
+    }
+}
+
+/// Generates a sparse binary classification dataset with labels in `{-1,+1}`.
+pub fn generate_sparse_binary(config: &SparseConfig) -> SparseDataset {
+    let mut pos_rng = seeded_rng(config.seed, 30);
+    let mut val_rng = seeded_rng(config.seed, 31);
+    let mut weight_rng = seeded_rng(config.seed, 32);
+    let mut label_rng = seeded_rng(config.seed, 33);
+
+    // Sparse ground-truth separator over the informative features.
+    let num_informative =
+        ((config.num_features as f64) * config.informative_fraction).ceil() as usize;
+    let informative = sample(&mut weight_rng, config.num_features, num_informative.max(1));
+    let mut w_star = vec![0.0; config.num_features];
+    for idx in informative.iter() {
+        w_star[idx] = standard_normal(&mut weight_rng);
+    }
+
+    let mut builder = CooBuilder::new(config.num_samples, config.num_features);
+    let mut margins = vec![0.0; config.num_samples];
+    let nnz = config.nnz_per_row.min(config.num_features).max(1);
+    for i in 0..config.num_samples {
+        let cols = sample(&mut pos_rng, config.num_features, nnz);
+        for c in cols.iter() {
+            // Positive, heavy-tailed values resembling tf-idf weights.
+            let v = (0.5 * standard_normal(&mut val_rng)).exp();
+            builder.push(i, c, v).expect("indices generated in range");
+            margins[i] += v * w_star[c];
+        }
+    }
+    let x = builder.build();
+
+    let scale = (nnz as f64).sqrt();
+    let y = Vector::from_fn(config.num_samples, |i| {
+        let p = 1.0 / (1.0 + (-(margins[i] / scale * 3.0)).exp());
+        let u: f64 = label_rng.gen_range(0.0..1.0);
+        if u < p {
+            1.0
+        } else {
+            -1.0
+        }
+    });
+    SparseDataset::new(x, Labels::Binary(y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::TaskKind;
+
+    #[test]
+    fn shape_density_and_labels() {
+        let cfg = SparseConfig {
+            num_samples: 100,
+            num_features: 500,
+            nnz_per_row: 20,
+            ..Default::default()
+        };
+        let d = generate_sparse_binary(&cfg);
+        assert_eq!(d.num_samples(), 100);
+        assert_eq!(d.num_features(), 500);
+        assert_eq!(d.task(), TaskKind::BinaryClassification);
+        // Density should be close to nnz_per_row / num_features.
+        let expected = 20.0 / 500.0;
+        assert!((d.x.density() - expected).abs() < expected * 0.5);
+        let y = d.labels.as_binary().unwrap();
+        assert!(y.iter().all(|&v| v == 1.0 || v == -1.0));
+        assert!(y.iter().any(|&v| v == 1.0));
+        assert!(y.iter().any(|&v| v == -1.0));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = SparseConfig {
+            num_samples: 30,
+            num_features: 100,
+            nnz_per_row: 5,
+            seed: 42,
+            ..Default::default()
+        };
+        assert_eq!(generate_sparse_binary(&cfg), generate_sparse_binary(&cfg));
+        assert_ne!(
+            generate_sparse_binary(&cfg),
+            generate_sparse_binary(&SparseConfig { seed: 43, ..cfg })
+        );
+    }
+
+    #[test]
+    fn feature_values_are_positive() {
+        let d = generate_sparse_binary(&SparseConfig {
+            num_samples: 10,
+            num_features: 50,
+            nnz_per_row: 8,
+            ..Default::default()
+        });
+        for i in 0..10 {
+            let (_, vals) = d.x.row(i);
+            assert!(vals.iter().all(|&v| v > 0.0));
+        }
+    }
+}

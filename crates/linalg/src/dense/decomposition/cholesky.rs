@@ -1,0 +1,186 @@
+//! Cholesky factorisation of symmetric positive-definite matrices.
+//!
+//! Used by the closed-form ridge-regression baseline (`(X^T X + c I) w = X^T Y`)
+//! and by the INFL baseline, which solves against the regularised Hessian of
+//! the objective function.
+
+use crate::dense::matrix::Matrix;
+use crate::dense::vector::Vector;
+use crate::error::{LinalgError, Result};
+
+/// Lower-triangular Cholesky factor `L` with `A = L L^T`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorises a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; the strictly upper triangle is
+    /// assumed to mirror it.
+    ///
+    /// # Errors
+    /// * [`LinalgError::NotSquare`] if `a` is not square.
+    /// * [`LinalgError::Singular`] if a non-positive pivot is encountered
+    ///   (matrix not positive definite within numerical tolerance).
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.nrows(),
+                cols: a.ncols(),
+            });
+        }
+        let n = a.nrows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(LinalgError::Singular { op: "Cholesky::new" });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A x = b` using the factorisation.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `b` has the wrong length.
+    pub fn solve(&self, b: &Vector) -> Result<Vector> {
+        let n = self.l.nrows();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "Cholesky::solve",
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        // Forward substitution: L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        // Back substitution: L^T x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= self.l[(k, i)] * x[k];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        Ok(Vector::from_vec(x))
+    }
+
+    /// Computes `A^{-1}` column by column.
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.l.nrows();
+        let mut inv = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut e = Vector::zeros(n);
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+        }
+        Ok(inv)
+    }
+
+    /// Log-determinant of `A` (`2 * Σ log L_ii`).
+    pub fn log_determinant(&self) -> f64 {
+        (0..self.l.nrows())
+            .map(|i| self.l[(i, i)].ln())
+            .sum::<f64>()
+            * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd() -> Matrix {
+        // A = B^T B + I for a small B, guaranteed SPD.
+        Matrix::from_vec(3, 3, vec![4.0, 2.0, 0.6, 2.0, 5.0, 1.0, 0.6, 1.0, 3.0]).unwrap()
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = spd();
+        let chol = Cholesky::new(&a).unwrap();
+        let l = chol.factor();
+        let rec = l.matmul(&l.transpose()).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((rec[(i, j)] - a[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd();
+        let x_true = Vector::from_vec(vec![1.0, -2.0, 0.5]);
+        let b = a.matvec(&x_true).unwrap();
+        let chol = Cholesky::new(&a).unwrap();
+        let x = chol.solve(&b).unwrap();
+        for i in 0..3 {
+            assert!((x[i] - x_true[i]).abs() < 1e-10);
+        }
+        assert!(chol.solve(&Vector::zeros(2)).is_err());
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = spd();
+        let inv = Cholesky::new(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[(i, j)] - expected).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_spd_and_non_square() {
+        let not_spd = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        assert!(matches!(
+            Cholesky::new(&not_spd),
+            Err(LinalgError::Singular { .. })
+        ));
+        let rect = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::new(&rect),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn log_determinant_matches_known_value() {
+        let a = Matrix::from_diagonal(&[2.0, 3.0, 4.0]);
+        let chol = Cholesky::new(&a).unwrap();
+        assert!((chol.log_determinant() - (24.0_f64).ln()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,358 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! PrIU-opt (§5.2) relies on an *offline* eigendecomposition of the Gram
+//! matrix `M = X^T X` (`M = Q diag(c) Q^T`), followed by an *online*
+//! incremental eigenvalue update after a deletion: `c'_i = (Q^T M' Q)_{ii}`
+//! (Eq. 18, citing Ning et al.). Both pieces live in this module.
+
+use crate::dense::matrix::Matrix;
+use crate::dense::vector::Vector;
+use crate::error::{LinalgError, Result};
+
+/// Eigendecomposition `A = Q diag(values) Q^T` of a symmetric matrix, with
+/// eigenvalues sorted in descending order and eigenvectors stored as the
+/// columns of `Q`.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues, descending.
+    pub values: Vector,
+    /// Orthonormal eigenvectors (columns).
+    pub vectors: Matrix,
+}
+
+impl SymmetricEigen {
+    /// Computes the eigendecomposition of a symmetric matrix using the cyclic
+    /// Jacobi method.
+    ///
+    /// The strictly upper triangle is trusted; small asymmetries (up to
+    /// `1e-8 * max_abs`) are tolerated and symmetrised away.
+    ///
+    /// # Errors
+    /// * [`LinalgError::NotSquare`] if `a` is not square.
+    /// * [`LinalgError::InvalidArgument`] if `a` is markedly asymmetric.
+    /// * [`LinalgError::DidNotConverge`] if the sweep budget is exhausted.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.nrows(),
+                cols: a.ncols(),
+            });
+        }
+        let n = a.nrows();
+        if n == 0 {
+            return Ok(Self {
+                values: Vector::zeros(0),
+                vectors: Matrix::zeros(0, 0),
+            });
+        }
+        let scale = a.max_abs().max(1.0);
+        if a.asymmetry()? > 1e-8 * scale {
+            return Err(LinalgError::InvalidArgument(
+                "SymmetricEigen requires a (numerically) symmetric matrix".to_string(),
+            ));
+        }
+
+        // Work on a symmetrised copy.
+        let mut m = Matrix::from_fn(n, n, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]));
+        let mut q = Matrix::identity(n);
+
+        let max_sweeps = 100;
+        let tol = 1e-14 * scale;
+        let mut converged = false;
+        for _sweep in 0..max_sweeps {
+            // Off-diagonal Frobenius norm.
+            let mut off = 0.0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    off += m[(i, j)] * m[(i, j)];
+                }
+            }
+            if off.sqrt() <= tol {
+                converged = true;
+                break;
+            }
+            for p in 0..n {
+                for r in (p + 1)..n {
+                    let apr = m[(p, r)];
+                    if apr.abs() <= tol * 1e-2 {
+                        continue;
+                    }
+                    let app = m[(p, p)];
+                    let arr = m[(r, r)];
+                    // Compute the Jacobi rotation that annihilates m[p][r].
+                    let theta = (arr - app) / (2.0 * apr);
+                    let t = if theta >= 0.0 {
+                        1.0 / (theta + (1.0 + theta * theta).sqrt())
+                    } else {
+                        -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                    };
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
+
+                    // Apply the rotation: M <- J^T M J.
+                    for k in 0..n {
+                        let mkp = m[(k, p)];
+                        let mkr = m[(k, r)];
+                        m[(k, p)] = c * mkp - s * mkr;
+                        m[(k, r)] = s * mkp + c * mkr;
+                    }
+                    for k in 0..n {
+                        let mpk = m[(p, k)];
+                        let mrk = m[(r, k)];
+                        m[(p, k)] = c * mpk - s * mrk;
+                        m[(r, k)] = s * mpk + c * mrk;
+                    }
+                    // Accumulate rotations into Q.
+                    for k in 0..n {
+                        let qkp = q[(k, p)];
+                        let qkr = q[(k, r)];
+                        q[(k, p)] = c * qkp - s * qkr;
+                        q[(k, r)] = s * qkp + c * qkr;
+                    }
+                }
+            }
+        }
+        if !converged {
+            // One final check: Jacobi nearly always converges in well under
+            // 100 sweeps; treat leftover off-diagonal mass as failure.
+            let mut off = 0.0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    off += m[(i, j)] * m[(i, j)];
+                }
+            }
+            if off.sqrt() > 1e-8 * scale {
+                return Err(LinalgError::DidNotConverge {
+                    op: "SymmetricEigen::new",
+                    iterations: max_sweeps,
+                });
+            }
+        }
+
+        // Collect eigenvalues and sort descending, permuting eigenvectors.
+        let mut idx: Vec<usize> = (0..n).collect();
+        let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+        idx.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).expect("finite eigenvalues"));
+        let values = Vector::from_vec(idx.iter().map(|&i| diag[i]).collect());
+        let vectors = Matrix::from_fn(n, n, |i, j| q[(i, idx[j])]);
+        Ok(Self { values, vectors })
+    }
+
+    /// Reconstructs `Q diag(values) Q^T` (mainly for testing / diagnostics).
+    pub fn reconstruct(&self) -> Matrix {
+        let n = self.values.len();
+        let mut scaled = self.vectors.clone();
+        for j in 0..n {
+            for i in 0..n {
+                scaled[(i, j)] *= self.values[j];
+            }
+        }
+        scaled
+            .matmul(&self.vectors.transpose())
+            .expect("shapes are consistent by construction")
+    }
+
+    /// Incremental eigenvalue update after a low-rank perturbation
+    /// `M' = M - Δ`, following Eq. 18 of the paper: keeping the eigenvectors
+    /// `Q` of `M` fixed, the updated eigenvalues are approximated by the
+    /// diagonal of `Q^T M' Q`, i.e. `c'_i = c_i - (Q^T Δ Q)_{ii}`.
+    ///
+    /// `delta_rows` holds the removed sample rows `ΔX` so that
+    /// `Δ = ΔX^T ΔX`, and the diagonal entries are computed as
+    /// `(Q^T Δ Q)_{ii} = ||ΔX q_i||²` in `O(Δn · m²)`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `delta_rows` has a different
+    /// column count than the eigenvector dimension.
+    pub fn downdated_eigenvalues(&self, delta_rows: &Matrix) -> Result<Vector> {
+        let m = self.vectors.nrows();
+        if delta_rows.ncols() != m {
+            return Err(LinalgError::ShapeMismatch {
+                op: "SymmetricEigen::downdated_eigenvalues",
+                left: (m, m),
+                right: delta_rows.shape(),
+            });
+        }
+        if delta_rows.nrows() == 0 {
+            return Ok(self.values.clone());
+        }
+        // D = ΔX * Q  (Δn x m); correction_i = Σ_k D[k,i]^2.
+        let d = delta_rows.matmul(&self.vectors)?;
+        let mut corrections = vec![0.0; m];
+        for k in 0..d.nrows() {
+            let row = d.row(k);
+            for i in 0..m {
+                corrections[i] += row[i] * row[i];
+            }
+        }
+        Ok(Vector::from_fn(m, |i| self.values[i] - corrections[i]))
+    }
+
+    /// Weighted variant of [`Self::downdated_eigenvalues`] for Gram forms
+    /// `Δ = ΔX^T diag(w) ΔX` (used by PrIU-opt for logistic regression where
+    /// the removed contributions carry linearisation coefficients).
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] on inconsistent shapes or a
+    /// weight count different from the number of removed rows.
+    pub fn downdated_eigenvalues_weighted(
+        &self,
+        delta_rows: &Matrix,
+        weights: &[f64],
+    ) -> Result<Vector> {
+        let m = self.vectors.nrows();
+        if delta_rows.ncols() != m {
+            return Err(LinalgError::ShapeMismatch {
+                op: "SymmetricEigen::downdated_eigenvalues_weighted",
+                left: (m, m),
+                right: delta_rows.shape(),
+            });
+        }
+        if weights.len() != delta_rows.nrows() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "SymmetricEigen::downdated_eigenvalues_weighted",
+                left: (delta_rows.nrows(), 1),
+                right: (weights.len(), 1),
+            });
+        }
+        if delta_rows.nrows() == 0 {
+            return Ok(self.values.clone());
+        }
+        let d = delta_rows.matmul(&self.vectors)?;
+        let mut corrections = vec![0.0; m];
+        for k in 0..d.nrows() {
+            let row = d.row(k);
+            let w = weights[k];
+            for i in 0..m {
+                corrections[i] += w * row[i] * row[i];
+            }
+        }
+        Ok(Vector::from_fn(m, |i| self.values[i] - corrections[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn symmetric() -> Matrix {
+        Matrix::from_vec(
+            3,
+            3,
+            vec![4.0, 1.0, -2.0, 1.0, 2.0, 0.0, -2.0, 0.0, 3.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn reconstruction_matches_input() {
+        let a = symmetric();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        let rec = eig.reconstruct();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((rec[(i, j)] - a[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvalues_of_diagonal_matrix() {
+        let a = Matrix::from_diagonal(&[1.0, 5.0, 3.0]);
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert!((eig.values[0] - 5.0).abs() < 1e-12);
+        assert!((eig.values[1] - 3.0).abs() < 1e-12);
+        assert!((eig.values[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let eig = SymmetricEigen::new(&symmetric()).unwrap();
+        let qtq = eig.vectors.transpose().matmul(&eig.vectors).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((qtq[(i, j)] - expected).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn satisfies_eigen_equation() {
+        let a = symmetric();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        for j in 0..3 {
+            let v = eig.vectors.column(j);
+            let av = a.matvec(&v).unwrap();
+            let lv = v.scaled(eig.values[j]);
+            assert!((&av - &lv).norm2() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_asymmetric_and_non_square() {
+        let asym = Matrix::from_vec(2, 2, vec![1.0, 5.0, 0.0, 1.0]).unwrap();
+        assert!(SymmetricEigen::new(&asym).is_err());
+        assert!(SymmetricEigen::new(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_is_trivial() {
+        let eig = SymmetricEigen::new(&Matrix::zeros(0, 0)).unwrap();
+        assert_eq!(eig.values.len(), 0);
+    }
+
+    #[test]
+    fn downdated_eigenvalues_track_exact_values_for_small_perturbation() {
+        // M = X^T X for a random-ish X; remove a single small row.
+        let x = Matrix::from_vec(
+            5,
+            3,
+            vec![
+                1.0, 0.2, -0.3, //
+                0.4, 1.1, 0.0, //
+                -0.2, 0.3, 0.9, //
+                0.7, -0.5, 0.2, //
+                0.05, 0.02, -0.01,
+            ],
+        )
+        .unwrap();
+        let m = x.gram();
+        let eig = SymmetricEigen::new(&m).unwrap();
+        let delta = x.select_rows(&[4]);
+        let approx = eig.downdated_eigenvalues(&delta).unwrap();
+        // Exact eigenvalues of M - delta^T delta.
+        let m_prime = &m - &delta.gram();
+        let exact = SymmetricEigen::new(&m_prime).unwrap();
+        for i in 0..3 {
+            assert!(
+                (approx[i] - exact.values[i]).abs() < 1e-2,
+                "eigenvalue {i}: approx {} vs exact {}",
+                approx[i],
+                exact.values[i]
+            );
+        }
+        // Removing nothing leaves eigenvalues unchanged.
+        let unchanged = eig.downdated_eigenvalues(&Matrix::zeros(0, 3)).unwrap();
+        for i in 0..3 {
+            assert_eq!(unchanged[i], eig.values[i]);
+        }
+    }
+
+    #[test]
+    fn weighted_downdate_matches_unweighted_with_unit_weights() {
+        let x = Matrix::from_vec(4, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.3, -0.2]).unwrap();
+        let eig = SymmetricEigen::new(&x.gram()).unwrap();
+        let delta = x.select_rows(&[3]);
+        let a = eig.downdated_eigenvalues(&delta).unwrap();
+        let b = eig
+            .downdated_eigenvalues_weighted(&delta, &[1.0])
+            .unwrap();
+        for i in 0..2 {
+            assert!((a[i] - b[i]).abs() < 1e-14);
+        }
+        assert!(eig
+            .downdated_eigenvalues_weighted(&delta, &[1.0, 2.0])
+            .is_err());
+    }
+}

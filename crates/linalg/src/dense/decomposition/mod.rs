@@ -1,0 +1,25 @@
+//! Matrix decompositions used by the PrIU reproduction.
+//!
+//! * [`cholesky`] — SPD factorisation; used by the closed-form ridge baseline
+//!   and the influence-function baseline (Hessian solves).
+//! * [`lu`] — general square solves / inverses / determinants.
+//! * [`qr`] — Householder QR and modified Gram-Schmidt orthonormalisation;
+//!   the building block of the randomized range finder.
+//! * [`eigen`] — cyclic Jacobi eigendecomposition of symmetric matrices; the
+//!   offline step of PrIU-opt (Eq. 17) and the basis for the incremental
+//!   eigenvalue update (Eq. 18).
+//! * [`truncated`] — exact and randomized truncated eigendecompositions of
+//!   Gram forms `X^T diag(w) X`; the "SVD over the intermediate results"
+//!   compression of §5.1 / §5.3.
+
+pub mod cholesky;
+pub mod eigen;
+pub mod lu;
+pub mod qr;
+pub mod truncated;
+
+pub use cholesky::Cholesky;
+pub use eigen::SymmetricEigen;
+pub use lu::Lu;
+pub use qr::Qr;
+pub use truncated::{GramFactor, TruncatedGram, TruncationMethod};

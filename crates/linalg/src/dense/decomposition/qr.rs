@@ -1,0 +1,231 @@
+//! QR factorisation (Householder) and modified Gram-Schmidt
+//! orthonormalisation.
+//!
+//! The orthonormalisation routine is the work-horse of the randomized range
+//! finder used to compress PrIU's per-iteration intermediate results.
+
+use crate::dense::matrix::Matrix;
+use crate::dense::vector::Vector;
+use crate::error::{LinalgError, Result};
+
+/// Thin QR factorisation `A = Q R` with `Q` having orthonormal columns.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    q: Matrix,
+    r: Matrix,
+}
+
+impl Qr {
+    /// Computes a thin Householder QR factorisation of an `n x m` matrix with
+    /// `n >= m`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::InvalidArgument`] if `n < m` or the matrix is
+    /// empty.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (n, m) = a.shape();
+        if n == 0 || m == 0 {
+            return Err(LinalgError::InvalidArgument(
+                "QR of an empty matrix is undefined".to_string(),
+            ));
+        }
+        if n < m {
+            return Err(LinalgError::InvalidArgument(format!(
+                "thin QR requires rows >= cols, got {n}x{m}"
+            )));
+        }
+        // Work on a copy; accumulate Householder reflectors into Q explicitly.
+        let mut r_full = a.clone();
+        let mut q_full = Matrix::identity(n);
+
+        for k in 0..m {
+            // Build the Householder vector for column k below the diagonal.
+            let mut norm = 0.0;
+            for i in k..n {
+                norm += r_full[(i, k)] * r_full[(i, k)];
+            }
+            let norm = norm.sqrt();
+            if norm == 0.0 {
+                continue;
+            }
+            let alpha = if r_full[(k, k)] >= 0.0 { -norm } else { norm };
+            let mut v = vec![0.0; n];
+            for i in k..n {
+                v[i] = r_full[(i, k)];
+            }
+            v[k] -= alpha;
+            let v_norm_sq: f64 = v.iter().map(|x| x * x).sum();
+            if v_norm_sq == 0.0 {
+                continue;
+            }
+            // Apply reflector H = I - 2 v v^T / (v^T v) to R (from the left).
+            for j in k..m {
+                let mut dot = 0.0;
+                for i in k..n {
+                    dot += v[i] * r_full[(i, j)];
+                }
+                let scale = 2.0 * dot / v_norm_sq;
+                for i in k..n {
+                    r_full[(i, j)] -= scale * v[i];
+                }
+            }
+            // Accumulate into Q: Q = Q * H.
+            for i in 0..n {
+                let mut dot = 0.0;
+                for l in k..n {
+                    dot += q_full[(i, l)] * v[l];
+                }
+                let scale = 2.0 * dot / v_norm_sq;
+                for l in k..n {
+                    q_full[(i, l)] -= scale * v[l];
+                }
+            }
+        }
+
+        // Extract the thin factors.
+        let q = q_full.first_columns(m)?;
+        let mut r = Matrix::zeros(m, m);
+        for i in 0..m {
+            for j in i..m {
+                r[(i, j)] = r_full[(i, j)];
+            }
+        }
+        Ok(Self { q, r })
+    }
+
+    /// Orthonormal factor `Q` (`n x m`).
+    pub fn q(&self) -> &Matrix {
+        &self.q
+    }
+
+    /// Upper-triangular factor `R` (`m x m`).
+    pub fn r(&self) -> &Matrix {
+        &self.r
+    }
+}
+
+/// Orthonormalises the columns of `a` in place using modified Gram-Schmidt,
+/// dropping (zeroing) columns that are numerically dependent.
+///
+/// Returns the number of independent columns kept; dependent columns are
+/// moved to the end as zero columns so the leading `rank` columns always form
+/// an orthonormal basis of the column space.
+pub fn orthonormalize_columns(a: &mut Matrix) -> usize {
+    let (n, m) = a.shape();
+    let tol = 1e-12;
+    let mut rank = 0;
+    for j in 0..m {
+        // Copy column j into a work buffer.
+        let mut col = Vector::from_fn(n, |i| a[(i, j)]);
+        // Subtract projections onto previously accepted columns (stored in
+        // positions 0..rank).
+        for k in 0..rank {
+            let mut dot = 0.0;
+            for i in 0..n {
+                dot += a[(i, k)] * col[i];
+            }
+            for i in 0..n {
+                col[i] -= dot * a[(i, k)];
+            }
+        }
+        let norm = col.norm2();
+        if norm > tol {
+            for i in 0..n {
+                a[(i, rank)] = col[i] / norm;
+            }
+            rank += 1;
+        }
+    }
+    // Zero out the trailing columns.
+    for j in rank..m {
+        for i in 0..n {
+            a[(i, j)] = 0.0;
+        }
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tall() -> Matrix {
+        Matrix::from_vec(
+            4,
+            3,
+            vec![
+                1.0, 2.0, 3.0, //
+                0.5, -1.0, 2.0, //
+                2.0, 0.0, 1.0, //
+                -1.0, 1.0, 0.0,
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn qr_reconstructs_input() {
+        let a = tall();
+        let qr = Qr::new(&a).unwrap();
+        let rec = qr.q().matmul(qr.r()).unwrap();
+        for i in 0..4 {
+            for j in 0..3 {
+                assert!((rec[(i, j)] - a[(i, j)]).abs() < 1e-10, "mismatch at {i},{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let a = tall();
+        let qr = Qr::new(&a).unwrap();
+        let qtq = qr.q().transpose().matmul(qr.q()).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((qtq[(i, j)] - expected).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let qr = Qr::new(&tall()).unwrap();
+        for i in 0..3 {
+            for j in 0..i {
+                assert!(qr.r()[(i, j)].abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_wide_and_empty() {
+        assert!(Qr::new(&Matrix::zeros(2, 3)).is_err());
+        assert!(Qr::new(&Matrix::zeros(0, 0)).is_err());
+    }
+
+    #[test]
+    fn gram_schmidt_orthonormalizes_and_detects_rank() {
+        let mut a = Matrix::from_vec(
+            3,
+            3,
+            vec![
+                1.0, 2.0, 2.0, //
+                0.0, 1.0, 1.0, //
+                1.0, 0.0, 0.0,
+            ],
+        )
+        .unwrap();
+        // Third column equals the second: rank 2.
+        let rank = orthonormalize_columns(&mut a);
+        assert_eq!(rank, 2);
+        for k in 0..rank {
+            let col = a.column(k);
+            assert!((col.norm2() - 1.0).abs() < 1e-10);
+        }
+        let c0 = a.column(0);
+        let c1 = a.column(1);
+        assert!(c0.dot(&c1).unwrap().abs() < 1e-10);
+        assert!(a.column(2).norm2() < 1e-12);
+    }
+}

@@ -1,0 +1,653 @@
+//! Dense row-major `f64` matrices.
+
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::dense::vector::{dot_slices, Vector};
+use crate::error::{LinalgError, Result};
+
+/// A dense, row-major matrix of `f64` values.
+///
+/// Row-major storage matches the access pattern of the PrIU update rules,
+/// where training samples are rows of the feature matrix `X` and the hot
+/// kernels are row-dot-vector products.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::InvalidArgument`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::InvalidArgument(format!(
+                "expected {} elements for a {}x{} matrix, got {}",
+                rows * cols,
+                rows,
+                cols,
+                data.len()
+            )));
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Creates a `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Creates a square diagonal matrix from the given diagonal entries.
+    pub fn from_diagonal(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Self::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Builds a matrix whose rows are the given vectors.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::InvalidArgument`] if rows have unequal lengths
+    /// or the slice is empty.
+    pub fn from_rows(rows: &[Vector]) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(LinalgError::InvalidArgument(
+                "Matrix::from_rows requires at least one row".to_string(),
+            ));
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            if r.len() != cols {
+                return Err(LinalgError::InvalidArgument(
+                    "Matrix::from_rows requires rows of equal length".to_string(),
+                ));
+            }
+            data.extend_from_slice(r.as_slice());
+        }
+        Ok(Self {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Whether the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Raw row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Borrow of the `i`-th row as a slice.
+    ///
+    /// # Panics
+    /// Panics if `i >= nrows()`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable borrow of the `i`-th row.
+    ///
+    /// # Panics
+    /// Panics if `i >= nrows()`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copy of the `i`-th row as a [`Vector`].
+    pub fn row_vector(&self, i: usize) -> Vector {
+        Vector::from_vec(self.row(i).to_vec())
+    }
+
+    /// Copy of the `j`-th column as a [`Vector`].
+    ///
+    /// # Panics
+    /// Panics if `j >= ncols()`.
+    pub fn column(&self, j: usize) -> Vector {
+        assert!(j < self.cols, "column index {j} out of bounds ({})", self.cols);
+        Vector::from_fn(self.rows, |i| self[(i, j)])
+    }
+
+    /// Copy of the main diagonal.
+    pub fn diagonal(&self) -> Vector {
+        let n = self.rows.min(self.cols);
+        Vector::from_fn(n, |i| self[(i, i)])
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Returns a new matrix consisting of the selected rows (in order).
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        Matrix {
+            rows: indices.len(),
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Returns the submatrix consisting of the first `k` columns.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::InvalidArgument`] if `k > ncols()`.
+    pub fn first_columns(&self, k: usize) -> Result<Matrix> {
+        if k > self.cols {
+            return Err(LinalgError::InvalidArgument(format!(
+                "cannot take {} columns from a matrix with {}",
+                k, self.cols
+            )));
+        }
+        let mut out = Matrix::zeros(self.rows, k);
+        for i in 0..self.rows {
+            out.row_mut(i).copy_from_slice(&self.row(i)[..k]);
+        }
+        Ok(out)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        dot_slices(&self.data, &self.data).sqrt()
+    }
+
+    /// Maximum absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |acc: f64, x| acc.max(x.abs()))
+    }
+
+    /// In-place scaling of every entry by `alpha`.
+    pub fn scale_mut(&mut self, alpha: f64) {
+        for x in &mut self.data {
+            *x *= alpha;
+        }
+    }
+
+    /// Returns a copy scaled by `alpha`.
+    pub fn scaled(&self, alpha: f64) -> Matrix {
+        let mut out = self.clone();
+        out.scale_mut(alpha);
+        out
+    }
+
+    /// In-place `self += alpha * other`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if shapes differ.
+    pub fn axpy(&mut self, alpha: f64, other: &Matrix) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "Matrix::axpy",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        for (x, y) in self.data.iter_mut().zip(other.data.iter()) {
+            *x += alpha * y;
+        }
+        Ok(())
+    }
+
+    /// Adds `alpha` to every diagonal entry (shift / ridge regularisation).
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::NotSquare`] if the matrix is not square.
+    pub fn add_diagonal_mut(&mut self, alpha: f64) -> Result<()> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        for i in 0..self.rows {
+            self.data[i * self.cols + i] += alpha;
+        }
+        Ok(())
+    }
+
+    /// Matrix-vector product `self * x`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != ncols()`.
+    pub fn matvec(&self, x: &Vector) -> Result<Vector> {
+        if x.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "Matrix::matvec",
+                left: self.shape(),
+                right: (x.len(), 1),
+            });
+        }
+        let mut out = Vec::with_capacity(self.rows);
+        for i in 0..self.rows {
+            out.push(dot_slices(self.row(i), x.as_slice()));
+        }
+        Ok(Vector::from_vec(out))
+    }
+
+    /// Transposed matrix-vector product `self^T * x`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != nrows()`.
+    pub fn transpose_matvec(&self, x: &Vector) -> Result<Vector> {
+        if x.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "Matrix::transpose_matvec",
+                left: (self.cols, self.rows),
+                right: (x.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let xi = x[i];
+            if xi == 0.0 {
+                continue;
+            }
+            let row = self.row(i);
+            for j in 0..self.cols {
+                out[j] += xi * row[j];
+            }
+        }
+        Ok(Vector::from_vec(out))
+    }
+
+    /// Matrix-matrix product `self * other`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if inner dimensions differ.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "Matrix::matmul",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        // i-k-j loop order: streams through `other` row-wise, which is cache
+        // friendly for row-major storage.
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for (k, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for j in 0..other.cols {
+                    out_row[j] += aik * b_row[j];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Gram matrix `self^T * self` (an `ncols x ncols` symmetric matrix).
+    pub fn gram(&self) -> Matrix {
+        self.weighted_gram(None)
+    }
+
+    /// Weighted Gram matrix `self^T * diag(w) * self`.
+    ///
+    /// With `w = None` this is the plain Gram matrix. This is the kernel that
+    /// produces the PrIU intermediate results `Σ_i a_i x_i x_i^T` (Eq. 13/19).
+    ///
+    /// # Panics
+    /// Panics if `w` is provided with a length different from `nrows()`.
+    pub fn weighted_gram(&self, w: Option<&[f64]>) -> Matrix {
+        if let Some(w) = w {
+            assert_eq!(w.len(), self.rows, "weight length must equal row count");
+        }
+        let m = self.cols;
+        let mut out = Matrix::zeros(m, m);
+        for i in 0..self.rows {
+            let wi = w.map_or(1.0, |w| w[i]);
+            if wi == 0.0 {
+                continue;
+            }
+            let row = self.row(i);
+            // Accumulate only the upper triangle, mirror afterwards.
+            for a in 0..m {
+                let va = wi * row[a];
+                if va == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[a * m..(a + 1) * m];
+                for b in a..m {
+                    out_row[b] += va * row[b];
+                }
+            }
+        }
+        // Mirror upper triangle to lower triangle.
+        for a in 0..m {
+            for b in (a + 1)..m {
+                out.data[b * m + a] = out.data[a * m + b];
+            }
+        }
+        out
+    }
+
+    /// Rank-one update `self += alpha * x * x^T`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if the matrix is not
+    /// `len(x) x len(x)`.
+    pub fn rank_one_update(&mut self, alpha: f64, x: &Vector) -> Result<()> {
+        if self.rows != x.len() || self.cols != x.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "Matrix::rank_one_update",
+                left: self.shape(),
+                right: (x.len(), x.len()),
+            });
+        }
+        for i in 0..self.rows {
+            let xi = alpha * x[i];
+            if xi == 0.0 {
+                continue;
+            }
+            let row = &mut self.data[i * self.cols..(i + 1) * self.cols];
+            for j in 0..self.cols {
+                row[j] += xi * x[j];
+            }
+        }
+        Ok(())
+    }
+
+    /// Outer product `x * y^T`.
+    pub fn outer(x: &Vector, y: &Vector) -> Matrix {
+        Matrix::from_fn(x.len(), y.len(), |i, j| x[i] * y[j])
+    }
+
+    /// Whether all entries are finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Maximum absolute asymmetry `max_ij |A_ij - A_ji|` (0 for symmetric).
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::NotSquare`] for non-square matrices.
+    pub fn asymmetry(&self) -> Result<f64> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        let mut worst = 0.0_f64;
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                worst = worst.max((self[(i, j)] - self[(j, i)]).abs());
+            }
+        }
+        Ok(worst)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &Self::Output {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Self::Output {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add<&Matrix> for &Matrix {
+    type Output = Matrix;
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "matrix addition shape mismatch");
+        let mut out = self.clone();
+        out.axpy(1.0, rhs).expect("shapes already checked");
+        out
+    }
+}
+
+impl Sub<&Matrix> for &Matrix {
+    type Output = Matrix;
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "matrix subtraction shape mismatch");
+        let mut out = self.clone();
+        out.axpy(-1.0, rhs).expect("shapes already checked");
+        out
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: f64) -> Matrix {
+        self.scaled(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = sample();
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(1, 2)], 6.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.column(1).as_slice(), &[2.0, 5.0]);
+        assert!(Matrix::from_vec(2, 2, vec![1.0]).is_err());
+        assert!(!m.is_square());
+        assert!(Matrix::identity(3).is_square());
+    }
+
+    #[test]
+    fn identity_and_diagonal() {
+        let i = Matrix::identity(3);
+        assert_eq!(i.diagonal().as_slice(), &[1.0, 1.0, 1.0]);
+        let d = Matrix::from_diagonal(&[2.0, 3.0]);
+        assert_eq!(d[(0, 0)], 2.0);
+        assert_eq!(d[(0, 1)], 0.0);
+        assert_eq!(d[(1, 1)], 3.0);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matvec_and_transpose_matvec() {
+        let m = sample();
+        let x = Vector::from_vec(vec![1.0, 0.0, -1.0]);
+        let y = m.matvec(&x).unwrap();
+        assert_eq!(y.as_slice(), &[-2.0, -2.0]);
+        let z = m.transpose_matvec(&Vector::from_vec(vec![1.0, 1.0])).unwrap();
+        assert_eq!(z.as_slice(), &[5.0, 7.0, 9.0]);
+        assert!(m.matvec(&Vector::zeros(2)).is_err());
+        assert!(m.transpose_matvec(&Vector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn matmul_against_hand_computed() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+        assert!(a.matmul(&sample()).is_ok());
+        assert!(sample().matmul(&a).is_err());
+    }
+
+    #[test]
+    fn gram_matches_explicit_product() {
+        let x = sample();
+        let g = x.gram();
+        let explicit = x.transpose().matmul(&x).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((g[(i, j)] - explicit[(i, j)]).abs() < 1e-12);
+            }
+        }
+        assert!(g.asymmetry().unwrap() < 1e-15);
+    }
+
+    #[test]
+    fn weighted_gram_matches_loop() {
+        let x = sample();
+        let w = [0.5, -2.0];
+        let g = x.weighted_gram(Some(&w));
+        let mut expected = Matrix::zeros(3, 3);
+        for i in 0..2 {
+            expected
+                .rank_one_update(w[i], &x.row_vector(i))
+                .unwrap();
+        }
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((g[(i, j)] - expected[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn select_rows_and_first_columns() {
+        let x = sample();
+        let s = x.select_rows(&[1]);
+        assert_eq!(s.shape(), (1, 3));
+        assert_eq!(s.row(0), &[4.0, 5.0, 6.0]);
+        let c = x.first_columns(2).unwrap();
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.row(1), &[4.0, 5.0]);
+        assert!(x.first_columns(4).is_err());
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let a = Matrix::identity(2);
+        let b = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let sum = &a + &b;
+        assert_eq!(sum[(0, 0)], 2.0);
+        let diff = &b - &a;
+        assert_eq!(diff[(1, 1)], 3.0);
+        let scaled = &b * 2.0;
+        assert_eq!(scaled[(1, 0)], 6.0);
+    }
+
+    #[test]
+    fn outer_and_rank_one() {
+        let x = Vector::from_vec(vec![1.0, 2.0]);
+        let y = Vector::from_vec(vec![3.0, 4.0, 5.0]);
+        let o = Matrix::outer(&x, &y);
+        assert_eq!(o.shape(), (2, 3));
+        assert_eq!(o[(1, 2)], 10.0);
+        let mut m = Matrix::zeros(2, 2);
+        m.rank_one_update(2.0, &x).unwrap();
+        assert_eq!(m[(1, 1)], 8.0);
+        assert!(m.rank_one_update(1.0, &y).is_err());
+    }
+
+    #[test]
+    fn add_diagonal_and_norms() {
+        let mut m = Matrix::zeros(2, 2);
+        m.add_diagonal_mut(3.0).unwrap();
+        assert_eq!(m.diagonal().as_slice(), &[3.0, 3.0]);
+        assert!((m.frobenius_norm() - (18.0_f64).sqrt()).abs() < 1e-12);
+        assert_eq!(m.max_abs(), 3.0);
+        let mut rect = Matrix::zeros(2, 3);
+        assert!(rect.add_diagonal_mut(1.0).is_err());
+        assert!(rect.asymmetry().is_err());
+    }
+
+    #[test]
+    fn from_rows_validation() {
+        let rows = vec![
+            Vector::from_vec(vec![1.0, 2.0]),
+            Vector::from_vec(vec![3.0, 4.0]),
+        ];
+        let m = Matrix::from_rows(&rows).unwrap();
+        assert_eq!(m.shape(), (2, 2));
+        assert!(Matrix::from_rows(&[]).is_err());
+        let bad = vec![Vector::zeros(2), Vector::zeros(3)];
+        assert!(Matrix::from_rows(&bad).is_err());
+    }
+}

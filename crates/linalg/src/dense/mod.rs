@@ -1,0 +1,9 @@
+//! Dense row-major matrices and vectors plus their decompositions.
+
+pub mod decomposition;
+pub mod matrix;
+pub mod ops;
+pub mod vector;
+
+pub use matrix::Matrix;
+pub use vector::Vector;

@@ -1,0 +1,76 @@
+//! Error types shared by all linear-algebra routines.
+
+use std::fmt;
+
+/// Errors produced by linear-algebra routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes.
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left operand (rows, cols).
+        left: (usize, usize),
+        /// Shape of the right operand (rows, cols).
+        right: (usize, usize),
+    },
+    /// A matrix expected to be square was not.
+    NotSquare {
+        /// Number of rows observed.
+        rows: usize,
+        /// Number of columns observed.
+        cols: usize,
+    },
+    /// A factorization or solve failed because the matrix is singular (or
+    /// not positive definite for Cholesky).
+    Singular {
+        /// Routine that detected the problem.
+        op: &'static str,
+    },
+    /// An iterative routine failed to converge within its iteration budget.
+    DidNotConverge {
+        /// Routine that failed to converge.
+        op: &'static str,
+        /// Number of iterations performed.
+        iterations: usize,
+    },
+    /// An index was out of bounds for the container.
+    IndexOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Length / dimension of the container.
+        len: usize,
+    },
+    /// A parameter was invalid (e.g. zero dimension, rank larger than size).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, left, right } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "expected a square matrix, got {rows}x{cols}")
+            }
+            LinalgError::Singular { op } => {
+                write!(f, "matrix is singular (or not positive definite) in {op}")
+            }
+            LinalgError::DidNotConverge { op, iterations } => {
+                write!(f, "{op} did not converge after {iterations} iterations")
+            }
+            LinalgError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            LinalgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,45 @@
+//! # priu-linalg
+//!
+//! Self-contained dense and sparse linear-algebra substrate for the PrIU
+//! reproduction (Wu, Tannen, Davidson, SIGMOD 2020).
+//!
+//! The original paper runs its dense experiments on PyTorch and its sparse
+//! experiments on SciPy. This crate provides the equivalent kernels in pure
+//! Rust so that every method compared in the paper (PrIU, PrIU-opt, BaseL,
+//! Closed-form, INFL) runs on exactly the same primitives:
+//!
+//! * [`Matrix`] / [`Vector`] — dense row-major storage with BLAS-like
+//!   kernels (`gemv`, `gemm`, rank-k Gram updates, outer products, norms).
+//! * [`sparse::CsrMatrix`] — compressed sparse rows with `spmv` /
+//!   `transpose_spmv`, used for the RCV1-style sparse workloads (§5.3).
+//! * [`decomposition`] — Cholesky, LU (partial pivoting), Householder QR,
+//!   symmetric Jacobi eigendecomposition, and randomized / exact truncated
+//!   eigendecompositions of Gram forms. The truncated factorisations are the
+//!   "SVD over the intermediate results" used by PrIU (§5.1, §5.3); the
+//!   symmetric eigendecomposition plus the incremental eigenvalue update is
+//!   what PrIU-opt builds on (§5.2, Eq. 17–18).
+//! * [`stats`] — vector comparison metrics (L2 distance, cosine similarity,
+//!   sign flips) used by the evaluation's model-comparison section (Q4).
+//!
+//! All numerics are `f64`. The crate is deliberately dependency-light: only
+//! `rand` (random test matrices, randomized range finder) and `serde`
+//! (serialisable containers) are used.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dense;
+pub mod error;
+pub mod sparse;
+pub mod stats;
+
+pub mod decomposition {
+    //! Matrix decompositions: Cholesky, LU, QR, symmetric eigen, truncated
+    //! eigen/SVD of Gram forms.
+    pub use crate::dense::decomposition::*;
+}
+
+pub use dense::matrix::Matrix;
+pub use dense::vector::Vector;
+pub use error::{LinalgError, Result};
+pub use sparse::csr::CsrMatrix;

@@ -1,0 +1,148 @@
+//! Incremental (COO-style) construction of CSR matrices.
+
+use crate::error::{LinalgError, Result};
+use crate::sparse::csr::CsrMatrix;
+
+/// A coordinate-format accumulator that is converted into a [`CsrMatrix`]
+/// once all entries have been pushed. Duplicate `(row, col)` entries are
+/// summed, matching the usual COO→CSR semantics.
+#[derive(Debug, Clone)]
+pub struct CooBuilder {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl CooBuilder {
+    /// Creates a builder for a `rows x cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Records `value` at `(row, col)`; zeros are skipped.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::IndexOutOfBounds`] for out-of-range indices.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) -> Result<()> {
+        if row >= self.rows {
+            return Err(LinalgError::IndexOutOfBounds {
+                index: row,
+                len: self.rows,
+            });
+        }
+        if col >= self.cols {
+            return Err(LinalgError::IndexOutOfBounds {
+                index: col,
+                len: self.cols,
+            });
+        }
+        if value != 0.0 {
+            self.entries.push((row, col, value));
+        }
+        Ok(())
+    }
+
+    /// Number of recorded (pre-deduplication) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Builds the CSR matrix, summing duplicates.
+    pub fn build(mut self) -> CsrMatrix {
+        self.entries
+            .sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        let mut row_ptr = Vec::with_capacity(self.rows + 1);
+        let mut col_idx = Vec::with_capacity(self.entries.len());
+        let mut values = Vec::with_capacity(self.entries.len());
+        row_ptr.push(0);
+        let mut current_row = 0;
+        let mut i = 0;
+        while i < self.entries.len() {
+            let (r, c, mut v) = self.entries[i];
+            // Merge duplicates.
+            let mut j = i + 1;
+            while j < self.entries.len() && self.entries[j].0 == r && self.entries[j].1 == c {
+                v += self.entries[j].2;
+                j += 1;
+            }
+            while current_row < r {
+                row_ptr.push(col_idx.len());
+                current_row += 1;
+            }
+            if v != 0.0 {
+                col_idx.push(c);
+                values.push(v);
+            }
+            i = j;
+        }
+        while current_row < self.rows {
+            row_ptr.push(col_idx.len());
+            current_row += 1;
+        }
+        CsrMatrix::from_raw(self.rows, self.cols, row_ptr, col_idx, values)
+            .expect("builder produces structurally valid CSR")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::matrix::Matrix;
+
+    #[test]
+    fn builds_expected_matrix() {
+        let mut b = CooBuilder::new(2, 3);
+        b.push(0, 1, 2.0).unwrap();
+        b.push(1, 0, 3.0).unwrap();
+        b.push(1, 2, -1.0).unwrap();
+        b.push(0, 0, 0.0).unwrap(); // ignored zero
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        let m = b.build();
+        let expected = Matrix::from_vec(2, 3, vec![0.0, 2.0, 0.0, 3.0, 0.0, -1.0]).unwrap();
+        assert_eq!(m.to_dense(), expected);
+    }
+
+    #[test]
+    fn duplicates_are_summed_and_cancelled() {
+        let mut b = CooBuilder::new(1, 2);
+        b.push(0, 0, 1.0).unwrap();
+        b.push(0, 0, 2.0).unwrap();
+        b.push(0, 1, 1.0).unwrap();
+        b.push(0, 1, -1.0).unwrap();
+        let m = b.build();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.row(0), (&[0_usize][..], &[3.0][..]));
+    }
+
+    #[test]
+    fn out_of_range_is_rejected() {
+        let mut b = CooBuilder::new(1, 1);
+        assert!(b.push(1, 0, 1.0).is_err());
+        assert!(b.push(0, 1, 1.0).is_err());
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn empty_and_trailing_rows_are_handled() {
+        let b = CooBuilder::new(3, 2);
+        let m = b.build();
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.nrows(), 3);
+
+        let mut b = CooBuilder::new(3, 2);
+        b.push(0, 0, 1.0).unwrap();
+        let m = b.build();
+        assert_eq!(m.row(1).0.len(), 0);
+        assert_eq!(m.row(2).0.len(), 0);
+    }
+}

@@ -1,0 +1,317 @@
+//! Compressed sparse row (CSR) matrices.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dense::matrix::Matrix;
+use crate::dense::vector::Vector;
+use crate::error::{LinalgError, Result};
+
+/// A sparse matrix in compressed sparse row format.
+///
+/// Rows are training samples; the hot operations are `row · w` (per-sample
+/// margins) and scatter-adds of scaled rows into a dense accumulator (the
+/// gradient update), which is all the sparse path of PrIU needs (§5.3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Creates a CSR matrix from raw components.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::InvalidArgument`] if the components are
+    /// structurally inconsistent (wrong `row_ptr` length, non-monotone
+    /// pointers, column index out of range, or mismatched value count).
+    pub fn from_raw(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        if row_ptr.len() != rows + 1 {
+            return Err(LinalgError::InvalidArgument(format!(
+                "row_ptr must have {} entries, got {}",
+                rows + 1,
+                row_ptr.len()
+            )));
+        }
+        if row_ptr[0] != 0 || *row_ptr.last().expect("non-empty") != col_idx.len() {
+            return Err(LinalgError::InvalidArgument(
+                "row_ptr must start at 0 and end at nnz".to_string(),
+            ));
+        }
+        if col_idx.len() != values.len() {
+            return Err(LinalgError::InvalidArgument(
+                "col_idx and values must have the same length".to_string(),
+            ));
+        }
+        for w in row_ptr.windows(2) {
+            if w[1] < w[0] {
+                return Err(LinalgError::InvalidArgument(
+                    "row_ptr must be non-decreasing".to_string(),
+                ));
+            }
+        }
+        if col_idx.iter().any(|&c| c >= cols) {
+            return Err(LinalgError::InvalidArgument(
+                "column index out of range".to_string(),
+            ));
+        }
+        Ok(Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Converts a dense matrix, dropping exact zeros.
+    pub fn from_dense(dense: &Matrix) -> Self {
+        let (rows, cols) = dense.shape();
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for i in 0..rows {
+            for (j, &v) in dense.row(i).iter().enumerate() {
+                if v != 0.0 {
+                    col_idx.push(j);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fraction of stored entries over the full dense size (0 for an empty
+    /// matrix).
+    pub fn density(&self) -> f64 {
+        let total = self.rows * self.cols;
+        if total == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / total as f64
+        }
+    }
+
+    /// The sparse row `i` as parallel `(column, value)` slices.
+    ///
+    /// # Panics
+    /// Panics if `i >= nrows()`.
+    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        let start = self.row_ptr[i];
+        let end = self.row_ptr[i + 1];
+        (&self.col_idx[start..end], &self.values[start..end])
+    }
+
+    /// Dot product of sparse row `i` with a dense vector.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != ncols()`.
+    pub fn row_dot(&self, i: usize, x: &Vector) -> Result<f64> {
+        if x.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "CsrMatrix::row_dot",
+                left: (self.rows, self.cols),
+                right: (x.len(), 1),
+            });
+        }
+        let (cols, vals) = self.row(i);
+        Ok(cols
+            .iter()
+            .zip(vals.iter())
+            .map(|(&c, &v)| v * x[c])
+            .sum())
+    }
+
+    /// Adds `alpha * row_i` into the dense accumulator `acc`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `acc.len() != ncols()`.
+    pub fn scatter_row(&self, i: usize, alpha: f64, acc: &mut Vector) -> Result<()> {
+        if acc.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "CsrMatrix::scatter_row",
+                left: (self.rows, self.cols),
+                right: (acc.len(), 1),
+            });
+        }
+        let (cols, vals) = self.row(i);
+        for (&c, &v) in cols.iter().zip(vals.iter()) {
+            acc[c] += alpha * v;
+        }
+        Ok(())
+    }
+
+    /// Sparse matrix-vector product `self * x`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != ncols()`.
+    pub fn spmv(&self, x: &Vector) -> Result<Vector> {
+        if x.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "CsrMatrix::spmv",
+                left: (self.rows, self.cols),
+                right: (x.len(), 1),
+            });
+        }
+        let mut out = Vec::with_capacity(self.rows);
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            out.push(
+                cols.iter()
+                    .zip(vals.iter())
+                    .map(|(&c, &v)| v * x[c])
+                    .sum(),
+            );
+        }
+        Ok(Vector::from_vec(out))
+    }
+
+    /// Transposed sparse matrix-vector product `self^T * x`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != nrows()`.
+    pub fn transpose_spmv(&self, x: &Vector) -> Result<Vector> {
+        if x.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "CsrMatrix::transpose_spmv",
+                left: (self.cols, self.rows),
+                right: (x.len(), 1),
+            });
+        }
+        let mut out = Vector::zeros(self.cols);
+        for i in 0..self.rows {
+            let xi = x[i];
+            if xi == 0.0 {
+                continue;
+            }
+            self.scatter_row(i, xi, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    /// Materialises the dense equivalent (testing / small matrices only).
+    pub fn to_dense(&self) -> Matrix {
+        let mut dense = Matrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                dense[(i, c)] = v;
+            }
+        }
+        dense
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [[1, 0, 2], [0, 0, 0], [0, 3, 4]]
+        CsrMatrix::from_raw(
+            3,
+            3,
+            vec![0, 2, 2, 4],
+            vec![0, 2, 1, 2],
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let m = sample();
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.ncols(), 3);
+        assert_eq!(m.nnz(), 4);
+        assert!((m.density() - 4.0 / 9.0).abs() < 1e-12);
+        let (cols, vals) = m.row(2);
+        assert_eq!(cols, &[1, 2]);
+        assert_eq!(vals, &[3.0, 4.0]);
+        let (cols, vals) = m.row(1);
+        assert!(cols.is_empty());
+        assert!(vals.is_empty());
+    }
+
+    #[test]
+    fn invalid_structures_are_rejected() {
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        assert!(CsrMatrix::from_raw(1, 2, vec![0, 2], vec![0], vec![1.0]).is_err());
+        assert!(CsrMatrix::from_raw(1, 2, vec![0, 1], vec![5], vec![1.0]).is_err());
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 2, 1], vec![0], vec![1.0]).is_err());
+        assert!(CsrMatrix::from_raw(1, 2, vec![0, 1], vec![0, 1], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let m = sample();
+        let x = Vector::from_vec(vec![1.0, -1.0, 0.5]);
+        let sparse = m.spmv(&x).unwrap();
+        let dense = m.to_dense().matvec(&x).unwrap();
+        assert!((&sparse - &dense).norm2() < 1e-12);
+        assert!(m.spmv(&Vector::zeros(2)).is_err());
+    }
+
+    #[test]
+    fn transpose_spmv_matches_dense() {
+        let m = sample();
+        let x = Vector::from_vec(vec![2.0, 1.0, -1.0]);
+        let sparse = m.transpose_spmv(&x).unwrap();
+        let dense = m.to_dense().transpose_matvec(&x).unwrap();
+        assert!((&sparse - &dense).norm2() < 1e-12);
+        assert!(m.transpose_spmv(&Vector::zeros(4)).is_err());
+    }
+
+    #[test]
+    fn row_dot_and_scatter() {
+        let m = sample();
+        let x = Vector::from_vec(vec![1.0, 2.0, 3.0]);
+        assert_eq!(m.row_dot(0, &x).unwrap(), 7.0);
+        assert_eq!(m.row_dot(1, &x).unwrap(), 0.0);
+        let mut acc = Vector::zeros(3);
+        m.scatter_row(2, 2.0, &mut acc).unwrap();
+        assert_eq!(acc.as_slice(), &[0.0, 6.0, 8.0]);
+        assert!(m.row_dot(0, &Vector::zeros(1)).is_err());
+        assert!(m.scatter_row(0, 1.0, &mut Vector::zeros(1)).is_err());
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let dense = Matrix::from_vec(2, 3, vec![0.0, 1.5, 0.0, -2.0, 0.0, 3.0]).unwrap();
+        let sparse = CsrMatrix::from_dense(&dense);
+        assert_eq!(sparse.nnz(), 3);
+        assert_eq!(sparse.to_dense(), dense);
+    }
+}

@@ -1,0 +1,8 @@
+//! Sparse matrices (compressed sparse row), used for the RCV1-style sparse
+//! logistic-regression workloads (§5.3 of the paper).
+
+pub mod builder;
+pub mod csr;
+
+pub use builder::CooBuilder;
+pub use csr::CsrMatrix;

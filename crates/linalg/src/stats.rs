@@ -1,0 +1,148 @@
+//! Vector-comparison metrics used by the paper's model-comparison analysis
+//! (§6.2: "Model comparison" and question Q4).
+
+use crate::dense::vector::Vector;
+use crate::error::{LinalgError, Result};
+
+/// L2 distance between two parameter vectors (the paper's "distance" column).
+///
+/// # Errors
+/// Returns [`LinalgError::ShapeMismatch`] if lengths differ.
+pub fn l2_distance(a: &Vector, b: &Vector) -> Result<f64> {
+    if a.len() != b.len() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "l2_distance",
+            left: (a.len(), 1),
+            right: (b.len(), 1),
+        });
+    }
+    Ok((a - b).norm2())
+}
+
+/// Cosine similarity between two parameter vectors (the paper's "similarity"
+/// column). Returns 0 if either vector is (numerically) zero.
+///
+/// # Errors
+/// Returns [`LinalgError::ShapeMismatch`] if lengths differ.
+pub fn cosine_similarity(a: &Vector, b: &Vector) -> Result<f64> {
+    if a.len() != b.len() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "cosine_similarity",
+            left: (a.len(), 1),
+            right: (b.len(), 1),
+        });
+    }
+    let na = a.norm2();
+    let nb = b.norm2();
+    if na == 0.0 || nb == 0.0 {
+        return Ok(0.0);
+    }
+    Ok(a.dot(b)? / (na * nb))
+}
+
+/// Coordinate-wise drift between a reference parameter vector and an
+/// approximation (the paper's fine-grained Q4 analysis: sign flips and
+/// magnitude changes of individual coordinates).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoordinateDrift {
+    /// Number of coordinates whose sign differs between the two vectors.
+    pub sign_flips: usize,
+    /// Largest absolute coordinate-wise difference.
+    pub max_abs_change: f64,
+    /// Mean absolute coordinate-wise difference.
+    pub mean_abs_change: f64,
+    /// Largest relative magnitude change `|a_i - b_i| / max(|a_i|, eps)`.
+    pub max_relative_change: f64,
+}
+
+/// Computes [`CoordinateDrift`] between a reference vector `reference` and an
+/// approximation `approx`. Coordinates smaller than `zero_tol` in both
+/// vectors are not counted as sign flips.
+///
+/// # Errors
+/// Returns [`LinalgError::ShapeMismatch`] if lengths differ.
+pub fn coordinate_drift(reference: &Vector, approx: &Vector, zero_tol: f64) -> Result<CoordinateDrift> {
+    if reference.len() != approx.len() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "coordinate_drift",
+            left: (reference.len(), 1),
+            right: (approx.len(), 1),
+        });
+    }
+    let mut sign_flips = 0;
+    let mut max_abs = 0.0_f64;
+    let mut sum_abs = 0.0_f64;
+    let mut max_rel = 0.0_f64;
+    for i in 0..reference.len() {
+        let r = reference[i];
+        let a = approx[i];
+        let diff = (r - a).abs();
+        max_abs = max_abs.max(diff);
+        sum_abs += diff;
+        if r.abs() > zero_tol || a.abs() > zero_tol {
+            if r.signum() != a.signum() && r.abs() > zero_tol && a.abs() > zero_tol {
+                sign_flips += 1;
+            }
+            max_rel = max_rel.max(diff / r.abs().max(zero_tol));
+        }
+    }
+    let mean_abs = if reference.is_empty() {
+        0.0
+    } else {
+        sum_abs / reference.len() as f64
+    };
+    Ok(CoordinateDrift {
+        sign_flips,
+        max_abs_change: max_abs,
+        mean_abs_change: mean_abs,
+        max_relative_change: max_rel,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_distance_basics() {
+        let a = Vector::from_vec(vec![1.0, 2.0]);
+        let b = Vector::from_vec(vec![4.0, 6.0]);
+        assert!((l2_distance(&a, &b).unwrap() - 5.0).abs() < 1e-12);
+        assert_eq!(l2_distance(&a, &a).unwrap(), 0.0);
+        assert!(l2_distance(&a, &Vector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn cosine_similarity_basics() {
+        let a = Vector::from_vec(vec![1.0, 0.0]);
+        let b = Vector::from_vec(vec![0.0, 1.0]);
+        assert!(cosine_similarity(&a, &b).unwrap().abs() < 1e-12);
+        assert!((cosine_similarity(&a, &a).unwrap() - 1.0).abs() < 1e-12);
+        let c = Vector::from_vec(vec![-2.0, 0.0]);
+        assert!((cosine_similarity(&a, &c).unwrap() + 1.0).abs() < 1e-12);
+        assert_eq!(cosine_similarity(&a, &Vector::zeros(2)).unwrap(), 0.0);
+        assert!(cosine_similarity(&a, &Vector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn coordinate_drift_counts_sign_flips() {
+        let reference = Vector::from_vec(vec![1.0, -2.0, 0.5, 1e-12]);
+        let approx = Vector::from_vec(vec![1.1, 2.0, 0.4, -1e-12]);
+        let drift = coordinate_drift(&reference, &approx, 1e-9).unwrap();
+        assert_eq!(drift.sign_flips, 1);
+        assert!((drift.max_abs_change - 4.0).abs() < 1e-12);
+        assert!(drift.mean_abs_change > 0.0);
+        assert!(drift.max_relative_change >= 2.0);
+        assert!(coordinate_drift(&reference, &Vector::zeros(2), 1e-9).is_err());
+    }
+
+    #[test]
+    fn identical_vectors_have_no_drift() {
+        let a = Vector::from_vec(vec![0.3, -0.7, 2.0]);
+        let drift = coordinate_drift(&a, &a, 1e-9).unwrap();
+        assert_eq!(drift.sign_flips, 0);
+        assert_eq!(drift.max_abs_change, 0.0);
+        assert_eq!(drift.mean_abs_change, 0.0);
+        assert_eq!(drift.max_relative_change, 0.0);
+    }
+}

@@ -1,0 +1,419 @@
+//! Provenance-annotated matrices and vectors.
+//!
+//! Following the matrix extension of the semiring framework (Yan, Tannen,
+//! Ives; §4.1 of the PrIU paper), an annotated matrix is a formal sum
+//! `Σ_k  p_k ∗ A_k` of numeric matrices `A_k` annotated with provenance
+//! polynomials `p_k`. The algebra obeys
+//!
+//! * `(p ∗ A) + (q ∗ B)` — term-wise formal addition,
+//! * `(p ∗ A)(q ∗ B) = (p·q) ∗ (A B)` — joint use multiplies annotations,
+//! * specialisation under a valuation: deleted tokens send their terms to the
+//!   zero matrix, retained tokens act as the identity, so specialising the
+//!   annotated expression performs deletion propagation.
+//!
+//! These symbolic expressions are exponential in the number of iterations and
+//! are only used by the reference implementation and the correctness tests —
+//! the production PrIU path caches specialised contributions instead.
+
+use priu_linalg::{Matrix, Vector};
+
+use crate::polynomial::Polynomial;
+use crate::valuation::Valuation;
+
+/// A provenance-annotated matrix: a formal sum of annotated terms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnotatedMatrix {
+    rows: usize,
+    cols: usize,
+    terms: Vec<(Polynomial, Matrix)>,
+}
+
+/// A provenance-annotated vector: a formal sum of annotated terms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnotatedVector {
+    len: usize,
+    terms: Vec<(Polynomial, Vector)>,
+}
+
+impl AnnotatedMatrix {
+    /// The zero annotated matrix of the given shape (no terms).
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            terms: Vec::new(),
+        }
+    }
+
+    /// Annotates a matrix with `1_prov` ("always available, no need to
+    /// track"), as done for the helper matrices in the paper.
+    pub fn unannotated(matrix: Matrix) -> Self {
+        Self::annotated(Polynomial::one(), matrix)
+    }
+
+    /// Annotates a matrix with an arbitrary provenance polynomial (`p ∗ A`).
+    pub fn annotated(poly: Polynomial, matrix: Matrix) -> Self {
+        let (rows, cols) = matrix.shape();
+        let terms = if poly.is_zero() {
+            Vec::new()
+        } else {
+            vec![(poly, matrix)]
+        };
+        Self { rows, cols, terms }
+    }
+
+    /// Shape of the underlying matrices.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of annotated terms in the formal sum.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Iterates over the annotated terms.
+    pub fn terms(&self) -> impl Iterator<Item = &(Polynomial, Matrix)> + '_ {
+        self.terms.iter()
+    }
+
+    /// Formal addition of two annotated matrices.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ (programming error in the caller).
+    pub fn add(&self, other: &AnnotatedMatrix) -> AnnotatedMatrix {
+        assert_eq!(self.shape(), other.shape(), "annotated matrix addition shape mismatch");
+        let mut terms = self.terms.clone();
+        terms.extend(other.terms.iter().cloned());
+        AnnotatedMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            terms,
+        }
+    }
+
+    /// Annotated matrix product: every pair of terms combines as
+    /// `(p ∗ A)(q ∗ B) = (p·q) ∗ (AB)`.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions differ.
+    pub fn matmul(&self, other: &AnnotatedMatrix) -> AnnotatedMatrix {
+        assert_eq!(self.cols, other.rows, "annotated matmul inner dimension mismatch");
+        let mut terms = Vec::with_capacity(self.terms.len() * other.terms.len());
+        for (pa, a) in &self.terms {
+            for (pb, b) in &other.terms {
+                let poly = pa.mul(pb);
+                if poly.is_zero() {
+                    continue;
+                }
+                let prod = a.matmul(b).expect("shapes checked above");
+                terms.push((poly, prod));
+            }
+        }
+        AnnotatedMatrix {
+            rows: self.rows,
+            cols: other.cols,
+            terms,
+        }
+    }
+
+    /// Annotated matrix-vector product.
+    ///
+    /// # Panics
+    /// Panics if the dimensions are inconsistent.
+    pub fn matvec(&self, other: &AnnotatedVector) -> AnnotatedVector {
+        assert_eq!(self.cols, other.len, "annotated matvec dimension mismatch");
+        let mut terms = Vec::with_capacity(self.terms.len() * other.terms.len());
+        for (pa, a) in &self.terms {
+            for (pb, b) in &other.terms {
+                let poly = pa.mul(pb);
+                if poly.is_zero() {
+                    continue;
+                }
+                let prod = a.matvec(b).expect("shapes checked above");
+                terms.push((poly, prod));
+            }
+        }
+        AnnotatedVector {
+            len: self.rows,
+            terms,
+        }
+    }
+
+    /// Scales every term's numeric matrix by a real constant (annotations are
+    /// untouched; this corresponds to multiplying by `1_prov ∗ (αI)`).
+    pub fn scale(&self, alpha: f64) -> AnnotatedMatrix {
+        AnnotatedMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            terms: self
+                .terms
+                .iter()
+                .map(|(p, m)| (p.clone(), m.scaled(alpha)))
+                .collect(),
+        }
+    }
+
+    /// Merges terms with identical annotations and optionally applies the
+    /// idempotent quotient first (Theorem 3's assumption), keeping the
+    /// expression size manageable for the reference implementation.
+    pub fn compact(&self, idempotent: bool) -> AnnotatedMatrix {
+        let mut merged: Vec<(Polynomial, Matrix)> = Vec::new();
+        for (p, m) in &self.terms {
+            let key = if idempotent { p.idempotent() } else { p.clone() };
+            if key.is_zero() {
+                continue;
+            }
+            if let Some(entry) = merged.iter_mut().find(|(q, _)| *q == key) {
+                entry.1.axpy(1.0, m).expect("uniform shapes");
+            } else {
+                merged.push((key, m.clone()));
+            }
+        }
+        AnnotatedMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            terms: merged,
+        }
+    }
+
+    /// Specialises the expression under a valuation: terms whose annotation
+    /// mentions a deleted token vanish; surviving annotations become natural
+    /// numbers multiplying their matrices.
+    pub fn specialize(&self, valuation: &Valuation) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for (p, m) in &self.terms {
+            let c = p.specialize(valuation);
+            if c > 0 {
+                out.axpy(c as f64, m).expect("uniform shapes");
+            }
+        }
+        out
+    }
+}
+
+impl AnnotatedVector {
+    /// The zero annotated vector of the given length (no terms).
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            len,
+            terms: Vec::new(),
+        }
+    }
+
+    /// Annotates a vector with `1_prov`.
+    pub fn unannotated(vector: Vector) -> Self {
+        Self::annotated(Polynomial::one(), vector)
+    }
+
+    /// Annotates a vector with an arbitrary provenance polynomial (`p ∗ v`).
+    pub fn annotated(poly: Polynomial, vector: Vector) -> Self {
+        let len = vector.len();
+        let terms = if poly.is_zero() {
+            Vec::new()
+        } else {
+            vec![(poly, vector)]
+        };
+        Self { len, terms }
+    }
+
+    /// Length of the underlying vectors.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector has length zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of annotated terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Iterates over the annotated terms.
+    pub fn terms(&self) -> impl Iterator<Item = &(Polynomial, Vector)> + '_ {
+        self.terms.iter()
+    }
+
+    /// Formal addition.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn add(&self, other: &AnnotatedVector) -> AnnotatedVector {
+        assert_eq!(self.len, other.len, "annotated vector addition length mismatch");
+        let mut terms = self.terms.clone();
+        terms.extend(other.terms.iter().cloned());
+        AnnotatedVector {
+            len: self.len,
+            terms,
+        }
+    }
+
+    /// Scales every term's numeric vector by a real constant.
+    pub fn scale(&self, alpha: f64) -> AnnotatedVector {
+        AnnotatedVector {
+            len: self.len,
+            terms: self
+                .terms
+                .iter()
+                .map(|(p, v)| (p.clone(), v.scaled(alpha)))
+                .collect(),
+        }
+    }
+
+    /// Merges terms with identical annotations, optionally applying the
+    /// idempotent quotient first.
+    pub fn compact(&self, idempotent: bool) -> AnnotatedVector {
+        let mut merged: Vec<(Polynomial, Vector)> = Vec::new();
+        for (p, v) in &self.terms {
+            let key = if idempotent { p.idempotent() } else { p.clone() };
+            if key.is_zero() {
+                continue;
+            }
+            if let Some(entry) = merged.iter_mut().find(|(q, _)| *q == key) {
+                entry.1.axpy(1.0, v).expect("uniform lengths");
+            } else {
+                merged.push((key, v.clone()));
+            }
+        }
+        AnnotatedVector {
+            len: self.len,
+            terms: merged,
+        }
+    }
+
+    /// Specialises the expression under a valuation (deletion propagation).
+    pub fn specialize(&self, valuation: &Valuation) -> Vector {
+        let mut out = Vector::zeros(self.len);
+        for (p, v) in &self.terms {
+            let c = p.specialize(valuation);
+            if c > 0 {
+                out.axpy(c as f64, v).expect("uniform lengths");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::Token;
+
+    fn p0() -> Polynomial {
+        Polynomial::from_token(Token(0))
+    }
+    fn p1() -> Polynomial {
+        Polynomial::from_token(Token(1))
+    }
+
+    #[test]
+    fn annotation_and_specialisation_of_vectors() {
+        // w = p0 ∗ u + p1 ∗ v; deleting token 1 leaves u.
+        let u = Vector::from_vec(vec![1.0, 2.0]);
+        let v = Vector::from_vec(vec![10.0, 20.0]);
+        let w = AnnotatedVector::annotated(p0(), u.clone())
+            .add(&AnnotatedVector::annotated(p1(), v.clone()));
+        assert_eq!(w.num_terms(), 2);
+        assert_eq!(w.len(), 2);
+        assert!(!w.is_empty());
+
+        let keep_all = w.specialize(&Valuation::all_present());
+        assert_eq!(keep_all.as_slice(), &[11.0, 22.0]);
+
+        let drop1 = w.specialize(&Valuation::deleting([Token(1)]));
+        assert_eq!(drop1.as_slice(), u.as_slice());
+
+        let drop_both = w.specialize(&Valuation::deleting([Token(0), Token(1)]));
+        assert_eq!(drop_both.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn matrix_decomposition_example_from_paper() {
+        // X (2x2) decomposed as p0 ∗ [x1; 0] + p1 ∗ [0; x2]; specialisation
+        // with all tokens present reconstructs X, deleting token 0 zeroes the
+        // first row.
+        let x1 = Matrix::from_vec(2, 2, vec![1.0, 2.0, 0.0, 0.0]).unwrap();
+        let x2 = Matrix::from_vec(2, 2, vec![0.0, 0.0, 3.0, 4.0]).unwrap();
+        let x = AnnotatedMatrix::annotated(p0(), x1.clone())
+            .add(&AnnotatedMatrix::annotated(p1(), x2.clone()));
+        let full = x.specialize(&Valuation::all_present());
+        assert_eq!(full[(0, 1)], 2.0);
+        assert_eq!(full[(1, 0)], 3.0);
+        let dropped = x.specialize(&Valuation::deleting([Token(0)]));
+        assert_eq!(dropped.row(0), &[0.0, 0.0]);
+        assert_eq!(dropped.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn multiplication_combines_annotations() {
+        // (p0 ∗ A)(p1 ∗ B) = (p0·p1) ∗ AB.
+        let a = Matrix::identity(2);
+        let b = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let prod = AnnotatedMatrix::annotated(p0(), a).matmul(&AnnotatedMatrix::annotated(p1(), b.clone()));
+        assert_eq!(prod.num_terms(), 1);
+        let (poly, mat) = prod.terms().next().unwrap();
+        assert!(poly.mentions(Token(0)) && poly.mentions(Token(1)));
+        assert_eq!(mat, &b);
+        // Deleting either token kills the product.
+        assert_eq!(
+            prod.specialize(&Valuation::deleting([Token(0)])).max_abs(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn matvec_and_scale() {
+        let a = AnnotatedMatrix::unannotated(Matrix::identity(2)).scale(2.0);
+        let v = AnnotatedVector::annotated(p0(), Vector::from_vec(vec![1.0, -1.0]));
+        let out = a.matvec(&v);
+        assert_eq!(out.len(), 2);
+        let spec = out.specialize(&Valuation::all_present());
+        assert_eq!(spec.as_slice(), &[2.0, -2.0]);
+        let scaled = v.scale(3.0).specialize(&Valuation::all_present());
+        assert_eq!(scaled.as_slice(), &[3.0, -3.0]);
+    }
+
+    #[test]
+    fn compact_merges_terms_and_applies_idempotence() {
+        // p0² ∗ A + p0 ∗ A compacts (idempotently) into a single term 2A.
+        let a = Matrix::identity(2);
+        let expr = AnnotatedMatrix::annotated(Polynomial::token_power(Token(0), 2), a.clone())
+            .add(&AnnotatedMatrix::annotated(p0(), a.clone()));
+        assert_eq!(expr.num_terms(), 2);
+        let compacted = expr.compact(true);
+        assert_eq!(compacted.num_terms(), 1);
+        let spec = compacted.specialize(&Valuation::all_present());
+        assert_eq!(spec[(0, 0)], 2.0);
+        // Without idempotence the two terms stay distinct.
+        assert_eq!(expr.compact(false).num_terms(), 2);
+    }
+
+    #[test]
+    fn zero_annotations_produce_no_terms() {
+        let z = AnnotatedMatrix::annotated(Polynomial::zero(), Matrix::identity(2));
+        assert_eq!(z.num_terms(), 0);
+        assert_eq!(z.specialize(&Valuation::all_present()).max_abs(), 0.0);
+        let zv = AnnotatedVector::annotated(Polynomial::zero(), Vector::ones(3));
+        assert_eq!(zv.num_terms(), 0);
+        let zeros = AnnotatedMatrix::zeros(2, 3);
+        assert_eq!(zeros.shape(), (2, 3));
+        let zerov = AnnotatedVector::zeros(3);
+        assert_eq!(zerov.len(), 3);
+    }
+
+    #[test]
+    fn vector_compact_merges() {
+        let v = Vector::ones(2);
+        let expr = AnnotatedVector::annotated(p0(), v.clone())
+            .add(&AnnotatedVector::annotated(p0(), v.clone()));
+        let compacted = expr.compact(false);
+        assert_eq!(compacted.num_terms(), 1);
+        assert_eq!(
+            compacted.specialize(&Valuation::all_present()).as_slice(),
+            &[2.0, 2.0]
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! # priu-provenance
+//!
+//! The provenance-semiring substrate of the PrIU reproduction.
+//!
+//! PrIU (§4.1 of the paper) builds on two prior lines of work:
+//!
+//! 1. the **provenance semiring framework** of Green, Karvounarakis and
+//!    Tannen, in which input items are annotated with *provenance tokens*,
+//!    annotations combine with `+` (alternative use) and `·` (joint use), and
+//!    results carry *provenance polynomials* `N[T]`; and
+//! 2. its **extension to linear algebra** (Yan, Tannen, Ives), in which
+//!    provenance polynomials play the role of scalars and annotate matrices
+//!    and vectors via an operation `∗` satisfying
+//!    `(p ∗ A)(q ∗ B) = (p·q) ∗ (AB)`.
+//!
+//! This crate implements both layers:
+//!
+//! * [`token`] / [`monomial`] / [`polynomial`] — tokens, monomials and
+//!   polynomials in `N[T]`, with the idempotent-multiplication quotient that
+//!   Theorem 3 of the paper assumes for convergence;
+//! * [`semiring`] — a generic [`semiring::Semiring`] trait with the standard
+//!   instances (naturals, booleans / Why-provenance, tropical), of which the
+//!   provenance polynomials are the free commutative instance;
+//! * [`annotated`] — provenance-annotated matrices and vectors
+//!   (`Σ_k p_k ∗ A_k`) with the algebra of §4.1, plus *specialisation* under
+//!   a [`valuation::Valuation`] that sets deleted tokens to `0_prov` and
+//!   retained tokens to `1_prov`, which is exactly the paper's deletion
+//!   propagation.
+//!
+//! The optimized PrIU algorithms in `priu-core` never materialise these
+//! symbolic expressions — they cache the numeric contributions directly — but
+//! this crate is used by the reference implementation and by tests that prove
+//! the cached-contribution path agrees with honest-to-goodness provenance
+//! specialisation on small instances.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod annotated;
+pub mod monomial;
+pub mod polynomial;
+pub mod semiring;
+pub mod token;
+pub mod valuation;
+
+pub use annotated::{AnnotatedMatrix, AnnotatedVector};
+pub use monomial::Monomial;
+pub use polynomial::Polynomial;
+pub use semiring::Semiring;
+pub use token::{Token, TokenRegistry};
+pub use valuation::{Presence, Valuation};

@@ -1,0 +1,184 @@
+//! Monomials over provenance tokens (e.g. `p² q`).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::token::Token;
+
+/// A monomial `Π_i p_i^{e_i}` over provenance tokens, stored as a sorted
+/// `token → exponent` map (exponents are strictly positive).
+///
+/// The paper's example `p²q` means "the item annotated `p` was used twice
+/// jointly with the item annotated `q`". Under the idempotent-multiplication
+/// quotient assumed by Theorem 3 all exponents collapse to 1.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Monomial {
+    exponents: BTreeMap<Token, u32>,
+}
+
+impl Monomial {
+    /// The empty monomial (degree 0), i.e. the multiplicative unit.
+    pub fn unit() -> Self {
+        Self::default()
+    }
+
+    /// The degree-1 monomial consisting of a single token.
+    pub fn from_token(token: Token) -> Self {
+        let mut exponents = BTreeMap::new();
+        exponents.insert(token, 1);
+        Self { exponents }
+    }
+
+    /// A monomial with an explicit exponent for a single token.
+    /// An exponent of 0 yields the unit monomial.
+    pub fn from_power(token: Token, exponent: u32) -> Self {
+        let mut exponents = BTreeMap::new();
+        if exponent > 0 {
+            exponents.insert(token, exponent);
+        }
+        Self { exponents }
+    }
+
+    /// Whether this is the unit (degree-0) monomial.
+    pub fn is_unit(&self) -> bool {
+        self.exponents.is_empty()
+    }
+
+    /// Total degree (sum of exponents).
+    pub fn degree(&self) -> u32 {
+        self.exponents.values().sum()
+    }
+
+    /// Exponent of a given token (0 if absent).
+    pub fn exponent(&self, token: Token) -> u32 {
+        self.exponents.get(&token).copied().unwrap_or(0)
+    }
+
+    /// Whether the monomial mentions the given token.
+    pub fn contains(&self, token: Token) -> bool {
+        self.exponents.contains_key(&token)
+    }
+
+    /// The distinct tokens mentioned by the monomial.
+    pub fn tokens(&self) -> impl Iterator<Item = Token> + '_ {
+        self.exponents.keys().copied()
+    }
+
+    /// Product of two monomials (exponents add).
+    pub fn mul(&self, other: &Monomial) -> Monomial {
+        let mut exponents = self.exponents.clone();
+        for (&tok, &exp) in &other.exponents {
+            *exponents.entry(tok).or_insert(0) += exp;
+        }
+        Monomial { exponents }
+    }
+
+    /// The idempotent quotient: every exponent collapsed to 1 (the
+    /// "multiplication idempotence" assumption of Theorem 3, which intuitively
+    /// means we do not track multiple joint uses of the same sample).
+    pub fn idempotent(&self) -> Monomial {
+        Monomial {
+            exponents: self.exponents.keys().map(|&t| (t, 1)).collect(),
+        }
+    }
+
+    /// Evaluates the monomial under a token assignment into an arbitrary
+    /// commutative semiring: each token is mapped by `f` and the results are
+    /// multiplied (exponentiation by repeated multiplication).
+    pub fn evaluate<S, F>(&self, mut f: F) -> S
+    where
+        S: crate::semiring::Semiring,
+        F: FnMut(Token) -> S,
+    {
+        let mut acc = S::one();
+        for (&tok, &exp) in &self.exponents {
+            let v = f(tok);
+            for _ in 0..exp {
+                acc = acc.mul(&v);
+            }
+        }
+        acc
+    }
+}
+
+impl fmt::Display for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_unit() {
+            return write!(f, "1");
+        }
+        let mut first = true;
+        for (tok, exp) in &self.exponents {
+            if !first {
+                write!(f, "·")?;
+            }
+            first = false;
+            if *exp == 1 {
+                write!(f, "p{}", tok.id())?;
+            } else {
+                write!(f, "p{}^{}", tok.id(), exp)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::{Bool, Natural};
+
+    #[test]
+    fn construction_and_degree() {
+        let p = Token(0);
+        let q = Token(1);
+        let m = Monomial::from_power(p, 2).mul(&Monomial::from_token(q));
+        assert_eq!(m.degree(), 3);
+        assert_eq!(m.exponent(p), 2);
+        assert_eq!(m.exponent(q), 1);
+        assert_eq!(m.exponent(Token(9)), 0);
+        assert!(m.contains(p));
+        assert!(!m.contains(Token(9)));
+        assert_eq!(m.tokens().count(), 2);
+        assert!(Monomial::unit().is_unit());
+        assert!(Monomial::from_power(p, 0).is_unit());
+    }
+
+    #[test]
+    fn multiplication_is_commutative_and_unital() {
+        let p = Monomial::from_token(Token(0));
+        let q = Monomial::from_token(Token(1));
+        assert_eq!(p.mul(&q), q.mul(&p));
+        assert_eq!(p.mul(&Monomial::unit()), p);
+    }
+
+    #[test]
+    fn idempotent_quotient_collapses_exponents() {
+        let m = Monomial::from_power(Token(0), 3).mul(&Monomial::from_power(Token(1), 2));
+        let idem = m.idempotent();
+        assert_eq!(idem.exponent(Token(0)), 1);
+        assert_eq!(idem.exponent(Token(1)), 1);
+        assert_eq!(idem.degree(), 2);
+    }
+
+    #[test]
+    fn evaluation_into_semirings() {
+        let p = Token(0);
+        let q = Token(1);
+        let m = Monomial::from_power(p, 2).mul(&Monomial::from_token(q));
+        // p=2, q=3 → 2²·3 = 12 in the counting semiring.
+        let n: Natural = m.evaluate(|t| if t == p { Natural(2) } else { Natural(3) });
+        assert_eq!(n, Natural(12));
+        // Boolean: present iff all mentioned tokens are present.
+        let all_present: Bool = m.evaluate(|_| Bool(true));
+        assert_eq!(all_present, Bool(true));
+        let q_absent: Bool = m.evaluate(|t| Bool(t != q));
+        assert_eq!(q_absent, Bool(false));
+    }
+
+    #[test]
+    fn display_formats_monomials() {
+        assert_eq!(Monomial::unit().to_string(), "1");
+        let m = Monomial::from_power(Token(0), 2).mul(&Monomial::from_token(Token(3)));
+        assert_eq!(m.to_string(), "p0^2·p3");
+    }
+}

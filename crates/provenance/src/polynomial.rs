@@ -1,0 +1,271 @@
+//! Provenance polynomials `N[T]`: natural-number combinations of monomials.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::monomial::Monomial;
+use crate::semiring::Semiring;
+use crate::token::Token;
+use crate::valuation::{Presence, Valuation};
+
+/// A provenance polynomial — an element of `N[T]`, the free commutative
+/// semiring over the token set.
+///
+/// `0_prov` is the empty polynomial (absence); `1_prov` is the unit monomial
+/// with coefficient 1 ("neutral presence, no need to track").
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Polynomial {
+    /// monomial → coefficient (coefficients are strictly positive naturals).
+    terms: BTreeMap<Monomial, u64>,
+}
+
+impl Polynomial {
+    /// The zero polynomial `0_prov`.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// The unit polynomial `1_prov`.
+    pub fn one() -> Self {
+        Self::from_monomial(Monomial::unit())
+    }
+
+    /// A polynomial consisting of a single monomial with coefficient 1.
+    pub fn from_monomial(m: Monomial) -> Self {
+        let mut terms = BTreeMap::new();
+        terms.insert(m, 1);
+        Self { terms }
+    }
+
+    /// The degree-1 polynomial consisting of a single token.
+    pub fn from_token(t: Token) -> Self {
+        Self::from_monomial(Monomial::from_token(t))
+    }
+
+    /// A single-token power such as `p²` (the squared annotations appearing
+    /// in the paper's Eq. 7/8, from using sample `i` jointly with itself in
+    /// `x_i x_i^T`).
+    pub fn token_power(t: Token, exponent: u32) -> Self {
+        Self::from_monomial(Monomial::from_power(t, exponent))
+    }
+
+    /// Whether this is `0_prov`.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Whether this is exactly `1_prov`.
+    pub fn is_one(&self) -> bool {
+        self.terms.len() == 1 && self.terms.get(&Monomial::unit()) == Some(&1)
+    }
+
+    /// Number of (monomial, coefficient) terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Iterates over the `(monomial, coefficient)` terms.
+    pub fn terms(&self) -> impl Iterator<Item = (&Monomial, u64)> + '_ {
+        self.terms.iter().map(|(m, &c)| (m, c))
+    }
+
+    /// Coefficient of the given monomial (0 if absent).
+    pub fn coefficient(&self, m: &Monomial) -> u64 {
+        self.terms.get(m).copied().unwrap_or(0)
+    }
+
+    /// Whether the polynomial mentions the given token in any monomial.
+    pub fn mentions(&self, token: Token) -> bool {
+        self.terms.keys().any(|m| m.contains(token))
+    }
+
+    fn insert(&mut self, m: Monomial, c: u64) {
+        if c == 0 {
+            return;
+        }
+        *self.terms.entry(m).or_insert(0) += c;
+    }
+
+    /// Polynomial addition.
+    pub fn add(&self, other: &Polynomial) -> Polynomial {
+        let mut out = self.clone();
+        for (m, c) in other.terms() {
+            out.insert(m.clone(), c);
+        }
+        out
+    }
+
+    /// Polynomial multiplication.
+    pub fn mul(&self, other: &Polynomial) -> Polynomial {
+        let mut out = Polynomial::zero();
+        for (ma, ca) in self.terms() {
+            for (mb, cb) in other.terms() {
+                out.insert(ma.mul(mb), ca.saturating_mul(cb));
+            }
+        }
+        out
+    }
+
+    /// The idempotent quotient: exponents collapse to 1 and coefficients of
+    /// merged monomials are combined (the assumption of Theorem 3).
+    pub fn idempotent(&self) -> Polynomial {
+        let mut out = Polynomial::zero();
+        for (m, c) in self.terms() {
+            out.insert(m.idempotent(), c);
+        }
+        out
+    }
+
+    /// Specialises the polynomial under a deletion valuation: deleted tokens
+    /// become `0_prov` (their monomials vanish) and retained tokens become
+    /// `1_prov`. The result is the natural number that multiplies the
+    /// annotated value (usually 1 for surviving terms).
+    pub fn specialize(&self, valuation: &Valuation) -> u64 {
+        let mut total: u64 = 0;
+        for (m, c) in self.terms() {
+            let survives = m
+                .tokens()
+                .all(|t| valuation.presence(t) == Presence::Present);
+            if survives {
+                total = total.saturating_add(c);
+            }
+        }
+        total
+    }
+
+    /// Evaluates the polynomial into an arbitrary commutative semiring via a
+    /// token assignment (the universal property of `N[T]`).
+    pub fn evaluate<S, F>(&self, mut f: F) -> S
+    where
+        S: Semiring,
+        F: FnMut(Token) -> S,
+    {
+        let mut acc = S::zero();
+        for (m, c) in self.terms() {
+            let mv: S = m.evaluate(&mut f);
+            // coefficient c means "added c times".
+            for _ in 0..c {
+                acc = acc.add(&mv);
+            }
+        }
+        acc
+    }
+}
+
+impl fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (m, c) in self.terms() {
+            if !first {
+                write!(f, " + ")?;
+            }
+            first = false;
+            if c != 1 || m.is_unit() {
+                write!(f, "{c}")?;
+                if !m.is_unit() {
+                    write!(f, "·")?;
+                }
+            }
+            if !m.is_unit() {
+                write!(f, "{m}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::Natural;
+
+    fn p() -> Token {
+        Token(0)
+    }
+    fn q() -> Token {
+        Token(1)
+    }
+    fn r() -> Token {
+        Token(2)
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(Polynomial::zero().is_zero());
+        assert!(Polynomial::one().is_one());
+        assert!(!Polynomial::from_token(p()).is_zero());
+        assert!(!Polynomial::from_token(p()).is_one());
+    }
+
+    #[test]
+    fn addition_and_multiplication() {
+        // (p + q) · r = p·r + q·r
+        let sum = Polynomial::from_token(p()).add(&Polynomial::from_token(q()));
+        let prod = sum.mul(&Polynomial::from_token(r()));
+        assert_eq!(prod.num_terms(), 2);
+        let pr = Monomial::from_token(p()).mul(&Monomial::from_token(r()));
+        assert_eq!(prod.coefficient(&pr), 1);
+        assert!(prod.mentions(r()));
+        assert!(!prod.mentions(Token(9)));
+    }
+
+    #[test]
+    fn semiring_identities() {
+        let a = Polynomial::from_token(p()).add(&Polynomial::one());
+        assert_eq!(a.add(&Polynomial::zero()), a);
+        assert_eq!(a.mul(&Polynomial::one()), a);
+        assert!(a.mul(&Polynomial::zero()).is_zero());
+    }
+
+    #[test]
+    fn paper_example_specialisation() {
+        // w = p²q ∗ u + q r⁴ ∗ v + p s ∗ z;  deleting r keeps u and z terms.
+        let s = Token(3);
+        let t1 = Polynomial::token_power(p(), 2).mul(&Polynomial::from_token(q()));
+        let t2 = Polynomial::from_token(q()).mul(&Polynomial::token_power(r(), 4));
+        let t3 = Polynomial::from_token(p()).mul(&Polynomial::from_token(s));
+        let mut val = Valuation::all_present();
+        val.delete(r());
+        assert_eq!(t1.specialize(&val), 1);
+        assert_eq!(t2.specialize(&val), 0);
+        assert_eq!(t3.specialize(&val), 1);
+    }
+
+    #[test]
+    fn idempotent_quotient() {
+        // p² + p·q² → p + p·q  (coefficients preserved, exponents collapsed).
+        let poly = Polynomial::token_power(p(), 2)
+            .add(&Polynomial::from_token(p()).mul(&Polynomial::token_power(q(), 2)));
+        let idem = poly.idempotent();
+        assert_eq!(idem.coefficient(&Monomial::from_token(p())), 1);
+        let pq = Monomial::from_token(p()).mul(&Monomial::from_token(q()));
+        assert_eq!(idem.coefficient(&pq), 1);
+        // Squaring and collapsing equals collapsing (idempotence).
+        let sq = Polynomial::from_token(p()).mul(&Polynomial::from_token(p()));
+        assert_eq!(sq.idempotent(), Polynomial::from_token(p()));
+    }
+
+    #[test]
+    fn evaluation_respects_universal_property() {
+        // p·q + 2 evaluated at p=3, q=4 in N: 12 + 2 = 14.
+        let poly = Polynomial::from_token(p())
+            .mul(&Polynomial::from_token(q()))
+            .add(&Polynomial::one())
+            .add(&Polynomial::one());
+        let v: Natural = poly.evaluate(|t| if t == p() { Natural(3) } else { Natural(4) });
+        assert_eq!(v, Natural(14));
+    }
+
+    #[test]
+    fn display_renders_reasonably() {
+        assert_eq!(Polynomial::zero().to_string(), "0");
+        assert_eq!(Polynomial::one().to_string(), "1");
+        let poly = Polynomial::from_token(p()).add(&Polynomial::one());
+        let s = poly.to_string();
+        assert!(s.contains("p0"));
+        assert!(s.contains('1'));
+    }
+}

@@ -1,0 +1,152 @@
+//! A generic commutative semiring abstraction and the standard instances.
+//!
+//! Provenance polynomials `N[T]` are the *free* commutative semiring over the
+//! token set `T`: any valuation of tokens into another commutative semiring
+//! extends uniquely to polynomials. The instances provided here are the ones
+//! classically used to specialise provenance (counting, Why-provenance /
+//! boolean, cost / tropical) and they double as property-test targets for the
+//! semiring laws.
+
+/// A commutative semiring `(K, +, ·, 0, 1)`.
+///
+/// Laws (checked by property tests for every instance in this crate):
+/// * `(K, +, 0)` is a commutative monoid;
+/// * `(K, ·, 1)` is a commutative monoid;
+/// * `·` distributes over `+`;
+/// * `0` is absorbing for `·`.
+pub trait Semiring: Clone + PartialEq + std::fmt::Debug {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Addition (alternative use of information).
+    fn add(&self, other: &Self) -> Self;
+    /// Multiplication (joint use of information).
+    fn mul(&self, other: &Self) -> Self;
+
+    /// Whether this element is the additive identity.
+    fn is_zero(&self) -> bool {
+        *self == Self::zero()
+    }
+
+    /// Whether this element is the multiplicative identity.
+    fn is_one(&self) -> bool {
+        *self == Self::one()
+    }
+}
+
+/// The counting semiring `(N, +, ·, 0, 1)` with saturating arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Natural(pub u64);
+
+impl Semiring for Natural {
+    fn zero() -> Self {
+        Natural(0)
+    }
+    fn one() -> Self {
+        Natural(1)
+    }
+    fn add(&self, other: &Self) -> Self {
+        Natural(self.0.saturating_add(other.0))
+    }
+    fn mul(&self, other: &Self) -> Self {
+        Natural(self.0.saturating_mul(other.0))
+    }
+}
+
+/// The boolean semiring `({false, true}, ∨, ∧, false, true)` — the target of
+/// Why-provenance / set semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bool(pub bool);
+
+impl Semiring for Bool {
+    fn zero() -> Self {
+        Bool(false)
+    }
+    fn one() -> Self {
+        Bool(true)
+    }
+    fn add(&self, other: &Self) -> Self {
+        Bool(self.0 || other.0)
+    }
+    fn mul(&self, other: &Self) -> Self {
+        Bool(self.0 && other.0)
+    }
+}
+
+/// The tropical (min, +) semiring over `f64 ∪ {∞}`, classically used for
+/// cost-of-derivation provenance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tropical(pub f64);
+
+impl Tropical {
+    /// The additive identity (+∞).
+    pub const INFINITY: Tropical = Tropical(f64::INFINITY);
+}
+
+impl Semiring for Tropical {
+    fn zero() -> Self {
+        Tropical(f64::INFINITY)
+    }
+    fn one() -> Self {
+        Tropical(0.0)
+    }
+    fn add(&self, other: &Self) -> Self {
+        Tropical(self.0.min(other.0))
+    }
+    fn mul(&self, other: &Self) -> Self {
+        Tropical(self.0 + other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_laws<S: Semiring>(a: S, b: S, c: S) {
+        // Commutative monoid under +.
+        assert_eq!(a.add(&b), b.add(&a));
+        assert_eq!(a.add(&S::zero()), a);
+        assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+        // Commutative monoid under ·.
+        assert_eq!(a.mul(&b), b.mul(&a));
+        assert_eq!(a.mul(&S::one()), a);
+        assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+        // Distributivity and absorption.
+        assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+        assert_eq!(a.mul(&S::zero()), S::zero());
+    }
+
+    #[test]
+    fn natural_laws() {
+        check_laws(Natural(2), Natural(3), Natural(5));
+        assert!(Natural(0).is_zero());
+        assert!(Natural(1).is_one());
+    }
+
+    #[test]
+    fn natural_saturates_instead_of_overflowing() {
+        let big = Natural(u64::MAX);
+        assert_eq!(big.add(&Natural(1)), Natural(u64::MAX));
+        assert_eq!(big.mul(&Natural(2)), Natural(u64::MAX));
+    }
+
+    #[test]
+    fn bool_laws() {
+        for a in [false, true] {
+            for b in [false, true] {
+                for c in [false, true] {
+                    check_laws(Bool(a), Bool(b), Bool(c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tropical_laws() {
+        check_laws(Tropical(1.0), Tropical(2.5), Tropical(0.5));
+        assert_eq!(Tropical::INFINITY, Tropical::zero());
+        assert_eq!(Tropical(3.0).mul(&Tropical(4.0)), Tropical(7.0));
+        assert_eq!(Tropical(3.0).add(&Tropical(4.0)), Tropical(3.0));
+    }
+}

@@ -1,0 +1,109 @@
+//! Provenance tokens: one opaque identifier per annotated training sample.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A provenance token, the indeterminate `p_i` annotating training sample
+/// `i`. Tokens are small copyable identifiers; human-readable labels live in
+/// the [`TokenRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Token(pub u32);
+
+impl Token {
+    /// The raw numeric identifier.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+/// Allocates tokens and remembers optional human-readable labels (e.g. the
+/// training-sample index the token annotates).
+#[derive(Debug, Clone, Default)]
+pub struct TokenRegistry {
+    labels: Vec<String>,
+    by_label: HashMap<String, Token>,
+}
+
+impl TokenRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh token with the given label. If the label already
+    /// exists its token is returned instead of allocating a duplicate.
+    pub fn register(&mut self, label: impl Into<String>) -> Token {
+        let label = label.into();
+        if let Some(&tok) = self.by_label.get(&label) {
+            return tok;
+        }
+        let tok = Token(self.labels.len() as u32);
+        self.by_label.insert(label.clone(), tok);
+        self.labels.push(label);
+        tok
+    }
+
+    /// Allocates one token per training sample, labelled `sample:<i>`.
+    pub fn register_samples(&mut self, n: usize) -> Vec<Token> {
+        (0..n).map(|i| self.register(format!("sample:{i}"))).collect()
+    }
+
+    /// Looks up the label of a token (if it was allocated by this registry).
+    pub fn label(&self, token: Token) -> Option<&str> {
+        self.labels.get(token.0 as usize).map(String::as_str)
+    }
+
+    /// Looks up a token by its label.
+    pub fn token(&self, label: &str) -> Option<Token> {
+        self.by_label.get(label).copied()
+    }
+
+    /// Number of allocated tokens.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether no tokens have been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = TokenRegistry::new();
+        assert!(reg.is_empty());
+        let a = reg.register("sample:0");
+        let b = reg.register("sample:1");
+        assert_ne!(a, b);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.label(a), Some("sample:0"));
+        assert_eq!(reg.token("sample:1"), Some(b));
+        assert_eq!(reg.token("missing"), None);
+        assert_eq!(reg.label(Token(99)), None);
+    }
+
+    #[test]
+    fn duplicate_labels_reuse_tokens() {
+        let mut reg = TokenRegistry::new();
+        let a = reg.register("x");
+        let b = reg.register("x");
+        assert_eq!(a, b);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn register_samples_allocates_sequentially() {
+        let mut reg = TokenRegistry::new();
+        let toks = reg.register_samples(3);
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0].id(), 0);
+        assert_eq!(toks[2].id(), 2);
+        assert_eq!(reg.label(toks[1]), Some("sample:1"));
+    }
+}

@@ -1,0 +1,107 @@
+//! Valuations: assignments of `0_prov` / `1_prov` to tokens, i.e. deletion
+//! sets. Setting a deleted sample's token to `0_prov` and all others to
+//! `1_prov` is exactly how the semiring framework propagates deletions.
+
+use std::collections::BTreeSet;
+
+use crate::token::Token;
+
+/// Presence of a token under a valuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Presence {
+    /// The token is retained (valued `1_prov`).
+    Present,
+    /// The token is deleted (valued `0_prov`).
+    Absent,
+}
+
+/// A valuation mapping every token to `1_prov` except an explicit deletion
+/// set mapped to `0_prov`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Valuation {
+    deleted: BTreeSet<Token>,
+}
+
+impl Valuation {
+    /// The valuation that keeps every token (`1_prov` everywhere).
+    pub fn all_present() -> Self {
+        Self::default()
+    }
+
+    /// A valuation deleting exactly the given tokens.
+    pub fn deleting(tokens: impl IntoIterator<Item = Token>) -> Self {
+        Self {
+            deleted: tokens.into_iter().collect(),
+        }
+    }
+
+    /// Marks a token as deleted.
+    pub fn delete(&mut self, token: Token) {
+        self.deleted.insert(token);
+    }
+
+    /// Restores a previously deleted token.
+    pub fn restore(&mut self, token: Token) {
+        self.deleted.remove(&token);
+    }
+
+    /// The presence of a token under this valuation.
+    pub fn presence(&self, token: Token) -> Presence {
+        if self.deleted.contains(&token) {
+            Presence::Absent
+        } else {
+            Presence::Present
+        }
+    }
+
+    /// Whether the token is deleted.
+    pub fn is_deleted(&self, token: Token) -> bool {
+        self.deleted.contains(&token)
+    }
+
+    /// Number of deleted tokens.
+    pub fn num_deleted(&self) -> usize {
+        self.deleted.len()
+    }
+
+    /// Iterates over the deleted tokens.
+    pub fn deleted_tokens(&self) -> impl Iterator<Item = Token> + '_ {
+        self.deleted.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_keeps_everything() {
+        let v = Valuation::all_present();
+        assert_eq!(v.presence(Token(0)), Presence::Present);
+        assert_eq!(v.num_deleted(), 0);
+        assert!(!v.is_deleted(Token(3)));
+    }
+
+    #[test]
+    fn delete_and_restore() {
+        let mut v = Valuation::all_present();
+        v.delete(Token(2));
+        v.delete(Token(5));
+        assert_eq!(v.presence(Token(2)), Presence::Absent);
+        assert_eq!(v.presence(Token(3)), Presence::Present);
+        assert_eq!(v.num_deleted(), 2);
+        v.restore(Token(2));
+        assert_eq!(v.presence(Token(2)), Presence::Present);
+        assert_eq!(v.num_deleted(), 1);
+        let listed: Vec<_> = v.deleted_tokens().collect();
+        assert_eq!(listed, vec![Token(5)]);
+    }
+
+    #[test]
+    fn deleting_constructor() {
+        let v = Valuation::deleting([Token(1), Token(1), Token(4)]);
+        assert_eq!(v.num_deleted(), 2);
+        assert!(v.is_deleted(Token(1)));
+        assert!(v.is_deleted(Token(4)));
+    }
+}

@@ -1,0 +1,59 @@
+//! Quickstart: train a linear-regression model with provenance capture,
+//! delete a slice of the training data, and update the model incrementally
+//! with PrIU / PrIU-opt instead of retraining.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use priu::core::metrics::{compare_models, mean_squared_error};
+use priu::core::prelude::*;
+use priu::data::prelude::*;
+
+fn main() {
+    // 1. A synthetic stand-in for the UCI SGEMM regression dataset
+    //    (see DESIGN.md §3 for the substitution rationale).
+    let spec = DatasetCatalog::sgemm_original().scaled(0.25);
+    let dataset = spec.generate();
+    let dense = dataset.as_dense().expect("SGEMM analogue is dense");
+    let split = dense.split(0.9, 42);
+    println!(
+        "dataset: {} ({} train / {} validation samples, {} features)",
+        spec.name,
+        split.train.num_samples(),
+        split.validation.num_samples(),
+        split.train.num_features()
+    );
+
+    // 2. Train once, capturing provenance (the offline phase).
+    let config = TrainerConfig::from_hyper(spec.hyper).with_seed(7);
+    let session =
+        LinearSession::fit(split.train.clone(), config).expect("training should converge");
+    println!(
+        "trained initial model in {:?} (captured {:.2} MiB of provenance)",
+        session.training_time(),
+        session.provenance_bytes() as f64 / (1024.0 * 1024.0)
+    );
+
+    // 3. Pretend 1% of the training samples turned out to be bad and must be
+    //    removed. PrIU updates the model without retraining.
+    let removed = random_subsets(split.train.num_samples(), 0.01, 1, 3)[0].clone();
+    let priu = session.priu(&removed).expect("PrIU update");
+    let priu_opt = session.priu_opt(&removed).expect("PrIU-opt update");
+    let retrained = session.retrain(&removed).expect("BaseL retraining");
+
+    println!("\nremoved {} samples:", removed.len());
+    for (name, outcome) in [
+        ("BaseL (retrain)", &retrained),
+        ("PrIU", &priu),
+        ("PrIU-opt", &priu_opt),
+    ] {
+        let cmp = compare_models(&retrained.model, &outcome.model).expect("same model shape");
+        let mse = mean_squared_error(&outcome.model, &split.validation).expect("validation MSE");
+        println!(
+            "  {name:<16} update time {:>10.3?}  validation MSE {mse:.5}  cosine similarity to BaseL {:.6}",
+            outcome.duration, cmp.cosine_similarity
+        );
+    }
+    let speedup =
+        retrained.duration.as_secs_f64() / priu_opt.duration.as_secs_f64().max(1e-12);
+    println!("\nPrIU-opt speed-up over retraining: {speedup:.1}x");
+}

@@ -1,0 +1,31 @@
+//! # priu — Provenance-based Incremental Updates of regression models
+//!
+//! Facade crate for the PrIU reproduction (Wu, Tannen, Davidson,
+//! *"PrIU: A Provenance-Based Approach for Incrementally Updating Regression
+//! Models"*, SIGMOD 2020). It re-exports the public API of the workspace
+//! crates so downstream users need a single dependency:
+//!
+//! * [`linalg`] — dense/sparse linear algebra substrate,
+//! * [`provenance`] — the provenance-semiring framework and annotated
+//!   matrices,
+//! * [`data`] — synthetic dataset generators, dirty-data injection, and
+//!   deterministic mini-batch schedules,
+//! * [`core`] — the PrIU / PrIU-opt incremental-update algorithms, the
+//!   baselines (retraining, closed-form, influence functions) and the
+//!   evaluation metrics.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the experiment-by-experiment reproduction notes.
+
+pub use priu_core as core;
+pub use priu_data as data;
+pub use priu_linalg as linalg;
+pub use priu_provenance as provenance;
+
+/// Convenience prelude bringing the most commonly used types into scope.
+pub mod prelude {
+    pub use priu_core::prelude::*;
+    pub use priu_data::prelude::*;
+    pub use priu_linalg::{Matrix, Vector};
+    pub use priu_provenance::{Polynomial, Token, Valuation};
+}
