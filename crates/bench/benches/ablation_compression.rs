@@ -6,7 +6,7 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use priu_core::session::MultinomialSession;
+use priu_core::engine::{DeletionEngine, Method, SessionBuilder};
 use priu_core::{Compression, TrainerConfig};
 use priu_data::catalog::DatasetCatalog;
 use priu_data::dirty::inject_dirty_samples;
@@ -38,16 +38,16 @@ fn bench_compression(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(3));
 
     for (label, compression) in strategies {
-        let session = MultinomialSession::fit(
+        let session = SessionBuilder::dense(
             injection.dirty_dataset.clone(),
-            TrainerConfig::from_hyper(spec.hyper)
-                .with_seed(7)
-                .with_compression(compression)
-                .with_opt_capture(false),
+            TrainerConfig::from_hyper(spec.hyper).with_seed(7),
         )
+        .compression(compression)
+        .opt_capture(false)
+        .fit()
         .expect("training failed");
         group.bench_with_input(BenchmarkId::new("PrIU", label), &removed, |b, r| {
-            b.iter(|| session.priu(r).unwrap().model)
+            b.iter(|| session.update(Method::Priu, r).unwrap().model)
         });
     }
     group.finish();

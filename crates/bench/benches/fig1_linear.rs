@@ -1,5 +1,6 @@
 //! Criterion bench for Figure 1: linear-regression update time on the SGEMM
-//! analogue — BaseL vs PrIU vs PrIU-opt vs Closed-form vs INFL.
+//! analogue — every method the session supports (BaseL, PrIU, PrIU-opt,
+//! Closed-form, INFL), discovered through the `DeletionEngine` registry.
 //!
 //! Training (provenance capture) happens once in the setup; only the online
 //! update work is measured, mirroring the paper's protocol.
@@ -7,14 +8,14 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use priu_bench::runner::ExperimentOptions;
-use priu_core::session::LinearSession;
+use priu_core::engine::{DeletionEngine, SessionBuilder};
 use priu_core::TrainerConfig;
 use priu_data::catalog::DatasetCatalog;
 use priu_data::dirty::inject_dirty_samples;
 
 fn bench_fig1(c: &mut Criterion) {
-    let options = ExperimentOptions::default();
+    let dirty_rescale = 10.0;
+    let seed = 7;
     let spec = DatasetCatalog::sgemm_original().scaled(0.1);
     let dataset = spec.generate().as_dense().unwrap().clone();
     let train = dataset.split(0.9, 1).train;
@@ -25,29 +26,20 @@ fn bench_fig1(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
 
     for &rate in &[0.001, 0.01, 0.1] {
-        let injection = inject_dirty_samples(&train, rate, options.dirty_rescale, options.seed);
-        let session = LinearSession::fit(
+        let injection = inject_dirty_samples(&train, rate, dirty_rescale, seed);
+        let session = SessionBuilder::dense(
             injection.dirty_dataset.clone(),
             TrainerConfig::from_hyper(spec.hyper).with_seed(1),
         )
+        .fit()
         .expect("training failed");
         let removed = injection.dirty_indices.clone();
 
-        group.bench_with_input(BenchmarkId::new("BaseL", rate), &removed, |b, r| {
-            b.iter(|| session.retrain(r).unwrap().model)
-        });
-        group.bench_with_input(BenchmarkId::new("PrIU", rate), &removed, |b, r| {
-            b.iter(|| session.priu(r).unwrap().model)
-        });
-        group.bench_with_input(BenchmarkId::new("PrIU-opt", rate), &removed, |b, r| {
-            b.iter(|| session.priu_opt(r).unwrap().model)
-        });
-        group.bench_with_input(BenchmarkId::new("Closed-form", rate), &removed, |b, r| {
-            b.iter(|| session.closed_form(r).unwrap().model)
-        });
-        group.bench_with_input(BenchmarkId::new("INFL", rate), &removed, |b, r| {
-            b.iter(|| session.influence(r).unwrap().model)
-        });
+        for method in session.supported_methods() {
+            group.bench_with_input(BenchmarkId::new(method.name(), rate), &removed, |b, r| {
+                b.iter(|| session.update(method, r).unwrap().model)
+            });
+        }
     }
     group.finish();
 }

@@ -5,14 +5,14 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use priu_bench::runner::ExperimentOptions;
-use priu_core::session::MultinomialSession;
+use priu_core::engine::{DeletionEngine, Method, SessionBuilder};
 use priu_core::TrainerConfig;
 use priu_data::catalog::DatasetCatalog;
 use priu_data::dirty::inject_dirty_samples;
 
 fn bench_fig2(c: &mut Criterion) {
-    let options = ExperimentOptions::default();
+    let dirty_rescale = 10.0;
+    let seed = 7;
     let mut group = c.benchmark_group("fig2_cov_update_time");
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(300));
@@ -25,23 +25,23 @@ fn bench_fig2(c: &mut Criterion) {
         let dataset = spec.generate().as_dense().unwrap().clone();
         let train = dataset.split(0.9, 2).train;
         let rate = 0.01;
-        let injection = inject_dirty_samples(&train, rate, options.dirty_rescale, options.seed);
-        let session = MultinomialSession::fit(
+        let injection = inject_dirty_samples(&train, rate, dirty_rescale, seed);
+        let session = SessionBuilder::dense(
             injection.dirty_dataset.clone(),
             TrainerConfig::from_hyper(spec.hyper).with_seed(2),
         )
+        .fit()
         .expect("training failed");
         let removed = injection.dirty_indices.clone();
 
-        group.bench_with_input(BenchmarkId::new("BaseL", label), &removed, |b, r| {
-            b.iter(|| session.retrain(r).unwrap().model)
-        });
-        group.bench_with_input(BenchmarkId::new("PrIU", label), &removed, |b, r| {
-            b.iter(|| session.priu(r).unwrap().model)
-        });
-        group.bench_with_input(BenchmarkId::new("PrIU-opt", label), &removed, |b, r| {
-            b.iter(|| session.priu_opt(r).unwrap().model)
-        });
+        for method in [Method::Retrain, Method::Priu, Method::PriuOpt] {
+            if !session.supports(method) {
+                continue;
+            }
+            group.bench_with_input(BenchmarkId::new(method.name(), label), &removed, |b, r| {
+                b.iter(|| session.update(method, r).unwrap().model)
+            });
+        }
     }
     group.finish();
 }

@@ -1,18 +1,38 @@
 //! Criterion bench for Figure 3: update times across datasets with different
 //! feature-space sizes (HIGGS: 28 features; Heartbeat: 188 × 7 classes) and
-//! for the sparse RCV1 analogue.
+//! for the sparse RCV1 analogue — every session addressed through the same
+//! `DeletionEngine` API.
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use priu_bench::runner::ExperimentOptions;
-use priu_core::session::{BinaryLogisticSession, MultinomialSession, SparseLogisticSession};
+use criterion::{criterion_group, criterion_main, BenchmarkGroup, BenchmarkId, Criterion};
+use priu_core::engine::{DeletionEngine, Method, Session, SessionBuilder};
 use priu_core::TrainerConfig;
 use priu_data::catalog::DatasetCatalog;
 use priu_data::dirty::{inject_dirty_samples, random_subsets};
 
+fn bench_methods(
+    group: &mut BenchmarkGroup,
+    session: &Session,
+    label: &str,
+    methods: &[Method],
+    removed: &[usize],
+) {
+    for &method in methods {
+        if !session.supports(method) {
+            continue;
+        }
+        group.bench_with_input(
+            BenchmarkId::new(method.name(), label),
+            &removed.to_vec(),
+            |b, r| b.iter(|| session.update(method, r).unwrap().model),
+        );
+    }
+}
+
 fn bench_fig3(c: &mut Criterion) {
-    let options = ExperimentOptions::default();
+    let dirty_rescale = 10.0;
+    let seed = 7;
     let rate = 0.01;
     let mut group = c.benchmark_group("fig3_update_time");
     group.sample_size(10);
@@ -23,38 +43,40 @@ fn bench_fig3(c: &mut Criterion) {
     {
         let spec = DatasetCatalog::higgs().scaled(0.03);
         let train = spec.generate().as_dense().unwrap().split(0.9, 3).train;
-        let injection = inject_dirty_samples(&train, rate, options.dirty_rescale, options.seed);
-        let session = BinaryLogisticSession::fit(
+        let injection = inject_dirty_samples(&train, rate, dirty_rescale, seed);
+        let session = SessionBuilder::dense(
             injection.dirty_dataset.clone(),
             TrainerConfig::from_hyper(spec.hyper).with_seed(3),
         )
+        .fit()
         .expect("training failed");
-        let removed = injection.dirty_indices.clone();
-        group.bench_with_input(BenchmarkId::new("BaseL", "HIGGS"), &removed, |b, r| {
-            b.iter(|| session.retrain(r).unwrap().model)
-        });
-        group.bench_with_input(BenchmarkId::new("PrIU-opt", "HIGGS"), &removed, |b, r| {
-            b.iter(|| session.priu_opt(r).unwrap().model)
-        });
+        bench_methods(
+            &mut group,
+            &session,
+            "HIGGS",
+            &[Method::Retrain, Method::PriuOpt],
+            &injection.dirty_indices,
+        );
     }
 
     // Figure 3a: Heartbeat (multinomial, larger feature space).
     {
         let spec = DatasetCatalog::heartbeat().scaled(0.05);
         let train = spec.generate().as_dense().unwrap().split(0.9, 4).train;
-        let injection = inject_dirty_samples(&train, rate, options.dirty_rescale, options.seed);
-        let session = MultinomialSession::fit(
+        let injection = inject_dirty_samples(&train, rate, dirty_rescale, seed);
+        let session = SessionBuilder::dense(
             injection.dirty_dataset.clone(),
             TrainerConfig::from_hyper(spec.hyper).with_seed(4),
         )
+        .fit()
         .expect("training failed");
-        let removed = injection.dirty_indices.clone();
-        group.bench_with_input(BenchmarkId::new("BaseL", "Heartbeat"), &removed, |b, r| {
-            b.iter(|| session.retrain(r).unwrap().model)
-        });
-        group.bench_with_input(BenchmarkId::new("PrIU", "Heartbeat"), &removed, |b, r| {
-            b.iter(|| session.priu(r).unwrap().model)
-        });
+        bench_methods(
+            &mut group,
+            &session,
+            "Heartbeat",
+            &[Method::Retrain, Method::Priu],
+            &injection.dirty_indices,
+        );
     }
 
     // Figure 3c: RCV1 (sparse).
@@ -64,18 +86,18 @@ fn bench_fig3(c: &mut Criterion) {
         spec.num_features = 1_500;
         spec.hyper.num_iterations = 60;
         let sparse = spec.generate().as_sparse().unwrap().clone();
-        let removed = random_subsets(sparse.num_samples(), 0.001, 1, options.seed)[0].clone();
-        let session = SparseLogisticSession::fit(
-            sparse,
-            TrainerConfig::from_hyper(spec.hyper).with_seed(5),
-        )
-        .expect("training failed");
-        group.bench_with_input(BenchmarkId::new("BaseL", "RCV1"), &removed, |b, r| {
-            b.iter(|| session.retrain(r).unwrap().model)
-        });
-        group.bench_with_input(BenchmarkId::new("PrIU", "RCV1"), &removed, |b, r| {
-            b.iter(|| session.priu(r).unwrap().model)
-        });
+        let removed = random_subsets(sparse.num_samples(), 0.001, 1, seed)[0].clone();
+        let session =
+            SessionBuilder::sparse(sparse, TrainerConfig::from_hyper(spec.hyper).with_seed(5))
+                .fit()
+                .expect("training failed");
+        bench_methods(
+            &mut group,
+            &session,
+            "RCV1",
+            &[Method::Retrain, Method::Priu],
+            &removed,
+        );
     }
 
     group.finish();

@@ -1,12 +1,13 @@
-//! Criterion bench for Figure 4: the repeated-deletion scenario — removing
-//! one random 0.1% subset from the extended HIGGS analogue, comparing one
-//! incremental update against one retraining pass (the figure's cumulative
-//! times are 10x these).
+//! Criterion bench for Figure 4: the repeated-deletion scenario. Measures
+//! both one-shot updates (removing a 0.1% subset from the extended HIGGS
+//! analogue) and a chained `apply` step — the deletion consumed into a
+//! successor session, which is what the figure's cumulative protocol chains
+//! ten times.
 
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use priu_core::session::BinaryLogisticSession;
+use priu_core::engine::{DeletionEngine, Method, SessionBuilder};
 use priu_core::TrainerConfig;
 use priu_data::catalog::DatasetCatalog;
 use priu_data::dirty::random_subsets;
@@ -15,11 +16,10 @@ fn bench_fig4(c: &mut Criterion) {
     let spec = DatasetCatalog::higgs_extended().scaled(0.02);
     let dataset = spec.generate().as_dense().unwrap().clone();
     let n = dataset.num_samples();
-    let session = BinaryLogisticSession::fit(
-        dataset,
-        TrainerConfig::from_hyper(spec.hyper).with_seed(6),
-    )
-    .expect("training failed");
+    let session =
+        SessionBuilder::dense(dataset, TrainerConfig::from_hyper(spec.hyper).with_seed(6))
+            .fit()
+            .expect("training failed");
     let subsets = random_subsets(n, 0.001, 3, 99);
 
     let mut group = c.benchmark_group("fig4_repeated_removal");
@@ -28,13 +28,20 @@ fn bench_fig4(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(3));
 
     for (k, subset) in subsets.iter().enumerate() {
-        group.bench_with_input(BenchmarkId::new("BaseL", k), subset, |b, r| {
-            b.iter(|| session.retrain(r).unwrap().model)
-        });
-        group.bench_with_input(BenchmarkId::new("PrIU-opt", k), subset, |b, r| {
-            b.iter(|| session.priu_opt(r).unwrap().model)
-        });
+        for method in [Method::Retrain, Method::PriuOpt] {
+            group.bench_with_input(BenchmarkId::new(method.name(), k), subset, |b, r| {
+                b.iter(|| session.update(method, r).unwrap().model)
+            });
+        }
     }
+
+    // One chained step: update + provenance shrink (the maintenance cost a
+    // deletion service pays per arrival when it folds removals in).
+    group.bench_with_input(
+        BenchmarkId::new("chained_apply", "PrIU-opt"),
+        &subsets[0],
+        |b, r| b.iter(|| session.apply(Method::PriuOpt, r).unwrap().session),
+    );
     group.finish();
 }
 

@@ -10,12 +10,11 @@ use priu_linalg::decomposition::eigen::SymmetricEigen;
 use priu_linalg::decomposition::{GramFactor, TruncationMethod};
 use priu_linalg::sparse::CooBuilder;
 use priu_linalg::{Matrix, Vector};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use priu_rng::Rng64;
 
 fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
-    let mut rng = StdRng::seed_from_u64(seed);
-    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
+    let mut rng = Rng64::from_seed(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.uniform(-1.0, 1.0))
 }
 
 fn bench_kernels(c: &mut Criterion) {
@@ -76,12 +75,12 @@ fn bench_kernels(c: &mut Criterion) {
 
     // Sparse matvec at RCV1-like density.
     let sparse = {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng64::from_seed(5);
         let mut builder = CooBuilder::new(1000, 2000);
         for i in 0..1000 {
             for _ in 0..30 {
-                let j = rng.gen_range(0..2000);
-                builder.push(i, j, rng.gen_range(0.1..1.0)).unwrap();
+                let j = rng.index(2000);
+                builder.push(i, j, rng.uniform(0.1, 1.0)).unwrap();
             }
         }
         builder.build()

@@ -17,7 +17,7 @@
 use std::env;
 use std::process::ExitCode;
 
-use priu_bench::report::{fmt_seconds, render_table};
+use priu_bench::report::{fmt_seconds, render_table, to_json_array};
 use priu_bench::runner::{
     default_deletion_rates, fig1_linear, fig2_and_3_logistic, fig3c_large_feature_space,
     fig4_repeated, table1, table2, table3_memory, table4_accuracy, ExperimentOptions,
@@ -116,7 +116,7 @@ fn print_figure_rows(title: &str, rows: &[FigureRow], json: bool) {
     );
     print!("{text}");
     if json {
-        println!("{}", serde_json::to_string(rows).expect("serialisable rows"));
+        println!("{}", to_json_array(rows));
     }
 }
 
@@ -161,7 +161,13 @@ fn run(cli: &Cli) {
         print!(
             "{}",
             render_table(
-                &["name", "mini-batch", "# iterations", "learning rate", "lambda"],
+                &[
+                    "name",
+                    "mini-batch",
+                    "# iterations",
+                    "learning rate",
+                    "lambda"
+                ],
                 &rows,
                 |r| vec![
                     r.0.clone(),
@@ -175,11 +181,19 @@ fn run(cli: &Cli) {
     }
     if wants("fig1a") {
         let rows = fig1_linear(&DatasetCatalog::sgemm_original(), &rates, &options);
-        print_figure_rows("Figure 1a: SGEMM (original), linear regression", &rows, cli.json);
+        print_figure_rows(
+            "Figure 1a: SGEMM (original), linear regression",
+            &rows,
+            cli.json,
+        );
     }
     if wants("fig1b") {
         let rows = fig1_linear(&DatasetCatalog::sgemm_extended(), &rates, &options);
-        print_figure_rows("Figure 1b: SGEMM (extended), linear regression", &rows, cli.json);
+        print_figure_rows(
+            "Figure 1b: SGEMM (extended), linear regression",
+            &rows,
+            cli.json,
+        );
     }
     if wants("fig2") {
         for spec in [
@@ -209,7 +223,11 @@ fn run(cli: &Cli) {
             &DatasetCatalog::cifar10(),
             &options,
         );
-        print_figure_rows("Figure 3c: RCV1 and cifar10 (deletion rate 0.1%)", &rows, cli.json);
+        print_figure_rows(
+            "Figure 3c: RCV1 and cifar10 (deletion rate 0.1%)",
+            &rows,
+            cli.json,
+        );
     }
     if wants("fig4") {
         let specs = [
@@ -233,7 +251,7 @@ fn run(cli: &Cli) {
             )
         );
         if cli.json {
-            println!("{}", serde_json::to_string(&rows).expect("serialisable rows"));
+            println!("{}", to_json_array(&rows));
         }
     }
     if wants("table3") {
@@ -253,7 +271,12 @@ fn run(cli: &Cli) {
         print!(
             "{}",
             render_table(
-                &["dataset", "BaseL working set (MiB)", "provenance (MiB)", "ratio"],
+                &[
+                    "dataset",
+                    "BaseL working set (MiB)",
+                    "provenance (MiB)",
+                    "ratio"
+                ],
                 &rows,
                 |r| vec![
                     r.dataset.clone(),
@@ -264,7 +287,7 @@ fn run(cli: &Cli) {
             )
         );
         if cli.json {
-            println!("{}", serde_json::to_string(&rows).expect("serialisable rows"));
+            println!("{}", to_json_array(&rows));
         }
     }
     if wants("table4") {
@@ -308,7 +331,7 @@ fn run(cli: &Cli) {
             )
         );
         if cli.json {
-            println!("{}", serde_json::to_string(&rows).expect("serialisable rows"));
+            println!("{}", to_json_array(&rows));
         }
     }
 }

@@ -1,11 +1,9 @@
 //! Result-row types and plain-text table rendering for the reproduction
 //! harness.
 
-use serde::{Deserialize, Serialize};
-
 /// One point of an update-time figure (Figures 1-3): a (dataset, deletion
 /// rate, method) triple with its online update time and model quality.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FigureRow {
     /// Dataset / configuration name (paper naming).
     pub dataset: String,
@@ -35,7 +33,7 @@ impl FigureRow {
 }
 
 /// One row of the repeated-deletion experiment (Figure 4).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RepeatedRow {
     /// Dataset name.
     pub dataset: String,
@@ -48,7 +46,7 @@ pub struct RepeatedRow {
 }
 
 /// One row of the memory-consumption table (Table 3).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table3Row {
     /// Dataset / configuration name.
     pub dataset: String,
@@ -62,7 +60,7 @@ pub struct Table3Row {
 
 /// One row of the accuracy / similarity comparison (Table 4, deletion rate
 /// 0.2).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table4Row {
     /// Dataset / configuration name.
     pub dataset: String,
@@ -82,6 +80,106 @@ pub struct Table4Row {
     pub infl_similarity: f64,
     /// Sign flips of PrIU vs BaseL (Q4 fine-grained analysis).
     pub priu_sign_flips: usize,
+}
+
+/// Minimal JSON encoding for the report rows (offline stand-in for
+/// `serde_json`: the workspace builds without network access). Non-finite
+/// numbers encode as `null`, matching what lenient JSON consumers expect.
+pub trait JsonRow {
+    /// This row as a JSON object.
+    fn to_json(&self) -> String;
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let mut s = format!("{v}");
+        if !s.contains('.') && !s.contains('e') && !s.contains("inf") {
+            s.push_str(".0");
+        }
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl JsonRow for FigureRow {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"dataset\":{},\"deletion_rate\":{},\"method\":{},\"update_seconds\":{},\"quality\":{},\"distance\":{},\"similarity\":{}}}",
+            json_str(&self.dataset),
+            json_f64(self.deletion_rate),
+            json_str(&self.method),
+            json_f64(self.update_seconds),
+            json_f64(self.quality),
+            json_f64(self.distance),
+            json_f64(self.similarity),
+        )
+    }
+}
+
+impl JsonRow for RepeatedRow {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"dataset\":{},\"method\":{},\"num_subsets\":{},\"total_seconds\":{}}}",
+            json_str(&self.dataset),
+            json_str(&self.method),
+            self.num_subsets,
+            json_f64(self.total_seconds),
+        )
+    }
+}
+
+impl JsonRow for Table3Row {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"dataset\":{},\"basel_mib\":{},\"provenance_mib\":{},\"ratio\":{}}}",
+            json_str(&self.dataset),
+            json_f64(self.basel_mib),
+            json_f64(self.provenance_mib),
+            json_f64(self.ratio),
+        )
+    }
+}
+
+impl JsonRow for Table4Row {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"dataset\":{},\"basel_quality\":{},\"priu_quality\":{},\"infl_quality\":{},\"priu_distance\":{},\"infl_distance\":{},\"priu_similarity\":{},\"infl_similarity\":{},\"priu_sign_flips\":{}}}",
+            json_str(&self.dataset),
+            json_f64(self.basel_quality),
+            json_f64(self.priu_quality),
+            json_f64(self.infl_quality),
+            json_f64(self.priu_distance),
+            json_f64(self.infl_distance),
+            json_f64(self.priu_similarity),
+            json_f64(self.infl_similarity),
+            self.priu_sign_flips,
+        )
+    }
+}
+
+/// Encodes a slice of rows as a JSON array.
+pub fn to_json_array<T: JsonRow>(rows: &[T]) -> String {
+    let items: Vec<String> = rows.iter().map(JsonRow::to_json).collect();
+    format!("[{}]", items.join(","))
 }
 
 /// Renders a slice of serialisable rows as an aligned plain-text table with
@@ -169,5 +267,28 @@ mod tests {
         assert!(fmt_seconds(0.0000005).ends_with("us"));
         assert!(fmt_seconds(0.005).ends_with("ms"));
         assert!(fmt_seconds(2.0).ends_with('s'));
+    }
+
+    #[test]
+    fn json_rows_encode_valid_objects() {
+        let row = FigureRow {
+            dataset: "SGEMM \"ext\"".into(),
+            deletion_rate: 0.01,
+            method: "PrIU".into(),
+            update_seconds: 0.5,
+            quality: f64::NAN,
+            distance: 2.0,
+            similarity: 1.0,
+        };
+        let json = row.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"dataset\":\"SGEMM \\\"ext\\\"\""));
+        assert!(json.contains("\"quality\":null"));
+        assert!(json.contains("\"distance\":2.0"));
+
+        let arr = to_json_array(&[row.clone(), row]);
+        assert!(arr.starts_with('[') && arr.ends_with(']'));
+        assert_eq!(arr.matches("\"method\":\"PrIU\"").count(), 2);
+        assert!(to_json_array::<FigureRow>(&[]).eq("[]"));
     }
 }

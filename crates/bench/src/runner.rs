@@ -1,12 +1,16 @@
 //! Experiment runners regenerating the paper's tables and figures.
+//!
+//! Every runner programs against the unified [`DeletionEngine`] API: a
+//! session is fitted once through [`SessionBuilder`] (the model family
+//! follows the dataset's labels) and each update method is addressed through
+//! the [`Method`] registry — there is no per-task dispatch left in this
+//! module. The repeated-deletion scenario (Figure 4) uses the chained
+//! `apply` API: each removal hands a shrunk session to the next arrival.
 
-use priu_core::baseline::influence::influence_update;
+use priu_core::engine::{DeletionEngine, Method, Session, SessionBuilder};
 use priu_core::metrics::{classification_accuracy, compare_models, mean_squared_error};
 use priu_core::model::Model;
-use priu_core::session::{
-    BinaryLogisticSession, LinearSession, MultinomialSession, SparseLogisticSession,
-};
-use priu_core::TrainerConfig;
+use priu_core::{CoreError, TrainerConfig};
 use priu_data::catalog::{DatasetCatalog, DatasetSpec, GeneratorKind};
 use priu_data::dataset::{DenseDataset, SparseDataset, TaskKind};
 use priu_data::dirty::{inject_dirty_samples, random_subsets};
@@ -78,6 +82,40 @@ fn trainer_config(spec: &DatasetSpec, options: &ExperimentOptions) -> TrainerCon
     config
 }
 
+fn fit_dense(dataset: DenseDataset, spec: &DatasetSpec, options: &ExperimentOptions) -> Session {
+    SessionBuilder::dense(dataset, trainer_config(spec, options))
+        .fit()
+        .expect("training the initial model failed")
+}
+
+fn fit_sparse(dataset: SparseDataset, spec: &DatasetSpec, options: &ExperimentOptions) -> Session {
+    SessionBuilder::sparse(dataset, trainer_config(spec, options))
+        .fit()
+        .expect("training the sparse model failed")
+}
+
+/// The methods a figure sweep runs for a session: everything the session
+/// supports, filtered by the spec-level gates the paper applies (PrIU-opt
+/// only up to medium feature spaces, INFL only while its Hessian stays
+/// tractable).
+fn figure_methods(
+    session: &Session,
+    spec: &DatasetSpec,
+    options: &ExperimentOptions,
+) -> Vec<Method> {
+    session
+        .supported_methods()
+        .into_iter()
+        .filter(|&method| match method {
+            Method::PriuOpt => spec.num_features <= 256,
+            Method::Influence => {
+                options.include_influence && spec.num_parameters() <= INFL_FIGURE_PARAM_LIMIT
+            }
+            _ => true,
+        })
+        .collect()
+}
+
 fn split_dense(spec: &DatasetSpec, options: &ExperimentOptions) -> (DenseDataset, DenseDataset) {
     let generated = spec.generate();
     let dense = generated
@@ -116,71 +154,45 @@ fn figure_row(
     }
 }
 
-/// Figure 1 (a/b): update time for linear regression on the SGEMM analogue,
-/// sweeping the deletion rate; methods BaseL, PrIU, PrIU-opt, Closed-form and
-/// (optionally) INFL.
-pub fn fig1_linear(
-    spec: &DatasetSpec,
-    rates: &[f64],
-    options: &ExperimentOptions,
-) -> Vec<FigureRow> {
+/// One figure sweep: inject dirty samples at each deletion rate, fit a
+/// session on the dirtied training set, then remove exactly the dirty
+/// samples with every applicable method. Shared by Figures 1-3 — the
+/// session's `supported_methods` replaces the per-task dispatch the runner
+/// used to hand-roll.
+fn figure_sweep(spec: &DatasetSpec, rates: &[f64], options: &ExperimentOptions) -> Vec<FigureRow> {
     let spec = options.apply(spec);
     let (train, validation) = split_dense(&spec, options);
     let mut rows = Vec::new();
     for &rate in rates {
         let injection = inject_dirty_samples(&train, rate, options.dirty_rescale, options.seed);
-        let session = LinearSession::fit(injection.dirty_dataset.clone(), trainer_config(&spec, options))
-            .expect("training the initial linear model failed");
+        let session = fit_dense(injection.dirty_dataset.clone(), &spec, options);
         let removed = &injection.dirty_indices;
 
-        let basel = session.retrain(removed).expect("BaseL retraining failed");
-        rows.push(figure_row(
-            &spec.name,
-            rate,
-            "BaseL",
-            basel.duration.as_secs_f64(),
-            &basel.model,
-            &basel.model,
-            &validation,
-        ));
-        let priu = session.priu(removed).expect("PrIU update failed");
-        rows.push(figure_row(
-            &spec.name,
-            rate,
-            "PrIU",
-            priu.duration.as_secs_f64(),
-            &priu.model,
-            &basel.model,
-            &validation,
-        ));
-        let opt = session.priu_opt(removed).expect("PrIU-opt update failed");
-        rows.push(figure_row(
-            &spec.name,
-            rate,
-            "PrIU-opt",
-            opt.duration.as_secs_f64(),
-            &opt.model,
-            &basel.model,
-            &validation,
-        ));
-        let closed = session.closed_form(removed).expect("closed-form update failed");
-        rows.push(figure_row(
-            &spec.name,
-            rate,
-            "Closed-form",
-            closed.duration.as_secs_f64(),
-            &closed.model,
-            &basel.model,
-            &validation,
-        ));
-        if options.include_influence && spec.num_parameters() <= INFL_FIGURE_PARAM_LIMIT {
-            let infl = session.influence(removed).expect("INFL update failed");
+        let basel = session
+            .update(Method::Retrain, removed)
+            .expect("BaseL retraining failed");
+        for method in figure_methods(&session, &spec, options) {
+            let outcome = if method == Method::Retrain {
+                basel.clone()
+            } else {
+                match session.update(method, removed) {
+                    Ok(outcome) => outcome,
+                    // PrIU-opt can hit a singular incremental eigenproblem at
+                    // extreme deletion rates; the paper simply omits those
+                    // points. Any other failure is a real regression.
+                    Err(CoreError::Linalg(error)) if method == Method::PriuOpt => {
+                        eprintln!("skipping {method} on {} at rate {rate}: {error}", spec.name);
+                        continue;
+                    }
+                    Err(error) => panic!("{method} update failed: {error}"),
+                }
+            };
             rows.push(figure_row(
                 &spec.name,
                 rate,
-                "INFL",
-                infl.duration.as_secs_f64(),
-                &infl.model,
+                method.name(),
+                outcome.duration.as_secs_f64(),
+                &outcome.model,
                 &basel.model,
                 &validation,
             ));
@@ -189,72 +201,15 @@ pub fn fig1_linear(
     rows
 }
 
-/// A fitted dense logistic session (binary or multinomial).
-enum LogisticSession {
-    Binary(BinaryLogisticSession),
-    Multi(MultinomialSession),
-}
-
-impl LogisticSession {
-    fn fit(dataset: DenseDataset, config: TrainerConfig) -> Self {
-        match dataset.task() {
-            TaskKind::BinaryClassification => LogisticSession::Binary(
-                BinaryLogisticSession::fit(dataset, config)
-                    .expect("training the initial binary model failed"),
-            ),
-            TaskKind::MulticlassClassification { .. } => LogisticSession::Multi(
-                MultinomialSession::fit(dataset, config)
-                    .expect("training the initial multinomial model failed"),
-            ),
-            TaskKind::Regression => panic!("logistic experiment received a regression dataset"),
-        }
-    }
-
-    fn retrain(&self, removed: &[usize]) -> priu_core::session::UpdateOutcome {
-        match self {
-            LogisticSession::Binary(s) => s.retrain(removed),
-            LogisticSession::Multi(s) => s.retrain(removed),
-        }
-        .expect("BaseL retraining failed")
-    }
-
-    fn priu(&self, removed: &[usize]) -> priu_core::session::UpdateOutcome {
-        match self {
-            LogisticSession::Binary(s) => s.priu(removed),
-            LogisticSession::Multi(s) => s.priu(removed),
-        }
-        .expect("PrIU update failed")
-    }
-
-    fn priu_opt(&self, removed: &[usize]) -> Option<priu_core::session::UpdateOutcome> {
-        match self {
-            LogisticSession::Binary(s) => s.priu_opt(removed),
-            LogisticSession::Multi(s) => s.priu_opt(removed),
-        }
-        .ok()
-    }
-
-    fn influence(&self, removed: &[usize]) -> priu_core::session::UpdateOutcome {
-        match self {
-            LogisticSession::Binary(s) => s.influence(removed),
-            LogisticSession::Multi(s) => s.influence(removed),
-        }
-        .expect("INFL update failed")
-    }
-
-    fn initial_model(&self) -> &Model {
-        match self {
-            LogisticSession::Binary(s) => s.initial_model(),
-            LogisticSession::Multi(s) => s.initial_model(),
-        }
-    }
-
-    fn provenance_bytes(&self) -> usize {
-        match self {
-            LogisticSession::Binary(s) => s.provenance_bytes(),
-            LogisticSession::Multi(s) => s.provenance_bytes(),
-        }
-    }
+/// Figure 1 (a/b): update time for linear regression on the SGEMM analogue,
+/// sweeping the deletion rate; methods BaseL, PrIU, PrIU-opt, Closed-form and
+/// (optionally) INFL.
+pub fn fig1_linear(
+    spec: &DatasetSpec,
+    rates: &[f64],
+    options: &ExperimentOptions,
+) -> Vec<FigureRow> {
+    figure_sweep(spec, rates, options)
 }
 
 /// Figures 2 and 3a/3b: update time for (binary or multinomial) logistic
@@ -264,62 +219,7 @@ pub fn fig2_and_3_logistic(
     rates: &[f64],
     options: &ExperimentOptions,
 ) -> Vec<FigureRow> {
-    let spec = options.apply(spec);
-    let (train, validation) = split_dense(&spec, options);
-    let use_opt = spec.num_features <= 256;
-    let mut rows = Vec::new();
-    for &rate in rates {
-        let injection = inject_dirty_samples(&train, rate, options.dirty_rescale, options.seed);
-        let session = LogisticSession::fit(injection.dirty_dataset.clone(), trainer_config(&spec, options));
-        let removed = &injection.dirty_indices;
-
-        let basel = session.retrain(removed);
-        rows.push(figure_row(
-            &spec.name,
-            rate,
-            "BaseL",
-            basel.duration.as_secs_f64(),
-            &basel.model,
-            &basel.model,
-            &validation,
-        ));
-        let priu = session.priu(removed);
-        rows.push(figure_row(
-            &spec.name,
-            rate,
-            "PrIU",
-            priu.duration.as_secs_f64(),
-            &priu.model,
-            &basel.model,
-            &validation,
-        ));
-        if use_opt {
-            if let Some(opt) = session.priu_opt(removed) {
-                rows.push(figure_row(
-                    &spec.name,
-                    rate,
-                    "PrIU-opt",
-                    opt.duration.as_secs_f64(),
-                    &opt.model,
-                    &basel.model,
-                    &validation,
-                ));
-            }
-        }
-        if options.include_influence && spec.num_parameters() <= INFL_FIGURE_PARAM_LIMIT {
-            let infl = session.influence(removed);
-            rows.push(figure_row(
-                &spec.name,
-                rate,
-                "INFL",
-                infl.duration.as_secs_f64(),
-                &infl.model,
-                &basel.model,
-                &validation,
-            ));
-        }
-    }
-    rows
+    figure_sweep(spec, rates, options)
 }
 
 /// Figure 3c: the extremely large feature spaces — RCV1 (sparse) and cifar10
@@ -340,20 +240,23 @@ pub fn fig3c_large_feature_space(
         .expect("RCV1 spec must be sparse")
         .clone();
     let removed = random_subsets(sparse.num_samples(), rate, 1, options.seed)[0].clone();
-    let session = SparseLogisticSession::fit(sparse, trainer_config(&sparse_spec, options))
-        .expect("training the sparse model failed");
-    let basel = session.retrain(&removed).expect("BaseL retraining failed");
-    let priu = session.priu(&removed).expect("PrIU update failed");
-    for (method, outcome) in [("BaseL", &basel), ("PrIU", &priu)] {
+    let session = fit_sparse(sparse, &sparse_spec, options);
+    let basel = session
+        .update(Method::Retrain, &removed)
+        .expect("BaseL retraining failed");
+    let priu = session
+        .update(Method::Priu, &removed)
+        .expect("PrIU update failed");
+    for outcome in [&basel, &priu] {
         let cmp = compare_models(&basel.model, &outcome.model).expect("same kind");
         rows.push(FigureRow {
             dataset: sparse_spec.name.clone(),
             deletion_rate: rate,
-            method: method.to_string(),
+            method: outcome.method.name().to_string(),
             update_seconds: outcome.duration.as_secs_f64(),
             quality: priu_core::metrics::sparse_classification_accuracy(
                 &outcome.model,
-                session.dataset(),
+                session.sparse_dataset().expect("sparse session"),
             )
             .unwrap_or(f64::NAN),
             distance: cmp.l2_distance,
@@ -365,67 +268,95 @@ pub fn fig3c_large_feature_space(
     let dense_spec = options.apply(dense_spec);
     let (train, validation) = split_dense(&dense_spec, options);
     let injection = inject_dirty_samples(&train, rate, options.dirty_rescale, options.seed);
-    let session = LogisticSession::fit(injection.dirty_dataset, trainer_config(&dense_spec, options));
+    let session = fit_dense(injection.dirty_dataset, &dense_spec, options);
     let removed = &injection.dirty_indices;
-    let basel = session.retrain(removed);
-    let priu = session.priu(removed);
-    rows.push(figure_row(
-        &dense_spec.name,
-        rate,
-        "BaseL",
-        basel.duration.as_secs_f64(),
-        &basel.model,
-        &basel.model,
-        &validation,
-    ));
-    rows.push(figure_row(
-        &dense_spec.name,
-        rate,
-        "PrIU",
-        priu.duration.as_secs_f64(),
-        &priu.model,
-        &basel.model,
-        &validation,
-    ));
+    let basel = session
+        .update(Method::Retrain, removed)
+        .expect("BaseL retraining failed");
+    let priu = session
+        .update(Method::Priu, removed)
+        .expect("PrIU update failed");
+    for outcome in [&basel, &priu] {
+        rows.push(figure_row(
+            &dense_spec.name,
+            rate,
+            outcome.method.name(),
+            outcome.duration.as_secs_f64(),
+            &outcome.model,
+            &basel.model,
+            &validation,
+        ));
+    }
     rows
 }
 
-/// Figure 4: repeatedly removing ten different random subsets (0.1% each)
-/// from the extended datasets — cumulative update time of PrIU / PrIU-opt vs
+/// Figure 4: repeatedly removing ten random subsets (0.1% each) from the
+/// extended datasets — cumulative update time of PrIU / PrIU-opt vs
 /// retraining each time.
+///
+/// This is the chained-deletion scenario: every removal is consumed with
+/// [`DeletionEngine::apply`], handing a session over the survivors (with
+/// provenance shrunk accordingly) to the next arrival, so each subset is
+/// drawn from — and indexed against — the *current* training set. When the
+/// logistic PrIU-opt capture is dropped by the first `apply`, the chain
+/// falls back to plain PrIU, which `supported_methods` makes discoverable.
 pub fn fig4_repeated(specs: &[DatasetSpec], options: &ExperimentOptions) -> Vec<RepeatedRow> {
+    let num_subsets = 10usize;
     let mut rows = Vec::new();
     for spec in specs {
         let spec = options.apply(spec);
         let (train, _validation) = split_dense(&spec, options);
-        let n = train.num_samples();
-        let subsets = random_subsets(n, 0.001, 10, options.seed ^ 0xF16);
-        let session = LogisticSession::fit(train, trainer_config(&spec, options));
-        let use_opt = spec.num_features <= 256;
+        let session = fit_dense(train, &spec, options);
+        let use_opt = spec.num_features <= 256 && session.supports(Method::PriuOpt);
 
-        let mut basel_total = 0.0;
-        let mut priu_total = 0.0;
-        for subset in &subsets {
-            basel_total += session.retrain(subset).duration.as_secs_f64();
-            let outcome = if use_opt {
-                session
-                    .priu_opt(subset)
-                    .unwrap_or_else(|| session.priu(subset))
-            } else {
-                session.priu(subset)
+        // Returns the cumulative online time plus the distinct methods the
+        // chain actually ran, in first-use order. A logistic chain that
+        // starts with PrIU-opt drops that capture on the first apply and
+        // falls back to plain PrIU, and its label must say so.
+        let chain_total =
+            |mut chained: Session, prefer_opt: bool, retrain: bool| -> (f64, String) {
+                let mut total = 0.0;
+                let mut used: Vec<&'static str> = Vec::new();
+                for k in 0..num_subsets {
+                    let subset = random_subsets(
+                        chained.num_samples(),
+                        0.001,
+                        1,
+                        options.seed ^ 0xF16 ^ k as u64,
+                    )[0]
+                    .clone();
+                    let method = if retrain {
+                        Method::Retrain
+                    } else if prefer_opt && chained.supports(Method::PriuOpt) {
+                        Method::PriuOpt
+                    } else {
+                        Method::Priu
+                    };
+                    if !used.contains(&method.name()) {
+                        used.push(method.name());
+                    }
+                    let step = chained
+                        .apply(method, &subset)
+                        .expect("chained deletion failed");
+                    total += step.outcome.duration.as_secs_f64();
+                    chained = step.session;
+                }
+                (total, used.join("→"))
             };
-            priu_total += outcome.duration.as_secs_f64();
-        }
+
+        let (basel_total, basel_label) = chain_total(session.clone(), false, true);
+        let (priu_total, priu_label) = chain_total(session, use_opt, false);
+
         rows.push(RepeatedRow {
             dataset: spec.name.clone(),
-            method: "BaseL".to_string(),
-            num_subsets: subsets.len(),
+            method: basel_label,
+            num_subsets,
             total_seconds: basel_total,
         });
         rows.push(RepeatedRow {
             dataset: spec.name.clone(),
-            method: if use_opt { "PrIU-opt" } else { "PrIU" }.to_string(),
-            num_subsets: subsets.len(),
+            method: priu_label,
+            num_subsets,
             total_seconds: priu_total,
         });
     }
@@ -474,28 +405,16 @@ pub fn table3_memory(specs: &[DatasetSpec], options: &ExperimentOptions) -> Vec<
     for spec in specs {
         let spec = options.apply(spec);
         let mib = |bytes: usize| bytes as f64 / (1024.0 * 1024.0);
-        let (basel_bytes, prov_bytes) = match spec.kind {
-            GeneratorKind::SparseBinary { .. } => {
-                let sparse = spec.generate().as_sparse().unwrap().clone();
-                let basel = sparse.x.nnz() * 16 + sparse.num_samples() * 8;
-                let session =
-                    SparseLogisticSession::fit(sparse, trainer_config(&spec, options))
-                        .expect("sparse training failed");
-                (basel, session.provenance_bytes())
-            }
-            GeneratorKind::Regression { .. } => {
-                let (train, _) = split_dense(&spec, options);
-                let basel = train.num_samples() * (train.num_features() + 1) * 8;
-                let session = LinearSession::fit(train, trainer_config(&spec, options))
-                    .expect("linear training failed");
-                (basel, session.provenance_bytes())
-            }
-            _ => {
-                let (train, _) = split_dense(&spec, options);
-                let basel = train.num_samples() * (train.num_features() + 1) * 8;
-                let session = LogisticSession::fit(train, trainer_config(&spec, options));
-                (basel, session.provenance_bytes())
-            }
+        let (basel_bytes, prov_bytes) = if spec.is_sparse() {
+            let sparse = spec.generate().as_sparse().unwrap().clone();
+            let basel = sparse.x.nnz() * 16 + sparse.num_samples() * 8;
+            let session = fit_sparse(sparse, &spec, options);
+            (basel, session.provenance_bytes())
+        } else {
+            let (train, _) = split_dense(&spec, options);
+            let basel = train.num_samples() * (train.num_features() + 1) * 8;
+            let session = fit_dense(train, &spec, options);
+            (basel, session.provenance_bytes())
         };
         rows.push(Table3Row {
             dataset: spec.name.clone(),
@@ -517,47 +436,35 @@ pub fn table4_accuracy(specs: &[DatasetSpec], options: &ExperimentOptions) -> Ve
         let (train, validation) = split_dense(&spec, options);
         let injection = inject_dirty_samples(&train, rate, options.dirty_rescale, options.seed);
         let removed = &injection.dirty_indices;
-        let run_infl = options.include_influence && !spec.is_sparse();
 
-        let (basel, priu, infl, regularization) = match spec.kind {
-            GeneratorKind::Regression { .. } => {
-                let session =
-                    LinearSession::fit(injection.dirty_dataset.clone(), trainer_config(&spec, options))
-                        .expect("linear training failed");
-                let basel = session.retrain(removed).expect("BaseL failed").model;
-                let priu = session.priu_opt(removed).expect("PrIU-opt failed").model;
-                let infl = run_infl
-                    .then(|| session.influence(removed).expect("INFL failed").model);
-                (basel, priu, infl, spec.hyper.regularization)
-            }
-            _ => {
-                let session = LogisticSession::fit(
-                    injection.dirty_dataset.clone(),
-                    trainer_config(&spec, options),
-                );
-                let basel = session.retrain(removed).model;
-                let priu = session
-                    .priu_opt(removed)
-                    .unwrap_or_else(|| session.priu(removed))
-                    .model;
-                let infl = run_infl.then(|| {
-                    influence_update(
-                        &injection.dirty_dataset,
-                        session.initial_model(),
-                        spec.hyper.regularization,
-                        removed,
-                    )
-                    .expect("INFL failed")
-                });
-                (basel, priu, infl, spec.hyper.regularization)
-            }
-        };
-        let _ = regularization;
+        let session = fit_dense(injection.dirty_dataset.clone(), &spec, options);
+        let basel = session
+            .update(Method::Retrain, removed)
+            .expect("BaseL retraining failed")
+            .model;
+        // Prefer PrIU-opt where captured, falling back to plain PrIU — the
+        // same preference the paper's table applies.
+        let priu = session
+            .update(Method::PriuOpt, removed)
+            .or_else(|_| session.update(Method::Priu, removed))
+            .expect("PrIU update failed")
+            .model;
+        let infl = (options.include_influence && session.supports(Method::Influence)).then(|| {
+            session
+                .update(Method::Influence, removed)
+                .expect("INFL update failed")
+                .model
+        });
+
         let priu_cmp = compare_models(&basel, &priu).expect("same kind");
         let (infl_quality, infl_distance, infl_similarity) = match &infl {
             Some(model) => {
                 let cmp = compare_models(&basel, model).expect("same kind");
-                (quality(model, &validation), cmp.l2_distance, cmp.cosine_similarity)
+                (
+                    quality(model, &validation),
+                    cmp.l2_distance,
+                    cmp.cosine_similarity,
+                )
             }
             None => (f64::NAN, f64::NAN, f64::NAN),
         };
@@ -615,20 +522,29 @@ mod tests {
 
     #[test]
     fn fig2_produces_rows_for_a_multinomial_dataset() {
-        let rows = fig2_and_3_logistic(
-            &DatasetCatalog::cov_small(),
-            &[0.05],
-            &tiny_options(),
-        );
+        let rows = fig2_and_3_logistic(&DatasetCatalog::cov_small(), &[0.05], &tiny_options());
         let methods: Vec<&str> = rows.iter().map(|r| r.method.as_str()).collect();
         assert!(methods.contains(&"BaseL"));
         assert!(methods.contains(&"PrIU"));
         assert!(methods.contains(&"PrIU-opt"));
         assert!(methods.contains(&"INFL"));
+        // The engine knows closed-form is linear-only; no row may claim it.
+        assert!(!methods.contains(&"Closed-form"));
         for row in &rows {
             assert!(row.update_seconds >= 0.0);
             assert!(row.quality.is_finite());
         }
+    }
+
+    #[test]
+    fn fig4_chains_ten_subsets_per_method() {
+        let rows = fig4_repeated(&[DatasetCatalog::higgs_extended()], &tiny_options());
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row.num_subsets, 10);
+            assert!(row.total_seconds > 0.0);
+        }
+        assert_eq!(rows[0].method, "BaseL");
     }
 
     #[test]

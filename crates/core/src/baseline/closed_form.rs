@@ -37,9 +37,12 @@ impl ClosedFormCapture {
     /// # Errors
     /// Returns [`CoreError::LabelMismatch`] for non-regression datasets.
     pub fn build(dataset: &DenseDataset, regularization: f64) -> Result<Self> {
-        let y = dataset.labels.as_continuous().ok_or(CoreError::LabelMismatch {
-            expected: "continuous labels for the closed-form baseline",
-        })?;
+        let y = dataset
+            .labels
+            .as_continuous()
+            .ok_or(CoreError::LabelMismatch {
+                expected: "continuous labels for the closed-form baseline",
+            })?;
         Ok(Self {
             xtx: dataset.x.gram(),
             xty: dataset.x.transpose_matvec(y)?,
@@ -55,7 +58,12 @@ impl ClosedFormCapture {
 /// # Errors
 /// Propagates factorisation failures.
 pub fn closed_form_full(capture: &ClosedFormCapture) -> Result<Model> {
-    solve(capture.xtx.clone(), capture.xty.clone(), capture.num_samples, capture.regularization)
+    solve(
+        capture.xtx.clone(),
+        capture.xty.clone(),
+        capture.num_samples,
+        capture.regularization,
+    )
 }
 
 /// Incrementally updates the closed-form solution after removing the given
@@ -70,9 +78,12 @@ pub fn closed_form_incremental(
     capture: &ClosedFormCapture,
     removed: &[usize],
 ) -> Result<Model> {
-    let y = dataset.labels.as_continuous().ok_or(CoreError::LabelMismatch {
-        expected: "continuous labels for the closed-form baseline",
-    })?;
+    let y = dataset
+        .labels
+        .as_continuous()
+        .ok_or(CoreError::LabelMismatch {
+            expected: "continuous labels for the closed-form baseline",
+        })?;
     let removed = normalize_removed(dataset.num_samples(), removed)?;
     if removed.len() >= capture.num_samples {
         return Err(CoreError::InvalidRemoval {

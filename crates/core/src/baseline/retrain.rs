@@ -49,8 +49,7 @@ pub fn retrain_linear(
         let mut grad = Vector::zeros(m);
         for &i in &batch {
             let row = dataset.x.row(i);
-            let residual: f64 =
-                row.iter().zip(w.iter()).map(|(a, b)| a * b).sum::<f64>() - y[i];
+            let residual: f64 = row.iter().zip(w.iter()).map(|(a, b)| a * b).sum::<f64>() - y[i];
             for (j, &v) in row.iter().enumerate() {
                 grad[j] += v * residual;
             }
@@ -94,8 +93,7 @@ pub fn retrain_binary_logistic(
         let mut acc = Vector::zeros(m);
         for &i in &batch {
             let row = dataset.x.row(i);
-            let margin: f64 =
-                y[i] * row.iter().zip(w.iter()).map(|(a, b)| a * b).sum::<f64>();
+            let margin: f64 = y[i] * row.iter().zip(w.iter()).map(|(a, b)| a * b).sum::<f64>();
             let coeff = y[i] * PiecewiseLinearSigmoid::exact(margin);
             for (j, &v) in row.iter().enumerate() {
                 acc[j] += coeff * v;

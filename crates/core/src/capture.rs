@@ -9,8 +9,8 @@
 //! themselves.
 
 use priu_data::minibatch::BatchSchedule;
-use priu_linalg::decomposition::{GramFactor, TruncatedGram, TruncationMethod};
 use priu_linalg::decomposition::eigen::SymmetricEigen;
+use priu_linalg::decomposition::{GramFactor, TruncatedGram, TruncationMethod};
 use priu_linalg::{Matrix, Vector};
 
 use crate::config::Compression;
@@ -25,6 +25,20 @@ pub enum GramCache {
     Dense(Matrix),
     /// The rank-`r` factorisation `P Vᵀ`.
     Truncated(TruncatedGram),
+    /// A truncated base minus an exact low-rank deflation: the operator
+    /// `P Vᵀ − Σ_k c_k x_k x_kᵀ` with the removed samples' rows and
+    /// coefficients kept in factored form. Produced by chained deletions
+    /// ([`GramCache::deflate`]): in provenance terms, the removed samples'
+    /// tokens have been zeroed out of the cached expression, which amounts to
+    /// subtracting their contributions.
+    Deflated {
+        /// The original truncated cache.
+        base: TruncatedGram,
+        /// Rows of the deleted samples (`k × m`).
+        rows: Matrix,
+        /// The deleted samples' Gram coefficients (one per row).
+        coefficients: Vec<f64>,
+    },
 }
 
 impl GramCache {
@@ -69,6 +83,22 @@ impl GramCache {
         match self {
             GramCache::Dense(g) => Ok(g.matvec(w)?),
             GramCache::Truncated(t) => Ok(t.apply(w)?),
+            GramCache::Deflated {
+                base,
+                rows,
+                coefficients,
+            } => {
+                let mut out = base.apply(w)?;
+                let rw = rows.matvec(w)?;
+                let scaled = Vector::from_vec(
+                    rw.iter()
+                        .zip(coefficients.iter())
+                        .map(|(v, c)| v * c)
+                        .collect(),
+                );
+                out.axpy(-1.0, &rows.transpose_matvec(&scaled)?)?;
+                Ok(out)
+            }
         }
     }
 
@@ -77,6 +107,61 @@ impl GramCache {
         match self {
             GramCache::Dense(g) => g.nrows() * g.ncols(),
             GramCache::Truncated(t) => t.stored_values(),
+            GramCache::Deflated {
+                base,
+                rows,
+                coefficients,
+            } => base.stored_values() + rows.nrows() * rows.ncols() + coefficients.len(),
+        }
+    }
+
+    /// Subtracts the contributions `Σ_k c_k x_k x_kᵀ` of deleted samples from
+    /// the cached operator — the deletion-propagation step of a chained
+    /// deletion. Dense caches are downdated in place (exactly); truncated
+    /// caches keep the correction in factored form so later `apply` calls
+    /// stay `O((r + k)·m)`.
+    ///
+    /// `rows` holds the deleted samples' feature rows and `coefficients`
+    /// their per-sample Gram coefficients (all `1.0` for linear regression,
+    /// the frozen `a` slopes for logistic regression).
+    ///
+    /// # Errors
+    /// Propagates shape mismatches.
+    pub fn deflate(&self, rows: Matrix, coefficients: Vec<f64>) -> Result<GramCache> {
+        debug_assert_eq!(rows.nrows(), coefficients.len());
+        match self {
+            GramCache::Dense(g) => {
+                let mut downdated = g.clone();
+                downdated.axpy(-1.0, &rows.weighted_gram(Some(&coefficients)))?;
+                Ok(GramCache::Dense(downdated))
+            }
+            GramCache::Truncated(t) => Ok(GramCache::Deflated {
+                base: t.clone(),
+                rows,
+                coefficients,
+            }),
+            GramCache::Deflated {
+                base,
+                rows: prior_rows,
+                coefficients: prior_coefficients,
+            } => {
+                let total = prior_rows.nrows() + rows.nrows();
+                let m = prior_rows.ncols();
+                let stacked = Matrix::from_fn(total, m, |i, j| {
+                    if i < prior_rows.nrows() {
+                        prior_rows[(i, j)]
+                    } else {
+                        rows[(i - prior_rows.nrows(), j)]
+                    }
+                });
+                let mut all_coefficients = prior_coefficients.clone();
+                all_coefficients.extend_from_slice(&coefficients);
+                Ok(GramCache::Deflated {
+                    base: base.clone(),
+                    rows: stacked,
+                    coefficients: all_coefficients,
+                })
+            }
         }
     }
 }
@@ -206,9 +291,7 @@ impl ProvenanceMemory for LinearProvenance {
             .map(|it| (it.gram.stored_values() + it.xy.len()) * 8)
             .sum();
         let opt = self.opt.as_ref().map_or(0, |o| {
-            (o.eigen.values.len()
-                + o.eigen.vectors.nrows() * o.eigen.vectors.ncols()
-                + o.xty.len())
+            (o.eigen.values.len() + o.eigen.vectors.nrows() * o.eigen.vectors.ncols() + o.xty.len())
                 * 8
         });
         per_iter + opt
@@ -286,6 +369,44 @@ mod tests {
         assert!((&exact.apply(&w).unwrap() - &d).norm2() < 1e-8);
         assert!((&randomized.apply(&w).unwrap() - &d).norm2() < 1e-6);
         assert!(exact.stored_values() <= 2 * 4 * 4);
+    }
+
+    #[test]
+    fn deflation_matches_rebuilding_from_the_survivors() {
+        let r = rows();
+        let coeffs = vec![-0.5; 6];
+        let removed = [1usize, 4];
+        let survivors = [0usize, 2, 3, 5];
+        let w = Vector::from_fn(4, |i| i as f64 - 1.5);
+        let expected = GramCache::build(
+            r.select_rows(&survivors),
+            vec![-0.5; survivors.len()],
+            Compression::None,
+        )
+        .unwrap()
+        .apply(&w)
+        .unwrap();
+
+        for compression in [Compression::None, Compression::Exact { rank: 4 }] {
+            let full = GramCache::build(r.clone(), coeffs.clone(), compression).unwrap();
+            let deflated = full
+                .deflate(r.select_rows(&removed), vec![-0.5; removed.len()])
+                .unwrap();
+            let got = deflated.apply(&w).unwrap();
+            assert!(
+                (&got - &expected).norm2() < 1e-8,
+                "deflation mismatch for {compression:?}"
+            );
+            assert!(deflated.stored_values() > 0);
+
+            // Deflating twice composes (remove row 1, then row 4).
+            let twice = full
+                .deflate(r.select_rows(&[1]), vec![-0.5])
+                .unwrap()
+                .deflate(r.select_rows(&[4]), vec![-0.5])
+                .unwrap();
+            assert!((&twice.apply(&w).unwrap() - &expected).norm2() < 1e-8);
+        }
     }
 
     #[test]

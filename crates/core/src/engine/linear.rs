@@ -1,0 +1,263 @@
+//! The linear-regression deletion engine.
+
+use std::time::{Duration, Instant};
+
+use priu_data::dataset::{DenseDataset, TaskKind};
+use priu_linalg::decomposition::eigen::SymmetricEigen;
+use priu_linalg::Vector;
+
+use crate::baseline::closed_form::{closed_form_incremental, ClosedFormCapture};
+use crate::baseline::influence::influence_update;
+use crate::baseline::retrain::retrain_linear;
+use crate::capture::{LinearIterationCache, LinearOptCapture, LinearProvenance, ProvenanceMemory};
+use crate::config::TrainerConfig;
+use crate::engine::{
+    split_survivors, timed_update, ChainedUpdate, DeletionEngine, Method, Session, UpdateOutcome,
+};
+use crate::error::{CoreError, Result};
+use crate::model::Model;
+use crate::trainer::linear::{train_linear, TrainedLinear};
+use crate::update::priu_linear::priu_update_linear;
+use crate::update::priu_opt_linear::priu_opt_update_linear;
+use crate::update::{normalize_removed, removed_positions};
+
+/// A linear-regression session: dataset + trained model + captured
+/// provenance + (optionally) the closed-form baseline's materialised views.
+///
+/// Linear provenance shrinks *exactly* under [`DeletionEngine::apply`] —
+/// Gram caches, the PrIU-opt eigendecomposition and the closed-form views
+/// are all downdated by the removed samples' contributions — so a chained
+/// linear session keeps its full method set.
+#[derive(Debug, Clone)]
+pub struct LinearEngine {
+    dataset: DenseDataset,
+    config: TrainerConfig,
+    trained: TrainedLinear,
+    closed_form: Option<ClosedFormCapture>,
+    training_time: Duration,
+}
+
+impl LinearEngine {
+    /// Trains the initial model and captures provenance (offline phase),
+    /// materialising the closed-form views.
+    ///
+    /// # Errors
+    /// Propagates training failures (label mismatch, divergence).
+    pub fn fit(dataset: DenseDataset, config: TrainerConfig) -> Result<Self> {
+        Self::fit_with(dataset, config, true)
+    }
+
+    /// Like [`LinearEngine::fit`], controlling whether the closed-form views
+    /// (`XᵀX` / `XᵀY`) are materialised.
+    ///
+    /// # Errors
+    /// Propagates training failures (label mismatch, divergence).
+    pub fn fit_with(
+        dataset: DenseDataset,
+        config: TrainerConfig,
+        capture_closed_form: bool,
+    ) -> Result<Self> {
+        let start = Instant::now();
+        let trained = train_linear(&dataset, &config)?;
+        let closed_form = if capture_closed_form {
+            Some(ClosedFormCapture::build(
+                &dataset,
+                config.hyper.regularization,
+            )?)
+        } else {
+            None
+        };
+        Ok(Self {
+            dataset,
+            config,
+            trained,
+            closed_form,
+            training_time: start.elapsed(),
+        })
+    }
+
+    /// The training dataset this session currently covers.
+    pub fn dataset(&self) -> &DenseDataset {
+        &self.dataset
+    }
+
+    fn continuous_labels(&self) -> &Vector {
+        self.dataset
+            .labels
+            .as_continuous()
+            .expect("a linear session always holds continuous labels")
+    }
+}
+
+impl DeletionEngine for LinearEngine {
+    fn task(&self) -> TaskKind {
+        TaskKind::Regression
+    }
+
+    fn num_samples(&self) -> usize {
+        self.dataset.num_samples()
+    }
+
+    fn model(&self) -> &Model {
+        &self.trained.model
+    }
+
+    fn training_time(&self) -> Duration {
+        self.training_time
+    }
+
+    fn provenance_bytes(&self) -> usize {
+        self.trained.provenance.provenance_bytes()
+    }
+
+    fn supported_methods(&self) -> Vec<Method> {
+        let mut methods = vec![Method::Retrain, Method::Priu];
+        if self.trained.provenance.opt.is_some() {
+            methods.push(Method::PriuOpt);
+        }
+        if self.closed_form.is_some() {
+            methods.push(Method::ClosedForm);
+        }
+        methods.push(Method::Influence);
+        methods
+    }
+
+    fn update(&self, method: Method, removed: &[usize]) -> Result<UpdateOutcome> {
+        let num_removed = normalize_removed(self.num_samples(), removed)?.len();
+        match method {
+            Method::Retrain => timed_update(method, num_removed, || {
+                retrain_linear(&self.dataset, &self.trained.provenance, removed)
+            }),
+            Method::Priu => timed_update(method, num_removed, || {
+                priu_update_linear(&self.dataset, &self.trained.provenance, removed)
+            }),
+            Method::PriuOpt => {
+                if self.trained.provenance.opt.is_none() {
+                    return Err(CoreError::UnsupportedMethod {
+                        method: method.name(),
+                        reason: "the PrIU-opt capture was not materialised for this session",
+                    });
+                }
+                timed_update(method, num_removed, || {
+                    priu_opt_update_linear(&self.dataset, &self.trained.provenance, removed)
+                })
+            }
+            Method::ClosedForm => {
+                let capture = self
+                    .closed_form
+                    .as_ref()
+                    .ok_or(CoreError::UnsupportedMethod {
+                        method: method.name(),
+                        reason: "the closed-form views were not materialised for this session",
+                    })?;
+                timed_update(method, num_removed, || {
+                    closed_form_incremental(&self.dataset, capture, removed)
+                })
+            }
+            Method::Influence => timed_update(method, num_removed, || {
+                influence_update(
+                    &self.dataset,
+                    &self.trained.model,
+                    self.config.hyper.regularization,
+                    removed,
+                )
+            }),
+        }
+    }
+
+    fn apply(&self, method: Method, removed: &[usize]) -> Result<ChainedUpdate> {
+        let outcome = self.update(method, removed)?;
+        let (removed, survivors) = split_survivors(self.num_samples(), removed)?;
+        let y = self.continuous_labels();
+        let provenance = &self.trained.provenance;
+
+        // Deletion propagation through the per-iteration caches: subtract the
+        // removed samples' Gram and moment contributions from every batch
+        // they appear in. The batches are materialised once and reused to
+        // build the restricted schedule below.
+        let mut batches = Vec::with_capacity(provenance.iterations.len());
+        let mut iterations = Vec::with_capacity(provenance.iterations.len());
+        for (t, cache) in provenance.iterations.iter().enumerate() {
+            let batch = provenance.schedule.batch(t);
+            let positions = removed_positions(&batch, &removed);
+            if positions.is_empty() {
+                iterations.push(cache.clone());
+                batches.push(batch);
+                continue;
+            }
+            let removed_in_batch: Vec<usize> = positions.iter().map(|&p| batch[p]).collect();
+            batches.push(batch);
+            let delta_rows = self.dataset.x.select_rows(&removed_in_batch);
+            let delta_y = Vector::from_vec(removed_in_batch.iter().map(|&i| y[i]).collect());
+            let mut xy = cache.xy.clone();
+            xy.axpy(-1.0, &delta_rows.transpose_matvec(&delta_y)?)?;
+            let gram = cache
+                .gram
+                .deflate(delta_rows, vec![1.0; removed_in_batch.len()])?;
+            iterations.push(LinearIterationCache {
+                gram,
+                xy,
+                batch_size: cache.batch_size - positions.len(),
+            });
+        }
+
+        // Shared by the opt-capture and closed-form downdates below.
+        let delta_rows = self.dataset.x.select_rows(&removed);
+        let delta_y = Vector::from_vec(removed.iter().map(|&i| y[i]).collect());
+        let delta_gram = delta_rows.gram();
+        let delta_xty = delta_rows.transpose_matvec(&delta_y)?;
+
+        // The PrIU-opt capture shrinks exactly: `XᵀX` is downdated by the
+        // removed block and re-eigendecomposed (O(m³), independent of n).
+        let opt = match &provenance.opt {
+            Some(capture) => {
+                let mut gram = capture.eigen.reconstruct();
+                gram.axpy(-1.0, &delta_gram)?;
+                let eigen = SymmetricEigen::new(&gram)?;
+                let mut xty = capture.xty.clone();
+                xty.axpy(-1.0, &delta_xty)?;
+                Some(LinearOptCapture { eigen, xty })
+            }
+            None => None,
+        };
+
+        // The closed-form views downdate the same way they do per-update.
+        let closed_form = match &self.closed_form {
+            Some(capture) => {
+                let mut xtx = capture.xtx.clone();
+                xtx.axpy(-1.0, &delta_gram)?;
+                let mut xty = capture.xty.clone();
+                xty.axpy(-1.0, &delta_xty)?;
+                Some(ClosedFormCapture {
+                    xtx,
+                    xty,
+                    num_samples: survivors.len(),
+                    regularization: capture.regularization,
+                })
+            }
+            None => None,
+        };
+
+        let successor = LinearEngine {
+            dataset: self.dataset.select(&survivors),
+            config: self.config,
+            trained: TrainedLinear {
+                model: outcome.model.clone(),
+                provenance: LinearProvenance {
+                    schedule: provenance.schedule.restrict_from(&removed, batches),
+                    learning_rate: provenance.learning_rate,
+                    regularization: provenance.regularization,
+                    initial_model: provenance.initial_model.clone(),
+                    iterations,
+                    opt,
+                },
+            },
+            closed_form,
+            training_time: self.training_time,
+        };
+        Ok(ChainedUpdate {
+            outcome,
+            session: Session::Linear(successor),
+        })
+    }
+}

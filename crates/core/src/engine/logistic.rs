@@ -1,0 +1,216 @@
+//! The dense logistic-regression deletion engine (binary and multinomial).
+
+use std::time::{Duration, Instant};
+
+use priu_data::dataset::{DenseDataset, TaskKind};
+use priu_linalg::Vector;
+
+use crate::baseline::influence::influence_update;
+use crate::baseline::retrain::{retrain_binary_logistic, retrain_multinomial_logistic};
+use crate::capture::{
+    ClassIterationCache, LogisticIterationCache, LogisticProvenance, ProvenanceMemory,
+};
+use crate::config::TrainerConfig;
+use crate::engine::{
+    split_survivors, timed_update, ChainedUpdate, DeletionEngine, Method, Session, UpdateOutcome,
+};
+use crate::error::{CoreError, Result};
+use crate::model::Model;
+use crate::trainer::logistic::{
+    train_binary_logistic, train_multinomial_logistic, TrainedLogistic,
+};
+use crate::update::priu_logistic::priu_update_logistic;
+use crate::update::priu_opt_logistic::priu_opt_update_logistic;
+use crate::update::{drop_positions, normalize_removed, removed_positions};
+
+/// A dense logistic-regression session (binary or multinomial, following the
+/// dataset's labels): dataset + trained model + captured provenance.
+///
+/// Under [`DeletionEngine::apply`] the per-iteration caches shrink exactly
+/// (the stored `(a, b')` coefficients identify each removed sample's
+/// contribution); the PrIU-opt capture is dropped, because its frozen
+/// linearisation point refers to the pre-deletion trajectory — the successor
+/// supports plain PrIU, retraining and INFL.
+#[derive(Debug, Clone)]
+pub struct LogisticEngine {
+    dataset: DenseDataset,
+    config: TrainerConfig,
+    trained: TrainedLogistic,
+    training_time: Duration,
+}
+
+impl LogisticEngine {
+    /// Trains the initial model and captures provenance (offline phase).
+    /// Binary vs multinomial follows the dataset's labels.
+    ///
+    /// # Errors
+    /// Propagates training failures; regression labels are a mismatch.
+    pub fn fit(dataset: DenseDataset, config: TrainerConfig) -> Result<Self> {
+        let start = Instant::now();
+        let trained = match dataset.task() {
+            TaskKind::BinaryClassification => train_binary_logistic(&dataset, &config)?,
+            TaskKind::MulticlassClassification { .. } => {
+                train_multinomial_logistic(&dataset, &config)?
+            }
+            TaskKind::Regression => {
+                return Err(CoreError::LabelMismatch {
+                    expected: "binary or multiclass labels for a logistic session",
+                })
+            }
+        };
+        Ok(Self {
+            dataset,
+            config,
+            trained,
+            training_time: start.elapsed(),
+        })
+    }
+
+    /// The training dataset this session currently covers.
+    pub fn dataset(&self) -> &DenseDataset {
+        &self.dataset
+    }
+
+    fn retrain(&self, removed: &[usize]) -> Result<Model> {
+        match self.dataset.task() {
+            TaskKind::BinaryClassification => {
+                retrain_binary_logistic(&self.dataset, &self.trained.provenance, removed)
+            }
+            TaskKind::MulticlassClassification { .. } => {
+                retrain_multinomial_logistic(&self.dataset, &self.trained.provenance, removed)
+            }
+            TaskKind::Regression => unreachable!("logistic sessions never hold regression labels"),
+        }
+    }
+}
+
+impl DeletionEngine for LogisticEngine {
+    fn task(&self) -> TaskKind {
+        self.dataset.task()
+    }
+
+    fn num_samples(&self) -> usize {
+        self.dataset.num_samples()
+    }
+
+    fn model(&self) -> &Model {
+        &self.trained.model
+    }
+
+    fn training_time(&self) -> Duration {
+        self.training_time
+    }
+
+    fn provenance_bytes(&self) -> usize {
+        self.trained.provenance.provenance_bytes()
+    }
+
+    fn supported_methods(&self) -> Vec<Method> {
+        let mut methods = vec![Method::Retrain, Method::Priu];
+        if self.trained.provenance.opt.is_some() {
+            methods.push(Method::PriuOpt);
+        }
+        methods.push(Method::Influence);
+        methods
+    }
+
+    fn update(&self, method: Method, removed: &[usize]) -> Result<UpdateOutcome> {
+        let num_removed = normalize_removed(self.num_samples(), removed)?.len();
+        match method {
+            Method::Retrain => timed_update(method, num_removed, || self.retrain(removed)),
+            Method::Priu => timed_update(method, num_removed, || {
+                priu_update_logistic(&self.dataset, &self.trained.provenance, removed)
+            }),
+            Method::PriuOpt => {
+                if self.trained.provenance.opt.is_none() {
+                    return Err(CoreError::UnsupportedMethod {
+                        method: method.name(),
+                        reason: "the PrIU-opt capture was not materialised for this session",
+                    });
+                }
+                timed_update(method, num_removed, || {
+                    priu_opt_update_logistic(&self.dataset, &self.trained.provenance, removed)
+                })
+            }
+            Method::ClosedForm => Err(CoreError::UnsupportedMethod {
+                method: method.name(),
+                reason: "the closed-form update maintains the regularised normal equations, \
+                         which exist only for linear regression",
+            }),
+            Method::Influence => timed_update(method, num_removed, || {
+                influence_update(
+                    &self.dataset,
+                    &self.trained.model,
+                    self.config.hyper.regularization,
+                    removed,
+                )
+            }),
+        }
+    }
+
+    fn apply(&self, method: Method, removed: &[usize]) -> Result<ChainedUpdate> {
+        let outcome = self.update(method, removed)?;
+        let (removed, survivors) = split_survivors(self.num_samples(), removed)?;
+        let provenance = &self.trained.provenance;
+
+        // Deletion propagation per iteration and per class: the stored
+        // `(a, b')` coefficients pinpoint each removed batch member's
+        // contribution to `C_t` and `D_t`. The batches are materialised once
+        // and reused to build the restricted schedule below.
+        let mut batches = Vec::with_capacity(provenance.iterations.len());
+        let mut iterations = Vec::with_capacity(provenance.iterations.len());
+        for (t, cache) in provenance.iterations.iter().enumerate() {
+            let batch = provenance.schedule.batch(t);
+            let positions = removed_positions(&batch, &removed);
+            if positions.is_empty() {
+                iterations.push(cache.clone());
+                batches.push(batch);
+                continue;
+            }
+            let removed_in_batch: Vec<usize> = positions.iter().map(|&p| batch[p]).collect();
+            batches.push(batch);
+            let delta_rows = self.dataset.x.select_rows(&removed_in_batch);
+            let mut classes = Vec::with_capacity(cache.classes.len());
+            for class in &cache.classes {
+                let a: Vec<f64> = positions.iter().map(|&p| class.coefficients[p].0).collect();
+                let b: Vec<f64> = positions.iter().map(|&p| class.coefficients[p].1).collect();
+                let mut d = class.d.clone();
+                d.axpy(-1.0, &delta_rows.transpose_matvec(&Vector::from_vec(b))?)?;
+                let gram = class.gram.deflate(delta_rows.clone(), a)?;
+                classes.push(ClassIterationCache {
+                    gram,
+                    d,
+                    coefficients: drop_positions(&class.coefficients, &positions),
+                });
+            }
+            iterations.push(LogisticIterationCache {
+                classes,
+                batch_size: cache.batch_size - positions.len(),
+            });
+        }
+
+        let successor = LogisticEngine {
+            dataset: self.dataset.select(&survivors),
+            config: self.config,
+            trained: TrainedLogistic {
+                model: outcome.model.clone(),
+                provenance: LogisticProvenance {
+                    schedule: provenance.schedule.restrict_from(&removed, batches),
+                    learning_rate: provenance.learning_rate,
+                    regularization: provenance.regularization,
+                    initial_model: provenance.initial_model.clone(),
+                    iterations,
+                    // The frozen linearisation point of the opt capture
+                    // belongs to the pre-deletion trajectory; drop it rather
+                    // than leave it stale.
+                    opt: None,
+                },
+            },
+            training_time: self.training_time,
+        };
+        Ok(ChainedUpdate {
+            outcome,
+            session: Session::Logistic(successor),
+        })
+    }
+}

@@ -1,0 +1,809 @@
+//! The unified deletion-engine API: one polymorphic surface over every model
+//! family and update method the PrIU reproduction implements.
+//!
+//! The paper's protocol is *train once capturing provenance, then answer many
+//! deletion requests with interchangeable methods*. This module exposes that
+//! protocol directly:
+//!
+//! * [`SessionBuilder`] — fits a [`Session`] from a dense or sparse dataset,
+//!   inferring the model family from the labels and materialising the
+//!   captures you ask for (PrIU-opt eigendecompositions, closed-form views);
+//! * [`Method`] — the registry of update methods (PrIU, PrIU-opt, BaseL
+//!   retraining, closed-form, INFL), with
+//!   [`DeletionEngine::supported_methods`] for introspection — closed-form is
+//!   discoverable as linear-only instead of simply missing;
+//! * [`DeletionEngine`] — the trait every session implements:
+//!   `update(method, removed)` runs one timed online update,
+//!   `run_all(removed)` produces a [`MethodReport`] keyed by method, and
+//!   `apply(method, removed)` *consumes* a deletion, returning a new session
+//!   over the surviving samples with its provenance shrunk accordingly —
+//!   chained deletions (the paper's Figure 4 scenario) as a first-class API.
+//!
+//! The four pre-existing session types (`LinearSession`,
+//! `BinaryLogisticSession`, `MultinomialSession`, `SparseLogisticSession`)
+//! remain available as deprecated aliases of the engine types for one
+//! release; see [`crate::session`].
+
+mod linear;
+mod logistic;
+mod sparse;
+
+pub use linear::LinearEngine;
+pub use logistic::LogisticEngine;
+pub use sparse::SparseLogisticEngine;
+
+use std::time::{Duration, Instant};
+
+use priu_data::dataset::{DenseDataset, SparseDataset, TaskKind};
+
+use crate::config::{Compression, TrainerConfig};
+use crate::error::{CoreError, Result};
+use crate::interpolation::PiecewiseLinearSigmoid;
+use crate::model::Model;
+use crate::update::normalize_removed;
+
+/// The registry of deletion-update methods, using the paper's naming.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Method {
+    /// BaseL: retrain from scratch on the surviving samples, replaying the
+    /// original mini-batch schedule with the removals excluded.
+    Retrain,
+    /// PrIU: provenance-based incremental update (Eq. 13/14, Eq. 19/20).
+    Priu,
+    /// PrIU-opt: the optimised update using offline eigendecompositions and
+    /// early provenance termination (§5.2 / §5.4).
+    PriuOpt,
+    /// Closed-form: incremental maintenance of the regularised normal
+    /// equations (linear regression only).
+    ClosedForm,
+    /// INFL: the influence-function estimate.
+    Influence,
+}
+
+impl Method {
+    /// Every method, in report order (BaseL first — it is the reference
+    /// point the other methods are compared against).
+    pub const ALL: [Method; 5] = [
+        Method::Retrain,
+        Method::Priu,
+        Method::PriuOpt,
+        Method::ClosedForm,
+        Method::Influence,
+    ];
+
+    /// The paper's display name for the method.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Retrain => "BaseL",
+            Method::Priu => "PrIU",
+            Method::PriuOpt => "PrIU-opt",
+            Method::ClosedForm => "Closed-form",
+            Method::Influence => "INFL",
+        }
+    }
+
+    /// Parses a display name back into a method (case-insensitive).
+    pub fn parse(name: &str) -> Option<Method> {
+        Method::ALL
+            .into_iter()
+            .find(|m| m.name().eq_ignore_ascii_case(name))
+    }
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The result of one timed incremental-update (or retraining) run, carrying
+/// the method that produced it and the size of the (deduplicated) removal
+/// set so reports never have to thread that context separately.
+#[derive(Debug, Clone)]
+pub struct UpdateOutcome {
+    /// The updated model.
+    pub model: Model,
+    /// Wall-clock time of the online update work.
+    pub duration: Duration,
+    /// The method that produced this outcome.
+    pub method: Method,
+    /// Number of distinct samples removed.
+    pub num_removed: usize,
+}
+
+/// The outcomes of running every supported method on one removal set,
+/// keyed by [`Method`].
+#[derive(Debug, Clone)]
+pub struct MethodReport {
+    outcomes: Vec<UpdateOutcome>,
+}
+
+impl MethodReport {
+    /// The outcome of a given method, if it was run.
+    pub fn get(&self, method: Method) -> Option<&UpdateOutcome> {
+        self.outcomes.iter().find(|o| o.method == method)
+    }
+
+    /// All outcomes in registry order.
+    pub fn outcomes(&self) -> &[UpdateOutcome] {
+        &self.outcomes
+    }
+
+    /// Number of methods that ran.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Whether no method ran.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+}
+
+/// The result of consuming a deletion with [`DeletionEngine::apply`]: the
+/// timed outcome plus the successor session over the surviving samples.
+#[derive(Debug, Clone)]
+pub struct ChainedUpdate {
+    /// The timed update outcome whose model became the successor's model.
+    pub outcome: UpdateOutcome,
+    /// The successor session: dataset shrunk to the survivors, provenance
+    /// shrunk by deletion propagation, model set to `outcome.model`.
+    pub session: Session,
+}
+
+/// The uniform API over every session kind: train once (done by
+/// [`SessionBuilder::fit`]), then answer deletion requests with any
+/// supported [`Method`].
+pub trait DeletionEngine {
+    /// The learning task this session was fitted for.
+    fn task(&self) -> TaskKind;
+
+    /// Number of training samples the session currently holds.
+    fn num_samples(&self) -> usize;
+
+    /// The session's current model: `M_init` for a freshly fitted session,
+    /// the applied outcome's model after a chained deletion.
+    fn model(&self) -> &Model;
+
+    /// Wall-clock time of the offline phase (training + provenance capture).
+    fn training_time(&self) -> Duration;
+
+    /// Bytes of captured provenance (Q8 / Table 3 accounting).
+    fn provenance_bytes(&self) -> usize;
+
+    /// The methods this session can run, in registry order. Reflects both
+    /// the task (closed-form exists only for linear regression) and the
+    /// materialised captures (PrIU-opt needs its offline eigendecomposition).
+    fn supported_methods(&self) -> Vec<Method>;
+
+    /// Runs one timed online update with the given method.
+    ///
+    /// # Errors
+    /// [`CoreError::UnsupportedMethod`] if [`DeletionEngine::supports`] is
+    /// false for the method; otherwise whatever the underlying update
+    /// reports (invalid removal indices, factorisation failures, ...).
+    fn update(&self, method: Method, removed: &[usize]) -> Result<UpdateOutcome>;
+
+    /// Consumes a deletion: runs `update(method, removed)` and folds the
+    /// outcome into a successor session whose dataset and provenance cover
+    /// only the surviving samples (re-indexed by survivor rank). Removal
+    /// indices passed to the successor are relative to the survivors.
+    ///
+    /// Chaining `apply` calls composes deletions: two sequential applies are
+    /// equivalent to one update on the union of the removal sets — the
+    /// repeated-deletion scenario of the paper's Figure 4.
+    ///
+    /// Captures that cannot be shrunk exactly are dropped rather than left
+    /// stale (currently only the logistic PrIU-opt capture, whose frozen
+    /// linearisation point is no longer meaningful); `supported_methods` on
+    /// the successor reflects what survived.
+    ///
+    /// # Errors
+    /// Everything `update` reports, plus [`CoreError::InvalidRemoval`] when
+    /// the removal would leave no training samples.
+    fn apply(&self, method: Method, removed: &[usize]) -> Result<ChainedUpdate>;
+
+    /// Whether this session can run the given method.
+    fn supports(&self, method: Method) -> bool {
+        self.supported_methods().contains(&method)
+    }
+
+    /// Runs every supported method on the removal set and returns the
+    /// outcomes keyed by method (BaseL first).
+    ///
+    /// # Errors
+    /// Propagates the first failing update.
+    fn run_all(&self, removed: &[usize]) -> Result<MethodReport> {
+        let mut outcomes = Vec::new();
+        for method in self.supported_methods() {
+            outcomes.push(self.update(method, removed)?);
+        }
+        Ok(MethodReport { outcomes })
+    }
+}
+
+/// Times the online phase of one update and assembles the outcome.
+pub(crate) fn timed_update(
+    method: Method,
+    num_removed: usize,
+    f: impl FnOnce() -> Result<Model>,
+) -> Result<UpdateOutcome> {
+    let start = Instant::now();
+    let model = f()?;
+    Ok(UpdateOutcome {
+        model,
+        duration: start.elapsed(),
+        method,
+        num_removed,
+    })
+}
+
+/// Validates a removal set for `apply`: normalised, and leaving at least one
+/// survivor. Returns the sorted-deduplicated set plus the survivor indices.
+pub(crate) fn split_survivors(
+    num_samples: usize,
+    removed: &[usize],
+) -> Result<(Vec<usize>, Vec<usize>)> {
+    let removed = normalize_removed(num_samples, removed)?;
+    if removed.len() >= num_samples {
+        return Err(CoreError::InvalidRemoval {
+            index: num_samples,
+            num_samples,
+        });
+    }
+    let mut survivors = Vec::with_capacity(num_samples - removed.len());
+    let mut r = 0usize;
+    for i in 0..num_samples {
+        if r < removed.len() && removed[r] == i {
+            r += 1;
+        } else {
+            survivors.push(i);
+        }
+    }
+    Ok((removed, survivors))
+}
+
+/// A fitted session of any model family, programmable through
+/// [`DeletionEngine`]. Produced by [`SessionBuilder::fit`] and by
+/// [`DeletionEngine::apply`].
+#[derive(Debug, Clone)]
+pub enum Session {
+    /// Linear regression.
+    Linear(LinearEngine),
+    /// Binary or multinomial logistic regression (dense).
+    Logistic(LogisticEngine),
+    /// Sparse binary logistic regression.
+    SparseLogistic(SparseLogisticEngine),
+}
+
+impl Session {
+    /// The dense training dataset, if this is a dense session.
+    pub fn dense_dataset(&self) -> Option<&DenseDataset> {
+        match self {
+            Session::Linear(e) => Some(e.dataset()),
+            Session::Logistic(e) => Some(e.dataset()),
+            Session::SparseLogistic(_) => None,
+        }
+    }
+
+    /// The sparse training dataset, if this is a sparse session.
+    pub fn sparse_dataset(&self) -> Option<&SparseDataset> {
+        match self {
+            Session::SparseLogistic(e) => Some(e.dataset()),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! delegate {
+    ($self:ident, $e:ident => $body:expr) => {
+        match $self {
+            Session::Linear($e) => $body,
+            Session::Logistic($e) => $body,
+            Session::SparseLogistic($e) => $body,
+        }
+    };
+}
+
+impl DeletionEngine for Session {
+    fn task(&self) -> TaskKind {
+        delegate!(self, e => e.task())
+    }
+
+    fn num_samples(&self) -> usize {
+        delegate!(self, e => e.num_samples())
+    }
+
+    fn model(&self) -> &Model {
+        delegate!(self, e => e.model())
+    }
+
+    fn training_time(&self) -> Duration {
+        delegate!(self, e => e.training_time())
+    }
+
+    fn provenance_bytes(&self) -> usize {
+        delegate!(self, e => e.provenance_bytes())
+    }
+
+    fn supported_methods(&self) -> Vec<Method> {
+        delegate!(self, e => e.supported_methods())
+    }
+
+    fn update(&self, method: Method, removed: &[usize]) -> Result<UpdateOutcome> {
+        delegate!(self, e => e.update(method, removed))
+    }
+
+    fn apply(&self, method: Method, removed: &[usize]) -> Result<ChainedUpdate> {
+        delegate!(self, e => e.apply(method, removed))
+    }
+}
+
+enum BuilderData {
+    Dense(DenseDataset),
+    Sparse(SparseDataset),
+}
+
+/// Builds a [`Session`]: dataset + task kind (inferred from the labels) +
+/// trainer configuration + which captures to materialise.
+///
+/// ```
+/// use priu_core::engine::{DeletionEngine, Method, SessionBuilder};
+/// use priu_core::TrainerConfig;
+/// use priu_data::catalog::Hyperparameters;
+/// use priu_data::synthetic::regression::{generate_regression, RegressionConfig};
+///
+/// let dataset = generate_regression(&RegressionConfig {
+///     num_samples: 200,
+///     num_features: 4,
+///     seed: 1,
+///     ..Default::default()
+/// });
+/// let hyper = Hyperparameters {
+///     batch_size: 50,
+///     num_iterations: 100,
+///     learning_rate: 0.05,
+///     regularization: 0.01,
+/// };
+/// let session = SessionBuilder::dense(dataset, TrainerConfig::from_hyper(hyper))
+///     .seed(7)
+///     .fit()
+///     .unwrap();
+/// assert!(session.supports(Method::ClosedForm)); // linear-only, discoverable
+/// let outcome = session.update(Method::Priu, &[3, 1, 4]).unwrap();
+/// assert_eq!(outcome.num_removed, 3);
+/// ```
+pub struct SessionBuilder {
+    data: BuilderData,
+    config: TrainerConfig,
+    closed_form: bool,
+}
+
+impl SessionBuilder {
+    /// Starts a builder over a dense dataset; the model family follows the
+    /// labels (continuous → linear, binary → binary logistic, multiclass →
+    /// multinomial logistic).
+    pub fn dense(dataset: DenseDataset, config: TrainerConfig) -> Self {
+        Self {
+            data: BuilderData::Dense(dataset),
+            config,
+            closed_form: true,
+        }
+    }
+
+    /// Starts a builder over a sparse dataset (binary logistic only, §5.3).
+    pub fn sparse(dataset: SparseDataset, config: TrainerConfig) -> Self {
+        Self {
+            data: BuilderData::Sparse(dataset),
+            config,
+            closed_form: false,
+        }
+    }
+
+    /// The task kind the fitted session will have.
+    pub fn task(&self) -> TaskKind {
+        match &self.data {
+            BuilderData::Dense(d) => d.task(),
+            BuilderData::Sparse(s) => s.task(),
+        }
+    }
+
+    /// Sets the mini-batch schedule seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config = self.config.with_seed(seed);
+        self
+    }
+
+    /// Sets the Gram-cache compression strategy (§5.1 / §5.3).
+    #[must_use]
+    pub fn compression(mut self, compression: Compression) -> Self {
+        self.config = self.config.with_compression(compression);
+        self
+    }
+
+    /// Enables or disables the PrIU-opt capture (offline
+    /// eigendecompositions; skip for very large feature spaces).
+    #[must_use]
+    pub fn opt_capture(mut self, capture: bool) -> Self {
+        self.config = self.config.with_opt_capture(capture);
+        self
+    }
+
+    /// Sets the piecewise-linear interpolation grid of the logistic
+    /// non-linearity.
+    #[must_use]
+    pub fn interpolation(mut self, interpolation: PiecewiseLinearSigmoid) -> Self {
+        self.config = self.config.with_interpolation(interpolation);
+        self
+    }
+
+    /// Sets the PrIU-opt early-termination fraction `ts / τ` (§5.4).
+    #[must_use]
+    pub fn opt_capture_fraction(mut self, fraction: f64) -> Self {
+        self.config = self.config.with_opt_capture_fraction(fraction);
+        self
+    }
+
+    /// Enables or disables the closed-form baseline's materialised views
+    /// (`XᵀX` / `XᵀY`; linear regression only, on by default there).
+    #[must_use]
+    pub fn closed_form_capture(mut self, capture: bool) -> Self {
+        self.closed_form = capture;
+        self
+    }
+
+    /// Trains the initial model and captures provenance (the offline phase).
+    ///
+    /// # Errors
+    /// Training failures (label mismatch, divergence) are reported as usual;
+    /// sparse datasets with non-binary labels are a label mismatch.
+    pub fn fit(self) -> Result<Session> {
+        match self.data {
+            BuilderData::Dense(dataset) => match dataset.task() {
+                TaskKind::Regression => Ok(Session::Linear(LinearEngine::fit_with(
+                    dataset,
+                    self.config,
+                    self.closed_form,
+                )?)),
+                TaskKind::BinaryClassification | TaskKind::MulticlassClassification { .. } => Ok(
+                    Session::Logistic(LogisticEngine::fit(dataset, self.config)?),
+                ),
+            },
+            BuilderData::Sparse(dataset) => match dataset.task() {
+                TaskKind::BinaryClassification => Ok(Session::SparseLogistic(
+                    SparseLogisticEngine::fit(dataset, self.config)?,
+                )),
+                _ => Err(CoreError::LabelMismatch {
+                    expected: "binary (+1/-1) labels for sparse logistic regression",
+                }),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::compare_models;
+    use priu_data::catalog::Hyperparameters;
+    use priu_data::dirty::random_subsets;
+    use priu_data::synthetic::classification::{
+        generate_binary_classification, generate_multiclass_classification, ClassificationConfig,
+    };
+    use priu_data::synthetic::regression::{generate_regression, RegressionConfig};
+    use priu_data::synthetic::sparse_text::{generate_sparse_binary, SparseConfig};
+
+    fn hyper() -> Hyperparameters {
+        Hyperparameters {
+            batch_size: 50,
+            num_iterations: 150,
+            learning_rate: 0.05,
+            regularization: 0.02,
+        }
+    }
+
+    fn linear_session() -> Session {
+        let data = generate_regression(&RegressionConfig {
+            num_samples: 300,
+            num_features: 6,
+            seed: 1,
+            ..Default::default()
+        });
+        SessionBuilder::dense(data, TrainerConfig::from_hyper(hyper()))
+            .fit()
+            .unwrap()
+    }
+
+    fn binary_session() -> Session {
+        let data = generate_binary_classification(&ClassificationConfig {
+            num_samples: 300,
+            num_features: 6,
+            separation: 3.0,
+            seed: 2,
+            ..Default::default()
+        });
+        let mut h = hyper();
+        h.learning_rate = 0.3;
+        SessionBuilder::dense(data, TrainerConfig::from_hyper(h))
+            .fit()
+            .unwrap()
+    }
+
+    #[test]
+    fn method_registry_names_round_trip() {
+        for method in Method::ALL {
+            assert_eq!(Method::parse(method.name()), Some(method));
+            assert_eq!(method.to_string(), method.name());
+        }
+        assert_eq!(Method::parse("priu"), Some(Method::Priu));
+        assert_eq!(Method::parse("basel"), Some(Method::Retrain));
+        assert_eq!(Method::parse("nope"), None);
+    }
+
+    #[test]
+    fn linear_sessions_support_every_method() {
+        let session = linear_session();
+        assert_eq!(session.supported_methods(), Method::ALL.to_vec());
+        assert_eq!(session.task(), TaskKind::Regression);
+        assert!(session.dense_dataset().is_some());
+        assert!(session.sparse_dataset().is_none());
+    }
+
+    #[test]
+    fn linear_capture_flags_shrink_the_method_set() {
+        let data = generate_regression(&RegressionConfig {
+            num_samples: 200,
+            num_features: 5,
+            seed: 3,
+            ..Default::default()
+        });
+        let session = SessionBuilder::dense(data, TrainerConfig::from_hyper(hyper()))
+            .opt_capture(false)
+            .closed_form_capture(false)
+            .fit()
+            .unwrap();
+        assert!(!session.supports(Method::PriuOpt));
+        assert!(!session.supports(Method::ClosedForm));
+        assert!(session.supports(Method::Priu));
+        assert!(matches!(
+            session.update(Method::ClosedForm, &[0]),
+            Err(CoreError::UnsupportedMethod { .. })
+        ));
+    }
+
+    #[test]
+    fn logistic_sessions_exclude_closed_form() {
+        let session = binary_session();
+        let methods = session.supported_methods();
+        assert!(!methods.contains(&Method::ClosedForm));
+        assert!(methods.contains(&Method::PriuOpt));
+        assert!(matches!(
+            session.update(Method::ClosedForm, &[0]),
+            Err(CoreError::UnsupportedMethod { .. })
+        ));
+    }
+
+    #[test]
+    fn sparse_sessions_support_priu_and_retraining_only() {
+        let data = generate_sparse_binary(&SparseConfig {
+            num_samples: 200,
+            num_features: 150,
+            nnz_per_row: 10,
+            informative_fraction: 0.2,
+            seed: 4,
+        });
+        let mut h = hyper();
+        h.learning_rate = 0.3;
+        let session = SessionBuilder::sparse(data, TrainerConfig::from_hyper(h))
+            .fit()
+            .unwrap();
+        assert_eq!(
+            session.supported_methods(),
+            vec![Method::Retrain, Method::Priu]
+        );
+        assert!(session.sparse_dataset().is_some());
+        assert!(session.dense_dataset().is_none());
+    }
+
+    #[test]
+    fn sparse_builder_rejects_non_binary_labels() {
+        use priu_data::dataset::{Labels, SparseDataset};
+        use priu_linalg::{CsrMatrix, Matrix, Vector};
+        let dense = Matrix::from_fn(4, 3, |i, j| (i + j) as f64);
+        let data = SparseDataset::new(
+            CsrMatrix::from_dense(&dense),
+            Labels::Continuous(Vector::zeros(4)),
+        );
+        assert!(matches!(
+            SessionBuilder::sparse(data, TrainerConfig::from_hyper(hyper())).fit(),
+            Err(CoreError::LabelMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn run_all_reports_every_supported_method() {
+        let session = linear_session();
+        let removed = random_subsets(300, 0.05, 1, 1)[0].clone();
+        let report = session.run_all(&removed).unwrap();
+        assert_eq!(report.len(), Method::ALL.len());
+        assert!(!report.is_empty());
+        for method in Method::ALL {
+            let outcome = report.get(method).unwrap();
+            assert_eq!(outcome.method, method);
+            assert_eq!(outcome.num_removed, removed.len());
+            assert!(outcome.model.is_finite());
+            assert!(outcome.duration > Duration::ZERO);
+        }
+        let basel = report.get(Method::Retrain).unwrap();
+        let priu = report.get(Method::Priu).unwrap();
+        let cmp = compare_models(&basel.model, &priu.model).unwrap();
+        assert!(cmp.cosine_similarity > 0.999);
+    }
+
+    #[test]
+    fn outcome_counts_distinct_removals() {
+        let session = linear_session();
+        let outcome = session.update(Method::Priu, &[7, 3, 7, 3, 11]).unwrap();
+        assert_eq!(outcome.num_removed, 3);
+        assert_eq!(outcome.method, Method::Priu);
+    }
+
+    #[test]
+    fn chained_applies_compose_like_one_deletion_linear() {
+        let session = linear_session();
+        let first = random_subsets(300, 0.05, 1, 5)[0].clone();
+        let chained = session.apply(Method::Priu, &first).unwrap();
+        assert_eq!(chained.session.num_samples(), 300 - first.len());
+
+        // Second removal, expressed in survivor indices.
+        let second_survivor: Vec<usize> = vec![0, 17, 91, 200];
+        let second = chained
+            .session
+            .update(Method::Priu, &second_survivor)
+            .unwrap();
+
+        // Reference: one PrIU update on the union, in original indices.
+        let survivors: Vec<usize> = (0..300).filter(|i| !first.contains(i)).collect();
+        let mut union = first.clone();
+        union.extend(second_survivor.iter().map(|&i| survivors[i]));
+        let reference = session.update(Method::Priu, &union).unwrap();
+
+        let cmp = compare_models(&reference.model, &second.model).unwrap();
+        assert!(
+            cmp.l2_distance < 1e-7,
+            "chained linear PrIU should be exact, distance {}",
+            cmp.l2_distance
+        );
+
+        // And both agree with retraining on the union.
+        let retrained = session.update(Method::Retrain, &union).unwrap();
+        let cmp = compare_models(&retrained.model, &second.model).unwrap();
+        assert!(
+            cmp.cosine_similarity > 0.99,
+            "similarity {}",
+            cmp.cosine_similarity
+        );
+    }
+
+    #[test]
+    fn chained_applies_compose_like_one_deletion_logistic() {
+        let session = binary_session();
+        let first = random_subsets(300, 0.04, 1, 6)[0].clone();
+        let chained = session.apply(Method::Priu, &first).unwrap();
+
+        // The logistic opt capture is dropped on apply; plain PrIU survives.
+        assert!(!chained.session.supports(Method::PriuOpt));
+        assert!(chained.session.supports(Method::Priu));
+
+        let second_survivor = random_subsets(chained.session.num_samples(), 0.04, 1, 7)[0].clone();
+        let second = chained
+            .session
+            .update(Method::Priu, &second_survivor)
+            .unwrap();
+
+        let survivors: Vec<usize> = (0..300).filter(|i| !first.contains(i)).collect();
+        let mut union = first.clone();
+        union.extend(second_survivor.iter().map(|&i| survivors[i]));
+        let retrained = session.update(Method::Retrain, &union).unwrap();
+
+        let cmp = compare_models(&retrained.model, &second.model).unwrap();
+        assert!(
+            cmp.cosine_similarity > 0.99,
+            "two chained applies vs one retrain on the union: similarity {}",
+            cmp.cosine_similarity
+        );
+    }
+
+    #[test]
+    fn chained_apply_supports_retraining_and_closed_form_on_the_successor() {
+        let session = linear_session();
+        let first = random_subsets(300, 0.05, 1, 8)[0].clone();
+        let chained = session.apply(Method::PriuOpt, &first).unwrap();
+        // The linear captures shrink exactly, so every method survives.
+        assert_eq!(chained.session.supported_methods(), Method::ALL.to_vec());
+
+        let second: Vec<usize> = vec![1, 2, 3];
+        let retrain_chained = chained.session.update(Method::Retrain, &second).unwrap();
+        let closed_chained = chained.session.update(Method::ClosedForm, &second).unwrap();
+        assert!(retrain_chained.model.is_finite());
+        assert!(closed_chained.model.is_finite());
+
+        // Closed-form on the successor equals closed-form on the union.
+        let survivors: Vec<usize> = (0..300).filter(|i| !first.contains(i)).collect();
+        let mut union = first.clone();
+        union.extend(second.iter().map(|&i| survivors[i]));
+        let reference = session.update(Method::ClosedForm, &union).unwrap();
+        let cmp = compare_models(&reference.model, &closed_chained.model).unwrap();
+        assert!(cmp.l2_distance < 1e-6, "distance {}", cmp.l2_distance);
+    }
+
+    #[test]
+    fn chained_apply_on_sparse_sessions() {
+        let data = generate_sparse_binary(&SparseConfig {
+            num_samples: 300,
+            num_features: 200,
+            nnz_per_row: 15,
+            informative_fraction: 0.2,
+            seed: 9,
+        });
+        let mut h = hyper();
+        h.learning_rate = 0.3;
+        let session = SessionBuilder::sparse(data, TrainerConfig::from_hyper(h))
+            .fit()
+            .unwrap();
+        let first = random_subsets(300, 0.03, 1, 10)[0].clone();
+        let chained = session.apply(Method::Priu, &first).unwrap();
+        assert_eq!(chained.session.num_samples(), 300 - first.len());
+
+        let second = random_subsets(chained.session.num_samples(), 0.03, 1, 11)[0].clone();
+        let updated = chained.session.update(Method::Priu, &second).unwrap();
+
+        let survivors: Vec<usize> = (0..300).filter(|i| !first.contains(i)).collect();
+        let mut union = first.clone();
+        union.extend(second.iter().map(|&i| survivors[i]));
+        let retrained = session.update(Method::Retrain, &union).unwrap();
+        let cmp = compare_models(&retrained.model, &updated.model).unwrap();
+        assert!(
+            cmp.cosine_similarity > 0.99,
+            "similarity {}",
+            cmp.cosine_similarity
+        );
+    }
+
+    #[test]
+    fn apply_rejects_removing_everything() {
+        let session = linear_session();
+        let everything: Vec<usize> = (0..300).collect();
+        assert!(matches!(
+            session.apply(Method::Priu, &everything),
+            Err(CoreError::InvalidRemoval { .. })
+        ));
+    }
+
+    #[test]
+    fn multinomial_sessions_fit_through_the_builder() {
+        let data = generate_multiclass_classification(&ClassificationConfig {
+            num_samples: 400,
+            num_features: 8,
+            num_classes: 3,
+            separation: 3.0,
+            seed: 12,
+            ..Default::default()
+        });
+        let mut h = hyper();
+        h.learning_rate = 0.3;
+        let session = SessionBuilder::dense(data, TrainerConfig::from_hyper(h))
+            .fit()
+            .unwrap();
+        assert_eq!(
+            session.task(),
+            TaskKind::MulticlassClassification { num_classes: 3 }
+        );
+        let removed = random_subsets(400, 0.02, 1, 3)[0].clone();
+        let priu = session.update(Method::Priu, &removed).unwrap();
+        let retrain = session.update(Method::Retrain, &removed).unwrap();
+        let cmp = compare_models(&retrain.model, &priu.model).unwrap();
+        assert!(cmp.cosine_similarity > 0.99);
+    }
+}

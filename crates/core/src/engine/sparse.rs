@@ -1,0 +1,138 @@
+//! The sparse binary logistic-regression deletion engine (§5.3).
+
+use std::time::{Duration, Instant};
+
+use priu_data::dataset::{SparseDataset, TaskKind};
+
+use crate::baseline::retrain::retrain_sparse_binary_logistic;
+use crate::config::TrainerConfig;
+use crate::engine::{
+    split_survivors, timed_update, ChainedUpdate, DeletionEngine, Method, Session, UpdateOutcome,
+};
+use crate::error::{CoreError, Result};
+use crate::model::Model;
+use crate::trainer::sparse::{
+    train_sparse_binary_logistic, SparseLogisticProvenance, TrainedSparseLogistic,
+};
+use crate::update::sparse_logistic::priu_update_sparse_logistic;
+use crate::update::{drop_positions, normalize_removed, removed_positions};
+
+/// A sparse binary logistic-regression session (RCV1-style workloads). The
+/// sparse path captures only the per-iteration linearisation coefficients
+/// (§5.3), so the supported methods are PrIU and retraining.
+#[derive(Debug, Clone)]
+pub struct SparseLogisticEngine {
+    dataset: SparseDataset,
+    config: TrainerConfig,
+    trained: TrainedSparseLogistic,
+    training_time: Duration,
+}
+
+impl SparseLogisticEngine {
+    /// Trains the initial model and captures provenance (offline phase).
+    ///
+    /// # Errors
+    /// Propagates training failures.
+    pub fn fit(dataset: SparseDataset, config: TrainerConfig) -> Result<Self> {
+        let start = Instant::now();
+        let trained = train_sparse_binary_logistic(&dataset, &config)?;
+        Ok(Self {
+            dataset,
+            config,
+            trained,
+            training_time: start.elapsed(),
+        })
+    }
+
+    /// The training dataset this session currently covers.
+    pub fn dataset(&self) -> &SparseDataset {
+        &self.dataset
+    }
+}
+
+impl DeletionEngine for SparseLogisticEngine {
+    fn task(&self) -> TaskKind {
+        TaskKind::BinaryClassification
+    }
+
+    fn num_samples(&self) -> usize {
+        self.dataset.num_samples()
+    }
+
+    fn model(&self) -> &Model {
+        &self.trained.model
+    }
+
+    fn training_time(&self) -> Duration {
+        self.training_time
+    }
+
+    fn provenance_bytes(&self) -> usize {
+        self.trained.provenance.provenance_bytes()
+    }
+
+    fn supported_methods(&self) -> Vec<Method> {
+        vec![Method::Retrain, Method::Priu]
+    }
+
+    fn update(&self, method: Method, removed: &[usize]) -> Result<UpdateOutcome> {
+        let num_removed = normalize_removed(self.num_samples(), removed)?.len();
+        match method {
+            Method::Retrain => timed_update(method, num_removed, || {
+                retrain_sparse_binary_logistic(&self.dataset, &self.trained.provenance, removed)
+            }),
+            Method::Priu => timed_update(method, num_removed, || {
+                priu_update_sparse_logistic(&self.dataset, &self.trained.provenance, removed)
+            }),
+            Method::PriuOpt | Method::ClosedForm | Method::Influence => {
+                Err(CoreError::UnsupportedMethod {
+                    method: method.name(),
+                    reason: "the sparse path captures linearisation coefficients only (§5.3); \
+                             it supports PrIU and retraining",
+                })
+            }
+        }
+    }
+
+    fn apply(&self, method: Method, removed: &[usize]) -> Result<ChainedUpdate> {
+        let outcome = self.update(method, removed)?;
+        let (removed, survivors) = split_survivors(self.num_samples(), removed)?;
+        let provenance = &self.trained.provenance;
+
+        // The sparse provenance is just per-iteration coefficient lists in
+        // batch order: drop the removed members' entries. The batches are
+        // materialised once and reused to build the restricted schedule.
+        let mut batches = Vec::with_capacity(provenance.coefficients.len());
+        let mut coefficients = Vec::with_capacity(provenance.coefficients.len());
+        for (t, iteration) in provenance.coefficients.iter().enumerate() {
+            let batch = provenance.schedule.batch(t);
+            let positions = removed_positions(&batch, &removed);
+            batches.push(batch);
+            if positions.is_empty() {
+                coefficients.push(iteration.clone());
+            } else {
+                coefficients.push(drop_positions(iteration, &positions));
+            }
+        }
+
+        let successor = SparseLogisticEngine {
+            dataset: self.dataset.select(&survivors),
+            config: self.config,
+            trained: TrainedSparseLogistic {
+                model: outcome.model.clone(),
+                provenance: SparseLogisticProvenance {
+                    schedule: provenance.schedule.restrict_from(&removed, batches),
+                    learning_rate: provenance.learning_rate,
+                    regularization: provenance.regularization,
+                    initial_model: provenance.initial_model.clone(),
+                    coefficients,
+                },
+            },
+            training_time: self.training_time,
+        };
+        Ok(ChainedUpdate {
+            outcome,
+            session: Session::SparseLogistic(successor),
+        })
+    }
+}

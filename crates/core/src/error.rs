@@ -32,6 +32,16 @@ pub enum CoreError {
     /// The requested operation needs provenance that was not captured
     /// (e.g. PrIU-opt on a session trained without the opt capture).
     MissingCapture(&'static str),
+    /// The requested update method is not available on this session — either
+    /// the task does not support it (closed-form is linear-only) or the
+    /// required capture was not materialised. Query
+    /// `DeletionEngine::supported_methods` to discover what a session offers.
+    UnsupportedMethod {
+        /// Name of the rejected method.
+        method: &'static str,
+        /// Why the method is unavailable on this session.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -39,7 +49,10 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::Linalg(e) => write!(f, "linear algebra error: {e}"),
             CoreError::LabelMismatch { expected } => {
-                write!(f, "dataset labels do not match the model: expected {expected}")
+                write!(
+                    f,
+                    "dataset labels do not match the model: expected {expected}"
+                )
             }
             CoreError::Diverged { iteration } => {
                 write!(f, "model parameters diverged at iteration {iteration}")
@@ -51,6 +64,9 @@ impl fmt::Display for CoreError {
             CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             CoreError::MissingCapture(what) => {
                 write!(f, "missing provenance capture: {what}")
+            }
+            CoreError::UnsupportedMethod { method, reason } => {
+                write!(f, "update method {method} not supported here: {reason}")
             }
         }
     }
@@ -84,9 +100,17 @@ mod tests {
         assert!(matches!(e, CoreError::Linalg(_)));
         assert!(e.to_string().contains("singular"));
         assert!(CoreError::MissingCapture("opt").to_string().contains("opt"));
+        assert!(CoreError::UnsupportedMethod {
+            method: "Closed-form",
+            reason: "linear regression only",
+        }
+        .to_string()
+        .contains("Closed-form"));
         assert!(CoreError::LabelMismatch { expected: "binary" }
             .to_string()
             .contains("binary"));
-        assert!(CoreError::InvalidConfig("bad".into()).to_string().contains("bad"));
+        assert!(CoreError::InvalidConfig("bad".into())
+            .to_string()
+            .contains("bad"));
     }
 }

@@ -12,10 +12,8 @@
 //! increasing sigmoid `σ(u) = 1/(1+e^{-u})` evaluated at the per-class
 //! margin minus a captured log-sum-exp offset (see `trainer::logistic`).
 
-use serde::{Deserialize, Serialize};
-
 /// Linear coefficients `(slope, intercept)` of one interpolation segment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Segment {
     /// Slope `a` of `s(x) = a·x + b`.
     pub slope: f64,
@@ -31,7 +29,7 @@ impl Segment {
 }
 
 /// A piecewise-linear interpolant of `f(x) = 1 − 1/(1+e^{−x})` on `[-a, a]`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PiecewiseLinearSigmoid {
     half_range: f64,
     num_intervals: usize,
@@ -208,7 +206,10 @@ mod tests {
         let interp = PiecewiseLinearSigmoid::default();
         for &x in &[-5.0, -1.0, 0.0, 1.0, 5.0] {
             assert!(interp.coefficients(x).slope < 0.0, "f is decreasing");
-            assert!(interp.sigmoid_coefficients(x).slope > 0.0, "σ is increasing");
+            assert!(
+                interp.sigmoid_coefficients(x).slope > 0.0,
+                "σ is increasing"
+            );
             let s = interp.sigmoid_coefficients(x).evaluate(x);
             assert!((s - PiecewiseLinearSigmoid::exact_sigmoid(x)).abs() < 1e-9);
         }

@@ -13,18 +13,16 @@
 //!    compressed with truncated SVD (§5.1/§5.3).
 //! 2. **Delete** an arbitrary subset of training samples (data cleaning,
 //!    interpretability probes, deletion diagnostics).
-//! 3. **Update** the model parameters *incrementally* with
-//!    [`update::priu`] / [`update::priu_opt`] instead of retraining, obtaining
-//!    a model provably close to the retrained one (Theorems 5/8/9) at a small
-//!    fraction of the cost.
-//!
-//! The crate also contains the paper's comparison points — retraining from
-//! scratch ([`baseline::retrain`]), the closed-form ridge update
-//! ([`baseline::closed_form`]) and the influence-function extension
-//! ([`baseline::influence`]) — plus the evaluation metrics of §6 and the
-//! provenance memory accounting of Q8.
+//! 3. **Update** the model parameters with any registered
+//!    [`engine::Method`] — PrIU, PrIU-opt, BaseL retraining, the closed-form
+//!    ridge update or the influence-function estimate — through one uniform
+//!    [`engine::DeletionEngine`] API, obtaining a model provably close to the
+//!    retrained one (Theorems 5/8/9) at a small fraction of the cost.
 //!
 //! ## Quick start
+//!
+//! Train once through the [`engine::SessionBuilder`] (the model family
+//! follows the labels), then answer any number of deletion requests:
 //!
 //! ```
 //! use priu_core::prelude::*;
@@ -35,16 +33,32 @@
 //! let dataset = spec.generate();
 //! let dense = dataset.as_dense().unwrap();
 //!
-//! // Train once, capturing provenance.
-//! let config = TrainerConfig::from_hyper(spec.hyper).with_seed(7);
-//! let session = LinearSession::fit(dense.clone(), config).unwrap();
+//! // Train once, capturing provenance (the offline phase).
+//! let config = TrainerConfig::from_hyper(spec.hyper);
+//! let session = SessionBuilder::dense(dense.clone(), config)
+//!     .seed(7)
+//!     .fit()
+//!     .unwrap();
+//!
+//! // Discover what this session can do: closed-form is linear-only, so it
+//! // is present here but absent on logistic sessions.
+//! assert!(session.supports(Method::ClosedForm));
 //!
 //! // Delete 1% of the training samples and update incrementally.
-//! let removed = random_subsets(dense.num_samples(), 0.01, 1, 3)[0].clone();
-//! let updated = session.priu(&removed).unwrap();
-//! let retrained = session.retrain(&removed).unwrap();
+//! let removed = random_subsets(session.num_samples(), 0.01, 1, 3)[0].clone();
+//! let updated = session.update(Method::Priu, &removed).unwrap();
+//! let retrained = session.update(Method::Retrain, &removed).unwrap();
 //! let cmp = compare_models(&updated.model, &retrained.model).unwrap();
 //! assert!(cmp.cosine_similarity > 0.99);
+//!
+//! // Or run every supported method at once, keyed by `Method`.
+//! let report = session.run_all(&removed).unwrap();
+//! assert!(report.get(Method::Retrain).unwrap().duration >= report.get(Method::Priu).unwrap().duration / 1000);
+//!
+//! // Chained deletions: consume the outcome into a new session over the
+//! // survivors (the paper's Fig. 4 repeated-deletion scenario).
+//! let chained = session.apply(Method::Priu, &removed).unwrap();
+//! assert_eq!(chained.session.num_samples(), session.num_samples() - removed.len());
 //! ```
 
 #![warn(missing_docs)]
@@ -53,6 +67,7 @@
 pub mod baseline;
 pub mod capture;
 pub mod config;
+pub mod engine;
 pub mod error;
 pub mod interpolation;
 pub mod metrics;
@@ -64,24 +79,25 @@ pub mod trainer;
 pub mod update;
 
 pub use config::{Compression, TrainerConfig};
+pub use engine::{
+    ChainedUpdate, DeletionEngine, LinearEngine, LogisticEngine, Method, MethodReport, Session,
+    SessionBuilder, SparseLogisticEngine, UpdateOutcome,
+};
 pub use error::{CoreError, Result};
 pub use metrics::{compare_models, ModelComparison};
 pub use model::{Model, ModelKind};
-pub use session::{
-    BinaryLogisticSession, LinearSession, MultinomialSession, SparseLogisticSession, UpdateOutcome,
-};
 
 /// Convenience prelude bringing the most commonly used types into scope.
 pub mod prelude {
     pub use crate::baseline::influence::influence_update;
     pub use crate::capture::ProvenanceMemory;
     pub use crate::config::{Compression, TrainerConfig};
+    pub use crate::engine::{
+        ChainedUpdate, DeletionEngine, LinearEngine, LogisticEngine, Method, MethodReport, Session,
+        SessionBuilder, SparseLogisticEngine, UpdateOutcome,
+    };
     pub use crate::error::{CoreError, Result};
     pub use crate::interpolation::PiecewiseLinearSigmoid;
     pub use crate::metrics::{compare_models, ModelComparison};
     pub use crate::model::{Model, ModelKind};
-    pub use crate::session::{
-        BinaryLogisticSession, LinearSession, MultinomialSession, SparseLogisticSession,
-        UpdateOutcome,
-    };
 }

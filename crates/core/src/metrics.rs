@@ -15,9 +15,12 @@ use crate::model::{Model, ModelKind};
 /// Returns [`CoreError::LabelMismatch`] if the dataset is not a regression
 /// dataset or the model is not linear.
 pub fn mean_squared_error(model: &Model, dataset: &DenseDataset) -> Result<f64> {
-    let y = dataset.labels.as_continuous().ok_or(CoreError::LabelMismatch {
-        expected: "continuous labels",
-    })?;
+    let y = dataset
+        .labels
+        .as_continuous()
+        .ok_or(CoreError::LabelMismatch {
+            expected: "continuous labels",
+        })?;
     if model.kind() != ModelKind::Linear {
         return Err(CoreError::LabelMismatch {
             expected: "a linear model",
@@ -160,7 +163,8 @@ mod tests {
         let x = Matrix::from_vec(4, 1, vec![1.0, 2.0, -1.0, -3.0]).unwrap();
         let y = Vector::from_vec(vec![1.0, 1.0, -1.0, 1.0]);
         let data = DenseDataset::new(x, Labels::Binary(y));
-        let model = Model::new(ModelKind::BinaryLogistic, vec![Vector::from_vec(vec![1.0])]).unwrap();
+        let model =
+            Model::new(ModelKind::BinaryLogistic, vec![Vector::from_vec(vec![1.0])]).unwrap();
         assert!((classification_accuracy(&model, &data).unwrap() - 0.75).abs() < 1e-12);
     }
 

@@ -1,12 +1,10 @@
 //! Model parameters for the three regression families the paper covers.
 
-use priu_linalg::{CsrMatrix, Matrix, Vector};
-use serde::{Deserialize, Serialize};
-
 use crate::error::{CoreError, Result};
+use priu_linalg::{CsrMatrix, Matrix, Vector};
 
 /// Which regression family a model belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ModelKind {
     /// Linear regression (Eq. 2).
     Linear,
@@ -31,7 +29,7 @@ impl ModelKind {
 
 /// A trained (or incrementally updated) model: one weight vector per class
 /// (a single vector for linear and binary logistic regression).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Model {
     kind: ModelKind,
     weights: Vec<Vector>,
@@ -232,11 +230,7 @@ mod tests {
 
     #[test]
     fn linear_prediction() {
-        let m = Model::new(
-            ModelKind::Linear,
-            vec![Vector::from_vec(vec![1.0, -2.0])],
-        )
-        .unwrap();
+        let m = Model::new(ModelKind::Linear, vec![Vector::from_vec(vec![1.0, -2.0])]).unwrap();
         assert_eq!(m.predict_linear(&[3.0, 1.0]), 1.0);
         assert_eq!(m.weight().as_slice(), &[1.0, -2.0]);
         let x = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]).unwrap();

@@ -44,19 +44,18 @@ pub fn objective_value(model: &Model, dataset: &DenseDataset, regularization: f6
             }
             sum / n as f64
         }
-        (ModelKind::MultinomialLogistic { num_classes }, Labels::Multiclass { classes, num_classes: q })
-            if num_classes == *q =>
-        {
+        (
+            ModelKind::MultinomialLogistic { num_classes },
+            Labels::Multiclass {
+                classes,
+                num_classes: q,
+            },
+        ) if num_classes == *q => {
             let mut sum = 0.0;
             for i in 0..n {
                 let logits = model.logits(dataset.x.row(i));
                 let max = logits.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
-                let lse = max
-                    + logits
-                        .iter()
-                        .map(|&z| (z - max).exp())
-                        .sum::<f64>()
-                        .ln();
+                let lse = max + logits.iter().map(|&z| (z - max).exp()).sum::<f64>().ln();
                 sum += lse - logits[classes[i] as usize];
             }
             sum / n as f64
@@ -105,13 +104,15 @@ pub fn sample_gradient(model: &Model, dataset: &DenseDataset, i: usize) -> Resul
             // ∇ ln(1+e^{-y wᵀx}) = -y x σ(-y wᵀx)
             let margin = y[i] * model.decision_value(x);
             let f = 1.0 / (1.0 + margin.exp());
-            Ok(Vector::from_vec(
-                x.iter().map(|&v| -y[i] * v * f).collect(),
-            ))
+            Ok(Vector::from_vec(x.iter().map(|&v| -y[i] * v * f).collect()))
         }
-        (ModelKind::MultinomialLogistic { num_classes }, Labels::Multiclass { classes, num_classes: q })
-            if num_classes == *q =>
-        {
+        (
+            ModelKind::MultinomialLogistic { num_classes },
+            Labels::Multiclass {
+                classes,
+                num_classes: q,
+            },
+        ) if num_classes == *q => {
             let probs = softmax(&model.logits(x));
             let mut grad = Vec::with_capacity(num_classes * x.len());
             for k in 0..num_classes {
@@ -172,9 +173,10 @@ pub fn full_hessian(model: &Model, dataset: &DenseDataset, regularization: f64) 
             h.add_diagonal_mut(regularization)?;
             Ok(h)
         }
-        (ModelKind::MultinomialLogistic { num_classes }, Labels::Multiclass { num_classes: q, .. })
-            if num_classes == *q =>
-        {
+        (
+            ModelKind::MultinomialLogistic { num_classes },
+            Labels::Multiclass { num_classes: q, .. },
+        ) if num_classes == *q => {
             // Block (k,l) = (1/n) Σ_i (σ_k δ_kl − σ_k σ_l) x_i x_iᵀ + λ I δ_kl.
             let dim = m * num_classes;
             let mut h = Matrix::zeros(dim, dim);
@@ -258,7 +260,12 @@ mod tests {
         model.weights_mut()[0] = Vector::from_vec(vec![0.3, -0.2, 0.1, 0.5]);
         let g = full_gradient(&model, &data, 0.1).unwrap();
         let fd = fd_gradient(&model, &data, 0.1);
-        assert!((&g - &fd).norm_inf() < 1e-5, "analytic {:?} vs fd {:?}", g, fd);
+        assert!(
+            (&g - &fd).norm_inf() < 1e-5,
+            "analytic {:?} vs fd {:?}",
+            g,
+            fd
+        );
     }
 
     #[test]
@@ -362,10 +369,7 @@ mod tests {
 
     #[test]
     fn empty_dataset_has_zero_objective() {
-        let data = DenseDataset::new(
-            Matrix::zeros(0, 2),
-            Labels::Continuous(Vector::zeros(0)),
-        );
+        let data = DenseDataset::new(Matrix::zeros(0, 2), Labels::Continuous(Vector::zeros(0)));
         let model = Model::zeros(ModelKind::Linear, 2);
         assert_eq!(objective_value(&model, &data, 0.3).unwrap(), 0.0);
     }

@@ -12,7 +12,9 @@
 
 use priu_data::dataset::DenseDataset;
 use priu_linalg::{Matrix, Vector};
-use priu_provenance::{AnnotatedMatrix, AnnotatedVector, Polynomial, Token, TokenRegistry, Valuation};
+use priu_provenance::{
+    AnnotatedMatrix, AnnotatedVector, Polynomial, Token, TokenRegistry, Valuation,
+};
 
 use crate::error::{CoreError, Result};
 use crate::model::{Model, ModelKind};
@@ -42,9 +44,12 @@ impl AnnotatedLinearGd {
         regularization: f64,
         num_iterations: usize,
     ) -> Result<Self> {
-        let y = dataset.labels.as_continuous().ok_or(CoreError::LabelMismatch {
-            expected: "continuous labels for the annotated reference trainer",
-        })?;
+        let y = dataset
+            .labels
+            .as_continuous()
+            .ok_or(CoreError::LabelMismatch {
+                expected: "continuous labels for the annotated reference trainer",
+            })?;
         let n = dataset.num_samples();
         let m = dataset.num_features();
         let mut registry = TokenRegistry::new();
@@ -57,8 +62,7 @@ impl AnnotatedLinearGd {
             let annotation = Polynomial::token_power(tokens[i], 2);
             let outer = Matrix::outer(&xi, &xi);
             gram_expr = gram_expr.add(&AnnotatedMatrix::annotated(annotation.clone(), outer));
-            moment_expr =
-                moment_expr.add(&AnnotatedVector::annotated(annotation, xi.scaled(y[i])));
+            moment_expr = moment_expr.add(&AnnotatedVector::annotated(annotation, xi.scaled(y[i])));
         }
 
         Ok(Self {
@@ -127,13 +131,10 @@ impl AnnotatedLinearGd {
     pub fn update_after_deletion(&self, removed: &[usize]) -> Result<Model> {
         let mut valuation = Valuation::all_present();
         for &i in removed {
-            let token = *self
-                .tokens
-                .get(i)
-                .ok_or(CoreError::InvalidRemoval {
-                    index: i,
-                    num_samples: self.tokens.len(),
-                })?;
+            let token = *self.tokens.get(i).ok_or(CoreError::InvalidRemoval {
+                index: i,
+                num_samples: self.tokens.len(),
+            })?;
             valuation.delete(token);
         }
         self.model_for_valuation(&valuation)

@@ -1,442 +1,43 @@
-//! High-level sessions: train once (capturing provenance), then run any
-//! number of timed deletion updates with any of the competing methods.
+//! Deprecated session aliases.
 //!
-//! This is the API the examples and the benchmark harness use; it mirrors the
-//! paper's experimental protocol: provenance collection happens offline
-//! during training and is *not* counted in the reported update times, which
-//! only cover the online work of each method.
+//! The four per-family session structs of early releases were unified behind
+//! the [`crate::engine`] API: one [`crate::engine::SessionBuilder`], one
+//! [`crate::engine::DeletionEngine`] trait, one [`crate::engine::Method`]
+//! registry. The old type names remain as thin aliases for one release so
+//! downstream code keeps compiling; the per-method inherent functions
+//! (`.priu()`, `.retrain()`, ...) are replaced by
+//! `update(Method::Priu, removed)` and friends on the trait.
 
-use std::time::{Duration, Instant};
+use crate::engine;
 
-use priu_data::dataset::{DenseDataset, SparseDataset};
+/// Deprecated alias of [`engine::LinearEngine`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use engine::SessionBuilder / engine::LinearEngine with the DeletionEngine trait"
+)]
+pub type LinearSession = engine::LinearEngine;
 
-use crate::baseline::closed_form::{closed_form_incremental, ClosedFormCapture};
-use crate::baseline::influence::influence_update;
-use crate::baseline::retrain::{
-    retrain_binary_logistic, retrain_linear, retrain_multinomial_logistic,
-    retrain_sparse_binary_logistic,
-};
-use crate::capture::ProvenanceMemory;
-use crate::config::TrainerConfig;
-use crate::error::Result;
-use crate::model::Model;
-use crate::trainer::linear::{train_linear, TrainedLinear};
-use crate::trainer::logistic::{train_binary_logistic, train_multinomial_logistic, TrainedLogistic};
-use crate::trainer::sparse::{train_sparse_binary_logistic, TrainedSparseLogistic};
-use crate::update::priu_linear::priu_update_linear;
-use crate::update::priu_logistic::priu_update_logistic;
-use crate::update::priu_opt_linear::priu_opt_update_linear;
-use crate::update::priu_opt_logistic::priu_opt_update_logistic;
-use crate::update::sparse_logistic::priu_update_sparse_logistic;
+/// Deprecated alias of [`engine::LogisticEngine`] (binary labels).
+#[deprecated(
+    since = "0.1.0",
+    note = "use engine::SessionBuilder / engine::LogisticEngine with the DeletionEngine trait"
+)]
+pub type BinaryLogisticSession = engine::LogisticEngine;
 
-/// The result of one timed incremental-update (or retraining) run.
-#[derive(Debug, Clone)]
-pub struct UpdateOutcome {
-    /// The updated model.
-    pub model: Model,
-    /// Wall-clock time of the online update work.
-    pub duration: Duration,
-}
+/// Deprecated alias of [`engine::LogisticEngine`] (multiclass labels).
+#[deprecated(
+    since = "0.1.0",
+    note = "use engine::SessionBuilder / engine::LogisticEngine with the DeletionEngine trait"
+)]
+pub type MultinomialSession = engine::LogisticEngine;
 
-fn timed<F: FnOnce() -> Result<Model>>(f: F) -> Result<UpdateOutcome> {
-    let start = Instant::now();
-    let model = f()?;
-    Ok(UpdateOutcome {
-        model,
-        duration: start.elapsed(),
-    })
-}
+/// Deprecated alias of [`engine::SparseLogisticEngine`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use engine::SessionBuilder / engine::SparseLogisticEngine with the DeletionEngine trait"
+)]
+pub type SparseLogisticSession = engine::SparseLogisticEngine;
 
-/// A linear-regression session: dataset + trained model + captured
-/// provenance + the closed-form baseline's materialised views.
-#[derive(Debug, Clone)]
-pub struct LinearSession {
-    dataset: DenseDataset,
-    config: TrainerConfig,
-    trained: TrainedLinear,
-    closed_form: ClosedFormCapture,
-    training_time: Duration,
-}
-
-impl LinearSession {
-    /// Trains the initial model and captures provenance (offline phase).
-    ///
-    /// # Errors
-    /// Propagates training failures (label mismatch, divergence).
-    pub fn fit(dataset: DenseDataset, config: TrainerConfig) -> Result<Self> {
-        let start = Instant::now();
-        let trained = train_linear(&dataset, &config)?;
-        let closed_form = ClosedFormCapture::build(&dataset, config.hyper.regularization)?;
-        Ok(Self {
-            dataset,
-            config,
-            trained,
-            closed_form,
-            training_time: start.elapsed(),
-        })
-    }
-
-    /// The training dataset.
-    pub fn dataset(&self) -> &DenseDataset {
-        &self.dataset
-    }
-
-    /// The initially trained model `M_init`.
-    pub fn initial_model(&self) -> &Model {
-        &self.trained.model
-    }
-
-    /// Wall-clock time of the offline phase (training + provenance capture).
-    pub fn training_time(&self) -> Duration {
-        self.training_time
-    }
-
-    /// Bytes of captured provenance (Q8 / Table 3).
-    pub fn provenance_bytes(&self) -> usize {
-        self.trained.provenance.provenance_bytes()
-    }
-
-    /// PrIU incremental update (Eq. 13/14).
-    ///
-    /// # Errors
-    /// Propagates update failures.
-    pub fn priu(&self, removed: &[usize]) -> Result<UpdateOutcome> {
-        timed(|| priu_update_linear(&self.dataset, &self.trained.provenance, removed))
-    }
-
-    /// PrIU-opt incremental update (Eq. 15-18).
-    ///
-    /// # Errors
-    /// Propagates update failures (including a missing opt capture).
-    pub fn priu_opt(&self, removed: &[usize]) -> Result<UpdateOutcome> {
-        timed(|| priu_opt_update_linear(&self.dataset, &self.trained.provenance, removed))
-    }
-
-    /// BaseL: retrain from scratch on the surviving samples.
-    ///
-    /// # Errors
-    /// Propagates retraining failures.
-    pub fn retrain(&self, removed: &[usize]) -> Result<UpdateOutcome> {
-        timed(|| retrain_linear(&self.dataset, &self.trained.provenance, removed))
-    }
-
-    /// Closed-form incremental update of the regularised normal equations.
-    ///
-    /// # Errors
-    /// Propagates factorisation failures.
-    pub fn closed_form(&self, removed: &[usize]) -> Result<UpdateOutcome> {
-        timed(|| closed_form_incremental(&self.dataset, &self.closed_form, removed))
-    }
-
-    /// INFL: influence-function estimate of the updated model.
-    ///
-    /// # Errors
-    /// Propagates Hessian-solve failures.
-    pub fn influence(&self, removed: &[usize]) -> Result<UpdateOutcome> {
-        timed(|| {
-            influence_update(
-                &self.dataset,
-                &self.trained.model,
-                self.config.hyper.regularization,
-                removed,
-            )
-        })
-    }
-}
-
-/// A binary logistic-regression session.
-#[derive(Debug, Clone)]
-pub struct BinaryLogisticSession {
-    dataset: DenseDataset,
-    config: TrainerConfig,
-    trained: TrainedLogistic,
-    training_time: Duration,
-}
-
-/// A multinomial logistic-regression session.
-#[derive(Debug, Clone)]
-pub struct MultinomialSession {
-    dataset: DenseDataset,
-    config: TrainerConfig,
-    trained: TrainedLogistic,
-    training_time: Duration,
-}
-
-macro_rules! logistic_session_impl {
-    ($name:ident, $retrain:ident) => {
-        impl $name {
-            /// The training dataset.
-            pub fn dataset(&self) -> &DenseDataset {
-                &self.dataset
-            }
-
-            /// The initially trained model `M_init`.
-            pub fn initial_model(&self) -> &Model {
-                &self.trained.model
-            }
-
-            /// Wall-clock time of the offline phase (training + capture).
-            pub fn training_time(&self) -> Duration {
-                self.training_time
-            }
-
-            /// Bytes of captured provenance (Q8 / Table 3).
-            pub fn provenance_bytes(&self) -> usize {
-                self.trained.provenance.provenance_bytes()
-            }
-
-            /// PrIU incremental update (Eq. 19/20).
-            ///
-            /// # Errors
-            /// Propagates update failures.
-            pub fn priu(&self, removed: &[usize]) -> Result<UpdateOutcome> {
-                timed(|| priu_update_logistic(&self.dataset, &self.trained.provenance, removed))
-            }
-
-            /// PrIU-opt incremental update (§5.4).
-            ///
-            /// # Errors
-            /// Propagates update failures (including a missing opt capture).
-            pub fn priu_opt(&self, removed: &[usize]) -> Result<UpdateOutcome> {
-                timed(|| {
-                    priu_opt_update_logistic(&self.dataset, &self.trained.provenance, removed)
-                })
-            }
-
-            /// BaseL: retrain from scratch on the surviving samples.
-            ///
-            /// # Errors
-            /// Propagates retraining failures.
-            pub fn retrain(&self, removed: &[usize]) -> Result<UpdateOutcome> {
-                timed(|| $retrain(&self.dataset, &self.trained.provenance, removed))
-            }
-
-            /// INFL: influence-function estimate of the updated model.
-            ///
-            /// # Errors
-            /// Propagates Hessian-solve failures.
-            pub fn influence(&self, removed: &[usize]) -> Result<UpdateOutcome> {
-                timed(|| {
-                    influence_update(
-                        &self.dataset,
-                        &self.trained.model,
-                        self.config.hyper.regularization,
-                        removed,
-                    )
-                })
-            }
-        }
-    };
-}
-
-logistic_session_impl!(BinaryLogisticSession, retrain_binary_logistic);
-logistic_session_impl!(MultinomialSession, retrain_multinomial_logistic);
-
-impl BinaryLogisticSession {
-    /// Trains the initial model and captures provenance (offline phase).
-    ///
-    /// # Errors
-    /// Propagates training failures.
-    pub fn fit(dataset: DenseDataset, config: TrainerConfig) -> Result<Self> {
-        let start = Instant::now();
-        let trained = train_binary_logistic(&dataset, &config)?;
-        Ok(Self {
-            dataset,
-            config,
-            trained,
-            training_time: start.elapsed(),
-        })
-    }
-}
-
-impl MultinomialSession {
-    /// Trains the initial model and captures provenance (offline phase).
-    ///
-    /// # Errors
-    /// Propagates training failures.
-    pub fn fit(dataset: DenseDataset, config: TrainerConfig) -> Result<Self> {
-        let start = Instant::now();
-        let trained = train_multinomial_logistic(&dataset, &config)?;
-        Ok(Self {
-            dataset,
-            config,
-            trained,
-            training_time: start.elapsed(),
-        })
-    }
-}
-
-/// A sparse binary logistic-regression session (RCV1-style workloads).
-#[derive(Debug, Clone)]
-pub struct SparseLogisticSession {
-    dataset: SparseDataset,
-    trained: TrainedSparseLogistic,
-    training_time: Duration,
-}
-
-impl SparseLogisticSession {
-    /// Trains the initial model and captures provenance (offline phase).
-    ///
-    /// # Errors
-    /// Propagates training failures.
-    pub fn fit(dataset: SparseDataset, config: TrainerConfig) -> Result<Self> {
-        let start = Instant::now();
-        let trained = train_sparse_binary_logistic(&dataset, &config)?;
-        Ok(Self {
-            dataset,
-            trained,
-            training_time: start.elapsed(),
-        })
-    }
-
-    /// The training dataset.
-    pub fn dataset(&self) -> &SparseDataset {
-        &self.dataset
-    }
-
-    /// The initially trained model `M_init`.
-    pub fn initial_model(&self) -> &Model {
-        &self.trained.model
-    }
-
-    /// Wall-clock time of the offline phase (training + capture).
-    pub fn training_time(&self) -> Duration {
-        self.training_time
-    }
-
-    /// Bytes of captured provenance (coefficients only, §5.3).
-    pub fn provenance_bytes(&self) -> usize {
-        self.trained.provenance.provenance_bytes()
-    }
-
-    /// PrIU incremental update via the linearised rule (Eq. 11).
-    ///
-    /// # Errors
-    /// Propagates update failures.
-    pub fn priu(&self, removed: &[usize]) -> Result<UpdateOutcome> {
-        timed(|| priu_update_sparse_logistic(&self.dataset, &self.trained.provenance, removed))
-    }
-
-    /// BaseL: retrain from scratch on the surviving samples.
-    ///
-    /// # Errors
-    /// Propagates retraining failures.
-    pub fn retrain(&self, removed: &[usize]) -> Result<UpdateOutcome> {
-        timed(|| retrain_sparse_binary_logistic(&self.dataset, &self.trained.provenance, removed))
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::metrics::compare_models;
-    use priu_data::catalog::Hyperparameters;
-    use priu_data::dirty::random_subsets;
-    use priu_data::synthetic::classification::{
-        generate_binary_classification, generate_multiclass_classification, ClassificationConfig,
-    };
-    use priu_data::synthetic::regression::{generate_regression, RegressionConfig};
-    use priu_data::synthetic::sparse_text::{generate_sparse_binary, SparseConfig};
-
-    fn hyper() -> Hyperparameters {
-        Hyperparameters {
-            batch_size: 50,
-            num_iterations: 150,
-            learning_rate: 0.05,
-            regularization: 0.02,
-        }
-    }
-
-    #[test]
-    fn linear_session_runs_all_methods() {
-        let data = generate_regression(&RegressionConfig {
-            num_samples: 300,
-            num_features: 6,
-            seed: 1,
-            ..Default::default()
-        });
-        let session = LinearSession::fit(data, TrainerConfig::from_hyper(hyper())).unwrap();
-        let removed = random_subsets(300, 0.05, 1, 1)[0].clone();
-        let priu = session.priu(&removed).unwrap();
-        let opt = session.priu_opt(&removed).unwrap();
-        let retrain = session.retrain(&removed).unwrap();
-        let closed = session.closed_form(&removed).unwrap();
-        let infl = session.influence(&removed).unwrap();
-        for outcome in [&priu, &opt, &retrain, &closed, &infl] {
-            assert!(outcome.model.is_finite());
-            assert!(outcome.duration > Duration::ZERO);
-        }
-        let cmp = compare_models(&retrain.model, &priu.model).unwrap();
-        assert!(cmp.cosine_similarity > 0.999);
-        assert!(session.provenance_bytes() > 0);
-        assert!(session.training_time() > Duration::ZERO);
-        assert_eq!(session.dataset().num_samples(), 300);
-        assert!(session.initial_model().is_finite());
-    }
-
-    #[test]
-    fn binary_session_runs_all_methods() {
-        let data = generate_binary_classification(&ClassificationConfig {
-            num_samples: 300,
-            num_features: 6,
-            separation: 3.0,
-            seed: 2,
-            ..Default::default()
-        });
-        let mut h = hyper();
-        h.learning_rate = 0.3;
-        let session = BinaryLogisticSession::fit(data, TrainerConfig::from_hyper(h)).unwrap();
-        let removed = random_subsets(300, 0.05, 1, 2)[0].clone();
-        let priu = session.priu(&removed).unwrap();
-        let opt = session.priu_opt(&removed).unwrap();
-        let retrain = session.retrain(&removed).unwrap();
-        let infl = session.influence(&removed).unwrap();
-        assert!(priu.model.is_finite() && opt.model.is_finite());
-        assert!(retrain.model.is_finite() && infl.model.is_finite());
-        let cmp = compare_models(&retrain.model, &priu.model).unwrap();
-        assert!(cmp.cosine_similarity > 0.99);
-    }
-
-    #[test]
-    fn multinomial_session_runs_all_methods() {
-        let data = generate_multiclass_classification(&ClassificationConfig {
-            num_samples: 400,
-            num_features: 8,
-            num_classes: 3,
-            separation: 3.0,
-            seed: 3,
-            ..Default::default()
-        });
-        let mut h = hyper();
-        h.learning_rate = 0.3;
-        let session = MultinomialSession::fit(data, TrainerConfig::from_hyper(h)).unwrap();
-        let removed = random_subsets(400, 0.02, 1, 3)[0].clone();
-        let priu = session.priu(&removed).unwrap();
-        let retrain = session.retrain(&removed).unwrap();
-        let cmp = compare_models(&retrain.model, &priu.model).unwrap();
-        assert!(cmp.cosine_similarity > 0.99);
-    }
-
-    #[test]
-    fn sparse_session_runs_priu_and_retrain() {
-        let data = generate_sparse_binary(&SparseConfig {
-            num_samples: 300,
-            num_features: 200,
-            nnz_per_row: 15,
-            informative_fraction: 0.2,
-            seed: 4,
-        });
-        let mut h = hyper();
-        h.learning_rate = 0.3;
-        let session = SparseLogisticSession::fit(data, TrainerConfig::from_hyper(h)).unwrap();
-        let removed = random_subsets(300, 0.05, 1, 4)[0].clone();
-        let priu = session.priu(&removed).unwrap();
-        let retrain = session.retrain(&removed).unwrap();
-        let cmp = compare_models(&retrain.model, &priu.model).unwrap();
-        assert!(cmp.cosine_similarity > 0.99);
-        assert!(session.provenance_bytes() > 0);
-        assert!(session.training_time() > Duration::ZERO);
-        assert_eq!(session.dataset().num_samples(), 300);
-        assert!(session.initial_model().is_finite());
-    }
-}
+/// Moved: the outcome type now lives in [`crate::engine`] and additionally
+/// carries the [`engine::Method`] that produced it plus the removal count.
+pub use engine::UpdateOutcome;

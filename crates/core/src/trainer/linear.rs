@@ -175,9 +175,7 @@ mod tests {
         // Compression only changes what is cached, not the training trajectory.
         assert_eq!(dense.model, compressed.model);
         // A rank-2 cache stores 2·m·r = 24 values per iteration vs m² = 36.
-        assert!(
-            compressed.provenance.provenance_bytes() < dense.provenance.provenance_bytes()
-        );
+        assert!(compressed.provenance.provenance_bytes() < dense.provenance.provenance_bytes());
     }
 
     #[test]

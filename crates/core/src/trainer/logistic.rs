@@ -166,7 +166,9 @@ fn capture_binary_opt(
     }
     let c_star = dataset.x.weighted_gram(Some(&a_all));
     let eigen = SymmetricEigen::new(&c_star)?;
-    let d_star = dataset.x.transpose_matvec(&Vector::from_vec(b_all.clone()))?;
+    let d_star = dataset
+        .x
+        .transpose_matvec(&Vector::from_vec(b_all.clone()))?;
     let coefficients = a_all.into_iter().zip(b_all).collect();
     Ok(LogisticOptCapture {
         switch_iteration: ts,
@@ -242,6 +244,7 @@ pub fn train_multinomial_logistic(
         let mut new_weights = Vec::with_capacity(q);
         // Pre-compute per-sample log-sum-exp over all classes.
         let mut lse = Vec::with_capacity(b);
+        #[allow(clippy::needless_range_loop)] // `i` spans all q logit vectors
         for i in 0..b {
             let max = (0..q).fold(f64::NEG_INFINITY, |acc, k| acc.max(logits[k][i]));
             let sum: f64 = (0..q).map(|k| (logits[k][i] - max).exp()).sum();
@@ -327,12 +330,14 @@ fn capture_multinomial_opt(
         .map(|wk| dataset.x.matvec(wk))
         .collect::<std::result::Result<_, _>>()?;
     let mut lse = Vec::with_capacity(n);
+    #[allow(clippy::needless_range_loop)] // `i` spans all q logit vectors
     for i in 0..n {
         let max = (0..q).fold(f64::NEG_INFINITY, |acc, k| acc.max(logits[k][i]));
         let sum: f64 = (0..q).map(|k| (logits[k][i] - max).exp()).sum();
         lse.push(max + sum.ln());
     }
     let mut class_captures = Vec::with_capacity(q);
+    #[allow(clippy::needless_range_loop)] // `k` spans logits and per-class captures
     for k in 0..q {
         let mut a_all = Vec::with_capacity(n);
         let mut b_all = Vec::with_capacity(n);
@@ -395,7 +400,6 @@ mod tests {
             separation: 3.0,
             label_noise: 0.3,
             seed: 22,
-            ..Default::default()
         })
     }
 
@@ -483,8 +487,7 @@ mod tests {
     #[test]
     fn opt_capture_can_be_disabled() {
         let data = binary_data();
-        let trained =
-            train_binary_logistic(&data, &config(40).with_opt_capture(false)).unwrap();
+        let trained = train_binary_logistic(&data, &config(40).with_opt_capture(false)).unwrap();
         assert!(trained.provenance.opt.is_none());
     }
 }

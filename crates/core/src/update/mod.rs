@@ -54,9 +54,33 @@ pub(crate) fn removed_positions(batch: &[usize], removed_sorted: &[usize]) -> Ve
     positions
 }
 
+/// Returns `items` with the entries at the given positions removed. The
+/// counterpart of [`removed_positions`] used by deletion propagation to drop
+/// removed batch members from per-batch coefficient lists. `positions` must
+/// be sorted ascending.
+pub(crate) fn drop_positions<T: Copy>(items: &[T], positions: &[usize]) -> Vec<T> {
+    let mut kept = Vec::with_capacity(items.len() - positions.len());
+    let mut next_removed = 0usize;
+    for (pos, &item) in items.iter().enumerate() {
+        if next_removed < positions.len() && positions[next_removed] == pos {
+            next_removed += 1;
+        } else {
+            kept.push(item);
+        }
+    }
+    kept
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn drop_positions_removes_exactly_the_marked_entries() {
+        assert_eq!(drop_positions(&[10, 11, 12, 13], &[1, 3]), vec![10, 12]);
+        assert_eq!(drop_positions(&[10, 11], &[]), vec![10, 11]);
+        assert_eq!(drop_positions(&[10, 11], &[0, 1]), Vec::<i32>::new());
+    }
 
     #[test]
     fn normalize_sorts_dedups_and_validates() {

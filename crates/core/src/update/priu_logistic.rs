@@ -137,7 +137,6 @@ mod tests {
             separation: 3.0,
             label_noise: 0.5,
             seed: 52,
-            ..Default::default()
         })
     }
 
@@ -186,8 +185,7 @@ mod tests {
         let trained = train_multinomial_logistic(&data, &config()).unwrap();
         let removed = random_subsets(data.num_samples(), 0.05, 1, 4)[0].clone();
         let updated = priu_update_logistic(&data, &trained.provenance, &removed).unwrap();
-        let retrained =
-            retrain_multinomial_logistic(&data, &trained.provenance, &removed).unwrap();
+        let retrained = retrain_multinomial_logistic(&data, &trained.provenance, &removed).unwrap();
         let cmp = compare_models(&retrained, &updated).unwrap();
         assert!(
             cmp.cosine_similarity > 0.995,

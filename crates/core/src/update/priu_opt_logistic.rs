@@ -20,8 +20,8 @@ use priu_linalg::Vector;
 use crate::capture::LogisticProvenance;
 use crate::error::{CoreError, Result};
 use crate::model::Model;
-use crate::update::priu_logistic::priu_update_logistic_range;
 use crate::update::normalize_removed;
+use crate::update::priu_logistic::priu_update_logistic_range;
 
 /// Incrementally updates a (binary or multinomial) logistic-regression model
 /// using the PrIU-opt early-termination strategy.
@@ -168,13 +168,11 @@ mod tests {
             separation: 3.0,
             label_noise: 0.5,
             seed: 62,
-            ..Default::default()
         });
         let trained = train_multinomial_logistic(&data, &config()).unwrap();
         let removed = random_subsets(data.num_samples(), 0.02, 1, 9)[0].clone();
         let updated = priu_opt_update_logistic(&data, &trained.provenance, &removed).unwrap();
-        let retrained =
-            retrain_multinomial_logistic(&data, &trained.provenance, &removed).unwrap();
+        let retrained = retrain_multinomial_logistic(&data, &trained.provenance, &removed).unwrap();
         let cmp = compare_models(&retrained, &updated).unwrap();
         assert!(
             cmp.cosine_similarity > 0.99,
@@ -186,8 +184,7 @@ mod tests {
     #[test]
     fn missing_opt_capture_is_reported() {
         let data = binary_data();
-        let trained =
-            train_binary_logistic(&data, &config().with_opt_capture(false)).unwrap();
+        let trained = train_binary_logistic(&data, &config().with_opt_capture(false)).unwrap();
         assert!(matches!(
             priu_opt_update_logistic(&data, &trained.provenance, &[1]),
             Err(CoreError::MissingCapture(_))

@@ -107,8 +107,7 @@ mod tests {
         let trained = train_sparse_binary_logistic(&d, &config()).unwrap();
         let removed = random_subsets(d.num_samples(), 0.05, 1, 3)[0].clone();
         let updated = priu_update_sparse_logistic(&d, &trained.provenance, &removed).unwrap();
-        let retrained =
-            retrain_sparse_binary_logistic(&d, &trained.provenance, &removed).unwrap();
+        let retrained = retrain_sparse_binary_logistic(&d, &trained.provenance, &removed).unwrap();
         let cmp = compare_models(&retrained, &updated).unwrap();
         assert!(
             cmp.cosine_similarity > 0.999,

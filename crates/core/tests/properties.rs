@@ -3,28 +3,26 @@
 //! regression) or near-coincide (logistic regression, Theorem 5) with the
 //! model retrained on the surviving samples, and the interpolation error
 //! must respect the Theorem 4 bound.
+//!
+//! Sessions are driven through the unified `DeletionEngine` API; removal
+//! sets are drawn from the workspace's deterministic RNG (one seed per
+//! case), so the suite runs in fully offline builds.
 
 use std::sync::OnceLock;
 
-use proptest::prelude::*;
-
-use priu_core::baseline::retrain::{retrain_binary_logistic, retrain_linear};
+use priu_core::engine::{DeletionEngine, Method, Session, SessionBuilder};
 use priu_core::interpolation::PiecewiseLinearSigmoid;
 use priu_core::metrics::compare_models;
-use priu_core::trainer::linear::{train_linear, TrainedLinear};
-use priu_core::trainer::logistic::{train_binary_logistic, TrainedLogistic};
-use priu_core::update::priu_linear::priu_update_linear;
-use priu_core::update::priu_logistic::priu_update_logistic;
 use priu_core::TrainerConfig;
 use priu_data::catalog::Hyperparameters;
-use priu_data::dataset::DenseDataset;
 use priu_data::synthetic::classification::{generate_binary_classification, ClassificationConfig};
 use priu_data::synthetic::regression::{generate_regression, RegressionConfig};
+use priu_rng::Rng64;
 
 const N: usize = 160;
 
-fn linear_fixture() -> &'static (DenseDataset, TrainedLinear) {
-    static FIXTURE: OnceLock<(DenseDataset, TrainedLinear)> = OnceLock::new();
+fn linear_fixture() -> &'static Session {
+    static FIXTURE: OnceLock<Session> = OnceLock::new();
     FIXTURE.get_or_init(|| {
         let data = generate_regression(&RegressionConfig {
             num_samples: N,
@@ -38,16 +36,17 @@ fn linear_fixture() -> &'static (DenseDataset, TrainedLinear) {
             num_iterations: 120,
             learning_rate: 0.05,
             regularization: 0.05,
-        })
-        .with_seed(4)
-        .with_opt_capture(false);
-        let trained = train_linear(&data, &config).expect("training fixture");
-        (data, trained)
+        });
+        SessionBuilder::dense(data, config)
+            .seed(4)
+            .opt_capture(false)
+            .fit()
+            .expect("training fixture")
     })
 }
 
-fn logistic_fixture() -> &'static (DenseDataset, TrainedLogistic) {
-    static FIXTURE: OnceLock<(DenseDataset, TrainedLogistic)> = OnceLock::new();
+fn logistic_fixture() -> &'static Session {
+    static FIXTURE: OnceLock<Session> = OnceLock::new();
     FIXTURE.get_or_init(|| {
         let data = generate_binary_classification(&ClassificationConfig {
             num_samples: N,
@@ -62,91 +61,154 @@ fn logistic_fixture() -> &'static (DenseDataset, TrainedLogistic) {
             num_iterations: 120,
             learning_rate: 0.3,
             regularization: 0.02,
-        })
-        .with_seed(5)
-        .with_opt_capture(false);
-        let trained = train_binary_logistic(&data, &config).expect("training fixture");
-        (data, trained)
+        });
+        SessionBuilder::dense(data, config)
+            .seed(5)
+            .opt_capture(false)
+            .fit()
+            .expect("training fixture")
     })
 }
 
-/// Strategy: an arbitrary removal set of up to a quarter of the samples
-/// (possibly with duplicates and in arbitrary order, which the API must
-/// normalise).
-fn removal_set() -> impl Strategy<Value = Vec<usize>> {
-    proptest::collection::vec(0usize..N, 0..(N / 4))
+/// An arbitrary removal set of up to a quarter of the samples (possibly with
+/// duplicates and in arbitrary order, which the API must normalise).
+fn removal_set(rng: &mut Rng64) -> Vec<usize> {
+    let len = rng.index(N / 4);
+    (0..len).map(|_| rng.index(N)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn priu_linear_matches_retraining_for_arbitrary_removals(removed in removal_set()) {
-        let (data, trained) = linear_fixture();
-        let updated = priu_update_linear(data, &trained.provenance, &removed).unwrap();
-        let retrained = retrain_linear(data, &trained.provenance, &removed).unwrap();
+#[test]
+fn priu_linear_matches_retraining_for_arbitrary_removals() {
+    let session = linear_fixture();
+    for case in 0..12 {
+        let mut rng = Rng64::from_seed_stream(0xC001, case);
+        let removed = removal_set(&mut rng);
+        let updated = session.update(Method::Priu, &removed).unwrap();
+        let retrained = session.update(Method::Retrain, &removed).unwrap();
         // For linear regression PrIU replays the exact update rule, so the
         // two results agree to floating-point accuracy.
-        let cmp = compare_models(&retrained, &updated).unwrap();
-        prop_assert!(cmp.l2_distance < 1e-7, "distance {}", cmp.l2_distance);
-        prop_assert!(updated.is_finite());
-    }
-
-    #[test]
-    fn priu_logistic_stays_within_theorem5_distance_of_retraining(removed in removal_set()) {
-        let (data, trained) = logistic_fixture();
-        let updated = priu_update_logistic(data, &trained.provenance, &removed).unwrap();
-        let retrained = retrain_binary_logistic(data, &trained.provenance, &removed).unwrap();
-        let cmp = compare_models(&retrained, &updated).unwrap();
-        // Theorem 5: the gap grows with the removed fraction; for at most a
-        // quarter of the samples the direction must stay essentially intact.
-        prop_assert!(cmp.cosine_similarity > 0.98, "similarity {}", cmp.cosine_similarity);
-        prop_assert!(updated.is_finite());
-    }
-
-    #[test]
-    fn removing_nothing_is_a_fixed_point(seed in 0u64..1000) {
-        // Independent of any seed-derived argument, the empty removal leaves
-        // the linear model unchanged and the logistic model within the
-        // linearisation tolerance.
-        let _ = seed;
-        let (ldata, ltrained) = linear_fixture();
-        let lin = priu_update_linear(ldata, &ltrained.provenance, &[]).unwrap();
-        prop_assert!(compare_models(&ltrained.model, &lin).unwrap().l2_distance < 1e-9);
-
-        let (bdata, btrained) = logistic_fixture();
-        let log = priu_update_logistic(bdata, &btrained.provenance, &[]).unwrap();
-        prop_assert!(compare_models(&btrained.model, &log).unwrap().l2_distance < 1e-6);
+        let cmp = compare_models(&retrained.model, &updated.model).unwrap();
+        assert!(
+            cmp.l2_distance < 1e-7,
+            "case {case}: distance {}",
+            cmp.l2_distance
+        );
+        assert!(updated.model.is_finite());
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn priu_logistic_stays_within_theorem5_distance_of_retraining() {
+    let session = logistic_fixture();
+    for case in 0..12 {
+        let mut rng = Rng64::from_seed_stream(0xC002, case);
+        let removed = removal_set(&mut rng);
+        let updated = session.update(Method::Priu, &removed).unwrap();
+        let retrained = session.update(Method::Retrain, &removed).unwrap();
+        let cmp = compare_models(&retrained.model, &updated.model).unwrap();
+        // Theorem 5: the gap grows with the removed fraction; for at most a
+        // quarter of the samples the direction must stay essentially intact.
+        assert!(
+            cmp.cosine_similarity > 0.98,
+            "case {case}: similarity {}",
+            cmp.cosine_similarity
+        );
+        assert!(updated.model.is_finite());
+    }
+}
 
-    #[test]
-    fn interpolation_error_respects_the_theorem4_bound(x in -25.0f64..25.0) {
-        let interp = PiecewiseLinearSigmoid::new(20.0, 4096);
+#[test]
+fn removing_nothing_is_a_fixed_point() {
+    // The empty removal leaves the linear model unchanged and the logistic
+    // model within the linearisation tolerance.
+    let linear = linear_fixture();
+    let lin = linear.update(Method::Priu, &[]).unwrap();
+    assert!(
+        compare_models(linear.model(), &lin.model)
+            .unwrap()
+            .l2_distance
+            < 1e-9
+    );
+    assert_eq!(lin.num_removed, 0);
+
+    let logistic = logistic_fixture();
+    let log = logistic.update(Method::Priu, &[]).unwrap();
+    assert!(
+        compare_models(logistic.model(), &log.model)
+            .unwrap()
+            .l2_distance
+            < 1e-6
+    );
+}
+
+#[test]
+fn chained_apply_matches_one_shot_updates_for_arbitrary_splits() {
+    // Splitting one removal set across two chained applies must agree with
+    // the one-shot update on the whole set (linear: exactly).
+    let session = linear_fixture();
+    for case in 0..6 {
+        let mut rng = Rng64::from_seed_stream(0xC003, case);
+        let mut removed = removal_set(&mut rng);
+        removed.sort_unstable();
+        removed.dedup();
+        if removed.len() < 2 {
+            continue;
+        }
+        let (first, second) = removed.split_at(removed.len() / 2);
+        let chained = session.apply(Method::Priu, first).unwrap();
+        // Re-express the second half in survivor indices.
+        let second_local: Vec<usize> = second
+            .iter()
+            .map(|&i| i - first.iter().filter(|&&r| r < i).count())
+            .collect();
+        let stepwise = chained.session.update(Method::Priu, &second_local).unwrap();
+        let oneshot = session.update(Method::Priu, &removed).unwrap();
+        let cmp = compare_models(&oneshot.model, &stepwise.model).unwrap();
+        assert!(
+            cmp.l2_distance < 1e-7,
+            "case {case}: distance {}",
+            cmp.l2_distance
+        );
+    }
+}
+
+#[test]
+fn interpolation_error_respects_the_theorem4_bound() {
+    let interp = PiecewiseLinearSigmoid::new(20.0, 4096);
+    for case in 0..64 {
+        let mut rng = Rng64::from_seed_stream(0xC004, case);
+        let x = rng.uniform(-25.0, 25.0);
         let exact = PiecewiseLinearSigmoid::exact(x);
         let approx = interp.evaluate(x);
         if x.abs() <= 20.0 {
-            prop_assert!((exact - approx).abs() <= interp.error_bound() * 1.01);
+            assert!(
+                (exact - approx).abs() <= interp.error_bound() * 1.01,
+                "x = {x}"
+            );
         } else {
             // Outside the range the interpolant is clamped to f(±20), which
             // is within 1e-8 of the true tail value.
-            prop_assert!((exact - approx).abs() < 1e-8);
+            assert!((exact - approx).abs() < 1e-8, "x = {x}");
         }
         // Coefficients always reproduce the evaluation.
         let seg = interp.coefficients(x);
-        prop_assert!((seg.evaluate(x) - approx).abs() < 1e-15);
+        assert!((seg.evaluate(x) - approx).abs() < 1e-15, "x = {x}");
     }
+}
 
-    #[test]
-    fn sigmoid_and_f_coefficients_are_complementary(x in -19.0f64..19.0) {
-        let interp = PiecewiseLinearSigmoid::new(20.0, 2048);
+#[test]
+fn sigmoid_and_f_coefficients_are_complementary() {
+    let interp = PiecewiseLinearSigmoid::new(20.0, 2048);
+    for case in 0..64 {
+        let mut rng = Rng64::from_seed_stream(0xC005, case);
+        let x = rng.uniform(-19.0, 19.0);
         let f = interp.coefficients(x);
         let s = interp.sigmoid_coefficients(x);
-        prop_assert!((f.evaluate(x) + s.evaluate(x) - 1.0).abs() < 1e-12);
-        prop_assert!(f.slope <= 0.0);
-        prop_assert!(s.slope >= 0.0);
+        assert!(
+            (f.evaluate(x) + s.evaluate(x) - 1.0).abs() < 1e-12,
+            "x = {x}"
+        );
+        assert!(f.slope <= 0.0);
+        assert!(s.slope >= 0.0);
     }
 }

@@ -8,8 +8,6 @@
 //! are re-tuned for the standardised synthetic analogues (the paper itself
 //! notes that its rates had to be adapted to the dirty-data setting).
 
-use serde::{Deserialize, Serialize};
-
 use crate::dataset::{DenseDataset, SparseDataset};
 use crate::synthetic::classification::{
     generate_binary_classification, generate_multiclass_classification, ClassificationConfig,
@@ -19,7 +17,7 @@ use crate::synthetic::sparse_text::{generate_sparse_binary, SparseConfig};
 
 /// Training hyperparameters (Table 2: mini-batch size, iteration count,
 /// learning rate `η`, regularisation rate `λ`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Hyperparameters {
     /// Mini-batch size `B`.
     pub batch_size: usize,
@@ -32,7 +30,7 @@ pub struct Hyperparameters {
 }
 
 /// What kind of synthetic generator backs a spec.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum GeneratorKind {
     /// Dense linear-regression data (SGEMM stand-in).
     Regression {
@@ -57,7 +55,7 @@ pub enum GeneratorKind {
 
 /// A named dataset + hyperparameter configuration (one row of Table 1 joined
 /// with the matching row of Table 2).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetSpec {
     /// Experiment name as used in the paper (e.g. "Cov (large 1)").
     pub name: String,

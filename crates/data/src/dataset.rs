@@ -1,13 +1,10 @@
 //! Dataset containers: dense and sparse feature matrices with typed labels.
 
-use priu_linalg::{CsrMatrix, Matrix, Vector};
-use rand::seq::SliceRandom;
-use serde::{Deserialize, Serialize};
-
 use crate::rng::seeded_rng;
+use priu_linalg::{CsrMatrix, Matrix, Vector};
 
 /// The learning task a dataset is meant for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TaskKind {
     /// Continuous labels, linear regression (Eq. 2).
     Regression,
@@ -21,7 +18,7 @@ pub enum TaskKind {
 }
 
 /// Labels attached to a dataset.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Labels {
     /// Continuous targets for linear regression.
     Continuous(Vector),
@@ -174,9 +171,7 @@ impl DenseDataset {
     pub fn num_parameters(&self) -> usize {
         match self.task() {
             TaskKind::Regression | TaskKind::BinaryClassification => self.num_features(),
-            TaskKind::MulticlassClassification { num_classes } => {
-                self.num_features() * num_classes
-            }
+            TaskKind::MulticlassClassification { num_classes } => self.num_features() * num_classes,
         }
     }
 
@@ -201,7 +196,7 @@ impl DenseDataset {
         let n = self.num_samples();
         let mut indices: Vec<usize> = (0..n).collect();
         let mut rng = seeded_rng(seed, 0xDA7A);
-        indices.shuffle(&mut rng);
+        rng.shuffle(&mut indices);
         let n_train = ((n as f64) * train_fraction).round().max(1.0) as usize;
         let n_train = n_train.min(n);
         let train_idx = &indices[..n_train];
@@ -257,6 +252,16 @@ impl SparseDataset {
     pub fn task(&self) -> TaskKind {
         self.labels.task()
     }
+
+    /// Selects a subset of samples by index (order preserved), like
+    /// [`DenseDataset::select`]. Used to shrink a session to the survivors of
+    /// a chained deletion.
+    pub fn select(&self, indices: &[usize]) -> SparseDataset {
+        SparseDataset {
+            x: self.x.select_rows(indices),
+            labels: self.labels.select(indices),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -303,7 +308,10 @@ mod tests {
         assert_eq!(s.num_samples(), 3);
         assert_eq!(s.x.row(0)[0], 21.0);
         assert_eq!(s.x.row(1)[0], 6.0);
-        assert_eq!(s.labels.as_continuous().unwrap().as_slice(), &[7.0, 2.0, 2.0]);
+        assert_eq!(
+            s.labels.as_continuous().unwrap().as_slice(),
+            &[7.0, 2.0, 2.0]
+        );
     }
 
     #[test]
@@ -339,7 +347,10 @@ mod tests {
     fn labels_select_and_casts() {
         let bin = Labels::Binary(Vector::from_vec(vec![1.0, -1.0, 1.0]));
         assert_eq!(bin.task(), TaskKind::BinaryClassification);
-        assert_eq!(bin.select(&[2, 0]).as_binary().unwrap().as_slice(), &[1.0, 1.0]);
+        assert_eq!(
+            bin.select(&[2, 0]).as_binary().unwrap().as_slice(),
+            &[1.0, 1.0]
+        );
         assert!(bin.as_continuous().is_none());
         assert!(bin.as_multiclass().is_none());
         let mc = Labels::Multiclass {

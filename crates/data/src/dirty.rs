@@ -3,7 +3,6 @@
 //! repeated-deletion / interpretability scenario (second experiment set).
 
 use priu_linalg::{Matrix, Vector};
-use rand::seq::index::sample;
 
 use crate::dataset::{DenseDataset, Labels};
 use crate::rng::seeded_rng;
@@ -48,7 +47,7 @@ pub fn inject_dirty_samples(
     let mut dirty_indices = if num_dirty == 0 {
         Vec::new()
     } else {
-        sample(&mut rng, n, num_dirty).into_vec()
+        rng.sample_indices(n, num_dirty)
     };
     dirty_indices.sort_unstable();
 
@@ -87,7 +86,7 @@ pub fn random_subsets(n: usize, rate: f64, count: usize, seed: u64) -> Vec<Vec<u
                 return Vec::new();
             }
             let mut rng = seeded_rng(seed, 0x5B5E7 ^ k as u64);
-            let mut indices = sample(&mut rng, n, size).into_vec();
+            let mut indices = rng.sample_indices(n, size);
             indices.sort_unstable();
             indices
         })

@@ -7,18 +7,20 @@
 //! retraining baseline and the incremental update all observe identical batch
 //! composition without storing `τ · B` indices.
 
-use rand::seq::index::sample;
-use serde::{Deserialize, Serialize};
-
 use crate::rng::seeded_rng;
 
 /// A deterministic mini-batch schedule over `n` samples.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BatchSchedule {
     num_samples: usize,
     batch_size: usize,
     num_iterations: usize,
     seed: u64,
+    /// Materialised batches. `None` for the usual seed-derived schedule;
+    /// `Some` for schedules produced by [`BatchSchedule::restrict`], whose
+    /// batches live in a re-indexed (survivor) sample space and therefore
+    /// cannot be re-derived from `(seed, t)`.
+    explicit: Option<Vec<Vec<usize>>>,
 }
 
 impl BatchSchedule {
@@ -34,6 +36,7 @@ impl BatchSchedule {
             batch_size: batch_size.min(num_samples),
             num_iterations,
             seed,
+            explicit: None,
         }
     }
 
@@ -78,13 +81,16 @@ impl BatchSchedule {
             "iteration {t} out of range ({} iterations)",
             self.num_iterations
         );
+        if let Some(batches) = &self.explicit {
+            return batches[t].clone();
+        }
         if self.is_full_batch() {
             return (0..self.num_samples).collect();
         }
         // A distinct ChaCha stream per iteration gives random access to the
         // schedule without storing it.
         let mut rng = seeded_rng(self.seed, 0xB47C_0000 ^ t as u64);
-        let mut indices = sample(&mut rng, self.num_samples, self.batch_size).into_vec();
+        let mut indices = rng.sample_indices(self.num_samples, self.batch_size);
         indices.sort_unstable();
         indices
     }
@@ -110,6 +116,61 @@ impl BatchSchedule {
     /// quantity the paper's Q6 discussion calls "passes".
     pub fn num_passes(&self) -> f64 {
         (self.num_iterations * self.batch_size) as f64 / self.num_samples as f64
+    }
+
+    /// Restricts the schedule to the samples surviving a deletion: every
+    /// batch is materialised with the removed indices filtered out and each
+    /// survivor re-indexed by its rank among the survivors — the sample space
+    /// of a dataset shrunk with `select(survivors)`. Chained deletions use
+    /// this to hand a session's provenance over to the shrunk dataset while
+    /// preserving the original batch composition (Eq. 8's requirement).
+    ///
+    /// `removed` must be sorted ascending and deduplicated, with every index
+    /// in `[0, num_samples)`.
+    ///
+    /// # Panics
+    /// Panics if removing the set would leave no samples.
+    pub fn restrict(&self, removed: &[usize]) -> BatchSchedule {
+        let batches = (0..self.num_iterations).map(|t| self.batch(t)).collect();
+        self.restrict_from(removed, batches)
+    }
+
+    /// Like [`BatchSchedule::restrict`], reusing batches the caller already
+    /// materialised — callers that just iterated the schedule (deletion
+    /// propagation walks every batch anyway) avoid deriving it twice.
+    ///
+    /// `batches` must be exactly `self.batch(t)` for `t` in iteration order.
+    ///
+    /// # Panics
+    /// Panics if removing the set would leave no samples or the batch count
+    /// does not match the schedule.
+    pub fn restrict_from(&self, removed: &[usize], batches: Vec<Vec<usize>>) -> BatchSchedule {
+        debug_assert!(removed.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(removed.iter().all(|&i| i < self.num_samples));
+        assert_eq!(
+            batches.len(),
+            self.num_iterations,
+            "restrict_from needs one batch per iteration"
+        );
+        let surviving = self.num_samples - removed.len();
+        assert!(surviving > 0, "cannot restrict a schedule to zero samples");
+        let batches: Vec<Vec<usize>> = batches
+            .into_iter()
+            .map(|batch| {
+                batch
+                    .into_iter()
+                    .filter(|i| removed.binary_search(i).is_err())
+                    .map(|i| i - removed.partition_point(|&r| r < i))
+                    .collect()
+            })
+            .collect();
+        BatchSchedule {
+            num_samples: surviving,
+            batch_size: self.batch_size.min(surviving),
+            num_iterations: self.num_iterations,
+            seed: self.seed,
+            explicit: Some(batches),
+        }
     }
 }
 
@@ -176,6 +237,37 @@ mod tests {
     #[should_panic(expected = "at least one sample")]
     fn zero_samples_panics() {
         BatchSchedule::new(0, 2, 5, 0);
+    }
+
+    #[test]
+    fn restrict_filters_and_reindexes_batches() {
+        let s = BatchSchedule::new(10, 4, 6, 3);
+        let removed = vec![2, 5];
+        let r = s.restrict(&removed);
+        assert_eq!(r.num_samples(), 8);
+        assert_eq!(r.num_iterations(), 6);
+        for t in 0..6 {
+            let (kept, _) = s.batch_excluding(t, &removed);
+            let expected: Vec<usize> = kept
+                .iter()
+                .map(|&i| i - removed.iter().filter(|&&x| x < i).count())
+                .collect();
+            assert_eq!(r.batch(t), expected);
+            assert!(r.batch(t).iter().all(|&i| i < 8));
+        }
+        // Restricting twice composes: remove survivor-index 0 (original 0).
+        let r2 = r.restrict(&[0]);
+        assert_eq!(r2.num_samples(), 7);
+        for t in 0..6 {
+            assert!(r2.batch(t).iter().all(|&i| i < 7));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn restrict_to_nothing_panics() {
+        let s = BatchSchedule::new(3, 2, 2, 0);
+        s.restrict(&[0, 1, 2]);
     }
 
     #[test]

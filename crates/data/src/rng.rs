@@ -1,40 +1,29 @@
 //! Seeded random-number helpers shared by the synthetic generators.
 //!
-//! Everything in this crate is reproducible from explicit `u64` seeds; the
-//! helpers here add the two distributions `rand` does not provide without
-//! `rand_distr`: standard normal samples (Box-Muller) and Gumbel noise (used
-//! to sample classes from a softmax ground truth).
+//! Everything in this crate is reproducible from explicit `u64` seeds. The
+//! underlying generator is the workspace's self-contained [`priu_rng::Rng64`]
+//! (xoshiro256**), so the whole data pipeline builds without any external
+//! dependencies; the helpers here add the stream-separation convention and
+//! the two distributions the generators need (standard normal and Gumbel).
 
-use rand::Rng;
-use rand_chacha::rand_core::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+pub use priu_rng::Rng64;
 
 /// Creates a deterministic RNG from a seed and a stream identifier, so that
 /// independent components (features, labels, noise, batches) never share a
 /// stream even when they share a user-facing seed.
-pub fn seeded_rng(seed: u64, stream: u64) -> ChaCha8Rng {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    rng.set_stream(stream);
-    rng
+pub fn seeded_rng(seed: u64, stream: u64) -> Rng64 {
+    Rng64::from_seed_stream(seed, stream)
 }
 
 /// Draws one standard-normal sample using the Box-Muller transform.
-pub fn standard_normal(rng: &mut impl Rng) -> f64 {
-    loop {
-        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-        let u2: f64 = rng.gen_range(0.0..1.0);
-        let v = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-        if v.is_finite() {
-            return v;
-        }
-    }
+pub fn standard_normal(rng: &mut Rng64) -> f64 {
+    rng.standard_normal()
 }
 
 /// Draws one standard Gumbel sample (`-ln(-ln(U))`), used for sampling from a
 /// categorical distribution via the Gumbel-max trick.
-pub fn standard_gumbel(rng: &mut impl Rng) -> f64 {
-    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-    -(-u.ln()).ln()
+pub fn standard_gumbel(rng: &mut Rng64) -> f64 {
+    rng.standard_gumbel()
 }
 
 #[cfg(test)]
@@ -45,15 +34,15 @@ mod tests {
     fn seeded_rng_is_deterministic_and_stream_separated() {
         let a: Vec<f64> = {
             let mut rng = seeded_rng(42, 0);
-            (0..5).map(|_| rng.gen::<f64>()).collect()
+            (0..5).map(|_| rng.next_f64()).collect()
         };
         let b: Vec<f64> = {
             let mut rng = seeded_rng(42, 0);
-            (0..5).map(|_| rng.gen::<f64>()).collect()
+            (0..5).map(|_| rng.next_f64()).collect()
         };
         let c: Vec<f64> = {
             let mut rng = seeded_rng(42, 1);
-            (0..5).map(|_| rng.gen::<f64>()).collect()
+            (0..5).map(|_| rng.next_f64()).collect()
         };
         assert_eq!(a, b);
         assert_ne!(a, c);

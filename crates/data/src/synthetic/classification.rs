@@ -1,14 +1,12 @@
 //! Synthetic dense classification data (the Covtype / HIGGS / Heartbeat /
 //! CIFAR-10 stand-ins).
 
-use priu_linalg::{Matrix, Vector};
-use serde::{Deserialize, Serialize};
-
 use crate::dataset::{DenseDataset, Labels};
 use crate::rng::{seeded_rng, standard_gumbel, standard_normal};
+use priu_linalg::{Matrix, Vector};
 
 /// Configuration of the classification generators.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClassificationConfig {
     /// Number of samples `n`.
     pub num_samples: usize,
@@ -57,12 +55,13 @@ pub fn generate_binary_classification(config: &ClassificationConfig) -> DenseDat
     let w_star = Vector::from_fn(config.num_features, |_| {
         config.separation * standard_normal(&mut weight_rng) / norm
     });
-    let margins = x.matvec(&w_star).expect("shapes consistent by construction");
+    let margins = x
+        .matvec(&w_star)
+        .expect("shapes consistent by construction");
     let y = Vector::from_fn(config.num_samples, |i| {
         let p = 1.0 / (1.0 + (-margins[i]).exp());
         let noisy = if config.label_noise > 0.0 {
-            use rand::Rng;
-            let u: f64 = label_rng.gen_range(0.0..1.0);
+            let u: f64 = label_rng.next_f64();
             u < p
         } else {
             p >= 0.5
@@ -151,7 +150,7 @@ mod tests {
         let y = d.labels.as_binary().unwrap();
         assert!(y.iter().all(|&v| v == 1.0 || v == -1.0));
         // Both classes occur.
-        assert!(y.iter().any(|&v| v == 1.0));
+        assert!(y.contains(&1.0));
         assert!(y.iter().any(|&v| v == -1.0));
     }
 

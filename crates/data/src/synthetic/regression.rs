@@ -1,13 +1,11 @@
 //! Synthetic linear-regression data (the SGEMM stand-in).
 
-use priu_linalg::{Matrix, Vector};
-use serde::{Deserialize, Serialize};
-
 use crate::dataset::{DenseDataset, Labels};
 use crate::rng::{seeded_rng, standard_normal};
+use priu_linalg::{Matrix, Vector};
 
 /// Configuration of the regression generator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RegressionConfig {
     /// Number of samples `n`.
     pub num_samples: usize,
@@ -54,7 +52,9 @@ pub fn generate_regression(config: &RegressionConfig) -> DenseDataset {
             0.0
         }
     });
-    let clean = x.matvec(&w_star).expect("shapes consistent by construction");
+    let clean = x
+        .matvec(&w_star)
+        .expect("shapes consistent by construction");
     let y = Vector::from_fn(config.num_samples, |i| {
         clean[i] + config.noise_std * standard_normal(&mut noise_rng)
     });

@@ -6,17 +6,13 @@
 //! feature positions, values drawn from a log-normal-ish positive
 //! distribution, and labels produced by a sparse ground-truth separator.
 
-use priu_linalg::sparse::CooBuilder;
-use priu_linalg::Vector;
-use rand::seq::index::sample;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
-
 use crate::dataset::{Labels, SparseDataset};
 use crate::rng::{seeded_rng, standard_normal};
+use priu_linalg::sparse::CooBuilder;
+use priu_linalg::Vector;
 
 /// Configuration of the sparse generator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SparseConfig {
     /// Number of samples `n`.
     pub num_samples: usize,
@@ -52,18 +48,19 @@ pub fn generate_sparse_binary(config: &SparseConfig) -> SparseDataset {
     // Sparse ground-truth separator over the informative features.
     let num_informative =
         ((config.num_features as f64) * config.informative_fraction).ceil() as usize;
-    let informative = sample(&mut weight_rng, config.num_features, num_informative.max(1));
+    let informative = weight_rng.sample_indices(config.num_features, num_informative.max(1));
     let mut w_star = vec![0.0; config.num_features];
-    for idx in informative.iter() {
+    for &idx in informative.iter() {
         w_star[idx] = standard_normal(&mut weight_rng);
     }
 
     let mut builder = CooBuilder::new(config.num_samples, config.num_features);
     let mut margins = vec![0.0; config.num_samples];
     let nnz = config.nnz_per_row.min(config.num_features).max(1);
+    #[allow(clippy::needless_range_loop)] // `i` also names the COO row being filled
     for i in 0..config.num_samples {
-        let cols = sample(&mut pos_rng, config.num_features, nnz);
-        for c in cols.iter() {
+        let cols = pos_rng.sample_indices(config.num_features, nnz);
+        for &c in cols.iter() {
             // Positive, heavy-tailed values resembling tf-idf weights.
             let v = (0.5 * standard_normal(&mut val_rng)).exp();
             builder.push(i, c, v).expect("indices generated in range");
@@ -75,7 +72,7 @@ pub fn generate_sparse_binary(config: &SparseConfig) -> SparseDataset {
     let scale = (nnz as f64).sqrt();
     let y = Vector::from_fn(config.num_samples, |i| {
         let p = 1.0 / (1.0 + (-(margins[i] / scale * 3.0)).exp());
-        let u: f64 = label_rng.gen_range(0.0..1.0);
+        let u: f64 = label_rng.next_f64();
         if u < p {
             1.0
         } else {
@@ -107,7 +104,7 @@ mod tests {
         assert!((d.x.density() - expected).abs() < expected * 0.5);
         let y = d.labels.as_binary().unwrap();
         assert!(y.iter().all(|&v| v == 1.0 || v == -1.0));
-        assert!(y.iter().any(|&v| v == 1.0));
+        assert!(y.contains(&1.0));
         assert!(y.iter().any(|&v| v == -1.0));
     }
 

@@ -41,7 +41,9 @@ impl Cholesky {
                 }
                 if i == j {
                     if sum <= 0.0 || !sum.is_finite() {
-                        return Err(LinalgError::Singular { op: "Cholesky::new" });
+                        return Err(LinalgError::Singular {
+                            op: "Cholesky::new",
+                        });
                     }
                     l[(i, j)] = sum.sqrt();
                 } else {
@@ -61,6 +63,7 @@ impl Cholesky {
     ///
     /// # Errors
     /// Returns [`LinalgError::ShapeMismatch`] if `b` has the wrong length.
+    #[allow(clippy::needless_range_loop)] // substitution kernels read clearest indexed
     pub fn solve(&self, b: &Vector) -> Result<Vector> {
         let n = self.l.nrows();
         if b.len() != n {

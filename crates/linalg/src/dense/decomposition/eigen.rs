@@ -220,9 +220,8 @@ impl SymmetricEigen {
         }
         let d = delta_rows.matmul(&self.vectors)?;
         let mut corrections = vec![0.0; m];
-        for k in 0..d.nrows() {
+        for (k, &w) in weights.iter().enumerate() {
             let row = d.row(k);
-            let w = weights[k];
             for i in 0..m {
                 corrections[i] += w * row[i] * row[i];
             }
@@ -236,12 +235,7 @@ mod tests {
     use super::*;
 
     fn symmetric() -> Matrix {
-        Matrix::from_vec(
-            3,
-            3,
-            vec![4.0, 1.0, -2.0, 1.0, 2.0, 0.0, -2.0, 0.0, 3.0],
-        )
-        .unwrap()
+        Matrix::from_vec(3, 3, vec![4.0, 1.0, -2.0, 1.0, 2.0, 0.0, -2.0, 0.0, 3.0]).unwrap()
     }
 
     #[test]
@@ -345,9 +339,7 @@ mod tests {
         let eig = SymmetricEigen::new(&x.gram()).unwrap();
         let delta = x.select_rows(&[3]);
         let a = eig.downdated_eigenvalues(&delta).unwrap();
-        let b = eig
-            .downdated_eigenvalues_weighted(&delta, &[1.0])
-            .unwrap();
+        let b = eig.downdated_eigenvalues_weighted(&delta, &[1.0]).unwrap();
         for i in 0..2 {
             assert!((a[i] - b[i]).abs() < 1e-14);
         }

@@ -75,6 +75,7 @@ impl Lu {
     ///
     /// # Errors
     /// Returns [`LinalgError::ShapeMismatch`] if `b` has the wrong length.
+    #[allow(clippy::needless_range_loop)] // substitution kernels read clearest indexed
     pub fn solve(&self, b: &Vector) -> Result<Vector> {
         let n = self.lu.nrows();
         if b.len() != n {
@@ -136,7 +137,8 @@ mod tests {
 
     #[test]
     fn solve_matches_known_solution() {
-        let a = Matrix::from_vec(3, 3, vec![2.0, 1.0, 1.0, 4.0, -6.0, 0.0, -2.0, 7.0, 2.0]).unwrap();
+        let a =
+            Matrix::from_vec(3, 3, vec![2.0, 1.0, 1.0, 4.0, -6.0, 0.0, -2.0, 7.0, 2.0]).unwrap();
         let x_true = Vector::from_vec(vec![1.0, 2.0, -1.0]);
         let b = a.matvec(&x_true).unwrap();
         let lu = Lu::new(&a).unwrap();
@@ -175,7 +177,10 @@ mod tests {
     #[test]
     fn rejects_singular_and_non_square() {
         let singular = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]).unwrap();
-        assert!(matches!(Lu::new(&singular), Err(LinalgError::Singular { .. })));
+        assert!(matches!(
+            Lu::new(&singular),
+            Err(LinalgError::Singular { .. })
+        ));
         assert!(matches!(
             Lu::new(&Matrix::zeros(2, 3)),
             Err(LinalgError::NotSquare { .. })

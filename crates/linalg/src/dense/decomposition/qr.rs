@@ -170,7 +170,10 @@ mod tests {
         let rec = qr.q().matmul(qr.r()).unwrap();
         for i in 0..4 {
             for j in 0..3 {
-                assert!((rec[(i, j)] - a[(i, j)]).abs() < 1e-10, "mismatch at {i},{j}");
+                assert!(
+                    (rec[(i, j)] - a[(i, j)]).abs() < 1e-10,
+                    "mismatch at {i},{j}"
+                );
             }
         }
     }

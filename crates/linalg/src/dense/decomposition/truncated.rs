@@ -17,8 +17,7 @@
 //! * [`TruncationMethod::Randomized`] — a Halko-style randomized range finder
 //!   with cost `O(B·m·r)`, suitable for large batches and feature spaces.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use priu_rng::Rng64;
 
 use crate::dense::decomposition::eigen::SymmetricEigen;
 use crate::dense::decomposition::qr::orthonormalize_columns;
@@ -173,8 +172,8 @@ impl GramFactor {
                 let l = (rank + oversample).min(b).min(m);
                 // Random test matrix Ω (B x l); uniform entries suffice for a
                 // range finder.
-                let mut rng = StdRng::seed_from_u64(seed);
-                let omega = Matrix::from_fn(b, l, |_, _| rng.gen_range(-1.0..1.0));
+                let mut rng = Rng64::from_seed(seed);
+                let omega = Matrix::from_fn(b, l, |_, _| rng.uniform(-1.0, 1.0));
                 // Y = Ã^T Ω spans (approximately) the dominant range of G.
                 let mut y = a_tilde.transpose().matmul(&omega)?;
                 let basis_rank = orthonormalize_columns(&mut y);

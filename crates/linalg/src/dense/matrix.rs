@@ -2,8 +2,6 @@
 
 use std::ops::{Add, Index, IndexMut, Mul, Sub};
 
-use serde::{Deserialize, Serialize};
-
 use crate::dense::vector::{dot_slices, Vector};
 use crate::error::{LinalgError, Result};
 
@@ -12,7 +10,7 @@ use crate::error::{LinalgError, Result};
 /// Row-major storage matches the access pattern of the PrIU update rules,
 /// where training samples are rows of the feature matrix `X` and the hot
 /// kernels are row-dot-vector products.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -162,7 +160,11 @@ impl Matrix {
     /// # Panics
     /// Panics if `j >= ncols()`.
     pub fn column(&self, j: usize) -> Vector {
-        assert!(j < self.cols, "column index {j} out of bounds ({})", self.cols);
+        assert!(
+            j < self.cols,
+            "column index {j} out of bounds ({})",
+            self.cols
+        );
         Vector::from_fn(self.rows, |i| self[(i, j)])
     }
 
@@ -482,7 +484,11 @@ impl Add<&Matrix> for &Matrix {
 impl Sub<&Matrix> for &Matrix {
     type Output = Matrix;
     fn sub(self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.shape(), rhs.shape(), "matrix subtraction shape mismatch");
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "matrix subtraction shape mismatch"
+        );
         let mut out = self.clone();
         out.axpy(-1.0, rhs).expect("shapes already checked");
         out
@@ -542,7 +548,9 @@ mod tests {
         let x = Vector::from_vec(vec![1.0, 0.0, -1.0]);
         let y = m.matvec(&x).unwrap();
         assert_eq!(y.as_slice(), &[-2.0, -2.0]);
-        let z = m.transpose_matvec(&Vector::from_vec(vec![1.0, 1.0])).unwrap();
+        let z = m
+            .transpose_matvec(&Vector::from_vec(vec![1.0, 1.0]))
+            .unwrap();
         assert_eq!(z.as_slice(), &[5.0, 7.0, 9.0]);
         assert!(m.matvec(&Vector::zeros(2)).is_err());
         assert!(m.transpose_matvec(&Vector::zeros(3)).is_err());
@@ -577,10 +585,8 @@ mod tests {
         let w = [0.5, -2.0];
         let g = x.weighted_gram(Some(&w));
         let mut expected = Matrix::zeros(3, 3);
-        for i in 0..2 {
-            expected
-                .rank_one_update(w[i], &x.row_vector(i))
-                .unwrap();
+        for (i, &wi) in w.iter().enumerate() {
+            expected.rank_one_update(wi, &x.row_vector(i)).unwrap();
         }
         for i in 0..3 {
             for j in 0..3 {

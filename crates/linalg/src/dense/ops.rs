@@ -73,9 +73,7 @@ pub fn linear_combination(coeffs: &[f64], vectors: &[Vector]) -> Result<Vector> 
 
 /// Squared L2 norms of each row of a matrix.
 pub fn row_norms_squared(x: &Matrix) -> Vector {
-    Vector::from_fn(x.nrows(), |i| {
-        x.row(i).iter().map(|v| v * v).sum::<f64>()
-    })
+    Vector::from_fn(x.nrows(), |i| x.row(i).iter().map(|v| v * v).sum::<f64>())
 }
 
 /// Squared L2 norms of each column of a matrix.

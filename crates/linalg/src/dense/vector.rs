@@ -7,12 +7,10 @@
 
 use std::ops::{Add, AddAssign, Deref, DerefMut, Index, IndexMut, Mul, Neg, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{LinalgError, Result};
 
 /// A dense column vector of `f64` values.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Vector {
     data: Vec<f64>,
 }
@@ -45,9 +43,9 @@ impl Vector {
     }
 
     /// Creates a vector by evaluating `f` at every index.
-    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> f64) -> Self {
+    pub fn from_fn(len: usize, f: impl FnMut(usize) -> f64) -> Self {
         Self {
-            data: (0..len).map(|i| f(i)).collect(),
+            data: (0..len).map(f).collect(),
         }
     }
 
@@ -227,7 +225,7 @@ impl Vector {
     /// Returns [`LinalgError::InvalidArgument`] if the length is not a
     /// multiple of `q` or `q == 0`.
     pub fn split(&self, q: usize) -> Result<Vec<Vector>> {
-        if q == 0 || self.len() % q != 0 {
+        if q == 0 || !self.len().is_multiple_of(q) {
             return Err(LinalgError::InvalidArgument(format!(
                 "cannot split a vector of length {} into {} equal chunks",
                 self.len(),
@@ -403,10 +401,7 @@ mod tests {
     fn dot_shape_mismatch() {
         let a = Vector::zeros(3);
         let b = Vector::zeros(4);
-        assert!(matches!(
-            a.dot(&b),
-            Err(LinalgError::ShapeMismatch { .. })
-        ));
+        assert!(matches!(a.dot(&b), Err(LinalgError::ShapeMismatch { .. })));
     }
 
     #[test]
@@ -440,9 +435,7 @@ mod tests {
     fn map_hadamard_argmax() {
         let a = Vector::from_vec(vec![1.0, -2.0, 3.0]);
         assert_eq!(a.map(|x| x * x).as_slice(), &[1.0, 4.0, 9.0]);
-        let h = a
-            .hadamard(&Vector::from_vec(vec![2.0, 2.0, 2.0]))
-            .unwrap();
+        let h = a.hadamard(&Vector::from_vec(vec![2.0, 2.0, 2.0])).unwrap();
         assert_eq!(h.as_slice(), &[2.0, -4.0, 6.0]);
         assert_eq!(a.argmax(), Some(2));
         assert_eq!(Vector::zeros(0).argmax(), None);

@@ -21,9 +21,9 @@
 //! * [`stats`] — vector comparison metrics (L2 distance, cosine similarity,
 //!   sign flips) used by the evaluation's model-comparison section (Q4).
 //!
-//! All numerics are `f64`. The crate is deliberately dependency-light: only
-//! `rand` (random test matrices, randomized range finder) and `serde`
-//! (serialisable containers) are used.
+//! All numerics are `f64`. The crate is deliberately dependency-free apart
+//! from the workspace's own `priu-rng` (random test matrices, randomized
+//! range finder), so it builds in fully offline environments.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

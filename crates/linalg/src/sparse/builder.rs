@@ -58,8 +58,7 @@ impl CooBuilder {
 
     /// Builds the CSR matrix, summing duplicates.
     pub fn build(mut self) -> CsrMatrix {
-        self.entries
-            .sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        self.entries.sort_by_key(|a| (a.0, a.1));
         let mut row_ptr = Vec::with_capacity(self.rows + 1);
         let mut col_idx = Vec::with_capacity(self.entries.len());
         let mut values = Vec::with_capacity(self.entries.len());

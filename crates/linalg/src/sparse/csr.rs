@@ -1,7 +1,5 @@
 //! Compressed sparse row (CSR) matrices.
 
-use serde::{Deserialize, Serialize};
-
 use crate::dense::matrix::Matrix;
 use crate::dense::vector::Vector;
 use crate::error::{LinalgError, Result};
@@ -11,7 +9,7 @@ use crate::error::{LinalgError, Result};
 /// Rows are training samples; the hot operations are `row · w` (per-sample
 /// margins) and scatter-adds of scaled rows into a dense accumulator (the
 /// gradient update), which is all the sparse path of PrIU needs (§5.3).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CsrMatrix {
     rows: usize,
     cols: usize,
@@ -123,6 +121,32 @@ impl CsrMatrix {
         }
     }
 
+    /// Selects a subset of rows by index (order preserved, duplicates
+    /// allowed), mirroring the dense `Matrix::select_rows`. Used to shrink a
+    /// sparse dataset to the survivors of a deletion.
+    ///
+    /// # Panics
+    /// Panics if an index is out of bounds.
+    pub fn select_rows(&self, indices: &[usize]) -> CsrMatrix {
+        let mut row_ptr = Vec::with_capacity(indices.len() + 1);
+        row_ptr.push(0usize);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for &i in indices {
+            let (cols, vals) = self.row(i);
+            col_idx.extend_from_slice(cols);
+            values.extend_from_slice(vals);
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix {
+            rows: indices.len(),
+            cols: self.cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
     /// The sparse row `i` as parallel `(column, value)` slices.
     ///
     /// # Panics
@@ -147,11 +171,7 @@ impl CsrMatrix {
             });
         }
         let (cols, vals) = self.row(i);
-        Ok(cols
-            .iter()
-            .zip(vals.iter())
-            .map(|(&c, &v)| v * x[c])
-            .sum())
+        Ok(cols.iter().zip(vals.iter()).map(|(&c, &v)| v * x[c]).sum())
     }
 
     /// Adds `alpha * row_i` into the dense accumulator `acc`.
@@ -188,12 +208,7 @@ impl CsrMatrix {
         let mut out = Vec::with_capacity(self.rows);
         for i in 0..self.rows {
             let (cols, vals) = self.row(i);
-            out.push(
-                cols.iter()
-                    .zip(vals.iter())
-                    .map(|(&c, &v)| v * x[c])
-                    .sum(),
-            );
+            out.push(cols.iter().zip(vals.iter()).map(|(&c, &v)| v * x[c]).sum());
         }
         Ok(Vector::from_vec(out))
     }
@@ -248,6 +263,23 @@ mod tests {
             vec![1.0, 2.0, 3.0, 4.0],
         )
         .unwrap()
+    }
+
+    #[test]
+    fn select_rows_preserves_order_and_content() {
+        let m = sample();
+        let s = m.select_rows(&[2, 0, 2]);
+        assert_eq!(s.nrows(), 3);
+        assert_eq!(s.ncols(), 3);
+        assert_eq!(s.row(0), m.row(2));
+        assert_eq!(s.row(1), m.row(0));
+        assert_eq!(s.row(2), m.row(2));
+        assert_eq!(s.nnz(), 6);
+        // Empty selection yields an empty matrix with the same column count.
+        let e = m.select_rows(&[]);
+        assert_eq!(e.nrows(), 0);
+        assert_eq!(e.ncols(), 3);
+        assert_eq!(e.nnz(), 0);
     }
 
     #[test]

@@ -61,7 +61,11 @@ pub struct CoordinateDrift {
 ///
 /// # Errors
 /// Returns [`LinalgError::ShapeMismatch`] if lengths differ.
-pub fn coordinate_drift(reference: &Vector, approx: &Vector, zero_tol: f64) -> Result<CoordinateDrift> {
+pub fn coordinate_drift(
+    reference: &Vector,
+    approx: &Vector,
+    zero_tol: f64,
+) -> Result<CoordinateDrift> {
     if reference.len() != approx.len() {
         return Err(LinalgError::ShapeMismatch {
             op: "coordinate_drift",

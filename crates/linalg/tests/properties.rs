@@ -1,108 +1,160 @@
 //! Property-based tests of the linear-algebra substrate: decomposition
 //! invariants that must hold for arbitrary well-conditioned inputs.
+//!
+//! Inputs are drawn from the workspace's deterministic RNG (one seed per
+//! case) rather than an external property-testing framework, so the suite
+//! runs in fully offline builds while still sweeping many random instances.
 
-use proptest::prelude::*;
 use priu_linalg::decomposition::{Cholesky, GramFactor, Lu, Qr, SymmetricEigen, TruncationMethod};
 use priu_linalg::{Matrix, Vector};
+use priu_rng::Rng64;
 
-/// Strategy: a dense matrix with entries in [-1, 1].
-fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(-1.0f64..1.0, rows * cols)
-        .prop_map(move |data| Matrix::from_vec(rows, cols, data).expect("sized strategy"))
+const CASES: u64 = 48;
+
+fn matrix(rng: &mut Rng64, rows: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.uniform(-1.0, 1.0))
 }
 
-/// Strategy: a vector with entries in [-1, 1].
-fn vector(len: usize) -> impl Strategy<Value = Vector> {
-    proptest::collection::vec(-1.0f64..1.0, len).prop_map(Vector::from_vec)
+fn vector(rng: &mut Rng64, len: usize) -> Vector {
+    Vector::from_fn(len, |_| rng.uniform(-1.0, 1.0))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn matvec_distributes_over_addition(a in matrix(5, 4), x in vector(4), y in vector(4)) {
+#[test]
+fn matvec_distributes_over_addition() {
+    for case in 0..CASES {
+        let mut rng = Rng64::from_seed_stream(0xA001, case);
+        let a = matrix(&mut rng, 5, 4);
+        let x = vector(&mut rng, 4);
+        let y = vector(&mut rng, 4);
         let lhs = a.matvec(&(&x + &y)).unwrap();
         let rhs = &a.matvec(&x).unwrap() + &a.matvec(&y).unwrap();
-        prop_assert!((&lhs - &rhs).norm_inf() < 1e-12);
+        assert!((&lhs - &rhs).norm_inf() < 1e-12, "case {case}");
     }
+}
 
-    #[test]
-    fn transpose_is_involutive_and_compatible_with_matvec(a in matrix(4, 6), x in vector(4)) {
-        prop_assert_eq!(a.transpose().transpose(), a.clone());
+#[test]
+fn transpose_is_involutive_and_compatible_with_matvec() {
+    for case in 0..CASES {
+        let mut rng = Rng64::from_seed_stream(0xA002, case);
+        let a = matrix(&mut rng, 4, 6);
+        let x = vector(&mut rng, 4);
+        assert_eq!(a.transpose().transpose(), a.clone());
         let via_transpose = a.transpose().matvec(&x).unwrap();
         let via_dedicated = a.transpose_matvec(&x).unwrap();
-        prop_assert!((&via_transpose - &via_dedicated).norm_inf() < 1e-12);
+        assert!(
+            (&via_transpose - &via_dedicated).norm_inf() < 1e-12,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn gram_matrices_are_symmetric_positive_semidefinite(a in matrix(6, 3), x in vector(3)) {
+#[test]
+fn gram_matrices_are_symmetric_positive_semidefinite() {
+    for case in 0..CASES {
+        let mut rng = Rng64::from_seed_stream(0xA003, case);
+        let a = matrix(&mut rng, 6, 3);
+        let x = vector(&mut rng, 3);
         let g = a.gram();
-        prop_assert!(g.asymmetry().unwrap() < 1e-12);
+        assert!(g.asymmetry().unwrap() < 1e-12);
         let quad = x.dot(&g.matvec(&x).unwrap()).unwrap();
-        prop_assert!(quad >= -1e-10, "quadratic form {} must be non-negative", quad);
+        assert!(
+            quad >= -1e-10,
+            "quadratic form {quad} must be non-negative (case {case})"
+        );
     }
+}
 
-    #[test]
-    fn cholesky_solves_spd_systems(a in matrix(5, 3), x in vector(3)) {
+#[test]
+fn cholesky_solves_spd_systems() {
+    for case in 0..CASES {
+        let mut rng = Rng64::from_seed_stream(0xA004, case);
+        let a = matrix(&mut rng, 5, 3);
+        let x = vector(&mut rng, 3);
         // A = GᵀG + I is SPD for any G.
         let mut spd = a.gram();
         spd.add_diagonal_mut(1.0).unwrap();
         let b = spd.matvec(&x).unwrap();
         let solved = Cholesky::new(&spd).unwrap().solve(&b).unwrap();
-        prop_assert!((&solved - &x).norm_inf() < 1e-8);
+        assert!((&solved - &x).norm_inf() < 1e-8, "case {case}");
     }
+}
 
-    #[test]
-    fn lu_solves_diagonally_dominant_systems(a in matrix(4, 4), x in vector(4)) {
+#[test]
+fn lu_solves_diagonally_dominant_systems() {
+    for case in 0..CASES {
+        let mut rng = Rng64::from_seed_stream(0xA005, case);
+        let a = matrix(&mut rng, 4, 4);
+        let x = vector(&mut rng, 4);
         let mut dd = a.clone();
         dd.add_diagonal_mut(5.0).unwrap();
         let b = dd.matvec(&x).unwrap();
         let solved = Lu::new(&dd).unwrap().solve(&b).unwrap();
-        prop_assert!((&solved - &x).norm_inf() < 1e-8);
+        assert!((&solved - &x).norm_inf() < 1e-8, "case {case}");
     }
+}
 
-    #[test]
-    fn qr_reconstructs_and_q_is_orthonormal(a in matrix(6, 3)) {
+#[test]
+fn qr_reconstructs_and_q_is_orthonormal() {
+    for case in 0..CASES {
+        let mut rng = Rng64::from_seed_stream(0xA006, case);
+        let a = matrix(&mut rng, 6, 3);
         let qr = Qr::new(&a).unwrap();
         let rec = qr.q().matmul(qr.r()).unwrap();
-        prop_assert!((&rec - &a).frobenius_norm() < 1e-9);
+        assert!((&rec - &a).frobenius_norm() < 1e-9, "case {case}");
         let qtq = qr.q().transpose().matmul(qr.q()).unwrap();
         let identity = Matrix::identity(3);
-        prop_assert!((&qtq - &identity).frobenius_norm() < 1e-9);
+        assert!((&qtq - &identity).frobenius_norm() < 1e-9, "case {case}");
     }
+}
 
-    #[test]
-    fn symmetric_eigen_reconstructs_gram_matrices(a in matrix(5, 4)) {
+#[test]
+fn symmetric_eigen_reconstructs_gram_matrices() {
+    for case in 0..CASES {
+        let mut rng = Rng64::from_seed_stream(0xA007, case);
+        let a = matrix(&mut rng, 5, 4);
         let g = a.gram();
         let eig = SymmetricEigen::new(&g).unwrap();
-        prop_assert!((&eig.reconstruct() - &g).frobenius_norm() < 1e-8);
+        assert!(
+            (&eig.reconstruct() - &g).frobenius_norm() < 1e-8,
+            "case {case}"
+        );
         // Eigenvalues of a PSD matrix are non-negative and sorted descending.
         for i in 0..eig.values.len() {
-            prop_assert!(eig.values[i] >= -1e-9);
+            assert!(eig.values[i] >= -1e-9);
             if i + 1 < eig.values.len() {
-                prop_assert!(eig.values[i] >= eig.values[i + 1] - 1e-12);
+                assert!(eig.values[i] >= eig.values[i + 1] - 1e-12);
             }
         }
     }
+}
 
-    #[test]
-    fn full_rank_truncation_is_exact_and_apply_matches_dense(
-        a in matrix(6, 3),
-        x in vector(3),
-        weight in 0.1f64..2.0,
-    ) {
+#[test]
+fn full_rank_truncation_is_exact_and_apply_matches_dense() {
+    for case in 0..CASES {
+        let mut rng = Rng64::from_seed_stream(0xA008, case);
+        let a = matrix(&mut rng, 6, 3);
+        let x = vector(&mut rng, 3);
+        let weight = rng.uniform(0.1, 2.0);
         let weights = vec![weight; 6];
         let factor = GramFactor::new(a, weights).unwrap();
         let truncated = factor.truncate(3, TruncationMethod::Exact).unwrap();
         let dense = factor.dense();
-        prop_assert!((&truncated.dense() - &dense).frobenius_norm() < 1e-8);
+        assert!(
+            (&truncated.dense() - &dense).frobenius_norm() < 1e-8,
+            "case {case}"
+        );
         let via_factor = factor.apply(&x).unwrap();
         let via_truncated = truncated.apply(&x).unwrap();
-        prop_assert!((&via_factor - &via_truncated).norm2() < 1e-8);
+        assert!((&via_factor - &via_truncated).norm2() < 1e-8, "case {case}");
     }
+}
 
-    #[test]
-    fn eigenvalue_downdate_is_exact_in_trace(a in matrix(6, 3), k in 0usize..6) {
+#[test]
+fn eigenvalue_downdate_is_exact_in_trace() {
+    for case in 0..CASES {
+        let mut rng = Rng64::from_seed_stream(0xA009, case);
+        let a = matrix(&mut rng, 6, 3);
+        let k = rng.index(6);
         // The trace of M - ΔXᵀΔX equals the sum of the downdated eigenvalues
         // (the diagonal approximation preserves the trace exactly).
         let g = a.gram();
@@ -111,6 +163,6 @@ proptest! {
         let downdated = eig.downdated_eigenvalues(&delta).unwrap();
         let exact = &g - &delta.gram();
         let trace_exact: f64 = (0..3).map(|i| exact[(i, i)]).sum();
-        prop_assert!((downdated.sum() - trace_exact).abs() < 1e-9);
+        assert!((downdated.sum() - trace_exact).abs() < 1e-9, "case {case}");
     }
 }

@@ -82,7 +82,11 @@ impl AnnotatedMatrix {
     /// # Panics
     /// Panics if the shapes differ (programming error in the caller).
     pub fn add(&self, other: &AnnotatedMatrix) -> AnnotatedMatrix {
-        assert_eq!(self.shape(), other.shape(), "annotated matrix addition shape mismatch");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "annotated matrix addition shape mismatch"
+        );
         let mut terms = self.terms.clone();
         terms.extend(other.terms.iter().cloned());
         AnnotatedMatrix {
@@ -98,7 +102,10 @@ impl AnnotatedMatrix {
     /// # Panics
     /// Panics if the inner dimensions differ.
     pub fn matmul(&self, other: &AnnotatedMatrix) -> AnnotatedMatrix {
-        assert_eq!(self.cols, other.rows, "annotated matmul inner dimension mismatch");
+        assert_eq!(
+            self.cols, other.rows,
+            "annotated matmul inner dimension mismatch"
+        );
         let mut terms = Vec::with_capacity(self.terms.len() * other.terms.len());
         for (pa, a) in &self.terms {
             for (pb, b) in &other.terms {
@@ -160,7 +167,11 @@ impl AnnotatedMatrix {
     pub fn compact(&self, idempotent: bool) -> AnnotatedMatrix {
         let mut merged: Vec<(Polynomial, Matrix)> = Vec::new();
         for (p, m) in &self.terms {
-            let key = if idempotent { p.idempotent() } else { p.clone() };
+            let key = if idempotent {
+                p.idempotent()
+            } else {
+                p.clone()
+            };
             if key.is_zero() {
                 continue;
             }
@@ -242,7 +253,10 @@ impl AnnotatedVector {
     /// # Panics
     /// Panics if lengths differ.
     pub fn add(&self, other: &AnnotatedVector) -> AnnotatedVector {
-        assert_eq!(self.len, other.len, "annotated vector addition length mismatch");
+        assert_eq!(
+            self.len, other.len,
+            "annotated vector addition length mismatch"
+        );
         let mut terms = self.terms.clone();
         terms.extend(other.terms.iter().cloned());
         AnnotatedVector {
@@ -268,7 +282,11 @@ impl AnnotatedVector {
     pub fn compact(&self, idempotent: bool) -> AnnotatedVector {
         let mut merged: Vec<(Polynomial, Vector)> = Vec::new();
         for (p, v) in &self.terms {
-            let key = if idempotent { p.idempotent() } else { p.clone() };
+            let key = if idempotent {
+                p.idempotent()
+            } else {
+                p.clone()
+            };
             if key.is_zero() {
                 continue;
             }
@@ -352,7 +370,8 @@ mod tests {
         // (p0 ∗ A)(p1 ∗ B) = (p0·p1) ∗ AB.
         let a = Matrix::identity(2);
         let b = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
-        let prod = AnnotatedMatrix::annotated(p0(), a).matmul(&AnnotatedMatrix::annotated(p1(), b.clone()));
+        let prod = AnnotatedMatrix::annotated(p0(), a)
+            .matmul(&AnnotatedMatrix::annotated(p1(), b.clone()));
         assert_eq!(prod.num_terms(), 1);
         let (poly, mat) = prod.terms().next().unwrap();
         assert!(poly.mentions(Token(0)) && poly.mentions(Token(1)));

@@ -2,12 +2,10 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 /// A provenance token, the indeterminate `p_i` annotating training sample
 /// `i`. Tokens are small copyable identifiers; human-readable labels live in
 /// the [`TokenRegistry`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Token(pub u32);
 
 impl Token {
@@ -46,7 +44,9 @@ impl TokenRegistry {
 
     /// Allocates one token per training sample, labelled `sample:<i>`.
     pub fn register_samples(&mut self, n: usize) -> Vec<Token> {
-        (0..n).map(|i| self.register(format!("sample:{i}"))).collect()
+        (0..n)
+            .map(|i| self.register(format!("sample:{i}")))
+            .collect()
     }
 
     /// Looks up the label of a token (if it was allocated by this registry).

@@ -1,116 +1,160 @@
 //! Property-based tests: provenance polynomials form a commutative semiring,
 //! specialisation is a homomorphism, and annotated-matrix deletion
 //! propagation commutes with numeric evaluation.
+//!
+//! Inputs are drawn from the workspace's deterministic RNG (one seed per
+//! case) rather than an external property-testing framework, so the suite
+//! runs in fully offline builds while still sweeping many random instances.
 
-use proptest::prelude::*;
 use priu_linalg::Matrix;
 use priu_provenance::{AnnotatedMatrix, Monomial, Polynomial, Token, Valuation};
+use priu_rng::Rng64;
 
-/// Strategy: a random provenance polynomial over tokens 0..4 with up to 4
-/// monomials of degree up to 3.
-fn polynomial() -> impl Strategy<Value = Polynomial> {
-    proptest::collection::vec(
-        (
-            proptest::collection::vec((0u32..4, 1u32..3), 0..3),
-            1u64..3,
-        ),
-        0..4,
-    )
-    .prop_map(|terms| {
-        let mut poly = Polynomial::zero();
-        for (powers, coeff) in terms {
-            let mut monomial_poly = Polynomial::one();
-            for (tok, exp) in powers {
-                monomial_poly = monomial_poly.mul(&Polynomial::token_power(Token(tok), exp));
-            }
-            for _ in 0..coeff {
-                poly = poly.add(&monomial_poly);
-            }
+const CASES: u64 = 64;
+
+/// A random provenance polynomial over tokens 0..4 with up to 4 monomials of
+/// degree up to 3 (mirrors the old proptest strategy).
+fn polynomial(rng: &mut Rng64) -> Polynomial {
+    let mut poly = Polynomial::zero();
+    for _ in 0..rng.index(4) {
+        let mut monomial_poly = Polynomial::one();
+        for _ in 0..rng.index(3) {
+            let tok = rng.index(4) as u32;
+            let exp = 1 + rng.index(2) as u32;
+            monomial_poly = monomial_poly.mul(&Polynomial::token_power(Token(tok), exp));
         }
-        poly
-    })
+        let coeff = 1 + rng.index(2) as u64;
+        for _ in 0..coeff {
+            poly = poly.add(&monomial_poly);
+        }
+    }
+    poly
 }
 
-/// Strategy: a deletion valuation over tokens 0..4.
-fn valuation() -> impl Strategy<Value = Valuation> {
-    proptest::collection::vec(0u32..4, 0..4)
-        .prop_map(|tokens| Valuation::deleting(tokens.into_iter().map(Token)))
+/// A deletion valuation over tokens 0..4.
+fn valuation(rng: &mut Rng64) -> Valuation {
+    let count = rng.index(4);
+    Valuation::deleting((0..count).map(|_| Token(rng.index(4) as u32)))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn addition_is_commutative_and_associative(a in polynomial(), b in polynomial(), c in polynomial()) {
-        prop_assert_eq!(a.add(&b), b.add(&a));
-        prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
-        prop_assert_eq!(a.add(&Polynomial::zero()), a.clone());
+#[test]
+fn addition_is_commutative_and_associative() {
+    for case in 0..CASES {
+        let mut rng = Rng64::from_seed_stream(0xB001, case);
+        let a = polynomial(&mut rng);
+        let b = polynomial(&mut rng);
+        let c = polynomial(&mut rng);
+        assert_eq!(a.add(&b), b.add(&a));
+        assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+        assert_eq!(a.add(&Polynomial::zero()), a.clone());
     }
+}
 
-    #[test]
-    fn multiplication_is_commutative_associative_and_unital(a in polynomial(), b in polynomial(), c in polynomial()) {
-        prop_assert_eq!(a.mul(&b), b.mul(&a));
-        prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
-        prop_assert_eq!(a.mul(&Polynomial::one()), a.clone());
-        prop_assert!(a.mul(&Polynomial::zero()).is_zero());
+#[test]
+fn multiplication_is_commutative_associative_and_unital() {
+    for case in 0..CASES {
+        let mut rng = Rng64::from_seed_stream(0xB002, case);
+        let a = polynomial(&mut rng);
+        let b = polynomial(&mut rng);
+        let c = polynomial(&mut rng);
+        assert_eq!(a.mul(&b), b.mul(&a));
+        assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+        assert_eq!(a.mul(&Polynomial::one()), a.clone());
+        assert!(a.mul(&Polynomial::zero()).is_zero());
     }
+}
 
-    #[test]
-    fn multiplication_distributes_over_addition(a in polynomial(), b in polynomial(), c in polynomial()) {
-        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+#[test]
+fn multiplication_distributes_over_addition() {
+    for case in 0..CASES {
+        let mut rng = Rng64::from_seed_stream(0xB003, case);
+        let a = polynomial(&mut rng);
+        let b = polynomial(&mut rng);
+        let c = polynomial(&mut rng);
+        assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
     }
+}
 
-    #[test]
-    fn specialisation_is_a_semiring_homomorphism(a in polynomial(), b in polynomial(), v in valuation()) {
+#[test]
+fn specialisation_is_a_semiring_homomorphism() {
+    for case in 0..CASES {
+        let mut rng = Rng64::from_seed_stream(0xB004, case);
+        let a = polynomial(&mut rng);
+        let b = polynomial(&mut rng);
+        let v = valuation(&mut rng);
         // spec(a + b) = spec(a) + spec(b) and spec(a · b) = spec(a) · spec(b)
         // over the naturals.
-        prop_assert_eq!(a.add(&b).specialize(&v), a.specialize(&v) + b.specialize(&v));
-        prop_assert_eq!(a.mul(&b).specialize(&v), a.specialize(&v) * b.specialize(&v));
-        prop_assert_eq!(Polynomial::one().specialize(&v), 1);
-        prop_assert_eq!(Polynomial::zero().specialize(&v), 0);
+        assert_eq!(
+            a.add(&b).specialize(&v),
+            a.specialize(&v) + b.specialize(&v)
+        );
+        assert_eq!(
+            a.mul(&b).specialize(&v),
+            a.specialize(&v) * b.specialize(&v)
+        );
+        assert_eq!(Polynomial::one().specialize(&v), 1);
+        assert_eq!(Polynomial::zero().specialize(&v), 0);
     }
+}
 
-    #[test]
-    fn idempotent_quotient_is_idempotent_and_preserves_mentions(a in polynomial()) {
+#[test]
+fn idempotent_quotient_is_idempotent_and_preserves_mentions() {
+    for case in 0..CASES {
+        let mut rng = Rng64::from_seed_stream(0xB005, case);
+        let a = polynomial(&mut rng);
         let once = a.idempotent();
-        prop_assert_eq!(once.idempotent(), once.clone());
+        assert_eq!(once.idempotent(), once.clone());
         for tok in 0u32..4 {
-            prop_assert_eq!(a.mentions(Token(tok)), once.mentions(Token(tok)));
+            assert_eq!(a.mentions(Token(tok)), once.mentions(Token(tok)));
         }
     }
+}
 
-    #[test]
-    fn monomial_multiplication_adds_exponents(e1 in 1u32..4, e2 in 1u32..4) {
+#[test]
+fn monomial_multiplication_adds_exponents() {
+    for case in 0..CASES {
+        let mut rng = Rng64::from_seed_stream(0xB006, case);
+        let e1 = 1 + rng.index(3) as u32;
+        let e2 = 1 + rng.index(3) as u32;
         let m = Monomial::from_power(Token(0), e1).mul(&Monomial::from_power(Token(0), e2));
-        prop_assert_eq!(m.exponent(Token(0)), e1 + e2);
-        prop_assert_eq!(m.degree(), e1 + e2);
+        assert_eq!(m.exponent(Token(0)), e1 + e2);
+        assert_eq!(m.degree(), e1 + e2);
     }
+}
 
-    #[test]
-    fn annotated_matrix_specialisation_commutes_with_addition(
-        a in polynomial(),
-        b in polynomial(),
-        v in valuation(),
-        entries in proptest::collection::vec(-1.0f64..1.0, 4),
-    ) {
-        let m = Matrix::from_vec(2, 2, entries).unwrap();
+#[test]
+fn annotated_matrix_specialisation_commutes_with_addition() {
+    for case in 0..CASES {
+        let mut rng = Rng64::from_seed_stream(0xB007, case);
+        let a = polynomial(&mut rng);
+        let b = polynomial(&mut rng);
+        let v = valuation(&mut rng);
+        let m = Matrix::from_fn(2, 2, |_, _| rng.uniform(-1.0, 1.0));
         let expr_a = AnnotatedMatrix::annotated(a, m.clone());
         let expr_b = AnnotatedMatrix::annotated(b, m.clone());
         let sum_then_spec = expr_a.add(&expr_b).specialize(&v);
         let spec_then_sum = &expr_a.specialize(&v) + &expr_b.specialize(&v);
-        prop_assert!((&sum_then_spec - &spec_then_sum).frobenius_norm() < 1e-12);
+        assert!(
+            (&sum_then_spec - &spec_then_sum).frobenius_norm() < 1e-12,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn deleting_a_token_zeroes_exactly_the_terms_mentioning_it(
-        tok in 0u32..4,
-        entries in proptest::collection::vec(-1.0f64..1.0, 4),
-    ) {
-        let m = Matrix::from_vec(2, 2, entries).unwrap();
+#[test]
+fn deleting_a_token_zeroes_exactly_the_terms_mentioning_it() {
+    for case in 0..CASES {
+        let mut rng = Rng64::from_seed_stream(0xB008, case);
+        let tok = rng.index(4) as u32;
+        let m = Matrix::from_fn(2, 2, |_, _| rng.uniform(-1.0, 1.0));
         let mentioned = AnnotatedMatrix::annotated(Polynomial::from_token(Token(tok)), m.clone());
-        let unmentioned = AnnotatedMatrix::annotated(Polynomial::from_token(Token(tok + 10)), m.clone());
+        let unmentioned =
+            AnnotatedMatrix::annotated(Polynomial::from_token(Token(tok + 10)), m.clone());
         let v = Valuation::deleting([Token(tok)]);
-        prop_assert_eq!(mentioned.specialize(&v).max_abs(), 0.0);
-        prop_assert!((&unmentioned.specialize(&v) - &m).frobenius_norm() < 1e-12);
+        assert_eq!(mentioned.specialize(&v).max_abs(), 0.0);
+        assert!(
+            (&unmentioned.specialize(&v) - &m).frobenius_norm() < 1e-12,
+            "case {case}"
+        );
     }
 }

@@ -2,7 +2,8 @@
 //! classifier is trained on a dataset that contains corrupted samples; once
 //! the dirty samples are identified they are removed and the model is
 //! brought up to date — either by retraining (BaseL), incrementally with
-//! PrIU-opt, or with the influence-function shortcut (INFL).
+//! PrIU-opt, or with the influence-function shortcut (INFL), all through the
+//! uniform `DeletionEngine` API.
 //!
 //! Run with: `cargo run --release --example data_cleaning`
 
@@ -26,26 +27,33 @@ fn main() {
         injection.dirty_indices.len()
     );
 
-    let config = TrainerConfig::from_hyper(spec.hyper).with_seed(5);
-    let session = BinaryLogisticSession::fit(injection.dirty_dataset.clone(), config)
-        .expect("training should converge");
+    let session = SessionBuilder::dense(
+        injection.dirty_dataset.clone(),
+        TrainerConfig::from_hyper(spec.hyper),
+    )
+    .seed(5)
+    .fit()
+    .expect("training should converge");
     let dirty_accuracy =
-        classification_accuracy(session.initial_model(), &split.validation).expect("accuracy");
+        classification_accuracy(session.model(), &split.validation).expect("accuracy");
     println!("validation accuracy of the model trained on dirty data: {dirty_accuracy:.4}");
 
     // Remove the dirty samples with each method.
     let removed = &injection.dirty_indices;
-    let basel = session.retrain(removed).expect("BaseL");
-    let priu_opt = session.priu_opt(removed).expect("PrIU-opt");
-    let infl = session.influence(removed).expect("INFL");
+    let basel = session.update(Method::Retrain, removed).expect("BaseL");
+    let priu_opt = session.update(Method::PriuOpt, removed).expect("PrIU-opt");
+    let infl = session.update(Method::Influence, removed).expect("INFL");
 
     println!("\nafter removing the corrupted samples:");
-    for (name, outcome) in [("BaseL", &basel), ("PrIU-opt", &priu_opt), ("INFL", &infl)] {
+    for outcome in [&basel, &priu_opt, &infl] {
         let acc = classification_accuracy(&outcome.model, &split.validation).expect("accuracy");
         let cmp = compare_models(&basel.model, &outcome.model).expect("same shape");
         println!(
-            "  {name:<9} update time {:>10.3?}  validation accuracy {acc:.4}  L2 distance to BaseL {:.4}  similarity {:.4}",
-            outcome.duration, cmp.l2_distance, cmp.cosine_similarity
+            "  {:<9} update time {:>10.3?}  validation accuracy {acc:.4}  L2 distance to BaseL {:.4}  similarity {:.4}",
+            outcome.method.name(),
+            outcome.duration,
+            cmp.l2_distance,
+            cmp.cosine_similarity
         );
     }
     println!(

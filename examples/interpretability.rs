@@ -7,7 +7,7 @@
 //! Here we train a multinomial classifier on a Covtype-like dataset and ask:
 //! *which class's training samples does the model depend on the most?* Each
 //! probe removes a slice of one class's samples and measures the parameter
-//! drift via PrIU-opt.
+//! drift via `update(Method::PriuOpt, ..)`.
 //!
 //! Run with: `cargo run --release --example interpretability`
 
@@ -31,9 +31,10 @@ fn main() {
         _ => unreachable!("Cov analogue is multiclass"),
     };
 
-    let config = TrainerConfig::from_hyper(spec.hyper).with_seed(31);
-    let session =
-        MultinomialSession::fit(train.clone(), config).expect("training should converge");
+    let session = SessionBuilder::dense(train.clone(), TrainerConfig::from_hyper(spec.hyper))
+        .seed(31)
+        .fit()
+        .expect("training should converge");
     println!(
         "trained a {}-class model on {} samples in {:?}",
         num_classes,
@@ -54,16 +55,15 @@ fn main() {
         if removed.is_empty() {
             continue;
         }
-        let outcome = session.priu_opt(&removed).expect("PrIU-opt update");
+        let outcome = session
+            .update(Method::PriuOpt, &removed)
+            .expect("PrIU-opt update");
         total_update_time += outcome.duration;
-        let cmp =
-            compare_models(session.initial_model(), &outcome.model).expect("same model shape");
+        let cmp = compare_models(session.model(), &outcome.model).expect("same model shape");
         drifts.push((class, cmp.l2_distance));
         println!(
             "  removing {:>4} samples of class {class}: parameter drift {:.4} (update took {:?})",
-            removed.len(),
-            cmp.l2_distance,
-            outcome.duration
+            outcome.num_removed, cmp.l2_distance, outcome.duration
         );
     }
 
@@ -78,7 +78,7 @@ fn main() {
 
     // For scale: answering the same probes by retraining would cost one full
     // retraining pass per probe.
-    let one_retrain = session.retrain(&[0]).expect("BaseL probe");
+    let one_retrain = session.update(Method::Retrain, &[0]).expect("BaseL probe");
     println!(
         "\nall {} incremental probes together took {:?}; retraining for every probe would take about {:?}",
         drifts.len(),

@@ -59,8 +59,14 @@ fn main() {
         data.num_samples(),
         reference.gram_expression().num_terms()
     );
-    println!("  model on all samples      : {:?}", full.weight().as_slice());
-    println!("  after zeroing out 3 tokens: {:?}", without.weight().as_slice());
+    println!(
+        "  model on all samples      : {:?}",
+        full.weight().as_slice()
+    );
+    println!(
+        "  after zeroing out 3 tokens: {:?}",
+        without.weight().as_slice()
+    );
 
     // And the catalog names every dataset analogue the evaluation uses.
     println!("\ndataset analogues available in the catalog:");

@@ -1,6 +1,7 @@
-//! Quickstart: train a linear-regression model with provenance capture,
-//! delete a slice of the training data, and update the model incrementally
-//! with PrIU / PrIU-opt instead of retraining.
+//! Quickstart: train a linear-regression model with provenance capture
+//! through the `SessionBuilder`, delete a slice of the training data, and
+//! update the model incrementally with any registered `Method` instead of
+//! retraining.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -23,37 +24,57 @@ fn main() {
         split.train.num_features()
     );
 
-    // 2. Train once, capturing provenance (the offline phase).
-    let config = TrainerConfig::from_hyper(spec.hyper).with_seed(7);
-    let session =
-        LinearSession::fit(split.train.clone(), config).expect("training should converge");
+    // 2. Train once, capturing provenance (the offline phase). The builder
+    //    infers the model family from the labels — continuous targets give a
+    //    linear session, so closed-form is available too.
+    let session = SessionBuilder::dense(split.train.clone(), TrainerConfig::from_hyper(spec.hyper))
+        .seed(7)
+        .fit()
+        .expect("training should converge");
     println!(
         "trained initial model in {:?} (captured {:.2} MiB of provenance)",
         session.training_time(),
         session.provenance_bytes() as f64 / (1024.0 * 1024.0)
     );
+    println!(
+        "methods this session supports: {}",
+        session
+            .supported_methods()
+            .iter()
+            .map(Method::name)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
 
     // 3. Pretend 1% of the training samples turned out to be bad and must be
-    //    removed. PrIU updates the model without retraining.
+    //    removed. One `run_all` call answers with every supported method.
     let removed = random_subsets(split.train.num_samples(), 0.01, 1, 3)[0].clone();
-    let priu = session.priu(&removed).expect("PrIU update");
-    let priu_opt = session.priu_opt(&removed).expect("PrIU-opt update");
-    let retrained = session.retrain(&removed).expect("BaseL retraining");
+    let report = session.run_all(&removed).expect("updates should succeed");
+    let retrained = report.get(Method::Retrain).expect("BaseL always runs");
 
     println!("\nremoved {} samples:", removed.len());
-    for (name, outcome) in [
-        ("BaseL (retrain)", &retrained),
-        ("PrIU", &priu),
-        ("PrIU-opt", &priu_opt),
-    ] {
+    for outcome in report.outcomes() {
         let cmp = compare_models(&retrained.model, &outcome.model).expect("same model shape");
         let mse = mean_squared_error(&outcome.model, &split.validation).expect("validation MSE");
         println!(
-            "  {name:<16} update time {:>10.3?}  validation MSE {mse:.5}  cosine similarity to BaseL {:.6}",
-            outcome.duration, cmp.cosine_similarity
+            "  {:<11} update time {:>10.3?}  validation MSE {mse:.5}  cosine similarity to BaseL {:.6}",
+            outcome.method.name(),
+            outcome.duration,
+            cmp.cosine_similarity
         );
     }
-    let speedup =
-        retrained.duration.as_secs_f64() / priu_opt.duration.as_secs_f64().max(1e-12);
+    let priu_opt = report.get(Method::PriuOpt).expect("opt capture is on");
+    let speedup = retrained.duration.as_secs_f64() / priu_opt.duration.as_secs_f64().max(1e-12);
     println!("\nPrIU-opt speed-up over retraining: {speedup:.1}x");
+
+    // 4. Chained deletion: consume the outcome into a successor session over
+    //    the survivors — the next deletion request starts from here.
+    let chained = session
+        .apply(Method::PriuOpt, &removed)
+        .expect("chained deletion");
+    println!(
+        "after apply: session now covers {} samples and still supports {} methods",
+        chained.session.num_samples(),
+        chained.session.supported_methods().len()
+    );
 }

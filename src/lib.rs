@@ -11,8 +11,10 @@
 //! * [`data`] — synthetic dataset generators, dirty-data injection, and
 //!   deterministic mini-batch schedules,
 //! * [`core`] — the PrIU / PrIU-opt incremental-update algorithms, the
-//!   baselines (retraining, closed-form, influence functions) and the
-//!   evaluation metrics.
+//!   baselines (retraining, closed-form, influence functions), the
+//!   evaluation metrics, and the unified `engine` API
+//!   (`SessionBuilder` / `DeletionEngine` / `Method`) every session kind is
+//!   programmed through — including chained deletions via `apply`.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the experiment-by-experiment reproduction notes.

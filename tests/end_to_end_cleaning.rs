@@ -1,6 +1,7 @@
 //! End-to-end integration tests of the public facade: the data-cleaning
 //! pipeline (train on dirty data → remove the dirty samples → incrementally
-//! update) across all model families.
+//! update) across all model families, driven exclusively through the
+//! `DeletionEngine` API, plus the chained-deletion scenario.
 
 use priu::core::metrics::{
     classification_accuracy, compare_models, mean_squared_error, sparse_classification_accuracy,
@@ -17,13 +18,19 @@ fn linear_regression_cleaning_pipeline_recovers_model_quality() {
     let split = dense.split(0.9, 1);
 
     let injection = inject_dirty_samples(&split.train, 0.05, 3.0, 2);
-    let config = TrainerConfig::from_hyper(spec.hyper).with_seed(3);
-    let session = LinearSession::fit(injection.dirty_dataset.clone(), config).unwrap();
+    let session = SessionBuilder::dense(
+        injection.dirty_dataset.clone(),
+        TrainerConfig::from_hyper(spec.hyper),
+    )
+    .seed(3)
+    .fit()
+    .unwrap();
 
-    let dirty_mse = mean_squared_error(session.initial_model(), &split.validation).unwrap();
-    let basel = session.retrain(&injection.dirty_indices).unwrap();
-    let priu = session.priu(&injection.dirty_indices).unwrap();
-    let priu_opt = session.priu_opt(&injection.dirty_indices).unwrap();
+    let dirty_mse = mean_squared_error(session.model(), &split.validation).unwrap();
+    let report = session.run_all(&injection.dirty_indices).unwrap();
+    let basel = report.get(Method::Retrain).unwrap();
+    let priu = report.get(Method::Priu).unwrap();
+    let priu_opt = report.get(Method::PriuOpt).unwrap();
 
     let basel_mse = mean_squared_error(&basel.model, &split.validation).unwrap();
     let priu_mse = mean_squared_error(&priu.model, &split.validation).unwrap();
@@ -37,6 +44,10 @@ fn linear_regression_cleaning_pipeline_recovers_model_quality() {
 
     let cmp = compare_models(&basel.model, &priu.model).unwrap();
     assert!(cmp.cosine_similarity > 0.999);
+
+    // The outcome carries its own context.
+    assert_eq!(priu.method, Method::Priu);
+    assert_eq!(priu.num_removed, injection.dirty_indices.len());
 }
 
 #[test]
@@ -48,14 +59,19 @@ fn binary_logistic_cleaning_pipeline_matches_retraining() {
     let split = dense.split(0.9, 5);
 
     let injection = inject_dirty_samples(&split.train, 0.05, 10.0, 6);
-    let config = TrainerConfig::from_hyper(spec.hyper).with_seed(7);
-    let session = BinaryLogisticSession::fit(injection.dirty_dataset.clone(), config).unwrap();
+    let session = SessionBuilder::dense(
+        injection.dirty_dataset.clone(),
+        TrainerConfig::from_hyper(spec.hyper),
+    )
+    .seed(7)
+    .fit()
+    .unwrap();
 
     let removed = &injection.dirty_indices;
-    let basel = session.retrain(removed).unwrap();
-    let priu = session.priu(removed).unwrap();
-    let opt = session.priu_opt(removed).unwrap();
-    let infl = session.influence(removed).unwrap();
+    let basel = session.update(Method::Retrain, removed).unwrap();
+    let priu = session.update(Method::Priu, removed).unwrap();
+    let opt = session.update(Method::PriuOpt, removed).unwrap();
+    let infl = session.update(Method::Influence, removed).unwrap();
 
     let basel_acc = classification_accuracy(&basel.model, &split.validation).unwrap();
     let priu_acc = classification_accuracy(&priu.model, &split.validation).unwrap();
@@ -68,6 +84,13 @@ fn binary_logistic_cleaning_pipeline_matches_retraining() {
     assert!(opt_cmp.cosine_similarity > 0.97);
     // PrIU tracks the retrained parameters at least as well as INFL.
     assert!(priu_cmp.l2_distance <= infl_cmp.l2_distance + 1e-9);
+
+    // Closed-form is discoverably linear-only rather than silently missing.
+    assert!(!session.supports(Method::ClosedForm));
+    assert!(matches!(
+        session.update(Method::ClosedForm, removed),
+        Err(CoreError::UnsupportedMethod { .. })
+    ));
 }
 
 #[test]
@@ -78,14 +101,23 @@ fn multinomial_cleaning_pipeline_matches_retraining() {
     let split = dense.split(0.9, 9);
 
     let injection = inject_dirty_samples(&split.train, 0.05, 10.0, 10);
-    let config = TrainerConfig::from_hyper(spec.hyper).with_seed(11);
-    let session = MultinomialSession::fit(injection.dirty_dataset.clone(), config).unwrap();
+    let session = SessionBuilder::dense(
+        injection.dirty_dataset.clone(),
+        TrainerConfig::from_hyper(spec.hyper),
+    )
+    .seed(11)
+    .fit()
+    .unwrap();
 
     let removed = &injection.dirty_indices;
-    let basel = session.retrain(removed).unwrap();
-    let priu = session.priu(removed).unwrap();
+    let basel = session.update(Method::Retrain, removed).unwrap();
+    let priu = session.update(Method::Priu, removed).unwrap();
     let cmp = compare_models(&basel.model, &priu.model).unwrap();
-    assert!(cmp.cosine_similarity > 0.99, "similarity {}", cmp.cosine_similarity);
+    assert!(
+        cmp.cosine_similarity > 0.99,
+        "similarity {}",
+        cmp.cosine_similarity
+    );
     // Only a handful of near-zero coordinates may flip sign (the paper's Q4
     // analysis sees 2 flips out of 58 coordinates at a 20% deletion rate).
     assert!(
@@ -104,15 +136,25 @@ fn sparse_pipeline_runs_and_matches_retraining() {
     spec.hyper.num_iterations = 80;
     let sparse = spec.generate().as_sparse().unwrap().clone();
 
-    let config = TrainerConfig::from_hyper(spec.hyper).with_seed(13);
-    let session = SparseLogisticSession::fit(sparse, config).unwrap();
+    let session = SessionBuilder::sparse(sparse, TrainerConfig::from_hyper(spec.hyper))
+        .seed(13)
+        .fit()
+        .unwrap();
     let removed = random_subsets(400, 0.02, 1, 14)[0].clone();
-    let basel = session.retrain(&removed).unwrap();
-    let priu = session.priu(&removed).unwrap();
+    let basel = session.update(Method::Retrain, &removed).unwrap();
+    let priu = session.update(Method::Priu, &removed).unwrap();
     let cmp = compare_models(&basel.model, &priu.model).unwrap();
     assert!(cmp.cosine_similarity > 0.995);
-    let acc = sparse_classification_accuracy(&priu.model, session.dataset()).unwrap();
+    let acc = sparse_classification_accuracy(
+        &priu.model,
+        session.sparse_dataset().expect("sparse session"),
+    )
+    .unwrap();
     assert!(acc > 0.6, "accuracy {acc}");
+    assert_eq!(
+        session.supported_methods(),
+        vec![Method::Retrain, Method::Priu]
+    );
 }
 
 #[test]
@@ -121,18 +163,60 @@ fn repeated_subset_probes_are_deterministic_and_fast() {
     spec.hyper.num_iterations = 100;
     spec.hyper.batch_size = 64;
     let dense = spec.generate().as_dense().unwrap().clone();
-    let config = TrainerConfig::from_hyper(spec.hyper).with_seed(21);
-    let session = BinaryLogisticSession::fit(dense.clone(), config).unwrap();
+    let session = SessionBuilder::dense(dense.clone(), TrainerConfig::from_hyper(spec.hyper))
+        .seed(21)
+        .fit()
+        .unwrap();
 
     let subsets = random_subsets(dense.num_samples(), 0.01, 3, 22);
     let mut updated = Vec::new();
     for subset in &subsets {
-        updated.push(session.priu_opt(subset).unwrap().model);
+        updated.push(session.update(Method::PriuOpt, subset).unwrap().model);
     }
     // Re-running the same probes yields identical models.
     for (subset, model) in subsets.iter().zip(&updated) {
-        assert_eq!(&session.priu_opt(subset).unwrap().model, model);
+        assert_eq!(
+            &session.update(Method::PriuOpt, subset).unwrap().model,
+            model
+        );
     }
     // Different subsets yield different models.
     assert_ne!(updated[0], updated[1]);
+}
+
+#[test]
+fn chained_deletions_compose_to_one_retraining_on_the_union() {
+    // The Fig. 4 scenario as a first-class API: deletion requests arrive one
+    // after another, each consumed into a successor session. The end state
+    // must match a single retraining pass on the union of the removals.
+    let mut spec = DatasetCatalog::higgs().scaled(0.008);
+    spec.hyper.num_iterations = 120;
+    spec.hyper.batch_size = 64;
+    let dense = spec.generate().as_dense().unwrap().clone();
+    let n = dense.num_samples();
+    let session = SessionBuilder::dense(dense, TrainerConfig::from_hyper(spec.hyper))
+        .seed(29)
+        .fit()
+        .unwrap();
+
+    let first = random_subsets(n, 0.01, 1, 30)[0].clone();
+    let step1 = session.apply(Method::Priu, &first).unwrap();
+    assert_eq!(step1.session.num_samples(), n - first.len());
+
+    let second_local = random_subsets(step1.session.num_samples(), 0.01, 1, 31)[0].clone();
+    let step2 = step1.session.apply(Method::Priu, &second_local).unwrap();
+
+    // Map the second (survivor-relative) removal back to original indices.
+    let survivors: Vec<usize> = (0..n).filter(|i| !first.contains(i)).collect();
+    let mut union = first.clone();
+    union.extend(second_local.iter().map(|&i| survivors[i]));
+
+    let retrained = session.update(Method::Retrain, &union).unwrap();
+    let cmp = compare_models(&retrained.model, step2.session.model()).unwrap();
+    assert!(
+        cmp.cosine_similarity > 0.99,
+        "two chained applies vs one retrain on the union: similarity {}",
+        cmp.cosine_similarity
+    );
+    assert_eq!(step2.session.num_samples(), n - union.len());
 }

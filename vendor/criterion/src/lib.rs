@@ -1,0 +1,280 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The PrIU workspace builds in environments without network access, so the
+//! real crates-io `criterion` cannot be fetched. This vendored shim exposes
+//! the (small) API subset the workspace's benches use — benchmark groups,
+//! parameterised ids, `Bencher::iter`, `black_box` and the `criterion_group!`
+//! / `criterion_main!` macros — and implements it with a plain
+//! warmup-then-measure loop that prints mean / min wall-clock times per
+//! benchmark. Swap the `[patch]`-style path dependency for the real crate to
+//! get statistics, plots and regression detection.
+
+pub use std::hint::black_box;
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level handle passed to every bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("\n== bench group: {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(id);
+        group.bench_function("", f);
+        group.finish();
+        self
+    }
+}
+
+/// A parameterised benchmark identifier, rendered as `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            full: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id consisting of the parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of measured samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement duration budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks a closure with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a closure without a parameter.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Ends the group (a no-op in the shim; kept for API compatibility).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            mode: Mode::WarmUp {
+                until: Instant::now() + self.warm_up_time,
+            },
+        };
+        f(&mut bencher);
+        bencher.mode = Mode::Measure {
+            budget: self.measurement_time,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        if let Mode::Measure { samples, .. } = &bencher.mode {
+            if samples.is_empty() {
+                return;
+            }
+            let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+            let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+            let label = if id.is_empty() {
+                self.name.clone()
+            } else {
+                format!("{}/{}", self.name, id)
+            };
+            println!(
+                "{label:<60} mean {:>12}  min {:>12}  ({} samples)",
+                fmt_time(mean),
+                fmt_time(min),
+                samples.len()
+            );
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Mode {
+    WarmUp {
+        until: Instant,
+    },
+    Measure {
+        budget: Duration,
+        sample_size: usize,
+        samples: Vec<f64>,
+    },
+}
+
+/// Drives the timed iterations of one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+}
+
+impl Bencher {
+    /// Runs the routine repeatedly, timing each sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match &mut self.mode {
+            Mode::WarmUp { until } => {
+                let until = *until;
+                loop {
+                    black_box(routine());
+                    if Instant::now() >= until {
+                        break;
+                    }
+                }
+            }
+            Mode::Measure {
+                budget,
+                sample_size,
+                samples,
+            } => {
+                let deadline = Instant::now() + *budget;
+                for _ in 0..*sample_size {
+                    let start = Instant::now();
+                    black_box(routine());
+                    samples.push(start.elapsed().as_secs_f64());
+                    if Instant::now() >= deadline {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.1}ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2}us", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2}ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3}s")
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_render_like_criterion() {
+        assert_eq!(
+            BenchmarkId::new("matvec", "200x54").to_string(),
+            "matvec/200x54"
+        );
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+    }
+
+    #[test]
+    fn groups_measure_and_do_not_panic() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(10));
+        let mut runs = 0usize;
+        group.bench_function("noop", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn time_formatting_adapts() {
+        assert!(fmt_time(5e-9).ends_with("ns"));
+        assert!(fmt_time(5e-6).ends_with("us"));
+        assert!(fmt_time(5e-3).ends_with("ms"));
+        assert!(fmt_time(5.0).ends_with('s'));
+    }
+}
