@@ -5,29 +5,29 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkGroup, BenchmarkId, Criterion};
-use priu_core::engine::{DeletionEngine, Method, Session, SessionBuilder};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use priu_core::engine::{DeletionEngine, Method, SessionBuilder};
 use priu_core::TrainerConfig;
 use priu_data::catalog::DatasetCatalog;
 use priu_data::dirty::{inject_dirty_samples, random_subsets};
 
-fn bench_methods(
-    group: &mut BenchmarkGroup,
-    session: &Session,
-    label: &str,
-    methods: &[Method],
-    removed: &[usize],
-) {
-    for &method in methods {
-        if !session.supports(method) {
-            continue;
+/// Duck-typed over the group so it compiles against both the vendored
+/// criterion stub (non-generic `BenchmarkGroup`) and the real crate
+/// (`BenchmarkGroup<'_, M>`).
+macro_rules! bench_methods {
+    ($group:expr, $session:expr, $label:expr, $methods:expr, $removed:expr) => {
+        for &method in $methods {
+            if !$session.supports(method) {
+                continue;
+            }
+            let session = &$session;
+            $group.bench_with_input(
+                BenchmarkId::new(method.name(), $label),
+                &$removed.to_vec(),
+                |b, r| b.iter(|| session.update(method, r).unwrap().model),
+            );
         }
-        group.bench_with_input(
-            BenchmarkId::new(method.name(), label),
-            &removed.to_vec(),
-            |b, r| b.iter(|| session.update(method, r).unwrap().model),
-        );
-    }
+    };
 }
 
 fn bench_fig3(c: &mut Criterion) {
@@ -50,12 +50,12 @@ fn bench_fig3(c: &mut Criterion) {
         )
         .fit()
         .expect("training failed");
-        bench_methods(
-            &mut group,
-            &session,
+        bench_methods!(
+            group,
+            session,
             "HIGGS",
             &[Method::Retrain, Method::PriuOpt],
-            &injection.dirty_indices,
+            injection.dirty_indices
         );
     }
 
@@ -70,12 +70,12 @@ fn bench_fig3(c: &mut Criterion) {
         )
         .fit()
         .expect("training failed");
-        bench_methods(
-            &mut group,
-            &session,
+        bench_methods!(
+            group,
+            session,
             "Heartbeat",
             &[Method::Retrain, Method::Priu],
-            &injection.dirty_indices,
+            injection.dirty_indices
         );
     }
 
@@ -91,12 +91,12 @@ fn bench_fig3(c: &mut Criterion) {
             SessionBuilder::sparse(sparse, TrainerConfig::from_hyper(spec.hyper).with_seed(5))
                 .fit()
                 .expect("training failed");
-        bench_methods(
-            &mut group,
-            &session,
+        bench_methods!(
+            group,
+            session,
             "RCV1",
             &[Method::Retrain, Method::Priu],
-            &removed,
+            removed
         );
     }
 

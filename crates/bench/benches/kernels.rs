@@ -2,12 +2,23 @@
 //! PrIU's training and update phases: matrix-vector products, weighted Gram
 //! accumulation, truncated eigendecompositions, Jacobi eigendecomposition and
 //! sparse matrix-vector products.
+//!
+//! The `(n, m)` grid compares three variants per hot kernel so regressions
+//! (and the speedup of this performance layer) stay visible:
+//! * `scalar` — straightforward single-thread loops without unrolling or
+//!   register blocking (the pre-performance-layer shape of the kernels);
+//! * `unrolled` — the production kernel pinned to one thread
+//!   (`par::with_threads(1)`): unrolled/register-blocked, `_into` buffers;
+//! * `parallel4` — the production kernel pinned to four threads (only
+//!   faster than `unrolled` when real cores exist; on a single-core host it
+//!   measures the scoped-thread overhead instead).
 
 use std::time::Duration;
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use priu_linalg::decomposition::eigen::SymmetricEigen;
 use priu_linalg::decomposition::{GramFactor, TruncationMethod};
+use priu_linalg::par;
 use priu_linalg::sparse::CooBuilder;
 use priu_linalg::{Matrix, Vector};
 use priu_rng::Rng64;
@@ -15,6 +26,114 @@ use priu_rng::Rng64;
 fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
     let mut rng = Rng64::from_seed(seed);
     Matrix::from_fn(rows, cols, |_, _| rng.uniform(-1.0, 1.0))
+}
+
+/// Naive single-thread reference kernels (the pre-performance-layer
+/// baselines).
+mod scalar {
+    use priu_linalg::Matrix;
+
+    pub fn matvec(a: &Matrix, x: &[f64], out: &mut [f64]) {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = a.row(i).iter().zip(x).map(|(r, v)| r * v).sum();
+        }
+    }
+
+    pub fn transpose_matvec(a: &Matrix, x: &[f64], out: &mut [f64]) {
+        out.fill(0.0);
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            for (j, &v) in a.row(i).iter().enumerate() {
+                out[j] += xi * v;
+            }
+        }
+    }
+
+    pub fn weighted_gram(a: &Matrix, w: &[f64], out: &mut Matrix) {
+        let m = a.ncols();
+        out.reshape_zeroed(m, m);
+        for (i, &wi) in w.iter().enumerate() {
+            let row = a.row(i);
+            for p in 0..m {
+                let vp = wi * row[p];
+                let out_row = &mut out.as_mut_slice()[p * m..(p + 1) * m];
+                for (q, &rq) in row.iter().enumerate().skip(p) {
+                    out_row[q] += vp * rq;
+                }
+            }
+        }
+        for p in 0..m {
+            for q in (p + 1)..m {
+                out[(q, p)] = out[(p, q)];
+            }
+        }
+    }
+}
+
+/// The `(n, m)` grid: the paper's batch shapes plus the ≥1000×100 sizes the
+/// speedup acceptance gate watches.
+const GRID: [(usize, usize); 4] = [(200, 54), (500, 188), (1000, 100), (2000, 256)];
+
+fn bench_kernel_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_grid");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_secs(1));
+
+    for &(n, m) in &GRID {
+        let a = random_matrix(n, m, 11);
+        let x: Vec<f64> = (0..m).map(|i| (i as f64).sin()).collect();
+        let t: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).cos()).collect();
+        let w = vec![-0.2; n];
+        let mut out_n = vec![0.0; n];
+        let mut out_m = vec![0.0; m];
+        let mut gram = Matrix::zeros(m, m);
+        let shape = format!("{n}x{m}");
+
+        group.bench_function(BenchmarkId::new("matvec_scalar", &shape), |b| {
+            b.iter(|| scalar::matvec(&a, black_box(&x), &mut out_n))
+        });
+        group.bench_function(BenchmarkId::new("matvec_unrolled", &shape), |b| {
+            b.iter(|| par::with_threads(1, || a.matvec_into(black_box(&x), &mut out_n).unwrap()))
+        });
+        group.bench_function(BenchmarkId::new("matvec_parallel4", &shape), |b| {
+            b.iter(|| par::with_threads(4, || a.matvec_into(black_box(&x), &mut out_n).unwrap()))
+        });
+
+        group.bench_function(BenchmarkId::new("transpose_matvec_scalar", &shape), |b| {
+            b.iter(|| scalar::transpose_matvec(&a, black_box(&t), &mut out_m))
+        });
+        group.bench_function(BenchmarkId::new("transpose_matvec_unrolled", &shape), |b| {
+            b.iter(|| {
+                par::with_threads(1, || {
+                    a.transpose_matvec_into(black_box(&t), &mut out_m).unwrap()
+                })
+            })
+        });
+        group.bench_function(
+            BenchmarkId::new("transpose_matvec_parallel4", &shape),
+            |b| {
+                b.iter(|| {
+                    par::with_threads(4, || {
+                        a.transpose_matvec_into(black_box(&t), &mut out_m).unwrap()
+                    })
+                })
+            },
+        );
+
+        group.bench_function(BenchmarkId::new("weighted_gram_scalar", &shape), |b| {
+            b.iter(|| scalar::weighted_gram(&a, black_box(&w), &mut gram))
+        });
+        group.bench_function(BenchmarkId::new("weighted_gram_unrolled", &shape), |b| {
+            b.iter(|| par::with_threads(1, || a.weighted_gram_into(Some(black_box(&w)), &mut gram)))
+        });
+        group.bench_function(BenchmarkId::new("weighted_gram_parallel4", &shape), |b| {
+            b.iter(|| par::with_threads(4, || a.weighted_gram_into(Some(black_box(&w)), &mut gram)))
+        });
+    }
+    group.finish();
 }
 
 fn bench_kernels(c: &mut Criterion) {
@@ -93,5 +212,5 @@ fn bench_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kernels);
+criterion_group!(benches, bench_kernel_grid, bench_kernels);
 criterion_main!(benches);

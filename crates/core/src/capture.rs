@@ -44,22 +44,24 @@ pub enum GramCache {
 impl GramCache {
     /// Builds a cache from batch rows and per-row coefficients according to
     /// the chosen compression strategy (`Auto` must be resolved beforehand).
+    /// The inputs are borrowed; only the data the cache actually stores is
+    /// copied.
     ///
     /// # Errors
     /// Propagates factorisation failures.
-    pub fn build(rows: Matrix, coefficients: Vec<f64>, compression: Compression) -> Result<Self> {
+    pub fn build(rows: &Matrix, coefficients: &[f64], compression: Compression) -> Result<Self> {
         match compression.resolve(rows.ncols()) {
             Compression::None | Compression::Auto => {
-                Ok(GramCache::Dense(rows.weighted_gram(Some(&coefficients))))
+                Ok(GramCache::Dense(rows.weighted_gram(Some(coefficients))))
             }
             Compression::Exact { rank } => {
-                let factor = GramFactor::new(rows, coefficients)?;
+                let factor = GramFactor::new(rows.clone(), coefficients.to_vec())?;
                 Ok(GramCache::Truncated(
                     factor.truncate(rank, TruncationMethod::Exact)?,
                 ))
             }
             Compression::Randomized { rank, oversample } => {
-                let factor = GramFactor::new(rows, coefficients)?;
+                let factor = GramFactor::new(rows.clone(), coefficients.to_vec())?;
                 Ok(GramCache::Truncated(factor.truncate(
                     rank,
                     TruncationMethod::Randomized {
@@ -80,25 +82,67 @@ impl GramCache {
     /// # Errors
     /// Propagates shape mismatches.
     pub fn apply(&self, w: &Vector) -> Result<Vector> {
+        let mut out = Vector::zeros(w.len());
+        let mut s0 = Vec::new();
+        let mut s1 = Vec::new();
+        self.apply_into(w, out.as_mut_slice(), &mut s0, &mut s1)?;
+        Ok(out)
+    }
+
+    /// Applies the cached operator into a caller-owned buffer, reusing the
+    /// two scratch vectors across calls — the allocation-free variant of
+    /// [`GramCache::apply`] driving the PrIU replay loops. Produces bitwise
+    /// the same result as `apply`.
+    ///
+    /// # Errors
+    /// Propagates shape mismatches.
+    pub fn apply_into(
+        &self,
+        w: &[f64],
+        out: &mut [f64],
+        s0: &mut Vec<f64>,
+        s1: &mut Vec<f64>,
+    ) -> Result<()> {
         match self {
-            GramCache::Dense(g) => Ok(g.matvec(w)?),
-            GramCache::Truncated(t) => Ok(t.apply(w)?),
+            GramCache::Dense(g) => Ok(g.matvec_into(w, out)?),
+            GramCache::Truncated(t) => Ok(t.apply_into(w, out, s0)?),
             GramCache::Deflated {
                 base,
                 rows,
                 coefficients,
             } => {
-                let mut out = base.apply(w)?;
-                let rw = rows.matvec(w)?;
-                let scaled = Vector::from_vec(
-                    rw.iter()
-                        .zip(coefficients.iter())
-                        .map(|(v, c)| v * c)
-                        .collect(),
-                );
-                out.axpy(-1.0, &rows.transpose_matvec(&scaled)?)?;
-                Ok(out)
+                if rows.ncols() != out.len() {
+                    return Err(priu_linalg::LinalgError::ShapeMismatch {
+                        op: "GramCache::apply_into(deflation)",
+                        left: (rows.nrows(), rows.ncols()),
+                        right: (out.len(), 1),
+                    }
+                    .into());
+                }
+                base.apply_into(w, out, s0)?;
+                // rw = diag(c) (rows · w), then out -= rowsᵀ rw.
+                s1.clear();
+                s1.resize(rows.nrows(), 0.0);
+                rows.matvec_into(w, s1)?;
+                for (v, c) in s1.iter_mut().zip(coefficients.iter()) {
+                    *v *= c;
+                }
+                s0.clear();
+                s0.resize(rows.ncols(), 0.0);
+                rows.transpose_matvec_into(s1, s0)?;
+                priu_linalg::axpy_slices(out, -1.0, s0);
+                Ok(())
             }
+        }
+    }
+
+    /// Number of deflation-correction rows carried by the cache (0 for
+    /// dense/truncated caches). Workspace sizing uses this to reserve the
+    /// apply scratch before a timed update starts.
+    pub fn deflation_rows(&self) -> usize {
+        match self {
+            GramCache::Deflated { rows, .. } => rows.nrows(),
+            _ => 0,
         }
     }
 
@@ -340,7 +384,7 @@ mod tests {
     fn dense_cache_matches_weighted_gram() {
         let r = rows();
         let coeffs = vec![1.0; 6];
-        let cache = GramCache::build(r.clone(), coeffs.clone(), Compression::None).unwrap();
+        let cache = GramCache::build(&r, &coeffs, Compression::None).unwrap();
         let w = Vector::from_fn(4, |i| i as f64 + 1.0);
         let expected = r.weighted_gram(Some(&coeffs)).matvec(&w).unwrap();
         let got = cache.apply(&w).unwrap();
@@ -352,12 +396,11 @@ mod tests {
     fn truncated_cache_approximates_dense_cache() {
         let r = rows();
         let coeffs = vec![-0.5; 6];
-        let dense = GramCache::build(r.clone(), coeffs.clone(), Compression::None).unwrap();
-        let exact =
-            GramCache::build(r.clone(), coeffs.clone(), Compression::Exact { rank: 4 }).unwrap();
+        let dense = GramCache::build(&r, &coeffs, Compression::None).unwrap();
+        let exact = GramCache::build(&r, &coeffs, Compression::Exact { rank: 4 }).unwrap();
         let randomized = GramCache::build(
-            r,
-            coeffs,
+            &r,
+            &coeffs,
             Compression::Randomized {
                 rank: 4,
                 oversample: 4,
@@ -379,8 +422,8 @@ mod tests {
         let survivors = [0usize, 2, 3, 5];
         let w = Vector::from_fn(4, |i| i as f64 - 1.5);
         let expected = GramCache::build(
-            r.select_rows(&survivors),
-            vec![-0.5; survivors.len()],
+            &r.select_rows(&survivors),
+            &vec![-0.5; survivors.len()],
             Compression::None,
         )
         .unwrap()
@@ -388,7 +431,7 @@ mod tests {
         .unwrap();
 
         for compression in [Compression::None, Compression::Exact { rank: 4 }] {
-            let full = GramCache::build(r.clone(), coeffs.clone(), compression).unwrap();
+            let full = GramCache::build(&r, &coeffs, compression).unwrap();
             let deflated = full
                 .deflate(r.select_rows(&removed), vec![-0.5; removed.len()])
                 .unwrap();
@@ -412,7 +455,7 @@ mod tests {
     #[test]
     fn auto_compression_resolves_against_feature_count() {
         // 4 features → Auto resolves to dense.
-        let cache = GramCache::build(rows(), vec![1.0; 6], Compression::Auto).unwrap();
+        let cache = GramCache::build(&rows(), &[1.0; 6], Compression::Auto).unwrap();
         assert!(matches!(cache, GramCache::Dense(_)));
     }
 
@@ -425,7 +468,7 @@ mod tests {
             regularization: 0.01,
         };
         let schedule = BatchSchedule::new(6, hyper.batch_size, hyper.num_iterations, 0);
-        let gram = GramCache::build(rows(), vec![1.0; 6], Compression::None).unwrap();
+        let gram = GramCache::build(&rows(), &[1.0; 6], Compression::None).unwrap();
         let prov = LinearProvenance {
             schedule,
             learning_rate: hyper.learning_rate,

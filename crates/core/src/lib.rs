@@ -77,6 +77,7 @@ pub mod reference;
 pub mod session;
 pub mod trainer;
 pub mod update;
+pub mod workspace;
 
 pub use config::{Compression, TrainerConfig};
 pub use engine::{
@@ -86,6 +87,7 @@ pub use engine::{
 pub use error::{CoreError, Result};
 pub use metrics::{compare_models, ModelComparison};
 pub use model::{Model, ModelKind};
+pub use workspace::Workspace;
 
 /// Convenience prelude bringing the most commonly used types into scope.
 pub mod prelude {

@@ -9,6 +9,7 @@ use crate::capture::{GramCache, LinearIterationCache, LinearOptCapture, LinearPr
 use crate::config::TrainerConfig;
 use crate::error::{CoreError, Result};
 use crate::model::{Model, ModelKind};
+use crate::workspace::Workspace;
 
 /// The result of training a linear-regression model with provenance capture.
 #[derive(Debug, Clone)]
@@ -32,6 +33,21 @@ pub struct TrainedLinear {
 /// * [`CoreError::Diverged`] if the parameters become non-finite (learning
 ///   rate too large for the data).
 pub fn train_linear(dataset: &DenseDataset, config: &TrainerConfig) -> Result<TrainedLinear> {
+    train_linear_with(dataset, config, &mut Workspace::new())
+}
+
+/// Like [`train_linear`], reusing a caller-owned [`Workspace`]: once the
+/// buffers are warm, the GD step itself performs no heap allocation per
+/// iteration (provenance capture storage still allocates — it outlives the
+/// loop by design).
+///
+/// # Errors
+/// See [`train_linear`].
+pub fn train_linear_with(
+    dataset: &DenseDataset,
+    config: &TrainerConfig,
+    ws: &mut Workspace,
+) -> Result<TrainedLinear> {
     let y = match &dataset.labels {
         Labels::Continuous(y) => y,
         _ => {
@@ -52,25 +68,40 @@ pub fn train_linear(dataset: &DenseDataset, config: &TrainerConfig) -> Result<Tr
     let mut iterations = Vec::with_capacity(hyper.num_iterations);
 
     for t in 0..hyper.num_iterations {
-        let batch = schedule.batch(t);
-        let b = batch.len();
-        let rows = dataset.x.select_rows(&batch);
-        let y_batch = Vector::from_vec(batch.iter().map(|&i| y[i]).collect());
+        schedule.batch_into(t, &mut ws.batch, &mut ws.idx_scratch);
+        let b = ws.batch.len();
+        ws.select_batch_rows(&dataset.x);
+        ws.prepare_batch(b);
+        ws.prepare_features(m);
+        let Workspace {
+            batch,
+            rows,
+            b0: residuals,
+            b1: y_batch,
+            m0: grad,
+            ..
+        } = ws;
 
         // Gradient step: w ← (1-ηλ) w − (2η/B) Σ x_i (x_iᵀ w − y_i).
-        let xw = rows.matvec(&w)?;
-        let residuals = &xw - &y_batch;
-        let grad = rows.transpose_matvec(&residuals)?;
+        rows.matvec_into(&w, residuals)?;
+        for (pos, &i) in batch.iter().enumerate() {
+            y_batch[pos] = y[i];
+            residuals[pos] -= y[i];
+        }
+        rows.transpose_matvec_into(residuals, grad)?;
         w.scale_mut(1.0 - eta * lambda);
-        w.axpy(-2.0 * eta / b as f64, &grad)?;
+        w.axpy(-2.0 * eta / b as f64, &*grad)?;
 
         if t % 32 == 0 && !w.is_finite() {
             return Err(CoreError::Diverged { iteration: t });
         }
 
-        // Provenance capture for this iteration.
-        let xy = rows.transpose_matvec(&y_batch)?;
-        let gram = GramCache::build(rows, vec![1.0; b], config.compression)?;
+        // Provenance capture for this iteration (allocates: it is storage).
+        let xy = rows.transpose_matvec(y_batch)?;
+        let b2 = &mut ws.b2;
+        b2.clear();
+        b2.resize(b, 1.0);
+        let gram = GramCache::build(&ws.rows, b2, config.compression)?;
         iterations.push(LinearIterationCache {
             gram,
             xy,

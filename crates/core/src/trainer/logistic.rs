@@ -27,6 +27,7 @@ use crate::config::TrainerConfig;
 use crate::error::{CoreError, Result};
 use crate::interpolation::PiecewiseLinearSigmoid;
 use crate::model::{Model, ModelKind};
+use crate::workspace::Workspace;
 
 /// The result of training a logistic-regression model with provenance
 /// capture.
@@ -40,15 +41,17 @@ pub struct TrainedLogistic {
 }
 
 /// Builds one class's per-iteration cache from batch rows and coefficients.
+/// Borrows its inputs — `transpose_matvec` consumes the coefficient slice
+/// directly, so nothing is cloned beyond what the cache stores.
 fn build_class_cache(
     rows: &Matrix,
-    a: Vec<f64>,
-    b_prime: Vec<f64>,
+    a: &[f64],
+    b_prime: &[f64],
     compression: crate::config::Compression,
 ) -> Result<ClassIterationCache> {
-    let d = rows.transpose_matvec(&Vector::from_vec(b_prime.clone()))?;
-    let gram = GramCache::build(rows.clone(), a.clone(), compression)?;
-    let coefficients = a.into_iter().zip(b_prime).collect();
+    let d = rows.transpose_matvec(b_prime)?;
+    let gram = GramCache::build(rows, a, compression)?;
+    let coefficients = a.iter().copied().zip(b_prime.iter().copied()).collect();
     Ok(ClassIterationCache {
         gram,
         d,
@@ -65,6 +68,21 @@ fn build_class_cache(
 pub fn train_binary_logistic(
     dataset: &DenseDataset,
     config: &TrainerConfig,
+) -> Result<TrainedLogistic> {
+    train_binary_logistic_with(dataset, config, &mut Workspace::new())
+}
+
+/// Like [`train_binary_logistic`], reusing a caller-owned [`Workspace`]:
+/// once the buffers are warm, the mb-SGD step performs no heap allocation
+/// per iteration (provenance capture storage still allocates — it outlives
+/// the loop by design).
+///
+/// # Errors
+/// See [`train_binary_logistic`].
+pub fn train_binary_logistic_with(
+    dataset: &DenseDataset,
+    config: &TrainerConfig,
+    ws: &mut Workspace,
 ) -> Result<TrainedLogistic> {
     let y = match &dataset.labels {
         Labels::Binary(y) => y,
@@ -94,33 +112,42 @@ pub fn train_binary_logistic(
             opt = Some(capture_binary_opt(dataset, y, &w, interp, ts, m)?);
         }
 
-        let batch = schedule.batch(t);
-        let b = batch.len();
-        let rows = dataset.x.select_rows(&batch);
-        let y_batch: Vec<f64> = batch.iter().map(|&i| y[i]).collect();
+        schedule.batch_into(t, &mut ws.batch, &mut ws.idx_scratch);
+        let b = ws.batch.len();
+        ws.select_batch_rows(&dataset.x);
+        ws.prepare_batch(b);
+        ws.prepare_features(m);
+        let Workspace {
+            batch,
+            rows,
+            b0: xw,
+            b1: update_coeffs,
+            b2: a_coeffs,
+            b3: b_coeffs,
+            m0: grad,
+            ..
+        } = ws;
 
-        let xw = rows.matvec(&w)?;
+        rows.matvec_into(&w, xw)?;
         // Exact update: w ← (1-ηλ) w + (η/B) Σ y_i x_i f(y_i wᵀ x_i).
-        let mut update_coeffs = Vec::with_capacity(b);
-        let mut a_coeffs = Vec::with_capacity(b);
-        let mut b_coeffs = Vec::with_capacity(b);
-        for i in 0..b {
-            let margin = y_batch[i] * xw[i];
-            update_coeffs.push(y_batch[i] * PiecewiseLinearSigmoid::exact(margin));
+        for pos in 0..b {
+            let yi = y[batch[pos]];
+            let margin = yi * xw[pos];
+            update_coeffs[pos] = yi * PiecewiseLinearSigmoid::exact(margin);
             let seg = interp.coefficients(margin);
             // Contribution of sample i: a·x xᵀ w + b'·x with b' = intercept·y.
-            a_coeffs.push(seg.slope);
-            b_coeffs.push(seg.intercept * y_batch[i]);
+            a_coeffs[pos] = seg.slope;
+            b_coeffs[pos] = seg.intercept * yi;
         }
-        let grad = rows.transpose_matvec(&Vector::from_vec(update_coeffs))?;
+        rows.transpose_matvec_into(update_coeffs, grad)?;
         w.scale_mut(1.0 - eta * lambda);
-        w.axpy(eta / b as f64, &grad)?;
+        w.axpy(eta / b as f64, &*grad)?;
 
         if t % 32 == 0 && !w.is_finite() {
             return Err(CoreError::Diverged { iteration: t });
         }
 
-        let cache = build_class_cache(&rows, a_coeffs, b_coeffs, config.compression)?;
+        let cache = build_class_cache(&ws.rows, &ws.b2, &ws.b3, config.compression)?;
         iterations.push(LogisticIterationCache {
             classes: vec![cache],
             batch_size: b,
@@ -166,9 +193,7 @@ fn capture_binary_opt(
     }
     let c_star = dataset.x.weighted_gram(Some(&a_all));
     let eigen = SymmetricEigen::new(&c_star)?;
-    let d_star = dataset
-        .x
-        .transpose_matvec(&Vector::from_vec(b_all.clone()))?;
+    let d_star = dataset.x.transpose_matvec(&b_all)?;
     let coefficients = a_all.into_iter().zip(b_all).collect();
     Ok(LogisticOptCapture {
         switch_iteration: ts,
@@ -196,6 +221,19 @@ fn capture_binary_opt(
 pub fn train_multinomial_logistic(
     dataset: &DenseDataset,
     config: &TrainerConfig,
+) -> Result<TrainedLogistic> {
+    train_multinomial_logistic_with(dataset, config, &mut Workspace::new())
+}
+
+/// Like [`train_multinomial_logistic`], reusing a caller-owned
+/// [`Workspace`] so the mb-SGD step is allocation-free once warm.
+///
+/// # Errors
+/// See [`train_multinomial_logistic`].
+pub fn train_multinomial_logistic_with(
+    dataset: &DenseDataset,
+    config: &TrainerConfig,
+    ws: &mut Workspace,
 ) -> Result<TrainedLogistic> {
     let (classes, q) = match &dataset.labels {
         Labels::Multiclass {
@@ -229,37 +267,51 @@ pub fn train_multinomial_logistic(
             )?);
         }
 
-        let batch = schedule.batch(t);
-        let b = batch.len();
-        let rows = dataset.x.select_rows(&batch);
-        let batch_classes: Vec<usize> = batch.iter().map(|&i| classes[i] as usize).collect();
-
-        // Per-class logits over the batch.
-        let logits: Vec<Vector> = weights
-            .iter()
-            .map(|wk| rows.matvec(wk))
-            .collect::<std::result::Result<_, _>>()?;
+        schedule.batch_into(t, &mut ws.batch, &mut ws.idx_scratch);
+        let b = ws.batch.len();
+        ws.select_batch_rows(&dataset.x);
+        ws.prepare_batch(b);
+        ws.prepare_features(m);
+        ws.classes.clear();
+        ws.classes
+            .extend(ws.batch.iter().map(|&i| classes[i] as usize));
+        // Per-class logits over the batch, one row of the logits buffer per
+        // class.
+        ws.logits.reshape_zeroed(q, b);
+        for (k, wk) in weights.iter().enumerate() {
+            ws.rows.matvec_into(wk, ws.logits.row_mut(k))?;
+        }
 
         let mut class_caches = Vec::with_capacity(q);
-        let mut new_weights = Vec::with_capacity(q);
         // Pre-compute per-sample log-sum-exp over all classes.
-        let mut lse = Vec::with_capacity(b);
-        #[allow(clippy::needless_range_loop)] // `i` spans all q logit vectors
-        for i in 0..b {
-            let max = (0..q).fold(f64::NEG_INFINITY, |acc, k| acc.max(logits[k][i]));
-            let sum: f64 = (0..q).map(|k| (logits[k][i] - max).exp()).sum();
-            lse.push(max + sum.ln());
+        {
+            let Workspace {
+                logits, b0: lse, ..
+            } = ws;
+            for i in 0..b {
+                let max = (0..q).fold(f64::NEG_INFINITY, |acc, k| acc.max(logits[(k, i)]));
+                let sum: f64 = (0..q).map(|k| (logits[(k, i)] - max).exp()).sum();
+                lse[i] = max + sum.ln();
+            }
         }
 
         for k in 0..q {
-            let mut exact_coeffs = Vec::with_capacity(b);
-            let mut a_coeffs = Vec::with_capacity(b);
-            let mut b_coeffs = Vec::with_capacity(b);
+            let Workspace {
+                classes: batch_classes,
+                logits,
+                b0: lse,
+                b1: exact_coeffs,
+                b2: a_coeffs,
+                b3: b_coeffs,
+                m0: grad,
+                rows,
+                ..
+            } = ws;
             for i in 0..b {
-                let z = logits[k][i];
+                let z = logits[(k, i)];
                 let p = (z - lse[i]).exp();
                 let indicator = if batch_classes[i] == k { 1.0 } else { 0.0 };
-                exact_coeffs.push(p - indicator);
+                exact_coeffs[i] = p - indicator;
 
                 // Scalarised softmax: p = σ(z − L) with L the log-sum-exp of
                 // the *other* classes; clamp for numerical safety when p≈1.
@@ -269,23 +321,22 @@ pub fn train_multinomial_logistic(
                 // Gradient contribution: x (σ(u) − 1[y=k]) ≈ α x xᵀ w_k +
                 // (β − α·L − 1[y=k]) x; cast into the Eq. 19 form
                 // `+ a x xᵀ w + b' x` with a = −α, b' = 1[y=k] − β + α·L.
-                a_coeffs.push(-seg.slope);
-                b_coeffs.push(indicator - seg.intercept + seg.slope * l_other);
+                a_coeffs[i] = -seg.slope;
+                b_coeffs[i] = indicator - seg.intercept + seg.slope * l_other;
             }
-            // Exact update for class k.
-            let grad = rows.transpose_matvec(&Vector::from_vec(exact_coeffs))?;
-            let mut wk = weights[k].scaled(1.0 - eta * lambda);
-            wk.axpy(-eta / b as f64, &grad)?;
-            new_weights.push(wk);
+            // Exact update for class k (the logits were computed up front, so
+            // updating in place never feeds an updated weight back in).
+            rows.transpose_matvec_into(exact_coeffs, grad)?;
+            weights[k].scale_mut(1.0 - eta * lambda);
+            weights[k].axpy(-eta / b as f64, &*grad)?;
 
             class_caches.push(build_class_cache(
-                &rows,
-                a_coeffs,
-                b_coeffs,
+                &ws.rows,
+                &ws.b2,
+                &ws.b3,
                 config.compression,
             )?);
         }
-        weights = new_weights;
 
         if t % 32 == 0 && weights.iter().any(|w| !w.is_finite()) {
             return Err(CoreError::Diverged { iteration: t });
@@ -353,9 +404,7 @@ fn capture_multinomial_opt(
         }
         let c_star = dataset.x.weighted_gram(Some(&a_all));
         let eigen = SymmetricEigen::new(&c_star)?;
-        let d_star = dataset
-            .x
-            .transpose_matvec(&Vector::from_vec(b_all.clone()))?;
+        let d_star = dataset.x.transpose_matvec(&b_all)?;
         class_captures.push(LogisticOptClassCapture {
             eigen,
             d_star,

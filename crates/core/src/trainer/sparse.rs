@@ -14,6 +14,7 @@ use crate::config::TrainerConfig;
 use crate::error::{CoreError, Result};
 use crate::interpolation::PiecewiseLinearSigmoid;
 use crate::model::{Model, ModelKind};
+use crate::workspace::Workspace;
 
 /// Provenance captured while training a sparse binary logistic model: the
 /// mini-batch schedule plus, per iteration, the `(a, b')` linearisation
@@ -58,6 +59,20 @@ pub fn train_sparse_binary_logistic(
     dataset: &SparseDataset,
     config: &TrainerConfig,
 ) -> Result<TrainedSparseLogistic> {
+    train_sparse_binary_logistic_with(dataset, config, &mut Workspace::new())
+}
+
+/// Like [`train_sparse_binary_logistic`], reusing a caller-owned
+/// [`Workspace`] so the mb-SGD step is allocation-free once warm (the
+/// captured coefficient lists still allocate — they are storage).
+///
+/// # Errors
+/// See [`train_sparse_binary_logistic`].
+pub fn train_sparse_binary_logistic_with(
+    dataset: &SparseDataset,
+    config: &TrainerConfig,
+    ws: &mut Workspace,
+) -> Result<TrainedSparseLogistic> {
     let y = match &dataset.labels {
         Labels::Binary(y) => y,
         _ => {
@@ -79,19 +94,20 @@ pub fn train_sparse_binary_logistic(
     let mut coefficients = Vec::with_capacity(hyper.num_iterations);
 
     for t in 0..hyper.num_iterations {
-        let batch = schedule.batch(t);
-        let b = batch.len() as f64;
-        let mut acc = Vector::zeros(m);
+        schedule.batch_into(t, &mut ws.batch, &mut ws.idx_scratch);
+        let b = ws.batch.len() as f64;
+        ws.prepare_features(m);
+        let Workspace { batch, m0: acc, .. } = ws;
         let mut iter_coeffs = Vec::with_capacity(batch.len());
-        for &i in &batch {
+        for &i in batch.iter() {
             let margin = y[i] * dataset.x.row_dot(i, &w)?;
             let f = PiecewiseLinearSigmoid::exact(margin);
-            dataset.x.scatter_row(i, y[i] * f, &mut acc)?;
+            dataset.x.scatter_row(i, y[i] * f, acc)?;
             let seg = interp.coefficients(margin);
             iter_coeffs.push((seg.slope, seg.intercept * y[i]));
         }
         w.scale_mut(1.0 - eta * lambda);
-        w.axpy(eta / b, &acc)?;
+        w.axpy(eta / b, &*acc)?;
         if t % 32 == 0 && !w.is_finite() {
             return Err(CoreError::Diverged { iteration: t });
         }

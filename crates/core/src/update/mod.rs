@@ -42,6 +42,18 @@ pub(crate) fn normalize_removed(num_samples: usize, removed: &[usize]) -> Result
 /// removal set. Both slices must be sorted ascending.
 pub(crate) fn removed_positions(batch: &[usize], removed_sorted: &[usize]) -> Vec<usize> {
     let mut positions = Vec::new();
+    removed_positions_into(batch, removed_sorted, &mut positions);
+    positions
+}
+
+/// [`removed_positions`] into a reused buffer — the allocation-free variant
+/// the replay loops call per iteration.
+pub(crate) fn removed_positions_into(
+    batch: &[usize],
+    removed_sorted: &[usize],
+    positions: &mut Vec<usize>,
+) {
+    positions.clear();
     let mut r = 0;
     for (pos, &sample) in batch.iter().enumerate() {
         while r < removed_sorted.len() && removed_sorted[r] < sample {
@@ -51,7 +63,6 @@ pub(crate) fn removed_positions(batch: &[usize], removed_sorted: &[usize]) -> Ve
             positions.push(pos);
         }
     }
-    positions
 }
 
 /// Returns `items` with the entries at the given positions removed. The

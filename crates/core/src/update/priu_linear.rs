@@ -15,12 +15,12 @@
 //! retraining.
 
 use priu_data::dataset::{DenseDataset, Labels};
-use priu_linalg::Vector;
 
 use crate::capture::LinearProvenance;
 use crate::error::{CoreError, Result};
 use crate::model::{Model, ModelKind};
-use crate::update::{normalize_removed, removed_positions};
+use crate::update::{normalize_removed, removed_positions_into};
+use crate::workspace::Workspace;
 
 /// Incrementally updates a linear-regression model after removing the given
 /// training samples, using the captured provenance.
@@ -32,6 +32,22 @@ pub fn priu_update_linear(
     dataset: &DenseDataset,
     provenance: &LinearProvenance,
     removed: &[usize],
+) -> Result<Model> {
+    priu_update_linear_with(dataset, provenance, removed, &mut Workspace::new())
+}
+
+/// Like [`priu_update_linear`], reusing a caller-owned [`Workspace`]: with
+/// warm buffers the replay loop performs zero heap allocation per iteration
+/// (batch derivation, Gram-cache application and the removed-sample deltas
+/// all flow through the workspace).
+///
+/// # Errors
+/// See [`priu_update_linear`].
+pub fn priu_update_linear_with(
+    dataset: &DenseDataset,
+    provenance: &LinearProvenance,
+    removed: &[usize],
+    ws: &mut Workspace,
 ) -> Result<Model> {
     let y = match &dataset.labels {
         Labels::Continuous(y) => y,
@@ -49,9 +65,11 @@ pub fn priu_update_linear(
 
     let mut w = provenance.initial_model.weight().clone();
     for (t, cache) in provenance.iterations.iter().enumerate() {
-        let batch = provenance.schedule.batch(t);
-        let positions = removed_positions(&batch, &removed);
-        let b_u = cache.batch_size - positions.len();
+        provenance
+            .schedule
+            .batch_into(t, &mut ws.batch, &mut ws.idx_scratch);
+        removed_positions_into(&ws.batch, &removed, &mut ws.positions);
+        let b_u = cache.batch_size - ws.positions.len();
         if b_u == 0 {
             // The whole batch was deleted: only the regularisation shrink
             // applies at this iteration.
@@ -59,13 +77,23 @@ pub fn priu_update_linear(
             continue;
         }
 
+        ws.prepare_features(m);
+        let Workspace {
+            batch,
+            positions,
+            m0: gw,
+            m1: delta_gw,
+            m2: delta_xy,
+            g0,
+            g1,
+            ..
+        } = ws;
+
         // Cached full-batch contribution.
-        let gw = cache.gram.apply(&w)?;
+        cache.gram.apply_into(&w, gw, g0, g1)?;
 
         // Removed contribution, assembled on the fly from the raw samples.
-        let mut delta_gw = Vector::zeros(m);
-        let mut delta_xy = Vector::zeros(m);
-        for &pos in &positions {
+        for &pos in positions.iter() {
             let i = batch[pos];
             let row = dataset.x.row(i);
             let dot: f64 = row.iter().zip(w.iter()).map(|(a, b)| a * b).sum();
@@ -75,13 +103,13 @@ pub fn priu_update_linear(
             }
         }
 
+        // In-place: every right-hand side was computed from the old `w`.
         let scale = 2.0 * eta / b_u as f64;
-        let mut next = w.scaled(1.0 - eta * lambda);
-        next.axpy(-scale, &gw)?;
-        next.axpy(scale, &delta_gw)?;
-        next.axpy(scale, &cache.xy)?;
-        next.axpy(-scale, &delta_xy)?;
-        w = next;
+        w.scale_mut(1.0 - eta * lambda);
+        w.axpy(-scale, &*gw)?;
+        w.axpy(scale, &*delta_gw)?;
+        w.axpy(scale, &cache.xy)?;
+        w.axpy(-scale, &*delta_xy)?;
     }
 
     Model::new(ModelKind::Linear, vec![w])

@@ -14,12 +14,12 @@
 //! rows and stored coefficients — `O(r·m + ΔB·m)` per class per iteration.
 
 use priu_data::dataset::DenseDataset;
-use priu_linalg::Vector;
 
 use crate::capture::LogisticProvenance;
 use crate::error::Result;
 use crate::model::Model;
-use crate::update::{normalize_removed, removed_positions};
+use crate::update::{normalize_removed, removed_positions_into};
+use crate::workspace::Workspace;
 
 /// Incrementally updates a (binary or multinomial) logistic-regression model
 /// after removing the given training samples.
@@ -32,6 +32,21 @@ pub fn priu_update_logistic(
     provenance: &LogisticProvenance,
     removed: &[usize],
 ) -> Result<Model> {
+    priu_update_logistic_with(dataset, provenance, removed, &mut Workspace::new())
+}
+
+/// Like [`priu_update_logistic`], reusing a caller-owned [`Workspace`]: with
+/// warm buffers the replay loop performs zero heap allocation per iteration
+/// and per class.
+///
+/// # Errors
+/// See [`priu_update_logistic`].
+pub fn priu_update_logistic_with(
+    dataset: &DenseDataset,
+    provenance: &LogisticProvenance,
+    removed: &[usize],
+    ws: &mut Workspace,
+) -> Result<Model> {
     let n = dataset.num_samples();
     let removed = normalize_removed(n, removed)?;
     priu_update_logistic_range(
@@ -41,6 +56,7 @@ pub fn priu_update_logistic(
         0,
         provenance.iterations.len(),
         provenance.initial_model.clone(),
+        ws,
     )
 }
 
@@ -48,6 +64,7 @@ pub fn priu_update_logistic(
 /// from `model`. Used both by the full PrIU update and by PrIU-opt, which
 /// replays `[0, ts)` with this routine and switches to the eigen-recursion
 /// afterwards.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn priu_update_logistic_range(
     dataset: &DenseDataset,
     provenance: &LogisticProvenance,
@@ -55,6 +72,7 @@ pub(crate) fn priu_update_logistic_range(
     start: usize,
     end: usize,
     model: Model,
+    ws: &mut Workspace,
 ) -> Result<Model> {
     let eta = provenance.learning_rate;
     let lambda = provenance.regularization;
@@ -63,9 +81,11 @@ pub(crate) fn priu_update_logistic_range(
 
     for t in start..end {
         let cache = &provenance.iterations[t];
-        let batch = provenance.schedule.batch(t);
-        let positions = removed_positions(&batch, removed_sorted);
-        let b_u = cache.batch_size - positions.len();
+        provenance
+            .schedule
+            .batch_into(t, &mut ws.batch, &mut ws.idx_scratch);
+        removed_positions_into(&ws.batch, removed_sorted, &mut ws.positions);
+        let b_u = cache.batch_size - ws.positions.len();
         if b_u == 0 {
             for w in model.weights_mut() {
                 w.scale_mut(1.0 - eta * lambda);
@@ -76,12 +96,21 @@ pub(crate) fn priu_update_logistic_range(
 
         let weights = model.weights_mut();
         for (k, class_cache) in cache.classes.iter().enumerate() {
+            ws.prepare_features(m);
+            let Workspace {
+                batch,
+                positions,
+                m0: cw,
+                m1: delta_cw,
+                m2: delta_d,
+                g0,
+                g1,
+                ..
+            } = ws;
             let w = &weights[k];
-            let cw = class_cache.gram.apply(w)?;
+            class_cache.gram.apply_into(w, cw, g0, g1)?;
 
-            let mut delta_cw = Vector::zeros(m);
-            let mut delta_d = Vector::zeros(m);
-            for &pos in &positions {
+            for &pos in positions.iter() {
                 let i = batch[pos];
                 let (a, b_prime) = class_cache.coefficients[pos];
                 let row = dataset.x.row(i);
@@ -93,12 +122,13 @@ pub(crate) fn priu_update_logistic_range(
                 }
             }
 
-            let mut next = w.scaled(1.0 - eta * lambda);
-            next.axpy(scale, &cw)?;
-            next.axpy(-scale, &delta_cw)?;
-            next.axpy(scale, &class_cache.d)?;
-            next.axpy(-scale, &delta_d)?;
-            weights[k] = next;
+            // In-place: every right-hand side was computed from the old `w`.
+            let w = &mut weights[k];
+            w.scale_mut(1.0 - eta * lambda);
+            w.axpy(scale, &*cw)?;
+            w.axpy(-scale, &*delta_cw)?;
+            w.axpy(scale, &class_cache.d)?;
+            w.axpy(-scale, &*delta_d)?;
         }
     }
     Ok(model)

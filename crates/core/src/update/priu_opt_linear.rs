@@ -13,12 +13,12 @@
 //!    total, independent of `n`.
 
 use priu_data::dataset::{DenseDataset, Labels};
-use priu_linalg::Vector;
 
 use crate::capture::LinearProvenance;
 use crate::error::{CoreError, Result};
 use crate::model::{Model, ModelKind};
 use crate::update::normalize_removed;
+use crate::workspace::Workspace;
 
 /// Incrementally updates a linear-regression model after removing the given
 /// training samples, using the PrIU-opt eigen-recursion.
@@ -31,6 +31,22 @@ pub fn priu_opt_update_linear(
     dataset: &DenseDataset,
     provenance: &LinearProvenance,
     removed: &[usize],
+) -> Result<Model> {
+    priu_opt_update_linear_with(dataset, provenance, removed, &mut Workspace::new())
+}
+
+/// Like [`priu_opt_update_linear`], reusing a caller-owned [`Workspace`] for
+/// the removed-row block and the eigenbasis vectors. The per-iteration work
+/// is a scalar recursion and allocates nothing; the per-*deletion* setup
+/// (eigenvalue downdate) allocates independently of the iteration count.
+///
+/// # Errors
+/// See [`priu_opt_update_linear`].
+pub fn priu_opt_update_linear_with(
+    dataset: &DenseDataset,
+    provenance: &LinearProvenance,
+    removed: &[usize],
+    ws: &mut Workspace,
 ) -> Result<Model> {
     let y = match &dataset.labels {
         Labels::Continuous(y) => y,
@@ -59,25 +75,34 @@ pub fn priu_opt_update_linear(
     let tau = provenance.schedule.num_iterations();
 
     // ΔX, ΔY and the downdated quantities.
-    let delta_x = dataset.x.select_rows(&removed);
-    let delta_y = Vector::from_vec(removed.iter().map(|&i| y[i]).collect());
+    ws.batch.clear();
+    ws.batch.extend_from_slice(&removed);
+    ws.select_batch_rows(&dataset.x);
+    let delta_x = &ws.rows;
+    ws.b0.clear();
+    ws.b0.extend(removed.iter().map(|&i| y[i]));
+    let delta_y = &ws.b0;
     // The exact eigenvalues of M' = X_Uᵀ X_U are non-negative; the diagonal
     // approximation of Eq. 18 can dip below zero for high-leverage removals,
     // which would make the recursion expansive, so clamp at zero.
-    let mut c_prime = opt.eigen.downdated_eigenvalues(&delta_x)?;
+    let mut c_prime = opt.eigen.downdated_eigenvalues(delta_x)?;
     c_prime.map_mut(|c| c.max(0.0));
     let mut n_prime = opt.xty.clone();
-    let delta_xty = delta_x.transpose_matvec(&delta_y)?;
+    let delta_xty = delta_x.transpose_matvec(delta_y)?;
     n_prime.axpy(-1.0, &delta_xty)?;
 
     // Work in the eigenbasis: z = Qᵀ w, b̃ = Qᵀ N'.
     let q = &opt.eigen.vectors;
     let w0 = provenance.initial_model.weight();
-    let mut z = q.transpose_matvec(w0)?;
-    let b_tilde = q.transpose_matvec(&n_prime)?;
+    let m = w0.len();
+    ws.prepare_features(m);
+    let Workspace {
+        m0: z, m1: b_tilde, ..
+    } = ws;
+    q.transpose_matvec_into(w0, z)?;
+    q.transpose_matvec_into(&n_prime, b_tilde)?;
 
     // Per-coordinate scalar recursion of Eq. 17 (constant learning rate).
-    let m = z.len();
     for i in 0..m {
         let decay = 1.0 - eta * lambda - 2.0 * eta * c_prime[i] / n_u;
         let forcing = 2.0 * eta * b_tilde[i] / n_u;
@@ -88,7 +113,7 @@ pub fn priu_opt_update_linear(
         z[i] = zi;
     }
 
-    let w = q.matvec(&z)?;
+    let w = q.matvec(z)?;
     Model::new(ModelKind::Linear, vec![w])
 }
 

@@ -15,13 +15,13 @@
 //!    `O((τ−ts)·(r·m + ΔB·m))`.
 
 use priu_data::dataset::DenseDataset;
-use priu_linalg::Vector;
 
 use crate::capture::LogisticProvenance;
 use crate::error::{CoreError, Result};
 use crate::model::Model;
 use crate::update::normalize_removed;
 use crate::update::priu_logistic::priu_update_logistic_range;
+use crate::workspace::Workspace;
 
 /// Incrementally updates a (binary or multinomial) logistic-regression model
 /// using the PrIU-opt early-termination strategy.
@@ -35,6 +35,22 @@ pub fn priu_opt_update_logistic(
     dataset: &DenseDataset,
     provenance: &LogisticProvenance,
     removed: &[usize],
+) -> Result<Model> {
+    priu_opt_update_logistic_with(dataset, provenance, removed, &mut Workspace::new())
+}
+
+/// Like [`priu_opt_update_logistic`], reusing a caller-owned [`Workspace`]:
+/// the phase-1 replay is allocation-free per iteration (it shares the plain
+/// PrIU loop) and the phase-2 eigen-recursion allocates only per class,
+/// independently of the iteration count.
+///
+/// # Errors
+/// See [`priu_opt_update_logistic`].
+pub fn priu_opt_update_logistic_with(
+    dataset: &DenseDataset,
+    provenance: &LogisticProvenance,
+    removed: &[usize],
+    ws: &mut Workspace,
 ) -> Result<Model> {
     let opt = provenance
         .opt
@@ -62,6 +78,7 @@ pub fn priu_opt_update_logistic(
         0,
         ts,
         provenance.initial_model.clone(),
+        ws,
     )?;
 
     if tau <= ts {
@@ -69,13 +86,28 @@ pub fn priu_opt_update_logistic(
     }
 
     // Phase 2: frozen-coefficient GD in the eigenbasis of C*.
-    let delta_rows = dataset.x.select_rows(&removed);
+    ws.batch.clear();
+    ws.batch.extend_from_slice(&removed);
+    ws.select_batch_rows(&dataset.x);
     let remaining_iterations = tau - ts;
     let weights = model.weights_mut();
+    let m = dataset.num_features();
     for (k, class) in opt.classes.iter().enumerate() {
+        ws.prepare_batch(removed.len());
+        ws.prepare_features(m);
+        let Workspace {
+            rows: delta_rows,
+            b0: a_removed,
+            b1: b_removed,
+            m0: z,
+            m1: d_tilde,
+            ..
+        } = ws;
         // Removed samples' frozen coefficients.
-        let a_removed: Vec<f64> = removed.iter().map(|&i| class.coefficients[i].0).collect();
-        let b_removed: Vec<f64> = removed.iter().map(|&i| class.coefficients[i].1).collect();
+        for (slot, &i) in removed.iter().enumerate() {
+            a_removed[slot] = class.coefficients[i].0;
+            b_removed[slot] = class.coefficients[i].1;
+        }
 
         // Downdated eigenvalues of C*' = C* − ΔC* and moment vector D*'.
         // C*' is negative semi-definite (the linearisation slopes are ≤ 0);
@@ -83,17 +115,17 @@ pub fn priu_opt_update_logistic(
         // recursion stays contractive for high-leverage removals.
         let mut c_prime = class
             .eigen
-            .downdated_eigenvalues_weighted(&delta_rows, &a_removed)?;
+            .downdated_eigenvalues_weighted(delta_rows, a_removed)?;
         c_prime.map_mut(|c| c.min(0.0));
         let mut d_prime = class.d_star.clone();
-        let delta_d = delta_rows.transpose_matvec(&Vector::from_vec(b_removed))?;
+        let delta_d = delta_rows.transpose_matvec(b_removed)?;
         d_prime.axpy(-1.0, &delta_d)?;
 
         // Scalar recursion in the eigenbasis.
         let q = &class.eigen.vectors;
-        let mut z = q.transpose_matvec(&weights[k])?;
-        let d_tilde = q.transpose_matvec(&d_prime)?;
-        for i in 0..z.len() {
+        q.transpose_matvec_into(&weights[k], z)?;
+        q.transpose_matvec_into(&d_prime, d_tilde)?;
+        for i in 0..m {
             let decay = 1.0 - eta * lambda + eta * c_prime[i] / n_u;
             let forcing = eta * d_tilde[i] / n_u;
             let mut zi = z[i];
@@ -102,7 +134,7 @@ pub fn priu_opt_update_logistic(
             }
             z[i] = zi;
         }
-        weights[k] = q.matvec(&z)?;
+        weights[k] = q.matvec(z)?;
     }
     Ok(model)
 }

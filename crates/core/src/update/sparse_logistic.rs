@@ -9,12 +9,12 @@
 //! speed-up.
 
 use priu_data::dataset::SparseDataset;
-use priu_linalg::Vector;
 
 use crate::error::Result;
 use crate::model::{Model, ModelKind};
 use crate::trainer::sparse::SparseLogisticProvenance;
-use crate::update::{normalize_removed, removed_positions};
+use crate::update::{normalize_removed, removed_positions_into};
+use crate::workspace::Workspace;
 
 /// Incrementally updates a sparse binary logistic-regression model after
 /// removing the given training samples.
@@ -27,6 +27,20 @@ pub fn priu_update_sparse_logistic(
     provenance: &SparseLogisticProvenance,
     removed: &[usize],
 ) -> Result<Model> {
+    priu_update_sparse_logistic_with(dataset, provenance, removed, &mut Workspace::new())
+}
+
+/// Like [`priu_update_sparse_logistic`], reusing a caller-owned
+/// [`Workspace`] so the replay loop is allocation-free once warm.
+///
+/// # Errors
+/// See [`priu_update_sparse_logistic`].
+pub fn priu_update_sparse_logistic_with(
+    dataset: &SparseDataset,
+    provenance: &SparseLogisticProvenance,
+    removed: &[usize],
+    ws: &mut Workspace,
+) -> Result<Model> {
     let n = dataset.num_samples();
     let removed = normalize_removed(n, removed)?;
     let m = dataset.num_features();
@@ -35,15 +49,23 @@ pub fn priu_update_sparse_logistic(
 
     let mut w = provenance.initial_model.weight().clone();
     for (t, coeffs) in provenance.coefficients.iter().enumerate() {
-        let batch = provenance.schedule.batch(t);
-        let positions = removed_positions(&batch, &removed);
-        let b_u = batch.len() - positions.len();
+        provenance
+            .schedule
+            .batch_into(t, &mut ws.batch, &mut ws.idx_scratch);
+        removed_positions_into(&ws.batch, &removed, &mut ws.positions);
+        let b_u = ws.batch.len() - ws.positions.len();
         if b_u == 0 {
             w.scale_mut(1.0 - eta * lambda);
             continue;
         }
+        ws.prepare_features(m);
+        let Workspace {
+            batch,
+            positions,
+            m0: acc,
+            ..
+        } = ws;
         let mut next_removed = positions.iter().copied().peekable();
-        let mut acc = Vector::zeros(m);
         for (pos, &i) in batch.iter().enumerate() {
             if next_removed.peek() == Some(&pos) {
                 next_removed.next();
@@ -52,10 +74,10 @@ pub fn priu_update_sparse_logistic(
             let (a, b_prime) = coeffs[pos];
             // Contribution a·x (xᵀw) + b'·x collapses to a single scatter.
             let dot = dataset.x.row_dot(i, &w)?;
-            dataset.x.scatter_row(i, a * dot + b_prime, &mut acc)?;
+            dataset.x.scatter_row(i, a * dot + b_prime, acc)?;
         }
         w.scale_mut(1.0 - eta * lambda);
-        w.axpy(eta / b_u as f64, &acc)?;
+        w.axpy(eta / b_u as f64, &*acc)?;
     }
     Model::new(ModelKind::BinaryLogistic, vec![w])
 }

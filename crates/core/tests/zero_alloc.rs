@@ -1,0 +1,197 @@
+//! Verifies the workspace path's zero-allocation guarantee end to end with a
+//! counting global allocator: the number of heap allocations performed by a
+//! PrIU / PrIU-opt update call must be **independent of the iteration
+//! count** — i.e. the replay loops allocate only per call (removal-set
+//! normalisation, the produced model), never per iteration. A second check
+//! asserts the workspace growth counter stays flat once warm, including
+//! through the trainers' GD steps.
+//!
+//! Everything runs inside a single `#[test]` so no concurrent test pollutes
+//! the allocation counters.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use priu_core::trainer::linear::{train_linear_with, TrainedLinear};
+use priu_core::trainer::logistic::{train_binary_logistic_with, TrainedLogistic};
+use priu_core::update::priu_linear::priu_update_linear_with;
+use priu_core::update::priu_logistic::priu_update_logistic_with;
+use priu_core::update::priu_opt_logistic::priu_opt_update_logistic_with;
+use priu_core::{TrainerConfig, Workspace};
+use priu_data::catalog::Hyperparameters;
+use priu_data::dataset::DenseDataset;
+use priu_data::synthetic::classification::{generate_binary_classification, ClassificationConfig};
+use priu_data::synthetic::regression::{generate_regression, RegressionConfig};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn count_allocations(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+fn regression_data() -> DenseDataset {
+    generate_regression(&RegressionConfig {
+        num_samples: 400,
+        num_features: 8,
+        noise_std: 0.1,
+        seed: 90,
+        ..Default::default()
+    })
+}
+
+fn classification_data() -> DenseDataset {
+    generate_binary_classification(&ClassificationConfig {
+        num_samples: 400,
+        num_features: 8,
+        separation: 3.0,
+        label_noise: 0.3,
+        seed: 91,
+        ..Default::default()
+    })
+}
+
+fn config_with_batch(iterations: usize, learning_rate: f64, batch_size: usize) -> TrainerConfig {
+    TrainerConfig::from_hyper(Hyperparameters {
+        batch_size,
+        num_iterations: iterations,
+        learning_rate,
+        regularization: 0.01,
+    })
+    .with_seed(14)
+}
+
+fn config(iterations: usize, learning_rate: f64) -> TrainerConfig {
+    config_with_batch(iterations, learning_rate, 50)
+}
+
+fn train_linear_pair(data: &DenseDataset) -> (TrainedLinear, TrainedLinear) {
+    let mut ws = Workspace::new();
+    (
+        train_linear_with(data, &config(6, 0.05), &mut ws).unwrap(),
+        train_linear_with(data, &config(48, 0.05), &mut ws).unwrap(),
+    )
+}
+
+fn train_logistic_pair(data: &DenseDataset) -> (TrainedLogistic, TrainedLogistic) {
+    let mut ws = Workspace::new();
+    (
+        train_binary_logistic_with(data, &config(10, 0.3), &mut ws).unwrap(),
+        train_binary_logistic_with(data, &config(80, 0.3), &mut ws).unwrap(),
+    )
+}
+
+#[test]
+fn update_allocations_are_independent_of_iteration_count() {
+    let removed = [3usize, 57, 200, 311];
+
+    // Linear PrIU: 6 vs 48 provenance-tracked iterations.
+    let data = regression_data();
+    let (short, long) = train_linear_pair(&data);
+    let mut ws = Workspace::new();
+    // Warm-up pass over both provenances.
+    priu_update_linear_with(&data, &short.provenance, &removed, &mut ws).unwrap();
+    priu_update_linear_with(&data, &long.provenance, &removed, &mut ws).unwrap();
+    ws.reset_grow_events();
+    let allocs_short = count_allocations(|| {
+        priu_update_linear_with(&data, &short.provenance, &removed, &mut ws).unwrap();
+    });
+    let allocs_long = count_allocations(|| {
+        priu_update_linear_with(&data, &long.provenance, &removed, &mut ws).unwrap();
+    });
+    assert_eq!(
+        allocs_short, allocs_long,
+        "linear PrIU allocated per iteration ({allocs_short} vs {allocs_long} allocations \
+         for 6 vs 48 iterations)"
+    );
+    assert_eq!(ws.grow_events(), 0, "warm workspace grew during replay");
+
+    // Logistic PrIU and PrIU-opt: 10 vs 80 iterations (the opt capture's
+    // phase-1 replay span and phase-2 recursion length both scale with τ).
+    let data = classification_data();
+    let (short, long) = train_logistic_pair(&data);
+    let mut ws = Workspace::new();
+    priu_update_logistic_with(&data, &short.provenance, &removed, &mut ws).unwrap();
+    priu_update_logistic_with(&data, &long.provenance, &removed, &mut ws).unwrap();
+    let allocs_short = count_allocations(|| {
+        priu_update_logistic_with(&data, &short.provenance, &removed, &mut ws).unwrap();
+    });
+    let allocs_long = count_allocations(|| {
+        priu_update_logistic_with(&data, &long.provenance, &removed, &mut ws).unwrap();
+    });
+    assert_eq!(
+        allocs_short, allocs_long,
+        "logistic PrIU allocated per iteration ({allocs_short} vs {allocs_long})"
+    );
+
+    priu_opt_update_logistic_with(&data, &short.provenance, &removed, &mut ws).unwrap();
+    priu_opt_update_logistic_with(&data, &long.provenance, &removed, &mut ws).unwrap();
+    let allocs_short = count_allocations(|| {
+        priu_opt_update_logistic_with(&data, &short.provenance, &removed, &mut ws).unwrap();
+    });
+    let allocs_long = count_allocations(|| {
+        priu_opt_update_logistic_with(&data, &long.provenance, &removed, &mut ws).unwrap();
+    });
+    assert_eq!(
+        allocs_short, allocs_long,
+        "logistic PrIU-opt allocated per iteration ({allocs_short} vs {allocs_long})"
+    );
+
+    // Dense-draw batch derivation (4·B >= n makes `sample_indices_into`
+    // scratch over all n indices instead of the Floyd branch): the replay
+    // loop must stay allocation-free there too.
+    let data = regression_data();
+    let cfg = |iters| config_with_batch(iters, 0.05, 120);
+    let mut ws = Workspace::new();
+    let short = train_linear_with(&data, &cfg(6), &mut ws).unwrap();
+    let long = train_linear_with(&data, &cfg(48), &mut ws).unwrap();
+    let mut ws = Workspace::new();
+    priu_update_linear_with(&data, &short.provenance, &removed, &mut ws).unwrap();
+    priu_update_linear_with(&data, &long.provenance, &removed, &mut ws).unwrap();
+    let allocs_short = count_allocations(|| {
+        priu_update_linear_with(&data, &short.provenance, &removed, &mut ws).unwrap();
+    });
+    let allocs_long = count_allocations(|| {
+        priu_update_linear_with(&data, &long.provenance, &removed, &mut ws).unwrap();
+    });
+    assert_eq!(
+        allocs_short, allocs_long,
+        "dense-draw replay allocated per iteration ({allocs_short} vs {allocs_long})"
+    );
+
+    // Trainers: the GD step never grows a warm workspace, regardless of how
+    // many iterations run (capture storage allocates, the step itself not).
+    let data = regression_data();
+    let mut ws = Workspace::new();
+    train_linear_with(&data, &config(5, 0.05), &mut ws).unwrap();
+    ws.reset_grow_events();
+    train_linear_with(&data, &config(30, 0.05), &mut ws).unwrap();
+    assert_eq!(ws.grow_events(), 0, "warm workspace grew during training");
+}

@@ -76,23 +76,39 @@ impl BatchSchedule {
     /// # Panics
     /// Panics if `t >= num_iterations`.
     pub fn batch(&self, t: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        self.batch_into(t, &mut out, &mut scratch);
+        out
+    }
+
+    /// Writes the sample indices of mini-batch `t` into `out`, using
+    /// `scratch` as working storage. Both buffers are reused across calls, so
+    /// the per-iteration replay loops derive batches without allocating.
+    /// Produces exactly the indices of [`BatchSchedule::batch`].
+    ///
+    /// # Panics
+    /// Panics if `t >= num_iterations`.
+    pub fn batch_into(&self, t: usize, out: &mut Vec<usize>, scratch: &mut Vec<usize>) {
         assert!(
             t < self.num_iterations,
             "iteration {t} out of range ({} iterations)",
             self.num_iterations
         );
+        out.clear();
         if let Some(batches) = &self.explicit {
-            return batches[t].clone();
+            out.extend_from_slice(&batches[t]);
+            return;
         }
         if self.is_full_batch() {
-            return (0..self.num_samples).collect();
+            out.extend(0..self.num_samples);
+            return;
         }
-        // A distinct ChaCha stream per iteration gives random access to the
+        // A distinct stream per iteration gives random access to the
         // schedule without storing it.
         let mut rng = seeded_rng(self.seed, 0xB47C_0000 ^ t as u64);
-        let mut indices = rng.sample_indices(self.num_samples, self.batch_size);
-        indices.sort_unstable();
-        indices
+        rng.sample_indices_into(self.num_samples, self.batch_size, out, scratch);
+        out.sort_unstable();
     }
 
     /// The batch at iteration `t` with the removal set excluded, plus the

@@ -269,18 +269,36 @@ impl TruncatedGram {
     /// # Errors
     /// Returns [`LinalgError::ShapeMismatch`] if `w.len() != dim()`.
     pub fn apply(&self, w: &Vector) -> Result<Vector> {
-        if self.rank() == 0 {
-            if w.len() != self.dim() {
-                return Err(LinalgError::ShapeMismatch {
-                    op: "TruncatedGram::apply",
-                    left: (self.dim(), self.dim()),
-                    right: (w.len(), 1),
-                });
-            }
-            return Ok(Vector::zeros(self.dim()));
+        let mut out = Vector::zeros(self.dim());
+        let mut scratch = Vec::new();
+        self.apply_into(w, out.as_mut_slice(), &mut scratch)?;
+        Ok(out)
+    }
+
+    /// Applies the approximation into a caller-owned buffer, using `scratch`
+    /// (resized to the retained rank, reused across calls) for the
+    /// intermediate `V^T w` — the allocation-free variant of
+    /// [`TruncatedGram::apply`].
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `w.len() != dim()` or
+    /// `out.len() != dim()`.
+    pub fn apply_into(&self, w: &[f64], out: &mut [f64], scratch: &mut Vec<f64>) -> Result<()> {
+        if w.len() != self.dim() || out.len() != self.dim() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "TruncatedGram::apply",
+                left: (self.dim(), self.dim()),
+                right: (w.len().max(out.len()), 1),
+            });
         }
-        let vt_w = self.v.transpose_matvec(w)?;
-        self.p.matvec(&vt_w)
+        if self.rank() == 0 {
+            out.fill(0.0);
+            return Ok(());
+        }
+        scratch.clear();
+        scratch.resize(self.rank(), 0.0);
+        self.v.transpose_matvec_into(w, scratch)?;
+        self.p.matvec_into(scratch, out)
     }
 
     /// Materialises the dense approximation `P V^T` (testing / diagnostics).

@@ -1,16 +1,39 @@
 //! Dense row-major `f64` matrices.
+//!
+//! The four hot kernels (`matvec`, `transpose_matvec`, `matmul`,
+//! `weighted_gram`) are chunked through [`crate::par`] — map-style kernels
+//! write disjoint output regions per chunk, reduction-style kernels combine
+//! per-chunk partials in chunk order — so their results are bitwise
+//! reproducible for any `PRIU_THREADS`. Each also has an `_into` variant
+//! writing into a caller-owned buffer; the allocating versions delegate to
+//! those, so both spellings produce identical bits.
 
-use std::ops::{Add, Index, IndexMut, Mul, Sub};
+use std::ops::{Add, Index, IndexMut, Mul, Range, Sub};
 
-use crate::dense::vector::{dot_slices, Vector};
+use crate::dense::vector::{axpy_slices, dot_slices, Vector};
 use crate::error::{LinalgError, Result};
+use crate::par::{self, Chunks, SendPtr};
+
+/// Minimum rows per chunk, shared by every kernel: inputs under
+/// `2 * MIN_CHUNK_ROWS` rows take the inline single-chunk path that spawns
+/// nothing and allocates nothing, so mb-SGD-sized batches (≤ 511 rows)
+/// never pay parallel overhead; parallelism is reserved for the full-data
+/// kernels (opt captures, closed-form views, truncation matmuls).
+const MIN_CHUNK_ROWS: usize = 256;
+/// Chunk-count caps: map-style kernels (`matvec` / `matmul`, disjoint
+/// outputs) can fan wide; reductions (`transpose_matvec` / `weighted_gram`)
+/// are capped tighter because each extra chunk costs an `m`- or `m²`-sized
+/// partial buffer in the combine step.
+const MAP_MAX_CHUNKS: usize = 64;
+const TMV_MAX_CHUNKS: usize = 16;
+const GRAM_MAX_CHUNKS: usize = 8;
 
 /// A dense, row-major matrix of `f64` values.
 ///
 /// Row-major storage matches the access pattern of the PrIU update rules,
 /// where training samples are rows of the feature matrix `X` and the hot
 /// kernels are row-dot-vector products.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -127,6 +150,12 @@ impl Matrix {
         &self.data
     }
 
+    /// Capacity of the backing allocation in `f64` values (buffer-reuse
+    /// accounting for workspace callers).
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
     /// Mutable raw row-major data.
     pub fn as_mut_slice(&mut self) -> &mut [f64] {
         &mut self.data
@@ -190,15 +219,34 @@ impl Matrix {
     /// # Panics
     /// Panics if any index is out of bounds.
     pub fn select_rows(&self, indices: &[usize]) -> Matrix {
-        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        let mut out = Matrix::zeros(0, 0);
+        self.select_rows_into(indices, &mut out);
+        out
+    }
+
+    /// Writes the selected rows (in order) into `out`, reshaping it and
+    /// reusing its allocation — the workspace counterpart of
+    /// [`Matrix::select_rows`] used by the per-iteration hot path.
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn select_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        out.rows = indices.len();
+        out.cols = self.cols;
+        out.data.clear();
+        out.data.reserve(indices.len() * self.cols);
         for &i in indices {
-            data.extend_from_slice(self.row(i));
+            out.data.extend_from_slice(self.row(i));
         }
-        Matrix {
-            rows: indices.len(),
-            cols: self.cols,
-            data,
-        }
+    }
+
+    /// Reshapes the matrix to `rows x cols` with every entry zero, reusing
+    /// the existing allocation when its capacity suffices.
+    pub fn reshape_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
     }
 
     /// Returns the submatrix consisting of the first `k` columns.
@@ -282,7 +330,20 @@ impl Matrix {
     ///
     /// # Errors
     /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != ncols()`.
-    pub fn matvec(&self, x: &Vector) -> Result<Vector> {
+    pub fn matvec(&self, x: &[f64]) -> Result<Vector> {
+        let mut out = Vector::zeros(self.rows);
+        self.matvec_into(x, out.as_mut_slice())?;
+        Ok(out)
+    }
+
+    /// Matrix-vector product into a caller-owned buffer (`out = self * x`).
+    /// Row-parallel with 4-row register blocking; bitwise identical to
+    /// [`Matrix::matvec`] for any thread count.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != ncols()` or
+    /// `out.len() != nrows()`.
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) -> Result<()> {
         if x.len() != self.cols {
             return Err(LinalgError::ShapeMismatch {
                 op: "Matrix::matvec",
@@ -290,18 +351,47 @@ impl Matrix {
                 right: (x.len(), 1),
             });
         }
-        let mut out = Vec::with_capacity(self.rows);
-        for i in 0..self.rows {
-            out.push(dot_slices(self.row(i), x.as_slice()));
+        if out.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "Matrix::matvec_into(out)",
+                left: self.shape(),
+                right: (out.len(), 1),
+            });
         }
-        Ok(Vector::from_vec(out))
+        let chunks = Chunks::new(self.rows, MIN_CHUNK_ROWS, MAP_MAX_CHUNKS);
+        if chunks.count() <= 1 {
+            matvec_rows(self, 0..self.rows, x, out);
+            return Ok(());
+        }
+        let ptr = SendPtr(out.as_mut_ptr());
+        par::run_chunks(chunks.count(), |c| {
+            let range = chunks.range(c);
+            // SAFETY: chunk output regions are disjoint by construction.
+            let chunk_out = unsafe { ptr.slice(range.start, range.len()) };
+            matvec_rows(self, range, x, chunk_out);
+        });
+        Ok(())
     }
 
     /// Transposed matrix-vector product `self^T * x`.
     ///
     /// # Errors
     /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != nrows()`.
-    pub fn transpose_matvec(&self, x: &Vector) -> Result<Vector> {
+    pub fn transpose_matvec(&self, x: &[f64]) -> Result<Vector> {
+        let mut out = Vector::zeros(self.cols);
+        self.transpose_matvec_into(x, out.as_mut_slice())?;
+        Ok(out)
+    }
+
+    /// Transposed matrix-vector product into a caller-owned buffer
+    /// (`out = self^T * x`, overwritten). Chunked over rows with a
+    /// chunk-ordered reduction, so results are bitwise identical for any
+    /// thread count.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != nrows()` or
+    /// `out.len() != ncols()`.
+    pub fn transpose_matvec_into(&self, x: &[f64], out: &mut [f64]) -> Result<()> {
         if x.len() != self.rows {
             return Err(LinalgError::ShapeMismatch {
                 op: "Matrix::transpose_matvec",
@@ -309,18 +399,33 @@ impl Matrix {
                 right: (x.len(), 1),
             });
         }
-        let mut out = vec![0.0; self.cols];
-        for i in 0..self.rows {
-            let xi = x[i];
-            if xi == 0.0 {
-                continue;
-            }
-            let row = self.row(i);
-            for j in 0..self.cols {
-                out[j] += xi * row[j];
-            }
+        if out.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "Matrix::transpose_matvec_into(out)",
+                left: (self.cols, self.rows),
+                right: (out.len(), 1),
+            });
         }
-        Ok(Vector::from_vec(out))
+        out.fill(0.0);
+        let chunks = Chunks::new(self.rows, MIN_CHUNK_ROWS, TMV_MAX_CHUNKS);
+        if chunks.count() <= 1 {
+            transpose_matvec_rows(self, 0..self.rows, x, out);
+            return Ok(());
+        }
+        let m = self.cols;
+        par::with_scratch(chunks.count() * m, |partials| {
+            let ptr = SendPtr(partials.as_mut_ptr());
+            par::run_chunks(chunks.count(), |c| {
+                // SAFETY: one disjoint m-sized partial per chunk.
+                let partial = unsafe { ptr.slice(c * m, m) };
+                transpose_matvec_rows(self, chunks.range(c), x, partial);
+            });
+            // Deterministic reduction: combine partials in chunk order.
+            for c in 0..chunks.count() {
+                axpy_slices(out, 1.0, &partials[c * m..(c + 1) * m]);
+            }
+        });
+        Ok(())
     }
 
     /// Matrix-matrix product `self * other`.
@@ -328,6 +433,19 @@ impl Matrix {
     /// # Errors
     /// Returns [`LinalgError::ShapeMismatch`] if inner dimensions differ.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix-matrix product into a caller-owned matrix, which is reshaped
+    /// to `nrows x other.ncols()` reusing its allocation. Row-parallel
+    /// (each output row is produced by exactly one chunk), i-k-j inner
+    /// order; bitwise identical for any thread count.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if inner dimensions differ.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) -> Result<()> {
         if self.cols != other.rows {
             return Err(LinalgError::ShapeMismatch {
                 op: "Matrix::matmul",
@@ -335,23 +453,21 @@ impl Matrix {
                 right: other.shape(),
             });
         }
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        // i-k-j loop order: streams through `other` row-wise, which is cache
-        // friendly for row-major storage.
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for (k, &aik) in a_row.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(k);
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for j in 0..other.cols {
-                    out_row[j] += aik * b_row[j];
-                }
-            }
+        out.reshape_zeroed(self.rows, other.cols);
+        let chunks = Chunks::new(self.rows, MIN_CHUNK_ROWS, MAP_MAX_CHUNKS);
+        if chunks.count() <= 1 {
+            matmul_rows(self, other, 0..self.rows, &mut out.data);
+            return Ok(());
         }
-        Ok(out)
+        let width = other.cols;
+        let ptr = SendPtr(out.data.as_mut_ptr());
+        par::run_chunks(chunks.count(), |c| {
+            let range = chunks.range(c);
+            // SAFETY: disjoint output row blocks per chunk.
+            let block = unsafe { ptr.slice(range.start * width, range.len() * width) };
+            matmul_rows(self, other, range, block);
+        });
+        Ok(())
     }
 
     /// Gram matrix `self^T * self` (an `ncols x ncols` symmetric matrix).
@@ -367,28 +483,41 @@ impl Matrix {
     /// # Panics
     /// Panics if `w` is provided with a length different from `nrows()`.
     pub fn weighted_gram(&self, w: Option<&[f64]>) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.weighted_gram_into(w, &mut out);
+        out
+    }
+
+    /// Weighted Gram matrix into a caller-owned matrix, which is reshaped to
+    /// `ncols x ncols` reusing its allocation. Chunked over rows with a
+    /// chunk-ordered reduction over upper-triangle partials, so results are
+    /// bitwise identical for any thread count.
+    ///
+    /// # Panics
+    /// Panics if `w` is provided with a length different from `nrows()`.
+    pub fn weighted_gram_into(&self, w: Option<&[f64]>, out: &mut Matrix) {
         if let Some(w) = w {
             assert_eq!(w.len(), self.rows, "weight length must equal row count");
         }
         let m = self.cols;
-        let mut out = Matrix::zeros(m, m);
-        for i in 0..self.rows {
-            let wi = w.map_or(1.0, |w| w[i]);
-            if wi == 0.0 {
-                continue;
-            }
-            let row = self.row(i);
-            // Accumulate only the upper triangle, mirror afterwards.
-            for a in 0..m {
-                let va = wi * row[a];
-                if va == 0.0 {
-                    continue;
+        out.reshape_zeroed(m, m);
+        let chunks = Chunks::new(self.rows, MIN_CHUNK_ROWS, GRAM_MAX_CHUNKS);
+        if chunks.count() <= 1 {
+            weighted_gram_rows(self, 0..self.rows, w, &mut out.data);
+        } else {
+            par::with_scratch(chunks.count() * m * m, |partials| {
+                let ptr = SendPtr(partials.as_mut_ptr());
+                par::run_chunks(chunks.count(), |c| {
+                    // SAFETY: one disjoint m*m partial per chunk.
+                    let partial = unsafe { ptr.slice(c * m * m, m * m) };
+                    weighted_gram_rows(self, chunks.range(c), w, partial);
+                });
+                // Deterministic reduction in chunk order (the strictly lower
+                // triangles are all zero until mirrored below).
+                for c in 0..chunks.count() {
+                    axpy_slices(&mut out.data, 1.0, &partials[c * m * m..(c + 1) * m * m]);
                 }
-                let out_row = &mut out.data[a * m..(a + 1) * m];
-                for b in a..m {
-                    out_row[b] += va * row[b];
-                }
-            }
+            });
         }
         // Mirror upper triangle to lower triangle.
         for a in 0..m {
@@ -396,7 +525,6 @@ impl Matrix {
                 out.data[b * m + a] = out.data[a * m + b];
             }
         }
-        out
     }
 
     /// Rank-one update `self += alpha * x * x^T`.
@@ -453,6 +581,104 @@ impl Matrix {
             }
         }
         Ok(worst)
+    }
+}
+
+/// `out[o] = a.row(rows.start + o) · x` with 4-row register blocking that
+/// shares the loads of `x`. Each row's dot product uses the exact 4-lane
+/// accumulator scheme of [`dot_slices`], so blocking never changes bits.
+fn matvec_rows(a: &Matrix, rows: Range<usize>, x: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(out.len(), rows.len());
+    let mut i = rows.start;
+    let mut o = 0;
+    while i + 4 <= rows.end {
+        let block = dot4(a.row(i), a.row(i + 1), a.row(i + 2), a.row(i + 3), x);
+        out[o..o + 4].copy_from_slice(&block);
+        i += 4;
+        o += 4;
+    }
+    while i < rows.end {
+        out[o] = dot_slices(a.row(i), x);
+        i += 1;
+        o += 1;
+    }
+}
+
+/// Four simultaneous dot products against a shared `x`. Each result uses the
+/// same lane structure and summation order as [`dot_slices`].
+fn dot4(r0: &[f64], r1: &[f64], r2: &[f64], r3: &[f64], x: &[f64]) -> [f64; 4] {
+    let len = x.len();
+    let mut acc = [[0.0_f64; 4]; 4]; // acc[row][lane]
+    let chunks = len / 4;
+    for c in 0..chunks {
+        let j = c * 4;
+        for lane in 0..4 {
+            let xj = x[j + lane];
+            acc[0][lane] += r0[j + lane] * xj;
+            acc[1][lane] += r1[j + lane] * xj;
+            acc[2][lane] += r2[j + lane] * xj;
+            acc[3][lane] += r3[j + lane] * xj;
+        }
+    }
+    let mut out = [
+        ((acc[0][0] + acc[0][1]) + acc[0][2]) + acc[0][3],
+        ((acc[1][0] + acc[1][1]) + acc[1][2]) + acc[1][3],
+        ((acc[2][0] + acc[2][1]) + acc[2][2]) + acc[2][3],
+        ((acc[3][0] + acc[3][1]) + acc[3][2]) + acc[3][3],
+    ];
+    for j in chunks * 4..len {
+        out[0] += r0[j] * x[j];
+        out[1] += r1[j] * x[j];
+        out[2] += r2[j] * x[j];
+        out[3] += r3[j] * x[j];
+    }
+    out
+}
+
+/// Accumulates `Σ_{i ∈ rows} x[i] · a.row(i)` into `out` (not cleared).
+fn transpose_matvec_rows(a: &Matrix, rows: Range<usize>, x: &[f64], out: &mut [f64]) {
+    for i in rows {
+        let xi = x[i];
+        if xi == 0.0 {
+            continue;
+        }
+        axpy_slices(out, xi, a.row(i));
+    }
+}
+
+/// `out` rows `rows` of `a * b`, i-k-j order with an unrolled j-loop.
+/// `out_block` holds `rows.len() * b.ncols()` values, pre-zeroed.
+fn matmul_rows(a: &Matrix, b: &Matrix, rows: Range<usize>, out_block: &mut [f64]) {
+    let width = b.cols;
+    for (local, i) in rows.enumerate() {
+        let a_row = a.row(i);
+        let out_row = &mut out_block[local * width..(local + 1) * width];
+        for (k, &aik) in a_row.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            axpy_slices(out_row, aik, b.row(k));
+        }
+    }
+}
+
+/// Accumulates the upper triangle of `Σ_{i ∈ rows} w_i x_i x_iᵀ` into the
+/// row-major `m x m` buffer `out` (not cleared, lower triangle untouched).
+fn weighted_gram_rows(a: &Matrix, rows: Range<usize>, w: Option<&[f64]>, out: &mut [f64]) {
+    let m = a.cols;
+    for i in rows {
+        let wi = w.map_or(1.0, |w| w[i]);
+        if wi == 0.0 {
+            continue;
+        }
+        let row = a.row(i);
+        for p in 0..m {
+            let vp = wi * row[p];
+            if vp == 0.0 {
+                continue;
+            }
+            axpy_slices(&mut out[p * m + p..(p + 1) * m], vp, &row[p..]);
+        }
     }
 }
 

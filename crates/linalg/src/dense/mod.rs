@@ -6,4 +6,4 @@ pub mod ops;
 pub mod vector;
 
 pub use matrix::Matrix;
-pub use vector::Vector;
+pub use vector::{axpy_slices, Vector};

@@ -137,11 +137,12 @@ impl Vector {
         out
     }
 
-    /// In-place `self += alpha * other` (BLAS `axpy`).
+    /// In-place `self += alpha * other` (BLAS `axpy`). Accepts any slice;
+    /// `&Vector` arguments coerce.
     ///
     /// # Errors
     /// Returns [`LinalgError::ShapeMismatch`] if lengths differ.
-    pub fn axpy(&mut self, alpha: f64, other: &Vector) -> Result<()> {
+    pub fn axpy(&mut self, alpha: f64, other: &[f64]) -> Result<()> {
         if self.len() != other.len() {
             return Err(LinalgError::ShapeMismatch {
                 op: "Vector::axpy",
@@ -149,9 +150,7 @@ impl Vector {
                 right: (other.len(), 1),
             });
         }
-        for (x, y) in self.data.iter_mut().zip(other.data.iter()) {
-            *x += alpha * y;
-        }
+        axpy_slices(&mut self.data, alpha, other);
         Ok(())
     }
 
@@ -238,6 +237,32 @@ impl Vector {
             .chunks(chunk)
             .map(|c| Vector::from_vec(c.to_vec()))
             .collect())
+    }
+}
+
+/// `out += alpha * src` over equal-length slices, 4-way unrolled. The
+/// per-element accumulation order matches the naive loop (elements are
+/// independent), so unrolling never changes bits.
+///
+/// # Panics
+/// Panics (in debug builds) if the lengths differ; release builds truncate
+/// to the shorter slice.
+pub fn axpy_slices(out: &mut [f64], alpha: f64, src: &[f64]) {
+    debug_assert_eq!(out.len(), src.len());
+    let mut out_chunks = out.chunks_exact_mut(4);
+    let mut src_chunks = src.chunks_exact(4);
+    for (o, s) in out_chunks.by_ref().zip(src_chunks.by_ref()) {
+        o[0] += alpha * s[0];
+        o[1] += alpha * s[1];
+        o[2] += alpha * s[2];
+        o[3] += alpha * s[3];
+    }
+    for (o, s) in out_chunks
+        .into_remainder()
+        .iter_mut()
+        .zip(src_chunks.remainder())
+    {
+        *o += alpha * s;
     }
 }
 

@@ -20,6 +20,10 @@
 //!   what PrIU-opt builds on (§5.2, Eq. 17–18).
 //! * [`stats`] — vector comparison metrics (L2 distance, cosine similarity,
 //!   sign flips) used by the evaluation's model-comparison section (Q4).
+//! * [`par`] — the performance layer: a deterministic chunked scoped-thread
+//!   pool (`PRIU_THREADS`) behind the hot kernels. Every kernel also has an
+//!   allocation-free `_into` variant writing into caller-owned buffers, and
+//!   all results are bitwise reproducible for any thread count.
 //!
 //! All numerics are `f64`. The crate is deliberately dependency-free apart
 //! from the workspace's own `priu-rng` (random test matrices, randomized
@@ -30,6 +34,7 @@
 
 pub mod dense;
 pub mod error;
+pub mod par;
 pub mod sparse;
 pub mod stats;
 
@@ -40,6 +45,6 @@ pub mod decomposition {
 }
 
 pub use dense::matrix::Matrix;
-pub use dense::vector::Vector;
+pub use dense::vector::{axpy_slices, Vector};
 pub use error::{LinalgError, Result};
 pub use sparse::csr::CsrMatrix;

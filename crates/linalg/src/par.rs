@@ -1,0 +1,275 @@
+//! Deterministic chunked parallelism for the dense kernels.
+//!
+//! The hot PrIU kernels (`matvec`, `transpose_matvec`, `matmul`,
+//! `weighted_gram`) split their row range into *chunks whose boundaries
+//! depend only on the problem size*, never on the thread count. Map-style
+//! kernels write disjoint output regions per chunk; reduction-style kernels
+//! accumulate each chunk into its own partial buffer and the partials are
+//! combined serially in ascending chunk order. Together these two rules make
+//! every kernel **bitwise reproducible**: the same input produces the same
+//! bits whether `PRIU_THREADS` is 1, 4 or 64, because the floating-point
+//! summation tree is a function of the input shape alone.
+//!
+//! Execution uses `std::thread::scope` — a small chunked pool spun up per
+//! kernel call, with an atomic chunk cursor for work stealing. Calls whose
+//! chunk decomposition collapses to a single chunk (small batches — the
+//! common case inside mb-SGD iterations) run inline on the calling thread
+//! and never spawn, so the per-iteration trainer/update hot path stays
+//! allocation-free.
+//!
+//! Thread count resolution order:
+//! 1. an active [`with_threads`] override on the calling thread (used by the
+//!    parity tests and the kernel benches to pin a count per call-site);
+//! 2. the `PRIU_THREADS` environment variable (read once per process);
+//! 3. [`std::thread::available_parallelism`].
+
+use std::cell::{Cell, RefCell};
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Resolves the process-wide thread count from `PRIU_THREADS` (falling back
+/// to the machine's available parallelism), caching the answer.
+pub fn max_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("PRIU_THREADS")
+            .ok()
+            .and_then(|value| value.trim().parse::<usize>().ok())
+            .filter(|&threads| threads >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+thread_local! {
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The thread count kernels on the calling thread will use right now: the
+/// innermost [`with_threads`] override, or [`max_threads`].
+pub fn current_threads() -> usize {
+    OVERRIDE.with(|cell| cell.get()).unwrap_or_else(max_threads)
+}
+
+/// Runs `f` with the kernel thread count pinned to `threads` on the calling
+/// thread (nestable; restored afterwards, also on panic). Changing the
+/// thread count never changes results — kernels are bitwise reproducible —
+/// only how many workers execute the fixed chunk decomposition.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|cell| cell.set(self.0));
+        }
+    }
+    let _restore = Restore(OVERRIDE.with(|cell| cell.replace(Some(threads.max(1)))));
+    f()
+}
+
+/// A chunk decomposition of `0..n` that depends only on `(n, min_chunk,
+/// max_chunks)` — never on the thread count — so the reduction order of
+/// chunked kernels is a function of the input shape alone.
+#[derive(Debug, Clone, Copy)]
+pub struct Chunks {
+    n: usize,
+    chunk: usize,
+    count: usize,
+}
+
+impl Chunks {
+    /// Decomposes `0..n` into at most `max_chunks` chunks of at least
+    /// `min_chunk` items each (only the final chunk, which absorbs the
+    /// remainder, may be smaller). In particular `n < 2·min_chunk` always
+    /// yields a single chunk — the inline, spawn-free path.
+    pub fn new(n: usize, min_chunk: usize, max_chunks: usize) -> Self {
+        let min_chunk = min_chunk.max(1);
+        let max_chunks = max_chunks.max(1);
+        if n == 0 {
+            return Self {
+                n,
+                chunk: min_chunk,
+                count: 0,
+            };
+        }
+        // Floor division: never split below `min_chunk` items per chunk.
+        let by_size = (n / min_chunk).max(1);
+        let count = by_size.min(max_chunks);
+        let chunk = n.div_ceil(count);
+        Self {
+            n,
+            chunk,
+            count: n.div_ceil(chunk),
+        }
+    }
+
+    /// Number of chunks.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The item range of chunk `c`.
+    ///
+    /// # Panics
+    /// Panics if `c >= count()`.
+    pub fn range(&self, c: usize) -> Range<usize> {
+        assert!(
+            c < self.count,
+            "chunk index {c} out of range ({})",
+            self.count
+        );
+        let start = c * self.chunk;
+        start..((start + self.chunk).min(self.n))
+    }
+}
+
+/// Runs `f(chunk_index)` for every chunk in `0..num_chunks`, using up to
+/// [`current_threads`] scoped workers with an atomic work-stealing cursor.
+/// `f` must only touch data disjoint per chunk; the order in which chunks
+/// *execute* is unspecified, so deterministic reductions must combine
+/// per-chunk partials in chunk order afterwards.
+pub fn run_chunks<F>(num_chunks: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let threads = current_threads().min(num_chunks);
+    if threads <= 1 {
+        for c in 0..num_chunks {
+            f(c);
+        }
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    let work = || loop {
+        let c = cursor.fetch_add(1, Ordering::Relaxed);
+        if c >= num_chunks {
+            break;
+        }
+        f(c);
+    };
+    std::thread::scope(|scope| {
+        for _ in 1..threads {
+            scope.spawn(work);
+        }
+        work();
+    });
+}
+
+thread_local! {
+    static SCRATCH_POOL: RefCell<Vec<Vec<f64>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Lends the calling thread a zeroed scratch buffer of exactly `len` values
+/// from a per-thread pool (so steady-state kernel calls allocate nothing),
+/// returning it to the pool afterwards. Re-entrant: nested kernels each get
+/// their own buffer.
+pub fn with_scratch<R>(len: usize, f: impl FnOnce(&mut [f64]) -> R) -> R {
+    let mut buf = SCRATCH_POOL
+        .with(|pool| pool.borrow_mut().pop())
+        .unwrap_or_default();
+    buf.clear();
+    buf.resize(len, 0.0);
+    let result = f(&mut buf);
+    SCRATCH_POOL.with(|pool| pool.borrow_mut().push(buf));
+    result
+}
+
+/// A raw mutable pointer that may cross thread boundaries. Used to hand each
+/// chunk worker its disjoint output or partial-buffer region; safety rests on
+/// the chunk decomposition making those regions non-overlapping.
+pub(crate) struct SendPtr(pub *mut f64);
+
+// SAFETY: the pointer is only dereferenced through disjoint per-chunk
+// regions computed from a `Chunks` decomposition.
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// The mutable sub-slice `[offset, offset + len)`.
+    ///
+    /// # Safety
+    /// The caller must guarantee the region is in bounds and not aliased by
+    /// any other live reference for the duration of the borrow.
+    // The &self → &mut lifetime laundering is the point of this wrapper:
+    // each chunk worker derives a unique, disjoint region from the shared
+    // pointer.
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn slice(&self, offset: usize, len: usize) -> &mut [f64] {
+        std::slice::from_raw_parts_mut(self.0.add(offset), len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_decomposition_depends_only_on_n() {
+        let c = Chunks::new(1000, 128, 16);
+        assert_eq!(c.count(), 7);
+        let mut covered = 0;
+        for i in 0..c.count() {
+            let r = c.range(i);
+            assert_eq!(r.start, covered);
+            covered = r.end;
+            // The min-chunk contract: only the final chunk may be smaller.
+            if i + 1 < c.count() {
+                assert!(r.len() >= 128);
+            }
+        }
+        assert_eq!(covered, 1000);
+
+        // Inputs below twice the minimum collapse to a single chunk (the
+        // inline, spawn-free path).
+        assert_eq!(Chunks::new(100, 128, 16).count(), 1);
+        assert_eq!(Chunks::new(255, 128, 16).count(), 1);
+        assert_eq!(Chunks::new(257, 256, 16).count(), 1);
+        assert_eq!(Chunks::new(256, 128, 16).count(), 2);
+        assert_eq!(Chunks::new(0, 128, 16).count(), 0);
+
+        // The cap bounds the chunk count for huge inputs.
+        assert_eq!(Chunks::new(1_000_000, 128, 16).count(), 16);
+    }
+
+    #[test]
+    fn run_chunks_visits_every_chunk_exactly_once() {
+        for threads in [1usize, 4] {
+            let hits: Vec<AtomicUsize> = (0..23).map(|_| AtomicUsize::new(0)).collect();
+            with_threads(threads, || {
+                run_chunks(hits.len(), |c| {
+                    hits[c].fetch_add(1, Ordering::Relaxed);
+                });
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn with_threads_nests_and_restores() {
+        let outer = current_threads();
+        with_threads(3, || {
+            assert_eq!(current_threads(), 3);
+            with_threads(7, || assert_eq!(current_threads(), 7));
+            assert_eq!(current_threads(), 3);
+        });
+        assert_eq!(current_threads(), outer);
+    }
+
+    #[test]
+    fn scratch_is_zeroed_and_reentrant() {
+        with_scratch(8, |a| {
+            assert!(a.iter().all(|&x| x == 0.0));
+            a[0] = 42.0;
+            with_scratch(4, |b| {
+                assert!(b.iter().all(|&x| x == 0.0));
+                b[0] = 7.0;
+            });
+            assert_eq!(a[0], 42.0);
+        });
+        // Buffers return to the pool zeroed on next borrow.
+        with_scratch(8, |a| assert!(a.iter().all(|&x| x == 0.0)));
+    }
+}

@@ -162,7 +162,7 @@ impl CsrMatrix {
     ///
     /// # Errors
     /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != ncols()`.
-    pub fn row_dot(&self, i: usize, x: &Vector) -> Result<f64> {
+    pub fn row_dot(&self, i: usize, x: &[f64]) -> Result<f64> {
         if x.len() != self.cols {
             return Err(LinalgError::ShapeMismatch {
                 op: "CsrMatrix::row_dot",
@@ -178,7 +178,7 @@ impl CsrMatrix {
     ///
     /// # Errors
     /// Returns [`LinalgError::ShapeMismatch`] if `acc.len() != ncols()`.
-    pub fn scatter_row(&self, i: usize, alpha: f64, acc: &mut Vector) -> Result<()> {
+    pub fn scatter_row(&self, i: usize, alpha: f64, acc: &mut [f64]) -> Result<()> {
         if acc.len() != self.cols {
             return Err(LinalgError::ShapeMismatch {
                 op: "CsrMatrix::scatter_row",

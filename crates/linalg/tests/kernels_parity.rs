@@ -1,0 +1,213 @@
+//! Property suite for the performance layer: every `_into` kernel variant
+//! must match its allocating counterpart bitwise, the unrolled/blocked
+//! kernels must match straightforward reference implementations numerically,
+//! and every kernel must be **bitwise identical** across thread counts
+//! (`PRIU_THREADS ∈ {1, 4}` pinned per call via `par::with_threads`).
+//!
+//! Shapes are swept over a deterministic seed-per-case grid (the workspace
+//! convention replacing proptest) including sizes small enough to stay on
+//! the single-chunk inline path and large enough to exercise multi-chunk
+//! parallel reductions.
+
+use priu_linalg::par;
+use priu_linalg::{Matrix, Vector};
+use priu_rng::Rng64;
+
+/// (rows, cols) grid: single-chunk, boundary and multi-chunk shapes, with
+/// non-multiples of the unroll width everywhere.
+const SHAPES: [(usize, usize); 6] = [(1, 1), (7, 5), (64, 33), (257, 19), (600, 41), (1100, 103)];
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = Rng64::from_seed(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.uniform(-2.0, 2.0))
+}
+
+fn random_vec(len: usize, seed: u64) -> Vec<f64> {
+    let mut rng = Rng64::from_seed(seed);
+    (0..len).map(|_| rng.uniform(-2.0, 2.0)).collect()
+}
+
+/// Naive reference kernels — no unrolling, no chunking.
+mod reference {
+    use priu_linalg::Matrix;
+
+    pub fn matvec(a: &Matrix, x: &[f64]) -> Vec<f64> {
+        (0..a.nrows())
+            .map(|i| a.row(i).iter().zip(x).map(|(r, v)| r * v).sum())
+            .collect()
+    }
+
+    pub fn transpose_matvec(a: &Matrix, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; a.ncols()];
+        for (i, &xi) in x.iter().enumerate() {
+            for (j, &v) in a.row(i).iter().enumerate() {
+                out[j] += xi * v;
+            }
+        }
+        out
+    }
+
+    pub fn weighted_gram(a: &Matrix, w: Option<&[f64]>) -> Matrix {
+        let m = a.ncols();
+        let mut out = Matrix::zeros(m, m);
+        for i in 0..a.nrows() {
+            let wi = w.map_or(1.0, |w| w[i]);
+            let row = a.row(i);
+            for p in 0..m {
+                for q in 0..m {
+                    out[(p, q)] += wi * row[p] * row[q];
+                }
+            }
+        }
+        out
+    }
+
+    pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.nrows(), b.ncols());
+        for i in 0..a.nrows() {
+            for j in 0..b.ncols() {
+                let mut acc = 0.0;
+                for k in 0..a.ncols() {
+                    acc += a[(i, k)] * b[(k, j)];
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        out
+    }
+}
+
+fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .fold(0.0_f64, |acc, (x, y)| acc.max((x - y).abs()))
+}
+
+#[test]
+fn into_variants_match_allocating_counterparts_bitwise() {
+    for (case, &(n, m)) in SHAPES.iter().enumerate() {
+        let seed = 0xA0 + case as u64;
+        let a = random_matrix(n, m, seed);
+        let x = random_vec(m, seed ^ 1);
+        let t = random_vec(n, seed ^ 2);
+        let w = random_vec(n, seed ^ 3);
+        let b = random_matrix(m, (case % 3) + 1, seed ^ 4);
+
+        let mut out_n = vec![0.0; n];
+        a.matvec_into(&x, &mut out_n).unwrap();
+        assert_eq!(out_n, a.matvec(&x).unwrap().into_vec(), "matvec {n}x{m}");
+
+        let mut out_m = vec![0.0; m];
+        a.transpose_matvec_into(&t, &mut out_m).unwrap();
+        assert_eq!(
+            out_m,
+            a.transpose_matvec(&t).unwrap().into_vec(),
+            "transpose_matvec {n}x{m}"
+        );
+
+        let mut gram = Matrix::zeros(0, 0);
+        a.weighted_gram_into(Some(&w), &mut gram);
+        assert_eq!(gram, a.weighted_gram(Some(&w)), "weighted_gram {n}x{m}");
+
+        let mut prod = Matrix::zeros(0, 0);
+        a.matmul_into(&b, &mut prod).unwrap();
+        assert_eq!(prod, a.matmul(&b).unwrap(), "matmul {n}x{m}");
+    }
+}
+
+#[test]
+fn kernels_match_naive_references_numerically() {
+    for (case, &(n, m)) in SHAPES.iter().enumerate() {
+        let seed = 0xB0 + case as u64;
+        let a = random_matrix(n, m, seed);
+        let x = random_vec(m, seed ^ 1);
+        let t = random_vec(n, seed ^ 2);
+        let w = random_vec(n, seed ^ 3);
+        let b = random_matrix(m, 8, seed ^ 4);
+        // Chunked/unrolled summation reassociates, so compare with a
+        // tolerance scaled to the reduction length.
+        let tol = 1e-12 * (n.max(m) as f64);
+
+        assert!(max_abs_diff(&a.matvec(&x).unwrap(), &reference::matvec(&a, &x)) < tol);
+        assert!(
+            max_abs_diff(
+                &a.transpose_matvec(&t).unwrap(),
+                &reference::transpose_matvec(&a, &t)
+            ) < tol
+        );
+        let gram = a.weighted_gram(Some(&w));
+        let gram_ref = reference::weighted_gram(&a, Some(&w));
+        assert!(max_abs_diff(gram.as_slice(), gram_ref.as_slice()) < tol);
+        let prod = a.matmul(&b).unwrap();
+        let prod_ref = reference::matmul(&a, &b);
+        assert!(max_abs_diff(prod.as_slice(), prod_ref.as_slice()) < tol);
+    }
+}
+
+#[test]
+fn results_are_bitwise_identical_across_thread_counts() {
+    for (case, &(n, m)) in SHAPES.iter().enumerate() {
+        let seed = 0xC0 + case as u64;
+        let a = random_matrix(n, m, seed);
+        let x = random_vec(m, seed ^ 1);
+        let t = random_vec(n, seed ^ 2);
+        let w = random_vec(n, seed ^ 3);
+        let b = random_matrix(m, 16, seed ^ 4);
+
+        let serial = par::with_threads(1, || {
+            (
+                a.matvec(&x).unwrap(),
+                a.transpose_matvec(&t).unwrap(),
+                a.weighted_gram(Some(&w)),
+                a.matmul(&b).unwrap(),
+            )
+        });
+        let parallel = par::with_threads(4, || {
+            (
+                a.matvec(&x).unwrap(),
+                a.transpose_matvec(&t).unwrap(),
+                a.weighted_gram(Some(&w)),
+                a.matmul(&b).unwrap(),
+            )
+        });
+        // PartialEq on f64 containers is exact equality — the determinism
+        // guarantee is bitwise, not approximate.
+        assert_eq!(serial.0, parallel.0, "matvec {n}x{m}");
+        assert_eq!(serial.1, parallel.1, "transpose_matvec {n}x{m}");
+        assert_eq!(serial.2, parallel.2, "weighted_gram {n}x{m}");
+        assert_eq!(serial.3, parallel.3, "matmul {n}x{m}");
+    }
+}
+
+#[test]
+fn unweighted_gram_equals_weighted_gram_with_unit_weights() {
+    let a = random_matrix(300, 21, 0xD0);
+    let ones = vec![1.0; 300];
+    assert_eq!(a.gram(), a.weighted_gram(Some(&ones)));
+}
+
+#[test]
+fn truncated_apply_into_matches_apply() {
+    use priu_linalg::decomposition::{GramFactor, TruncationMethod};
+    let a = random_matrix(40, 12, 0xE0);
+    let t = GramFactor::unweighted(a)
+        .truncate(6, TruncationMethod::Exact)
+        .unwrap();
+    let w = Vector::from_vec(random_vec(12, 0xE1));
+    let via_apply = t.apply(&w).unwrap();
+    let mut out = vec![0.0; 12];
+    let mut scratch = Vec::new();
+    t.apply_into(&w, &mut out, &mut scratch).unwrap();
+    assert_eq!(out, via_apply.into_vec());
+}
+
+#[test]
+fn into_variants_report_shape_mismatches() {
+    let a = random_matrix(6, 4, 0xF0);
+    assert!(a.matvec_into(&[0.0; 3], &mut [0.0; 6]).is_err());
+    assert!(a.matvec_into(&[0.0; 4], &mut [0.0; 5]).is_err());
+    assert!(a.transpose_matvec_into(&[0.0; 5], &mut [0.0; 4]).is_err());
+    assert!(a.transpose_matvec_into(&[0.0; 6], &mut [0.0; 3]).is_err());
+    let mut out = Matrix::zeros(0, 0);
+    assert!(a.matmul_into(&random_matrix(5, 2, 0xF1), &mut out).is_err());
+}

@@ -116,35 +116,54 @@ impl Rng64 {
     /// # Panics
     /// Panics if `k > n`.
     pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        self.sample_indices_into(n, k, &mut out, &mut scratch);
+        out
+    }
+
+    /// Like [`Rng64::sample_indices`], writing the draw into `out` and using
+    /// `scratch` as working storage — both buffers are reused across calls,
+    /// so a warmed caller allocates nothing. Draws identical indices to
+    /// [`Rng64::sample_indices`] for the same generator state.
+    ///
+    /// # Panics
+    /// Panics if `k > n`.
+    pub fn sample_indices_into(
+        &mut self,
+        n: usize,
+        k: usize,
+        out: &mut Vec<usize>,
+        scratch: &mut Vec<usize>,
+    ) {
         assert!(k <= n, "cannot draw {k} distinct indices from [0, {n})");
+        out.clear();
+        scratch.clear();
         if k == 0 {
-            return Vec::new();
+            return;
         }
         if k * 4 >= n {
             // Dense draw: partial shuffle of the full index range.
-            let mut indices: Vec<usize> = (0..n).collect();
+            scratch.extend(0..n);
             for i in 0..k {
                 let j = i + self.index(n - i);
-                indices.swap(i, j);
+                scratch.swap(i, j);
             }
-            indices.truncate(k);
-            indices
+            out.extend_from_slice(&scratch[..k]);
         } else {
             // Sparse draw: Floyd's algorithm with a sorted membership vec.
-            let mut chosen: Vec<usize> = Vec::with_capacity(k);
-            let mut sorted: Vec<usize> = Vec::with_capacity(k);
+            scratch.reserve(k);
             for j in (n - k)..n {
                 let t = self.index(j + 1);
-                let pick = if sorted.binary_search(&t).is_ok() {
+                let pick = if scratch.binary_search(&t).is_ok() {
                     j
                 } else {
                     t
                 };
-                let pos = sorted.binary_search(&pick).unwrap_err();
-                sorted.insert(pos, pick);
-                chosen.push(pick);
+                let pos = scratch.binary_search(&pick).unwrap_err();
+                scratch.insert(pos, pick);
+                out.push(pick);
             }
-            chosen
         }
     }
 
