@@ -11,7 +11,12 @@
 //!   (`par::with_threads(1)`): unrolled/register-blocked, `_into` buffers;
 //! * `parallel4` — the production kernel pinned to four threads (only
 //!   faster than `unrolled` when real cores exist; on a single-core host it
-//!   measures the scoped-thread overhead instead).
+//!   measures the persistent pool's hand-off overhead instead).
+//!
+//! The `sparse_grid` group applies the same scheme to the CSR kernel family
+//! (`spmv`, `transpose_spmv`, `scatter_rows`): `scalar` per-row loops vs the
+//! chunked production kernels pinned to one (`parallel1`) and four
+//! (`parallel4`) threads.
 
 use std::time::Duration;
 
@@ -20,7 +25,7 @@ use priu_linalg::decomposition::eigen::SymmetricEigen;
 use priu_linalg::decomposition::{GramFactor, TruncationMethod};
 use priu_linalg::par;
 use priu_linalg::sparse::CooBuilder;
-use priu_linalg::{Matrix, Vector};
+use priu_linalg::{CsrMatrix, Matrix, Vector};
 use priu_rng::Rng64;
 
 fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
@@ -28,10 +33,22 @@ fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
     Matrix::from_fn(rows, cols, |_, _| rng.uniform(-1.0, 1.0))
 }
 
+fn random_csr(rows: usize, cols: usize, nnz_per_row: usize, seed: u64) -> CsrMatrix {
+    let mut rng = Rng64::from_seed(seed);
+    let mut builder = CooBuilder::new(rows, cols);
+    for i in 0..rows {
+        for _ in 0..nnz_per_row {
+            let j = rng.index(cols);
+            builder.push(i, j, rng.uniform(0.1, 1.0)).unwrap();
+        }
+    }
+    builder.build()
+}
+
 /// Naive single-thread reference kernels (the pre-performance-layer
 /// baselines).
 mod scalar {
-    use priu_linalg::Matrix;
+    use priu_linalg::{CsrMatrix, Matrix};
 
     pub fn matvec(a: &Matrix, x: &[f64], out: &mut [f64]) {
         for (i, slot) in out.iter_mut().enumerate() {
@@ -67,6 +84,36 @@ mod scalar {
         for p in 0..m {
             for q in (p + 1)..m {
                 out[(q, p)] = out[(p, q)];
+            }
+        }
+    }
+
+    pub fn spmv(a: &CsrMatrix, x: &[f64], out: &mut [f64]) {
+        for (i, slot) in out.iter_mut().enumerate() {
+            let (cols, vals) = a.row(i);
+            *slot = cols.iter().zip(vals.iter()).map(|(&c, &v)| v * x[c]).sum();
+        }
+    }
+
+    pub fn transpose_spmv(a: &CsrMatrix, x: &[f64], out: &mut [f64]) {
+        out.fill(0.0);
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            let (cols, vals) = a.row(i);
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                out[c] += xi * v;
+            }
+        }
+    }
+
+    pub fn scatter_rows(a: &CsrMatrix, rows: &[usize], alphas: &[f64], acc: &mut [f64]) {
+        acc.fill(0.0);
+        for (k, &i) in rows.iter().enumerate() {
+            let (cols, vals) = a.row(i);
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                acc[c] += alphas[k] * v;
             }
         }
     }
@@ -131,6 +178,88 @@ fn bench_kernel_grid(c: &mut Criterion) {
         });
         group.bench_function(BenchmarkId::new("weighted_gram_parallel4", &shape), |b| {
             b.iter(|| par::with_threads(4, || a.weighted_gram_into(Some(black_box(&w)), &mut gram)))
+        });
+    }
+    group.finish();
+}
+
+/// The sparse `(n, m, nnz_per_row)` grid: RCV1-like shapes from
+/// single-chunk batch size up to multi-chunk full-data scans. `scalar` is
+/// the pre-performance-layer per-row loop; `parallel1` is the production
+/// chunked kernel pinned to one thread (chunk bookkeeping overhead only);
+/// `parallel4` runs the same fixed decomposition on the persistent pool
+/// (only faster than `parallel1` when real cores exist — on a single-core
+/// host it measures pool hand-off latency, which the persistent pool keeps
+/// far below the old per-call scoped-thread spawn).
+const SPARSE_GRID: [(usize, usize, usize); 3] =
+    [(1000, 2000, 30), (4000, 10_000, 50), (8000, 20_000, 80)];
+
+fn bench_sparse_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_grid");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_secs(1));
+
+    for &(n, m, nnz) in &SPARSE_GRID {
+        let a = random_csr(n, m, nnz, 21);
+        let x: Vec<f64> = (0..m).map(|i| (i as f64).sin()).collect();
+        let t: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).cos()).collect();
+        let mut out_n = vec![0.0; n];
+        let mut out_m = vec![0.0; m];
+        let shape = format!("{n}x{m}nnz{nnz}");
+
+        group.bench_function(BenchmarkId::new("spmv_scalar", &shape), |b| {
+            b.iter(|| scalar::spmv(&a, black_box(&x), &mut out_n))
+        });
+        group.bench_function(BenchmarkId::new("spmv_parallel1", &shape), |b| {
+            b.iter(|| par::with_threads(1, || a.spmv_into(black_box(&x), &mut out_n).unwrap()))
+        });
+        group.bench_function(BenchmarkId::new("spmv_parallel4", &shape), |b| {
+            b.iter(|| par::with_threads(4, || a.spmv_into(black_box(&x), &mut out_n).unwrap()))
+        });
+
+        group.bench_function(BenchmarkId::new("transpose_spmv_scalar", &shape), |b| {
+            b.iter(|| scalar::transpose_spmv(&a, black_box(&t), &mut out_m))
+        });
+        group.bench_function(BenchmarkId::new("transpose_spmv_parallel1", &shape), |b| {
+            b.iter(|| {
+                par::with_threads(1, || {
+                    a.transpose_spmv_into(black_box(&t), &mut out_m).unwrap()
+                })
+            })
+        });
+        group.bench_function(BenchmarkId::new("transpose_spmv_parallel4", &shape), |b| {
+            b.iter(|| {
+                par::with_threads(4, || {
+                    a.transpose_spmv_into(black_box(&t), &mut out_m).unwrap()
+                })
+            })
+        });
+
+        // The replay-loop scatter at a full-data batch (the sparse PrIU
+        // gradient update).
+        let rows: Vec<usize> = (0..n).collect();
+        let alphas = vec![0.3; n];
+        group.bench_function(BenchmarkId::new("scatter_rows_scalar", &shape), |b| {
+            b.iter(|| scalar::scatter_rows(&a, black_box(&rows), &alphas, &mut out_m))
+        });
+        group.bench_function(BenchmarkId::new("scatter_rows_parallel1", &shape), |b| {
+            b.iter(|| {
+                par::with_threads(1, || {
+                    out_m.fill(0.0);
+                    a.scatter_rows_into(black_box(&rows), &alphas, &mut out_m)
+                        .unwrap()
+                })
+            })
+        });
+        group.bench_function(BenchmarkId::new("scatter_rows_parallel4", &shape), |b| {
+            b.iter(|| {
+                par::with_threads(4, || {
+                    out_m.fill(0.0);
+                    a.scatter_rows_into(black_box(&rows), &alphas, &mut out_m)
+                        .unwrap()
+                })
+            })
         });
     }
     group.finish();
@@ -212,5 +341,5 @@ fn bench_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kernel_grid, bench_kernels);
+criterion_group!(benches, bench_kernel_grid, bench_sparse_grid, bench_kernels);
 criterion_main!(benches);

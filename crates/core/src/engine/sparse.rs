@@ -131,7 +131,10 @@ impl DeletionEngine for SparseLogisticEngine {
         }
 
         let successor = SparseLogisticEngine {
-            dataset: self.dataset.select(&survivors),
+            // `select` reports out-of-bounds survivors as an error (the CSR
+            // row ops are unified on `Result`); survivors are in range by
+            // construction, so this only propagates genuine corruption.
+            dataset: self.dataset.select(&survivors)?,
             config: self.config,
             trained: TrainedSparseLogistic {
                 model: outcome.model.clone(),

@@ -97,15 +97,28 @@ pub fn train_sparse_binary_logistic_with(
         schedule.batch_into(t, &mut ws.batch, &mut ws.idx_scratch);
         let b = ws.batch.len() as f64;
         ws.prepare_features(m);
-        let Workspace { batch, m0: acc, .. } = ws;
+        ws.prepare_sparse_batch(ws.batch.len());
+        let Workspace {
+            batch,
+            b0: dots,
+            b1: alphas,
+            m0: acc,
+            ..
+        } = ws;
+        let dots = &mut dots[..batch.len()];
+        let alphas = &mut alphas[..batch.len()];
+        // Gather phase: all per-sample margins in one parallel kernel.
+        dataset.x.rows_dot_into(batch, &w, dots)?;
         let mut iter_coeffs = Vec::with_capacity(batch.len());
-        for &i in batch.iter() {
-            let margin = y[i] * dataset.x.row_dot(i, &w)?;
+        for (pos, &i) in batch.iter().enumerate() {
+            let margin = y[i] * dots[pos];
             let f = PiecewiseLinearSigmoid::exact(margin);
-            dataset.x.scatter_row(i, y[i] * f, acc)?;
+            alphas[pos] = y[i] * f;
             let seg = interp.coefficients(margin);
             iter_coeffs.push((seg.slope, seg.intercept * y[i]));
         }
+        // Scatter phase: the batch gradient as one chunk-ordered reduction.
+        dataset.x.scatter_rows_into(batch, alphas, acc)?;
         w.scale_mut(1.0 - eta * lambda);
         w.axpy(eta / b, &*acc)?;
         if t % 32 == 0 && !w.is_finite() {

@@ -59,12 +59,20 @@ pub fn priu_update_sparse_logistic_with(
             continue;
         }
         ws.prepare_features(m);
+        ws.prepare_sparse_batch(ws.batch.len());
         let Workspace {
             batch,
             positions,
+            sel,
+            b0: dots,
+            b1: slopes,
+            b2: intercepts,
             m0: acc,
             ..
         } = ws;
+        // Compact the survivors: row indices into `sel`, their captured
+        // (a, b') linearisation coefficients into parallel buffers.
+        sel.clear();
         let mut next_removed = positions.iter().copied().peekable();
         for (pos, &i) in batch.iter().enumerate() {
             if next_removed.peek() == Some(&pos) {
@@ -72,10 +80,22 @@ pub fn priu_update_sparse_logistic_with(
                 continue;
             }
             let (a, b_prime) = coeffs[pos];
-            // Contribution a·x (xᵀw) + b'·x collapses to a single scatter.
-            let dot = dataset.x.row_dot(i, &w)?;
-            dataset.x.scatter_row(i, a * dot + b_prime, acc)?;
+            slopes[sel.len()] = a;
+            intercepts[sel.len()] = b_prime;
+            sel.push(i);
         }
+        // Gather phase: all survivor margins xᵀw in one parallel kernel.
+        let dots = &mut dots[..sel.len()];
+        dataset.x.rows_dot_into(sel, &w, dots)?;
+        // Contribution a·x (xᵀw) + b'·x collapses to a single scatter
+        // weight per survivor...
+        for (k, dot) in dots.iter().enumerate() {
+            slopes[k] = slopes[k] * dot + intercepts[k];
+        }
+        // ...applied as one chunk-ordered deterministic reduction.
+        dataset
+            .x
+            .scatter_rows_into(sel, &slopes[..sel.len()], acc)?;
         w.scale_mut(1.0 - eta * lambda);
         w.axpy(eta / b_u as f64, &*acc)?;
     }

@@ -14,9 +14,10 @@
 //! for any thread count when inputs stay on the single-chunk path (below
 //! 512 rows, which covers both replay-loop operand shapes: batch-row blocks
 //! and `m×m` cache applications with modest `m`). With `PRIU_THREADS > 1`
-//! *and* larger operands, `priu_linalg::par` spawns scoped worker threads
-//! per kernel call — deliberate (the work then dwarfs the spawn cost) until
-//! the ROADMAP's persistent-pool item lands.
+//! *and* larger operands, `priu_linalg::par` hands the kernel to its
+//! persistent worker pool — the pool's threads are spawned once (lazily, on
+//! the first such call) and each worker's scratch warms once; steady-state
+//! parallel calls allocate nothing.
 //!
 //! The struct counts *growth events* (a buffer needing more capacity than it
 //! had). A warmed workspace reports a stable [`Workspace::grow_events`]
@@ -46,6 +47,8 @@ pub struct Workspace {
     pub(crate) idx_scratch: Vec<usize>,
     /// Positions (within the batch) of removed samples.
     pub(crate) positions: Vec<usize>,
+    /// Surviving batch-member sample indices, compacted (sparse replay).
+    pub(crate) sel: Vec<usize>,
     /// Per-batch-member class labels (multinomial training).
     pub(crate) classes: Vec<usize>,
     /// Selected batch rows (`B x m`).
@@ -75,6 +78,18 @@ fn ensure_zeroed(buf: &mut Vec<f64>, len: usize, grew: &mut usize) {
     buf.resize(len, 0.0);
 }
 
+/// Grow-only sizing without re-zeroing existing elements — for loops that
+/// fully overwrite every element they later read, where a per-iteration
+/// memset would be pure overhead.
+fn ensure_len(buf: &mut Vec<f64>, len: usize, grew: &mut usize) {
+    if buf.capacity() < len {
+        *grew += 1;
+    }
+    if buf.len() < len {
+        buf.resize(len, 0.0);
+    }
+}
+
 impl Workspace {
     /// An empty workspace; buffers grow on first use.
     pub fn new() -> Self {
@@ -94,6 +109,7 @@ impl Workspace {
         // needs only `B`. Reserving `4·B` covers both.
         ws.idx_scratch.reserve(batch_size.saturating_mul(4).max(64));
         ws.positions.reserve(batch_size);
+        ws.sel.reserve(batch_size);
         ws.classes.reserve(batch_size);
         ws.rows.reshape_zeroed(batch_size, num_features);
         ws.logits.reshape_zeroed(num_classes.max(1), batch_size);
@@ -140,6 +156,17 @@ impl Workspace {
     pub(crate) fn prepare_batch(&mut self, batch_len: usize) {
         for buf in [&mut self.b0, &mut self.b1, &mut self.b2, &mut self.b3] {
             ensure_zeroed(buf, batch_len, &mut self.grow_events);
+        }
+    }
+
+    /// Sizes the batch-extent buffers the sparse replay loops use
+    /// (`b0`-`b2`) without zeroing: those loops overwrite every element
+    /// they read, so the per-iteration memset of [`Workspace::prepare_batch`]
+    /// would be wasted work in the hot path. Callers index only
+    /// `[..batch_len]`.
+    pub(crate) fn prepare_sparse_batch(&mut self, batch_len: usize) {
+        for buf in [&mut self.b0, &mut self.b1, &mut self.b2] {
+            ensure_len(buf, batch_len, &mut self.grow_events);
         }
     }
 

@@ -14,14 +14,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use priu_core::trainer::linear::{train_linear_with, TrainedLinear};
 use priu_core::trainer::logistic::{train_binary_logistic_with, TrainedLogistic};
+use priu_core::trainer::sparse::train_sparse_binary_logistic_with;
 use priu_core::update::priu_linear::priu_update_linear_with;
 use priu_core::update::priu_logistic::priu_update_logistic_with;
 use priu_core::update::priu_opt_logistic::priu_opt_update_logistic_with;
+use priu_core::update::sparse_logistic::priu_update_sparse_logistic_with;
 use priu_core::{TrainerConfig, Workspace};
 use priu_data::catalog::Hyperparameters;
-use priu_data::dataset::DenseDataset;
+use priu_data::dataset::{DenseDataset, SparseDataset};
 use priu_data::synthetic::classification::{generate_binary_classification, ClassificationConfig};
 use priu_data::synthetic::regression::{generate_regression, RegressionConfig};
+use priu_data::synthetic::sparse_text::{generate_sparse_binary, SparseConfig};
 
 struct CountingAllocator;
 
@@ -64,6 +67,16 @@ fn regression_data() -> DenseDataset {
         noise_std: 0.1,
         seed: 90,
         ..Default::default()
+    })
+}
+
+fn sparse_data() -> SparseDataset {
+    generate_sparse_binary(&SparseConfig {
+        num_samples: 400,
+        num_features: 300,
+        nnz_per_row: 12,
+        informative_fraction: 0.2,
+        seed: 92,
     })
 }
 
@@ -186,6 +199,35 @@ fn update_allocations_are_independent_of_iteration_count() {
         "dense-draw replay allocated per iteration ({allocs_short} vs {allocs_long})"
     );
 
+    // Sparse PrIU: the (now parallel, kernel-based) CSR replay loop must
+    // also allocate only per call — the gather/scatter kernels run on
+    // workspace buffers, and mb-SGD-sized batches stay on the single-chunk
+    // inline path of the worker pool.
+    let data = sparse_data();
+    let mut tws = Workspace::new();
+    let short = train_sparse_binary_logistic_with(&data, &config(8, 0.3), &mut tws).unwrap();
+    let long = train_sparse_binary_logistic_with(&data, &config(64, 0.3), &mut tws).unwrap();
+    let mut ws = Workspace::new();
+    priu_update_sparse_logistic_with(&data, &short.provenance, &removed, &mut ws).unwrap();
+    priu_update_sparse_logistic_with(&data, &long.provenance, &removed, &mut ws).unwrap();
+    ws.reset_grow_events();
+    let allocs_short = count_allocations(|| {
+        priu_update_sparse_logistic_with(&data, &short.provenance, &removed, &mut ws).unwrap();
+    });
+    let allocs_long = count_allocations(|| {
+        priu_update_sparse_logistic_with(&data, &long.provenance, &removed, &mut ws).unwrap();
+    });
+    assert_eq!(
+        allocs_short, allocs_long,
+        "sparse PrIU allocated per iteration ({allocs_short} vs {allocs_long} allocations \
+         for 8 vs 64 iterations)"
+    );
+    assert_eq!(
+        ws.grow_events(),
+        0,
+        "warm workspace grew during sparse replay"
+    );
+
     // Trainers: the GD step never grows a warm workspace, regardless of how
     // many iterations run (capture storage allocates, the step itself not).
     let data = regression_data();
@@ -193,5 +235,22 @@ fn update_allocations_are_independent_of_iteration_count() {
     train_linear_with(&data, &config(5, 0.05), &mut ws).unwrap();
     ws.reset_grow_events();
     train_linear_with(&data, &config(30, 0.05), &mut ws).unwrap();
-    assert_eq!(ws.grow_events(), 0, "warm workspace grew during training");
+    assert_eq!(
+        ws.grow_events(),
+        0,
+        "warm workspace grew during linear training"
+    );
+
+    // The sparse trainer's GD step (rows_dot + scatter_rows kernels) shares
+    // the guarantee: warm buffers never grow, however many iterations run.
+    let data = sparse_data();
+    let mut ws = Workspace::new();
+    train_sparse_binary_logistic_with(&data, &config(5, 0.3), &mut ws).unwrap();
+    ws.reset_grow_events();
+    train_sparse_binary_logistic_with(&data, &config(40, 0.3), &mut ws).unwrap();
+    assert_eq!(
+        ws.grow_events(),
+        0,
+        "warm workspace grew during sparse training"
+    );
 }

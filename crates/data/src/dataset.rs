@@ -256,11 +256,15 @@ impl SparseDataset {
     /// Selects a subset of samples by index (order preserved), like
     /// [`DenseDataset::select`]. Used to shrink a session to the survivors of
     /// a chained deletion.
-    pub fn select(&self, indices: &[usize]) -> SparseDataset {
-        SparseDataset {
-            x: self.x.select_rows(indices),
+    ///
+    /// # Errors
+    /// Returns [`priu_linalg::LinalgError::IndexOutOfBounds`] if an index is
+    /// out of bounds (propagated from [`CsrMatrix::select_rows`]).
+    pub fn select(&self, indices: &[usize]) -> priu_linalg::Result<SparseDataset> {
+        Ok(SparseDataset {
+            x: self.x.select_rows(indices)?,
             labels: self.labels.select(indices),
-        }
+        })
     }
 }
 
@@ -372,5 +376,10 @@ mod tests {
         assert_eq!(d.num_samples(), 2);
         assert_eq!(d.num_features(), 3);
         assert_eq!(d.task(), TaskKind::BinaryClassification);
+        let s = d.select(&[1]).unwrap();
+        assert_eq!(s.num_samples(), 1);
+        assert_eq!(s.labels.as_binary().unwrap().as_slice(), &[-1.0]);
+        // Out-of-bounds indices surface as an error, not a panic.
+        assert!(d.select(&[5]).is_err());
     }
 }

@@ -12,7 +12,7 @@ use std::ops::{Add, Index, IndexMut, Mul, Range, Sub};
 
 use crate::dense::vector::{axpy_slices, dot_slices, Vector};
 use crate::error::{LinalgError, Result};
-use crate::par::{self, Chunks, SendPtr};
+use crate::par::{self, Chunks};
 
 /// Minimum rows per chunk, shared by every kernel: inputs under
 /// `2 * MIN_CHUNK_ROWS` rows take the inline single-chunk path that spawns
@@ -359,16 +359,8 @@ impl Matrix {
             });
         }
         let chunks = Chunks::new(self.rows, MIN_CHUNK_ROWS, MAP_MAX_CHUNKS);
-        if chunks.count() <= 1 {
-            matvec_rows(self, 0..self.rows, x, out);
-            return Ok(());
-        }
-        let ptr = SendPtr(out.as_mut_ptr());
-        par::run_chunks(chunks.count(), |c| {
-            let range = chunks.range(c);
-            // SAFETY: chunk output regions are disjoint by construction.
-            let chunk_out = unsafe { ptr.slice(range.start, range.len()) };
-            matvec_rows(self, range, x, chunk_out);
+        par::map_chunks(&chunks, 1, out, |range, chunk_out| {
+            matvec_rows(self, range, x, chunk_out)
         });
         Ok(())
     }
@@ -408,22 +400,8 @@ impl Matrix {
         }
         out.fill(0.0);
         let chunks = Chunks::new(self.rows, MIN_CHUNK_ROWS, TMV_MAX_CHUNKS);
-        if chunks.count() <= 1 {
-            transpose_matvec_rows(self, 0..self.rows, x, out);
-            return Ok(());
-        }
-        let m = self.cols;
-        par::with_scratch(chunks.count() * m, |partials| {
-            let ptr = SendPtr(partials.as_mut_ptr());
-            par::run_chunks(chunks.count(), |c| {
-                // SAFETY: one disjoint m-sized partial per chunk.
-                let partial = unsafe { ptr.slice(c * m, m) };
-                transpose_matvec_rows(self, chunks.range(c), x, partial);
-            });
-            // Deterministic reduction: combine partials in chunk order.
-            for c in 0..chunks.count() {
-                axpy_slices(out, 1.0, &partials[c * m..(c + 1) * m]);
-            }
+        par::reduce_chunks(&chunks, self.cols, out, |range, partial| {
+            transpose_matvec_rows(self, range, x, partial)
         });
         Ok(())
     }
@@ -455,17 +433,8 @@ impl Matrix {
         }
         out.reshape_zeroed(self.rows, other.cols);
         let chunks = Chunks::new(self.rows, MIN_CHUNK_ROWS, MAP_MAX_CHUNKS);
-        if chunks.count() <= 1 {
-            matmul_rows(self, other, 0..self.rows, &mut out.data);
-            return Ok(());
-        }
-        let width = other.cols;
-        let ptr = SendPtr(out.data.as_mut_ptr());
-        par::run_chunks(chunks.count(), |c| {
-            let range = chunks.range(c);
-            // SAFETY: disjoint output row blocks per chunk.
-            let block = unsafe { ptr.slice(range.start * width, range.len() * width) };
-            matmul_rows(self, other, range, block);
+        par::map_chunks(&chunks, other.cols, &mut out.data, |range, block| {
+            matmul_rows(self, other, range, block)
         });
         Ok(())
     }
@@ -502,23 +471,11 @@ impl Matrix {
         let m = self.cols;
         out.reshape_zeroed(m, m);
         let chunks = Chunks::new(self.rows, MIN_CHUNK_ROWS, GRAM_MAX_CHUNKS);
-        if chunks.count() <= 1 {
-            weighted_gram_rows(self, 0..self.rows, w, &mut out.data);
-        } else {
-            par::with_scratch(chunks.count() * m * m, |partials| {
-                let ptr = SendPtr(partials.as_mut_ptr());
-                par::run_chunks(chunks.count(), |c| {
-                    // SAFETY: one disjoint m*m partial per chunk.
-                    let partial = unsafe { ptr.slice(c * m * m, m * m) };
-                    weighted_gram_rows(self, chunks.range(c), w, partial);
-                });
-                // Deterministic reduction in chunk order (the strictly lower
-                // triangles are all zero until mirrored below).
-                for c in 0..chunks.count() {
-                    axpy_slices(&mut out.data, 1.0, &partials[c * m * m..(c + 1) * m * m]);
-                }
-            });
-        }
+        // Chunk-ordered reduction over m*m upper-triangle partials (the
+        // strictly lower triangles stay zero until mirrored below).
+        par::reduce_chunks(&chunks, m * m, &mut out.data, |range, partial| {
+            weighted_gram_rows(self, range, w, partial)
+        });
         // Mirror upper triangle to lower triangle.
         for a in 0..m {
             for b in (a + 1)..m {

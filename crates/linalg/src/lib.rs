@@ -20,10 +20,11 @@
 //!   what PrIU-opt builds on (§5.2, Eq. 17–18).
 //! * [`stats`] — vector comparison metrics (L2 distance, cosine similarity,
 //!   sign flips) used by the evaluation's model-comparison section (Q4).
-//! * [`par`] — the performance layer: a deterministic chunked scoped-thread
-//!   pool (`PRIU_THREADS`) behind the hot kernels. Every kernel also has an
-//!   allocation-free `_into` variant writing into caller-owned buffers, and
-//!   all results are bitwise reproducible for any thread count.
+//! * [`par`] — the performance layer: a deterministic, lazily-started
+//!   persistent worker pool (`PRIU_THREADS`) behind the hot dense and
+//!   sparse kernels. Every kernel also has an allocation-free `_into`
+//!   variant writing into caller-owned buffers, and all results are
+//!   bitwise reproducible for any thread count.
 //!
 //! All numerics are `f64`. The crate is deliberately dependency-free apart
 //! from the workspace's own `priu-rng` (random test matrices, randomized

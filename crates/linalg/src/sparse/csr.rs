@@ -1,14 +1,48 @@
 //! Compressed sparse row (CSR) matrices.
+//!
+//! The hot kernels (`spmv`, `transpose_spmv`, and the batch-replay pair
+//! `rows_dot_into` / `scatter_rows_into`) are chunked through [`crate::par`]
+//! exactly like the dense kernels: map-style kernels write disjoint output
+//! regions per row chunk, reduction-style kernels accumulate per-chunk
+//! partials and combine them in ascending chunk order. Chunk boundaries
+//! depend only on the row count, so every kernel is bitwise reproducible
+//! for any `PRIU_THREADS`. Each kernel has an `_into` variant writing into
+//! a caller-owned buffer; the allocating versions delegate to those.
+
+use std::ops::Range;
 
 use crate::dense::matrix::Matrix;
 use crate::dense::vector::Vector;
 use crate::error::{LinalgError, Result};
+use crate::par::{self, Chunks};
+
+/// Minimum rows per chunk: sparse rows carry only tens of non-zeros, so
+/// chunks are kept as coarse as the dense kernels' — mb-SGD-sized batches
+/// (≤ 511 rows) stay on the inline single-chunk path and never touch the
+/// worker pool.
+const MIN_CHUNK_ROWS: usize = 256;
+/// Chunk-count caps: map-style kernels (disjoint outputs) can fan wide;
+/// reductions are capped tighter because each extra chunk costs an
+/// `ncols`-sized partial buffer in the combine step — and further by
+/// `reduction_chunk_cap`, which bounds the combine cost relative to the
+/// actual nnz work (CSR column counts can dwarf the per-row work).
+const MAP_MAX_CHUNKS: usize = 64;
+const RED_MAX_CHUNKS: usize = 16;
 
 /// A sparse matrix in compressed sparse row format.
 ///
 /// Rows are training samples; the hot operations are `row · w` (per-sample
 /// margins) and scatter-adds of scaled rows into a dense accumulator (the
 /// gradient update), which is all the sparse path of PrIU needs (§5.3).
+///
+/// Invariant: within every row the column indices are **sorted and strictly
+/// increasing** (no duplicates). [`CsrMatrix::from_raw`] rejects violations;
+/// the deterministic chunk-ordered reduction of [`transpose_spmv`] and
+/// [`scatter_rows_into`] relies on each `(row, column)` pair contributing
+/// exactly once, in a fixed position.
+///
+/// [`transpose_spmv`]: CsrMatrix::transpose_spmv
+/// [`scatter_rows_into`]: CsrMatrix::scatter_rows_into
 #[derive(Debug, Clone, PartialEq)]
 pub struct CsrMatrix {
     rows: usize,
@@ -23,8 +57,11 @@ impl CsrMatrix {
     ///
     /// # Errors
     /// Returns [`LinalgError::InvalidArgument`] if the components are
-    /// structurally inconsistent (wrong `row_ptr` length, non-monotone
-    /// pointers, column index out of range, or mismatched value count).
+    /// structurally inconsistent: wrong `row_ptr` length, non-monotone
+    /// pointers, column index out of range, mismatched value count, or a
+    /// row whose column indices are not sorted strictly increasing
+    /// (unsorted or duplicate columns would silently break the
+    /// deterministic parallel reductions and double-count entries).
     pub fn from_raw(
         rows: usize,
         cols: usize,
@@ -60,6 +97,22 @@ impl CsrMatrix {
             return Err(LinalgError::InvalidArgument(
                 "column index out of range".to_string(),
             ));
+        }
+        for i in 0..rows {
+            let row = &col_idx[row_ptr[i]..row_ptr[i + 1]];
+            if let Some(w) = row.windows(2).find(|w| w[0] >= w[1]) {
+                return Err(LinalgError::InvalidArgument(format!(
+                    "column indices within each row must be sorted and strictly increasing \
+                     (row {i} has {} before {}{})",
+                    w[0],
+                    w[1],
+                    if w[0] == w[1] {
+                        " — duplicate column"
+                    } else {
+                        ""
+                    },
+                )));
+            }
         }
         Ok(Self {
             rows,
@@ -125,9 +178,12 @@ impl CsrMatrix {
     /// allowed), mirroring the dense `Matrix::select_rows`. Used to shrink a
     /// sparse dataset to the survivors of a deletion.
     ///
-    /// # Panics
-    /// Panics if an index is out of bounds.
-    pub fn select_rows(&self, indices: &[usize]) -> CsrMatrix {
+    /// # Errors
+    /// Returns [`LinalgError::IndexOutOfBounds`] if an index is out of
+    /// bounds — matching the `Result` convention of the sibling row
+    /// operations (`row_dot`, `scatter_row`, `spmv`) instead of panicking.
+    pub fn select_rows(&self, indices: &[usize]) -> Result<CsrMatrix> {
+        self.check_rows(indices)?;
         let mut row_ptr = Vec::with_capacity(indices.len() + 1);
         row_ptr.push(0usize);
         let mut col_idx = Vec::new();
@@ -138,13 +194,13 @@ impl CsrMatrix {
             values.extend_from_slice(vals);
             row_ptr.push(col_idx.len());
         }
-        CsrMatrix {
+        Ok(CsrMatrix {
             rows: indices.len(),
             cols: self.cols,
             row_ptr,
             col_idx,
             values,
-        }
+        })
     }
 
     /// The sparse row `i` as parallel `(column, value)` slices.
@@ -158,10 +214,29 @@ impl CsrMatrix {
         (&self.col_idx[start..end], &self.values[start..end])
     }
 
+    /// Validates a list of row indices.
+    fn check_rows(&self, indices: &[usize]) -> Result<()> {
+        if let Some(&bad) = indices.iter().find(|&&i| i >= self.rows) {
+            return Err(LinalgError::IndexOutOfBounds {
+                index: bad,
+                len: self.rows,
+            });
+        }
+        Ok(())
+    }
+
+    /// The dot product of row `i` with `x`, assuming shapes were checked.
+    #[inline]
+    fn row_dot_unchecked(&self, i: usize, x: &[f64]) -> f64 {
+        let (cols, vals) = self.row(i);
+        cols.iter().zip(vals.iter()).map(|(&c, &v)| v * x[c]).sum()
+    }
+
     /// Dot product of sparse row `i` with a dense vector.
     ///
     /// # Errors
-    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != ncols()`.
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != ncols()`, and
+    /// [`LinalgError::IndexOutOfBounds`] if `i >= nrows()`.
     pub fn row_dot(&self, i: usize, x: &[f64]) -> Result<f64> {
         if x.len() != self.cols {
             return Err(LinalgError::ShapeMismatch {
@@ -170,14 +245,15 @@ impl CsrMatrix {
                 right: (x.len(), 1),
             });
         }
-        let (cols, vals) = self.row(i);
-        Ok(cols.iter().zip(vals.iter()).map(|(&c, &v)| v * x[c]).sum())
+        self.check_rows(std::slice::from_ref(&i))?;
+        Ok(self.row_dot_unchecked(i, x))
     }
 
     /// Adds `alpha * row_i` into the dense accumulator `acc`.
     ///
     /// # Errors
-    /// Returns [`LinalgError::ShapeMismatch`] if `acc.len() != ncols()`.
+    /// Returns [`LinalgError::ShapeMismatch`] if `acc.len() != ncols()`, and
+    /// [`LinalgError::IndexOutOfBounds`] if `i >= nrows()`.
     pub fn scatter_row(&self, i: usize, alpha: f64, acc: &mut [f64]) -> Result<()> {
         if acc.len() != self.cols {
             return Err(LinalgError::ShapeMismatch {
@@ -186,6 +262,7 @@ impl CsrMatrix {
                 right: (acc.len(), 1),
             });
         }
+        self.check_rows(std::slice::from_ref(&i))?;
         let (cols, vals) = self.row(i);
         for (&c, &v) in cols.iter().zip(vals.iter()) {
             acc[c] += alpha * v;
@@ -197,7 +274,21 @@ impl CsrMatrix {
     ///
     /// # Errors
     /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != ncols()`.
-    pub fn spmv(&self, x: &Vector) -> Result<Vector> {
+    pub fn spmv(&self, x: &[f64]) -> Result<Vector> {
+        let mut out = Vector::zeros(self.rows);
+        self.spmv_into(x, out.as_mut_slice())?;
+        Ok(out)
+    }
+
+    /// Sparse matrix-vector product into a caller-owned buffer
+    /// (`out = self * x`, overwritten). Row-chunked over the pool; each
+    /// output entry is one independent row dot, so results are bitwise
+    /// identical to [`CsrMatrix::spmv`] for any thread count.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != ncols()` or
+    /// `out.len() != nrows()`.
+    pub fn spmv_into(&self, x: &[f64], out: &mut [f64]) -> Result<()> {
         if x.len() != self.cols {
             return Err(LinalgError::ShapeMismatch {
                 op: "CsrMatrix::spmv",
@@ -205,19 +296,48 @@ impl CsrMatrix {
                 right: (x.len(), 1),
             });
         }
-        let mut out = Vec::with_capacity(self.rows);
-        for i in 0..self.rows {
-            let (cols, vals) = self.row(i);
-            out.push(cols.iter().zip(vals.iter()).map(|(&c, &v)| v * x[c]).sum());
+        if out.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "CsrMatrix::spmv_into(out)",
+                left: (self.rows, self.cols),
+                right: (out.len(), 1),
+            });
         }
-        Ok(Vector::from_vec(out))
+        let chunks = Chunks::new(self.rows, MIN_CHUNK_ROWS, MAP_MAX_CHUNKS);
+        par::map_chunks(&chunks, 1, out, |range, chunk_out| {
+            self.spmv_range(range, x, chunk_out)
+        });
+        Ok(())
+    }
+
+    /// `out[o] = row(range.start + o) · x` for one row chunk.
+    fn spmv_range(&self, range: Range<usize>, x: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(out.len(), range.len());
+        for (o, i) in range.enumerate() {
+            out[o] = self.row_dot_unchecked(i, x);
+        }
     }
 
     /// Transposed sparse matrix-vector product `self^T * x`.
     ///
     /// # Errors
     /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != nrows()`.
-    pub fn transpose_spmv(&self, x: &Vector) -> Result<Vector> {
+    pub fn transpose_spmv(&self, x: &[f64]) -> Result<Vector> {
+        let mut out = Vector::zeros(self.cols);
+        self.transpose_spmv_into(x, out.as_mut_slice())?;
+        Ok(out)
+    }
+
+    /// Transposed sparse matrix-vector product into a caller-owned buffer
+    /// (`out = self^T * x`, overwritten). Chunked over rows with a
+    /// chunk-ordered partial reduction (each chunk scatters into its own
+    /// `ncols`-sized partial; partials are combined serially in ascending
+    /// chunk order), so results are bitwise identical for any thread count.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != nrows()` or
+    /// `out.len() != ncols()`.
+    pub fn transpose_spmv_into(&self, x: &[f64], out: &mut [f64]) -> Result<()> {
         if x.len() != self.rows {
             return Err(LinalgError::ShapeMismatch {
                 op: "CsrMatrix::transpose_spmv",
@@ -225,15 +345,145 @@ impl CsrMatrix {
                 right: (x.len(), 1),
             });
         }
-        let mut out = Vector::zeros(self.cols);
-        for i in 0..self.rows {
+        if out.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "CsrMatrix::transpose_spmv_into(out)",
+                left: (self.cols, self.rows),
+                right: (out.len(), 1),
+            });
+        }
+        out.fill(0.0);
+        let chunks = Chunks::new(
+            self.rows,
+            MIN_CHUNK_ROWS,
+            self.reduction_chunk_cap(self.rows),
+        );
+        par::reduce_chunks(&chunks, self.cols, out, |range, partial| {
+            self.scatter_range(range, x, partial)
+        });
+        Ok(())
+    }
+
+    /// Caps the reduction chunk count so the serial combine of the
+    /// `ncols`-sized partials stays a small fraction (≤ ~1/4) of the
+    /// expected scatter work (`num_rows · avg_nnz_per_row`). Every input is
+    /// derived from the matrix structure and the argument row count — never
+    /// from the thread count — so the decomposition, and with it the
+    /// floating-point summation tree, stays thread-independent.
+    fn reduction_chunk_cap(&self, num_rows: usize) -> usize {
+        let avg_nnz = self.nnz() / self.rows.max(1);
+        (num_rows.saturating_mul(avg_nnz) / (4 * self.cols.max(1))).clamp(1, RED_MAX_CHUNKS)
+    }
+
+    /// Accumulates `Σ_{i ∈ range} x[i] · row(i)` into `acc` (not cleared).
+    fn scatter_range(&self, range: Range<usize>, x: &[f64], acc: &mut [f64]) {
+        for i in range {
             let xi = x[i];
             if xi == 0.0 {
                 continue;
             }
-            self.scatter_row(i, xi, &mut out)?;
+            let (cols, vals) = self.row(i);
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                acc[c] += xi * v;
+            }
         }
-        Ok(out)
+    }
+
+    /// Dot products of the selected rows with a dense vector:
+    /// `out[k] = row(rows[k]) · x`. The gather half of the sparse replay
+    /// loop (per-sample margins of a mini-batch), chunked over positions of
+    /// `rows`; each entry is an independent row dot, so results are bitwise
+    /// identical to per-position [`CsrMatrix::row_dot`] calls for any
+    /// thread count. Allocation-free on the single-chunk path (mb-SGD-sized
+    /// batches); a multi-chunk call allocates one small job handle for the
+    /// pool hand-off.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != ncols()` or
+    /// `out.len() != rows.len()`, and [`LinalgError::IndexOutOfBounds`] for
+    /// an out-of-range row index.
+    pub fn rows_dot_into(&self, rows: &[usize], x: &[f64], out: &mut [f64]) -> Result<()> {
+        if x.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "CsrMatrix::rows_dot_into",
+                left: (self.rows, self.cols),
+                right: (x.len(), 1),
+            });
+        }
+        if out.len() != rows.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "CsrMatrix::rows_dot_into(out)",
+                left: (rows.len(), 1),
+                right: (out.len(), 1),
+            });
+        }
+        self.check_rows(rows)?;
+        let chunks = Chunks::new(rows.len(), MIN_CHUNK_ROWS, MAP_MAX_CHUNKS);
+        par::map_chunks(&chunks, 1, out, |range, chunk_out| {
+            for (o, &i) in rows[range].iter().enumerate() {
+                chunk_out[o] = self.row_dot_unchecked(i, x);
+            }
+        });
+        Ok(())
+    }
+
+    /// Accumulates `Σ_k alphas[k] · row(rows[k])` into `acc` (not cleared)
+    /// — the scatter half of the sparse replay loop (the mini-batch
+    /// gradient update). Chunked over positions of `rows` with a
+    /// chunk-ordered partial reduction, so results are bitwise identical
+    /// for any thread count. Positions with `alphas[k] == 0.0` are skipped.
+    /// Allocation-free on the single-chunk path; multi-chunk calls borrow
+    /// pooled thread-local scratch for the partials.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `acc.len() != ncols()` or
+    /// `alphas.len() != rows.len()`, and [`LinalgError::IndexOutOfBounds`]
+    /// for an out-of-range row index.
+    pub fn scatter_rows_into(&self, rows: &[usize], alphas: &[f64], acc: &mut [f64]) -> Result<()> {
+        if acc.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "CsrMatrix::scatter_rows_into",
+                left: (self.rows, self.cols),
+                right: (acc.len(), 1),
+            });
+        }
+        if alphas.len() != rows.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "CsrMatrix::scatter_rows_into(alphas)",
+                left: (rows.len(), 1),
+                right: (alphas.len(), 1),
+            });
+        }
+        self.check_rows(rows)?;
+        let chunks = Chunks::new(
+            rows.len(),
+            MIN_CHUNK_ROWS,
+            self.reduction_chunk_cap(rows.len()),
+        );
+        par::reduce_chunks(&chunks, self.cols, acc, |range, partial| {
+            self.scatter_positions(range, rows, alphas, partial)
+        });
+        Ok(())
+    }
+
+    /// Accumulates `Σ_{k ∈ range} alphas[k] · row(rows[k])` into `acc`.
+    fn scatter_positions(
+        &self,
+        range: Range<usize>,
+        rows: &[usize],
+        alphas: &[f64],
+        acc: &mut [f64],
+    ) {
+        for k in range {
+            let alpha = alphas[k];
+            if alpha == 0.0 {
+                continue;
+            }
+            let (cols, vals) = self.row(rows[k]);
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                acc[c] += alpha * v;
+            }
+        }
     }
 
     /// Materialises the dense equivalent (testing / small matrices only).
@@ -268,7 +518,7 @@ mod tests {
     #[test]
     fn select_rows_preserves_order_and_content() {
         let m = sample();
-        let s = m.select_rows(&[2, 0, 2]);
+        let s = m.select_rows(&[2, 0, 2]).unwrap();
         assert_eq!(s.nrows(), 3);
         assert_eq!(s.ncols(), 3);
         assert_eq!(s.row(0), m.row(2));
@@ -276,10 +526,27 @@ mod tests {
         assert_eq!(s.row(2), m.row(2));
         assert_eq!(s.nnz(), 6);
         // Empty selection yields an empty matrix with the same column count.
-        let e = m.select_rows(&[]);
+        let e = m.select_rows(&[]).unwrap();
         assert_eq!(e.nrows(), 0);
         assert_eq!(e.ncols(), 3);
         assert_eq!(e.nnz(), 0);
+    }
+
+    #[test]
+    fn select_rows_rejects_out_of_bounds_like_the_sibling_ops() {
+        let m = sample();
+        assert!(matches!(
+            m.select_rows(&[0, 3]),
+            Err(LinalgError::IndexOutOfBounds { index: 3, len: 3 })
+        ));
+        assert!(matches!(
+            m.row_dot(9, &[0.0; 3]),
+            Err(LinalgError::IndexOutOfBounds { index: 9, len: 3 })
+        ));
+        assert!(matches!(
+            m.scatter_row(7, 1.0, &mut [0.0; 3]),
+            Err(LinalgError::IndexOutOfBounds { index: 7, len: 3 })
+        ));
     }
 
     #[test]
@@ -307,6 +574,26 @@ mod tests {
     }
 
     #[test]
+    fn unsorted_or_duplicate_columns_are_rejected() {
+        // Unsorted columns within a row.
+        let err = CsrMatrix::from_raw(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).unwrap_err();
+        assert!(
+            err.to_string().contains("sorted"),
+            "unexpected message: {err}"
+        );
+        // Duplicate column within a row.
+        let err = CsrMatrix::from_raw(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).unwrap_err();
+        assert!(
+            err.to_string().contains("duplicate column"),
+            "unexpected message: {err}"
+        );
+        // Violations in a later row are caught too.
+        assert!(CsrMatrix::from_raw(2, 4, vec![0, 2, 4], vec![0, 3, 2, 1], vec![1.0; 4]).is_err());
+        // Equal columns in *different* rows remain fine.
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1, 2], vec![1, 1], vec![1.0, 2.0]).is_ok());
+    }
+
+    #[test]
     fn spmv_matches_dense() {
         let m = sample();
         let x = Vector::from_vec(vec![1.0, -1.0, 0.5]);
@@ -314,6 +601,11 @@ mod tests {
         let dense = m.to_dense().matvec(&x).unwrap();
         assert!((&sparse - &dense).norm2() < 1e-12);
         assert!(m.spmv(&Vector::zeros(2)).is_err());
+        // The _into variant produces the same bits.
+        let mut out = vec![0.0; 3];
+        m.spmv_into(&x, &mut out).unwrap();
+        assert_eq!(out, sparse.into_vec());
+        assert!(m.spmv_into(&x, &mut [0.0; 2]).is_err());
     }
 
     #[test]
@@ -324,6 +616,10 @@ mod tests {
         let dense = m.to_dense().transpose_matvec(&x).unwrap();
         assert!((&sparse - &dense).norm2() < 1e-12);
         assert!(m.transpose_spmv(&Vector::zeros(4)).is_err());
+        let mut out = vec![0.0; 3];
+        m.transpose_spmv_into(&x, &mut out).unwrap();
+        assert_eq!(out, sparse.into_vec());
+        assert!(m.transpose_spmv_into(&x, &mut [0.0; 4]).is_err());
     }
 
     #[test]
@@ -337,6 +633,35 @@ mod tests {
         assert_eq!(acc.as_slice(), &[0.0, 6.0, 8.0]);
         assert!(m.row_dot(0, &Vector::zeros(1)).is_err());
         assert!(m.scatter_row(0, 1.0, &mut Vector::zeros(1)).is_err());
+    }
+
+    #[test]
+    fn rows_dot_and_scatter_rows_match_per_row_ops() {
+        let m = sample();
+        let x = vec![1.0, 2.0, 3.0];
+        let rows = [2usize, 0, 2, 1];
+        let mut dots = vec![0.0; rows.len()];
+        m.rows_dot_into(&rows, &x, &mut dots).unwrap();
+        for (k, &i) in rows.iter().enumerate() {
+            assert_eq!(dots[k], m.row_dot(i, &x).unwrap());
+        }
+
+        let alphas = [0.5, -1.0, 0.0, 2.0];
+        let mut acc = vec![0.0; 3];
+        m.scatter_rows_into(&rows, &alphas, &mut acc).unwrap();
+        let mut expected = vec![0.0; 3];
+        for (k, &i) in rows.iter().enumerate() {
+            m.scatter_row(i, alphas[k], &mut expected).unwrap();
+        }
+        assert_eq!(acc, expected);
+
+        // Shape and bound errors.
+        assert!(m.rows_dot_into(&rows, &x, &mut [0.0; 2]).is_err());
+        assert!(m.rows_dot_into(&rows, &[0.0; 2], &mut dots).is_err());
+        assert!(m.rows_dot_into(&[5], &x, &mut [0.0; 1]).is_err());
+        assert!(m.scatter_rows_into(&rows, &alphas[..2], &mut acc).is_err());
+        assert!(m.scatter_rows_into(&rows, &alphas, &mut [0.0; 2]).is_err());
+        assert!(m.scatter_rows_into(&[9], &[1.0], &mut acc).is_err());
     }
 
     #[test]

@@ -1,16 +1,18 @@
 //! Property suite for the performance layer: every `_into` kernel variant
 //! must match its allocating counterpart bitwise, the unrolled/blocked
 //! kernels must match straightforward reference implementations numerically,
-//! and every kernel must be **bitwise identical** across thread counts
-//! (`PRIU_THREADS ∈ {1, 4}` pinned per call via `par::with_threads`).
+//! and every kernel — dense and sparse CSR alike — must be **bitwise
+//! identical** across thread counts (`PRIU_THREADS ∈ {1, 4}` pinned per
+//! call via `par::with_threads`).
 //!
 //! Shapes are swept over a deterministic seed-per-case grid (the workspace
 //! convention replacing proptest) including sizes small enough to stay on
 //! the single-chunk inline path and large enough to exercise multi-chunk
-//! parallel reductions.
+//! parallel reductions on the persistent worker pool.
 
 use priu_linalg::par;
-use priu_linalg::{Matrix, Vector};
+use priu_linalg::sparse::CooBuilder;
+use priu_linalg::{CsrMatrix, Matrix, Vector};
 use priu_rng::Rng64;
 
 /// (rows, cols) grid: single-chunk, boundary and multi-chunk shapes, with
@@ -199,6 +201,130 @@ fn truncated_apply_into_matches_apply() {
     let mut scratch = Vec::new();
     t.apply_into(&w, &mut out, &mut scratch).unwrap();
     assert_eq!(out, via_apply.into_vec());
+}
+
+/// Sparse `(rows, cols, nnz_per_row)` grid: single-chunk, boundary and
+/// multi-chunk row counts at RCV1-ish per-row densities.
+const SPARSE_SHAPES: [(usize, usize, usize); 4] =
+    [(7, 5, 2), (300, 40, 6), (600, 90, 12), (1500, 200, 25)];
+
+fn random_csr(rows: usize, cols: usize, nnz_per_row: usize, seed: u64) -> CsrMatrix {
+    let mut rng = Rng64::from_seed(seed);
+    let mut builder = CooBuilder::new(rows, cols);
+    for i in 0..rows {
+        for _ in 0..nnz_per_row {
+            // Duplicate (i, j) draws are summed by the builder, preserving
+            // the sorted-strictly-increasing column invariant.
+            let j = rng.index(cols);
+            builder.push(i, j, rng.uniform(-2.0, 2.0)).unwrap();
+        }
+    }
+    builder.build()
+}
+
+/// A deterministic pseudo-batch of row indices (with repeats) for the
+/// replay kernels.
+fn batch_rows(nrows: usize, len: usize, seed: u64) -> Vec<usize> {
+    let mut rng = Rng64::from_seed(seed);
+    (0..len).map(|_| rng.index(nrows)).collect()
+}
+
+#[test]
+fn sparse_into_variants_match_allocating_counterparts_bitwise() {
+    for (case, &(n, m, nnz)) in SPARSE_SHAPES.iter().enumerate() {
+        let seed = 0x5A0 + case as u64;
+        let a = random_csr(n, m, nnz, seed);
+        let x = random_vec(m, seed ^ 1);
+        let t = random_vec(n, seed ^ 2);
+
+        let mut out_n = vec![0.0; n];
+        a.spmv_into(&x, &mut out_n).unwrap();
+        assert_eq!(out_n, a.spmv(&x).unwrap().into_vec(), "spmv {n}x{m}");
+
+        let mut out_m = vec![0.0; m];
+        a.transpose_spmv_into(&t, &mut out_m).unwrap();
+        assert_eq!(
+            out_m,
+            a.transpose_spmv(&t).unwrap().into_vec(),
+            "transpose_spmv {n}x{m}"
+        );
+
+        // The batch replay kernels against their per-row counterparts
+        // (bitwise on the single-chunk path; the multi-chunk reduction uses
+        // a different summation tree, checked numerically below).
+        let rows = batch_rows(n, (n / 2).max(3), seed ^ 3);
+        let mut dots = vec![0.0; rows.len()];
+        a.rows_dot_into(&rows, &x, &mut dots).unwrap();
+        for (k, &i) in rows.iter().enumerate() {
+            assert_eq!(dots[k], a.row_dot(i, &x).unwrap(), "rows_dot {n}x{m}");
+        }
+    }
+}
+
+#[test]
+fn sparse_kernels_match_dense_equivalents_numerically() {
+    for (case, &(n, m, nnz)) in SPARSE_SHAPES.iter().enumerate() {
+        let seed = 0x5B0 + case as u64;
+        let a = random_csr(n, m, nnz, seed);
+        let dense = a.to_dense();
+        let x = random_vec(m, seed ^ 1);
+        let t = random_vec(n, seed ^ 2);
+        let tol = 1e-12 * (n.max(m) as f64);
+
+        let spmv = a.spmv(&x).unwrap();
+        let dense_mv = dense.matvec(&x).unwrap();
+        assert!(max_abs_diff(&spmv, &dense_mv) < tol, "spmv {n}x{m}");
+
+        let tspmv = a.transpose_spmv(&t).unwrap();
+        let dense_tmv = dense.transpose_matvec(&t).unwrap();
+        assert!(
+            max_abs_diff(&tspmv, &dense_tmv) < tol,
+            "transpose_spmv {n}x{m}"
+        );
+
+        // scatter_rows_into == Σ_k alphas[k] · row(rows[k]), via the dense
+        // selected-rows transpose-matvec.
+        let rows = batch_rows(n, n, seed ^ 3);
+        let alphas = random_vec(rows.len(), seed ^ 4);
+        let mut acc = vec![0.0; m];
+        a.scatter_rows_into(&rows, &alphas, &mut acc).unwrap();
+        let selected = dense.select_rows(&rows);
+        let expected = selected.transpose_matvec(&alphas).unwrap();
+        assert!(max_abs_diff(&acc, &expected) < tol, "scatter_rows {n}x{m}");
+    }
+}
+
+#[test]
+fn sparse_results_are_bitwise_identical_across_thread_counts() {
+    for (case, &(n, m, nnz)) in SPARSE_SHAPES.iter().enumerate() {
+        let seed = 0x5C0 + case as u64;
+        let a = random_csr(n, m, nnz, seed);
+        let x = random_vec(m, seed ^ 1);
+        let t = random_vec(n, seed ^ 2);
+        let rows = batch_rows(n, n, seed ^ 3);
+        let alphas = random_vec(rows.len(), seed ^ 4);
+
+        let run = || {
+            let mut dots = vec![0.0; rows.len()];
+            a.rows_dot_into(&rows, &x, &mut dots).unwrap();
+            let mut acc = vec![0.0; m];
+            a.scatter_rows_into(&rows, &alphas, &mut acc).unwrap();
+            (
+                a.spmv(&x).unwrap(),
+                a.transpose_spmv(&t).unwrap(),
+                dots,
+                acc,
+            )
+        };
+        let serial = par::with_threads(1, run);
+        let parallel = par::with_threads(4, run);
+        // PartialEq on f64 containers is exact equality — the determinism
+        // guarantee is bitwise, not approximate.
+        assert_eq!(serial.0, parallel.0, "spmv {n}x{m}");
+        assert_eq!(serial.1, parallel.1, "transpose_spmv {n}x{m}");
+        assert_eq!(serial.2, parallel.2, "rows_dot {n}x{m}");
+        assert_eq!(serial.3, parallel.3, "scatter_rows {n}x{m}");
+    }
 }
 
 #[test]

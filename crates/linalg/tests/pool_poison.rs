@@ -1,0 +1,81 @@
+//! Worker-panic poisoning of the persistent pool.
+//!
+//! This test deliberately panics inside a chunk closure *on a worker
+//! thread* and asserts the documented poisoning contract. It lives in its
+//! own integration-test binary (its own process) so the poisoned global
+//! pool cannot leak into unrelated tests.
+
+use std::panic;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use priu_linalg::{par, Matrix};
+
+/// Whether the current thread is one of the pool's workers (they are
+/// spawned with a fixed name).
+fn on_worker_thread() -> bool {
+    std::thread::current()
+        .name()
+        .is_some_and(|name| name.starts_with("priu-par-worker"))
+}
+
+#[test]
+fn worker_panic_poisons_the_pool_and_shutdown_clears_it() {
+    let worker_panicked = AtomicBool::new(false);
+
+    // Submit a job with many chunks. The submitting thread parks inside its
+    // first chunk until a worker has panicked (or a timeout passes), which
+    // guarantees the panic happens on a worker thread, not the submitter.
+    let result = panic::catch_unwind(|| {
+        par::with_threads(4, || {
+            par::run_chunks(64, |_c| {
+                if on_worker_thread() {
+                    worker_panicked.store(true, Ordering::SeqCst);
+                    panic!("deliberate worker panic (poisoning test)");
+                }
+                // Submitter: wait for the poison to land so we never finish
+                // the job before a worker had the chance to panic.
+                let deadline = Instant::now() + Duration::from_secs(10);
+                while !par::pool_is_poisoned() && Instant::now() < deadline {
+                    std::thread::yield_now();
+                }
+            });
+        })
+    });
+
+    assert!(
+        worker_panicked.load(Ordering::SeqCst),
+        "test setup: no chunk ever ran on a worker thread"
+    );
+    // The submitting call itself reports the poison as a panic...
+    let payload = result.expect_err("a poisoned job must panic on the submitter");
+    let message = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(
+        message.contains("poisoned") && message.contains("deliberate worker panic"),
+        "unexpected poison message: {message:?}"
+    );
+    assert!(par::pool_is_poisoned());
+
+    // ...and every later multi-chunk call fails loudly instead of computing
+    // on a broken pool.
+    let a = Matrix::from_fn(1100, 16, |i, j| (i + j) as f64);
+    let x = vec![1.0; 16];
+    let later = panic::catch_unwind(|| par::with_threads(4, || a.matvec(&x).unwrap()));
+    assert!(
+        later.is_err(),
+        "multi-chunk kernels must refuse a poisoned pool"
+    );
+
+    // Inline paths are unaffected: single-thread calls never touch the pool.
+    let serial = par::with_threads(1, || a.matvec(&x).unwrap());
+
+    // Shutdown clears the poison and the pool restarts cleanly.
+    par::shutdown_pool();
+    assert!(!par::pool_is_poisoned());
+    assert_eq!(par::pool_workers(), 0);
+    let parallel = par::with_threads(4, || a.matvec(&x).unwrap());
+    assert_eq!(serial, parallel, "restarted pool must compute correct bits");
+}

@@ -12,7 +12,19 @@
 pub use std::hint::black_box;
 
 use std::fmt::Display;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// The substring filter passed on the command line (the first non-flag
+/// argument, mirroring criterion's positional filter): benchmarks whose
+/// full `group/id` label does not contain it are skipped. `cargo bench --
+/// <filter>` forwards it here; cargo's own `--bench` flag is ignored.
+fn filter() -> Option<&'static str> {
+    static FILTER: OnceLock<Option<String>> = OnceLock::new();
+    FILTER
+        .get_or_init(|| std::env::args().skip(1).find(|arg| !arg.starts_with('-')))
+        .as_deref()
+}
 
 /// Top-level handle passed to every bench function.
 #[derive(Debug, Default)]
@@ -128,6 +140,16 @@ impl BenchmarkGroup {
     pub fn finish(self) {}
 
     fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        if let Some(filter) = filter() {
+            let label = if id.is_empty() {
+                self.name.clone()
+            } else {
+                format!("{}/{}", self.name, id)
+            };
+            if !label.contains(filter) {
+                return;
+            }
+        }
         let mut bencher = Bencher {
             mode: Mode::WarmUp {
                 until: Instant::now() + self.warm_up_time,
