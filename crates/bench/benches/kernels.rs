@@ -17,12 +17,21 @@
 //! (`spmv`, `transpose_spmv`, `scatter_rows`): `scalar` per-row loops vs the
 //! chunked production kernels pinned to one (`parallel1`) and four
 //! (`parallel4`) threads.
+//!
+//! The `decomp_grid` group covers the blocked decomposition layer driving
+//! PrIU-opt's offline phase and the closed-form baseline: `scalar` is the
+//! pre-blocking textbook implementation (left-looking Cholesky, sequential
+//! row-cyclic Jacobi, Householder QR with a full n×n Q accumulation);
+//! `blocked1` / `blocked4` are the production blocked kernels pinned to one
+//! and four threads.
 
 use std::time::Duration;
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use priu_linalg::decomposition::eigen::SymmetricEigen;
-use priu_linalg::decomposition::{GramFactor, TruncationMethod};
+use priu_linalg::decomposition::{
+    cholesky_factor_into, qr_factor_into, GramFactor, JacobiScratch, QrScratch, TruncationMethod,
+};
 use priu_linalg::par;
 use priu_linalg::sparse::CooBuilder;
 use priu_linalg::{CsrMatrix, Matrix, Vector};
@@ -116,6 +125,134 @@ mod scalar {
                 acc[c] += alphas[k] * v;
             }
         }
+    }
+
+    /// Textbook left-looking Cholesky (the pre-blocking decomposition).
+    pub fn cholesky(a: &Matrix) -> Matrix {
+        let n = a.nrows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        l
+    }
+
+    /// Sequential row-cyclic Jacobi sweep (the pre-blocking eigen path).
+    pub fn jacobi_eigen(a: &Matrix) -> (Vec<f64>, Matrix) {
+        let n = a.nrows();
+        let scale = a.max_abs().max(1.0);
+        let mut m = a.clone();
+        let mut q = Matrix::identity(n);
+        let tol = 1e-14 * scale;
+        for _sweep in 0..100 {
+            let mut off = 0.0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    off += m[(i, j)] * m[(i, j)];
+                }
+            }
+            if off.sqrt() <= tol {
+                break;
+            }
+            for p in 0..n {
+                for r in (p + 1)..n {
+                    let apr = m[(p, r)];
+                    if apr.abs() <= tol * 1e-2 {
+                        continue;
+                    }
+                    let theta = (m[(r, r)] - m[(p, p)]) / (2.0 * apr);
+                    let t = if theta >= 0.0 {
+                        1.0 / (theta + (1.0 + theta * theta).sqrt())
+                    } else {
+                        -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                    };
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
+                    for k in 0..n {
+                        let (mkp, mkr) = (m[(k, p)], m[(k, r)]);
+                        m[(k, p)] = c * mkp - s * mkr;
+                        m[(k, r)] = s * mkp + c * mkr;
+                    }
+                    for k in 0..n {
+                        let (mpk, mrk) = (m[(p, k)], m[(r, k)]);
+                        m[(p, k)] = c * mpk - s * mrk;
+                        m[(r, k)] = s * mpk + c * mrk;
+                    }
+                    for k in 0..n {
+                        let (qkp, qkr) = (q[(k, p)], q[(k, r)]);
+                        q[(k, p)] = c * qkp - s * qkr;
+                        q[(k, r)] = s * qkp + c * qkr;
+                    }
+                }
+            }
+        }
+        ((0..n).map(|i| m[(i, i)]).collect(), q)
+    }
+
+    /// Textbook Householder QR accumulating a full n×n Q (the pre-blocking
+    /// QR path), returning the thin factors.
+    pub fn qr(a: &Matrix) -> (Matrix, Matrix) {
+        let (n, m) = a.shape();
+        let mut r_full = a.clone();
+        let mut q_full = Matrix::identity(n);
+        for k in 0..m {
+            let mut norm = 0.0;
+            for i in k..n {
+                norm += r_full[(i, k)] * r_full[(i, k)];
+            }
+            let norm = norm.sqrt();
+            if norm == 0.0 {
+                continue;
+            }
+            let alpha = if r_full[(k, k)] >= 0.0 { -norm } else { norm };
+            let mut v = vec![0.0; n];
+            for i in k..n {
+                v[i] = r_full[(i, k)];
+            }
+            v[k] -= alpha;
+            let v_norm_sq: f64 = v.iter().map(|x| x * x).sum();
+            if v_norm_sq == 0.0 {
+                continue;
+            }
+            for j in k..m {
+                let mut dot = 0.0;
+                for i in k..n {
+                    dot += v[i] * r_full[(i, j)];
+                }
+                let scale = 2.0 * dot / v_norm_sq;
+                for i in k..n {
+                    r_full[(i, j)] -= scale * v[i];
+                }
+            }
+            for i in 0..n {
+                let mut dot = 0.0;
+                for l in k..n {
+                    dot += q_full[(i, l)] * v[l];
+                }
+                let scale = 2.0 * dot / v_norm_sq;
+                for l in k..n {
+                    q_full[(i, l)] -= scale * v[l];
+                }
+            }
+        }
+        let q = q_full.first_columns(m).unwrap();
+        let mut r = Matrix::zeros(m, m);
+        for i in 0..m {
+            for j in i..m {
+                r[(i, j)] = r_full[(i, j)];
+            }
+        }
+        (q, r)
     }
 }
 
@@ -265,6 +402,88 @@ fn bench_sparse_grid(c: &mut Criterion) {
     group.finish();
 }
 
+/// SPD / symmetric sizes for the decomposition grid. Cholesky reaches the
+/// 512×512 acceptance shape; the Jacobi eigen sizes stay smaller because a
+/// single factorisation is Θ(n³) *per sweep*.
+const CHOL_SIZES: [usize; 3] = [128, 256, 512];
+const EIG_SIZES: [usize; 3] = [54, 96, 128];
+const QR_SHAPES: [(usize, usize); 2] = [(512, 128), (1000, 200)];
+
+fn bench_decomp_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decomp_grid");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_secs(1));
+
+    for &n in &CHOL_SIZES {
+        let b = random_matrix(n, n, 31);
+        let mut a = b.gram();
+        a.add_diagonal_mut(n as f64).unwrap();
+        let mut l = Matrix::zeros(n, n);
+        let shape = format!("{n}x{n}");
+
+        group.bench_function(BenchmarkId::new("cholesky_scalar", &shape), |bench| {
+            bench.iter(|| scalar::cholesky(black_box(&a)))
+        });
+        group.bench_function(BenchmarkId::new("cholesky_blocked1", &shape), |bench| {
+            bench.iter(|| par::with_threads(1, || cholesky_factor_into(black_box(&a), &mut l)))
+        });
+        group.bench_function(BenchmarkId::new("cholesky_blocked4", &shape), |bench| {
+            bench.iter(|| par::with_threads(4, || cholesky_factor_into(black_box(&a), &mut l)))
+        });
+    }
+
+    for &n in &EIG_SIZES {
+        let sym = random_matrix(n, n, 32).gram();
+        let mut scratch = JacobiScratch::default();
+        let shape = format!("{n}x{n}");
+
+        group.bench_function(BenchmarkId::new("eigen_scalar", &shape), |bench| {
+            bench.iter(|| scalar::jacobi_eigen(black_box(&sym)))
+        });
+        group.bench_function(BenchmarkId::new("eigen_blocked1", &shape), |bench| {
+            bench.iter(|| {
+                par::with_threads(1, || {
+                    SymmetricEigen::new_with(black_box(&sym), &mut scratch).unwrap()
+                })
+            })
+        });
+        group.bench_function(BenchmarkId::new("eigen_blocked4", &shape), |bench| {
+            bench.iter(|| {
+                par::with_threads(4, || {
+                    SymmetricEigen::new_with(black_box(&sym), &mut scratch).unwrap()
+                })
+            })
+        });
+    }
+
+    for &(n, m) in &QR_SHAPES {
+        let a = random_matrix(n, m, 33);
+        let mut scratch = QrScratch::default();
+        let (mut q, mut r) = (Matrix::zeros(0, 0), Matrix::zeros(0, 0));
+        let shape = format!("{n}x{m}");
+
+        group.bench_function(BenchmarkId::new("qr_scalar", &shape), |bench| {
+            bench.iter(|| scalar::qr(black_box(&a)))
+        });
+        group.bench_function(BenchmarkId::new("qr_blocked1", &shape), |bench| {
+            bench.iter(|| {
+                par::with_threads(1, || {
+                    qr_factor_into(black_box(&a), &mut q, &mut r, &mut scratch).unwrap()
+                })
+            })
+        });
+        group.bench_function(BenchmarkId::new("qr_blocked4", &shape), |bench| {
+            bench.iter(|| {
+                par::with_threads(4, || {
+                    qr_factor_into(black_box(&a), &mut q, &mut r, &mut scratch).unwrap()
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("linalg_kernels");
     group.sample_size(20);
@@ -341,5 +560,11 @@ fn bench_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kernel_grid, bench_sparse_grid, bench_kernels);
+criterion_group!(
+    benches,
+    bench_kernel_grid,
+    bench_sparse_grid,
+    bench_decomp_grid,
+    bench_kernels
+);
 criterion_main!(benches);

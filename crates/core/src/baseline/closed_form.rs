@@ -11,12 +11,13 @@
 //! `(XᵀX + (nλ/2) I) w = XᵀY`.
 
 use priu_data::dataset::DenseDataset;
-use priu_linalg::decomposition::Cholesky;
+use priu_linalg::decomposition::{cholesky_factor_into, cholesky_solve_into, Cholesky};
 use priu_linalg::{Matrix, Vector};
 
 use crate::error::{CoreError, Result};
 use crate::model::{Model, ModelKind};
 use crate::update::normalize_removed;
+use crate::workspace::Workspace;
 
 /// The maintained views `M = XᵀX` and `N = XᵀY`, built offline.
 #[derive(Debug, Clone)]
@@ -78,6 +79,23 @@ pub fn closed_form_incremental(
     capture: &ClosedFormCapture,
     removed: &[usize],
 ) -> Result<Model> {
+    closed_form_incremental_with(dataset, capture, removed, &mut Workspace::new())
+}
+
+/// Like [`closed_form_incremental`], reusing a caller-owned [`Workspace`]:
+/// the removed-row block, the downdated views, the blocked Cholesky factor
+/// and the substitution all run on workspace buffers, so a warm (pre-sized)
+/// workspace makes the whole update allocate only the produced model. This
+/// is the entry point the linear engine's timed updates use.
+///
+/// # Errors
+/// See [`closed_form_incremental`].
+pub fn closed_form_incremental_with(
+    dataset: &DenseDataset,
+    capture: &ClosedFormCapture,
+    removed: &[usize],
+    ws: &mut Workspace,
+) -> Result<Model> {
     let y = dataset
         .labels
         .as_continuous()
@@ -91,20 +109,44 @@ pub fn closed_form_incremental(
             num_samples: capture.num_samples,
         });
     }
-    let delta_x = dataset.x.select_rows(&removed);
-    let delta_y = Vector::from_vec(removed.iter().map(|&i| y[i]).collect());
+    let m = dataset.num_features();
+    // ΔX into the batch-rows buffer, ΔY into a batch-sized buffer.
+    ws.batch.clear();
+    ws.batch.extend_from_slice(&removed);
+    ws.select_batch_rows(&dataset.x);
+    ws.prepare_batch(removed.len());
+    ws.prepare_features(m);
+    ws.prepare_square(m);
+    let Workspace {
+        rows: delta_x,
+        b0: delta_y,
+        m0: xty,
+        mm0: xtx,
+        mm1: factor,
+        ..
+    } = ws;
+    for (slot, &i) in removed.iter().enumerate() {
+        delta_y[slot] = y[i];
+    }
 
-    let mut xtx = capture.xtx.clone();
-    xtx.axpy(-1.0, &delta_x.gram())?;
-    let mut xty = capture.xty.clone();
-    xty.axpy(-1.0, &delta_x.transpose_matvec(&delta_y)?)?;
+    // Downdated views: M' = M − ΔXᵀΔX (the removed block's Gram goes into
+    // the factor buffer, which the factorisation overwrites right after),
+    // N' = N − ΔXᵀΔY.
+    xtx.as_mut_slice().copy_from_slice(capture.xtx.as_slice());
+    delta_x.weighted_gram_into(None, factor);
+    xtx.axpy(-1.0, factor)?;
+    delta_x.transpose_matvec_into(delta_y, xty)?;
+    for (slot, full) in xty.iter_mut().zip(capture.xty.iter()) {
+        *slot = full - *slot;
+    }
 
-    solve(
-        xtx,
-        xty,
-        capture.num_samples - removed.len(),
-        capture.regularization,
-    )
+    // Regularised normal equations via the blocked Cholesky `_into` pair.
+    let n_u = capture.num_samples - removed.len();
+    xtx.add_diagonal_mut(n_u as f64 * capture.regularization / 2.0)?;
+    cholesky_factor_into(xtx, factor)?;
+    let mut w = Vector::zeros(m);
+    cholesky_solve_into(factor, xty, w.as_mut_slice())?;
+    Model::new(ModelKind::Linear, vec![w])
 }
 
 fn solve(mut xtx: Matrix, xty: Vector, n: usize, regularization: f64) -> Result<Model> {
@@ -158,6 +200,21 @@ mod tests {
 
         let diff = (&incremental.flatten() - &fresh.flatten()).norm_inf();
         assert!(diff < 1e-8, "difference {diff}");
+    }
+
+    #[test]
+    fn workspace_variant_matches_allocating_variant_bitwise() {
+        let data = dataset();
+        let capture = ClosedFormCapture::build(&data, 1e-3).unwrap();
+        let removed = random_subsets(data.num_samples(), 0.08, 1, 9)[0].clone();
+        let plain = closed_form_incremental(&data, &capture, &removed).unwrap();
+        let mut ws = Workspace::sized_for(data.num_features(), removed.len(), 1);
+        ws.reserve_decompositions(data.num_features());
+        for _ in 0..2 {
+            // Twice: a warm workspace must not change results either.
+            let with_ws = closed_form_incremental_with(&data, &capture, &removed, &mut ws).unwrap();
+            assert_eq!(plain, with_ws);
+        }
     }
 
     #[test]

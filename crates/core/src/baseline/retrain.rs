@@ -15,7 +15,8 @@ use crate::error::{CoreError, Result};
 use crate::interpolation::PiecewiseLinearSigmoid;
 use crate::model::{Model, ModelKind};
 use crate::trainer::sparse::SparseLogisticProvenance;
-use crate::update::normalize_removed;
+use crate::update::{normalize_removed, removed_positions_into};
+use crate::workspace::Workspace;
 
 /// Retrains a linear-regression model from scratch on the surviving samples.
 ///
@@ -174,6 +175,25 @@ pub fn retrain_sparse_binary_logistic(
     provenance: &SparseLogisticProvenance,
     removed: &[usize],
 ) -> Result<Model> {
+    retrain_sparse_binary_logistic_with(dataset, provenance, removed, &mut Workspace::new())
+}
+
+/// Like [`retrain_sparse_binary_logistic`], reusing a caller-owned
+/// [`Workspace`]. The retraining loop rides the same batched CSR kernels as
+/// the sparse PrIU replay — one `rows_dot_into` gathers every survivor
+/// margin, one `scatter_rows_into` applies the whole gradient — instead of
+/// per-sample `row_dot` / `scatter_row` calls, keeping the BaseL-vs-PrIU
+/// comparison apples-to-apples at every thread count. With warm buffers the
+/// loop performs no heap allocation per iteration.
+///
+/// # Errors
+/// See [`retrain_sparse_binary_logistic`].
+pub fn retrain_sparse_binary_logistic_with(
+    dataset: &SparseDataset,
+    provenance: &SparseLogisticProvenance,
+    removed: &[usize],
+    ws: &mut Workspace,
+) -> Result<Model> {
     let y = match &dataset.labels {
         Labels::Binary(y) => y,
         _ => {
@@ -189,20 +209,46 @@ pub fn retrain_sparse_binary_logistic(
     let mut w = provenance.initial_model.weight().clone();
 
     for t in 0..provenance.schedule.num_iterations() {
-        let (batch, b_u) = provenance.schedule.batch_excluding(t, &removed);
+        provenance
+            .schedule
+            .batch_into(t, &mut ws.batch, &mut ws.idx_scratch);
+        removed_positions_into(&ws.batch, &removed, &mut ws.positions);
+        let b_u = ws.batch.len() - ws.positions.len();
         if b_u == 0 {
             w.scale_mut(1.0 - eta * lambda);
             continue;
         }
-        let mut acc = Vector::zeros(m);
-        for &i in &batch {
-            let margin = y[i] * dataset.x.row_dot(i, &w)?;
-            dataset
-                .x
-                .scatter_row(i, y[i] * PiecewiseLinearSigmoid::exact(margin), &mut acc)?;
+        ws.prepare_features(m);
+        ws.prepare_sparse_batch(ws.batch.len());
+        let Workspace {
+            batch,
+            positions,
+            sel,
+            b0: coeffs,
+            m0: acc,
+            ..
+        } = ws;
+        // Compact the surviving batch members.
+        sel.clear();
+        let mut next_removed = positions.iter().copied().peekable();
+        for (pos, &i) in batch.iter().enumerate() {
+            if next_removed.peek() == Some(&pos) {
+                next_removed.next();
+                continue;
+            }
+            sel.push(i);
         }
+        // Gather all survivor margins with one batched kernel, then turn
+        // them into scatter weights y_i · f(y_i · xᵀw).
+        let coeffs = &mut coeffs[..sel.len()];
+        dataset.x.rows_dot_into(sel, &w, coeffs)?;
+        for (k, &i) in sel.iter().enumerate() {
+            coeffs[k] = y[i] * PiecewiseLinearSigmoid::exact(y[i] * coeffs[k]);
+        }
+        // One chunk-ordered deterministic reduction applies the gradient.
+        dataset.x.scatter_rows_into(sel, coeffs, acc)?;
         w.scale_mut(1.0 - eta * lambda);
-        w.axpy(eta / b_u as f64, &acc)?;
+        w.axpy(eta / b_u as f64, &*acc)?;
     }
     Model::new(ModelKind::BinaryLogistic, vec![w])
 }
@@ -273,6 +319,41 @@ mod tests {
         let retrained = retrain_linear(&data, &trained.provenance, &removed).unwrap();
         assert_ne!(trained.model, retrained);
         assert!(retrained.is_finite());
+    }
+
+    #[test]
+    fn sparse_retraining_on_the_kernel_layer_replays_training_exactly() {
+        use priu_data::synthetic::sparse_text::{generate_sparse_binary, SparseConfig};
+        // The trainer's GD step and the BaseL retraining loop now ride the
+        // same batched CSR kernels, so an empty removal reproduces the
+        // trained model bitwise — and the result is bitwise identical
+        // across thread counts (mb-SGD batches stay single-chunk; the
+        // kernels are deterministic regardless).
+        let data = generate_sparse_binary(&SparseConfig {
+            num_samples: 200,
+            num_features: 150,
+            nnz_per_row: 12,
+            informative_fraction: 0.2,
+            seed: 86,
+        });
+        let mut cfg = config();
+        cfg.hyper.learning_rate = 0.3;
+        let trained = crate::trainer::sparse::train_sparse_binary_logistic(&data, &cfg).unwrap();
+        let removed = [2usize, 17, 40];
+        let run = |threads: usize, removed: &[usize]| {
+            priu_linalg::par::with_threads(threads, || {
+                retrain_sparse_binary_logistic(&data, &trained.provenance, removed).unwrap()
+            })
+        };
+        let empty = run(1, &[]);
+        assert_eq!(trained.model, empty);
+        assert_eq!(run(1, &removed), run(4, &removed));
+        // The workspace variant is the same computation.
+        let mut ws = Workspace::new();
+        let with_ws =
+            retrain_sparse_binary_logistic_with(&data, &trained.provenance, &removed, &mut ws)
+                .unwrap();
+        assert_eq!(run(1, &removed), with_ws);
     }
 
     #[test]

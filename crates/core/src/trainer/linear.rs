@@ -115,9 +115,14 @@ pub fn train_linear_with(
     }
 
     // PrIU-opt offline capture: eigendecomposition of M = XᵀX and N = XᵀY.
+    // The Gram matrix and the Jacobi sweep run on workspace buffers
+    // (`weighted_gram_into` + `SymmetricEigen::new_with`), so with a
+    // pre-sized workspace the capture allocates only what it stores.
     let opt = if config.capture_opt {
-        let gram = dataset.x.gram();
-        let eigen = SymmetricEigen::new(&gram)?;
+        ws.prepare_square(m);
+        let Workspace { mm0, eig, .. } = ws;
+        dataset.x.weighted_gram_into(None, mm0);
+        let eigen = SymmetricEigen::new_with(mm0, eig)?;
         let xty = dataset.x.transpose_matvec(y)?;
         Some(LinearOptCapture { eigen, xty })
     } else {

@@ -109,7 +109,7 @@ pub fn train_binary_logistic_with(
     for t in 0..hyper.num_iterations {
         // PrIU-opt freeze point: capture full-data linearisation at w^{(ts)}.
         if config.capture_opt && t == ts {
-            opt = Some(capture_binary_opt(dataset, y, &w, interp, ts, m)?);
+            opt = Some(capture_binary_opt(dataset, y, &w, interp, ts, m, ws)?);
         }
 
         schedule.batch_into(t, &mut ws.batch, &mut ws.idx_scratch);
@@ -180,6 +180,7 @@ fn capture_binary_opt(
     interp: &PiecewiseLinearSigmoid,
     ts: usize,
     m: usize,
+    ws: &mut Workspace,
 ) -> Result<LogisticOptCapture> {
     let n = dataset.num_samples();
     let xw = dataset.x.matvec(w)?;
@@ -191,8 +192,12 @@ fn capture_binary_opt(
         a_all.push(seg.slope);
         b_all.push(seg.intercept * y[i]);
     }
-    let c_star = dataset.x.weighted_gram(Some(&a_all));
-    let eigen = SymmetricEigen::new(&c_star)?;
+    // The frozen C* and its eigendecomposition run on workspace buffers;
+    // only the capture's stored pieces are allocated.
+    ws.prepare_square(m);
+    let Workspace { mm0, eig, .. } = ws;
+    dataset.x.weighted_gram_into(Some(&a_all), mm0);
+    let eigen = SymmetricEigen::new_with(mm0, eig)?;
     let d_star = dataset.x.transpose_matvec(&b_all)?;
     let coefficients = a_all.into_iter().zip(b_all).collect();
     Ok(LogisticOptCapture {
@@ -263,7 +268,7 @@ pub fn train_multinomial_logistic_with(
     for t in 0..hyper.num_iterations {
         if config.capture_opt && t == ts {
             opt = Some(capture_multinomial_opt(
-                dataset, classes, q, &weights, interp, ts,
+                dataset, classes, q, &weights, interp, ts, ws,
             )?);
         }
 
@@ -374,6 +379,7 @@ fn capture_multinomial_opt(
     weights: &[Vector],
     interp: &PiecewiseLinearSigmoid,
     ts: usize,
+    ws: &mut Workspace,
 ) -> Result<LogisticOptCapture> {
     let n = dataset.num_samples();
     let logits: Vec<Vector> = weights
@@ -402,8 +408,10 @@ fn capture_multinomial_opt(
             a_all.push(-seg.slope);
             b_all.push(indicator - seg.intercept + seg.slope * l_other);
         }
-        let c_star = dataset.x.weighted_gram(Some(&a_all));
-        let eigen = SymmetricEigen::new(&c_star)?;
+        ws.prepare_square(dataset.num_features());
+        let Workspace { mm0, eig, .. } = ws;
+        dataset.x.weighted_gram_into(Some(&a_all), mm0);
+        let eigen = SymmetricEigen::new_with(mm0, eig)?;
         let d_star = dataset.x.transpose_matvec(&b_all)?;
         class_captures.push(LogisticOptClassCapture {
             eigen,

@@ -29,8 +29,9 @@
 //! What is *not* covered: provenance capture storage. The trainers append a
 //! freshly-built Gram cache and coefficient list per iteration — that data
 //! outlives the loop by design and is exempt from the zero-allocation
-//! guarantee (see DESIGN.md §4).
+//! guarantee (see DESIGN.md §3.3).
 
+use priu_linalg::decomposition::JacobiScratch;
 use priu_linalg::Matrix;
 
 /// Reusable scratch for the trainer and update hot loops.
@@ -67,6 +68,13 @@ pub struct Workspace {
     /// Gram-cache apply scratch (rank- and removal-sized).
     pub(crate) g0: Vec<f64>,
     pub(crate) g1: Vec<f64>,
+    /// Feature-square (`m x m`) matrix buffers for the offline
+    /// decomposition paths (PrIU-opt capture Grams, closed-form views and
+    /// their Cholesky factors).
+    pub(crate) mm0: Matrix,
+    pub(crate) mm1: Matrix,
+    /// Jacobi eigendecomposition scratch (PrIU-opt offline captures).
+    pub(crate) eig: JacobiScratch,
     grow_events: usize,
 }
 
@@ -145,6 +153,18 @@ impl Workspace {
         }
     }
 
+    /// Pre-sizes the offline decomposition buffers for `num_features ×
+    /// num_features` problems — the `m × m` matrix pair (Gram / Cholesky
+    /// factor) and the Jacobi eigendecomposition scratch. Engines call this
+    /// before the offline timer (PrIU-opt capture) and before a timed
+    /// closed-form update, so neither allocates buffers inside the timed
+    /// region.
+    pub fn reserve_decompositions(&mut self, num_features: usize) {
+        self.mm0.reshape_zeroed(num_features, num_features);
+        self.mm1.reshape_zeroed(num_features, num_features);
+        self.eig.reserve(num_features);
+    }
+
     /// Sizes and zeroes the feature-extent accumulators (`m0`-`m2`).
     pub(crate) fn prepare_features(&mut self, num_features: usize) {
         for buf in [&mut self.m0, &mut self.m1, &mut self.m2] {
@@ -176,6 +196,20 @@ impl Workspace {
             self.grow_events += 1;
         }
         x.select_rows_into(&self.batch, &mut self.rows);
+    }
+
+    /// Shapes the two `m × m` decomposition matrices without zeroing
+    /// (every consumer either fully overwrites `mm0` or hands the buffers
+    /// to kernels that reshape them itself — a memset here would be pure
+    /// overhead inside the timed closed-form update), counting capacity
+    /// growth like every other buffer.
+    pub(crate) fn prepare_square(&mut self, num_features: usize) {
+        for buf in [&mut self.mm0, &mut self.mm1] {
+            if buf.capacity() < num_features * num_features {
+                self.grow_events += 1;
+            }
+            buf.reshape_for_overwrite(num_features, num_features);
+        }
     }
 }
 

@@ -4,10 +4,86 @@
 //! matrix `M = X^T X` (`M = Q diag(c) Q^T`), followed by an *online*
 //! incremental eigenvalue update after a deletion: `c'_i = (Q^T M' Q)_{ii}`
 //! (Eq. 18, citing Ning et al.). Both pieces live in this module.
+//!
+//! # Blocked, pool-parallel sweeps
+//!
+//! The sweep is *round-robin cyclic*: each sweep runs `N − 1` rounds of the
+//! tournament (circle-method) schedule, every round pairing all indices into
+//! `N/2` **disjoint** rotation pairs (`N` is `n` rounded up to even; pairs
+//! touching the padding index are skipped). Per round the rotation angles
+//! are computed from the round-start matrix, then applied in three
+//! element-independent passes — row pairs of `M`, column pairs of `M`, row
+//! pairs of the transposed accumulator `Qᵀ` — each chunked over the pair
+//! list through [`crate::par`] with shape-only chunk boundaries.
+//!
+//! The schedule (referenced by the `decomp_parity` reference
+//! implementation): in round `t ∈ 0..N−1` the pairs are `{N−1, t}` and
+//! `{(t+k) mod (N−1), (t+N−1−k) mod (N−1)}` for `k ∈ 1..N/2`; each pair is
+//! normalised to `p < r`. Every unordered pair occurs exactly once per
+//! sweep.
+//!
+//! **Determinism.** Pair disjointness makes every pass a pure element-wise
+//! map (each matrix entry is written by exactly one pair), so the result is
+//! **bitwise identical for any `PRIU_THREADS`** and for the serial execution
+//! of the same schedule. Note the *rotation order* differs from the previous
+//! sequential row-cyclic implementation, so eigenpairs agree with it
+//! numerically (to convergence tolerance), not bitwise — the bitwise
+//! guarantee is over thread counts and executions of this schedule.
 
 use crate::dense::matrix::Matrix;
 use crate::dense::vector::Vector;
 use crate::error::{LinalgError, Result};
+use crate::par::{self, Chunks, SendPtr};
+
+/// Minimum rotation pairs per chunk: a pair's application costs `~6n`
+/// fused operations across the three passes, so chunks of at least this
+/// many pairs keep the pool hand-off amortised; rounds with fewer than
+/// `2 ×` this many pairs (n < 32) run inline on the calling thread.
+const EIG_MIN_CHUNK_PAIRS: usize = 8;
+/// Chunk-count cap for the rotation passes (map-style, disjoint pairs).
+const EIG_MAX_CHUNKS: usize = 8;
+/// Sweep budget; Jacobi converges in well under this for symmetric input.
+const MAX_SWEEPS: usize = 100;
+
+/// One tournament pair's rotation for the current round. `apply == false`
+/// marks padding pairs and below-threshold off-diagonals (identity
+/// rotations are *skipped*, not applied — `x − 0·y` is not always bitwise
+/// `x`).
+#[derive(Debug, Clone, Copy, Default)]
+struct PairRotation {
+    p: usize,
+    r: usize,
+    c: f64,
+    s: f64,
+    apply: bool,
+}
+
+/// Reusable scratch for [`SymmetricEigen::new_with`]: the working copy of
+/// the matrix, the transposed eigenvector accumulator, the per-round
+/// rotation list and the sort buffers. Buffers grow to the largest problem
+/// seen; a warm scratch makes repeated factorisations allocate only the
+/// returned eigenpairs.
+#[derive(Debug, Default, Clone)]
+pub struct JacobiScratch {
+    m: Matrix,
+    qt: Matrix,
+    rot: Vec<PairRotation>,
+    diag: Vec<f64>,
+    idx: Vec<usize>,
+}
+
+impl JacobiScratch {
+    /// Pre-sizes every buffer for `n × n` inputs (so the first
+    /// factorisation is already allocation-free apart from its returned
+    /// eigenpairs). Engines call this before starting the offline timer.
+    pub fn reserve(&mut self, n: usize) {
+        self.m.reshape_zeroed(n, n);
+        self.qt.reshape_zeroed(n, n);
+        self.rot.reserve(n.div_ceil(2));
+        self.diag.reserve(n);
+        self.idx.reserve(n);
+    }
+}
 
 /// Eigendecomposition `A = Q diag(values) Q^T` of a symmetric matrix, with
 /// eigenvalues sorted in descending order and eigenvectors stored as the
@@ -21,8 +97,8 @@ pub struct SymmetricEigen {
 }
 
 impl SymmetricEigen {
-    /// Computes the eigendecomposition of a symmetric matrix using the cyclic
-    /// Jacobi method.
+    /// Computes the eigendecomposition of a symmetric matrix using the
+    /// blocked round-robin cyclic Jacobi method (module docs).
     ///
     /// The strictly upper triangle is trusted; small asymmetries (up to
     /// `1e-8 * max_abs`) are tolerated and symmetrised away.
@@ -32,6 +108,17 @@ impl SymmetricEigen {
     /// * [`LinalgError::InvalidArgument`] if `a` is markedly asymmetric.
     /// * [`LinalgError::DidNotConverge`] if the sweep budget is exhausted.
     pub fn new(a: &Matrix) -> Result<Self> {
+        Self::new_with(a, &mut JacobiScratch::default())
+    }
+
+    /// Like [`SymmetricEigen::new`], reusing caller-owned scratch buffers:
+    /// with a warm [`JacobiScratch`] the only allocations are the returned
+    /// eigenvalue vector and eigenvector matrix. This is the entry point the
+    /// PrIU-opt offline captures use.
+    ///
+    /// # Errors
+    /// See [`SymmetricEigen::new`].
+    pub fn new_with(a: &Matrix, scratch: &mut JacobiScratch) -> Result<Self> {
         if !a.is_square() {
             return Err(LinalgError::NotSquare {
                 rows: a.nrows(),
@@ -52,89 +139,58 @@ impl SymmetricEigen {
             ));
         }
 
-        // Work on a symmetrised copy.
-        let mut m = Matrix::from_fn(n, n, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]));
-        let mut q = Matrix::identity(n);
-
-        let max_sweeps = 100;
-        let tol = 1e-14 * scale;
-        let mut converged = false;
-        for _sweep in 0..max_sweeps {
-            // Off-diagonal Frobenius norm.
-            let mut off = 0.0;
-            for i in 0..n {
-                for j in (i + 1)..n {
-                    off += m[(i, j)] * m[(i, j)];
-                }
+        // Work on a symmetrised copy; accumulate Q transposed (rotations
+        // then combine two contiguous rows in every pass).
+        let m = &mut scratch.m;
+        m.reshape_zeroed(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                m[(i, j)] = 0.5 * (a[(i, j)] + a[(j, i)]);
             }
-            if off.sqrt() <= tol {
+        }
+        let qt = &mut scratch.qt;
+        qt.reshape_zeroed(n, n);
+        for i in 0..n {
+            qt[(i, i)] = 1.0;
+        }
+
+        let tol = 1e-14 * scale;
+        let skip_tol = tol * 1e-2;
+        let big_n = n + (n & 1); // padded to even for the tournament
+        let mut converged = false;
+        for _sweep in 0..MAX_SWEEPS {
+            if off_diagonal_norm(m) <= tol {
                 converged = true;
                 break;
             }
-            for p in 0..n {
-                for r in (p + 1)..n {
-                    let apr = m[(p, r)];
-                    if apr.abs() <= tol * 1e-2 {
-                        continue;
-                    }
-                    let app = m[(p, p)];
-                    let arr = m[(r, r)];
-                    // Compute the Jacobi rotation that annihilates m[p][r].
-                    let theta = (arr - app) / (2.0 * apr);
-                    let t = if theta >= 0.0 {
-                        1.0 / (theta + (1.0 + theta * theta).sqrt())
-                    } else {
-                        -1.0 / (-theta + (1.0 + theta * theta).sqrt())
-                    };
-                    let c = 1.0 / (1.0 + t * t).sqrt();
-                    let s = t * c;
-
-                    // Apply the rotation: M <- J^T M J.
-                    for k in 0..n {
-                        let mkp = m[(k, p)];
-                        let mkr = m[(k, r)];
-                        m[(k, p)] = c * mkp - s * mkr;
-                        m[(k, r)] = s * mkp + c * mkr;
-                    }
-                    for k in 0..n {
-                        let mpk = m[(p, k)];
-                        let mrk = m[(r, k)];
-                        m[(p, k)] = c * mpk - s * mrk;
-                        m[(r, k)] = s * mpk + c * mrk;
-                    }
-                    // Accumulate rotations into Q.
-                    for k in 0..n {
-                        let qkp = q[(k, p)];
-                        let qkr = q[(k, r)];
-                        q[(k, p)] = c * qkp - s * qkr;
-                        q[(k, r)] = s * qkp + c * qkr;
-                    }
-                }
+            for t in 0..big_n.saturating_sub(1) {
+                build_round_rotations(m, n, big_n, t, skip_tol, &mut scratch.rot);
+                rotate_row_pairs(m, &scratch.rot);
+                rotate_column_pairs(m, &scratch.rot);
+                rotate_row_pairs(qt, &scratch.rot);
             }
         }
         if !converged {
             // One final check: Jacobi nearly always converges in well under
-            // 100 sweeps; treat leftover off-diagonal mass as failure.
-            let mut off = 0.0;
-            for i in 0..n {
-                for j in (i + 1)..n {
-                    off += m[(i, j)] * m[(i, j)];
-                }
-            }
-            if off.sqrt() > 1e-8 * scale {
+            // the sweep budget; treat leftover off-diagonal mass as failure.
+            if off_diagonal_norm(m) > 1e-8 * scale {
                 return Err(LinalgError::DidNotConverge {
                     op: "SymmetricEigen::new",
-                    iterations: max_sweeps,
+                    iterations: MAX_SWEEPS,
                 });
             }
         }
 
         // Collect eigenvalues and sort descending, permuting eigenvectors.
-        let mut idx: Vec<usize> = (0..n).collect();
-        let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
-        idx.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).expect("finite eigenvalues"));
-        let values = Vector::from_vec(idx.iter().map(|&i| diag[i]).collect());
-        let vectors = Matrix::from_fn(n, n, |i, j| q[(i, idx[j])]);
+        let diag = &mut scratch.diag;
+        diag.clear();
+        diag.extend((0..n).map(|i| m[(i, i)]));
+        let idx = &mut scratch.idx;
+        idx.clear();
+        idx.extend(0..n);
+        idx.sort_unstable_by(|&i, &j| diag[j].partial_cmp(&diag[i]).expect("finite eigenvalues"));
+        let values = Vector::from_fn(n, |i| diag[idx[i]]);
+        let vectors = Matrix::from_fn(n, n, |i, j| qt[(idx[j], i)]);
         Ok(Self { values, vectors })
     }
 
@@ -230,12 +286,152 @@ impl SymmetricEigen {
     }
 }
 
+/// Frobenius norm of the strictly upper triangle, accumulated row-major
+/// ascending (fixed order — part of the deterministic tree).
+fn off_diagonal_norm(m: &Matrix) -> f64 {
+    let n = m.nrows();
+    let mut off = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            off += m[(i, j)] * m[(i, j)];
+        }
+    }
+    off.sqrt()
+}
+
+/// Fills `rot` with round `t` of the tournament schedule (module docs) and
+/// each pair's Jacobi rotation computed from the round-start matrix.
+fn build_round_rotations(
+    m: &Matrix,
+    n: usize,
+    big_n: usize,
+    t: usize,
+    skip_tol: f64,
+    rot: &mut Vec<PairRotation>,
+) {
+    rot.clear();
+    let last = big_n - 1;
+    for k in 0..big_n / 2 {
+        let (a, b) = if k == 0 {
+            (last, t % last)
+        } else {
+            ((t + k) % last, (t + last - k) % last)
+        };
+        let (p, r) = (a.min(b), a.max(b));
+        let mut entry = PairRotation {
+            p,
+            r,
+            ..PairRotation::default()
+        };
+        if r < n {
+            let apr = m[(p, r)];
+            if apr.abs() > skip_tol {
+                let app = m[(p, p)];
+                let arr = m[(r, r)];
+                // The Jacobi rotation annihilating m[p][r].
+                let theta = (arr - app) / (2.0 * apr);
+                let tan = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                entry.c = 1.0 / (1.0 + tan * tan).sqrt();
+                entry.s = tan * entry.c;
+                entry.apply = true;
+            }
+        }
+        rot.push(entry);
+    }
+}
+
+/// Combines two equal-length rows: `(x, y) ← (c·x − s·y, s·x + c·y)`.
+fn rotate_two_rows(row_p: &mut [f64], row_r: &mut [f64], c: f64, s: f64) {
+    for (xp, xr) in row_p.iter_mut().zip(row_r.iter_mut()) {
+        let a = *xp;
+        let b = *xr;
+        *xp = c * a - s * b;
+        *xr = s * a + c * b;
+    }
+}
+
+/// Applies every rotation of the round to its two *rows* of `mat`
+/// (`Jᵀ · mat`), chunk-parallel over the pair list. Pairs are disjoint, so
+/// every row is written by exactly one pair — an element-wise map, bitwise
+/// identical for any chunk-to-thread assignment.
+fn rotate_row_pairs(mat: &mut Matrix, rot: &[PairRotation]) {
+    let n = mat.ncols();
+    let chunks = Chunks::new(rot.len(), EIG_MIN_CHUNK_PAIRS, EIG_MAX_CHUNKS);
+    let ptr = SendPtr(mat.as_mut_slice().as_mut_ptr());
+    par::run_chunks(chunks.count(), |ci| {
+        for pr in &rot[chunks.range(ci)] {
+            if !pr.apply {
+                continue;
+            }
+            // SAFETY: tournament pairs are disjoint within a round, so rows
+            // `p` and `r` are touched by this pair only.
+            let row_p = unsafe { ptr.slice(pr.p * n, n) };
+            let row_r = unsafe { ptr.slice(pr.r * n, n) };
+            rotate_two_rows(row_p, row_r, pr.c, pr.s);
+        }
+    });
+}
+
+/// Applies every rotation of the round to its two *columns* of `mat`
+/// (`mat · J`), chunk-parallel over the pair list (disjoint columns).
+fn rotate_column_pairs(mat: &mut Matrix, rot: &[PairRotation]) {
+    let n = mat.nrows();
+    let width = mat.ncols();
+    let chunks = Chunks::new(rot.len(), EIG_MIN_CHUNK_PAIRS, EIG_MAX_CHUNKS);
+    let ptr = SendPtr(mat.as_mut_slice().as_mut_ptr());
+    par::run_chunks(chunks.count(), |ci| {
+        for pr in &rot[chunks.range(ci)] {
+            if !pr.apply {
+                continue;
+            }
+            for k in 0..n {
+                // SAFETY: disjoint pairs — columns `p` and `r` belong to
+                // this pair only; one element of each per row `k`.
+                let xp = unsafe { &mut ptr.slice(k * width + pr.p, 1)[0] };
+                let xr = unsafe { &mut ptr.slice(k * width + pr.r, 1)[0] };
+                let a = *xp;
+                let b = *xr;
+                *xp = pr.c * a - pr.s * b;
+                *xr = pr.s * a + pr.c * b;
+            }
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn symmetric() -> Matrix {
         Matrix::from_vec(3, 3, vec![4.0, 1.0, -2.0, 1.0, 2.0, 0.0, -2.0, 0.0, 3.0]).unwrap()
+    }
+
+    #[test]
+    fn tournament_schedule_covers_every_pair_exactly_once() {
+        for n in [2usize, 3, 5, 8, 33] {
+            let big_n = n + (n & 1);
+            let mut seen = std::collections::HashSet::new();
+            let dummy = Matrix::identity(n);
+            let mut rot = Vec::new();
+            for t in 0..big_n - 1 {
+                let mut this_round = std::collections::HashSet::new();
+                build_round_rotations(&dummy, n, big_n, t, 0.0, &mut rot);
+                for pr in &rot {
+                    assert!(pr.p < pr.r, "pairs are normalised");
+                    // Disjointness within the round.
+                    assert!(this_round.insert(pr.p), "index {} reused (n={n})", pr.p);
+                    assert!(this_round.insert(pr.r), "index {} reused (n={n})", pr.r);
+                    if pr.r < n {
+                        assert!(seen.insert((pr.p, pr.r)), "pair repeated (n={n})");
+                    }
+                }
+            }
+            assert_eq!(seen.len(), n * (n - 1) / 2, "n={n}");
+        }
     }
 
     #[test]
@@ -284,6 +480,23 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_is_bitwise_stable_across_shapes() {
+        // A warm scratch — including one warmed on a *larger* problem —
+        // reproduces the fresh-scratch factorisation exactly.
+        let small = symmetric();
+        let big = Matrix::from_fn(9, 9, |i, j| {
+            ((i * 5 + j * 3) % 7) as f64 + if i == j { 9.0 } else { 0.0 }
+        });
+        let big = Matrix::from_fn(9, 9, |i, j| 0.5 * (big[(i, j)] + big[(j, i)]));
+        let fresh = SymmetricEigen::new(&small).unwrap();
+        let mut scratch = JacobiScratch::default();
+        SymmetricEigen::new_with(&big, &mut scratch).unwrap();
+        let warm = SymmetricEigen::new_with(&small, &mut scratch).unwrap();
+        assert_eq!(fresh.values, warm.values);
+        assert_eq!(fresh.vectors, warm.vectors);
+    }
+
+    #[test]
     fn rejects_asymmetric_and_non_square() {
         let asym = Matrix::from_vec(2, 2, vec![1.0, 5.0, 0.0, 1.0]).unwrap();
         assert!(SymmetricEigen::new(&asym).is_err());
@@ -291,9 +504,12 @@ mod tests {
     }
 
     #[test]
-    fn empty_matrix_is_trivial() {
+    fn empty_and_one_by_one_are_trivial() {
         let eig = SymmetricEigen::new(&Matrix::zeros(0, 0)).unwrap();
         assert_eq!(eig.values.len(), 0);
+        let one = SymmetricEigen::new(&Matrix::from_diagonal(&[7.0])).unwrap();
+        assert_eq!(one.values[0], 7.0);
+        assert_eq!(one.vectors[(0, 0)], 1.0);
     }
 
     #[test]

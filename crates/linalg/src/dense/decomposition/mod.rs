@@ -1,16 +1,27 @@
 //! Matrix decompositions used by the PrIU reproduction.
 //!
-//! * [`cholesky`] — SPD factorisation; used by the closed-form ridge baseline
-//!   and the influence-function baseline (Hessian solves).
+//! * [`cholesky`] — blocked right-looking SPD factorisation; used by the
+//!   closed-form ridge baseline and the influence-function baseline
+//!   (Hessian solves).
 //! * [`lu`] — general square solves / inverses / determinants.
-//! * [`qr`] — Householder QR and modified Gram-Schmidt orthonormalisation;
-//!   the building block of the randomized range finder.
-//! * [`eigen`] — cyclic Jacobi eigendecomposition of symmetric matrices; the
-//!   offline step of PrIU-opt (Eq. 17) and the basis for the incremental
-//!   eigenvalue update (Eq. 18).
+//! * [`qr`] — blocked Householder QR and modified Gram-Schmidt
+//!   orthonormalisation; the building block of the randomized range finder.
+//! * [`eigen`] — round-robin cyclic Jacobi eigendecomposition of symmetric
+//!   matrices; the offline step of PrIU-opt (Eq. 17) and the basis for the
+//!   incremental eigenvalue update (Eq. 18).
 //! * [`truncated`] — exact and randomized truncated eigendecompositions of
 //!   Gram forms `X^T diag(w) X`; the "SVD over the intermediate results"
 //!   compression of §5.1 / §5.3.
+//!
+//! Since the blocked rewrite, the three hot decompositions are chunked
+//! through [`crate::par`] with shape-only chunk boundaries and expose
+//! `_into` / `_with` entry points writing into caller-owned buffers
+//! ([`cholesky_factor_into`] / [`cholesky_solve_into`],
+//! [`qr_factor_into`] + [`QrScratch`],
+//! [`SymmetricEigen::new_with`] + [`JacobiScratch`]) so the PrIU-opt
+//! capture and closed-form baseline paths stay allocation-free once warm.
+//! Every factorisation is bitwise reproducible for any `PRIU_THREADS`
+//! (asserted by the `decomp_parity` torture suite).
 
 pub mod cholesky;
 pub mod eigen;
@@ -18,8 +29,10 @@ pub mod lu;
 pub mod qr;
 pub mod truncated;
 
-pub use cholesky::Cholesky;
-pub use eigen::SymmetricEigen;
+pub use cholesky::{
+    cholesky_factor_into, cholesky_factor_scalar_into, cholesky_solve_into, Cholesky,
+};
+pub use eigen::{JacobiScratch, SymmetricEigen};
 pub use lu::Lu;
-pub use qr::Qr;
+pub use qr::{qr_factor_into, qr_factor_scalar_into, Qr, QrScratch};
 pub use truncated::{GramFactor, TruncatedGram, TruncationMethod};

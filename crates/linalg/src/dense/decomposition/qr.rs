@@ -3,10 +3,58 @@
 //!
 //! The orthonormalisation routine is the work-horse of the randomized range
 //! finder used to compress PrIU's per-iteration intermediate results.
+//!
+//! # Blocked, pool-parallel factorisation
+//!
+//! [`qr_factor_into`] reorganises the textbook Householder sweep into
+//! row-major friendly, chunk-parallel passes:
+//!
+//! * **reflector application** — the per-column dots `vᵀ·R[:, j]` are
+//!   accumulated row-by-row (`dots[j] += v_i · R[i][j]`, contiguous reads,
+//!   vectorisable inner loop) and parallelised over *column* chunks, each of
+//!   which owns a disjoint slice of `dots` and still accumulates every
+//!   column in ascending row order; the rank-1 update
+//!   `R[i][j] −= scale_j · v_i` is parallelised over *row* chunks;
+//! * **thin `Q` by back-accumulation** — instead of accumulating a full
+//!   `n × n` `Q` (`O(n²m)`), the reflectors are stored and applied in
+//!   reverse order to `[I_m; 0]` (`O(n m²)`), with the same
+//!   column-chunk/row-chunk parallel passes.
+//!
+//! **Determinism.** Every dot is accumulated in ascending row order one term
+//! at a time and every update element is a single fused expression, so the
+//! computation tree is independent of the chunk decomposition: the blocked
+//! path is **bitwise identical** to the plain-loop reference
+//! [`qr_factor_scalar_into`] and across any `PRIU_THREADS` (asserted by the
+//! `decomp_parity` suite).
 
 use crate::dense::matrix::Matrix;
 use crate::dense::vector::Vector;
 use crate::error::{LinalgError, Result};
+use crate::par::{self, Chunks};
+
+/// Minimum rows per chunk for the rank-1 update passes.
+const QR_MIN_CHUNK_ROWS: usize = 256;
+/// Minimum columns per chunk for the dot-accumulation passes (each column's
+/// dot costs a full row sweep, so columns are cheaper to split than rows).
+const QR_MIN_CHUNK_COLS: usize = 64;
+/// Chunk-count cap for both passes (map-style, disjoint outputs).
+const QR_MAX_CHUNKS: usize = 16;
+
+/// Scratch buffers for [`qr_factor_into`], reusable across factorisations of
+/// any shape (buffers grow to the largest problem seen and are then
+/// allocation-free).
+#[derive(Debug, Default, Clone)]
+pub struct QrScratch {
+    /// Working copy of the input; upper triangle becomes `R`.
+    rf: Matrix,
+    /// Householder vectors, one per row (`m × n`; row `k` is `v_k`, zero
+    /// outside `k..n`).
+    vs: Matrix,
+    /// Per-column dots / scales of the current reflector application.
+    dots: Vec<f64>,
+    /// Squared norms `v_kᵀ v_k` (zero marks a skipped reflector).
+    vnorms: Vec<f64>,
+}
 
 /// Thin QR factorisation `A = Q R` with `Q` having orthonormal columns.
 #[derive(Debug, Clone)]
@@ -17,79 +65,16 @@ pub struct Qr {
 
 impl Qr {
     /// Computes a thin Householder QR factorisation of an `n x m` matrix with
-    /// `n >= m`.
+    /// `n >= m`, using the blocked pool-parallel algorithm of
+    /// [`qr_factor_into`].
     ///
     /// # Errors
     /// Returns [`LinalgError::InvalidArgument`] if `n < m` or the matrix is
     /// empty.
     pub fn new(a: &Matrix) -> Result<Self> {
-        let (n, m) = a.shape();
-        if n == 0 || m == 0 {
-            return Err(LinalgError::InvalidArgument(
-                "QR of an empty matrix is undefined".to_string(),
-            ));
-        }
-        if n < m {
-            return Err(LinalgError::InvalidArgument(format!(
-                "thin QR requires rows >= cols, got {n}x{m}"
-            )));
-        }
-        // Work on a copy; accumulate Householder reflectors into Q explicitly.
-        let mut r_full = a.clone();
-        let mut q_full = Matrix::identity(n);
-
-        for k in 0..m {
-            // Build the Householder vector for column k below the diagonal.
-            let mut norm = 0.0;
-            for i in k..n {
-                norm += r_full[(i, k)] * r_full[(i, k)];
-            }
-            let norm = norm.sqrt();
-            if norm == 0.0 {
-                continue;
-            }
-            let alpha = if r_full[(k, k)] >= 0.0 { -norm } else { norm };
-            let mut v = vec![0.0; n];
-            for i in k..n {
-                v[i] = r_full[(i, k)];
-            }
-            v[k] -= alpha;
-            let v_norm_sq: f64 = v.iter().map(|x| x * x).sum();
-            if v_norm_sq == 0.0 {
-                continue;
-            }
-            // Apply reflector H = I - 2 v v^T / (v^T v) to R (from the left).
-            for j in k..m {
-                let mut dot = 0.0;
-                for i in k..n {
-                    dot += v[i] * r_full[(i, j)];
-                }
-                let scale = 2.0 * dot / v_norm_sq;
-                for i in k..n {
-                    r_full[(i, j)] -= scale * v[i];
-                }
-            }
-            // Accumulate into Q: Q = Q * H.
-            for i in 0..n {
-                let mut dot = 0.0;
-                for l in k..n {
-                    dot += q_full[(i, l)] * v[l];
-                }
-                let scale = 2.0 * dot / v_norm_sq;
-                for l in k..n {
-                    q_full[(i, l)] -= scale * v[l];
-                }
-            }
-        }
-
-        // Extract the thin factors.
-        let q = q_full.first_columns(m)?;
-        let mut r = Matrix::zeros(m, m);
-        for i in 0..m {
-            for j in i..m {
-                r[(i, j)] = r_full[(i, j)];
-            }
-        }
+        let mut q = Matrix::zeros(0, 0);
+        let mut r = Matrix::zeros(0, 0);
+        qr_factor_into(a, &mut q, &mut r, &mut QrScratch::default())?;
         Ok(Self { q, r })
     }
 
@@ -101,6 +86,235 @@ impl Qr {
     /// Upper-triangular factor `R` (`m x m`).
     pub fn r(&self) -> &Matrix {
         &self.r
+    }
+}
+
+fn validate_shape(a: &Matrix) -> Result<(usize, usize)> {
+    let (n, m) = a.shape();
+    if n == 0 || m == 0 {
+        return Err(LinalgError::InvalidArgument(
+            "QR of an empty matrix is undefined".to_string(),
+        ));
+    }
+    if n < m {
+        return Err(LinalgError::InvalidArgument(format!(
+            "thin QR requires rows >= cols, got {n}x{m}"
+        )));
+    }
+    Ok((n, m))
+}
+
+/// Builds reflector `k` from column `k` of `rf` into row `k` of `vs`,
+/// returning `vᵀv` (`0` marks a skip). Shared by the blocked and scalar
+/// paths (identical summation order: ascending rows).
+fn build_reflector(rf: &Matrix, vs: &mut Matrix, k: usize, n: usize) -> f64 {
+    let mut norm_sq = 0.0;
+    for i in k..n {
+        norm_sq += rf[(i, k)] * rf[(i, k)];
+    }
+    let norm = norm_sq.sqrt();
+    let v = vs.row_mut(k);
+    v.fill(0.0);
+    if norm == 0.0 {
+        return 0.0;
+    }
+    let alpha = if rf[(k, k)] >= 0.0 { -norm } else { norm };
+    for i in k..n {
+        v[i] = rf[(i, k)];
+    }
+    v[k] -= alpha;
+    let mut v_norm_sq = 0.0;
+    for x in v[k..n].iter() {
+        v_norm_sq += x * x;
+    }
+    v_norm_sq
+}
+
+/// Extracts the upper-triangular `m × m` factor from the worked matrix.
+fn extract_r(rf: &Matrix, r: &mut Matrix, m: usize) {
+    r.reshape_zeroed(m, m);
+    for i in 0..m {
+        r.row_mut(i)[i..].copy_from_slice(&rf.row(i)[i..m]);
+    }
+}
+
+/// Blocked, pool-parallel thin Householder QR into caller-owned matrices
+/// (`q` reshaped to `n × m`, `r` to `m × m`, both reusing allocations;
+/// `scratch` reused across calls). Bitwise identical to
+/// [`qr_factor_scalar_into`] for any thread count.
+///
+/// # Errors
+/// See [`Qr::new`].
+pub fn qr_factor_into(
+    a: &Matrix,
+    q: &mut Matrix,
+    r: &mut Matrix,
+    scratch: &mut QrScratch,
+) -> Result<()> {
+    qr_driver(a, q, r, scratch, apply_reflector)
+}
+
+/// How a reflector `(x, v, v_norm_sq, row0, col0, col1, dots)` is applied.
+type ApplyFn = fn(&mut Matrix, &[f64], f64, usize, usize, usize, &mut [f64]);
+
+/// The shared factorisation driver: the single copy of the computation tree
+/// both public entry points execute, parameterised only over how a
+/// reflector is applied (chunk-parallel vs plain loops). Keeping one driver
+/// means a future change to the sweep structure cannot desynchronise the
+/// blocked path from its scalar reference.
+fn qr_driver(
+    a: &Matrix,
+    q: &mut Matrix,
+    r: &mut Matrix,
+    scratch: &mut QrScratch,
+    apply: ApplyFn,
+) -> Result<()> {
+    let (n, m) = validate_shape(a)?;
+    let QrScratch {
+        rf,
+        vs,
+        dots,
+        vnorms,
+    } = scratch;
+    // Capacity-reusing copy (Matrix::clone_from would reallocate).
+    rf.reshape_zeroed(n, m);
+    rf.as_mut_slice().copy_from_slice(a.as_slice());
+    vs.reshape_zeroed(m, n);
+    dots.clear();
+    dots.resize(m, 0.0);
+    vnorms.clear();
+    vnorms.resize(m, 0.0);
+
+    // Forward sweep: build and apply each reflector to the trailing columns.
+    #[allow(clippy::needless_range_loop)] // k is the reflector index throughout
+    for k in 0..m {
+        let v_norm_sq = build_reflector(rf, vs, k, n);
+        vnorms[k] = v_norm_sq;
+        if v_norm_sq == 0.0 {
+            continue;
+        }
+        apply(rf, vs.row(k), v_norm_sq, k, k, m, dots);
+    }
+    extract_r(rf, r, m);
+
+    // Thin Q by back-accumulation: Q = H_0 (H_1 (… H_{m-1} [I_m; 0])).
+    // Reflector k only touches rows k..n, and column j of the partial
+    // product is still e_j until step j runs, so the column range k..m
+    // covers every non-trivial dot.
+    q.reshape_zeroed(n, m);
+    for j in 0..m {
+        q[(j, j)] = 1.0;
+    }
+    for k in (0..m).rev() {
+        if vnorms[k] == 0.0 {
+            continue;
+        }
+        apply(q, vs.row(k), vnorms[k], k, k, m, dots);
+    }
+    Ok(())
+}
+
+/// Applies `H = I − 2 v vᵀ / (vᵀv)` to `x[row0.., col0..col1]` with the
+/// chunk-parallel two-pass scheme (dots over column chunks, update over row
+/// chunks). Per-element arithmetic and accumulation order are identical to
+/// the plain loops in [`qr_factor_scalar_into`].
+fn apply_reflector(
+    x: &mut Matrix,
+    v: &[f64],
+    v_norm_sq: f64,
+    row0: usize,
+    col0: usize,
+    col1: usize,
+    dots: &mut [f64],
+) {
+    let n = x.nrows();
+    let width = x.ncols();
+    let ncols = col1 - col0;
+    let dots = &mut dots[..ncols];
+    dots.fill(0.0);
+
+    // Pass 1: dots[j] = Σ_{i ≥ row0} v_i · x[i][j], ascending i per column.
+    // Column chunks own disjoint slices of `dots`; every chunk sweeps the
+    // same rows, so the per-column chain is chunk-independent.
+    let col_chunks = Chunks::new(ncols, QR_MIN_CHUNK_COLS, QR_MAX_CHUNKS);
+    {
+        let x_ref = &*x;
+        par::map_chunks(&col_chunks, 1, dots, |range, region| {
+            #[allow(clippy::needless_range_loop)] // i indexes matrix rows and v alike
+            for i in row0..n {
+                let vi = v[i];
+                let row = &x_ref.row(i)[col0 + range.start..col0 + range.end];
+                for (slot, &xij) in region.iter_mut().zip(row) {
+                    *slot += vi * xij;
+                }
+            }
+        });
+    }
+    // Scales: 2 · dot_j / vᵀv.
+    for d in dots.iter_mut() {
+        *d = 2.0 * *d / v_norm_sq;
+    }
+
+    // Pass 2: x[i][j] −= scale_j · v_i — one fused expression per element,
+    // parallel over disjoint row chunks.
+    let row_chunks = Chunks::new(n - row0, QR_MIN_CHUNK_ROWS, QR_MAX_CHUNKS);
+    let scales = &*dots;
+    let rows_below = &mut x.as_mut_slice()[row0 * width..];
+    par::map_chunks(&row_chunks, width, rows_below, |range, region| {
+        for (local, off) in range.enumerate() {
+            let vi = v[row0 + off];
+            let row = &mut region[local * width + col0..local * width + col1];
+            for (xij, &scale) in row.iter_mut().zip(scales) {
+                *xij -= scale * vi;
+            }
+        }
+    });
+}
+
+/// The plain-loop reference: the same driver as [`qr_factor_into`] with
+/// every reflector applied by sequential loops instead of the
+/// chunk-parallel passes — used by the parity suite (bitwise) and the
+/// decomposition benches (scalar baseline).
+///
+/// # Errors
+/// See [`Qr::new`].
+pub fn qr_factor_scalar_into(
+    a: &Matrix,
+    q: &mut Matrix,
+    r: &mut Matrix,
+    scratch: &mut QrScratch,
+) -> Result<()> {
+    qr_driver(a, q, r, scratch, apply_reflector_scalar)
+}
+
+/// Plain-loop reflector application (the reference tree).
+fn apply_reflector_scalar(
+    x: &mut Matrix,
+    v: &[f64],
+    v_norm_sq: f64,
+    row0: usize,
+    col0: usize,
+    col1: usize,
+    dots: &mut [f64],
+) {
+    let n = x.nrows();
+    let dots = &mut dots[..col1 - col0];
+    dots.fill(0.0);
+    #[allow(clippy::needless_range_loop)] // the plain-loop reference stays indexed
+    for i in row0..n {
+        let vi = v[i];
+        for (slot, j) in dots.iter_mut().zip(col0..col1) {
+            *slot += vi * x[(i, j)];
+        }
+    }
+    for d in dots.iter_mut() {
+        *d = 2.0 * *d / v_norm_sq;
+    }
+    for i in row0..n {
+        let vi = v[i];
+        for (j, &scale) in (col0..col1).zip(dots.iter()) {
+            x[(i, j)] -= scale * vi;
+        }
     }
 }
 
@@ -197,6 +411,37 @@ mod tests {
         for i in 0..3 {
             for j in 0..i {
                 assert!(qr.r()[(i, j)].abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_is_bitwise_identical_to_scalar() {
+        let a = Matrix::from_fn(37, 11, |i, j| (((i * 13 + j * 7) % 17) as f64 - 8.0) / 9.0);
+        let mut scratch = QrScratch::default();
+        let (mut q1, mut r1) = (Matrix::zeros(0, 0), Matrix::zeros(0, 0));
+        qr_factor_into(&a, &mut q1, &mut r1, &mut scratch).unwrap();
+        let (mut q2, mut r2) = (Matrix::zeros(0, 0), Matrix::zeros(0, 0));
+        qr_factor_scalar_into(&a, &mut q2, &mut r2, &mut scratch).unwrap();
+        assert_eq!(q1, q2);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn rank_deficient_column_is_skipped_not_nan() {
+        // A zero column yields a zero reflector norm; the factor must stay
+        // finite and still reconstruct the input.
+        let mut a = tall();
+        for i in 0..4 {
+            a[(i, 1)] = 0.0;
+        }
+        let qr = Qr::new(&a).unwrap();
+        assert!(qr.q().is_finite());
+        assert!(qr.r().is_finite());
+        let rec = qr.q().matmul(qr.r()).unwrap();
+        for i in 0..4 {
+            for j in 0..3 {
+                assert!((rec[(i, j)] - a[(i, j)]).abs() < 1e-10);
             }
         }
     }

@@ -249,6 +249,16 @@ impl Matrix {
         self.data.resize(rows * cols, 0.0);
     }
 
+    /// Reshapes the matrix to `rows x cols` reusing the allocation *without*
+    /// zeroing retained elements — for workspace buffers the caller fully
+    /// overwrites before reading (skips the `O(rows·cols)` memset of
+    /// [`Matrix::reshape_zeroed`]). Retained contents are unspecified.
+    pub fn reshape_for_overwrite(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Returns the submatrix consisting of the first `k` columns.
     ///
     /// # Errors

@@ -27,6 +27,16 @@ pub enum LinalgError {
         /// Routine that detected the problem.
         op: &'static str,
     },
+    /// A Cholesky factorisation met a non-positive (or non-finite) pivot:
+    /// the matrix is not positive definite within numerical tolerance. The
+    /// failing pivot index pins down *where* definiteness was lost, which
+    /// closed-form / INFL callers surface instead of propagating NaNs.
+    NotPositiveDefinite {
+        /// Routine that detected the problem.
+        op: &'static str,
+        /// Index of the failing diagonal pivot.
+        pivot: usize,
+    },
     /// An iterative routine failed to converge within its iteration budget.
     DidNotConverge {
         /// Routine that failed to converge.
@@ -58,6 +68,12 @@ impl fmt::Display for LinalgError {
             }
             LinalgError::Singular { op } => {
                 write!(f, "matrix is singular (or not positive definite) in {op}")
+            }
+            LinalgError::NotPositiveDefinite { op, pivot } => {
+                write!(
+                    f,
+                    "matrix is not positive definite in {op}: non-positive pivot at index {pivot}"
+                )
             }
             LinalgError::DidNotConverge { op, iterations } => {
                 write!(f, "{op} did not converge after {iterations} iterations")

@@ -518,8 +518,11 @@ where
 /// must write every element of `region`, which is
 /// `out[range.start * width..range.end * width]`). Single-chunk
 /// decompositions run inline on the calling thread; empty ones do nothing.
-/// This is the only place the map kernels touch [`SendPtr`], so the
-/// disjointness argument lives here once.
+/// The contiguous-region map kernels touch [`SendPtr`] only here, so their
+/// disjointness argument lives here once; the Jacobi eigen rotation passes
+/// (`dense::decomposition::eigen`) additionally use [`SendPtr`] directly
+/// for their scattered row/column pairs, with their own disjointness
+/// invariant (tournament pairs) argued at those sites.
 pub(crate) fn map_chunks<F>(chunks: &Chunks, width: usize, out: &mut [f64], fill: F)
 where
     F: Fn(Range<usize>, &mut [f64]) + Sync,

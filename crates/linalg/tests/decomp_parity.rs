@@ -1,0 +1,496 @@
+//! Torture suite for the blocked decomposition layer: seeded-random
+//! SPD / symmetric / rectangular grids up to 512×512 asserting
+//!
+//! * **reconstruction** — `L·Lᵀ ≈ A`, `Q·R ≈ A`, `V·Λ·Vᵀ ≈ A`;
+//! * **orthogonality** — `QᵀQ ≈ I` (QR) and `VᵀV ≈ I` (eigen);
+//! * **bitwise equality of the scalar, blocked and pool paths** — the
+//!   plain-loop scalar references produce the *same bits* as the blocked
+//!   kernels, under `PRIU_THREADS ∈ {1, 4}` pinned per call via
+//!   `par::with_threads` (for the eigen sweep the scalar reference is an
+//!   independent plain-loop reimplementation of the documented round-robin
+//!   schedule — same tree, zero shared code with the chunked production
+//!   path);
+//! * **edge cases** — 1×1, panel/chunk-boundary sizes, ill-conditioned
+//!   inputs (typed error or finite factor, never a NaN factor), and
+//!   non-SPD rejection with the failing pivot index on every path.
+//!
+//! Sizes deliberately straddle the blocked-Cholesky panel width (64) and
+//! the parallel chunk minima, so the suite exercises the inline
+//! single-chunk path *and* the persistent-pool multi-chunk path of every
+//! decomposition.
+
+use priu_linalg::decomposition::{
+    cholesky_factor_into, cholesky_factor_scalar_into, cholesky_solve_into, qr_factor_into,
+    qr_factor_scalar_into, Cholesky, JacobiScratch, Qr, QrScratch, SymmetricEigen,
+};
+use priu_linalg::{par, LinalgError, Matrix, Vector};
+use priu_rng::Rng64;
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = Rng64::from_seed(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.uniform(-1.0, 1.0))
+}
+
+/// A well-conditioned SPD matrix `BᵀB + n·I`.
+fn random_spd(n: usize, seed: u64) -> Matrix {
+    let b = random_matrix(n, n, seed);
+    let mut a = b.gram();
+    a.add_diagonal_mut(n as f64).unwrap();
+    a
+}
+
+/// A random symmetric (indefinite) matrix `(B + Bᵀ) / 2`.
+fn random_symmetric(n: usize, seed: u64) -> Matrix {
+    let b = random_matrix(n, n, seed);
+    Matrix::from_fn(n, n, |i, j| 0.5 * (b[(i, j)] + b[(j, i)]))
+}
+
+fn max_abs_diff(a: &Matrix, b: &Matrix) -> f64 {
+    assert_eq!(a.shape(), b.shape());
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .fold(0.0_f64, |acc, (x, y)| acc.max((x - y).abs()))
+}
+
+// ---------------------------------------------------------------------------
+// Cholesky
+// ---------------------------------------------------------------------------
+
+/// Sizes straddling the 64-column panel and the 128-row chunk minimum,
+/// up to the 512×512 acceptance shape.
+const SPD_SIZES: [usize; 9] = [1, 2, 63, 64, 65, 127, 129, 256, 512];
+
+/// Independent textbook left-looking loop — validates that the exported
+/// scalar reference *and* the blocked kernel realise the documented chain.
+fn textbook_cholesky(a: &Matrix) -> Matrix {
+    let n = a.nrows();
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                assert!(sum > 0.0, "textbook reference hit a non-SPD pivot");
+                l[(i, j)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    l
+}
+
+#[test]
+fn cholesky_scalar_blocked_and_pool_paths_are_bitwise_identical() {
+    let mut blocked = Matrix::zeros(0, 0);
+    let mut scalar = Matrix::zeros(0, 0);
+    for (case, &n) in SPD_SIZES.iter().enumerate() {
+        let a = random_spd(n, 0x10 + case as u64);
+        cholesky_factor_scalar_into(&a, &mut scalar).unwrap();
+        assert_eq!(scalar, textbook_cholesky(&a), "scalar vs textbook n={n}");
+        for threads in [1usize, 4] {
+            par::with_threads(threads, || cholesky_factor_into(&a, &mut blocked).unwrap());
+            assert_eq!(
+                blocked, scalar,
+                "blocked({threads} threads) vs scalar n={n}"
+            );
+        }
+        // The allocating wrapper rides the same kernel.
+        assert_eq!(*Cholesky::new(&a).unwrap().factor(), scalar, "n={n}");
+    }
+}
+
+#[test]
+fn cholesky_reconstructs_and_solves() {
+    let mut l = Matrix::zeros(0, 0);
+    for (case, &n) in SPD_SIZES.iter().enumerate() {
+        let a = random_spd(n, 0x30 + case as u64);
+        cholesky_factor_into(&a, &mut l).unwrap();
+        assert!(l.is_finite(), "n={n}");
+        let rec = l.matmul(&l.transpose()).unwrap();
+        let tol = 1e-11 * (n as f64) * a.max_abs();
+        assert!(
+            max_abs_diff(&rec, &a) < tol,
+            "L·Lᵀ reconstruction n={n}: {} >= {tol}",
+            max_abs_diff(&rec, &a)
+        );
+
+        // Solve round-trip through the in-place `_into` substitution.
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin() + 0.1).collect();
+        let b = a.matvec(&x_true).unwrap();
+        let mut x = vec![0.0; n];
+        cholesky_solve_into(&l, &b, &mut x).unwrap();
+        let worst = x
+            .iter()
+            .zip(&x_true)
+            .fold(0.0_f64, |acc, (got, want)| acc.max((got - want).abs()));
+        assert!(worst < 1e-8 * (n as f64).max(1.0), "solve n={n}: {worst}");
+    }
+}
+
+#[test]
+fn cholesky_rejects_non_spd_with_pivot_index_on_every_path() {
+    // Indefinite: definiteness is lost at pivot 2 (the leading 2×2 block is
+    // fine, the third pivot is driven negative).
+    let mut a = random_spd(5, 0x50);
+    a[(2, 2)] = -100.0;
+    for i in 0..5 {
+        let v = 0.5 * (a[(2, i)] + a[(i, 2)]);
+        a[(2, i)] = v;
+        a[(i, 2)] = v;
+    }
+    a[(2, 2)] = -100.0;
+    let mut l = Matrix::zeros(0, 0);
+    for threads in [1usize, 4] {
+        let blocked = par::with_threads(threads, || cholesky_factor_into(&a, &mut l));
+        assert!(
+            matches!(
+                blocked,
+                Err(LinalgError::NotPositiveDefinite { pivot: 2, .. })
+            ),
+            "blocked({threads}) must name pivot 2, got {blocked:?}"
+        );
+    }
+    assert!(matches!(
+        cholesky_factor_scalar_into(&a, &mut l),
+        Err(LinalgError::NotPositiveDefinite { pivot: 2, .. })
+    ));
+
+    // Pivot index survives past the first panel (failure at index 70 > 64).
+    let n = 80;
+    let mut late = random_spd(n, 0x51);
+    // Make row/column 70 a duplicate of row 3 with a strictly smaller
+    // diagonal: the Schur complement at pivot 70 is forced below zero.
+    for i in 0..n {
+        let v = late[(3, i)];
+        late[(70, i)] = v;
+        late[(i, 70)] = v;
+    }
+    late[(70, 70)] = late[(3, 3)] - 1.0;
+    let result = cholesky_factor_into(&late, &mut l);
+    match result {
+        Err(LinalgError::NotPositiveDefinite { pivot, .. }) => {
+            assert_eq!(pivot, 70, "failure must name the duplicated pivot")
+        }
+        other => panic!("expected a typed non-SPD error, got {other:?}"),
+    }
+    let scalar = cholesky_factor_scalar_into(&late, &mut l);
+    assert!(matches!(
+        scalar,
+        Err(LinalgError::NotPositiveDefinite { pivot: 70, .. })
+    ));
+
+    // NaN poisoning is reported as the typed error, never a NaN factor.
+    let mut poisoned = random_spd(65, 0x52);
+    poisoned[(64, 64)] = f64::NAN;
+    assert!(matches!(
+        cholesky_factor_into(&poisoned, &mut l),
+        Err(LinalgError::NotPositiveDefinite { pivot: 64, .. })
+    ));
+}
+
+#[test]
+fn cholesky_survives_ill_conditioning_without_nans() {
+    // BᵀB for a rank-deficient-ish B plus a tiny ridge: condition number
+    // ~1e12. The factorisation must either succeed with a finite factor or
+    // fail with the typed error — never return NaNs or panic.
+    let n = 96;
+    let thin = random_matrix(n, 3, 0x60);
+    let mut a = thin.matmul(&thin.transpose()).unwrap(); // rank 3, PSD
+    a.add_diagonal_mut(1e-10).unwrap();
+    let mut l = Matrix::zeros(0, 0);
+    match cholesky_factor_into(&a, &mut l) {
+        Ok(()) => {
+            assert!(l.is_finite());
+            let rec = l.matmul(&l.transpose()).unwrap();
+            assert!(max_abs_diff(&rec, &a) < 1e-8 * a.max_abs().max(1.0));
+        }
+        Err(LinalgError::NotPositiveDefinite { .. }) => {}
+        Err(other) => panic!("unexpected error kind: {other:?}"),
+    }
+    // Whatever the outcome, scalar and blocked agree on it bitwise.
+    let mut scalar = Matrix::zeros(0, 0);
+    let blocked_result = cholesky_factor_into(&a, &mut l);
+    let scalar_result = cholesky_factor_scalar_into(&a, &mut scalar);
+    match (blocked_result, scalar_result) {
+        (Ok(()), Ok(())) => assert_eq!(l, scalar),
+        (Err(e1), Err(e2)) => assert_eq!(e1, e2),
+        (b, s) => panic!("paths disagree: blocked {b:?} vs scalar {s:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// QR
+// ---------------------------------------------------------------------------
+
+/// (rows, cols) straddling the column-chunk minimum (64) and the row-chunk
+/// minimum (256), up to the 512-row acceptance shape.
+const QR_SHAPES: [(usize, usize); 8] = [
+    (1, 1),
+    (7, 3),
+    (64, 33),
+    (129, 64),
+    (257, 19),
+    (300, 129),
+    (512, 128),
+    (512, 257),
+];
+
+#[test]
+fn qr_scalar_blocked_and_pool_paths_are_bitwise_identical() {
+    let mut scratch = QrScratch::default();
+    let (mut qs, mut rs) = (Matrix::zeros(0, 0), Matrix::zeros(0, 0));
+    let (mut qb, mut rb) = (Matrix::zeros(0, 0), Matrix::zeros(0, 0));
+    for (case, &(n, m)) in QR_SHAPES.iter().enumerate() {
+        let a = random_matrix(n, m, 0x70 + case as u64);
+        qr_factor_scalar_into(&a, &mut qs, &mut rs, &mut scratch).unwrap();
+        for threads in [1usize, 4] {
+            par::with_threads(threads, || {
+                qr_factor_into(&a, &mut qb, &mut rb, &mut scratch).unwrap()
+            });
+            assert_eq!(qb, qs, "Q blocked({threads}) vs scalar {n}x{m}");
+            assert_eq!(rb, rs, "R blocked({threads}) vs scalar {n}x{m}");
+        }
+        let qr = Qr::new(&a).unwrap();
+        assert_eq!(*qr.q(), qs, "{n}x{m}");
+        assert_eq!(*qr.r(), rs, "{n}x{m}");
+    }
+}
+
+#[test]
+fn qr_reconstructs_with_orthonormal_q_and_triangular_r() {
+    let mut scratch = QrScratch::default();
+    let (mut q, mut r) = (Matrix::zeros(0, 0), Matrix::zeros(0, 0));
+    for (case, &(n, m)) in QR_SHAPES.iter().enumerate() {
+        let a = random_matrix(n, m, 0x90 + case as u64);
+        qr_factor_into(&a, &mut q, &mut r, &mut scratch).unwrap();
+        let tol = 1e-12 * (n as f64);
+
+        let rec = q.matmul(&r).unwrap();
+        assert!(
+            max_abs_diff(&rec, &a) < tol,
+            "Q·R reconstruction {n}x{m}: {}",
+            max_abs_diff(&rec, &a)
+        );
+
+        let qtq = q.transpose().matmul(&q).unwrap();
+        assert!(
+            max_abs_diff(&qtq, &Matrix::identity(m)) < tol,
+            "QᵀQ orthogonality {n}x{m}"
+        );
+
+        for i in 0..m {
+            for j in 0..i {
+                assert!(r[(i, j)].abs() < 1e-12, "R lower triangle {n}x{m}");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Eigen
+// ---------------------------------------------------------------------------
+
+/// Sizes straddling the 8-pair chunk minimum (multi-chunk from n = 32) —
+/// kept ≤ 192 because every Jacobi factorisation is Θ(n³) *per sweep* and
+/// the suite runs each case on three paths.
+const EIGEN_SIZES: [usize; 7] = [1, 2, 5, 31, 33, 64, 192];
+
+/// Independent plain-loop reimplementation of the documented round-robin
+/// Jacobi tree (module docs of `priu_linalg::decomposition::eigen`): same
+/// schedule, rotation formulas, thresholds and sort — zero shared code with
+/// the chunked production path. Bitwise agreement here proves the chunk /
+/// pool machinery never alters the computation tree.
+fn reference_round_robin_eigen(a: &Matrix) -> (Vec<f64>, Matrix) {
+    let n = a.nrows();
+    let scale = a.max_abs().max(1.0);
+    let tol = 1e-14 * scale;
+    let skip_tol = tol * 1e-2;
+    let mut m = Matrix::from_fn(n, n, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]));
+    let mut qt = Matrix::identity(n);
+    let big_n = n + (n & 1);
+
+    let off = |m: &Matrix| {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        off.sqrt()
+    };
+
+    for _sweep in 0..100 {
+        if off(&m) <= tol {
+            break;
+        }
+        for t in 0..big_n.saturating_sub(1) {
+            let last = big_n - 1;
+            // Collect the round's rotations from the round-start matrix.
+            let mut rots: Vec<(usize, usize, f64, f64)> = Vec::new();
+            for k in 0..big_n / 2 {
+                let (x, y) = if k == 0 {
+                    (last, t % last)
+                } else {
+                    ((t + k) % last, (t + last - k) % last)
+                };
+                let (p, r) = (x.min(y), x.max(y));
+                if r >= n {
+                    continue;
+                }
+                let apr = m[(p, r)];
+                if apr.abs() <= skip_tol {
+                    continue;
+                }
+                let (app, arr) = (m[(p, p)], m[(r, r)]);
+                let theta = (arr - app) / (2.0 * apr);
+                let tan = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + tan * tan).sqrt();
+                rots.push((p, r, c, tan * c));
+            }
+            // Row pass, column pass, accumulator pass — pairs disjoint.
+            for &(p, r, c, s) in &rots {
+                for k in 0..n {
+                    let (x, y) = (m[(p, k)], m[(r, k)]);
+                    m[(p, k)] = c * x - s * y;
+                    m[(r, k)] = s * x + c * y;
+                }
+            }
+            for &(p, r, c, s) in &rots {
+                for k in 0..n {
+                    let (x, y) = (m[(k, p)], m[(k, r)]);
+                    m[(k, p)] = c * x - s * y;
+                    m[(k, r)] = s * x + c * y;
+                }
+            }
+            for &(p, r, c, s) in &rots {
+                for k in 0..n {
+                    let (x, y) = (qt[(p, k)], qt[(r, k)]);
+                    qt[(p, k)] = c * x - s * y;
+                    qt[(r, k)] = s * x + c * y;
+                }
+            }
+        }
+    }
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_unstable_by(|&i, &j| diag[j].partial_cmp(&diag[i]).unwrap());
+    let values: Vec<f64> = idx.iter().map(|&i| diag[i]).collect();
+    let vectors = Matrix::from_fn(n, n, |i, j| qt[(idx[j], i)]);
+    (values, vectors)
+}
+
+#[test]
+fn eigen_scalar_blocked_and_pool_paths_are_bitwise_identical() {
+    let mut scratch = JacobiScratch::default();
+    for (case, &n) in EIGEN_SIZES.iter().enumerate() {
+        let a = random_symmetric(n, 0xB0 + case as u64);
+        let (ref_values, ref_vectors) = reference_round_robin_eigen(&a);
+        for threads in [1usize, 4] {
+            let eig =
+                par::with_threads(threads, || SymmetricEigen::new_with(&a, &mut scratch)).unwrap();
+            assert_eq!(
+                eig.values.as_slice(),
+                &ref_values[..],
+                "eigenvalues blocked({threads}) vs scalar reference n={n}"
+            );
+            assert_eq!(
+                eig.vectors, ref_vectors,
+                "eigenvectors blocked({threads}) vs scalar reference n={n}"
+            );
+        }
+    }
+}
+
+#[test]
+fn eigen_reconstructs_with_orthonormal_vectors() {
+    // Includes a 256 case (pool path at scale) checked for the spectral
+    // properties only — the O(n³)-per-sweep reference would dominate the
+    // suite's runtime there.
+    let mut scratch = JacobiScratch::default();
+    for (case, &n) in [5usize, 33, 64, 192, 256].iter().enumerate() {
+        let a = random_symmetric(n, 0xD0 + case as u64);
+        let serial = par::with_threads(1, || SymmetricEigen::new_with(&a, &mut scratch)).unwrap();
+        let pooled = par::with_threads(4, || SymmetricEigen::new_with(&a, &mut scratch)).unwrap();
+        assert_eq!(serial.values, pooled.values, "n={n}");
+        assert_eq!(serial.vectors, pooled.vectors, "n={n}");
+
+        let tol = 1e-10 * (n as f64).max(1.0);
+        let rec = serial.reconstruct();
+        assert!(
+            max_abs_diff(&rec, &a) < tol,
+            "V·Λ·Vᵀ reconstruction n={n}: {}",
+            max_abs_diff(&rec, &a)
+        );
+        let vtv = serial.vectors.transpose().matmul(&serial.vectors).unwrap();
+        assert!(
+            max_abs_diff(&vtv, &Matrix::identity(n)) < tol,
+            "VᵀV orthogonality n={n}"
+        );
+        // Eigenvalues are sorted descending.
+        for w in serial.values.as_slice().windows(2) {
+            assert!(w[0] >= w[1], "descending order n={n}");
+        }
+    }
+}
+
+#[test]
+fn eigen_of_spd_gram_matches_cholesky_determinant() {
+    // Cross-decomposition consistency on one mid-sized SPD matrix: the
+    // product of eigenvalues equals det(A) computed from the Cholesky
+    // factor (via log-determinants, which are robust at this scale).
+    let a = random_spd(65, 0xE0);
+    let eig = SymmetricEigen::new(&a).unwrap();
+    let chol = Cholesky::new(&a).unwrap();
+    let log_det_eig: f64 = eig.values.as_slice().iter().map(|v| v.ln()).sum();
+    let log_det_chol = chol.log_determinant();
+    assert!(
+        (log_det_eig - log_det_chol).abs() < 1e-8 * log_det_chol.abs().max(1.0),
+        "log-det: eigen {log_det_eig} vs cholesky {log_det_chol}"
+    );
+}
+
+#[test]
+fn decompositions_compose_under_nested_parallel_sections() {
+    // A decomposition invoked from inside a `with_threads` override and a
+    // second one nested behind it must still match the scalar references
+    // bitwise (the pool runs nested kernels inline on worker threads).
+    let a = random_spd(150, 0xF0);
+    let sym = random_symmetric(40, 0xF1);
+    let mut scalar = Matrix::zeros(0, 0);
+    cholesky_factor_scalar_into(&a, &mut scalar).unwrap();
+    let (ref_values, _) = reference_round_robin_eigen(&sym);
+    par::with_threads(4, || {
+        let mut l = Matrix::zeros(0, 0);
+        cholesky_factor_into(&a, &mut l).unwrap();
+        assert_eq!(l, scalar);
+        let eig = SymmetricEigen::new(&sym).unwrap();
+        assert_eq!(eig.values.as_slice(), &ref_values[..]);
+    });
+}
+
+#[test]
+fn solve_matches_eigen_inverse_application() {
+    // Ax = b solved via Cholesky equals V Λ⁻¹ Vᵀ b within tolerance.
+    let a = random_spd(48, 0xF8);
+    let b: Vec<f64> = (0..48).map(|i| (i as f64 * 0.3).cos()).collect();
+    let chol = Cholesky::new(&a).unwrap();
+    let x_chol = chol.solve(&Vector::from_vec(b.clone())).unwrap();
+    let eig = SymmetricEigen::new(&a).unwrap();
+    let vt_b = eig.vectors.transpose_matvec(&b).unwrap();
+    let scaled = Vector::from_fn(48, |i| vt_b[i] / eig.values[i]);
+    let x_eig = eig.vectors.matvec(&scaled).unwrap();
+    let worst = x_chol
+        .as_slice()
+        .iter()
+        .zip(x_eig.as_slice())
+        .fold(0.0_f64, |acc, (p, q)| acc.max((p - q).abs()));
+    assert!(worst < 1e-9, "cholesky vs eigen solve: {worst}");
+}
