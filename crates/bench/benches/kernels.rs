@@ -484,6 +484,129 @@ fn bench_decomp_grid(c: &mut Criterion) {
     group.finish();
 }
 
+/// The SIMD microkernel grid: every dot/axpy-class kernel at the
+/// acceptance shapes, pinned to one thread, compared across `PRIU_SIMD`
+/// levels — `portable` is the unrolled 4-lane scalar path, `avx2` the
+/// explicit AVX2+FMA path (skipped when the host lacks the features).
+/// Sparse rows compare the gather-dot and fused-scatter paths at an
+/// RCV1-like shape.
+const SIMD_GRID: [(usize, usize); 3] = [(500, 188), (1000, 100), (2000, 256)];
+
+fn bench_simd_grid(c: &mut Criterion) {
+    use priu_linalg::simd::{self, SimdLevel};
+
+    let mut group = c.benchmark_group("simd_grid");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_secs(1));
+
+    let mut levels = vec![(SimdLevel::Portable, "portable")];
+    if simd::avx2_supported() {
+        levels.push((SimdLevel::Avx2, "avx2"));
+    } else {
+        eprintln!("simd_grid: AVX2+FMA unavailable, benching the portable level only");
+    }
+
+    for &(n, m) in &SIMD_GRID {
+        let a = random_matrix(n, m, 41);
+        let x: Vec<f64> = (0..m).map(|i| (i as f64).sin()).collect();
+        let w = vec![-0.2; n];
+        let flat_b: Vec<f64> = (0..n * m).map(|i| (i as f64 * 0.001).cos()).collect();
+        let mut out_n = vec![0.0; n];
+        let mut out_flat = vec![0.0; n * m];
+        let mut gram = Matrix::zeros(m, m);
+        let shape = format!("{n}x{m}");
+
+        for &(level, name) in &levels {
+            // The dot-class workload at this shape: one length-m row dot
+            // per matrix row into its own output slot (the matvec inner
+            // kernel without the 4-row fusion — exactly how row dots are
+            // consumed in production). Not one giant flattened dot, which
+            // no code path performs, and no serial accumulator across
+            // rows, which would add a dependency real callers don't have.
+            group.bench_function(BenchmarkId::new(format!("dot_{name}"), &shape), |b| {
+                b.iter(|| {
+                    simd::with_level(level, || {
+                        for (i, slot) in out_n.iter_mut().enumerate() {
+                            *slot = simd::dot(black_box(a.row(i)), black_box(&x));
+                        }
+                    })
+                })
+            });
+            group.bench_function(BenchmarkId::new(format!("matvec_{name}"), &shape), |b| {
+                b.iter(|| {
+                    simd::with_level(level, || {
+                        par::with_threads(1, || a.matvec_into(black_box(&x), &mut out_n).unwrap())
+                    })
+                })
+            });
+            group.bench_function(BenchmarkId::new(format!("axpy_{name}"), &shape), |b| {
+                b.iter(|| {
+                    simd::with_level(level, || {
+                        priu_linalg::axpy_slices(&mut out_flat, 1.0001, black_box(&flat_b))
+                    })
+                })
+            });
+            group.bench_function(BenchmarkId::new(format!("scale_add_{name}"), &shape), |b| {
+                b.iter(|| {
+                    simd::with_level(level, || {
+                        priu_linalg::scale_add_slices(
+                            &mut out_flat,
+                            0.9999,
+                            0.0001,
+                            black_box(&flat_b),
+                        )
+                    })
+                })
+            });
+            group.bench_function(
+                BenchmarkId::new(format!("weighted_gram_{name}"), &shape),
+                |b| {
+                    b.iter(|| {
+                        simd::with_level(level, || {
+                            par::with_threads(1, || {
+                                a.weighted_gram_into(Some(black_box(&w)), &mut gram)
+                            })
+                        })
+                    })
+                },
+            );
+        }
+    }
+
+    // Sparse gather-dot / scatter at an RCV1-like shape.
+    let (sn, sm, snnz) = (4000usize, 10_000usize, 50usize);
+    let sp = random_csr(sn, sm, snnz, 43);
+    let sx: Vec<f64> = (0..sm).map(|i| (i as f64).sin()).collect();
+    let st: Vec<f64> = (0..sn).map(|i| (i as f64 * 0.1).cos()).collect();
+    let mut s_out_n = vec![0.0; sn];
+    let mut s_out_m = vec![0.0; sm];
+    let sshape = format!("{sn}x{sm}nnz{snnz}");
+    for &(level, name) in &levels {
+        group.bench_function(BenchmarkId::new(format!("spmv_{name}"), &sshape), |b| {
+            b.iter(|| {
+                simd::with_level(level, || {
+                    par::with_threads(1, || sp.spmv_into(black_box(&sx), &mut s_out_n).unwrap())
+                })
+            })
+        });
+        group.bench_function(
+            BenchmarkId::new(format!("transpose_spmv_{name}"), &sshape),
+            |b| {
+                b.iter(|| {
+                    simd::with_level(level, || {
+                        par::with_threads(1, || {
+                            sp.transpose_spmv_into(black_box(&st), &mut s_out_m)
+                                .unwrap()
+                        })
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("linalg_kernels");
     group.sample_size(20);
@@ -565,6 +688,7 @@ criterion_group!(
     bench_kernel_grid,
     bench_sparse_grid,
     bench_decomp_grid,
+    bench_simd_grid,
     bench_kernels
 );
 criterion_main!(benches);

@@ -159,46 +159,84 @@ fn figure_row(
 /// samples with every applicable method. Shared by Figures 1-3 — the
 /// session's `supported_methods` replaces the per-task dispatch the runner
 /// used to hand-roll.
+///
+/// The per-rate sweeps are fully independent (each fits its own session on
+/// its own dirtied copy), so they fan out across the persistent worker
+/// pool via [`priu_linalg::par::run_tasks`]; rows come back in rate order
+/// regardless of execution order. With `PRIU_THREADS=1` (the
+/// timing-fidelity configuration) the tasks run inline sequentially,
+/// exactly as before; with more threads the sweep trades per-point timing
+/// isolation for wall-clock throughput — the produced models are bitwise
+/// unaffected either way, because every kernel's computation tree is
+/// thread-independent.
 fn figure_sweep(spec: &DatasetSpec, rates: &[f64], options: &ExperimentOptions) -> Vec<FigureRow> {
     let spec = options.apply(spec);
     let (train, validation) = split_dense(&spec, options);
-    let mut rows = Vec::new();
-    for &rate in rates {
-        let injection = inject_dirty_samples(&train, rate, options.dirty_rescale, options.seed);
-        let session = fit_dense(injection.dirty_dataset.clone(), &spec, options);
-        let removed = &injection.dirty_indices;
-
-        let basel = session
-            .update(Method::Retrain, removed)
-            .expect("BaseL retraining failed");
-        for method in figure_methods(&session, &spec, options) {
-            let outcome = if method == Method::Retrain {
-                basel.clone()
-            } else {
-                match session.update(method, removed) {
-                    Ok(outcome) => outcome,
-                    // PrIU-opt can hit a singular incremental eigenproblem at
-                    // extreme deletion rates; the paper simply omits those
-                    // points. Any other failure is a real regression.
-                    Err(CoreError::Linalg(error)) if method == Method::PriuOpt => {
-                        eprintln!("skipping {method} on {} at rate {rate}: {error}", spec.name);
-                        continue;
-                    }
-                    Err(error) => panic!("{method} update failed: {error}"),
-                }
-            };
-            rows.push(figure_row(
-                &spec.name,
-                rate,
-                method.name(),
-                outcome.duration.as_secs_f64(),
-                &outcome.model,
-                &basel.model,
-                &validation,
-            ));
-        }
+    if priu_linalg::par::current_threads() > 1 && rates.len() > 1 {
+        // Make the fidelity trade-off visible at runtime, not only in docs:
+        // concurrently timed sweeps contend for cores and their kernels run
+        // inline on pool workers, so per-point update times are throughput
+        // numbers, not isolated latencies.
+        eprintln!(
+            "note: {} sweep fans {} rates across {} threads; per-point update times \
+             contend — set PRIU_THREADS=1 for timing-fidelity figures",
+            spec.name,
+            rates.len(),
+            priu_linalg::par::current_threads()
+        );
     }
-    rows
+    let rate_tasks: Vec<_> = rates
+        .iter()
+        .map(|&rate| {
+            let (train, validation, spec) = (&train, &validation, &spec);
+            move || -> Vec<FigureRow> {
+                let mut rows = Vec::new();
+                let injection =
+                    inject_dirty_samples(train, rate, options.dirty_rescale, options.seed);
+                let session = fit_dense(injection.dirty_dataset.clone(), spec, options);
+                let removed = &injection.dirty_indices;
+
+                let basel = session
+                    .update(Method::Retrain, removed)
+                    .expect("BaseL retraining failed");
+                for method in figure_methods(&session, spec, options) {
+                    let outcome = if method == Method::Retrain {
+                        basel.clone()
+                    } else {
+                        match session.update(method, removed) {
+                            Ok(outcome) => outcome,
+                            // PrIU-opt can hit a singular incremental
+                            // eigenproblem at extreme deletion rates; the
+                            // paper simply omits those points. Any other
+                            // failure is a real regression.
+                            Err(CoreError::Linalg(error)) if method == Method::PriuOpt => {
+                                eprintln!(
+                                    "skipping {method} on {} at rate {rate}: {error}",
+                                    spec.name
+                                );
+                                continue;
+                            }
+                            Err(error) => panic!("{method} update failed: {error}"),
+                        }
+                    };
+                    rows.push(figure_row(
+                        &spec.name,
+                        rate,
+                        method.name(),
+                        outcome.duration.as_secs_f64(),
+                        &outcome.model,
+                        &basel.model,
+                        validation,
+                    ));
+                }
+                rows
+            }
+        })
+        .collect();
+    priu_linalg::par::run_tasks(rate_tasks)
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 /// Figure 1 (a/b): update time for linear regression on the SGEMM analogue,

@@ -89,8 +89,9 @@ pub fn train_linear_with(
             residuals[pos] -= y[i];
         }
         rows.transpose_matvec_into(residuals, grad)?;
-        w.scale_mut(1.0 - eta * lambda);
-        w.axpy(-2.0 * eta / b as f64, &*grad)?;
+        // Fused parameter step (bitwise identical to scale_mut + axpy on
+        // every SIMD level — one pass over w instead of two).
+        w.scale_add(1.0 - eta * lambda, -2.0 * eta / b as f64, grad)?;
 
         if t % 32 == 0 && !w.is_finite() {
             return Err(CoreError::Diverged { iteration: t });

@@ -140,8 +140,9 @@ pub fn train_binary_logistic_with(
             b_coeffs[pos] = seg.intercept * yi;
         }
         rows.transpose_matvec_into(update_coeffs, grad)?;
-        w.scale_mut(1.0 - eta * lambda);
-        w.axpy(eta / b as f64, &*grad)?;
+        // Fused parameter step (bitwise identical to scale_mut + axpy on
+        // every SIMD level).
+        w.scale_add(1.0 - eta * lambda, eta / b as f64, grad)?;
 
         if t % 32 == 0 && !w.is_finite() {
             return Err(CoreError::Diverged { iteration: t });
@@ -332,8 +333,8 @@ pub fn train_multinomial_logistic_with(
             // Exact update for class k (the logits were computed up front, so
             // updating in place never feeds an updated weight back in).
             rows.transpose_matvec_into(exact_coeffs, grad)?;
-            weights[k].scale_mut(1.0 - eta * lambda);
-            weights[k].axpy(-eta / b as f64, &*grad)?;
+            // Fused parameter step (bitwise identical to scale_mut + axpy).
+            weights[k].scale_add(1.0 - eta * lambda, -eta / b as f64, grad)?;
 
             class_caches.push(build_class_cache(
                 &ws.rows,

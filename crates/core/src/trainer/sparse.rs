@@ -119,8 +119,8 @@ pub fn train_sparse_binary_logistic_with(
         }
         // Scatter phase: the batch gradient as one chunk-ordered reduction.
         dataset.x.scatter_rows_into(batch, alphas, acc)?;
-        w.scale_mut(1.0 - eta * lambda);
-        w.axpy(eta / b, &*acc)?;
+        // Fused parameter step (bitwise identical to scale_mut + axpy).
+        w.scale_add(1.0 - eta * lambda, eta / b, acc)?;
         if t % 32 == 0 && !w.is_finite() {
             return Err(CoreError::Diverged { iteration: t });
         }

@@ -104,9 +104,10 @@ pub fn priu_update_linear_with(
         }
 
         // In-place: every right-hand side was computed from the old `w`.
+        // The shrink and the first axpy fuse into one pass (bitwise
+        // identical to scale_mut + axpy on every SIMD level).
         let scale = 2.0 * eta / b_u as f64;
-        w.scale_mut(1.0 - eta * lambda);
-        w.axpy(-scale, &*gw)?;
+        w.scale_add(1.0 - eta * lambda, -scale, gw)?;
         w.axpy(scale, &*delta_gw)?;
         w.axpy(scale, &cache.xy)?;
         w.axpy(-scale, &*delta_xy)?;

@@ -123,9 +123,10 @@ pub(crate) fn priu_update_logistic_range(
             }
 
             // In-place: every right-hand side was computed from the old `w`.
+            // The shrink and the first axpy fuse into one pass (bitwise
+            // identical to scale_mut + axpy on every SIMD level).
             let w = &mut weights[k];
-            w.scale_mut(1.0 - eta * lambda);
-            w.axpy(scale, &*cw)?;
+            w.scale_add(1.0 - eta * lambda, scale, cw)?;
             w.axpy(-scale, &*delta_cw)?;
             w.axpy(scale, &class_cache.d)?;
             w.axpy(-scale, &*delta_d)?;

@@ -96,8 +96,10 @@ pub fn priu_update_sparse_logistic_with(
         dataset
             .x
             .scatter_rows_into(sel, &slopes[..sel.len()], acc)?;
-        w.scale_mut(1.0 - eta * lambda);
-        w.axpy(eta / b_u as f64, &*acc)?;
+        // Fused parameter step (bitwise identical to scale_mut + axpy on
+        // every SIMD level) — keeps the replay in lock-step with the
+        // trainer's fused step.
+        w.scale_add(1.0 - eta * lambda, eta / b_u as f64, acc)?;
     }
     Model::new(ModelKind::BinaryLogistic, vec![w])
 }

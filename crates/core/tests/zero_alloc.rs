@@ -290,6 +290,64 @@ fn update_allocations_are_independent_of_iteration_count() {
     );
 
     offline_factorization_allocations_are_per_call_constants();
+    simd_dispatch_adds_no_warm_path_cost();
+}
+
+/// The `PRIU_SIMD` runtime dispatch must be free in the warm path: with
+/// warm caller-owned buffers, the dispatched kernels allocate nothing per
+/// call on *either* level (level resolution is a cached read — no env
+/// lookup, no detection, no boxing of kernel variants).
+fn simd_dispatch_adds_no_warm_path_cost() {
+    use priu_linalg::simd::{self, SimdLevel};
+
+    let mut levels = vec![SimdLevel::Portable];
+    if simd::avx2_supported() {
+        levels.push(SimdLevel::Avx2);
+    }
+
+    // Single-chunk shapes (below the 2×256-row parallel threshold) pinned
+    // to one thread: the documented allocation-free kernel path.
+    let a = Matrix::from_fn(200, 54, |i, j| (((i * 13 + j * 7) % 17) as f64 - 8.0) / 9.0);
+    let x: Vec<f64> = (0..54).map(|i| (i as f64 * 0.29).sin()).collect();
+    let t: Vec<f64> = (0..200).map(|i| (i as f64 * 0.17).cos()).collect();
+    let mut out_n = vec![0.0; 200];
+    let mut out_m = vec![0.0; 54];
+    let sparse = sparse_data();
+    let rows: Vec<usize> = (0..50).collect();
+    let alphas = vec![0.25; 50];
+    let mut dots = vec![0.0; 50];
+    let mut acc = vec![0.0; sparse.num_features()];
+
+    priu_linalg::par::with_threads(1, || {
+        for &level in &levels {
+            simd::with_level(level, || {
+                // Warm-up resolves the level cache and any lazy buffers.
+                a.matvec_into(&x, &mut out_n).unwrap();
+                a.transpose_matvec_into(&t, &mut out_m).unwrap();
+                sparse.x.rows_dot_into(&rows, &acc, &mut dots).unwrap();
+                sparse
+                    .x
+                    .scatter_rows_into(&rows, &alphas, &mut acc)
+                    .unwrap();
+                let allocs = count_allocations(|| {
+                    a.matvec_into(&x, &mut out_n).unwrap();
+                    a.transpose_matvec_into(&t, &mut out_m).unwrap();
+                    let d = simd::dot(&x, &x);
+                    simd::axpy(&mut out_m, d, &t[..54]);
+                    priu_linalg::scale_add_slices(&mut out_m, 0.99, 0.01, &t[..54]);
+                    sparse.x.rows_dot_into(&rows, &acc, &mut dots).unwrap();
+                    sparse
+                        .x
+                        .scatter_rows_into(&rows, &alphas, &mut acc)
+                        .unwrap();
+                });
+                assert_eq!(
+                    allocs, 0,
+                    "warm dispatched kernels allocated {allocs} times at level {level}"
+                );
+            });
+        }
+    });
 }
 
 /// The PrIU-opt offline capture and closed-form baseline paths: with warm

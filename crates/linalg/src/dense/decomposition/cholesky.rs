@@ -23,11 +23,20 @@
 //! **bitwise identical** to [`cholesky_factor_scalar_into`], and — because
 //! chunks only partition independent rows — bitwise identical for any
 //! `PRIU_THREADS`. The `decomp_parity` suite asserts all three equalities.
+//!
+//! Every term of the chain goes through the [`crate::simd`] element ops
+//! (`fnma_dot_seq` in the blocked phases, the fused axpy in the trailing
+//! update, the dispatched [`crate::simd::fnma`] in the scalar reference),
+//! so on the Avx2 level each `−= l·l` subtracts with a *fused*
+//! multiply-add on every path at once: the bitwise guarantee holds per
+//! `PRIU_SIMD` level, with bits differing across levels only by FMA's
+//! removed intermediate rounding.
 
 use crate::dense::matrix::Matrix;
 use crate::dense::vector::{axpy_slices, Vector};
 use crate::error::{LinalgError, Result};
 use crate::par::{self, Chunks};
+use crate::simd;
 
 /// Panel width of the blocked factorisation. Chosen so a panel row fits in
 /// L1 alongside the trailing row it updates; the value only affects
@@ -139,7 +148,11 @@ pub fn cholesky_factor_scalar_into(a: &Matrix, l: &mut Matrix) -> Result<()> {
         for j in 0..=i {
             let mut sum = l[(i, j)];
             for k in 0..j {
-                sum -= l[(i, k)] * l[(j, k)];
+                // The dispatched element op keeps the reference tree in
+                // lock-step with the SIMD level: mul-then-sub on the
+                // portable level, fused on the Avx2 level — exactly what
+                // the blocked path's `fnma_dot_seq` / fused axpy perform.
+                sum = simd::fnma(sum, l[(i, k)], l[(j, k)]);
             }
             if i == j {
                 l[(i, j)] = pivot_sqrt(sum, i, "cholesky_factor_scalar_into")?;
@@ -170,10 +183,10 @@ pub fn cholesky_factor_into(a: &Matrix, l: &mut Matrix) -> Result<()> {
         // their trailing updates, so the chain continues with k0..j.
         for j in k0..k1 {
             for i in j..k1 {
-                let mut sum = l[(i, j)];
-                for k in k0..j {
-                    sum -= l[(i, k)] * l[(j, k)];
-                }
+                // Continue the element chain through the dispatched
+                // sequential fnma kernel (fused on the Avx2 level, matching
+                // the scalar reference's dispatched element op).
+                let sum = simd::fnma_dot_seq(l[(i, j)], &l.row(i)[k0..j], &l.row(j)[k0..j]);
                 if i == j {
                     l[(i, j)] = pivot_sqrt(sum, i, "cholesky_factor_into")?;
                 } else {
@@ -207,10 +220,14 @@ pub fn cholesky_factor_into(a: &Matrix, l: &mut Matrix) -> Result<()> {
                     let row = &mut region[local * ncols..(local + 1) * ncols];
                     for j in k0..k1 {
                         let jb = j - k0;
-                        let mut sum = row[j];
-                        for k in k0..j {
-                            sum -= row[k] * diag[jb * nb + (k - k0)];
-                        }
+                        // Same dispatched sequential fnma chain as the
+                        // diagonal block — the panel row against the
+                        // contiguous diagonal-block row.
+                        let sum = simd::fnma_dot_seq(
+                            row[j],
+                            &row[k0..j],
+                            &diag[jb * nb..jb * nb + (j - k0)],
+                        );
                         row[j] = sum / diag[jb * nb + jb];
                     }
                 }

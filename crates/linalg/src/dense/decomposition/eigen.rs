@@ -344,14 +344,13 @@ fn build_round_rotations(
     }
 }
 
-/// Combines two equal-length rows: `(x, y) ← (c·x − s·y, s·x + c·y)`.
+/// Combines two equal-length rows: `(x, y) ← (c·x − s·y, s·x + c·y)` via
+/// the dispatched rotation microkernel. [`crate::simd::rotate_two`] is
+/// deliberately FMA-free, so rotation bits are identical on every
+/// `PRIU_SIMD` level — the independent plain-loop reference in
+/// `decomp_parity` stays valid without dispatching.
 fn rotate_two_rows(row_p: &mut [f64], row_r: &mut [f64], c: f64, s: f64) {
-    for (xp, xr) in row_p.iter_mut().zip(row_r.iter_mut()) {
-        let a = *xp;
-        let b = *xr;
-        *xp = c * a - s * b;
-        *xr = s * a + c * b;
-    }
+    crate::simd::rotate_two(row_p, row_r, c, s);
 }
 
 /// Applies every rotation of the round to its two *rows* of `mat`

@@ -25,12 +25,18 @@
 //! computation tree is independent of the chunk decomposition: the blocked
 //! path is **bitwise identical** to the plain-loop reference
 //! [`qr_factor_scalar_into`] and across any `PRIU_THREADS` (asserted by the
-//! `decomp_parity` suite).
+//! `decomp_parity` suite). Both paths perform each element's multiply-add
+//! through the [`crate::simd`] layer (the chunk-parallel passes via the
+//! dispatched axpy / `fnma_scaled` kernels, the reference via the
+//! dispatched `madd` / `fnma` element ops), so the guarantee holds per
+//! `PRIU_SIMD` level — the Avx2 level fuses every multiply-add on both
+//! paths simultaneously.
 
 use crate::dense::matrix::Matrix;
-use crate::dense::vector::Vector;
+use crate::dense::vector::{axpy_slices, Vector};
 use crate::error::{LinalgError, Result};
 use crate::par::{self, Chunks};
+use crate::simd;
 
 /// Minimum rows per chunk for the rank-1 update passes.
 const QR_MIN_CHUNK_ROWS: usize = 256;
@@ -244,9 +250,11 @@ fn apply_reflector(
             for i in row0..n {
                 let vi = v[i];
                 let row = &x_ref.row(i)[col0 + range.start..col0 + range.end];
-                for (slot, &xij) in region.iter_mut().zip(row) {
-                    *slot += vi * xij;
-                }
+                // Per-column chains advance one row at a time; the
+                // dispatched axpy fuses each multiply-add on the Avx2 level
+                // (element-independent across columns, so vector width
+                // never changes bits).
+                axpy_slices(region, vi, row);
             }
         });
     }
@@ -264,9 +272,7 @@ fn apply_reflector(
         for (local, off) in range.enumerate() {
             let vi = v[row0 + off];
             let row = &mut region[local * width + col0..local * width + col1];
-            for (xij, &scale) in row.iter_mut().zip(scales) {
-                *xij -= scale * vi;
-            }
+            simd::fnma_scaled(row, scales, vi);
         }
     });
 }
@@ -304,7 +310,10 @@ fn apply_reflector_scalar(
     for i in row0..n {
         let vi = v[i];
         for (slot, j) in dots.iter_mut().zip(col0..col1) {
-            *slot += vi * x[(i, j)];
+            // Dispatched element op — mul-then-add on the portable level,
+            // fused on the Avx2 level — keeping the reference in lock-step
+            // with the chunk-parallel passes' dispatched axpy.
+            *slot = simd::madd(*slot, vi, x[(i, j)]);
         }
     }
     for d in dots.iter_mut() {
@@ -313,7 +322,7 @@ fn apply_reflector_scalar(
     for i in row0..n {
         let vi = v[i];
         for (j, &scale) in (col0..col1).zip(dots.iter()) {
-            x[(i, j)] -= scale * vi;
+            x[(i, j)] = simd::fnma(x[(i, j)], scale, vi);
         }
     }
 }

@@ -6,7 +6,11 @@
 //! per-chunk partials in chunk order — so their results are bitwise
 //! reproducible for any `PRIU_THREADS`. Each also has an `_into` variant
 //! writing into a caller-owned buffer; the allocating versions delegate to
-//! those, so both spellings produce identical bits.
+//! those, so both spellings produce identical bits. The innermost loops
+//! (row dots, axpy-style accumulations) dispatch through [`crate::simd`],
+//! which preserves the 4-wide lane structure on every level — results are
+//! bitwise reproducible per `PRIU_SIMD` level, and differ across levels
+//! only by FMA's removed intermediate roundings.
 
 use std::ops::{Add, Index, IndexMut, Mul, Range, Sub};
 
@@ -552,14 +556,16 @@ impl Matrix {
 }
 
 /// `out[o] = a.row(rows.start + o) · x` with 4-row register blocking that
-/// shares the loads of `x`. Each row's dot product uses the exact 4-lane
-/// accumulator scheme of [`dot_slices`], so blocking never changes bits.
+/// shares the loads of `x`. Both the fused 4-row dots and the single-row
+/// remainder dispatch through [`crate::simd`], whose lanes reproduce the
+/// exact 4-wide accumulator scheme of [`dot_slices`] on every level — so
+/// blocking never changes bits within a SIMD level.
 fn matvec_rows(a: &Matrix, rows: Range<usize>, x: &[f64], out: &mut [f64]) {
     debug_assert_eq!(out.len(), rows.len());
     let mut i = rows.start;
     let mut o = 0;
     while i + 4 <= rows.end {
-        let block = dot4(a.row(i), a.row(i + 1), a.row(i + 2), a.row(i + 3), x);
+        let block = crate::simd::dot4(a.row(i), a.row(i + 1), a.row(i + 2), a.row(i + 3), x);
         out[o..o + 4].copy_from_slice(&block);
         i += 4;
         o += 4;
@@ -569,37 +575,6 @@ fn matvec_rows(a: &Matrix, rows: Range<usize>, x: &[f64], out: &mut [f64]) {
         i += 1;
         o += 1;
     }
-}
-
-/// Four simultaneous dot products against a shared `x`. Each result uses the
-/// same lane structure and summation order as [`dot_slices`].
-fn dot4(r0: &[f64], r1: &[f64], r2: &[f64], r3: &[f64], x: &[f64]) -> [f64; 4] {
-    let len = x.len();
-    let mut acc = [[0.0_f64; 4]; 4]; // acc[row][lane]
-    let chunks = len / 4;
-    for c in 0..chunks {
-        let j = c * 4;
-        for lane in 0..4 {
-            let xj = x[j + lane];
-            acc[0][lane] += r0[j + lane] * xj;
-            acc[1][lane] += r1[j + lane] * xj;
-            acc[2][lane] += r2[j + lane] * xj;
-            acc[3][lane] += r3[j + lane] * xj;
-        }
-    }
-    let mut out = [
-        ((acc[0][0] + acc[0][1]) + acc[0][2]) + acc[0][3],
-        ((acc[1][0] + acc[1][1]) + acc[1][2]) + acc[1][3],
-        ((acc[2][0] + acc[2][1]) + acc[2][2]) + acc[2][3],
-        ((acc[3][0] + acc[3][1]) + acc[3][2]) + acc[3][3],
-    ];
-    for j in chunks * 4..len {
-        out[0] += r0[j] * x[j];
-        out[1] += r1[j] * x[j];
-        out[2] += r2[j] * x[j];
-        out[3] += r3[j] * x[j];
-    }
-    out
 }
 
 /// Accumulates `Σ_{i ∈ rows} x[i] · a.row(i)` into `out` (not cleared).

@@ -6,4 +6,4 @@ pub mod ops;
 pub mod vector;
 
 pub use matrix::Matrix;
-pub use vector::{axpy_slices, Vector};
+pub use vector::{axpy_slices, scale_add_slices, Vector};

@@ -3,7 +3,7 @@
 //! conveniences shared by the trainers.
 
 use crate::dense::matrix::Matrix;
-use crate::dense::vector::Vector;
+use crate::dense::vector::{axpy_slices, Vector};
 use crate::error::{LinalgError, Result};
 
 /// Per-column means of a matrix.
@@ -11,10 +11,9 @@ pub fn column_means(x: &Matrix) -> Vector {
     let (n, m) = x.shape();
     let mut means = vec![0.0; m];
     for i in 0..n {
-        let row = x.row(i);
-        for j in 0..m {
-            means[j] += row[j];
-        }
+        // axpy with α = 1.0 multiplies exactly, so the accumulation bits
+        // match the plain loop on every SIMD level.
+        axpy_slices(&mut means, 1.0, x.row(i));
     }
     if n > 0 {
         for v in &mut means {
@@ -71,9 +70,10 @@ pub fn linear_combination(coeffs: &[f64], vectors: &[Vector]) -> Result<Vector> 
     Ok(out)
 }
 
-/// Squared L2 norms of each row of a matrix.
+/// Squared L2 norms of each row of a matrix (each row through the
+/// dispatched dot microkernel's 4-wide lanes).
 pub fn row_norms_squared(x: &Matrix) -> Vector {
-    Vector::from_fn(x.nrows(), |i| x.row(i).iter().map(|v| v * v).sum::<f64>())
+    Vector::from_fn(x.nrows(), |i| crate::simd::dot(x.row(i), x.row(i)))
 }
 
 /// Squared L2 norms of each column of a matrix.

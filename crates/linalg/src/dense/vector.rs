@@ -154,6 +154,26 @@ impl Vector {
         Ok(())
     }
 
+    /// Fused in-place `self = alpha * self + beta * other` — the mb-SGD
+    /// parameter step `w ← (1-ηλ) w + η·g` as one pass over memory.
+    /// Bitwise identical to [`Vector::scale_mut`] followed by
+    /// [`Vector::axpy`] on every SIMD level (see
+    /// [`crate::simd::scale_add`]).
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if lengths differ.
+    pub fn scale_add(&mut self, alpha: f64, beta: f64, other: &[f64]) -> Result<()> {
+        if self.len() != other.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "Vector::scale_add",
+                left: (self.len(), 1),
+                right: (other.len(), 1),
+            });
+        }
+        scale_add_slices(&mut self.data, alpha, beta, other);
+        Ok(())
+    }
+
     /// Elementwise application of `f`, producing a new vector.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Vector {
         Vector::from_vec(self.data.iter().map(|&x| f(x)).collect())
@@ -240,54 +260,36 @@ impl Vector {
     }
 }
 
-/// `out += alpha * src` over equal-length slices, 4-way unrolled. The
-/// per-element accumulation order matches the naive loop (elements are
-/// independent), so unrolling never changes bits.
+/// `out += alpha * src` over equal-length slices, dispatched through the
+/// [`crate::simd`] microkernel layer (element-wise, so vector width never
+/// changes bits; the Avx2 level fuses each element's multiply-add).
 ///
 /// # Panics
-/// Panics (in debug builds) if the lengths differ; release builds truncate
-/// to the shorter slice.
+/// Panics if the lengths differ (checked in every build — the SIMD paths
+/// write through raw pointers, so the bound is load-bearing).
 pub fn axpy_slices(out: &mut [f64], alpha: f64, src: &[f64]) {
-    debug_assert_eq!(out.len(), src.len());
-    let mut out_chunks = out.chunks_exact_mut(4);
-    let mut src_chunks = src.chunks_exact(4);
-    for (o, s) in out_chunks.by_ref().zip(src_chunks.by_ref()) {
-        o[0] += alpha * s[0];
-        o[1] += alpha * s[1];
-        o[2] += alpha * s[2];
-        o[3] += alpha * s[3];
-    }
-    for (o, s) in out_chunks
-        .into_remainder()
-        .iter_mut()
-        .zip(src_chunks.remainder())
-    {
-        *o += alpha * s;
-    }
+    crate::simd::axpy(out, alpha, src);
 }
 
-/// Dot product of two equal-length slices (caller guarantees lengths match).
+/// `out = alpha * out + beta * src` over equal-length slices — the fused
+/// GD step, dispatched through [`crate::simd::scale_add`]. On every SIMD
+/// level this is bitwise identical to `scale` by `alpha` followed by
+/// [`axpy_slices`] with `beta`, so fusing the two passes is purely a
+/// memory-traffic optimisation.
+///
+/// # Panics
+/// Panics if the lengths differ (checked in every build — the SIMD paths
+/// write through raw pointers, so the bound is load-bearing).
+pub fn scale_add_slices(out: &mut [f64], alpha: f64, beta: f64, src: &[f64]) {
+    crate::simd::scale_add(out, alpha, beta, src);
+}
+
+/// Dot product of two equal-length slices (caller guarantees lengths
+/// match), dispatched through [`crate::simd::dot`] — the canonical 4-wide
+/// accumulator lanes shared by the scalar and AVX2 paths.
 pub(crate) fn dot_slices(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    // Manual 4-way unrolling: measurably faster than a naive fold for the
-    // hot gemv inner loops and keeps the code dependency-free.
-    let mut acc0 = 0.0;
-    let mut acc1 = 0.0;
-    let mut acc2 = 0.0;
-    let mut acc3 = 0.0;
-    let chunks = a.len() / 4;
-    for i in 0..chunks {
-        let j = i * 4;
-        acc0 += a[j] * b[j];
-        acc1 += a[j + 1] * b[j + 1];
-        acc2 += a[j + 2] * b[j + 2];
-        acc3 += a[j + 3] * b[j + 3];
-    }
-    let mut acc = acc0 + acc1 + acc2 + acc3;
-    for j in chunks * 4..a.len() {
-        acc += a[j] * b[j];
-    }
-    acc
+    crate::simd::dot(a, b)
 }
 
 impl Deref for Vector {
@@ -490,6 +492,18 @@ mod tests {
         assert!(a.is_finite());
         let b = Vector::from_vec(vec![f64::NAN]);
         assert!(!b.is_finite());
+    }
+
+    #[test]
+    fn scale_add_matches_scale_then_axpy_bitwise() {
+        let src: Vec<f64> = (0..9).map(|i| (i as f64 * 0.3).sin()).collect();
+        let mut fused = Vector::from_fn(9, |i| (i as f64 * 0.7).cos());
+        let mut pair = fused.clone();
+        fused.scale_add(0.95, -0.125, &src).unwrap();
+        pair.scale_mut(0.95);
+        pair.axpy(-0.125, &src).unwrap();
+        assert_eq!(fused, pair);
+        assert!(fused.scale_add(1.0, 1.0, &[0.0; 3]).is_err());
     }
 
     #[test]

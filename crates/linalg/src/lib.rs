@@ -22,9 +22,15 @@
 //!   sign flips) used by the evaluation's model-comparison section (Q4).
 //! * [`par`] — the performance layer: a deterministic, lazily-started
 //!   persistent worker pool (`PRIU_THREADS`) behind the hot dense and
-//!   sparse kernels. Every kernel also has an allocation-free `_into`
-//!   variant writing into caller-owned buffers, and all results are
-//!   bitwise reproducible for any thread count.
+//!   sparse kernels, plus a coarse-grained [`par::run_tasks`] API for
+//!   independent jobs (figure sweeps). Every kernel also has an
+//!   allocation-free `_into` variant writing into caller-owned buffers,
+//!   and all results are bitwise reproducible for any thread count.
+//! * [`simd`] — the microkernel layer underneath everything above:
+//!   runtime-dispatched AVX2+FMA implementations (`PRIU_SIMD`) of the
+//!   shared inner loops with a portable fallback whose 4-wide accumulator
+//!   lanes the SIMD paths reproduce exactly, so results are bitwise
+//!   reproducible per SIMD level for any thread count.
 //!
 //! All numerics are `f64`. The crate is deliberately dependency-free apart
 //! from the workspace's own `priu-rng` (random test matrices, randomized
@@ -36,6 +42,7 @@
 pub mod dense;
 pub mod error;
 pub mod par;
+pub mod simd;
 pub mod sparse;
 pub mod stats;
 
@@ -46,6 +53,6 @@ pub mod decomposition {
 }
 
 pub use dense::matrix::Matrix;
-pub use dense::vector::{axpy_slices, Vector};
+pub use dense::vector::{axpy_slices, scale_add_slices, Vector};
 pub use error::{LinalgError, Result};
 pub use sparse::csr::CsrMatrix;

@@ -57,6 +57,12 @@
 //! multi-chunk kernel in flight at a time; concurrent callers degrade to
 //! serial execution per caller, never to errors or wrong results.
 //!
+//! Beyond the chunked kernels, [`run_tasks`] exposes the pool for
+//! *coarse-grained* independent jobs (the bench runner's per-rate figure
+//! sweeps), and [`NnzChunks`] provides a work-balanced decomposition for
+//! kernels whose per-item cost is skewed (CSR rows with heavy tails) —
+//! still shape-only, so the determinism guarantee is untouched.
+//!
 //! Thread count resolution order:
 //! 1. an active [`with_threads`] override on the calling thread (used by the
 //!    parity tests and the kernel benches to pin a count per call-site);
@@ -190,6 +196,95 @@ impl Chunks {
     }
 }
 
+/// A chunk decomposition usable by the shared map/reduce orchestration:
+/// `count()` disjoint, ascending ranges partitioning `0..n`. Implementors
+/// must derive both purely from the problem *shape* (sizes, sparsity
+/// structure) — never from the thread count — so the reduction order of
+/// chunked kernels stays a function of the input alone.
+pub trait RangeDecomp {
+    /// Number of chunks.
+    fn count(&self) -> usize;
+    /// The item range of chunk `c` (ranges are ascending and disjoint, and
+    /// together cover `0..n`; individual ranges may be empty).
+    fn range(&self, c: usize) -> Range<usize>;
+}
+
+impl RangeDecomp for Chunks {
+    fn count(&self) -> usize {
+        Chunks::count(self)
+    }
+    fn range(&self, c: usize) -> Range<usize> {
+        Chunks::range(self, c)
+    }
+}
+
+/// A work-balanced chunk decomposition of `0..n` driven by a cumulative
+/// work array (`cum[i]` = total work before item `i`, `cum.len() == n + 1`,
+/// non-decreasing — a CSR `row_ptr` is exactly this shape). Chunk *count*
+/// follows the same rule as [`Chunks`] over the item count; chunk
+/// *boundaries* split the total work as evenly as possible, so heavily
+/// skewed item costs (long sparse rows) no longer pile into one chunk.
+/// Both count and boundaries depend only on the shape, so the determinism
+/// guarantee of the chunked kernels survives unchanged. Individual chunks
+/// may be empty when a single item carries more than a chunk's share of
+/// the work.
+#[derive(Debug, Clone, Copy)]
+pub struct NnzChunks<'a> {
+    ptr: &'a [usize],
+    count: usize,
+}
+
+impl<'a> NnzChunks<'a> {
+    /// Decomposes the `cum.len() - 1` items into at most `max_chunks`
+    /// chunks of at least `min_items` items on average (the [`Chunks`]
+    /// count rule — in particular fewer than `2 · min_items` items always
+    /// yield the single-chunk inline path), with boundaries balancing the
+    /// cumulative work in `cum`.
+    ///
+    /// # Panics
+    /// Panics if `cum` is empty (it must hold `n + 1` entries).
+    pub fn new(cum: &'a [usize], min_items: usize, max_chunks: usize) -> Self {
+        assert!(
+            !cum.is_empty(),
+            "cumulative work array must hold n + 1 entries"
+        );
+        let n = cum.len() - 1;
+        let count = Chunks::new(n, min_items, max_chunks).count();
+        Self { ptr: cum, count }
+    }
+
+    /// The first item of chunk `c`: the smallest item index whose
+    /// cumulative work reaches `c / count` of the total.
+    fn boundary(&self, c: usize) -> usize {
+        let n = self.ptr.len() - 1;
+        if c == 0 {
+            return 0;
+        }
+        if c >= self.count {
+            return n;
+        }
+        let total = self.ptr[n] as u128;
+        let target = (total * c as u128 / self.count as u128) as usize;
+        // First index with cum[i] >= target; cum[n] = total >= target keeps
+        // this <= n.
+        self.ptr.partition_point(|&p| p < target).min(n)
+    }
+}
+
+impl RangeDecomp for NnzChunks<'_> {
+    fn count(&self) -> usize {
+        self.count
+    }
+    fn range(&self, c: usize) -> Range<usize> {
+        assert!(
+            c < self.count,
+            "chunk index {c} out of range ({})",
+            self.count
+        );
+        self.boundary(c)..self.boundary(c + 1)
+    }
+}
+
 /// A submitted parallel job: the type-erased chunk closure plus the atomic
 /// progress counters the steal loop needs.
 struct Job {
@@ -210,6 +305,11 @@ struct Job {
     /// [`with_threads`] an actual cap on participants, not just a growth
     /// hint.
     permits: AtomicUsize,
+    /// The submitter's SIMD level at submission time. Workers pin it for
+    /// the duration of their steal loop, so a `simd::with_level` override
+    /// on the calling thread governs *every* chunk of the job — a kernel
+    /// must never execute at mixed levels.
+    simd_level: crate::simd::SimdLevel,
     /// Set when any participant panicked: remaining chunks are claimed and
     /// counted without running user code so the submitter can unblock.
     abort: AtomicBool,
@@ -336,7 +436,9 @@ fn worker_loop(p: &'static Pool) {
         drop(state);
         if let Some(job) = job {
             if take_permit(&job.permits) {
-                steal_loop(p, &job, true);
+                // Pin the submitter's SIMD level so every chunk of the job
+                // executes the same kernel variant.
+                crate::simd::with_level(job.simd_level, || steal_loop(p, &job, true));
             }
         }
         state = p.lock();
@@ -482,6 +584,7 @@ where
         cursor: AtomicUsize::new(0),
         finished: AtomicUsize::new(0),
         permits: AtomicUsize::new(threads - 1),
+        simd_level: crate::simd::current_level(),
         abort: AtomicBool::new(false),
     });
 
@@ -513,6 +616,56 @@ where
     // worker poison.
 }
 
+/// Runs independent coarse-grained tasks on the persistent pool, returning
+/// their results **in task order** regardless of execution order — the
+/// companion of [`run_chunks`] for heterogeneous jobs (the bench runner's
+/// per-rate figure sweeps, batch experiment shards).
+///
+/// Execution rides the same machinery as the kernels: up to
+/// [`current_threads`] participants including the caller, work-stealing
+/// over the task list, inline execution when only one thread is available
+/// or when called from inside a pool worker. Tasks that themselves invoke
+/// multi-chunk kernels run those kernels inline on their worker thread, so
+/// fanning out callers of parallel kernels is sound (and the kernels stop
+/// competing for the same cores).
+///
+/// Determinism: the *returned vector* is ordered by task index, and each
+/// task's own computation is as deterministic as the task makes it — the
+/// linalg kernels it calls stay bitwise reproducible because their chunk
+/// decompositions never depend on where they run. Wall-clock *timings*
+/// measured inside concurrently running tasks do contend, so timing-
+/// sensitive sweeps should pin `PRIU_THREADS=1` when per-point latency
+/// fidelity matters more than sweep throughput.
+///
+/// # Panics
+/// Propagates task panics with the pool's usual poisoning contract (a
+/// panic on a worker poisons the pool until [`shutdown_pool`]).
+pub fn run_tasks<T, F>(tasks: Vec<F>) -> Vec<T>
+where
+    F: FnOnce() -> T + Send,
+    T: Send,
+{
+    let slots: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..slots.len()).map(|_| Mutex::new(None)).collect();
+    run_chunks(slots.len(), |c| {
+        let task = slots[c]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+            .expect("run_chunks claims every index exactly once");
+        let result = task();
+        *results[c].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .expect("run_chunks finished every task")
+        })
+        .collect()
+}
+
 /// Runs a map-style chunked kernel: each chunk of the decomposition fills
 /// its own disjoint `width`-strided region of `out` (`fill(range, region)`
 /// must write every element of `region`, which is
@@ -523,8 +676,9 @@ where
 /// (`dense::decomposition::eigen`) additionally use [`SendPtr`] directly
 /// for their scattered row/column pairs, with their own disjointness
 /// invariant (tournament pairs) argued at those sites.
-pub(crate) fn map_chunks<F>(chunks: &Chunks, width: usize, out: &mut [f64], fill: F)
+pub(crate) fn map_chunks<D, F>(chunks: &D, width: usize, out: &mut [f64], fill: F)
 where
+    D: RangeDecomp + Sync,
     F: Fn(Range<usize>, &mut [f64]) + Sync,
 {
     if chunks.count() == 0 {
@@ -550,8 +704,9 @@ where
 /// **ascending chunk order** — the rule that makes the summation tree a
 /// function of the decomposition alone. `out` is not cleared; single-chunk
 /// decompositions accumulate straight into it on the calling thread.
-pub(crate) fn reduce_chunks<F>(chunks: &Chunks, m: usize, out: &mut [f64], accumulate: F)
+pub(crate) fn reduce_chunks<D, F>(chunks: &D, m: usize, out: &mut [f64], accumulate: F)
 where
+    D: RangeDecomp + Sync,
     F: Fn(Range<usize>, &mut [f64]) + Sync,
 {
     if chunks.count() == 0 {
@@ -689,6 +844,92 @@ mod tests {
         // min_chunk/max_chunks of 0 are clamped to 1 rather than dividing
         // by zero.
         assert_eq!(Chunks::new(10, 0, 0).count(), 1);
+    }
+
+    #[test]
+    fn nnz_chunks_balance_skewed_work() {
+        // 8 rows; row 0 carries almost all the nnz.
+        let cum = [0usize, 1000, 1001, 1002, 1003, 1004, 1005, 1006, 1007];
+        let c = NnzChunks::new(&cum, 2, 4);
+        // Count follows the Chunks rule over the *item* count.
+        assert_eq!(RangeDecomp::count(&c), Chunks::new(8, 2, 4).count());
+        // Ranges are ascending, disjoint and cover 0..8.
+        let mut covered = 0;
+        let mut first_range = 0..0;
+        for i in 0..RangeDecomp::count(&c) {
+            let r = RangeDecomp::range(&c, i);
+            assert_eq!(r.start, covered, "chunk {i}");
+            covered = r.end;
+            if i == 0 {
+                first_range = r;
+            }
+        }
+        assert_eq!(covered, 8);
+        // The heavy row is isolated: chunk 0 holds row 0 alone.
+        assert_eq!(first_range, 0..1);
+
+        // Uniform work reproduces near-even row splits.
+        let uniform: Vec<usize> = (0..=100).map(|i| i * 3).collect();
+        let u = NnzChunks::new(&uniform, 10, 8);
+        for i in 0..RangeDecomp::count(&u) {
+            let r = RangeDecomp::range(&u, i);
+            assert!(r.len() >= 10, "uniform chunk {i} has {} items", r.len());
+        }
+
+        // Zero items and zero work degrade gracefully.
+        assert_eq!(RangeDecomp::count(&NnzChunks::new(&[0], 4, 4)), 0);
+        let zero_work = [0usize; 9];
+        let z = NnzChunks::new(&zero_work, 2, 4);
+        let mut covered = 0;
+        for i in 0..RangeDecomp::count(&z) {
+            let r = RangeDecomp::range(&z, i);
+            assert_eq!(r.start, covered);
+            covered = r.end;
+        }
+        assert_eq!(covered, 8);
+    }
+
+    #[test]
+    fn run_tasks_returns_results_in_task_order() {
+        for threads in [1usize, 4] {
+            let tasks: Vec<_> = (0..17)
+                .map(|i| move || i * i + usize::from(i % 3 == 0))
+                .collect();
+            let results = with_threads(threads, || run_tasks(tasks));
+            for (i, &r) in results.iter().enumerate() {
+                assert_eq!(r, i * i + usize::from(i % 3 == 0), "threads={threads}");
+            }
+        }
+        // Empty task lists are fine.
+        let empty: Vec<fn() -> usize> = Vec::new();
+        assert!(run_tasks(empty).is_empty());
+    }
+
+    #[test]
+    fn run_tasks_nests_inside_parallel_kernels() {
+        // Tasks that themselves submit chunked work run it inline on their
+        // worker thread; totals stay exact.
+        let totals = with_threads(4, || {
+            run_tasks(
+                (0..6)
+                    .map(|t| {
+                        move || {
+                            let hits: Vec<AtomicUsize> =
+                                (0..9).map(|_| AtomicUsize::new(0)).collect();
+                            run_chunks(hits.len(), |c| {
+                                hits[c].fetch_add(t + 1, Ordering::Relaxed);
+                            });
+                            hits.iter()
+                                .map(|h| h.load(Ordering::Relaxed))
+                                .sum::<usize>()
+                        }
+                    })
+                    .collect(),
+            )
+        });
+        for (t, &total) in totals.iter().enumerate() {
+            assert_eq!(total, 9 * (t + 1));
+        }
     }
 
     #[test]

@@ -4,17 +4,26 @@
 //! `rows_dot_into` / `scatter_rows_into`) are chunked through [`crate::par`]
 //! exactly like the dense kernels: map-style kernels write disjoint output
 //! regions per row chunk, reduction-style kernels accumulate per-chunk
-//! partials and combine them in ascending chunk order. Chunk boundaries
-//! depend only on the row count, so every kernel is bitwise reproducible
-//! for any `PRIU_THREADS`. Each kernel has an `_into` variant writing into
-//! a caller-owned buffer; the allocating versions delegate to those.
+//! partials and combine them in ascending chunk order. The whole-matrix
+//! kernels (`spmv`, `transpose_spmv`) use **nnz-balanced** chunk
+//! boundaries ([`crate::par::NnzChunks`] over `row_ptr`), so heavily
+//! skewed row lengths split by work instead of row count; the selection
+//! kernels (`rows_dot_into` / `scatter_rows_into`) chunk over positions of
+//! their index list (no cumulative-work array exists for an arbitrary
+//! selection without a scan). Either way boundaries depend only on the
+//! matrix shape, so every kernel is bitwise reproducible for any
+//! `PRIU_THREADS`. The inner loops dispatch through [`crate::simd`]
+//! (gather-dot and fused scatter on the AVX2 level). Each kernel has an
+//! `_into` variant writing into a caller-owned buffer; the allocating
+//! versions delegate to those.
 
 use std::ops::Range;
 
 use crate::dense::matrix::Matrix;
 use crate::dense::vector::Vector;
 use crate::error::{LinalgError, Result};
-use crate::par::{self, Chunks};
+use crate::par::{self, Chunks, NnzChunks};
+use crate::simd;
 
 /// Minimum rows per chunk: sparse rows carry only tens of non-zeros, so
 /// chunks are kept as coarse as the dense kernels' — mb-SGD-sized batches
@@ -225,11 +234,13 @@ impl CsrMatrix {
         Ok(())
     }
 
-    /// The dot product of row `i` with `x`, assuming shapes were checked.
+    /// The dot product of row `i` with `x`, assuming shapes were checked —
+    /// the dispatched gather-dot microkernel (4-wide lanes shared by the
+    /// portable and AVX2 paths, see [`crate::simd::sparse_dot`]).
     #[inline]
     fn row_dot_unchecked(&self, i: usize, x: &[f64]) -> f64 {
         let (cols, vals) = self.row(i);
-        cols.iter().zip(vals.iter()).map(|(&c, &v)| v * x[c]).sum()
+        simd::sparse_dot(cols, vals, x)
     }
 
     /// Dot product of sparse row `i` with a dense vector.
@@ -264,9 +275,7 @@ impl CsrMatrix {
         }
         self.check_rows(std::slice::from_ref(&i))?;
         let (cols, vals) = self.row(i);
-        for (&c, &v) in cols.iter().zip(vals.iter()) {
-            acc[c] += alpha * v;
-        }
+        simd::sparse_scatter(cols, vals, alpha, acc);
         Ok(())
     }
 
@@ -303,7 +312,10 @@ impl CsrMatrix {
                 right: (out.len(), 1),
             });
         }
-        let chunks = Chunks::new(self.rows, MIN_CHUNK_ROWS, MAP_MAX_CHUNKS);
+        // Nnz-balanced boundaries: skewed row lengths (RCV1-style tails)
+        // split by work, not by row count. Shape-only, so bitwise
+        // reproducibility for any thread count is unchanged.
+        let chunks = NnzChunks::new(&self.row_ptr, MIN_CHUNK_ROWS, MAP_MAX_CHUNKS);
         par::map_chunks(&chunks, 1, out, |range, chunk_out| {
             self.spmv_range(range, x, chunk_out)
         });
@@ -353,8 +365,10 @@ impl CsrMatrix {
             });
         }
         out.fill(0.0);
-        let chunks = Chunks::new(
-            self.rows,
+        // Nnz-balanced boundaries (see `spmv_into`); the chunk-count cap
+        // stays nnz-derived so the serial combine never dominates.
+        let chunks = NnzChunks::new(
+            &self.row_ptr,
             MIN_CHUNK_ROWS,
             self.reduction_chunk_cap(self.rows),
         );
@@ -383,9 +397,7 @@ impl CsrMatrix {
                 continue;
             }
             let (cols, vals) = self.row(i);
-            for (&c, &v) in cols.iter().zip(vals.iter()) {
-                acc[c] += xi * v;
-            }
+            simd::sparse_scatter(cols, vals, xi, acc);
         }
     }
 
@@ -480,9 +492,7 @@ impl CsrMatrix {
                 continue;
             }
             let (cols, vals) = self.row(rows[k]);
-            for (&c, &v) in cols.iter().zip(vals.iter()) {
-                acc[c] += alpha * v;
-            }
+            simd::sparse_scatter(cols, vals, alpha, acc);
         }
     }
 

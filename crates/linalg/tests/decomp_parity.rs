@@ -23,8 +23,15 @@ use priu_linalg::decomposition::{
     cholesky_factor_into, cholesky_factor_scalar_into, cholesky_solve_into, qr_factor_into,
     qr_factor_scalar_into, Cholesky, JacobiScratch, Qr, QrScratch, SymmetricEigen,
 };
-use priu_linalg::{par, LinalgError, Matrix, Vector};
+use priu_linalg::{par, simd, LinalgError, Matrix, Vector};
 use priu_rng::Rng64;
+
+/// The SIMD levels this host can execute — every bitwise assertion runs
+/// under each, because the Avx2 level fuses multiply-adds (different bits,
+/// same per-level guarantee).
+fn simd_levels() -> Vec<simd::SimdLevel> {
+    simd::available_levels()
+}
 
 fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
     let mut rng = Rng64::from_seed(seed);
@@ -63,6 +70,9 @@ const SPD_SIZES: [usize; 9] = [1, 2, 63, 64, 65, 127, 129, 256, 512];
 
 /// Independent textbook left-looking loop — validates that the exported
 /// scalar reference *and* the blocked kernel realise the documented chain.
+/// The single shared piece is the per-element `acc − a·b` op
+/// ([`simd::fnma`]), which *is* the thing whose rounding the SIMD level
+/// controls: mul-then-sub on the portable level, fused on the Avx2 level.
 fn textbook_cholesky(a: &Matrix) -> Matrix {
     let n = a.nrows();
     let mut l = Matrix::zeros(n, n);
@@ -70,7 +80,7 @@ fn textbook_cholesky(a: &Matrix) -> Matrix {
         for j in 0..=i {
             let mut sum = a[(i, j)];
             for k in 0..j {
-                sum -= l[(i, k)] * l[(j, k)];
+                sum = simd::fnma(sum, l[(i, k)], l[(j, k)]);
             }
             if i == j {
                 assert!(sum > 0.0, "textbook reference hit a non-SPD pivot");
@@ -87,19 +97,27 @@ fn textbook_cholesky(a: &Matrix) -> Matrix {
 fn cholesky_scalar_blocked_and_pool_paths_are_bitwise_identical() {
     let mut blocked = Matrix::zeros(0, 0);
     let mut scalar = Matrix::zeros(0, 0);
-    for (case, &n) in SPD_SIZES.iter().enumerate() {
-        let a = random_spd(n, 0x10 + case as u64);
-        cholesky_factor_scalar_into(&a, &mut scalar).unwrap();
-        assert_eq!(scalar, textbook_cholesky(&a), "scalar vs textbook n={n}");
-        for threads in [1usize, 4] {
-            par::with_threads(threads, || cholesky_factor_into(&a, &mut blocked).unwrap());
-            assert_eq!(
-                blocked, scalar,
-                "blocked({threads} threads) vs scalar n={n}"
-            );
-        }
-        // The allocating wrapper rides the same kernel.
-        assert_eq!(*Cholesky::new(&a).unwrap().factor(), scalar, "n={n}");
+    for level in simd_levels() {
+        simd::with_level(level, || {
+            for (case, &n) in SPD_SIZES.iter().enumerate() {
+                let a = random_spd(n, 0x10 + case as u64);
+                cholesky_factor_scalar_into(&a, &mut scalar).unwrap();
+                assert_eq!(
+                    scalar,
+                    textbook_cholesky(&a),
+                    "scalar vs textbook n={n} ({level})"
+                );
+                for threads in [1usize, 4] {
+                    par::with_threads(threads, || cholesky_factor_into(&a, &mut blocked).unwrap());
+                    assert_eq!(
+                        blocked, scalar,
+                        "blocked({threads} threads) vs scalar n={n} ({level})"
+                    );
+                }
+                // The allocating wrapper rides the same kernel.
+                assert_eq!(*Cholesky::new(&a).unwrap().factor(), scalar, "n={n}");
+            }
+        });
     }
 }
 
@@ -244,19 +262,23 @@ fn qr_scalar_blocked_and_pool_paths_are_bitwise_identical() {
     let mut scratch = QrScratch::default();
     let (mut qs, mut rs) = (Matrix::zeros(0, 0), Matrix::zeros(0, 0));
     let (mut qb, mut rb) = (Matrix::zeros(0, 0), Matrix::zeros(0, 0));
-    for (case, &(n, m)) in QR_SHAPES.iter().enumerate() {
-        let a = random_matrix(n, m, 0x70 + case as u64);
-        qr_factor_scalar_into(&a, &mut qs, &mut rs, &mut scratch).unwrap();
-        for threads in [1usize, 4] {
-            par::with_threads(threads, || {
-                qr_factor_into(&a, &mut qb, &mut rb, &mut scratch).unwrap()
-            });
-            assert_eq!(qb, qs, "Q blocked({threads}) vs scalar {n}x{m}");
-            assert_eq!(rb, rs, "R blocked({threads}) vs scalar {n}x{m}");
-        }
-        let qr = Qr::new(&a).unwrap();
-        assert_eq!(*qr.q(), qs, "{n}x{m}");
-        assert_eq!(*qr.r(), rs, "{n}x{m}");
+    for level in simd_levels() {
+        simd::with_level(level, || {
+            for (case, &(n, m)) in QR_SHAPES.iter().enumerate() {
+                let a = random_matrix(n, m, 0x70 + case as u64);
+                qr_factor_scalar_into(&a, &mut qs, &mut rs, &mut scratch).unwrap();
+                for threads in [1usize, 4] {
+                    par::with_threads(threads, || {
+                        qr_factor_into(&a, &mut qb, &mut rb, &mut scratch).unwrap()
+                    });
+                    assert_eq!(qb, qs, "Q blocked({threads}) vs scalar {n}x{m} ({level})");
+                    assert_eq!(rb, rs, "R blocked({threads}) vs scalar {n}x{m} ({level})");
+                }
+                let qr = Qr::new(&a).unwrap();
+                assert_eq!(*qr.q(), qs, "{n}x{m}");
+                assert_eq!(*qr.r(), rs, "{n}x{m}");
+            }
+        });
     }
 }
 
@@ -389,22 +411,31 @@ fn reference_round_robin_eigen(a: &Matrix) -> (Vec<f64>, Matrix) {
 
 #[test]
 fn eigen_scalar_blocked_and_pool_paths_are_bitwise_identical() {
+    // The rotation microkernel is deliberately FMA-free, so the plain-loop
+    // reference (computed once, outside any level override) must match the
+    // production path bitwise on *every* SIMD level — eigenpairs are
+    // level-invariant, not merely level-consistent.
     let mut scratch = JacobiScratch::default();
     for (case, &n) in EIGEN_SIZES.iter().enumerate() {
         let a = random_symmetric(n, 0xB0 + case as u64);
         let (ref_values, ref_vectors) = reference_round_robin_eigen(&a);
-        for threads in [1usize, 4] {
-            let eig =
-                par::with_threads(threads, || SymmetricEigen::new_with(&a, &mut scratch)).unwrap();
-            assert_eq!(
-                eig.values.as_slice(),
-                &ref_values[..],
-                "eigenvalues blocked({threads}) vs scalar reference n={n}"
-            );
-            assert_eq!(
-                eig.vectors, ref_vectors,
-                "eigenvectors blocked({threads}) vs scalar reference n={n}"
-            );
+        for level in simd_levels() {
+            simd::with_level(level, || {
+                for threads in [1usize, 4] {
+                    let eig =
+                        par::with_threads(threads, || SymmetricEigen::new_with(&a, &mut scratch))
+                            .unwrap();
+                    assert_eq!(
+                        eig.values.as_slice(),
+                        &ref_values[..],
+                        "eigenvalues blocked({threads}) vs scalar reference n={n} ({level})"
+                    );
+                    assert_eq!(
+                        eig.vectors, ref_vectors,
+                        "eigenvectors blocked({threads}) vs scalar reference n={n} ({level})"
+                    );
+                }
+            });
         }
     }
 }

@@ -11,9 +11,17 @@
 //! parallel reductions on the persistent worker pool.
 
 use priu_linalg::par;
+use priu_linalg::simd;
 use priu_linalg::sparse::CooBuilder;
 use priu_linalg::{CsrMatrix, Matrix, Vector};
 use priu_rng::Rng64;
+
+/// The SIMD levels this host can execute; thread-count bitwise assertions
+/// run under each (cross-level bits differ by FMA's removed roundings, so
+/// the guarantee is per level).
+fn simd_levels() -> Vec<simd::SimdLevel> {
+    simd::available_levels()
+}
 
 /// (rows, cols) grid: single-chunk, boundary and multi-chunk shapes, with
 /// non-multiples of the unroll width everywhere.
@@ -148,36 +156,36 @@ fn kernels_match_naive_references_numerically() {
 
 #[test]
 fn results_are_bitwise_identical_across_thread_counts() {
-    for (case, &(n, m)) in SHAPES.iter().enumerate() {
-        let seed = 0xC0 + case as u64;
-        let a = random_matrix(n, m, seed);
-        let x = random_vec(m, seed ^ 1);
-        let t = random_vec(n, seed ^ 2);
-        let w = random_vec(n, seed ^ 3);
-        let b = random_matrix(m, 16, seed ^ 4);
+    for level in simd_levels() {
+        for (case, &(n, m)) in SHAPES.iter().enumerate() {
+            let seed = 0xC0 + case as u64;
+            let a = random_matrix(n, m, seed);
+            let x = random_vec(m, seed ^ 1);
+            let t = random_vec(n, seed ^ 2);
+            let w = random_vec(n, seed ^ 3);
+            let b = random_matrix(m, 16, seed ^ 4);
 
-        let serial = par::with_threads(1, || {
-            (
-                a.matvec(&x).unwrap(),
-                a.transpose_matvec(&t).unwrap(),
-                a.weighted_gram(Some(&w)),
-                a.matmul(&b).unwrap(),
-            )
-        });
-        let parallel = par::with_threads(4, || {
-            (
-                a.matvec(&x).unwrap(),
-                a.transpose_matvec(&t).unwrap(),
-                a.weighted_gram(Some(&w)),
-                a.matmul(&b).unwrap(),
-            )
-        });
-        // PartialEq on f64 containers is exact equality — the determinism
-        // guarantee is bitwise, not approximate.
-        assert_eq!(serial.0, parallel.0, "matvec {n}x{m}");
-        assert_eq!(serial.1, parallel.1, "transpose_matvec {n}x{m}");
-        assert_eq!(serial.2, parallel.2, "weighted_gram {n}x{m}");
-        assert_eq!(serial.3, parallel.3, "matmul {n}x{m}");
+            let run = |threads| {
+                simd::with_level(level, || {
+                    par::with_threads(threads, || {
+                        (
+                            a.matvec(&x).unwrap(),
+                            a.transpose_matvec(&t).unwrap(),
+                            a.weighted_gram(Some(&w)),
+                            a.matmul(&b).unwrap(),
+                        )
+                    })
+                })
+            };
+            let serial = run(1);
+            let parallel = run(4);
+            // PartialEq on f64 containers is exact equality — the
+            // determinism guarantee is bitwise, not approximate.
+            assert_eq!(serial.0, parallel.0, "matvec {n}x{m} ({level})");
+            assert_eq!(serial.1, parallel.1, "transpose_matvec {n}x{m} ({level})");
+            assert_eq!(serial.2, parallel.2, "weighted_gram {n}x{m} ({level})");
+            assert_eq!(serial.3, parallel.3, "matmul {n}x{m} ({level})");
+        }
     }
 }
 
@@ -296,34 +304,96 @@ fn sparse_kernels_match_dense_equivalents_numerically() {
 
 #[test]
 fn sparse_results_are_bitwise_identical_across_thread_counts() {
-    for (case, &(n, m, nnz)) in SPARSE_SHAPES.iter().enumerate() {
-        let seed = 0x5C0 + case as u64;
-        let a = random_csr(n, m, nnz, seed);
-        let x = random_vec(m, seed ^ 1);
-        let t = random_vec(n, seed ^ 2);
-        let rows = batch_rows(n, n, seed ^ 3);
-        let alphas = random_vec(rows.len(), seed ^ 4);
+    for level in simd_levels() {
+        for (case, &(n, m, nnz)) in SPARSE_SHAPES.iter().enumerate() {
+            let seed = 0x5C0 + case as u64;
+            let a = random_csr(n, m, nnz, seed);
+            let x = random_vec(m, seed ^ 1);
+            let t = random_vec(n, seed ^ 2);
+            let rows = batch_rows(n, n, seed ^ 3);
+            let alphas = random_vec(rows.len(), seed ^ 4);
 
-        let run = || {
-            let mut dots = vec![0.0; rows.len()];
-            a.rows_dot_into(&rows, &x, &mut dots).unwrap();
-            let mut acc = vec![0.0; m];
-            a.scatter_rows_into(&rows, &alphas, &mut acc).unwrap();
-            (
-                a.spmv(&x).unwrap(),
-                a.transpose_spmv(&t).unwrap(),
-                dots,
-                acc,
-            )
+            let run = |threads| {
+                simd::with_level(level, || {
+                    par::with_threads(threads, || {
+                        let mut dots = vec![0.0; rows.len()];
+                        a.rows_dot_into(&rows, &x, &mut dots).unwrap();
+                        let mut acc = vec![0.0; m];
+                        a.scatter_rows_into(&rows, &alphas, &mut acc).unwrap();
+                        (
+                            a.spmv(&x).unwrap(),
+                            a.transpose_spmv(&t).unwrap(),
+                            dots,
+                            acc,
+                        )
+                    })
+                })
+            };
+            let serial = run(1);
+            let parallel = run(4);
+            // PartialEq on f64 containers is exact equality — the
+            // determinism guarantee is bitwise, not approximate.
+            assert_eq!(serial.0, parallel.0, "spmv {n}x{m} ({level})");
+            assert_eq!(serial.1, parallel.1, "transpose_spmv {n}x{m} ({level})");
+            assert_eq!(serial.2, parallel.2, "rows_dot {n}x{m} ({level})");
+            assert_eq!(serial.3, parallel.3, "scatter_rows {n}x{m} ({level})");
+        }
+    }
+}
+
+/// Builds a CSR matrix with a heavy-tailed row-length distribution: a few
+/// huge rows (RCV1-style frequent-feature rows) among many short ones, so
+/// the nnz-balanced chunk decomposition actually separates work by nnz.
+fn skewed_csr(rows: usize, cols: usize, seed: u64) -> CsrMatrix {
+    let mut rng = Rng64::from_seed(seed);
+    let mut builder = CooBuilder::new(rows, cols);
+    for i in 0..rows {
+        // Rows 0, 97, 194, … carry ~cols/2 entries; the rest carry 3.
+        let nnz = if i % 97 == 0 { cols / 2 } else { 3 };
+        for _ in 0..nnz {
+            let j = rng.index(cols);
+            builder.push(i, j, rng.uniform(-2.0, 2.0)).unwrap();
+        }
+    }
+    builder.build()
+}
+
+#[test]
+fn skewed_row_lengths_stay_bitwise_identical_and_match_dense() {
+    // The nnz-balanced chunking closes the ROADMAP skew item: boundaries
+    // depend on row_ptr (shape), so results must stay bitwise identical
+    // across thread counts on every SIMD level, and numerically equal to
+    // the dense equivalents.
+    let (n, m) = (1100, 600);
+    let a = skewed_csr(n, m, 0x5E0);
+    let dense = a.to_dense();
+    let x = random_vec(m, 0x5E1);
+    let t = random_vec(n, 0x5E2);
+    let tol = 1e-12 * (n.max(m) as f64);
+
+    for level in simd_levels() {
+        let run = |threads: usize| {
+            simd::with_level(level, || {
+                par::with_threads(threads, || {
+                    (a.spmv(&x).unwrap(), a.transpose_spmv(&t).unwrap())
+                })
+            })
         };
-        let serial = par::with_threads(1, run);
-        let parallel = par::with_threads(4, run);
-        // PartialEq on f64 containers is exact equality — the determinism
-        // guarantee is bitwise, not approximate.
-        assert_eq!(serial.0, parallel.0, "spmv {n}x{m}");
-        assert_eq!(serial.1, parallel.1, "transpose_spmv {n}x{m}");
-        assert_eq!(serial.2, parallel.2, "rows_dot {n}x{m}");
-        assert_eq!(serial.3, parallel.3, "scatter_rows {n}x{m}");
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial.0, parallel.0, "skewed spmv ({level})");
+        assert_eq!(serial.1, parallel.1, "skewed transpose_spmv ({level})");
+
+        let dense_mv = dense.matvec(&x).unwrap();
+        let dense_tmv = dense.transpose_matvec(&t).unwrap();
+        assert!(
+            max_abs_diff(&serial.0, &dense_mv) < tol,
+            "skewed spmv vs dense ({level})"
+        );
+        assert!(
+            max_abs_diff(&serial.1, &dense_tmv) < tol,
+            "skewed transpose_spmv vs dense ({level})"
+        );
     }
 }
 

@@ -109,6 +109,35 @@ fn pool_lifecycle() {
     // trees, so only closeness is expected here).
     assert!((&spmv1 - &parallel).norm_inf() < 1e-12 * 64.0);
 
+    // Coarse-grained tasks ride the same pool: results come back in task
+    // order, the tasks' own nested kernels run inline on their worker
+    // threads (bitwise identical to serial execution), and no extra
+    // workers appear.
+    let workers_before = par::pool_workers();
+    let task_results = par::with_threads(4, || {
+        par::run_tasks(
+            (0..8)
+                .map(|k| {
+                    let a = &a;
+                    let x = &x;
+                    move || {
+                        let mv = a.matvec(x).unwrap();
+                        (k, mv)
+                    }
+                })
+                .collect(),
+        )
+    });
+    for (k, (got_k, mv)) in task_results.iter().enumerate() {
+        assert_eq!(*got_k, k, "run_tasks must preserve task order");
+        assert_eq!(*mv, parallel, "nested kernels inside tasks must match");
+    }
+    assert_eq!(
+        par::pool_workers(),
+        workers_before,
+        "run_tasks must reuse the existing pool"
+    );
+
     // Shutdown joins every worker and the next call restarts the pool.
     par::shutdown_pool();
     assert_eq!(par::pool_workers(), 0, "shutdown must join all workers");
