@@ -1,0 +1,458 @@
+//! `loadgen` — load generator for the deletion service (`priu-server`).
+//!
+//! Drives a grid of (concurrent sessions) × (coalescing on/off) cells.
+//! Each cell starts one server, registers N linear sessions and runs, per
+//! session, one predict client plus one deletion client issuing
+//! **single-row** deletions (the workload the coalescing planner exists
+//! for). Latencies are recorded per request — predict latency is the
+//! synchronous snapshot round trip, delete latency spans admission to
+//! batch commit (so it includes the coalescing window by design) — and
+//! summarised as p50/p99 into a `BENCH_6.json` next to the other BENCH
+//! records. A wire section additionally round-trips predicts through the
+//! length-prefixed protocol over the in-memory duplex transport.
+//!
+//! ```text
+//! loadgen [--sessions 1,4,16] [--seconds 0.5] [--coalesce both|on|off]
+//!         [--out BENCH_6.json] [--date YYYY-MM-DD]
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant, SystemTime};
+use std::{env, process::ExitCode, thread};
+
+use priu_bench::report::JsonValue;
+use priu_core::{Session, SessionBuilder, TrainerConfig};
+use priu_data::catalog::Hyperparameters;
+use priu_data::synthetic::regression::{generate_regression, RegressionConfig};
+use priu_linalg::simd;
+use priu_server::{
+    decode_response, duplex, encode_request, read_frame, write_frame, PlannerConfig, Request,
+    RequestEnvelope, Response, Server, ServerConfig,
+};
+
+const SAMPLES_PER_SESSION: usize = 300;
+const FEATURES: usize = 6;
+/// Single-row deletions issued per session (≤ half the rows, so the drift
+/// trigger fires mid-run and the decision histogram shows retrains).
+const DELETE_BUDGET: u64 = 120;
+
+struct Cli {
+    sessions: Vec<usize>,
+    seconds: f64,
+    modes: Vec<bool>,
+    out: String,
+    date: Option<String>,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut cli = Cli {
+        sessions: vec![1, 4, 16],
+        seconds: 0.5,
+        modes: vec![true, false],
+        out: "BENCH_6.json".to_string(),
+        date: None,
+    };
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--sessions" => {
+                let value = args.next().ok_or("--sessions needs a value")?;
+                cli.sessions = value
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<usize>()
+                            .map_err(|_| format!("bad session count '{s}'"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if cli.sessions.is_empty() || cli.sessions.contains(&0) {
+                    return Err("--sessions needs positive counts".to_string());
+                }
+            }
+            "--seconds" => {
+                let value = args.next().ok_or("--seconds needs a value")?;
+                cli.seconds = value
+                    .parse::<f64>()
+                    .map_err(|_| format!("invalid seconds '{value}'"))?;
+                if !cli.seconds.is_finite() || cli.seconds <= 0.0 {
+                    return Err("--seconds must be positive".to_string());
+                }
+            }
+            "--coalesce" => {
+                cli.modes = match args.next().as_deref() {
+                    Some("both") => vec![true, false],
+                    Some("on") => vec![true],
+                    Some("off") => vec![false],
+                    other => return Err(format!("--coalesce both|on|off, got {other:?}")),
+                };
+            }
+            "--out" => cli.out = args.next().ok_or("--out needs a path")?,
+            "--date" => cli.date = Some(args.next().ok_or("--date needs a value")?),
+            "--help" | "-h" => {
+                eprintln!(
+                    "loadgen [--sessions 1,4,16] [--seconds 0.5] \
+                     [--coalesce both|on|off] [--out BENCH_6.json] [--date YYYY-MM-DD]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(cli)
+}
+
+fn fit_session(seed: u64) -> Session {
+    let data = generate_regression(&RegressionConfig {
+        num_samples: SAMPLES_PER_SESSION,
+        num_features: FEATURES,
+        noise_std: 0.1,
+        seed,
+        ..Default::default()
+    });
+    let config = TrainerConfig::from_hyper(Hyperparameters {
+        batch_size: 25,
+        num_iterations: 40,
+        learning_rate: 0.05,
+        regularization: 0.05,
+    });
+    SessionBuilder::dense(data, config)
+        .seed(11)
+        .opt_capture(false)
+        .fit()
+        .expect("loadgen session fit")
+}
+
+/// Percentile over sorted per-request latencies in nanoseconds, reported
+/// in microseconds (sub-microsecond predicts stay resolvable).
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let ix = ((p / 100.0) * (sorted_ns.len() - 1) as f64).round() as usize;
+    sorted_ns[ix.min(sorted_ns.len() - 1)] as f64 / 1000.0
+}
+
+struct CellResult {
+    sessions: usize,
+    coalesce: bool,
+    wall_seconds: f64,
+    predicts: Vec<u64>,
+    deletes: Vec<u64>,
+    rows_deleted: u64,
+    batches: u64,
+    decisions: HashMap<&'static str, u64>,
+}
+
+fn run_cell(sessions: usize, coalesce: bool, seconds: f64) -> CellResult {
+    let server = Arc::new(Server::start(ServerConfig {
+        planner: PlannerConfig {
+            window: Duration::from_millis(2),
+            max_batch: 64,
+            coalesce,
+        },
+        ..ServerConfig::default()
+    }));
+    let names: Vec<String> = (0..sessions).map(|s| format!("s{s}")).collect();
+    for (s, name) in names.iter().enumerate() {
+        server
+            .register_session(name, fit_session(0x6000 + s as u64))
+            .expect("register");
+    }
+
+    // One predictor + one deletion submitter + one ticket waiter per
+    // session, all released together.
+    let barrier = Arc::new(Barrier::new(2 * sessions + 1));
+    let done = Arc::new(AtomicBool::new(false));
+    let mut predictors = Vec::new();
+    let mut deleters = Vec::new();
+    let mut waiters = Vec::new();
+    for name in &names {
+        let name = name.clone();
+        {
+            let server = Arc::clone(&server);
+            let barrier = Arc::clone(&barrier);
+            let done = Arc::clone(&done);
+            let name = name.clone();
+            predictors.push(thread::spawn(move || {
+                let probe: Vec<f64> = (0..FEATURES).map(|i| 0.25 * (i as f64 + 1.0)).collect();
+                let mut latencies = Vec::new();
+                barrier.wait();
+                while !done.load(Ordering::Acquire) {
+                    let t0 = Instant::now();
+                    server.predict(&name, &probe).expect("predict");
+                    latencies.push(t0.elapsed().as_nanos() as u64);
+                }
+                latencies
+            }));
+        }
+        let (tickets_tx, tickets_rx) = channel();
+        {
+            let server = Arc::clone(&server);
+            let barrier = Arc::clone(&barrier);
+            let done = Arc::clone(&done);
+            let name = name.clone();
+            deleters.push(thread::spawn(move || {
+                barrier.wait();
+                let mut issued = 0u64;
+                while !done.load(Ordering::Acquire) && issued < DELETE_BUDGET {
+                    let ticket = server.delete(&name, &[issued]).expect("delete");
+                    let _ = tickets_tx.send((Instant::now(), ticket));
+                    issued += 1;
+                    if issued.is_multiple_of(4) {
+                        // Pace arrivals so the coalescing window has
+                        // something to fold (a burst every ~300 µs).
+                        thread::sleep(Duration::from_micros(300));
+                    }
+                }
+                let _ = server.flush(&name);
+            }));
+        }
+        waiters.push(thread::spawn(move || {
+            let mut latencies = Vec::new();
+            let mut rows = 0u64;
+            for (sent, ticket) in tickets_rx {
+                let reply = ticket.wait().expect("ticket");
+                latencies.push(sent.elapsed().as_nanos() as u64);
+                rows += reply.applied as u64;
+            }
+            (latencies, rows)
+        }));
+    }
+
+    barrier.wait();
+    let t0 = Instant::now();
+    thread::sleep(Duration::from_secs_f64(seconds));
+    done.store(true, Ordering::Release);
+    let mut predicts: Vec<u64> = Vec::new();
+    for handle in predictors {
+        predicts.extend(handle.join().expect("predictor"));
+    }
+    for handle in deleters {
+        handle.join().expect("deleter");
+    }
+    let mut deletes: Vec<u64> = Vec::new();
+    let mut rows_deleted = 0u64;
+    for handle in waiters {
+        let (latencies, rows) = handle.join().expect("waiter");
+        deletes.extend(latencies);
+        rows_deleted += rows;
+    }
+    let wall_seconds = t0.elapsed().as_secs_f64();
+
+    let mut batches = 0u64;
+    let mut decisions: HashMap<&'static str, u64> = HashMap::new();
+    for name in &names {
+        let stats = server.stats(name).expect("stats");
+        batches += stats.epoch;
+        for (method, count) in stats.decisions {
+            *decisions.entry(method.name()).or_insert(0) += count;
+        }
+    }
+    server.shutdown();
+    predicts.sort_unstable();
+    deletes.sort_unstable();
+    CellResult {
+        sessions,
+        coalesce,
+        wall_seconds,
+        predicts,
+        deletes,
+        rows_deleted,
+        batches,
+        decisions,
+    }
+}
+
+/// Predict round trips through the length-prefixed protocol over the
+/// in-memory duplex (reader thread + responder included in the measured
+/// path). Returns sorted per-request latencies in µs.
+fn run_wire_section(rounds: u64) -> Vec<u64> {
+    let server = Server::start(ServerConfig::default());
+    server
+        .register_session("wire", fit_session(0x7000))
+        .expect("register");
+    let ((mut client_w, mut client_r), (server_w, server_r)) = duplex();
+    let connection = server.serve_connection(server_r, server_w);
+    let probe: Vec<f64> = (0..FEATURES).map(|i| 0.1 * (i as f64 + 1.0)).collect();
+    let mut latencies = Vec::with_capacity(rounds as usize);
+    for id in 0..rounds {
+        let t0 = Instant::now();
+        let payload = encode_request(&RequestEnvelope {
+            id,
+            request: Request::Predict {
+                session: "wire".to_string(),
+                features: probe.clone(),
+            },
+        });
+        write_frame(&mut client_w, &payload).expect("wire write");
+        let frame = read_frame(&mut client_r).expect("wire read").expect("open");
+        let envelope = decode_response(&frame).expect("wire decode");
+        assert_eq!(envelope.id, id);
+        assert!(matches!(envelope.response, Response::Predicted { .. }));
+        latencies.push(t0.elapsed().as_nanos() as u64);
+    }
+    drop(client_w);
+    connection.join();
+    server.shutdown();
+    latencies.sort_unstable();
+    latencies
+}
+
+/// Civil date from the system clock (days-from-epoch → y-m-d).
+fn today() -> String {
+    let days = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs() / 86_400)
+        .unwrap_or(0) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let year = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = if month <= 2 { year + 1 } else { year };
+    format!("{year:04}-{month:02}-{day:02}")
+}
+
+fn cell_json(cell: &CellResult) -> JsonValue {
+    let mut predict = JsonValue::object();
+    predict
+        .push("count", cell.predicts.len())
+        .push("p50_us", percentile_us(&cell.predicts, 50.0))
+        .push("p99_us", percentile_us(&cell.predicts, 99.0))
+        .push(
+            "throughput_per_s",
+            cell.predicts.len() as f64 / cell.wall_seconds,
+        );
+    let mut delete = JsonValue::object();
+    delete
+        .push("count", cell.deletes.len())
+        .push("p50_us", percentile_us(&cell.deletes, 50.0))
+        .push("p99_us", percentile_us(&cell.deletes, 99.0))
+        .push("rows_deleted", cell.rows_deleted)
+        .push("batches", cell.batches)
+        .push(
+            "rows_per_batch",
+            if cell.batches == 0 {
+                0.0
+            } else {
+                cell.rows_deleted as f64 / cell.batches as f64
+            },
+        );
+    let mut decisions = JsonValue::object();
+    let mut methods: Vec<_> = cell.decisions.iter().collect();
+    methods.sort();
+    for (method, count) in methods {
+        decisions.push(method, *count);
+    }
+    let mut out = JsonValue::object();
+    out.push("sessions", cell.sessions)
+        .push("coalesce", cell.coalesce)
+        .push("wall_seconds", cell.wall_seconds)
+        .push("predict", predict)
+        .push("delete", delete)
+        .push("scheduler_decisions", decisions);
+    out
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(cli) => cli,
+        Err(message) => {
+            eprintln!("loadgen: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut cells = Vec::new();
+    for &sessions in &cli.sessions {
+        for &coalesce in &cli.modes {
+            eprintln!(
+                "loadgen: {sessions} session(s), coalesce={}, {}s ...",
+                if coalesce { "on" } else { "off" },
+                cli.seconds
+            );
+            cells.push(run_cell(sessions, coalesce, cli.seconds));
+        }
+    }
+    let wire = run_wire_section(200);
+
+    let mut environment = JsonValue::object();
+    environment
+        .push(
+            "cpus_available",
+            thread::available_parallelism().map_or(0, |n| n.get()),
+        )
+        .push("avx2_fma_detected", simd::available_levels().len() > 1)
+        .push(
+            "session_shape",
+            format!("{SAMPLES_PER_SESSION}x{FEATURES} linear regression, single-row deletes"),
+        )
+        .push(
+            "notes",
+            "single-core shared container: all sessions, the applier thread and every \
+             client thread share one CPU, so p99 latencies are dominated by scheduling \
+             noise and absolute throughputs are a floor, not a capability. Delete \
+             latency spans admission -> batch commit and therefore includes the 2 ms \
+             coalescing window by design; compare the coalesce on/off rows per session \
+             count, not across machines. Decision histograms come from the online \
+             cost model (BaseL entries are the forced drift retrains).",
+        );
+    let mut commands = JsonValue::object();
+    commands.push(
+        "loadgen",
+        "cargo run --release -p priu-bench --bin loadgen -- --sessions 1,4,16 --seconds 0.5",
+    );
+    let mut wire_json = JsonValue::object();
+    wire_json
+        .push("predict_round_trips", wire.len())
+        .push("p50_us", percentile_us(&wire, 50.0))
+        .push("p99_us", percentile_us(&wire, 99.0));
+
+    let mut doc = JsonValue::object();
+    doc.push("pr", 6i64)
+        .push(
+            "label",
+            "deletion-as-a-service: multi-session server, coalescing planner, cost-model scheduler",
+        )
+        .push("date", cli.date.unwrap_or_else(today))
+        .push("environment", environment)
+        .push("commands", commands)
+        .push(
+            "grid",
+            JsonValue::Array(cells.iter().map(cell_json).collect()),
+        )
+        .push("wire", wire_json);
+
+    let rendered = doc.render();
+    if let Err(err) = std::fs::write(&cli.out, rendered + "\n") {
+        eprintln!("loadgen: writing {}: {err}", cli.out);
+        return ExitCode::FAILURE;
+    }
+    for cell in &cells {
+        eprintln!(
+            "loadgen: sessions={:2} coalesce={:3} predicts={:6} (p50 {:5.0}us p99 {:6.0}us) \
+             deletes={:4} batches={:3} rows/batch={:4.1}",
+            cell.sessions,
+            if cell.coalesce { "on" } else { "off" },
+            cell.predicts.len(),
+            percentile_us(&cell.predicts, 50.0),
+            percentile_us(&cell.predicts, 99.0),
+            cell.deletes.len(),
+            cell.batches,
+            if cell.batches == 0 {
+                0.0
+            } else {
+                cell.rows_deleted as f64 / cell.batches as f64
+            },
+        );
+    }
+    eprintln!("loadgen: wrote {}", cli.out);
+    ExitCode::SUCCESS
+}

@@ -140,6 +140,29 @@ impl MethodReport {
     }
 }
 
+/// A point-in-time introspection snapshot of a session: the shape and
+/// capture inventory a cost-model scheduler prices deletion methods from —
+/// sample/feature counts for the retrain-vs-incremental trade-off,
+/// provenance bytes for admission and eviction decisions, the offline cost
+/// as the ceiling any online update must beat, and the method set that
+/// survived chained applies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaptureSnapshot {
+    /// The learning task.
+    pub task: TaskKind,
+    /// Number of training samples currently held (`n`).
+    pub num_samples: usize,
+    /// Number of features (`m`).
+    pub num_features: usize,
+    /// Bytes of captured provenance (Q8 / Table 3 accounting).
+    pub provenance_bytes: usize,
+    /// Offline-phase wall-clock seconds (training + capture) — the upper
+    /// bound a scheduler compares online-update estimates against.
+    pub training_seconds: f64,
+    /// The methods this session can run, in registry order.
+    pub methods: Vec<Method>,
+}
+
 /// The result of consuming a deletion with [`DeletionEngine::apply`]: the
 /// timed outcome plus the successor session over the surviving samples.
 #[derive(Debug, Clone)]
@@ -206,6 +229,25 @@ pub trait DeletionEngine {
     /// Whether this session can run the given method.
     fn supports(&self, method: Method) -> bool {
         self.supported_methods().contains(&method)
+    }
+
+    /// Number of features `m` of the session's model.
+    fn num_features(&self) -> usize {
+        self.model().num_features()
+    }
+
+    /// A point-in-time snapshot of the session's shape and captures — the
+    /// inputs a cost model needs to price PrIU vs PrIU-opt vs closed-form
+    /// vs full retrain for a pending deletion batch.
+    fn capture_snapshot(&self) -> CaptureSnapshot {
+        CaptureSnapshot {
+            task: self.task(),
+            num_samples: self.num_samples(),
+            num_features: self.num_features(),
+            provenance_bytes: self.provenance_bytes(),
+            training_seconds: self.training_time().as_secs_f64(),
+            methods: self.supported_methods(),
+        }
     }
 
     /// Runs every supported method on the removal set and returns the
@@ -639,6 +681,27 @@ mod tests {
         let priu = report.get(Method::Priu).unwrap();
         let cmp = compare_models(&basel.model, &priu.model).unwrap();
         assert!(cmp.cosine_similarity > 0.999);
+    }
+
+    #[test]
+    fn capture_snapshot_reflects_shape_and_surviving_methods() {
+        let session = linear_session();
+        let snap = session.capture_snapshot();
+        assert_eq!(snap.task, TaskKind::Regression);
+        assert_eq!(snap.num_samples, 300);
+        assert_eq!(snap.num_features, 6);
+        assert_eq!(snap.num_features, session.num_features());
+        assert_eq!(snap.provenance_bytes, session.provenance_bytes());
+        assert!(snap.training_seconds > 0.0);
+        assert_eq!(snap.methods, Method::ALL.to_vec());
+
+        // A chained logistic session drops its opt capture; the snapshot
+        // reports the surviving inventory, not the original one.
+        let logistic = binary_session();
+        let chained = logistic.apply(Method::Priu, &[1, 2, 3]).unwrap();
+        let snap = chained.session.capture_snapshot();
+        assert_eq!(snap.num_samples, 297);
+        assert!(!snap.methods.contains(&Method::PriuOpt));
     }
 
     #[test]

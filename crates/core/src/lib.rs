@@ -81,12 +81,13 @@ pub mod workspace;
 
 pub use config::{Compression, TrainerConfig};
 pub use engine::{
-    ChainedUpdate, DeletionEngine, LinearEngine, LogisticEngine, Method, MethodReport, Session,
-    SessionBuilder, SparseLogisticEngine, UpdateOutcome,
+    CaptureSnapshot, ChainedUpdate, DeletionEngine, LinearEngine, LogisticEngine, Method,
+    MethodReport, Session, SessionBuilder, SparseLogisticEngine, UpdateOutcome,
 };
 pub use error::{CoreError, Result};
 pub use metrics::{compare_models, ModelComparison};
 pub use model::{Model, ModelKind};
+pub use priu_data::dataset::TaskKind;
 pub use workspace::Workspace;
 
 /// Convenience prelude bringing the most commonly used types into scope.
@@ -95,8 +96,8 @@ pub mod prelude {
     pub use crate::capture::ProvenanceMemory;
     pub use crate::config::{Compression, TrainerConfig};
     pub use crate::engine::{
-        ChainedUpdate, DeletionEngine, LinearEngine, LogisticEngine, Method, MethodReport, Session,
-        SessionBuilder, SparseLogisticEngine, UpdateOutcome,
+        CaptureSnapshot, ChainedUpdate, DeletionEngine, LinearEngine, LogisticEngine, Method,
+        MethodReport, Session, SessionBuilder, SparseLogisticEngine, UpdateOutcome,
     };
     pub use crate::error::{CoreError, Result};
     pub use crate::interpolation::PiecewiseLinearSigmoid;

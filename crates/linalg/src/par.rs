@@ -388,12 +388,68 @@ pub fn pool_is_poisoned() -> bool {
     pool().lock().poisoned.is_some()
 }
 
+/// Why [`try_shutdown_pool`] refused to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShutdownError {
+    /// The call was made from inside a pool worker thread (a [`run_tasks`]
+    /// task or a chunk closure running on a worker). A worker cannot join
+    /// itself, so the request is rejected instead of deadlocking; call
+    /// shutdown from a thread the pool does not own.
+    CalledFromWorker,
+}
+
+impl std::fmt::Display for ShutdownError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShutdownError::CalledFromWorker => f.write_str(
+                "shutdown_pool called from inside a pool worker thread; \
+                 a worker cannot join itself — shut the pool down from a \
+                 thread it does not own",
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShutdownError {}
+
 /// Stops and joins every pool worker, clearing any poison. The next
 /// multi-chunk kernel call lazily restarts the pool. Safe to call at any
 /// time; a job currently in flight finishes first (its submitter drains all
-/// chunks itself if the workers exit early).
+/// chunks itself if the workers exit early), and kernel calls racing the
+/// shutdown run inline rather than spawning doomed workers. Concurrent and
+/// repeated shutdowns serialise on an internal gate, so the call is
+/// idempotent.
+///
+/// # Panics
+/// Panics with [`ShutdownError::CalledFromWorker`]'s message when invoked
+/// from inside a pool worker thread (where joining would self-deadlock);
+/// use [`try_shutdown_pool`] to handle that case as a typed error.
 pub fn shutdown_pool() {
+    if let Err(err) = try_shutdown_pool() {
+        panic!("priu_linalg::par::shutdown_pool: {err}");
+    }
+}
+
+/// [`shutdown_pool`] with the self-join hazard reported as a typed error:
+/// invoked from a pool worker thread (e.g. from inside a [`run_tasks`]
+/// task), it returns [`ShutdownError::CalledFromWorker`] instead of
+/// deadlocking on joining the calling thread. In-flight jobs submitted by
+/// *other* threads drain to completion — their submitters participate in
+/// the steal loop and finish any chunks the exiting workers leave behind —
+/// so queued `run_tasks` work is never lost or wedged by a shutdown.
+///
+/// # Errors
+/// [`ShutdownError::CalledFromWorker`] when called on a pool worker thread.
+pub fn try_shutdown_pool() -> Result<(), ShutdownError> {
+    if IS_POOL_WORKER.with(|flag| flag.get()) {
+        return Err(ShutdownError::CalledFromWorker);
+    }
     let p = pool();
+    // Serialise whole shutdowns: overlapping calls would otherwise race one
+    // call's `shutting_down = false` reset against another's join phase,
+    // leaking un-joined workers into a pool that believes itself empty.
+    static SHUTDOWN_GATE: Mutex<()> = Mutex::new(());
+    let _gate = SHUTDOWN_GATE.lock().unwrap_or_else(PoisonError::into_inner);
     let handles = {
         let mut state = p.lock();
         state.shutting_down = true;
@@ -406,6 +462,7 @@ pub fn shutdown_pool() {
     let mut state = p.lock();
     state.shutting_down = false;
     state.poisoned = None;
+    Ok(())
 }
 
 /// Spawns workers until the pool holds at least `target` of them. Called

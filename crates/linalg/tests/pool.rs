@@ -156,4 +156,114 @@ fn pool_lifecycle() {
     par::shutdown_pool();
     par::shutdown_pool();
     assert_eq!(par::pool_workers(), 0);
+
+    // Shutdown racing in-flight `run_tasks` jobs from other OS threads:
+    // every submitted job must complete with correct results (drained, not
+    // dropped), every shutdown call must return without deadlocking, and
+    // the pool must still work afterwards. Loop a few rounds so shutdowns
+    // land in different phases of the jobs.
+    let expected = parallel.clone();
+    for round in 0..5u64 {
+        let submitters: Vec<_> = (0..3)
+            .map(|s| {
+                let a = a.clone();
+                let x = x.clone();
+                let expected = expected.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..4 {
+                        let results = par::with_threads(4, || {
+                            par::run_tasks(
+                                (0..6)
+                                    .map(|k| {
+                                        let a = &a;
+                                        let x = &x;
+                                        move || {
+                                            std::thread::sleep(std::time::Duration::from_micros(
+                                                200 * s + 50,
+                                            ));
+                                            (k, a.matvec(x).unwrap())
+                                        }
+                                    })
+                                    .collect(),
+                            )
+                        });
+                        for (k, (got_k, mv)) in results.iter().enumerate() {
+                            assert_eq!(*got_k, k, "task order lost under shutdown race");
+                            assert_eq!(*mv, expected, "task result corrupted under shutdown race");
+                        }
+                    }
+                })
+            })
+            .collect();
+        // Concurrent + repeated shutdowns from the main thread while the
+        // submitters hammer the pool.
+        for _ in 0..10 {
+            par::try_shutdown_pool().expect("shutdown from a non-worker thread must succeed");
+            std::thread::sleep(std::time::Duration::from_micros(100 * (round + 1)));
+        }
+        for handle in submitters {
+            handle
+                .join()
+                .expect("submitter panicked under shutdown race");
+        }
+        par::shutdown_pool();
+        assert_eq!(par::pool_workers(), 0, "round {round}: workers leaked");
+    }
+
+    // Two threads shutting down simultaneously: both must return, no
+    // worker may survive.
+    par::with_threads(4, || a.matvec(&x).unwrap()); // repopulate
+    let concurrent: Vec<_> = (0..2)
+        .map(|_| std::thread::spawn(par::try_shutdown_pool))
+        .collect();
+    for handle in concurrent {
+        handle.join().unwrap().expect("concurrent shutdown failed");
+    }
+    assert_eq!(
+        par::pool_workers(),
+        0,
+        "concurrent shutdowns leaked workers"
+    );
+
+    // Calling shutdown from inside a pool task is rejected with the typed
+    // error instead of self-join deadlocking. Tasks may also run inline on
+    // the submitter (which is allowed to shut down), so only tasks that
+    // landed on actual pool workers assert the rejection.
+    let verdicts = par::with_threads(4, || {
+        par::run_tasks(
+            (0..8)
+                .map(|_| {
+                    || {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                        let on_worker = std::thread::current()
+                            .name()
+                            .is_some_and(|name| name == "priu-par-worker");
+                        (on_worker, par::try_shutdown_pool())
+                    }
+                })
+                .collect(),
+        )
+    });
+    let mut worker_calls = 0;
+    for (on_worker, verdict) in verdicts {
+        if on_worker {
+            worker_calls += 1;
+            assert!(
+                matches!(verdict, Err(par::ShutdownError::CalledFromWorker)),
+                "shutdown from a worker must be rejected, got {verdict:?}"
+            );
+        } else {
+            verdict.expect("shutdown from the submitter thread must succeed");
+        }
+    }
+    assert!(
+        worker_calls > 0,
+        "at least one task must have run on a pool worker"
+    );
+
+    // The pool remains fully usable after the torture.
+    let survived = par::with_threads(4, || a.matvec(&x).unwrap());
+    assert_eq!(survived, parallel, "pool must compute the same bits after");
+    par::shutdown_pool();
+    assert_eq!(par::pool_workers(), 0);
 }

@@ -1,0 +1,45 @@
+//! # priu-server — deletion as a service
+//!
+//! A multi-session server over the PrIU deletion engines: models keep
+//! answering predictions while training-data deletions are honored
+//! incrementally in the background.
+//!
+//! The pieces, each in its own module:
+//!
+//! * [`registry`] — named sessions with shared/exclusive access: predicts
+//!   run on immutable snapshots (shared), deletion batches hold a
+//!   per-session exclusive gate and commit by pointer swap, so a long
+//!   downdate never blocks a predict.
+//! * [`planner`] — admission + coalescing: N single-row deletion requests
+//!   fold into one batched downdate per session, gated by a time window
+//!   and a max batch size. The coalesced batch is *one* engine `apply`
+//!   with the union removal set — identical to the call a direct engine
+//!   user would make, hence bitwise-reproducible under the same
+//!   `PRIU_THREADS` × `PRIU_SIMD` pin.
+//! * [`scheduler`] — a cost model picks PrIU / PrIU-opt / closed-form /
+//!   full-retrain per batch from calibrated per-row throughputs refined
+//!   online, and forces a retrain once accumulated deletion drift crosses
+//!   a threshold.
+//! * [`protocol`] — a length-prefixed wire format over any `Read`/`Write`
+//!   transport, with a dedicated reader thread feeding a message queue
+//!   per connection.
+//! * [`server`] — wires the above to one applier thread; concurrent
+//!   session batches fan out over the shared `priu-linalg` worker pool.
+
+pub mod error;
+pub mod planner;
+pub mod protocol;
+pub mod registry;
+pub mod scheduler;
+pub mod server;
+
+pub use error::{Result, ServerError};
+pub use planner::{BatchReply, DeleteTicket, PlannerConfig};
+pub use protocol::{
+    decode_request, decode_response, duplex, encode_request, encode_response, pipe, read_frame,
+    spawn_frame_reader, write_frame, PipeReader, PipeWriter, ProtocolError, Request,
+    RequestEnvelope, Response, ResponseEnvelope,
+};
+pub use registry::{SessionRegistry, SessionSlot};
+pub use scheduler::{Calibration, CostModel, SchedulerConfig};
+pub use server::{ConnectionHandle, Prediction, Server, ServerConfig, SessionStats};

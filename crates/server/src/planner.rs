@@ -1,0 +1,371 @@
+//! The admission + coalescing batch planner.
+//!
+//! Per-user deletion requests arrive one row (or a few rows) at a time; the
+//! engines' `apply` takes an arbitrary removal set and its cost is heavily
+//! sub-linear in the set size (one downdate pass instead of N). The planner
+//! therefore *coalesces*: requests for one session accumulate in a FIFO
+//! queue and are folded into a single batched downdate when any of
+//!
+//! * the oldest pending request has waited the **coalescing window**,
+//! * the union of pending rows reaches the **max batch size**,
+//! * a flush was requested (or the server is shutting down)
+//!
+//! holds. The coalescing math is plain set union over *stable row ids*
+//! (assigned at registration, invariant under deletions — unlike current
+//! row indices, which shift whenever an earlier row is removed): the
+//! resulting batch is applied as one removal set, so its outcome is
+//! *identical* to a single `apply` with the union — not merely close, the
+//! same call. Duplicate ids across requests dedup; ids already deleted are
+//! counted per request as `stale` and acknowledged without work.
+//!
+//! With coalescing disabled every request becomes its own batch (the
+//! baseline the loadgen compares against).
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::time::{Duration, Instant};
+
+use priu_core::Method;
+
+use crate::error::{Result, ServerError};
+
+/// Planner tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct PlannerConfig {
+    /// How long a pending request may wait for company before its batch is
+    /// forced out. `ZERO` makes every poll cycle flush.
+    pub window: Duration,
+    /// Union size that forces a batch out early. A single request larger
+    /// than this still forms one batch — requests are never split.
+    pub max_batch: usize,
+    /// `false` disables coalescing: every request is applied on its own
+    /// (the baseline configuration for the loadgen's on/off comparison).
+    pub coalesce: bool,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        Self {
+            window: Duration::from_millis(5),
+            max_batch: 256,
+            coalesce: true,
+        }
+    }
+}
+
+/// What a deletion request learns once its batch has been applied.
+#[derive(Debug, Clone)]
+pub struct BatchReply {
+    /// Distinct rows this request asked to delete.
+    pub requested: usize,
+    /// How many of them were live and removed by the batch.
+    pub applied: usize,
+    /// How many were already gone (acknowledged without work).
+    pub stale: usize,
+    /// Distinct rows in the whole coalesced batch.
+    pub batch_rows: usize,
+    /// The method the scheduler picked (`None` when every row of the batch
+    /// was stale and nothing ran).
+    pub method: Option<Method>,
+    /// Engine-measured seconds of the online update (0 when nothing ran).
+    pub seconds: f64,
+    /// Session epoch after the batch committed.
+    pub epoch: u64,
+}
+
+/// A waiter on an enqueued deletion request; resolves when the coalesced
+/// batch containing the request has been applied.
+#[derive(Debug)]
+pub struct DeleteTicket {
+    rx: Receiver<Result<BatchReply>>,
+}
+
+impl DeleteTicket {
+    /// Blocks until the batch is applied.
+    ///
+    /// # Errors
+    /// The batch's failure, or [`ServerError::ShuttingDown`] when the
+    /// server died without resolving the ticket.
+    pub fn wait(self) -> Result<BatchReply> {
+        match self.rx.recv() {
+            Ok(result) => result,
+            Err(_) => Err(ServerError::ShuttingDown),
+        }
+    }
+}
+
+/// One enqueued deletion request.
+#[derive(Debug)]
+pub(crate) struct PendingDelete {
+    /// Stable row ids the request wants gone (possibly with duplicates).
+    pub ids: Vec<u64>,
+    /// Admission time; the coalescing window counts from the oldest one.
+    pub enqueued: Instant,
+    /// Resolution channel of the request's [`DeleteTicket`].
+    pub reply: Sender<Result<BatchReply>>,
+}
+
+/// A batch the planner has decided to apply now.
+#[derive(Debug)]
+pub(crate) struct ReadyBatch {
+    /// The session the batch belongs to.
+    pub session: String,
+    /// The folded requests, FIFO order; each is answered individually.
+    pub requests: Vec<PendingDelete>,
+    /// Sorted distinct stable ids — the union removal set.
+    pub union: Vec<u64>,
+}
+
+#[derive(Debug, Default)]
+struct SessionQueue {
+    pending: Vec<PendingDelete>,
+    flush: bool,
+}
+
+/// The planner's mutable state; the server guards it with one mutex +
+/// condvar pair (admission signals the applier through that condvar).
+#[derive(Debug, Default)]
+pub(crate) struct PlannerState {
+    queues: HashMap<String, SessionQueue>,
+}
+
+impl PlannerState {
+    /// Admits a request, returning the ticket its submitter waits on.
+    pub fn enqueue(&mut self, session: &str, ids: Vec<u64>) -> DeleteTicket {
+        let (tx, rx) = channel();
+        self.queues
+            .entry(session.to_string())
+            .or_default()
+            .pending
+            .push(PendingDelete {
+                ids,
+                enqueued: Instant::now(),
+                reply: tx,
+            });
+        DeleteTicket { rx }
+    }
+
+    /// Marks one session's queue for immediate batching.
+    pub fn flush(&mut self, session: &str) {
+        if let Some(queue) = self.queues.get_mut(session) {
+            queue.flush = true;
+        }
+    }
+
+    /// Marks every queue for immediate batching (shutdown drain).
+    pub fn flush_all(&mut self) {
+        for queue in self.queues.values_mut() {
+            queue.flush = true;
+        }
+    }
+
+    /// Pending request count for one session.
+    pub fn pending(&self, session: &str) -> usize {
+        self.queues.get(session).map_or(0, |q| q.pending.len())
+    }
+
+    /// Whether no request is pending anywhere.
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.queues.values().all(|q| q.pending.is_empty())
+    }
+
+    /// The earliest instant at which some queue becomes window-ready; the
+    /// applier sleeps until then. `None` when nothing is pending.
+    pub fn next_deadline(&self, cfg: &PlannerConfig) -> Option<Instant> {
+        self.queues
+            .values()
+            .filter_map(|q| q.pending.first())
+            .map(|oldest| oldest.enqueued + cfg.window)
+            .min()
+    }
+
+    /// Takes every batch that is ready at `now`, in session-name order
+    /// (deterministic fan-out). With coalescing on, a ready queue folds
+    /// FIFO requests until the union would exceed `max_batch` (a single
+    /// oversized request still forms one batch); the remainder stays
+    /// queued — and stays ready, so the applier picks it up on its next
+    /// pass. With coalescing off, one request per session per call.
+    pub fn take_ready(&mut self, now: Instant, cfg: &PlannerConfig) -> Vec<ReadyBatch> {
+        let mut names: Vec<&String> = self
+            .queues
+            .iter()
+            .filter(|(_, q)| !q.pending.is_empty())
+            .map(|(name, _)| name)
+            .collect();
+        names.sort();
+        let names: Vec<String> = names.into_iter().cloned().collect();
+
+        let mut batches = Vec::new();
+        for name in names {
+            let queue = self.queues.get_mut(&name).expect("listed above");
+            let union_all: BTreeSet<u64> = queue
+                .pending
+                .iter()
+                .flat_map(|r| r.ids.iter().copied())
+                .collect();
+            let window_ready = queue
+                .pending
+                .first()
+                .is_some_and(|oldest| oldest.enqueued + cfg.window <= now);
+            let ready =
+                queue.flush || !cfg.coalesce || union_all.len() >= cfg.max_batch || window_ready;
+            if !ready {
+                continue;
+            }
+
+            let requests: Vec<PendingDelete> = if !cfg.coalesce {
+                vec![queue.pending.remove(0)]
+            } else {
+                let mut union = BTreeSet::new();
+                let mut take = 0;
+                for request in &queue.pending {
+                    let mut grown = union.clone();
+                    grown.extend(request.ids.iter().copied());
+                    if take > 0 && grown.len() > cfg.max_batch {
+                        break;
+                    }
+                    union = grown;
+                    take += 1;
+                }
+                queue.pending.drain(..take).collect()
+            };
+            if queue.pending.is_empty() {
+                queue.flush = false;
+            }
+            let union: Vec<u64> = requests
+                .iter()
+                .flat_map(|r| r.ids.iter().copied())
+                .collect::<BTreeSet<u64>>()
+                .into_iter()
+                .collect();
+            batches.push(ReadyBatch {
+                session: name,
+                requests,
+                union,
+            });
+        }
+        batches
+    }
+
+    /// Fails every pending request with [`ServerError::ShuttingDown`]
+    /// (server teardown after the drain window).
+    pub fn fail_all(&mut self) {
+        for queue in self.queues.values_mut() {
+            for request in queue.pending.drain(..) {
+                let _ = request.reply.send(Err(ServerError::ShuttingDown));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(window_ms: u64, max_batch: usize, coalesce: bool) -> PlannerConfig {
+        PlannerConfig {
+            window: Duration::from_millis(window_ms),
+            max_batch,
+            coalesce,
+        }
+    }
+
+    #[test]
+    fn window_gates_batching_and_flush_overrides_it() {
+        let mut state = PlannerState::default();
+        let long = cfg(120_000, 100, true);
+        let _t1 = state.enqueue("s", vec![3]);
+        let _t2 = state.enqueue("s", vec![1, 3]);
+        assert_eq!(state.pending("s"), 2);
+        // Window far away: nothing ready, deadline is oldest + window.
+        assert!(state.take_ready(Instant::now(), &long).is_empty());
+        assert!(state.next_deadline(&long).unwrap() > Instant::now());
+        // Flush forces the fold: one batch, union deduplicated and sorted.
+        state.flush("s");
+        let batches = state.take_ready(Instant::now(), &long);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].session, "s");
+        assert_eq!(batches[0].requests.len(), 2);
+        assert_eq!(batches[0].union, vec![1, 3]);
+        assert!(state.is_empty());
+        assert!(state.next_deadline(&long).is_none());
+
+        // Zero window: ready immediately.
+        let zero = cfg(0, 100, true);
+        let _t3 = state.enqueue("s", vec![9]);
+        let batches = state.take_ready(Instant::now(), &zero);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].union, vec![9]);
+    }
+
+    #[test]
+    fn max_batch_caps_the_union_without_splitting_requests() {
+        let mut state = PlannerState::default();
+        let config = cfg(120_000, 4, true);
+        let _tickets: Vec<DeleteTicket> = vec![
+            state.enqueue("s", vec![0, 1]),
+            state.enqueue("s", vec![1, 2]), // overlaps: union stays small
+            state.enqueue("s", vec![3, 4]),
+            state.enqueue("s", vec![5]),
+        ];
+        // Union of all pending = {0..5} ≥ max_batch → ready without window.
+        let batches = state.take_ready(Instant::now(), &config);
+        assert_eq!(batches.len(), 1);
+        // Folding stops before request 2 ({3,4}) would push past 4 distinct.
+        assert_eq!(batches[0].requests.len(), 2);
+        assert_eq!(batches[0].union, vec![0, 1, 2]);
+        assert_eq!(state.pending("s"), 2);
+
+        // A single oversized request still forms one (oversized) batch.
+        let _t = state.enqueue("s", vec![10, 11, 12, 13, 14, 15]);
+        state.flush("s");
+        let batches = state.take_ready(Instant::now(), &config);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].union, vec![3, 4, 5]);
+        // Flush sticks until the queue drains: the oversized leftover goes
+        // out on the next pass, unsplit.
+        let batches = state.take_ready(Instant::now(), &config);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].union.len(), 6);
+        assert!(state.is_empty());
+    }
+
+    #[test]
+    fn coalescing_off_applies_requests_individually_in_fifo_order() {
+        let mut state = PlannerState::default();
+        let config = cfg(120_000, 100, false);
+        let _a = state.enqueue("s", vec![7]);
+        let _b = state.enqueue("s", vec![8]);
+        let first = state.take_ready(Instant::now(), &config);
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].union, vec![7]);
+        let second = state.take_ready(Instant::now(), &config);
+        assert_eq!(second[0].union, vec![8]);
+        assert!(state.is_empty());
+    }
+
+    #[test]
+    fn sessions_batch_independently_and_sort_deterministically() {
+        let mut state = PlannerState::default();
+        let config = cfg(0, 100, true);
+        let _b = state.enqueue("b", vec![2]);
+        let _a = state.enqueue("a", vec![1]);
+        let batches = state.take_ready(Instant::now(), &config);
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].session, "a");
+        assert_eq!(batches[1].session, "b");
+    }
+
+    #[test]
+    fn fail_all_resolves_tickets_with_shutting_down() {
+        let mut state = PlannerState::default();
+        let ticket = state.enqueue("s", vec![1]);
+        state.fail_all();
+        assert!(matches!(ticket.wait(), Err(ServerError::ShuttingDown)));
+        // A ticket whose sender is dropped resolves the same way.
+        let ticket = state.enqueue("s", vec![2]);
+        state.queues.clear();
+        assert!(matches!(ticket.wait(), Err(ServerError::ShuttingDown)));
+    }
+}

@@ -1,0 +1,932 @@
+//! The length-prefixed request protocol.
+//!
+//! # Framing
+//!
+//! Every message is one frame: a little-endian `u32` payload length
+//! followed by that many payload bytes. Inside a payload all integers are
+//! little-endian, `f64`s travel as their IEEE-754 bit pattern
+//! ([`f64::to_bits`], little-endian — bit-exact across the wire), strings
+//! as a `u32` byte length plus UTF-8 bytes, and vectors as a `u32` element
+//! count plus the elements. The first payload byte after the 8-byte
+//! request/response id is a message tag.
+//!
+//! The protocol is transport-agnostic over `Read`/`Write`: a
+//! `TcpStream`, a Unix socket, or the in-memory [`pipe`] from this module
+//! all work unchanged. Each connection gets a **dedicated reader thread**
+//! ([`spawn_frame_reader`]) that blocks on the transport and feeds decoded
+//! messages into an `mpsc` **message queue**, so slow transports never
+//! stall the service loop and a clean EOF simply closes the queue.
+//!
+//! Request and response ids are caller-chosen correlation handles:
+//! responses may arrive out of order (deletions resolve when their batch
+//! commits, long after later predicts answered).
+
+use std::io::{Read, Write};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::{fmt, io, thread};
+
+use priu_core::Method;
+
+/// Frames larger than this are rejected while decoding the length prefix
+/// (corrupt or hostile peer, not a real message).
+pub const MAX_FRAME_BYTES: u32 = 16 << 20;
+
+/// Everything that can go wrong while decoding the wire format.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// The transport failed.
+    Io(io::Error),
+    /// The stream ended in the middle of a frame or a field.
+    Truncated,
+    /// An unknown message or method tag.
+    BadTag(u8),
+    /// A length prefix exceeded [`MAX_FRAME_BYTES`].
+    FrameTooLarge(u32),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// Payload bytes were left over after a complete message.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Io(err) => write!(f, "transport error: {err}"),
+            ProtocolError::Truncated => f.write_str("frame truncated mid-message"),
+            ProtocolError::BadTag(tag) => write!(f, "unknown message tag {tag:#04x}"),
+            ProtocolError::FrameTooLarge(len) => {
+                write!(
+                    f,
+                    "frame length {len} exceeds the {MAX_FRAME_BYTES} byte cap"
+                )
+            }
+            ProtocolError::BadUtf8 => f.write_str("string field is not valid UTF-8"),
+            ProtocolError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after a complete message")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<io::Error> for ProtocolError {
+    fn from(err: io::Error) -> Self {
+        ProtocolError::Io(err)
+    }
+}
+
+/// What a client can ask of the server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Predict on the named session's current model snapshot.
+    Predict {
+        /// Session name.
+        session: String,
+        /// Feature vector; must match the session's feature count.
+        features: Vec<f64>,
+    },
+    /// Delete rows (by stable id) from the named session. The response
+    /// arrives once the coalesced batch containing the request commits.
+    Delete {
+        /// Session name.
+        session: String,
+        /// Stable row ids to remove.
+        ids: Vec<u64>,
+    },
+    /// Force the named session's pending deletions out now.
+    Flush {
+        /// Session name.
+        session: String,
+    },
+    /// The named session's bookkeeping (epoch, drift, decisions, ...).
+    Stats {
+        /// Session name.
+        session: String,
+    },
+}
+
+/// What the server answers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A prediction from one immutable model snapshot.
+    Predicted {
+        /// Regression value, decision value, or winning logit.
+        value: f64,
+        /// Predicted class for classifiers, `None` for regression.
+        class: Option<u64>,
+        /// Epoch of the snapshot that produced the prediction.
+        epoch: u64,
+    },
+    /// The request's deletion batch committed.
+    Deleted {
+        /// Distinct rows the request asked for.
+        requested: u64,
+        /// Rows actually removed (live at batch time).
+        applied: u64,
+        /// Rows already gone, acknowledged without work.
+        stale: u64,
+        /// Distinct rows in the whole coalesced batch.
+        batch_rows: u64,
+        /// Method the scheduler picked; `None` when the batch was all
+        /// stale and nothing ran.
+        method: Option<Method>,
+        /// Engine-measured seconds of the online update.
+        seconds: f64,
+        /// Session epoch after the commit.
+        epoch: u64,
+    },
+    /// Flush accepted.
+    Flushed,
+    /// Session bookkeeping.
+    Stats {
+        /// Current epoch.
+        epoch: u64,
+        /// Current (surviving) sample count.
+        num_samples: u64,
+        /// Feature count.
+        num_features: u64,
+        /// Drift ratio since the last refit.
+        drift: f64,
+        /// Deletion requests still pending in the planner.
+        pending: u64,
+        /// Scheduler decision histogram, [`Method::ALL`] order.
+        decisions: Vec<(Method, u64)>,
+    },
+    /// The request failed; the message is the rendered server error.
+    Error {
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+/// A request plus its correlation id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestEnvelope {
+    /// Caller-chosen correlation id, echoed on the response.
+    pub id: u64,
+    /// The request itself.
+    pub request: Request,
+}
+
+/// A response plus the correlation id it answers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseEnvelope {
+    /// Correlation id of the request this answers.
+    pub id: u64,
+    /// The response itself.
+    pub response: Response,
+}
+
+// --- frame I/O -----------------------------------------------------------
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+/// Propagates transport errors.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame. `Ok(None)` is a clean EOF at a frame
+/// boundary; EOF inside a frame is [`ProtocolError::Truncated`].
+///
+/// # Errors
+/// Transport errors, truncation, or an oversized length prefix.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ProtocolError> {
+    let mut len = [0u8; 4];
+    match read_exact_or_eof(r, &mut len)? {
+        Filled::Eof => return Ok(None),
+        Filled::Partial => return Err(ProtocolError::Truncated),
+        Filled::Full => {}
+    }
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME_BYTES {
+        return Err(ProtocolError::FrameTooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    match read_exact_or_eof(r, &mut payload)? {
+        Filled::Full => Ok(Some(payload)),
+        _ => Err(ProtocolError::Truncated),
+    }
+}
+
+enum Filled {
+    Full,
+    Partial,
+    Eof,
+}
+
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<Filled, ProtocolError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    Filled::Eof
+                } else {
+                    Filled::Partial
+                });
+            }
+            Ok(n) => filled += n,
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+            Err(err) => return Err(err.into()),
+        }
+    }
+    Ok(Filled::Full)
+}
+
+// --- payload encoding ----------------------------------------------------
+
+const TAG_PREDICT: u8 = 1;
+const TAG_DELETE: u8 = 2;
+const TAG_FLUSH: u8 = 3;
+const TAG_STATS: u8 = 4;
+
+const TAG_PREDICTED: u8 = 101;
+const TAG_DELETED: u8 = 102;
+const TAG_FLUSHED: u8 = 103;
+const TAG_STATS_REPLY: u8 = 104;
+const TAG_ERROR: u8 = 105;
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// `method + 1` as a byte, 0 for `None`, using [`Method::ALL`] positions.
+fn put_method(out: &mut Vec<u8>, method: Option<Method>) {
+    let code = method
+        .and_then(|m| Method::ALL.iter().position(|&x| x == m))
+        .map_or(0, |ix| ix as u8 + 1);
+    out.push(code);
+}
+
+/// Encodes a request envelope into a frame payload.
+pub fn encode_request(env: &RequestEnvelope) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u64(&mut out, env.id);
+    match &env.request {
+        Request::Predict { session, features } => {
+            out.push(TAG_PREDICT);
+            put_str(&mut out, session);
+            put_u32(&mut out, features.len() as u32);
+            for &x in features {
+                put_f64(&mut out, x);
+            }
+        }
+        Request::Delete { session, ids } => {
+            out.push(TAG_DELETE);
+            put_str(&mut out, session);
+            put_u32(&mut out, ids.len() as u32);
+            for &id in ids {
+                put_u64(&mut out, id);
+            }
+        }
+        Request::Flush { session } => {
+            out.push(TAG_FLUSH);
+            put_str(&mut out, session);
+        }
+        Request::Stats { session } => {
+            out.push(TAG_STATS);
+            put_str(&mut out, session);
+        }
+    }
+    out
+}
+
+/// Encodes a response envelope into a frame payload.
+pub fn encode_response(env: &ResponseEnvelope) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u64(&mut out, env.id);
+    match &env.response {
+        Response::Predicted {
+            value,
+            class,
+            epoch,
+        } => {
+            out.push(TAG_PREDICTED);
+            put_f64(&mut out, *value);
+            match class {
+                Some(c) => {
+                    out.push(1);
+                    put_u64(&mut out, *c);
+                }
+                None => out.push(0),
+            }
+            put_u64(&mut out, *epoch);
+        }
+        Response::Deleted {
+            requested,
+            applied,
+            stale,
+            batch_rows,
+            method,
+            seconds,
+            epoch,
+        } => {
+            out.push(TAG_DELETED);
+            put_u64(&mut out, *requested);
+            put_u64(&mut out, *applied);
+            put_u64(&mut out, *stale);
+            put_u64(&mut out, *batch_rows);
+            put_method(&mut out, *method);
+            put_f64(&mut out, *seconds);
+            put_u64(&mut out, *epoch);
+        }
+        Response::Flushed => out.push(TAG_FLUSHED),
+        Response::Stats {
+            epoch,
+            num_samples,
+            num_features,
+            drift,
+            pending,
+            decisions,
+        } => {
+            out.push(TAG_STATS_REPLY);
+            put_u64(&mut out, *epoch);
+            put_u64(&mut out, *num_samples);
+            put_u64(&mut out, *num_features);
+            put_f64(&mut out, *drift);
+            put_u64(&mut out, *pending);
+            put_u32(&mut out, decisions.len() as u32);
+            for &(method, count) in decisions {
+                put_method(&mut out, Some(method));
+                put_u64(&mut out, count);
+            }
+        }
+        Response::Error { message } => {
+            out.push(TAG_ERROR);
+            put_str(&mut out, message);
+        }
+    }
+    out
+}
+
+struct PayloadReader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtocolError> {
+        let end = self.at.checked_add(n).ok_or(ProtocolError::Truncated)?;
+        let slice = self
+            .bytes
+            .get(self.at..end)
+            .ok_or(ProtocolError::Truncated)?;
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtocolError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtocolError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtocolError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f64(&mut self) -> Result<f64, ProtocolError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn str(&mut self) -> Result<String, ProtocolError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ProtocolError::BadUtf8)
+    }
+
+    fn method(&mut self) -> Result<Option<Method>, ProtocolError> {
+        let code = self.u8()?;
+        if code == 0 {
+            return Ok(None);
+        }
+        Method::ALL
+            .get(code as usize - 1)
+            .copied()
+            .map(Some)
+            .ok_or(ProtocolError::BadTag(code))
+    }
+
+    fn finish(self) -> Result<(), ProtocolError> {
+        let left = self.bytes.len() - self.at;
+        if left == 0 {
+            Ok(())
+        } else {
+            Err(ProtocolError::TrailingBytes(left))
+        }
+    }
+}
+
+/// Decodes a frame payload into a request envelope.
+///
+/// # Errors
+/// Truncated/oversized fields, unknown tags, invalid UTF-8, trailing
+/// bytes.
+pub fn decode_request(payload: &[u8]) -> Result<RequestEnvelope, ProtocolError> {
+    let mut r = PayloadReader::new(payload);
+    let id = r.u64()?;
+    let tag = r.u8()?;
+    let request = match tag {
+        TAG_PREDICT => {
+            let session = r.str()?;
+            let n = r.u32()? as usize;
+            let mut features = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                features.push(r.f64()?);
+            }
+            Request::Predict { session, features }
+        }
+        TAG_DELETE => {
+            let session = r.str()?;
+            let n = r.u32()? as usize;
+            let mut ids = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                ids.push(r.u64()?);
+            }
+            Request::Delete { session, ids }
+        }
+        TAG_FLUSH => Request::Flush { session: r.str()? },
+        TAG_STATS => Request::Stats { session: r.str()? },
+        other => return Err(ProtocolError::BadTag(other)),
+    };
+    r.finish()?;
+    Ok(RequestEnvelope { id, request })
+}
+
+/// Decodes a frame payload into a response envelope.
+///
+/// # Errors
+/// Same failure modes as [`decode_request`].
+pub fn decode_response(payload: &[u8]) -> Result<ResponseEnvelope, ProtocolError> {
+    let mut r = PayloadReader::new(payload);
+    let id = r.u64()?;
+    let tag = r.u8()?;
+    let response = match tag {
+        TAG_PREDICTED => {
+            let value = r.f64()?;
+            let class = if r.u8()? == 1 { Some(r.u64()?) } else { None };
+            Response::Predicted {
+                value,
+                class,
+                epoch: r.u64()?,
+            }
+        }
+        TAG_DELETED => Response::Deleted {
+            requested: r.u64()?,
+            applied: r.u64()?,
+            stale: r.u64()?,
+            batch_rows: r.u64()?,
+            method: r.method()?,
+            seconds: r.f64()?,
+            epoch: r.u64()?,
+        },
+        TAG_FLUSHED => Response::Flushed,
+        TAG_STATS_REPLY => {
+            let epoch = r.u64()?;
+            let num_samples = r.u64()?;
+            let num_features = r.u64()?;
+            let drift = r.f64()?;
+            let pending = r.u64()?;
+            let n = r.u32()? as usize;
+            let mut decisions = Vec::with_capacity(n.min(Method::ALL.len()));
+            for _ in 0..n {
+                let method = r.method()?.ok_or(ProtocolError::BadTag(0))?;
+                decisions.push((method, r.u64()?));
+            }
+            Response::Stats {
+                epoch,
+                num_samples,
+                num_features,
+                drift,
+                pending,
+                decisions,
+            }
+        }
+        TAG_ERROR => Response::Error { message: r.str()? },
+        other => return Err(ProtocolError::BadTag(other)),
+    };
+    r.finish()?;
+    Ok(ResponseEnvelope { id, response })
+}
+
+// --- the dedicated reader thread -----------------------------------------
+
+/// Spawns the per-connection reader thread: it blocks on the transport,
+/// decodes each frame with `decode`, and pushes the results into the
+/// returned message queue. A clean EOF (or the receiver being dropped)
+/// ends the thread and closes the queue; a decode or transport error is
+/// delivered as the queue's final message.
+pub fn spawn_frame_reader<R, T, F>(
+    mut transport: R,
+    decode: F,
+) -> (Receiver<Result<T, ProtocolError>>, JoinHandle<()>)
+where
+    R: Read + Send + 'static,
+    T: Send + 'static,
+    F: Fn(&[u8]) -> Result<T, ProtocolError> + Send + 'static,
+{
+    let (tx, rx) = channel();
+    let handle = thread::Builder::new()
+        .name("priu-server-reader".to_string())
+        .spawn(move || loop {
+            match read_frame(&mut transport) {
+                Ok(None) => break,
+                Ok(Some(payload)) => {
+                    if tx.send(decode(&payload)).is_err() {
+                        break;
+                    }
+                }
+                Err(err) => {
+                    let _ = tx.send(Err(err));
+                    break;
+                }
+            }
+        })
+        .expect("spawn reader thread");
+    (rx, handle)
+}
+
+// --- in-memory transport -------------------------------------------------
+
+#[derive(Debug, Default)]
+struct PipeShared {
+    buf: Vec<u8>,
+    writer_closed: bool,
+    reader_closed: bool,
+}
+
+#[derive(Debug, Default)]
+struct PipeInner {
+    shared: Mutex<PipeShared>,
+    readable: Condvar,
+}
+
+/// The write half of an in-memory byte pipe.
+#[derive(Debug)]
+pub struct PipeWriter {
+    inner: Arc<PipeInner>,
+}
+
+/// The read half of an in-memory byte pipe.
+#[derive(Debug)]
+pub struct PipeReader {
+    inner: Arc<PipeInner>,
+}
+
+/// A unidirectional in-memory byte pipe with blocking reads — the
+/// sandbox-friendly stand-in for a socket. Dropping the writer delivers
+/// EOF to the reader; dropping the reader turns writes into
+/// `BrokenPipe`.
+pub fn pipe() -> (PipeWriter, PipeReader) {
+    let inner = Arc::new(PipeInner::default());
+    (
+        PipeWriter {
+            inner: inner.clone(),
+        },
+        PipeReader { inner },
+    )
+}
+
+/// A bidirectional in-memory connection: two pipes crossed over. Returns
+/// `(client, server)` halves, each a `(writer, reader)` pair.
+#[allow(clippy::type_complexity)]
+pub fn duplex() -> ((PipeWriter, PipeReader), (PipeWriter, PipeReader)) {
+    let (client_w, server_r) = pipe();
+    let (server_w, client_r) = pipe();
+    ((client_w, client_r), (server_w, server_r))
+}
+
+impl Write for PipeWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let mut shared = self
+            .inner
+            .shared
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if shared.reader_closed {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "pipe reader dropped",
+            ));
+        }
+        shared.buf.extend_from_slice(buf);
+        self.inner.readable.notify_all();
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for PipeWriter {
+    fn drop(&mut self) {
+        let mut shared = self
+            .inner
+            .shared
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        shared.writer_closed = true;
+        self.inner.readable.notify_all();
+    }
+}
+
+impl Read for PipeReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let mut shared = self
+            .inner
+            .shared
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while shared.buf.is_empty() && !shared.writer_closed {
+            shared = self
+                .inner
+                .readable
+                .wait(shared)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        if shared.buf.is_empty() {
+            return Ok(0); // writer closed: EOF
+        }
+        let n = buf.len().min(shared.buf.len());
+        buf[..n].copy_from_slice(&shared.buf[..n]);
+        shared.buf.drain(..n);
+        Ok(n)
+    }
+}
+
+impl Drop for PipeReader {
+    fn drop(&mut self) {
+        let mut shared = self
+            .inner
+            .shared
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        shared.reader_closed = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(request: Request) {
+        let env = RequestEnvelope { id: 42, request };
+        let decoded = decode_request(&encode_request(&env)).unwrap();
+        assert_eq!(decoded, env);
+    }
+
+    fn round_trip_response(response: Response) {
+        let env = ResponseEnvelope { id: 7, response };
+        let decoded = decode_response(&encode_response(&env)).unwrap();
+        assert_eq!(decoded, env);
+    }
+
+    #[test]
+    fn every_message_round_trips_bit_exactly() {
+        round_trip_request(Request::Predict {
+            session: "tenant/model".into(),
+            features: vec![0.0, -1.5, f64::MIN_POSITIVE, 1.0e300, -0.0],
+        });
+        round_trip_request(Request::Delete {
+            session: "s".into(),
+            ids: vec![0, u64::MAX, 17],
+        });
+        round_trip_request(Request::Flush {
+            session: "s".into(),
+        });
+        round_trip_request(Request::Stats {
+            session: "πρ/iu".into(),
+        });
+
+        round_trip_response(Response::Predicted {
+            value: -3.25,
+            class: Some(2),
+            epoch: 9,
+        });
+        round_trip_response(Response::Predicted {
+            value: f64::NEG_INFINITY,
+            class: None,
+            epoch: 0,
+        });
+        for method in Method::ALL.iter().map(|&m| Some(m)).chain([None]) {
+            round_trip_response(Response::Deleted {
+                requested: 3,
+                applied: 2,
+                stale: 1,
+                batch_rows: 5,
+                method,
+                seconds: 0.001953125,
+                epoch: 4,
+            });
+        }
+        round_trip_response(Response::Flushed);
+        round_trip_response(Response::Stats {
+            epoch: 12,
+            num_samples: 4800,
+            num_features: 16,
+            drift: 0.04,
+            pending: 3,
+            decisions: Method::ALL.iter().map(|&m| (m, 2)).collect(),
+        });
+        round_trip_response(Response::Error {
+            message: "unknown session \"x\"".into(),
+        });
+    }
+
+    #[test]
+    fn f64_payloads_are_bit_exact_including_nan() {
+        let nan = f64::from_bits(0x7ff8_dead_beef_0001);
+        let env = RequestEnvelope {
+            id: 1,
+            request: Request::Predict {
+                session: "s".into(),
+                features: vec![nan],
+            },
+        };
+        let decoded = decode_request(&encode_request(&env)).unwrap();
+        match decoded.request {
+            Request::Predict { features, .. } => {
+                assert_eq!(features[0].to_bits(), nan.to_bits());
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected_with_typed_errors() {
+        let good = encode_request(&RequestEnvelope {
+            id: 5,
+            request: Request::Delete {
+                session: "s".into(),
+                ids: vec![1, 2, 3],
+            },
+        });
+        // Truncation anywhere inside the payload.
+        for cut in 0..good.len() {
+            assert!(
+                matches!(decode_request(&good[..cut]), Err(ProtocolError::Truncated)),
+                "cut at {cut}"
+            );
+        }
+        // Unknown tag.
+        let mut bad_tag = good.clone();
+        bad_tag[8] = 0xee;
+        assert!(matches!(
+            decode_request(&bad_tag),
+            Err(ProtocolError::BadTag(0xee))
+        ));
+        // Trailing bytes.
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(matches!(
+            decode_request(&trailing),
+            Err(ProtocolError::TrailingBytes(1))
+        ));
+        // Invalid UTF-8 in the session name.
+        let mut bad_utf8 = good;
+        bad_utf8[13] = 0xff; // first byte of the 1-byte session string
+        assert!(matches!(
+            decode_request(&bad_utf8),
+            Err(ProtocolError::BadUtf8)
+        ));
+        // Bad method code in a response.
+        let mut resp = encode_response(&ResponseEnvelope {
+            id: 1,
+            response: Response::Deleted {
+                requested: 1,
+                applied: 1,
+                stale: 0,
+                batch_rows: 1,
+                method: Some(Method::Priu),
+                seconds: 0.0,
+                epoch: 1,
+            },
+        });
+        let method_at = 8 + 1 + 4 * 8;
+        resp[method_at] = 200;
+        assert!(matches!(
+            decode_response(&resp),
+            Err(ProtocolError::BadTag(200))
+        ));
+    }
+
+    #[test]
+    fn frames_reject_oversized_lengths_and_detect_truncation() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        let mut cursor = io::Cursor::new(wire.clone());
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+
+        // EOF inside the payload.
+        let mut cursor = io::Cursor::new(wire[..wire.len() - 2].to_vec());
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(ProtocolError::Truncated)
+        ));
+        // EOF inside the length prefix.
+        let mut cursor = io::Cursor::new(wire[..2].to_vec());
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(ProtocolError::Truncated)
+        ));
+        // Hostile length prefix.
+        let mut cursor = io::Cursor::new(u32::MAX.to_le_bytes().to_vec());
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(ProtocolError::FrameTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn reader_thread_feeds_the_message_queue_and_ends_on_eof() {
+        let (mut writer, reader) = pipe();
+        let (rx, handle) = spawn_frame_reader(reader, decode_request);
+        for id in 0..3u64 {
+            let payload = encode_request(&RequestEnvelope {
+                id,
+                request: Request::Flush {
+                    session: "s".into(),
+                },
+            });
+            write_frame(&mut writer, &payload).unwrap();
+        }
+        for id in 0..3u64 {
+            let env = rx.recv().unwrap().unwrap();
+            assert_eq!(env.id, id);
+        }
+        drop(writer); // EOF → reader thread exits, queue closes
+        assert!(rx.recv().is_err());
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn reader_thread_surfaces_mid_frame_eof_as_an_error() {
+        let (mut writer, reader) = pipe();
+        let (rx, handle) = spawn_frame_reader(reader, decode_request);
+        writer.write_all(&100u32.to_le_bytes()).unwrap();
+        writer.write_all(b"short").unwrap();
+        drop(writer);
+        assert!(matches!(rx.recv().unwrap(), Err(ProtocolError::Truncated)));
+        assert!(rx.recv().is_err());
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn pipe_blocks_readers_until_data_or_eof_and_breaks_dropped_writes() {
+        let (mut writer, mut reader) = pipe();
+        let t = std::thread::spawn(move || {
+            let mut buf = [0u8; 5];
+            reader.read_exact(&mut buf).unwrap();
+            assert_eq!(&buf, b"delay");
+            let mut rest = Vec::new();
+            reader.read_to_end(&mut rest).unwrap();
+            assert!(rest.is_empty());
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        writer.write_all(b"delay").unwrap();
+        drop(writer);
+        t.join().unwrap();
+
+        let (mut writer, reader) = pipe();
+        drop(reader);
+        assert_eq!(
+            writer.write(b"x").unwrap_err().kind(),
+            io::ErrorKind::BrokenPipe
+        );
+    }
+}

@@ -1,0 +1,335 @@
+//! The session registry: named tenant × model sessions with per-session
+//! shared/exclusive access.
+//!
+//! # Locking model
+//!
+//! Each [`SessionSlot`] separates the *shared* path (predictions) from the
+//! *exclusive* path (deletion batches) the way a lock table grants
+//! shared/exclusive locks — but the shared grant is made O(1) by
+//! snapshotting:
+//!
+//! * **Predictions** take the slot's state lock in *read* mode only long
+//!   enough to clone the `Arc<Session>` pointer and the epoch, then compute
+//!   on that immutable snapshot lock-free. An in-flight deletion batch
+//!   therefore never blocks a prediction, no matter how long its downdate
+//!   runs.
+//! * **Deletion batches** hold the slot's `apply_gate` (the exclusive
+//!   grant — one batch per session at a time), run the expensive
+//!   [`DeletionEngine::apply`] on the snapshot *outside* the state lock,
+//!   and commit by swapping the `Arc` under a brief state *write* lock.
+//!
+//! A predict observes either the pre-batch or the post-batch session —
+//! never a torn intermediate — because the only mutation is an atomic
+//! pointer swap under the write lock.
+//!
+//! **Lock order** (deadlock freedom): registry map lock ≺ slot
+//! `apply_gate` ≺ slot state lock. The map lock is never held while
+//! acquiring a slot lock — callers clone the `Arc<SessionSlot>` out of the
+//! map first.
+//!
+//! [`DeletionEngine::apply`]: priu_core::DeletionEngine::apply
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
+
+use priu_core::{DeletionEngine, Session};
+
+use crate::error::{Result, ServerError};
+
+/// The per-slot state behind the read/write lock: the current session
+/// snapshot plus the bookkeeping the planner and scheduler introspect.
+#[derive(Debug)]
+struct SlotState {
+    /// The current session; replaced wholesale on batch commit.
+    session: Arc<Session>,
+    /// Stable row id of each current row, ascending (registration assigns
+    /// `0..n`; survivors keep their ids across batches). Requests address
+    /// rows by stable id, so ids stay valid while current indices shift
+    /// under coalesced deletions.
+    ids: Vec<u64>,
+    /// Bumped once per committed batch; predictions report the epoch of
+    /// the snapshot they used.
+    epoch: u64,
+    /// Sample count at registration — the denominator of the drift ratio.
+    initial_samples: usize,
+    /// Rows removed by incremental methods since the last full retrain
+    /// (reset when a batch commits with `Method::Retrain`).
+    removed_since_refit: usize,
+}
+
+/// A registered session: the unit the registry hands out. See the module
+/// docs for the shared/exclusive locking model.
+#[derive(Debug)]
+pub struct SessionSlot {
+    state: RwLock<SlotState>,
+    /// The exclusive grant: serialises deletion batches on this session.
+    apply_gate: Mutex<()>,
+}
+
+/// Everything a batch applier needs from a slot, read under one shared
+/// lock acquisition: the immutable session snapshot, the stable-id map,
+/// and the drift bookkeeping.
+#[derive(Debug, Clone)]
+pub(crate) struct ApplyView {
+    /// The session snapshot the batch will be computed on.
+    pub session: Arc<Session>,
+    /// Stable ids of the snapshot's rows (ascending).
+    pub ids: Vec<u64>,
+    /// Epoch of the snapshot.
+    pub epoch: u64,
+    /// Registration-time sample count.
+    pub initial_samples: usize,
+    /// Incrementally removed rows since the last full retrain.
+    pub removed_since_refit: usize,
+}
+
+impl SessionSlot {
+    fn new(session: Session) -> Self {
+        let n = session.num_samples();
+        Self {
+            state: RwLock::new(SlotState {
+                session: Arc::new(session),
+                ids: (0..n as u64).collect(),
+                epoch: 0,
+                initial_samples: n,
+                removed_since_refit: 0,
+            }),
+            apply_gate: Mutex::new(()),
+        }
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, SlotState> {
+        self.state.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The shared grant: the current session snapshot and its epoch. The
+    /// lock is held only for the pointer clone; computation on the
+    /// returned session proceeds without blocking writers.
+    pub fn snapshot(&self) -> (Arc<Session>, u64) {
+        let state = self.read();
+        (state.session.clone(), state.epoch)
+    }
+
+    /// The epoch of the current snapshot (bumped once per committed batch).
+    pub fn epoch(&self) -> u64 {
+        self.read().epoch
+    }
+
+    /// Rows removed incrementally since the last full retrain, as a
+    /// fraction of the registration-time sample count — the accumulated
+    /// drift the scheduler folds into its retrain decision.
+    pub fn drift(&self) -> f64 {
+        let state = self.read();
+        if state.initial_samples == 0 {
+            0.0
+        } else {
+            state.removed_since_refit as f64 / state.initial_samples as f64
+        }
+    }
+
+    /// Takes the exclusive grant for one deletion batch. Held across
+    /// compute + commit, so batches on one session never interleave.
+    pub(crate) fn begin_apply(&self) -> MutexGuard<'_, ()> {
+        self.apply_gate
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Reads everything a batch applier needs in one shared acquisition.
+    pub(crate) fn apply_view(&self) -> ApplyView {
+        let state = self.read();
+        ApplyView {
+            session: state.session.clone(),
+            ids: state.ids.clone(),
+            epoch: state.epoch,
+            initial_samples: state.initial_samples,
+            removed_since_refit: state.removed_since_refit,
+        }
+    }
+
+    /// Commits a batch: swaps in the successor session and the surviving
+    /// id map, bumps the epoch and updates the drift counter (`refit`
+    /// resets it — a full retrain re-anchors the model on the survivors).
+    /// Returns the new epoch. Caller must hold the `apply_gate`.
+    pub(crate) fn commit(
+        &self,
+        session: Arc<Session>,
+        ids: Vec<u64>,
+        removed: usize,
+        refit: bool,
+    ) -> u64 {
+        let mut state = self.state.write().unwrap_or_else(PoisonError::into_inner);
+        state.session = session;
+        state.ids = ids;
+        state.epoch += 1;
+        if refit {
+            state.removed_since_refit = 0;
+        } else {
+            state.removed_since_refit += removed;
+        }
+        state.epoch
+    }
+}
+
+/// The registry of named sessions (tenant × model → slot).
+#[derive(Debug, Default)]
+pub struct SessionRegistry {
+    slots: Mutex<HashMap<String, Arc<SessionSlot>>>,
+}
+
+impl SessionRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, HashMap<String, Arc<SessionSlot>>> {
+        self.slots.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers a fitted session under `name`, assigning stable row ids
+    /// `0..n`.
+    ///
+    /// # Errors
+    /// [`ServerError::SessionExists`] if the name is taken.
+    pub fn register(&self, name: &str, session: Session) -> Result<Arc<SessionSlot>> {
+        let slot = Arc::new(SessionSlot::new(session));
+        let mut slots = self.lock();
+        if slots.contains_key(name) {
+            return Err(ServerError::SessionExists(name.to_string()));
+        }
+        slots.insert(name.to_string(), slot.clone());
+        Ok(slot)
+    }
+
+    /// The slot registered under `name`.
+    ///
+    /// # Errors
+    /// [`ServerError::UnknownSession`] if nothing is registered.
+    pub fn get(&self, name: &str) -> Result<Arc<SessionSlot>> {
+        self.lock()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServerError::UnknownSession(name.to_string()))
+    }
+
+    /// Removes the session registered under `name`. In-flight snapshots
+    /// keep the session alive until they drop.
+    ///
+    /// # Errors
+    /// [`ServerError::UnknownSession`] if nothing is registered.
+    pub fn remove(&self, name: &str) -> Result<()> {
+        self.lock()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| ServerError::UnknownSession(name.to_string()))
+    }
+
+    /// Registered session names, sorted (deterministic iteration order for
+    /// reports and tests).
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.lock().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered sessions.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether no session is registered.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use priu_core::SessionBuilder;
+    use priu_core::TrainerConfig;
+    use priu_data::catalog::Hyperparameters;
+    use priu_data::synthetic::regression::{generate_regression, RegressionConfig};
+
+    fn session(n: usize, seed: u64) -> Session {
+        let data = generate_regression(&RegressionConfig {
+            num_samples: n,
+            num_features: 4,
+            seed,
+            ..Default::default()
+        });
+        let hyper = Hyperparameters {
+            batch_size: 25,
+            num_iterations: 40,
+            learning_rate: 0.05,
+            regularization: 0.01,
+        };
+        SessionBuilder::dense(data, TrainerConfig::from_hyper(hyper))
+            .seed(1)
+            .fit()
+            .unwrap()
+    }
+
+    #[test]
+    fn register_get_remove_round_trip() {
+        let registry = SessionRegistry::new();
+        assert!(registry.is_empty());
+        registry.register("t1/model-a", session(60, 1)).unwrap();
+        registry.register("t2/model-b", session(60, 2)).unwrap();
+        assert_eq!(registry.len(), 2);
+        assert_eq!(registry.names(), vec!["t1/model-a", "t2/model-b"]);
+        assert!(matches!(
+            registry.register("t1/model-a", session(60, 3)),
+            Err(ServerError::SessionExists(_))
+        ));
+        assert!(registry.get("t1/model-a").is_ok());
+        assert!(matches!(
+            registry.get("nope"),
+            Err(ServerError::UnknownSession(_))
+        ));
+        registry.remove("t1/model-a").unwrap();
+        assert!(matches!(
+            registry.remove("t1/model-a"),
+            Err(ServerError::UnknownSession(_))
+        ));
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn slots_track_epoch_ids_and_drift_across_commits() {
+        let registry = SessionRegistry::new();
+        let slot = registry.register("s", session(50, 7)).unwrap();
+        let (snap, epoch) = slot.snapshot();
+        assert_eq!(epoch, 0);
+        assert_eq!(slot.drift(), 0.0);
+        let view = slot.apply_view();
+        assert_eq!(view.ids, (0..50).collect::<Vec<u64>>());
+        assert_eq!(view.initial_samples, 50);
+
+        // Commit a fake batch removing current rows {1, 3}: ids 1 and 3
+        // drop out of the id map, drift accumulates.
+        let chained = {
+            use priu_core::{DeletionEngine, Method};
+            snap.apply(Method::Priu, &[1, 3]).unwrap()
+        };
+        let _gate = slot.begin_apply();
+        let ids: Vec<u64> = view
+            .ids
+            .iter()
+            .copied()
+            .filter(|&id| id != 1 && id != 3)
+            .collect();
+        let epoch = slot.commit(Arc::new(chained.session), ids, 2, false);
+        assert_eq!(epoch, 1);
+        assert_eq!(slot.epoch(), 1);
+        assert_eq!(slot.apply_view().ids.len(), 48);
+        assert!((slot.drift() - 2.0 / 50.0).abs() < 1e-15);
+
+        // A refit commit resets the drift counter.
+        let (snap, _) = slot.snapshot();
+        let epoch = slot.commit(snap, (0..48).collect(), 0, true);
+        assert_eq!(epoch, 2);
+        assert_eq!(slot.drift(), 0.0);
+    }
+}

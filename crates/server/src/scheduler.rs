@@ -1,0 +1,303 @@
+//! The cost-model scheduler: picks the update method for each coalesced
+//! batch.
+//!
+//! For every batch the scheduler estimates the wall-clock cost of each
+//! method the session supports and picks the cheapest *exact* one:
+//!
+//! * `PrIU` / `PrIU-opt` — per-removed-row cost (the downdate walks the
+//!   provenance of each removed row),
+//! * `Closed-form` — near-flat per-batch cost (one rank-k downdate of the
+//!   normal equations plus an O(m³) solve; the per-row term is noise at
+//!   server batch sizes),
+//! * `BaseL` retrain — per-*survivor* cost (replays the full mini-batch
+//!   schedule on `n - k` rows).
+//!
+//! `INFL` is never scheduled: it is an approximation, and a deletion
+//! service must honor removals exactly.
+//!
+//! The estimates are seeded from calibration constants in the ballpark of
+//! the recorded BENCH_2–BENCH_5 trajectories on this 1-CPU container and
+//! refined online: after each batch the measured seconds update the
+//! method's dominant coefficient by exponential moving average, so a
+//! mis-seeded model converges to the machine it is actually running on.
+//!
+//! Independently of cost, accumulated **drift** forces correctness: once
+//! incremental updates have removed more than `retrain_drift` of the
+//! registration-time rows since the last refit, the scheduler forces a
+//! full retrain. (PrIU's updates are exact for the closed-form path and
+//! tightly error-bounded for the iterative ones, but a service that only
+//! ever downdates accumulates floating-point drift and shrinks the
+//! provenance basis; periodic re-anchoring bounds both.)
+
+use priu_core::{CaptureSnapshot, Method};
+
+/// Calibration seeds: dominant-term coefficients, in seconds, for the
+/// cost model before any online observation. Order-of-magnitude values
+/// measured on the repo's 1-CPU reference container (BENCH_2–BENCH_5
+/// scale); the EMA refinement corrects them within a few batches.
+#[derive(Debug, Clone, Copy)]
+pub struct Calibration {
+    /// Seconds per removed row for `PrIU`.
+    pub priu_row_seconds: f64,
+    /// Seconds per removed row for `PrIU-opt`.
+    pub priu_opt_row_seconds: f64,
+    /// Seconds per batch for `Closed-form`.
+    pub closed_form_batch_seconds: f64,
+    /// Seconds per surviving sample for a `BaseL` retrain.
+    pub retrain_sample_seconds: f64,
+}
+
+impl Default for Calibration {
+    fn default() -> Self {
+        Self {
+            priu_row_seconds: 2.0e-5,
+            priu_opt_row_seconds: 8.0e-6,
+            closed_form_batch_seconds: 4.0e-4,
+            retrain_sample_seconds: 5.0e-6,
+        }
+    }
+}
+
+/// Scheduler tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerConfig {
+    /// Cost-model seeds (refined online).
+    pub calibration: Calibration,
+    /// Weight of the newest observation in the EMA refinement, in `(0, 1]`.
+    pub ema_alpha: f64,
+    /// Drift ratio (rows removed incrementally since the last refit over
+    /// registration-time rows) at or above which a full retrain is forced.
+    pub retrain_drift: f64,
+    /// Pins every decision to one method (tests and A/B loadgen runs);
+    /// sessions that do not support it fall back to the cost model.
+    pub force_method: Option<Method>,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            calibration: Calibration::default(),
+            ema_alpha: 0.3,
+            retrain_drift: 0.25,
+            force_method: None,
+        }
+    }
+}
+
+/// Methods the scheduler will consider, cheapest-biased order for
+/// deterministic tie-breaks. `Influence` is intentionally absent.
+const CANDIDATES: [Method; 4] = [
+    Method::PriuOpt,
+    Method::Priu,
+    Method::ClosedForm,
+    Method::Retrain,
+];
+
+/// Per-session cost model: calibrated coefficients refined online plus a
+/// histogram of the decisions taken.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    cfg: SchedulerConfig,
+    priu_row: f64,
+    priu_opt_row: f64,
+    closed_batch: f64,
+    retrain_sample: f64,
+    /// Decision counts, indexed by the method's position in
+    /// [`Method::ALL`].
+    decisions: [u64; Method::ALL.len()],
+}
+
+impl CostModel {
+    /// A cost model seeded from the config's calibration constants.
+    pub fn new(cfg: SchedulerConfig) -> Self {
+        Self {
+            cfg,
+            priu_row: cfg.calibration.priu_row_seconds,
+            priu_opt_row: cfg.calibration.priu_opt_row_seconds,
+            closed_batch: cfg.calibration.closed_form_batch_seconds,
+            retrain_sample: cfg.calibration.retrain_sample_seconds,
+            decisions: [0; Method::ALL.len()],
+        }
+    }
+
+    /// Estimated seconds for removing `k` rows from an `n`-row session
+    /// with `method`. `Influence` estimates infinite: exact-deletion
+    /// service, never scheduled.
+    pub fn estimate(&self, method: Method, k: usize, n: usize) -> f64 {
+        let k = k as f64;
+        match method {
+            Method::Priu => self.priu_row * k,
+            Method::PriuOpt => self.priu_opt_row * k,
+            Method::ClosedForm => self.closed_batch,
+            Method::Retrain => self.retrain_sample * (n as f64 - k).max(0.0),
+            Method::Influence => f64::INFINITY,
+        }
+    }
+
+    /// Picks the method for a batch removing `k` rows from the session
+    /// described by `snapshot`, where committing the batch incrementally
+    /// would leave the session at drift ratio `drift_after`.
+    ///
+    /// Precedence: `force_method` (if supported) ≻ forced retrain on
+    /// drift ≻ cheapest estimate among supported candidates. Records the
+    /// decision in the histogram.
+    pub fn decide(&mut self, snapshot: &CaptureSnapshot, k: usize, drift_after: f64) -> Method {
+        let supported = |m: Method| snapshot.methods.contains(&m);
+        let method = if let Some(forced) = self.cfg.force_method.filter(|&m| supported(m)) {
+            forced
+        } else if drift_after >= self.cfg.retrain_drift && supported(Method::Retrain) {
+            Method::Retrain
+        } else {
+            CANDIDATES
+                .into_iter()
+                .filter(|&m| supported(m))
+                .min_by(|&a, &b| {
+                    self.estimate(a, k, snapshot.num_samples)
+                        .total_cmp(&self.estimate(b, k, snapshot.num_samples))
+                })
+                .expect("every session supports at least BaseL retrain")
+        };
+        let slot = Method::ALL
+            .iter()
+            .position(|&m| m == method)
+            .expect("method is drawn from Method::ALL");
+        self.decisions[slot] += 1;
+        method
+    }
+
+    /// Feeds a measured batch back into the model: `method` removed `k`
+    /// rows from an `n`-row session in `seconds`. The method's dominant
+    /// coefficient moves toward the observation by EMA.
+    pub fn observe(&mut self, method: Method, k: usize, n: usize, seconds: f64) {
+        if !seconds.is_finite() || seconds < 0.0 {
+            return;
+        }
+        let alpha = self.cfg.ema_alpha.clamp(0.0, 1.0);
+        let ema = |old: f64, obs: f64| old + alpha * (obs - old);
+        match method {
+            Method::Priu if k > 0 => self.priu_row = ema(self.priu_row, seconds / k as f64),
+            Method::PriuOpt if k > 0 => {
+                self.priu_opt_row = ema(self.priu_opt_row, seconds / k as f64);
+            }
+            Method::ClosedForm => self.closed_batch = ema(self.closed_batch, seconds),
+            Method::Retrain if n > k => {
+                self.retrain_sample = ema(self.retrain_sample, seconds / (n - k) as f64);
+            }
+            _ => {}
+        }
+    }
+
+    /// Decision counts per method, in [`Method::ALL`] order, including
+    /// zero-count methods (stable shape for reports).
+    pub fn decisions(&self) -> Vec<(Method, u64)> {
+        Method::ALL
+            .iter()
+            .zip(self.decisions.iter())
+            .map(|(&m, &c)| (m, c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use priu_core::TaskKind;
+
+    fn snapshot(n: usize, methods: Vec<Method>) -> CaptureSnapshot {
+        CaptureSnapshot {
+            task: TaskKind::Regression,
+            num_samples: n,
+            num_features: 8,
+            provenance_bytes: 0,
+            training_seconds: 1.0,
+            methods,
+        }
+    }
+
+    fn count(model: &CostModel, method: Method) -> u64 {
+        model
+            .decisions()
+            .into_iter()
+            .find(|&(m, _)| m == method)
+            .unwrap()
+            .1
+    }
+
+    #[test]
+    fn picks_the_cheapest_supported_exact_method() {
+        let mut model = CostModel::new(SchedulerConfig::default());
+        let all = snapshot(100_000, Method::ALL.to_vec());
+        // Small batch on a big session: per-row PrIU-opt wins.
+        assert_eq!(model.decide(&all, 2, 0.0), Method::PriuOpt);
+        // Huge batch: the flat closed-form downdate undercuts per-row work.
+        assert_eq!(model.decide(&all, 10_000, 0.1), Method::ClosedForm);
+        // Without closed form or PrIU-opt, PrIU carries the batch.
+        let iter_only = snapshot(
+            100_000,
+            vec![Method::Retrain, Method::Priu, Method::Influence],
+        );
+        assert_eq!(model.decide(&iter_only, 2, 0.0), Method::Priu);
+        // Tiny surviving set: retraining 10 rows beats downdating 1000.
+        let tiny = snapshot(1_010, vec![Method::Retrain, Method::Priu]);
+        assert_eq!(model.decide(&tiny, 1_000, 0.0), Method::Retrain);
+        assert_eq!(count(&model, Method::Influence), 0);
+    }
+
+    #[test]
+    fn drift_threshold_forces_a_full_retrain() {
+        let mut model = CostModel::new(SchedulerConfig {
+            retrain_drift: 0.25,
+            ..SchedulerConfig::default()
+        });
+        let all = snapshot(10_000, Method::ALL.to_vec());
+        assert_eq!(model.decide(&all, 3, 0.24), Method::PriuOpt);
+        assert_eq!(model.decide(&all, 3, 0.25), Method::Retrain);
+        assert_eq!(model.decide(&all, 3, 0.40), Method::Retrain);
+        assert_eq!(count(&model, Method::Retrain), 2);
+    }
+
+    #[test]
+    fn observations_refine_the_model_and_flip_decisions() {
+        let mut model = CostModel::new(SchedulerConfig {
+            ema_alpha: 1.0, // adopt observations outright for the test
+            ..SchedulerConfig::default()
+        });
+        let all = snapshot(50_000, Method::ALL.to_vec());
+        assert_eq!(model.decide(&all, 4, 0.0), Method::PriuOpt);
+        // Observe PrIU-opt being catastrophically slow and PrIU fast.
+        model.observe(Method::PriuOpt, 4, 50_000, 4.0);
+        model.observe(Method::Priu, 4, 50_000, 4.0e-6);
+        assert_eq!(model.decide(&all, 4, 0.0), Method::Priu);
+        assert!((model.estimate(Method::PriuOpt, 1, 50_000) - 1.0).abs() < 1e-12);
+        // Degenerate observations are ignored.
+        let before = model.estimate(Method::Priu, 1, 50_000);
+        model.observe(Method::Priu, 0, 50_000, 1.0);
+        model.observe(Method::Priu, 4, 50_000, f64::NAN);
+        model.observe(Method::Priu, 4, 50_000, -1.0);
+        assert_eq!(model.estimate(Method::Priu, 1, 50_000), before);
+    }
+
+    #[test]
+    fn force_method_pins_decisions_when_supported() {
+        let mut model = CostModel::new(SchedulerConfig {
+            force_method: Some(Method::ClosedForm),
+            ..SchedulerConfig::default()
+        });
+        let all = snapshot(10_000, Method::ALL.to_vec());
+        assert_eq!(model.decide(&all, 1, 0.0), Method::ClosedForm);
+        // Sessions lacking the pinned method fall back to the cost model.
+        let logistic = snapshot(10_000, vec![Method::Retrain, Method::Priu, Method::PriuOpt]);
+        assert_eq!(model.decide(&logistic, 1, 0.0), Method::PriuOpt);
+    }
+
+    #[test]
+    fn influence_is_never_scheduled() {
+        let mut model = CostModel::new(SchedulerConfig::default());
+        assert_eq!(model.estimate(Method::Influence, 1, 100), f64::INFINITY);
+        // Even when it is the only "cheap" method listed, retrain wins.
+        let infl = snapshot(100, vec![Method::Retrain, Method::Influence]);
+        for k in [1, 10, 50] {
+            assert_eq!(model.decide(&infl, k, 0.0), Method::Retrain);
+        }
+    }
+}

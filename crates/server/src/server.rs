@@ -1,0 +1,653 @@
+//! The deletion service: session registry + planner + scheduler wired to
+//! one applier thread, with an optional wire front-end.
+//!
+//! # Threads
+//!
+//! * **Callers** (any number) predict synchronously on immutable
+//!   snapshots and enqueue deletions, receiving a [`DeleteTicket`].
+//! * The **applier thread** sleeps on the planner condvar until a batch
+//!   deadline (or a flush/shutdown poke), takes every ready batch, and
+//!   applies them. When several sessions are ready at once the batches
+//!   fan out over the shared worker pool via [`par::run_tasks`] — the
+//!   per-session `apply_gate` keeps correctness, the pool gives
+//!   cross-session parallelism.
+//! * **Connections** ([`Server::serve_connection`]) each get a dedicated
+//!   protocol reader thread plus a responder thread that resolves
+//!   deletion tickets in admission order.
+//!
+//! # Determinism
+//!
+//! A coalesced batch commits exactly the session produced by **one**
+//! [`DeletionEngine::apply`] call with the union removal set — the same
+//! call a direct engine user would make — so server results are
+//! bitwise-identical to engine results under the same `PRIU_THREADS` ×
+//! `PRIU_SIMD` pin. [`ServerConfig::apply_threads`] /
+//! [`ServerConfig::simd_level`] pin both on the applier thread
+//! regardless of which thread admitted the requests.
+//!
+//! [`DeletionEngine::apply`]: priu_core::DeletionEngine::apply
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use priu_core::{DeletionEngine, Method, Model, ModelKind, Session};
+use priu_linalg::par;
+use priu_linalg::simd::{self, SimdLevel};
+
+use crate::error::{Result, ServerError};
+use crate::planner::{BatchReply, DeleteTicket, PlannerConfig, PlannerState, ReadyBatch};
+use crate::protocol::{
+    decode_request, encode_response, spawn_frame_reader, write_frame, Request, Response,
+    ResponseEnvelope,
+};
+use crate::registry::{SessionRegistry, SessionSlot};
+use crate::scheduler::{CostModel, SchedulerConfig};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerConfig {
+    /// Admission + coalescing planner configuration.
+    pub planner: PlannerConfig,
+    /// Cost-model scheduler configuration.
+    pub scheduler: SchedulerConfig,
+    /// Pins the worker-thread count for every batch apply (`None`
+    /// inherits `PRIU_THREADS` / the machine default).
+    pub apply_threads: Option<usize>,
+    /// Pins the SIMD kernel level for every batch apply (`None` inherits
+    /// `PRIU_SIMD` / runtime detection).
+    pub simd_level: Option<SimdLevel>,
+}
+
+/// One prediction from one immutable snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Regression value, binary decision value, or the winning logit.
+    pub value: f64,
+    /// Predicted class for classifiers, `None` for regression.
+    pub class: Option<usize>,
+    /// Epoch of the snapshot that produced the prediction.
+    pub epoch: u64,
+}
+
+/// Bookkeeping for one session.
+#[derive(Debug, Clone)]
+pub struct SessionStats {
+    /// Batches committed so far.
+    pub epoch: u64,
+    /// Surviving sample count.
+    pub num_samples: usize,
+    /// Feature count.
+    pub num_features: usize,
+    /// Rows removed incrementally since the last refit, over
+    /// registration-time rows.
+    pub drift: f64,
+    /// Deletion requests pending in the planner.
+    pub pending: usize,
+    /// Scheduler decision histogram, [`Method::ALL`] order.
+    pub decisions: Vec<(Method, u64)>,
+}
+
+struct Inner {
+    registry: SessionRegistry,
+    cfg: ServerConfig,
+    planner: Mutex<PlannerState>,
+    /// Pokes the applier: new admission, flush, or shutdown.
+    work: Condvar,
+    /// Per-session cost models (per-session mutexes so fanned-out batches
+    /// never contend on one model).
+    cost: Mutex<HashMap<String, Arc<Mutex<CostModel>>>>,
+    shutdown: AtomicBool,
+}
+
+impl Inner {
+    fn planner(&self) -> MutexGuard<'_, PlannerState> {
+        self.planner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn cost_model(&self, session: &str) -> Option<Arc<Mutex<CostModel>>> {
+        self.cost
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(session)
+            .cloned()
+    }
+
+    fn predict(&self, session: &str, features: &[f64]) -> Result<Prediction> {
+        let slot = self.registry.get(session)?;
+        let (snapshot, epoch) = slot.snapshot();
+        let model = snapshot.model();
+        if features.len() != model.num_features() {
+            return Err(ServerError::FeatureMismatch {
+                expected: model.num_features(),
+                got: features.len(),
+            });
+        }
+        Ok(predict_on(model, features, epoch))
+    }
+
+    fn delete(&self, session: &str, ids: Vec<u64>) -> Result<DeleteTicket> {
+        if self.shutdown.load(Ordering::Acquire) {
+            return Err(ServerError::ShuttingDown);
+        }
+        self.registry.get(session)?; // admission check: session must exist
+        let ticket = self.planner().enqueue(session, ids);
+        self.work.notify_all();
+        Ok(ticket)
+    }
+
+    fn flush(&self, session: &str) -> Result<()> {
+        self.registry.get(session)?;
+        self.planner().flush(session);
+        self.work.notify_all();
+        Ok(())
+    }
+
+    fn stats(&self, session: &str) -> Result<SessionStats> {
+        let slot = self.registry.get(session)?;
+        let (snapshot, epoch) = slot.snapshot();
+        let decisions = self
+            .cost_model(session)
+            .map(|m| m.lock().unwrap_or_else(PoisonError::into_inner).decisions())
+            .unwrap_or_default();
+        Ok(SessionStats {
+            epoch,
+            num_samples: snapshot.num_samples(),
+            num_features: snapshot.model().num_features(),
+            drift: slot.drift(),
+            pending: self.planner().pending(session),
+            decisions,
+        })
+    }
+}
+
+/// Computes a prediction on a model snapshot (lock-free: the snapshot is
+/// immutable).
+fn predict_on(model: &Model, features: &[f64], epoch: u64) -> Prediction {
+    match model.kind() {
+        ModelKind::Linear => Prediction {
+            value: model.predict_linear(features),
+            class: None,
+            epoch,
+        },
+        ModelKind::BinaryLogistic => Prediction {
+            value: model.decision_value(features),
+            class: Some(model.predict_class(features)),
+            epoch,
+        },
+        ModelKind::MultinomialLogistic { .. } => {
+            let class = model.predict_class(features);
+            Prediction {
+                value: model.logits(features)[class],
+                class: Some(class),
+                epoch,
+            }
+        }
+    }
+}
+
+/// Runs `f` with the configured worker-thread count and SIMD level pinned
+/// (both thread-local, so the pin travels with the applier regardless of
+/// which thread admitted the work).
+fn run_pinned<R>(cfg: &ServerConfig, f: impl FnOnce() -> R) -> R {
+    match (cfg.apply_threads, cfg.simd_level) {
+        (Some(t), Some(l)) => par::with_threads(t, || simd::with_level(l, f)),
+        (Some(t), None) => par::with_threads(t, f),
+        (None, Some(l)) => simd::with_level(l, f),
+        (None, None) => f(),
+    }
+}
+
+/// Applies one ready batch end to end: gate → fresh view → id translation
+/// → schedule → one engine `apply` with the union → commit → resolve every
+/// folded ticket.
+fn apply_batch(inner: &Inner, batch: ReadyBatch) {
+    let reply_all_err = |batch: &ReadyBatch, message: &str| {
+        for request in &batch.requests {
+            let _ = request
+                .reply
+                .send(Err(ServerError::BatchFailed(message.to_string())));
+        }
+    };
+    let slot: Arc<SessionSlot> = match inner.registry.get(&batch.session) {
+        Ok(slot) => slot,
+        Err(err) => {
+            // Session dropped between admission and batching.
+            let message = err.to_string();
+            reply_all_err(&batch, &message);
+            return;
+        }
+    };
+
+    // Exclusive grant first, *then* read the view: a batch folded while a
+    // previous batch of the same session was in flight must see the
+    // committed state, not the pre-batch snapshot.
+    let _gate = slot.begin_apply();
+    let view = slot.apply_view();
+
+    // Translate stable ids → current row indices. Union is sorted and the
+    // id map is ascending, so the produced indices are ascending too.
+    let mut rows: Vec<usize> = Vec::with_capacity(batch.union.len());
+    for &id in &batch.union {
+        if let Ok(ix) = view.ids.binary_search(&id) {
+            rows.push(ix);
+        }
+    }
+    let live = |request_ids: &[u64]| {
+        let distinct: std::collections::BTreeSet<u64> = request_ids.iter().copied().collect();
+        let applied = distinct
+            .iter()
+            .filter(|id| view.ids.binary_search(id).is_ok())
+            .count();
+        (distinct.len(), applied)
+    };
+
+    if rows.is_empty() {
+        // Every id was already gone: acknowledge without touching the
+        // session.
+        for request in &batch.requests {
+            let (requested, _) = live(&request.ids);
+            let _ = request.reply.send(Ok(BatchReply {
+                requested,
+                applied: 0,
+                stale: requested,
+                batch_rows: 0,
+                method: None,
+                seconds: 0.0,
+                epoch: view.epoch,
+            }));
+        }
+        return;
+    }
+
+    let snapshot = view.session.capture_snapshot();
+    let drift_after = if view.initial_samples == 0 {
+        0.0
+    } else {
+        (view.removed_since_refit + rows.len()) as f64 / view.initial_samples as f64
+    };
+    let cost = inner.cost_model(&batch.session);
+    let method = match &cost {
+        Some(model) => model.lock().unwrap_or_else(PoisonError::into_inner).decide(
+            &snapshot,
+            rows.len(),
+            drift_after,
+        ),
+        None => Method::Retrain,
+    };
+
+    // The one engine call the whole batch reduces to.
+    let outcome = run_pinned(&inner.cfg, || view.session.apply(method, &rows));
+    match outcome {
+        Ok(chained) => {
+            let seconds = chained.outcome.duration.as_secs_f64();
+            let mut survivors = Vec::with_capacity(view.ids.len() - rows.len());
+            let mut next_removed = 0;
+            for (ix, &id) in view.ids.iter().enumerate() {
+                if next_removed < rows.len() && rows[next_removed] == ix {
+                    next_removed += 1;
+                } else {
+                    survivors.push(id);
+                }
+            }
+            let epoch = slot.commit(
+                Arc::new(chained.session),
+                survivors,
+                rows.len(),
+                method == Method::Retrain,
+            );
+            if let Some(model) = &cost {
+                model
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .observe(method, rows.len(), snapshot.num_samples, seconds);
+            }
+            for request in &batch.requests {
+                let (requested, applied) = live(&request.ids);
+                let _ = request.reply.send(Ok(BatchReply {
+                    requested,
+                    applied,
+                    stale: requested - applied,
+                    batch_rows: rows.len(),
+                    method: Some(method),
+                    seconds,
+                    epoch,
+                }));
+            }
+        }
+        Err(err) => {
+            // The gate drops, the pre-batch state stays committed.
+            let message = format!("{method:?} on {} rows: {err}", rows.len());
+            reply_all_err(&batch, &message);
+        }
+    }
+}
+
+fn applier_loop(inner: &Arc<Inner>) {
+    loop {
+        let ready: Vec<ReadyBatch> = {
+            let mut planner = inner.planner();
+            loop {
+                if inner.shutdown.load(Ordering::Acquire) {
+                    planner.flush_all();
+                }
+                let ready = planner.take_ready(Instant::now(), &inner.cfg.planner);
+                if !ready.is_empty() {
+                    break ready;
+                }
+                if inner.shutdown.load(Ordering::Acquire) {
+                    return; // drained
+                }
+                let wait = match planner.next_deadline(&inner.cfg.planner) {
+                    Some(deadline) => {
+                        let until = deadline.saturating_duration_since(Instant::now());
+                        if until.is_zero() {
+                            continue; // deadline passed while we were busy
+                        }
+                        until
+                    }
+                    // Idle: sleep until poked (bounded, defensively).
+                    None => Duration::from_millis(100),
+                };
+                planner = inner
+                    .work
+                    .wait_timeout(planner, wait)
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0;
+            }
+        };
+        // Planner lock released: applying never blocks admission.
+        if ready.len() == 1 {
+            for batch in ready {
+                apply_batch(inner, batch);
+            }
+        } else {
+            // Batches for distinct sessions: fan out over the shared pool.
+            par::run_tasks(
+                ready
+                    .into_iter()
+                    .map(|batch| {
+                        let inner = Arc::clone(inner);
+                        move || apply_batch(&inner, batch)
+                    })
+                    .collect(),
+            );
+        }
+    }
+}
+
+/// The deletion service. See the module docs for the thread model.
+pub struct Server {
+    inner: Arc<Inner>,
+    applier: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Starts a server (one applier thread) with the given configuration.
+    pub fn start(cfg: ServerConfig) -> Self {
+        let inner = Arc::new(Inner {
+            registry: SessionRegistry::new(),
+            cfg,
+            planner: Mutex::new(PlannerState::default()),
+            work: Condvar::new(),
+            cost: Mutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+        });
+        let applier = {
+            let inner = Arc::clone(&inner);
+            thread::Builder::new()
+                .name("priu-server-applier".to_string())
+                .spawn(move || applier_loop(&inner))
+                .expect("spawn applier thread")
+        };
+        Self {
+            inner,
+            applier: Mutex::new(Some(applier)),
+        }
+    }
+
+    /// Registers a fitted session under `name`; its rows get stable ids
+    /// `0..n`.
+    ///
+    /// # Errors
+    /// [`ServerError::SessionExists`], [`ServerError::ShuttingDown`].
+    pub fn register_session(&self, name: &str, session: Session) -> Result<()> {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return Err(ServerError::ShuttingDown);
+        }
+        self.inner.registry.register(name, session)?;
+        self.inner
+            .cost
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(
+                name.to_string(),
+                Arc::new(Mutex::new(CostModel::new(self.inner.cfg.scheduler))),
+            );
+        Ok(())
+    }
+
+    /// Predicts on the named session's current snapshot. Never blocks on
+    /// an in-flight deletion batch.
+    ///
+    /// # Errors
+    /// [`ServerError::UnknownSession`], [`ServerError::FeatureMismatch`].
+    pub fn predict(&self, session: &str, features: &[f64]) -> Result<Prediction> {
+        self.inner.predict(session, features)
+    }
+
+    /// Enqueues a deletion of the given stable row ids; resolves when the
+    /// coalesced batch containing it commits.
+    ///
+    /// # Errors
+    /// [`ServerError::UnknownSession`], [`ServerError::ShuttingDown`].
+    pub fn delete(&self, session: &str, ids: &[u64]) -> Result<DeleteTicket> {
+        self.inner.delete(session, ids.to_vec())
+    }
+
+    /// Forces the named session's pending deletions into a batch now.
+    ///
+    /// # Errors
+    /// [`ServerError::UnknownSession`].
+    pub fn flush(&self, session: &str) -> Result<()> {
+        self.inner.flush(session)
+    }
+
+    /// The named session's bookkeeping.
+    ///
+    /// # Errors
+    /// [`ServerError::UnknownSession`].
+    pub fn stats(&self, session: &str) -> Result<SessionStats> {
+        self.inner.stats(session)
+    }
+
+    /// The named session's current immutable snapshot and its epoch.
+    ///
+    /// # Errors
+    /// [`ServerError::UnknownSession`].
+    pub fn model_snapshot(&self, session: &str) -> Result<(Arc<Session>, u64)> {
+        Ok(self.inner.registry.get(session)?.snapshot())
+    }
+
+    /// Registered session names, sorted.
+    pub fn session_names(&self) -> Vec<String> {
+        self.inner.registry.names()
+    }
+
+    /// Serves one connection over any `Read`/`Write` transport pair (a
+    /// socket, or the in-memory [`duplex`]): spawns the dedicated
+    /// protocol reader thread plus a responder that resolves deletion
+    /// tickets in admission order. Predict/flush/stats answer inline;
+    /// responses carry the request's correlation id and may arrive out of
+    /// order relative to deletions.
+    ///
+    /// [`duplex`]: crate::protocol::duplex
+    pub fn serve_connection<R, W>(&self, reader: R, writer: W) -> ConnectionHandle
+    where
+        R: Read + Send + 'static,
+        W: Write + Send + 'static,
+    {
+        let inner = Arc::clone(&self.inner);
+        let handle = thread::Builder::new()
+            .name("priu-server-conn".to_string())
+            .spawn(move || connection_loop(&inner, reader, writer))
+            .expect("spawn connection thread");
+        ConnectionHandle { handle }
+    }
+
+    /// Shuts the server down: rejects new deletions, drains every pending
+    /// batch (tickets resolve), and joins the applier. Idempotent; safe
+    /// from multiple threads.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.work.notify_all();
+        let handle = self
+            .applier
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+        // Anything admitted after the drain decision fails typed.
+        self.inner.planner().fail_all();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Join handle of a served connection; resolves when the client closes
+/// its write half (EOF) or the transport fails.
+pub struct ConnectionHandle {
+    handle: JoinHandle<()>,
+}
+
+impl ConnectionHandle {
+    /// Waits for the connection loop (and its reader/responder threads)
+    /// to finish.
+    pub fn join(self) {
+        let _ = self.handle.join();
+    }
+}
+
+fn connection_loop<R, W>(inner: &Arc<Inner>, reader: R, writer: W)
+where
+    R: Read + Send + 'static,
+    W: Write + Send + 'static,
+{
+    let (requests, reader_thread) = spawn_frame_reader(reader, decode_request);
+    let writer = Arc::new(Mutex::new(writer));
+
+    // Deletion tickets resolve long after admission; a responder thread
+    // waits them out in admission order so the service loop stays free.
+    let (ticket_tx, ticket_rx) = channel::<(u64, DeleteTicket)>();
+    let responder = {
+        let writer = Arc::clone(&writer);
+        thread::Builder::new()
+            .name("priu-server-responder".to_string())
+            .spawn(move || {
+                for (id, ticket) in ticket_rx {
+                    let response = match ticket.wait() {
+                        Ok(reply) => Response::Deleted {
+                            requested: reply.requested as u64,
+                            applied: reply.applied as u64,
+                            stale: reply.stale as u64,
+                            batch_rows: reply.batch_rows as u64,
+                            method: reply.method,
+                            seconds: reply.seconds,
+                            epoch: reply.epoch,
+                        },
+                        Err(err) => Response::Error {
+                            message: err.to_string(),
+                        },
+                    };
+                    if send_response(&writer, id, response).is_err() {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn responder thread")
+    };
+
+    for incoming in &requests {
+        match incoming {
+            Ok(envelope) => {
+                let id = envelope.id;
+                let response = match envelope.request {
+                    Request::Predict { session, features } => {
+                        match inner.predict(&session, &features) {
+                            Ok(p) => Response::Predicted {
+                                value: p.value,
+                                class: p.class.map(|c| c as u64),
+                                epoch: p.epoch,
+                            },
+                            Err(err) => Response::Error {
+                                message: err.to_string(),
+                            },
+                        }
+                    }
+                    Request::Delete { session, ids } => match inner.delete(&session, ids) {
+                        Ok(ticket) => {
+                            let _ = ticket_tx.send((id, ticket));
+                            continue; // answered by the responder later
+                        }
+                        Err(err) => Response::Error {
+                            message: err.to_string(),
+                        },
+                    },
+                    Request::Flush { session } => match inner.flush(&session) {
+                        Ok(()) => Response::Flushed,
+                        Err(err) => Response::Error {
+                            message: err.to_string(),
+                        },
+                    },
+                    Request::Stats { session } => match inner.stats(&session) {
+                        Ok(stats) => Response::Stats {
+                            epoch: stats.epoch,
+                            num_samples: stats.num_samples as u64,
+                            num_features: stats.num_features as u64,
+                            drift: stats.drift,
+                            pending: stats.pending as u64,
+                            decisions: stats.decisions,
+                        },
+                        Err(err) => Response::Error {
+                            message: err.to_string(),
+                        },
+                    },
+                };
+                if send_response(&writer, id, response).is_err() {
+                    break;
+                }
+            }
+            Err(err) => {
+                // Undecodable stream: report once (id 0) and drop the
+                // connection.
+                let _ = send_response(
+                    &writer,
+                    0,
+                    Response::Error {
+                        message: ServerError::Protocol(err).to_string(),
+                    },
+                );
+                break;
+            }
+        }
+    }
+    drop(ticket_tx); // responder drains outstanding tickets, then exits
+    let _ = responder.join();
+    let _ = reader_thread.join();
+}
+
+fn send_response<W: Write>(writer: &Mutex<W>, id: u64, response: Response) -> std::io::Result<()> {
+    let payload = encode_response(&ResponseEnvelope { id, response });
+    let mut writer = writer.lock().unwrap_or_else(PoisonError::into_inner);
+    write_frame(&mut *writer, &payload)
+}

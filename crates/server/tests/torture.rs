@@ -1,0 +1,470 @@
+//! Concurrency + determinism torture for the deletion service.
+//!
+//! The invariants under test, each per `apply_threads` × SIMD-level leg
+//! (the same {1, 4} × {off, avx2} grid CI pins via `PRIU_THREADS` /
+//! `PRIU_SIMD`):
+//!
+//! 1. A coalesced batch is **bitwise** identical to one direct
+//!    `DeletionEngine::apply` with the union removal set under the same
+//!    pin — the server adds scheduling, not arithmetic.
+//! 2. Coalesced deletion is **numerically** equivalent to applying the
+//!    same requests sequentially (exactly equivalent in exact arithmetic
+//!    for the closed-form path; FP rounding differs because the downdates
+//!    associate differently).
+//! 3. Predictions racing deletion batches observe a committed model —
+//!    pre-batch or post-batch, never a torn intermediate — and epochs are
+//!    monotone per observer.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use priu_core::{DeletionEngine, Method, Model, ModelKind, Session, SessionBuilder, TrainerConfig};
+use priu_data::catalog::Hyperparameters;
+use priu_data::synthetic::classification::{generate_binary_classification, ClassificationConfig};
+use priu_data::synthetic::regression::{generate_regression, RegressionConfig};
+use priu_linalg::par;
+use priu_linalg::simd::{self, SimdLevel};
+use priu_server::{PlannerConfig, SchedulerConfig, Server, ServerConfig};
+
+const N: usize = 200;
+
+fn linear_session(seed: u64) -> Session {
+    let data = generate_regression(&RegressionConfig {
+        num_samples: N,
+        num_features: 5,
+        noise_std: 0.1,
+        seed,
+        ..Default::default()
+    });
+    let config = TrainerConfig::from_hyper(Hyperparameters {
+        batch_size: 25,
+        num_iterations: 60,
+        learning_rate: 0.05,
+        regularization: 0.05,
+    });
+    SessionBuilder::dense(data, config)
+        .seed(4)
+        .opt_capture(false)
+        .fit()
+        .expect("linear fixture")
+}
+
+fn logistic_session(seed: u64) -> Session {
+    let data = generate_binary_classification(&ClassificationConfig {
+        num_samples: N,
+        num_features: 6,
+        separation: 3.0,
+        label_noise: 0.5,
+        seed,
+        ..Default::default()
+    });
+    let config = TrainerConfig::from_hyper(Hyperparameters {
+        batch_size: 25,
+        num_iterations: 60,
+        learning_rate: 0.3,
+        regularization: 0.02,
+    });
+    SessionBuilder::dense(data, config)
+        .seed(5)
+        .opt_capture(false)
+        .fit()
+        .expect("logistic fixture")
+}
+
+/// The CI determinism grid: apply-thread counts × available SIMD levels.
+fn legs() -> Vec<(usize, SimdLevel)> {
+    let mut legs = Vec::new();
+    for threads in [1usize, 4] {
+        for level in simd::available_levels() {
+            legs.push((threads, level));
+        }
+    }
+    legs
+}
+
+fn model_bits(model: &Model) -> Vec<u64> {
+    model.flatten().iter().map(|w| w.to_bits()).collect()
+}
+
+fn pinned_apply(
+    threads: usize,
+    level: SimdLevel,
+    session: &Session,
+    method: Method,
+    rows: &[usize],
+) -> Session {
+    par::with_threads(threads, || {
+        simd::with_level(level, || session.apply(method, rows))
+    })
+    .expect("reference apply")
+    .session
+}
+
+fn server_config(
+    threads: usize,
+    level: SimdLevel,
+    coalesce: bool,
+    force: Option<Method>,
+) -> ServerConfig {
+    ServerConfig {
+        planner: PlannerConfig {
+            // Batches form on flush only: the huge window keeps wall-clock
+            // timing out of the test's batch boundaries.
+            window: std::time::Duration::from_secs(3600),
+            max_batch: 1 << 20,
+            coalesce,
+        },
+        scheduler: SchedulerConfig {
+            force_method: force,
+            retrain_drift: 2.0, // never force a retrain mid-test
+            ..SchedulerConfig::default()
+        },
+        apply_threads: Some(threads),
+        simd_level: Some(level),
+    }
+}
+
+#[test]
+fn coalesced_batch_is_bitwise_one_union_apply_across_the_grid() {
+    for (threads, level) in legs() {
+        for (name, session, reference) in [
+            ("lin", linear_session(0xA1), linear_session(0xA1)),
+            ("log", logistic_session(0xB2), logistic_session(0xB2)),
+        ] {
+            let server = Server::start(server_config(threads, level, true, Some(Method::Priu)));
+            server.register_session(name, session).unwrap();
+
+            // Three overlapping requests fold into the union {3, 10, 11, 42}.
+            let t1 = server.delete(name, &[3]).unwrap();
+            let t2 = server.delete(name, &[10, 11]).unwrap();
+            let t3 = server.delete(name, &[42, 3]).unwrap();
+            server.flush(name).unwrap();
+            let r1 = t1.wait().unwrap();
+            let r2 = t2.wait().unwrap();
+            let r3 = t3.wait().unwrap();
+            for reply in [&r1, &r2, &r3] {
+                assert_eq!(reply.batch_rows, 4, "{name}@{threads}x{level:?}");
+                assert_eq!(reply.method, Some(Method::Priu));
+                assert_eq!(reply.epoch, 1);
+                assert_eq!(reply.stale, 0);
+            }
+            assert_eq!((r1.requested, r1.applied), (1, 1));
+            assert_eq!((r2.requested, r2.applied), (2, 2));
+            assert_eq!((r3.requested, r3.applied), (2, 2));
+
+            // Bitwise: the server committed exactly the model one direct
+            // union apply produces under the same pin.
+            let expected = pinned_apply(threads, level, &reference, Method::Priu, &[3, 10, 11, 42]);
+            let (snapshot, epoch) = server.model_snapshot(name).unwrap();
+            assert_eq!(epoch, 1);
+            assert_eq!(
+                model_bits(snapshot.model()),
+                model_bits(expected.model()),
+                "coalesced batch differs from union apply for {name} at \
+                 threads={threads} level={level:?}"
+            );
+
+            // A second batch re-deleting id 3 is stale for that id and the
+            // translation maps surviving stable ids to shifted rows.
+            let t4 = server.delete(name, &[3, 7]).unwrap();
+            server.flush(name).unwrap();
+            let r4 = t4.wait().unwrap();
+            assert_eq!((r4.requested, r4.applied, r4.stale), (2, 1, 1));
+            assert_eq!(r4.batch_rows, 1);
+            assert_eq!(r4.epoch, 2);
+            // Stable id 7 sits at row 6 after {3} dropped out below it.
+            let expected2 = pinned_apply(threads, level, &expected, Method::Priu, &[6]);
+            let (snapshot2, _) = server.model_snapshot(name).unwrap();
+            assert_eq!(
+                model_bits(snapshot2.model()),
+                model_bits(expected2.model()),
+                "stable-id translation broke for {name}"
+            );
+
+            // An all-stale batch commits nothing and touches no state.
+            let t5 = server.delete(name, &[3, 42]).unwrap();
+            server.flush(name).unwrap();
+            let r5 = t5.wait().unwrap();
+            assert_eq!((r5.applied, r5.stale, r5.batch_rows), (0, 2, 0));
+            assert_eq!(r5.method, None);
+            assert_eq!(server.model_snapshot(name).unwrap().1, 2, "no epoch bump");
+            server.shutdown();
+        }
+    }
+}
+
+#[test]
+fn coalesced_and_sequential_deletion_agree_numerically() {
+    let (threads, level) = (1, simd::available_levels()[0]);
+    let batched = Server::start(server_config(
+        threads,
+        level,
+        true,
+        Some(Method::ClosedForm),
+    ));
+    let one_by_one = Server::start(server_config(
+        threads,
+        level,
+        false,
+        Some(Method::ClosedForm),
+    ));
+    batched.register_session("s", linear_session(0xC3)).unwrap();
+    one_by_one
+        .register_session("s", linear_session(0xC3))
+        .unwrap();
+
+    let waves: [&[u64]; 3] = [&[5, 17], &[29], &[17, 88, 120]];
+    for ids in waves {
+        let tb = batched.delete("s", ids).unwrap();
+        let ts = one_by_one.delete("s", ids).unwrap();
+        batched.flush("s").unwrap();
+        one_by_one.flush("s").unwrap();
+        tb.wait().unwrap();
+        ts.wait().unwrap();
+    }
+    let (mb, _) = batched.model_snapshot("s").unwrap();
+    let (ms, _) = one_by_one.model_snapshot("s").unwrap();
+    assert_eq!(mb.num_samples(), ms.num_samples());
+    assert_eq!(mb.num_samples(), N - 5, "5 distinct rows (17 repeats)");
+    let diff: f64 = mb
+        .model()
+        .flatten()
+        .iter()
+        .zip(ms.model().flatten().iter())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
+    assert!(
+        diff < 1e-8,
+        "closed-form batched vs sequential drifted: max |Δw| = {diff:e}"
+    );
+    batched.shutdown();
+    one_by_one.shutdown();
+}
+
+/// Expected per-epoch predictions, mirroring the server's predict rules.
+fn expected_prediction(model: &Model, probe: &[f64]) -> (u64, Option<u64>) {
+    match model.kind() {
+        ModelKind::Linear => (model.predict_linear(probe).to_bits(), None),
+        ModelKind::BinaryLogistic => (
+            model.decision_value(probe).to_bits(),
+            Some(model.predict_class(probe) as u64),
+        ),
+        ModelKind::MultinomialLogistic { .. } => {
+            let class = model.predict_class(probe);
+            (model.logits(probe)[class].to_bits(), Some(class as u64))
+        }
+    }
+}
+
+#[test]
+fn predictions_race_deletion_batches_without_tearing() {
+    const WAVES: usize = 5;
+    // Per-wave deletion schedule: disjoint stable ids so every wave removes
+    // exactly 6 live rows; shared across the four sessions.
+    let wave_ids = |w: usize| -> [Vec<u64>; 3] {
+        let base = (w as u64) * 6;
+        [
+            vec![base, base + 1],
+            vec![base + 2, base + 3],
+            vec![base + 4, base + 5, base], // overlap inside the wave
+        ]
+    };
+
+    for (threads, level) in legs() {
+        let sessions: Vec<(String, Session)> = vec![
+            ("lin-a".into(), linear_session(0xD0)),
+            ("lin-b".into(), linear_session(0xD1)),
+            ("log-a".into(), logistic_session(0xD2)),
+            ("log-b".into(), logistic_session(0xD3)),
+        ];
+        let references: Vec<Session> = vec![
+            linear_session(0xD0),
+            linear_session(0xD1),
+            logistic_session(0xD2),
+            logistic_session(0xD3),
+        ];
+
+        // Reference chain: for each session, the model expected at every
+        // epoch (epoch w = after wave w-1), built by direct pinned applies
+        // of each wave's union.
+        let probe_for = |session: &Session| -> Vec<f64> {
+            (0..session.model().num_features())
+                .map(|i| 0.25 * (i as f64 + 1.0))
+                .collect()
+        };
+        let mut expected: Vec<HashMap<u64, (u64, Option<u64>)>> = Vec::new();
+        let mut finals: Vec<Vec<u64>> = Vec::new();
+        for reference in references {
+            let probe = probe_for(&reference);
+            let mut ids: Vec<u64> = (0..N as u64).collect();
+            let mut by_epoch = HashMap::new();
+            by_epoch.insert(0u64, expected_prediction(reference.model(), &probe));
+            let mut current = reference;
+            for w in 0..WAVES {
+                let union: std::collections::BTreeSet<u64> =
+                    wave_ids(w).iter().flatten().copied().collect();
+                let rows: Vec<usize> = union
+                    .iter()
+                    .filter_map(|id| ids.binary_search(id).ok())
+                    .collect();
+                current = pinned_apply(threads, level, &current, Method::Priu, &rows);
+                ids.retain(|id| !union.contains(id));
+                by_epoch.insert(w as u64 + 1, expected_prediction(current.model(), &probe));
+            }
+            expected.push(by_epoch);
+            finals.push(model_bits(current.model()));
+        }
+
+        let server = Arc::new(Server::start(server_config(
+            threads,
+            level,
+            true,
+            Some(Method::Priu),
+        )));
+        for (name, session) in sessions {
+            server.register_session(&name, session).unwrap();
+        }
+        let names = ["lin-a", "lin-b", "log-a", "log-b"];
+
+        // Four deleter threads (one per session) drive the waves while
+        // eight predict threads hammer the snapshots.
+        let done = Arc::new(AtomicBool::new(false));
+        let predictors: Vec<_> = (0..8)
+            .map(|p| {
+                let server = Arc::clone(&server);
+                let done = Arc::clone(&done);
+                let name = names[p % names.len()];
+                std::thread::spawn(move || {
+                    let features = server.model_snapshot(name).unwrap().0;
+                    let probe: Vec<f64> = (0..features.model().num_features())
+                        .map(|i| 0.25 * (i as f64 + 1.0))
+                        .collect();
+                    let mut observed: Vec<(u64, u64, Option<u64>)> = Vec::new();
+                    let mut last_epoch = 0;
+                    while !done.load(Ordering::Acquire) {
+                        let prediction = server.predict(name, &probe).unwrap();
+                        assert!(
+                            prediction.epoch >= last_epoch,
+                            "epochs must be monotone per observer"
+                        );
+                        last_epoch = prediction.epoch;
+                        observed.push((
+                            prediction.epoch,
+                            prediction.value.to_bits(),
+                            prediction.class.map(|c| c as u64),
+                        ));
+                    }
+                    (name, observed)
+                })
+            })
+            .collect();
+
+        let deleters: Vec<_> = names
+            .iter()
+            .map(|&name| {
+                let server = Arc::clone(&server);
+                std::thread::spawn(move || {
+                    for w in 0..WAVES {
+                        let tickets: Vec<_> = wave_ids(w)
+                            .iter()
+                            .map(|ids| server.delete(name, ids).unwrap())
+                            .collect();
+                        server.flush(name).unwrap();
+                        for ticket in tickets {
+                            let reply = ticket.wait().unwrap();
+                            assert_eq!(reply.epoch, w as u64 + 1, "{name} wave {w}");
+                            assert_eq!(reply.batch_rows, 6, "{name} wave {w}");
+                            assert_eq!(reply.method, Some(Method::Priu));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for deleter in deleters {
+            deleter.join().expect("deleter panicked");
+        }
+        done.store(true, Ordering::Release);
+
+        // Every observed prediction must exactly match the committed model
+        // of its epoch — a torn read could match no epoch.
+        for predictor in predictors {
+            let (name, observed) = predictor.join().expect("predictor panicked");
+            let session_ix = names.iter().position(|&n| n == name).unwrap();
+            for (epoch, value_bits, class) in observed {
+                let (expected_bits, expected_class) = expected[session_ix]
+                    .get(&epoch)
+                    .unwrap_or_else(|| panic!("{name}: impossible epoch {epoch}"));
+                assert_eq!(
+                    (value_bits, class),
+                    (*expected_bits, *expected_class),
+                    "{name}@epoch {epoch}: prediction does not match any \
+                     committed model (threads={threads} level={level:?})"
+                );
+            }
+        }
+
+        // Final models are bitwise the reference chain's.
+        for (session_ix, &name) in names.iter().enumerate() {
+            let (snapshot, epoch) = server.model_snapshot(name).unwrap();
+            assert_eq!(epoch, WAVES as u64);
+            assert_eq!(
+                model_bits(snapshot.model()),
+                finals[session_ix],
+                "{name}: final model differs from the reference chain"
+            );
+            let stats = server.stats(name).unwrap();
+            assert_eq!(stats.num_samples, N - WAVES * 6);
+            assert_eq!(stats.pending, 0);
+            let priu_decides: u64 = stats
+                .decisions
+                .iter()
+                .find(|(m, _)| *m == Method::Priu)
+                .unwrap()
+                .1;
+            assert_eq!(priu_decides, WAVES as u64);
+        }
+        server.shutdown();
+    }
+}
+
+#[test]
+fn admission_errors_and_shutdown_are_typed() {
+    use priu_server::ServerError;
+    let server = Server::start(ServerConfig::default());
+    server.register_session("s", linear_session(0xE4)).unwrap();
+    assert!(matches!(
+        server.register_session("s", linear_session(0xE5)),
+        Err(ServerError::SessionExists(_))
+    ));
+    assert!(matches!(
+        server.predict("nope", &[0.0; 5]),
+        Err(ServerError::UnknownSession(_))
+    ));
+    assert!(matches!(
+        server.predict("s", &[0.0; 3]),
+        Err(ServerError::FeatureMismatch {
+            expected: 5,
+            got: 3
+        })
+    ));
+    assert!(matches!(
+        server.delete("nope", &[1]),
+        Err(ServerError::UnknownSession(_))
+    ));
+
+    // Shutdown drains pending work (tickets resolve), then rejects new
+    // deletions; predictions keep working on the frozen snapshot. Repeat
+    // shutdowns are no-ops.
+    let ticket = server.delete("s", &[0, 1]).unwrap();
+    server.shutdown();
+    let reply = ticket.wait().expect("pending batch must drain on shutdown");
+    assert_eq!(reply.applied, 2);
+    assert!(matches!(
+        server.delete("s", &[2]),
+        Err(ServerError::ShuttingDown)
+    ));
+    server.predict("s", &[0.0; 5]).unwrap();
+    server.shutdown();
+    server.shutdown();
+}

@@ -1,0 +1,195 @@
+//! End-to-end wire test: a client speaking the length-prefixed protocol
+//! over the in-memory duplex transport against a live server.
+
+use std::collections::HashMap;
+use std::io::Write;
+
+use priu_core::{Method, TrainerConfig};
+use priu_core::{Session, SessionBuilder};
+use priu_data::catalog::Hyperparameters;
+use priu_data::synthetic::regression::{generate_regression, RegressionConfig};
+use priu_server::{
+    decode_response, duplex, encode_request, read_frame, write_frame, PlannerConfig, Request,
+    RequestEnvelope, Response, SchedulerConfig, Server, ServerConfig,
+};
+
+fn session() -> Session {
+    let data = generate_regression(&RegressionConfig {
+        num_samples: 120,
+        num_features: 4,
+        noise_std: 0.1,
+        seed: 0xF00D,
+        ..Default::default()
+    });
+    let config = TrainerConfig::from_hyper(Hyperparameters {
+        batch_size: 30,
+        num_iterations: 40,
+        learning_rate: 0.05,
+        regularization: 0.05,
+    });
+    SessionBuilder::dense(data, config)
+        .seed(9)
+        .opt_capture(false)
+        .fit()
+        .unwrap()
+}
+
+#[test]
+fn a_full_client_conversation_over_the_duplex_transport() {
+    let server = Server::start(ServerConfig {
+        planner: PlannerConfig {
+            window: std::time::Duration::from_secs(3600), // flush-driven
+            ..PlannerConfig::default()
+        },
+        scheduler: SchedulerConfig {
+            force_method: Some(Method::Priu),
+            ..SchedulerConfig::default()
+        },
+        ..ServerConfig::default()
+    });
+    server.register_session("m", session()).unwrap();
+
+    let ((mut client_w, mut client_r), (server_w, server_r)) = duplex();
+    let connection = server.serve_connection(server_r, server_w);
+
+    let mut send = |id: u64, request: Request| {
+        let payload = encode_request(&RequestEnvelope { id, request });
+        write_frame(&mut client_w, &payload).unwrap();
+    };
+    let probe = vec![0.25, 0.5, 0.75, 1.0];
+
+    // Predict, then delete twice (answered later, out of order), then
+    // flush and predict again — all pipelined on one connection.
+    send(
+        1,
+        Request::Predict {
+            session: "m".into(),
+            features: probe.clone(),
+        },
+    );
+    send(
+        2,
+        Request::Delete {
+            session: "m".into(),
+            ids: vec![3, 4],
+        },
+    );
+    send(
+        3,
+        Request::Delete {
+            session: "m".into(),
+            ids: vec![4, 9],
+        },
+    );
+    send(
+        4,
+        Request::Stats {
+            session: "m".into(),
+        },
+    );
+    send(
+        5,
+        Request::Flush {
+            session: "m".into(),
+        },
+    );
+    send(
+        6,
+        Request::Predict {
+            session: "nope".into(),
+            features: probe.clone(),
+        },
+    );
+
+    let mut responses: HashMap<u64, Response> = HashMap::new();
+    while responses.len() < 6 {
+        let payload = read_frame(&mut client_r).unwrap().expect("open stream");
+        let envelope = decode_response(&payload).unwrap();
+        responses.insert(envelope.id, envelope.response);
+    }
+
+    match &responses[&1] {
+        Response::Predicted { class, epoch, .. } => {
+            assert_eq!(*class, None);
+            assert_eq!(*epoch, 0, "predict before the flush sees epoch 0");
+        }
+        other => panic!("want Predicted, got {other:?}"),
+    }
+    for id in [2u64, 3] {
+        match &responses[&id] {
+            Response::Deleted {
+                batch_rows,
+                method,
+                epoch,
+                ..
+            } => {
+                assert_eq!(*batch_rows, 3, "union {{3,4,9}}");
+                assert_eq!(*method, Some(Method::Priu));
+                assert_eq!(*epoch, 1);
+            }
+            other => panic!("want Deleted, got {other:?}"),
+        }
+    }
+    assert!(matches!(&responses[&4], Response::Stats { .. }));
+    assert!(matches!(&responses[&5], Response::Flushed));
+    match &responses[&6] {
+        Response::Error { message } => assert!(message.contains("unknown session")),
+        other => panic!("want Error, got {other:?}"),
+    }
+
+    // The post-flush model answers follow-up predicts at epoch 1 with the
+    // same value the typed API computes.
+    send(
+        7,
+        Request::Predict {
+            session: "m".into(),
+            features: probe.clone(),
+        },
+    );
+    let payload = read_frame(&mut client_r).unwrap().unwrap();
+    let envelope = decode_response(&payload).unwrap();
+    match envelope.response {
+        Response::Predicted { value, epoch, .. } => {
+            assert_eq!(envelope.id, 7);
+            assert_eq!(epoch, 1);
+            let typed = server.predict("m", &probe).unwrap();
+            assert_eq!(value.to_bits(), typed.value.to_bits());
+        }
+        other => panic!("want Predicted, got {other:?}"),
+    }
+
+    // Closing the client write half ends the connection cleanly.
+    drop(client_w);
+    connection.join();
+    server.shutdown();
+}
+
+#[test]
+fn undecodable_bytes_get_one_error_frame_and_a_hangup() {
+    let server = Server::start(ServerConfig::default());
+    let ((mut client_w, mut client_r), (server_w, server_r)) = duplex();
+    let connection = server.serve_connection(server_r, server_w);
+
+    // A frame whose payload is garbage (bad tag after the id).
+    let mut payload = 99u64.to_le_bytes().to_vec();
+    payload.push(0xEE);
+    write_frame(&mut client_w, &payload).unwrap();
+    // And then bytes that are not even a complete frame.
+    client_w.write_all(&1000u32.to_le_bytes()).unwrap();
+    client_w.write_all(b"nope").unwrap();
+    drop(client_w);
+
+    let frame = read_frame(&mut client_r).unwrap().expect("error frame");
+    let envelope = decode_response(&frame).unwrap();
+    assert_eq!(envelope.id, 0, "protocol errors are not correlatable");
+    match envelope.response {
+        Response::Error { message } => assert!(message.contains("unknown message tag")),
+        other => panic!("want Error, got {other:?}"),
+    }
+    assert!(
+        read_frame(&mut client_r).unwrap().is_none(),
+        "server hangs up after a protocol error"
+    );
+    connection.join();
+    server.shutdown();
+}
