@@ -23,14 +23,19 @@
 //! pre-blocking textbook implementation (left-looking Cholesky, sequential
 //! row-cyclic Jacobi, Householder QR with a full n×n Q accumulation);
 //! `blocked1` / `blocked4` are the production blocked kernels pinned to one
-//! and four threads.
+//! and four threads, and the `qr_per_reflector*` rows keep the pre-WY QR
+//! driver visible next to the compact-WY `qr_blocked*` rows.
+//!
+//! The `eigen_grid` group is the offline-phase shoot-out: the Jacobi
+//! fallback vs the default two-stage tridiag + QL pipeline at 64–512.
 
 use std::time::Duration;
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use priu_linalg::decomposition::eigen::SymmetricEigen;
 use priu_linalg::decomposition::{
-    cholesky_factor_into, qr_factor_into, GramFactor, JacobiScratch, QrScratch, TruncationMethod,
+    cholesky_factor_into, qr_factor_into, qr_factor_per_reflector_into, with_eigen_method,
+    EigenMethod, EigenScratch, GramFactor, QrScratch, TruncationMethod,
 };
 use priu_linalg::par;
 use priu_linalg::sparse::CooBuilder;
@@ -435,7 +440,7 @@ fn bench_decomp_grid(c: &mut Criterion) {
 
     for &n in &EIG_SIZES {
         let sym = random_matrix(n, n, 32).gram();
-        let mut scratch = JacobiScratch::default();
+        let mut scratch = EigenScratch::default();
         let shape = format!("{n}x{n}");
 
         group.bench_function(BenchmarkId::new("eigen_scalar", &shape), |bench| {
@@ -477,6 +482,71 @@ fn bench_decomp_grid(c: &mut Criterion) {
             bench.iter(|| {
                 par::with_threads(4, || {
                     qr_factor_into(black_box(&a), &mut q, &mut r, &mut scratch).unwrap()
+                })
+            })
+        });
+        // The pre-WY driver (one trailing update per reflector) — the row
+        // the compact-WY aggregation is measured against.
+        group.bench_function(BenchmarkId::new("qr_per_reflector1", &shape), |bench| {
+            bench.iter(|| {
+                par::with_threads(1, || {
+                    qr_factor_per_reflector_into(black_box(&a), &mut q, &mut r, &mut scratch)
+                        .unwrap()
+                })
+            })
+        });
+        group.bench_function(BenchmarkId::new("qr_per_reflector4", &shape), |bench| {
+            bench.iter(|| {
+                par::with_threads(4, || {
+                    qr_factor_per_reflector_into(black_box(&a), &mut q, &mut r, &mut scratch)
+                        .unwrap()
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The offline-phase shoot-out: the Jacobi fallback vs the default
+/// tridiag + QL pipeline on the same symmetric inputs, up to the 512×512
+/// acceptance shape (Jacobi is Θ(n³) *per sweep* there — that is the point).
+const EIGEN_GRID_SIZES: [usize; 4] = [64, 128, 256, 512];
+
+fn bench_eigen_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eigen_grid");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_secs(2));
+
+    let mut scratch = EigenScratch::default();
+    for &n in &EIGEN_GRID_SIZES {
+        let sym = random_matrix(n, n, 34).gram();
+        let shape = format!("{n}x{n}");
+
+        group.bench_function(BenchmarkId::new("jacobi1", &shape), |bench| {
+            bench.iter(|| {
+                with_eigen_method(EigenMethod::Jacobi, || {
+                    par::with_threads(1, || {
+                        SymmetricEigen::new_with(black_box(&sym), &mut scratch).unwrap()
+                    })
+                })
+            })
+        });
+        group.bench_function(BenchmarkId::new("tridiag_ql1", &shape), |bench| {
+            bench.iter(|| {
+                with_eigen_method(EigenMethod::TridiagQl, || {
+                    par::with_threads(1, || {
+                        SymmetricEigen::new_with(black_box(&sym), &mut scratch).unwrap()
+                    })
+                })
+            })
+        });
+        group.bench_function(BenchmarkId::new("tridiag_ql4", &shape), |bench| {
+            bench.iter(|| {
+                with_eigen_method(EigenMethod::TridiagQl, || {
+                    par::with_threads(4, || {
+                        SymmetricEigen::new_with(black_box(&sym), &mut scratch).unwrap()
+                    })
                 })
             })
         });
@@ -688,6 +758,7 @@ criterion_group!(
     bench_kernel_grid,
     bench_sparse_grid,
     bench_decomp_grid,
+    bench_eigen_grid,
     bench_simd_grid,
     bench_kernels
 );

@@ -31,7 +31,7 @@
 //! outlives the loop by design and is exempt from the zero-allocation
 //! guarantee (see DESIGN.md §3.3).
 
-use priu_linalg::decomposition::JacobiScratch;
+use priu_linalg::decomposition::EigenScratch;
 use priu_linalg::Matrix;
 
 /// Reusable scratch for the trainer and update hot loops.
@@ -73,8 +73,9 @@ pub struct Workspace {
     /// their Cholesky factors).
     pub(crate) mm0: Matrix,
     pub(crate) mm1: Matrix,
-    /// Jacobi eigendecomposition scratch (PrIU-opt offline captures).
-    pub(crate) eig: JacobiScratch,
+    /// Symmetric eigendecomposition scratch — tridiag + QL pipeline plus
+    /// the Jacobi fallback (PrIU-opt offline captures).
+    pub(crate) eig: EigenScratch,
     grow_events: usize,
 }
 
@@ -155,7 +156,7 @@ impl Workspace {
 
     /// Pre-sizes the offline decomposition buffers for `num_features ×
     /// num_features` problems — the `m × m` matrix pair (Gram / Cholesky
-    /// factor) and the Jacobi eigendecomposition scratch. Engines call this
+    /// factor) and the symmetric eigendecomposition scratch. Engines call this
     /// before the offline timer (PrIU-opt capture) and before a timed
     /// closed-form update, so neither allocates buffers inside the timed
     /// region.

@@ -28,7 +28,7 @@ use priu_data::synthetic::classification::{generate_binary_classification, Class
 use priu_data::synthetic::regression::{generate_regression, RegressionConfig};
 use priu_data::synthetic::sparse_text::{generate_sparse_binary, SparseConfig};
 use priu_linalg::decomposition::{
-    cholesky_factor_into, cholesky_solve_into, qr_factor_into, JacobiScratch, QrScratch,
+    cholesky_factor_into, cholesky_solve_into, eigen_into, qr_factor_into, EigenScratch, QrScratch,
     SymmetricEigen,
 };
 use priu_linalg::Matrix;
@@ -368,7 +368,7 @@ fn offline_factorization_allocations_are_per_call_constants() {
     let mut l = Matrix::zeros(0, 0);
     let mut x = vec![0.0; m];
     let b: Vec<f64> = (0..m).map(|i| (i as f64 * 0.37).sin()).collect();
-    let mut eig_scratch = JacobiScratch::default();
+    let mut eig_scratch = EigenScratch::default();
     let tall = Matrix::from_fn(300, 40, |i, j| {
         (((i * 7 + j * 13) % 23) as f64 - 11.0) / 12.0
     });
@@ -392,16 +392,28 @@ fn offline_factorization_allocations_are_per_call_constants() {
         });
         assert_eq!(allocs, 0, "warm blocked QR allocated {allocs} times");
 
-        // The eigendecomposition behind the PrIU-opt offline capture: a warm
-        // JacobiScratch makes every call allocate exactly the stored
-        // eigenpairs — the same constant no matter how many captures ran.
+        // The eigendecomposition behind the PrIU-opt offline capture: the
+        // preallocated `eigen_into` entry point is fully warm-allocation-free
+        // — the eigenpairs live inside the scratch.
+        eigen_into(&spd, &mut eig_scratch).unwrap(); // warm-up
+        let allocs = count_allocations(|| {
+            eigen_into(&spd, &mut eig_scratch).unwrap();
+        });
+        assert_eq!(
+            allocs, 0,
+            "warm eigen_into allocated {allocs} times — the tridiag+QL \
+             pipeline must run entirely inside EigenScratch"
+        );
+
+        // The owning wrapper still allocates exactly the stored eigenpairs —
+        // the same constant no matter how many captures ran.
         SymmetricEigen::new_with(&spd, &mut eig_scratch).unwrap(); // warm-up
         let allocs = count_allocations(|| {
             SymmetricEigen::new_with(&spd, &mut eig_scratch).unwrap();
         });
         assert!(
             allocs <= 4,
-            "warm Jacobi eigendecomposition should allocate only its stored \
+            "warm eigendecomposition should allocate only its stored \
              eigenpairs, saw {allocs} allocations"
         );
     });
@@ -417,7 +429,7 @@ fn offline_factorization_allocations_are_per_call_constants() {
     });
     assert_eq!(
         allocs_second, allocs_third,
-        "warm Jacobi eigendecomposition allocations drifted between calls"
+        "warm eigendecomposition allocations drifted between calls"
     );
 
     // The closed-form baseline path end to end: downdate + blocked Cholesky

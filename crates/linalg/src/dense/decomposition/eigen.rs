@@ -1,11 +1,38 @@
-//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//! Symmetric eigendecomposition: two-stage tridiagonalisation + QL by
+//! default, cyclic Jacobi as a fallback.
 //!
 //! PrIU-opt (§5.2) relies on an *offline* eigendecomposition of the Gram
 //! matrix `M = X^T X` (`M = Q diag(c) Q^T`), followed by an *online*
 //! incremental eigenvalue update after a deletion: `c'_i = (Q^T M' Q)_{ii}`
 //! (Eq. 18, citing Ning et al.). Both pieces live in this module.
 //!
-//! # Blocked, pool-parallel sweeps
+//! # The default pipeline: tridiag + implicit-shift QL
+//!
+//! [`eigen_into`] (and [`SymmetricEigen::new`] / [`new_with`] on top of it)
+//! runs the classic two-stage dense symmetric eigensolver from
+//! [`super::tridiag`]: blocked Householder tridiagonalisation
+//! (`A = Q_t T Q_tᵀ`, `4n³/3` flops) followed by implicit-shift QL
+//! iteration on `(d, e)` with eigenvector back-accumulation into `Zᵀ`
+//! seeded with `Q_tᵀ` (`O(n²)` per sweep, `O(1)` sweeps per eigenvalue) —
+//! `O(n³)` *total*, where each Jacobi **sweep** costs `Θ(n³)`. The blocked
+//! path is bitwise identical to the plain-loop reference
+//! [`eigen_scalar_into`] for any `PRIU_THREADS`, per `PRIU_SIMD` level
+//! (the shared-driver argument lives in the `tridiag` module docs).
+//! Eigenpairs agree with the Jacobi fallback *numerically* (both
+//! diagonalise the same matrix), never bitwise — the trees are unrelated.
+//!
+//! ## Method selection
+//!
+//! `PRIU_EIGEN` picks the solver process-wide: unset / `auto` / `tridiag` /
+//! `ql` select the two-stage pipeline, `jacobi` the sweep solver below
+//! (kept as a numerically independent cross-check and escape hatch);
+//! anything else panics at first use. Tests and benches pin a method in
+//! scope with [`with_eigen_method`], which overrides the environment on the
+//! current thread.
+//!
+//! [`new_with`]: SymmetricEigen::new_with
+//!
+//! # The Jacobi fallback: blocked, pool-parallel sweeps
 //!
 //! The sweep is *round-robin cyclic*: each sweep runs `N − 1` rounds of the
 //! tournament (circle-method) schedule, every round pairing all indices into
@@ -30,10 +57,64 @@
 //! numerically (to convergence tolerance), not bitwise — the bitwise
 //! guarantee is over thread counts and executions of this schedule.
 
+use std::cell::Cell;
+use std::sync::OnceLock;
+
 use crate::dense::matrix::Matrix;
 use crate::dense::vector::Vector;
 use crate::error::{LinalgError, Result};
 use crate::par::{self, Chunks, SendPtr};
+
+use super::tridiag::{
+    tql2_into, tridiag_factor_into, tridiag_factor_scalar_into, QlRotation, TridiagScratch,
+};
+
+/// Which symmetric eigensolver [`eigen_into`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EigenMethod {
+    /// Blocked Householder tridiagonalisation + implicit-shift QL (default).
+    TridiagQl,
+    /// Round-robin cyclic Jacobi sweeps (the `PRIU_EIGEN=jacobi` fallback).
+    Jacobi,
+}
+
+fn env_eigen_method() -> EigenMethod {
+    static METHOD: OnceLock<EigenMethod> = OnceLock::new();
+    *METHOD.get_or_init(|| match std::env::var("PRIU_EIGEN") {
+        Err(_) => EigenMethod::TridiagQl,
+        Ok(v) => match v.to_ascii_lowercase().as_str() {
+            "" | "auto" | "tridiag" | "ql" => EigenMethod::TridiagQl,
+            "jacobi" => EigenMethod::Jacobi,
+            other => panic!("PRIU_EIGEN must be one of auto|tridiag|ql|jacobi, got {other:?}"),
+        },
+    })
+}
+
+thread_local! {
+    static METHOD_OVERRIDE: Cell<Option<EigenMethod>> = const { Cell::new(None) };
+}
+
+/// The eigensolver [`eigen_into`] will use on this thread: the innermost
+/// [`with_eigen_method`] override, else the `PRIU_EIGEN` selection.
+pub fn current_eigen_method() -> EigenMethod {
+    METHOD_OVERRIDE
+        .with(|m| m.get())
+        .unwrap_or_else(env_eigen_method)
+}
+
+/// Runs `f` with the eigensolver pinned to `method` on the current thread
+/// (restored afterwards, panic-safe via the drop guard). Tests and benches
+/// use this to exercise a specific solver regardless of `PRIU_EIGEN`.
+pub fn with_eigen_method<R>(method: EigenMethod, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<EigenMethod>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            METHOD_OVERRIDE.with(|m| m.set(self.0));
+        }
+    }
+    let _guard = Restore(METHOD_OVERRIDE.with(|m| m.replace(Some(method))));
+    f()
+}
 
 /// Minimum rotation pairs per chunk: a pair's application costs `~6n`
 /// fused operations across the three passes, so chunks of at least this
@@ -58,11 +139,10 @@ struct PairRotation {
     apply: bool,
 }
 
-/// Reusable scratch for [`SymmetricEigen::new_with`]: the working copy of
-/// the matrix, the transposed eigenvector accumulator, the per-round
-/// rotation list and the sort buffers. Buffers grow to the largest problem
-/// seen; a warm scratch makes repeated factorisations allocate only the
-/// returned eigenpairs.
+/// Reusable scratch for the Jacobi fallback: the working copy of the
+/// matrix, the transposed eigenvector accumulator, the per-round rotation
+/// list and the sort buffers. Buffers grow to the largest problem seen; a
+/// warm scratch makes repeated factorisations allocation-free.
 #[derive(Debug, Default, Clone)]
 pub struct JacobiScratch {
     m: Matrix,
@@ -85,6 +165,64 @@ impl JacobiScratch {
     }
 }
 
+/// Reusable scratch — and warm output storage — for [`eigen_into`]: the
+/// tridiag/QL pipeline buffers, the Jacobi fallback scratch, and the
+/// eigenpair storage the results land in. Buffers grow to the largest
+/// problem seen; a warm scratch makes [`eigen_into`] fully allocation-free
+/// (asserted with a counting allocator in `zero_alloc`).
+#[derive(Debug, Default, Clone)]
+pub struct EigenScratch {
+    /// Eigenvalues of the last factorisation, descending.
+    values: Vec<f64>,
+    /// Eigenvectors of the last factorisation (columns, matching `values`).
+    vectors: Matrix,
+    /// Tridiagonal diagonal; eigenvalues (unsorted) after the QL stage.
+    d: Vec<f64>,
+    /// Tridiagonal subdiagonal plus one padding slot for the QL sweep.
+    e: Vec<f64>,
+    /// Orthogonal factor of the tridiagonalisation.
+    q: Matrix,
+    /// Transposed eigenvector accumulator (row `i` = candidate vector `i`).
+    zt: Matrix,
+    /// Rotation sequence of the current QL sweep.
+    rot: Vec<QlRotation>,
+    /// Sort permutation.
+    idx: Vec<usize>,
+    /// Stage-one scratch.
+    tri: TridiagScratch,
+    /// Fallback solver scratch (untouched on the tridiag path).
+    jacobi: JacobiScratch,
+}
+
+impl EigenScratch {
+    /// Pre-sizes every buffer for `n × n` inputs (so the first
+    /// factorisation is already allocation-free). Engines call this before
+    /// starting the offline timer.
+    pub fn reserve(&mut self, n: usize) {
+        self.values.reserve(n);
+        self.vectors.reshape_zeroed(n, n);
+        self.d.reserve(n);
+        self.e.reserve(n);
+        self.q.reshape_zeroed(n, n);
+        self.zt.reshape_zeroed(n, n);
+        self.rot.reserve(n);
+        self.idx.reserve(n);
+        self.tri.reserve(n);
+        self.jacobi.reserve(n);
+    }
+
+    /// Eigenvalues of the last [`eigen_into`] call, descending.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Eigenvectors of the last [`eigen_into`] call (columns, matching
+    /// [`Self::values`]).
+    pub fn vectors(&self) -> &Matrix {
+        &self.vectors
+    }
+}
+
 /// Eigendecomposition `A = Q diag(values) Q^T` of a symmetric matrix, with
 /// eigenvalues sorted in descending order and eigenvectors stored as the
 /// columns of `Q`.
@@ -97,8 +235,10 @@ pub struct SymmetricEigen {
 }
 
 impl SymmetricEigen {
-    /// Computes the eigendecomposition of a symmetric matrix using the
-    /// blocked round-robin cyclic Jacobi method (module docs).
+    /// Computes the eigendecomposition of a symmetric matrix with the
+    /// solver selected by `PRIU_EIGEN` / [`with_eigen_method`] (module
+    /// docs): two-stage tridiagonalisation + QL by default, cyclic Jacobi
+    /// as the fallback.
     ///
     /// The strictly upper triangle is trusted; small asymmetries (up to
     /// `1e-8 * max_abs`) are tolerated and symmetrised away.
@@ -106,92 +246,31 @@ impl SymmetricEigen {
     /// # Errors
     /// * [`LinalgError::NotSquare`] if `a` is not square.
     /// * [`LinalgError::InvalidArgument`] if `a` is markedly asymmetric.
-    /// * [`LinalgError::DidNotConverge`] if the sweep budget is exhausted.
+    /// * [`LinalgError::DidNotConverge`] if the iteration budget is
+    ///   exhausted.
     pub fn new(a: &Matrix) -> Result<Self> {
-        Self::new_with(a, &mut JacobiScratch::default())
+        let mut scratch = EigenScratch::default();
+        eigen_into(a, &mut scratch)?;
+        Ok(Self {
+            values: Vector::from_vec(std::mem::take(&mut scratch.values)),
+            vectors: std::mem::take(&mut scratch.vectors),
+        })
     }
 
     /// Like [`SymmetricEigen::new`], reusing caller-owned scratch buffers:
-    /// with a warm [`JacobiScratch`] the only allocations are the returned
-    /// eigenvalue vector and eigenvector matrix. This is the entry point the
-    /// PrIU-opt offline captures use.
+    /// with a warm [`EigenScratch`] the only allocations are the returned
+    /// eigenvalue vector and eigenvector matrix (use [`eigen_into`]
+    /// directly and read the results out of the scratch to avoid even
+    /// those). This is the entry point the PrIU-opt offline captures use.
     ///
     /// # Errors
     /// See [`SymmetricEigen::new`].
-    pub fn new_with(a: &Matrix, scratch: &mut JacobiScratch) -> Result<Self> {
-        if !a.is_square() {
-            return Err(LinalgError::NotSquare {
-                rows: a.nrows(),
-                cols: a.ncols(),
-            });
-        }
-        let n = a.nrows();
-        if n == 0 {
-            return Ok(Self {
-                values: Vector::zeros(0),
-                vectors: Matrix::zeros(0, 0),
-            });
-        }
-        let scale = a.max_abs().max(1.0);
-        if a.asymmetry()? > 1e-8 * scale {
-            return Err(LinalgError::InvalidArgument(
-                "SymmetricEigen requires a (numerically) symmetric matrix".to_string(),
-            ));
-        }
-
-        // Work on a symmetrised copy; accumulate Q transposed (rotations
-        // then combine two contiguous rows in every pass).
-        let m = &mut scratch.m;
-        m.reshape_zeroed(n, n);
-        for i in 0..n {
-            for j in 0..n {
-                m[(i, j)] = 0.5 * (a[(i, j)] + a[(j, i)]);
-            }
-        }
-        let qt = &mut scratch.qt;
-        qt.reshape_zeroed(n, n);
-        for i in 0..n {
-            qt[(i, i)] = 1.0;
-        }
-
-        let tol = 1e-14 * scale;
-        let skip_tol = tol * 1e-2;
-        let big_n = n + (n & 1); // padded to even for the tournament
-        let mut converged = false;
-        for _sweep in 0..MAX_SWEEPS {
-            if off_diagonal_norm(m) <= tol {
-                converged = true;
-                break;
-            }
-            for t in 0..big_n.saturating_sub(1) {
-                build_round_rotations(m, n, big_n, t, skip_tol, &mut scratch.rot);
-                rotate_row_pairs(m, &scratch.rot);
-                rotate_column_pairs(m, &scratch.rot);
-                rotate_row_pairs(qt, &scratch.rot);
-            }
-        }
-        if !converged {
-            // One final check: Jacobi nearly always converges in well under
-            // the sweep budget; treat leftover off-diagonal mass as failure.
-            if off_diagonal_norm(m) > 1e-8 * scale {
-                return Err(LinalgError::DidNotConverge {
-                    op: "SymmetricEigen::new",
-                    iterations: MAX_SWEEPS,
-                });
-            }
-        }
-
-        // Collect eigenvalues and sort descending, permuting eigenvectors.
-        let diag = &mut scratch.diag;
-        diag.clear();
-        diag.extend((0..n).map(|i| m[(i, i)]));
-        let idx = &mut scratch.idx;
-        idx.clear();
-        idx.extend(0..n);
-        idx.sort_unstable_by(|&i, &j| diag[j].partial_cmp(&diag[i]).expect("finite eigenvalues"));
-        let values = Vector::from_fn(n, |i| diag[idx[i]]);
-        let vectors = Matrix::from_fn(n, n, |i, j| qt[(idx[j], i)]);
-        Ok(Self { values, vectors })
+    pub fn new_with(a: &Matrix, scratch: &mut EigenScratch) -> Result<Self> {
+        eigen_into(a, scratch)?;
+        Ok(Self {
+            values: Vector::from_vec(scratch.values.clone()),
+            vectors: scratch.vectors.clone(),
+        })
     }
 
     /// Reconstructs `Q diag(values) Q^T` (mainly for testing / diagnostics).
@@ -284,6 +363,184 @@ impl SymmetricEigen {
         }
         Ok(Vector::from_fn(m, |i| self.values[i] - corrections[i]))
     }
+}
+
+/// Symmetric eigendecomposition into caller-owned scratch, fully
+/// allocation-free once the scratch is warm: eigenvalues land in
+/// [`EigenScratch::values`] (descending) and eigenvectors in
+/// [`EigenScratch::vectors`] (columns). Runs the solver selected by
+/// `PRIU_EIGEN` / [`with_eigen_method`] — the blocked pool-parallel
+/// tridiag + QL pipeline by default, Jacobi sweeps as the fallback.
+///
+/// # Errors
+/// See [`SymmetricEigen::new`].
+pub fn eigen_into(a: &Matrix, scratch: &mut EigenScratch) -> Result<()> {
+    validate_symmetric(a)?;
+    match current_eigen_method() {
+        EigenMethod::TridiagQl => tridiag_ql_pipeline(a, scratch, true),
+        EigenMethod::Jacobi => jacobi_into(
+            a,
+            &mut scratch.jacobi,
+            &mut scratch.values,
+            &mut scratch.vectors,
+        ),
+    }
+}
+
+/// The plain-loop reference for the default pipeline: sequential
+/// tridiagonalisation and QL rotation application, ignoring the method
+/// selection (it *is* the tridiag + QL reference the parity suite compares
+/// [`eigen_into`] against bitwise).
+///
+/// # Errors
+/// See [`SymmetricEigen::new`].
+pub fn eigen_scalar_into(a: &Matrix, scratch: &mut EigenScratch) -> Result<()> {
+    validate_symmetric(a)?;
+    tridiag_ql_pipeline(a, scratch, false)
+}
+
+fn validate_symmetric(a: &Matrix) -> Result<()> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            rows: a.nrows(),
+            cols: a.ncols(),
+        });
+    }
+    if a.nrows() == 0 {
+        return Ok(());
+    }
+    let scale = a.max_abs().max(1.0);
+    if a.asymmetry()? > 1e-8 * scale {
+        return Err(LinalgError::InvalidArgument(
+            "SymmetricEigen requires a (numerically) symmetric matrix".to_string(),
+        ));
+    }
+    Ok(())
+}
+
+/// Stage one + stage two + descending sort; `parallel` selects the
+/// chunk-parallel or the sequential passes (same computation tree).
+fn tridiag_ql_pipeline(a: &Matrix, scratch: &mut EigenScratch, parallel: bool) -> Result<()> {
+    let n = a.nrows();
+    let EigenScratch {
+        values,
+        vectors,
+        d,
+        e,
+        q,
+        zt,
+        rot,
+        idx,
+        tri,
+        ..
+    } = scratch;
+    if parallel {
+        tridiag_factor_into(a, q, d, e, tri)?;
+    } else {
+        tridiag_factor_scalar_into(a, q, d, e, tri)?;
+    }
+    // Seed Zᵀ with Q_tᵀ: row i of zt is the i-th basis column.
+    zt.reshape_for_overwrite(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            zt[(i, j)] = q[(j, i)];
+        }
+    }
+    tql2_into(d, e, zt, rot, parallel)?;
+    sort_and_extract(d, zt, idx, values, vectors);
+    Ok(())
+}
+
+/// Sorts the raw eigenvalues descending and writes the permuted eigenpairs
+/// into the output storage without allocating (warm buffers reused).
+fn sort_and_extract(
+    d: &[f64],
+    zt: &Matrix,
+    idx: &mut Vec<usize>,
+    values: &mut Vec<f64>,
+    vectors: &mut Matrix,
+) {
+    let n = d.len();
+    idx.clear();
+    idx.extend(0..n);
+    idx.sort_unstable_by(|&i, &j| d[j].partial_cmp(&d[i]).expect("finite eigenvalues"));
+    values.clear();
+    values.extend(idx.iter().map(|&i| d[i]));
+    vectors.reshape_for_overwrite(n, n);
+    for i in 0..n {
+        let out = vectors.row_mut(i);
+        for (j, &src) in idx.iter().enumerate() {
+            out[j] = zt[(src, i)];
+        }
+    }
+}
+
+/// The Jacobi fallback solver (module docs): round-robin cyclic sweeps
+/// writing the sorted eigenpairs into the caller's storage. Kept as a
+/// numerically independent cross-check of the default pipeline and as the
+/// `PRIU_EIGEN=jacobi` escape hatch.
+fn jacobi_into(
+    a: &Matrix,
+    scratch: &mut JacobiScratch,
+    values: &mut Vec<f64>,
+    vectors: &mut Matrix,
+) -> Result<()> {
+    let n = a.nrows();
+    let scale = a.max_abs().max(1.0);
+    if n == 0 {
+        values.clear();
+        vectors.reshape_zeroed(0, 0);
+        return Ok(());
+    }
+
+    // Work on a symmetrised copy; accumulate Q transposed (rotations
+    // then combine two contiguous rows in every pass).
+    let m = &mut scratch.m;
+    m.reshape_zeroed(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            m[(i, j)] = 0.5 * (a[(i, j)] + a[(j, i)]);
+        }
+    }
+    let qt = &mut scratch.qt;
+    qt.reshape_zeroed(n, n);
+    for i in 0..n {
+        qt[(i, i)] = 1.0;
+    }
+
+    let tol = 1e-14 * scale;
+    let skip_tol = tol * 1e-2;
+    let big_n = n + (n & 1); // padded to even for the tournament
+    let mut converged = false;
+    for _sweep in 0..MAX_SWEEPS {
+        if off_diagonal_norm(m) <= tol {
+            converged = true;
+            break;
+        }
+        for t in 0..big_n.saturating_sub(1) {
+            build_round_rotations(m, n, big_n, t, skip_tol, &mut scratch.rot);
+            rotate_row_pairs(m, &scratch.rot);
+            rotate_column_pairs(m, &scratch.rot);
+            rotate_row_pairs(qt, &scratch.rot);
+        }
+    }
+    if !converged {
+        // One final check: Jacobi nearly always converges in well under
+        // the sweep budget; treat leftover off-diagonal mass as failure.
+        if off_diagonal_norm(m) > 1e-8 * scale {
+            return Err(LinalgError::DidNotConverge {
+                op: "SymmetricEigen::new",
+                iterations: MAX_SWEEPS,
+            });
+        }
+    }
+
+    // Collect eigenvalues and sort descending, permuting eigenvectors.
+    let diag = &mut scratch.diag;
+    diag.clear();
+    diag.extend((0..n).map(|i| m[(i, i)]));
+    sort_and_extract(diag, qt, &mut scratch.idx, values, vectors);
+    Ok(())
 }
 
 /// Frobenius norm of the strictly upper triangle, accumulated row-major
@@ -488,7 +745,7 @@ mod tests {
         });
         let big = Matrix::from_fn(9, 9, |i, j| 0.5 * (big[(i, j)] + big[(j, i)]));
         let fresh = SymmetricEigen::new(&small).unwrap();
-        let mut scratch = JacobiScratch::default();
+        let mut scratch = EigenScratch::default();
         SymmetricEigen::new_with(&big, &mut scratch).unwrap();
         let warm = SymmetricEigen::new_with(&small, &mut scratch).unwrap();
         assert_eq!(fresh.values, warm.values);

@@ -4,10 +4,14 @@
 //!   closed-form ridge baseline and the influence-function baseline
 //!   (Hessian solves).
 //! * [`lu`] — general square solves / inverses / determinants.
-//! * [`qr`] — blocked Householder QR and modified Gram-Schmidt
+//! * [`qr`] — compact-WY blocked Householder QR and modified Gram-Schmidt
 //!   orthonormalisation; the building block of the randomized range finder.
-//! * [`eigen`] — round-robin cyclic Jacobi eigendecomposition of symmetric
-//!   matrices; the offline step of PrIU-opt (Eq. 17) and the basis for the
+//! * [`tridiag`] — blocked Householder tridiagonalisation `A = Q T Qᵀ` and
+//!   implicit-shift QL iteration; stage one and two of the default
+//!   symmetric eigensolver.
+//! * [`eigen`] — symmetric eigendecomposition: two-stage tridiag + QL by
+//!   default, round-robin cyclic Jacobi as the `PRIU_EIGEN=jacobi`
+//!   fallback; the offline step of PrIU-opt (Eq. 17) and the basis for the
 //!   incremental eigenvalue update (Eq. 18).
 //! * [`truncated`] — exact and randomized truncated eigendecompositions of
 //!   Gram forms `X^T diag(w) X`; the "SVD over the intermediate results"
@@ -27,12 +31,19 @@ pub mod cholesky;
 pub mod eigen;
 pub mod lu;
 pub mod qr;
+pub mod tridiag;
 pub mod truncated;
 
 pub use cholesky::{
     cholesky_factor_into, cholesky_factor_scalar_into, cholesky_solve_into, Cholesky,
 };
-pub use eigen::{JacobiScratch, SymmetricEigen};
+pub use eigen::{
+    eigen_into, eigen_scalar_into, with_eigen_method, EigenMethod, EigenScratch, JacobiScratch,
+    SymmetricEigen,
+};
 pub use lu::Lu;
-pub use qr::{qr_factor_into, qr_factor_scalar_into, Qr, QrScratch};
+pub use qr::{
+    qr_factor_into, qr_factor_per_reflector_into, qr_factor_scalar_into, Qr, QrScratch, QR_NB,
+};
+pub use tridiag::{tridiag_factor_into, tridiag_factor_scalar_into, TridiagScratch};
 pub use truncated::{GramFactor, TruncatedGram, TruncationMethod};

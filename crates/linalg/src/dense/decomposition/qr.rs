@@ -1,36 +1,45 @@
-//! QR factorisation (Householder) and modified Gram-Schmidt
-//! orthonormalisation.
+//! QR factorisation (Householder, compact-WY aggregated) and modified
+//! Gram-Schmidt orthonormalisation.
 //!
 //! The orthonormalisation routine is the work-horse of the randomized range
 //! finder used to compress PrIU's per-iteration intermediate results.
 //!
-//! # Blocked, pool-parallel factorisation
+//! # Compact-WY blocked, pool-parallel factorisation
 //!
-//! [`qr_factor_into`] reorganises the textbook Householder sweep into
-//! row-major friendly, chunk-parallel passes:
+//! [`qr_factor_into`] groups the Householder sweep into panels of
+//! [`QR_NB`] reflectors. Inside a panel each reflector is built and applied
+//! to the *panel columns only* with the classic two-pass scheme (per-column
+//! dots over column chunks, rank-1 update over row chunks). The panel's
+//! reflectors are then aggregated into compact-WY form
+//! `H_{k0} ⋯ H_{k1−1} = I − V·T·Vᵀ` (LAPACK `larft` forward-columnwise
+//! recurrence, `T` upper triangular with `T_jj = τ_j = 2/vⱼᵀvⱼ`), so that
 //!
-//! * **reflector application** — the per-column dots `vᵀ·R[:, j]` are
-//!   accumulated row-by-row (`dots[j] += v_i · R[i][j]`, contiguous reads,
-//!   vectorisable inner loop) and parallelised over *column* chunks, each of
-//!   which owns a disjoint slice of `dots` and still accumulates every
-//!   column in ascending row order; the rank-1 update
-//!   `R[i][j] −= scale_j · v_i` is parallelised over *row* chunks;
-//! * **thin `Q` by back-accumulation** — instead of accumulating a full
-//!   `n × n` `Q` (`O(n²m)`), the reflectors are stored and applied in
-//!   reverse order to `[I_m; 0]` (`O(n m²)`), with the same
-//!   column-chunk/row-chunk parallel passes.
+//! * the **trailing-matrix update** applies `I − V·Tᵀ·Vᵀ` as two
+//!   matmul-shaped pool passes — `W = VᵀX` then `W² = Tᵀ·W` over column
+//!   chunks, followed by `X −= V·W²` over row chunks — instead of
+//!   `2·nb` separate sweeps;
+//! * **thin `Q` by back-accumulation** applies the panels in reverse order
+//!   to `[I_m; 0]` as `I − V·T·Vᵀ` with the same two pool passes.
 //!
-//! **Determinism.** Every dot is accumulated in ascending row order one term
-//! at a time and every update element is a single fused expression, so the
-//! computation tree is independent of the chunk decomposition: the blocked
-//! path is **bitwise identical** to the plain-loop reference
-//! [`qr_factor_scalar_into`] and across any `PRIU_THREADS` (asserted by the
-//! `decomp_parity` suite). Both paths perform each element's multiply-add
-//! through the [`crate::simd`] layer (the chunk-parallel passes via the
-//! dispatched axpy / `fnma_scaled` kernels, the reference via the
-//! dispatched `madd` / `fnma` element ops), so the guarantee holds per
-//! `PRIU_SIMD` level — the Avx2 level fuses every multiply-add on both
-//! paths simultaneously.
+//! **Determinism.** Aggregating reflectors *changes the summation tree*
+//! (per-column chains accumulate `nb` reflector contributions through `W`
+//! instead of one at a time), so the plain-loop scalar reference
+//! [`qr_factor_scalar_into`] moves with it: both entry points execute the
+//! *same* panel driver and differ only in whether the three WY passes are
+//! chunk-parallel or sequential loops. Every per-element chain advances in
+//! ascending row (`i`), reflector (`p`), and accumulator (`q`) order with
+//! zero terms uniformly included, and chunk boundaries depend only on the
+//! shape — so the blocked path is **bitwise identical** to the scalar
+//! reference and across any `PRIU_THREADS` (asserted by `decomp_parity`).
+//! Both paths route each multiply-add through the [`crate::simd`] layer
+//! (chunked passes via the dispatched axpy / `fnma_scaled` kernels, the
+//! reference via the dispatched `madd` / `fnma` element ops), so the
+//! guarantee holds per `PRIU_SIMD` level.
+//!
+//! The pre-aggregation per-reflector driver survives as
+//! [`qr_factor_per_reflector_into`]: it computes the same factorisation
+//! through a different tree (numerically equal, not bitwise), and anchors
+//! the compact-WY equivalence suite and the decomposition benches.
 
 use crate::dense::matrix::Matrix;
 use crate::dense::vector::{axpy_slices, Vector};
@@ -38,13 +47,15 @@ use crate::error::{LinalgError, Result};
 use crate::par::{self, Chunks};
 use crate::simd;
 
-/// Minimum rows per chunk for the rank-1 update passes.
+/// Minimum rows per chunk for the rank-1 / WY update passes.
 const QR_MIN_CHUNK_ROWS: usize = 256;
 /// Minimum columns per chunk for the dot-accumulation passes (each column's
 /// dot costs a full row sweep, so columns are cheaper to split than rows).
 const QR_MIN_CHUNK_COLS: usize = 64;
 /// Chunk-count cap for both passes (map-style, disjoint outputs).
 const QR_MAX_CHUNKS: usize = 16;
+/// Compact-WY panel width: reflectors aggregated per `I − V·T·Vᵀ` block.
+pub const QR_NB: usize = 32;
 
 /// Scratch buffers for [`qr_factor_into`], reusable across factorisations of
 /// any shape (buffers grow to the largest problem seen and are then
@@ -60,6 +71,15 @@ pub struct QrScratch {
     dots: Vec<f64>,
     /// Squared norms `v_kᵀ v_k` (zero marks a skipped reflector).
     vnorms: Vec<f64>,
+    /// Stacked upper-triangular `T` blocks, one `QR_NB × QR_NB` block per
+    /// panel (panel `b` occupies rows `b·QR_NB ..`).
+    ts: Matrix,
+    /// WY pass-1 workspace `W = VᵀX` (`QR_NB` rows, tight `ncols` stride).
+    w: Vec<f64>,
+    /// WY pass-2 workspace `W² = T'·W` (same layout as `w`).
+    w2: Vec<f64>,
+    /// `Vᵀ·v_j` accumulator for the `larft` recurrence.
+    tmp: Vec<f64>,
 }
 
 /// Thin QR factorisation `A = Q R` with `Q` having orthonormal columns.
@@ -144,9 +164,9 @@ fn extract_r(rf: &Matrix, r: &mut Matrix, m: usize) {
     }
 }
 
-/// Blocked, pool-parallel thin Householder QR into caller-owned matrices
-/// (`q` reshaped to `n × m`, `r` to `m × m`, both reusing allocations;
-/// `scratch` reused across calls). Bitwise identical to
+/// Compact-WY blocked, pool-parallel thin Householder QR into caller-owned
+/// matrices (`q` reshaped to `n × m`, `r` to `m × m`, both reusing
+/// allocations; `scratch` reused across calls). Bitwise identical to
 /// [`qr_factor_scalar_into`] for any thread count.
 ///
 /// # Errors
@@ -157,18 +177,323 @@ pub fn qr_factor_into(
     r: &mut Matrix,
     scratch: &mut QrScratch,
 ) -> Result<()> {
-    qr_driver(a, q, r, scratch, apply_reflector)
+    qr_wy_driver(a, q, r, scratch, apply_reflector, wy_apply)
 }
 
 /// How a reflector `(x, v, v_norm_sq, row0, col0, col1, dots)` is applied.
-type ApplyFn = fn(&mut Matrix, &[f64], f64, usize, usize, usize, &mut [f64]);
+pub(crate) type ApplyFn = fn(&mut Matrix, &[f64], f64, usize, usize, usize, &mut [f64]);
 
-/// The shared factorisation driver: the single copy of the computation tree
-/// both public entry points execute, parameterised only over how a
-/// reflector is applied (chunk-parallel vs plain loops). Keeping one driver
-/// means a future change to the sweep structure cannot desynchronise the
-/// blocked path from its scalar reference.
-fn qr_driver(
+/// One compact-WY panel: `nb` reflectors starting at column `k0`, with the
+/// aggregated triangular factor in rows `t_row0 ..` of `ts`.
+struct WyPanel<'a> {
+    vs: &'a Matrix,
+    ts: &'a Matrix,
+    t_row0: usize,
+    k0: usize,
+    nb: usize,
+}
+
+/// How a WY block `(x, panel, col0, col1, transpose_t, w, w2)` is applied:
+/// `X[k0.., col0..col1] ← (I − V·T'·Vᵀ)·X` with `T' = Tᵀ` when
+/// `transpose_t` (trailing update applies the transposed product).
+type WyApplyFn = fn(&mut Matrix, &WyPanel<'_>, usize, usize, bool, &mut [f64], &mut [f64]);
+
+/// The shared compact-WY factorisation driver: the single copy of the
+/// computation tree both public entry points execute, parameterised only
+/// over how a reflector / WY block is applied (chunk-parallel vs plain
+/// loops). Keeping one driver means a future change to the panel schedule
+/// cannot desynchronise the blocked path from its scalar reference.
+fn qr_wy_driver(
+    a: &Matrix,
+    q: &mut Matrix,
+    r: &mut Matrix,
+    scratch: &mut QrScratch,
+    apply: ApplyFn,
+    wy: WyApplyFn,
+) -> Result<()> {
+    let (n, m) = validate_shape(a)?;
+    let QrScratch {
+        rf,
+        vs,
+        dots,
+        vnorms,
+        ts,
+        w,
+        w2,
+        tmp,
+    } = scratch;
+    // Capacity-reusing copy (Matrix::clone_from would reallocate).
+    rf.reshape_zeroed(n, m);
+    rf.as_mut_slice().copy_from_slice(a.as_slice());
+    vs.reshape_zeroed(m, n);
+    dots.clear();
+    dots.resize(m, 0.0);
+    vnorms.clear();
+    vnorms.resize(m, 0.0);
+    let num_panels = m.div_ceil(QR_NB);
+    ts.reshape_zeroed(num_panels * QR_NB, QR_NB);
+    w.clear();
+    w.resize(QR_NB * m, 0.0);
+    w2.clear();
+    w2.resize(QR_NB * m, 0.0);
+    tmp.clear();
+    tmp.resize(QR_NB, 0.0);
+
+    // Forward sweep: per panel, build each reflector and apply it to the
+    // remaining *panel* columns only, then aggregate the panel into
+    // `I − V·T·Vᵀ` and hit the trailing columns with two WY passes.
+    for (b, k0) in (0..m).step_by(QR_NB).enumerate() {
+        let k1 = (k0 + QR_NB).min(m);
+        #[allow(clippy::needless_range_loop)] // k is the reflector index throughout
+        for k in k0..k1 {
+            let v_norm_sq = build_reflector(rf, vs, k, n);
+            vnorms[k] = v_norm_sq;
+            if v_norm_sq == 0.0 {
+                continue;
+            }
+            apply(rf, vs.row(k), v_norm_sq, k, k, k1, dots);
+        }
+        build_t(vs, vnorms, ts, b * QR_NB, k0, k1 - k0, n, tmp);
+        if k1 < m && vnorms[k0..k1].iter().any(|&vn| vn != 0.0) {
+            let panel = WyPanel {
+                vs,
+                ts,
+                t_row0: b * QR_NB,
+                k0,
+                nb: k1 - k0,
+            };
+            // The product applied during factorisation is
+            // H_{k1−1} ⋯ H_{k0} = (I − V·T·Vᵀ)ᵀ = I − V·Tᵀ·Vᵀ.
+            wy(rf, &panel, k1, m, true, w, w2);
+        }
+    }
+    extract_r(rf, r, m);
+
+    // Thin Q by back-accumulation: Q = P_0 (P_1 (… P_{np−1} [I_m; 0]))
+    // with P_b = H_{k0} ⋯ H_{k1−1} = I − V·T·Vᵀ. Columns j < k0 of the
+    // partial product are still e_j when panel b runs (later panels only
+    // touch columns ≥ their own k0), so the column range k0..m covers
+    // every non-trivial column.
+    q.reshape_zeroed(n, m);
+    for j in 0..m {
+        q[(j, j)] = 1.0;
+    }
+    for (b, k0) in (0..m).step_by(QR_NB).enumerate().rev() {
+        let k1 = (k0 + QR_NB).min(m);
+        if vnorms[k0..k1].iter().all(|&vn| vn == 0.0) {
+            continue;
+        }
+        let panel = WyPanel {
+            vs,
+            ts,
+            t_row0: b * QR_NB,
+            k0,
+            nb: k1 - k0,
+        };
+        wy(q, &panel, k0, m, false, w, w2);
+    }
+    Ok(())
+}
+
+/// Aggregates panel reflectors into the upper-triangular `T` of
+/// `H_{k0} ⋯ H_{k0+nb−1} = I − V·T·Vᵀ` (LAPACK `larft` forward-columnwise):
+/// `T_jj = τ_j`, `T[0..j, j] = −τ_j · T[0..j, 0..j] · (Vᵀ v_j)`. Shared by
+/// both entry points — the per-column recurrence accumulates in ascending
+/// `q` order and the cross-reflector dots go through the dispatched
+/// [`simd::dot`], so the block is identical on the blocked and scalar paths.
+#[allow(clippy::too_many_arguments)]
+fn build_t(
+    vs: &Matrix,
+    vnorms: &[f64],
+    ts: &mut Matrix,
+    t_row0: usize,
+    k0: usize,
+    nb: usize,
+    n: usize,
+    tmp: &mut [f64],
+) {
+    for p in 0..nb {
+        ts.row_mut(t_row0 + p)[..nb].fill(0.0);
+    }
+    for j in 0..nb {
+        let vn = vnorms[k0 + j];
+        if vn == 0.0 {
+            continue; // skipped reflector: H_j = I, column j of T stays zero
+        }
+        let tau = 2.0 / vn;
+        // tmp[p] = v_pᵀ v_j; v_p is supported on rows k0+p..n and v_j on
+        // k0+j..n (j > p), so the dot runs over the intersection.
+        let vj = vs.row(k0 + j);
+        #[allow(clippy::needless_range_loop)] // p is the reflector index throughout
+        for p in 0..j {
+            tmp[p] = simd::dot(&vs.row(k0 + p)[k0 + j..n], &vj[k0 + j..n]);
+        }
+        for p in 0..j {
+            let mut acc = 0.0;
+            for q in p..j {
+                acc = simd::madd(acc, ts[(t_row0 + p, q)], tmp[q]);
+            }
+            ts[(t_row0 + p, j)] = -tau * acc;
+        }
+        ts[(t_row0 + j, j)] = tau;
+    }
+}
+
+/// Applies a compact-WY block `X ← (I − V·T'·Vᵀ)·X` to
+/// `x[k0.., col0..col1]` with three chunk-parallel passes:
+///
+/// 1. `W[p][j] = Σ_{i ≥ k0} v_p[i] · x[i][j]` — column chunks own disjoint
+///    column slices of every `W` row and sweep rows in ascending order,
+///    accumulating all `nb` reflectors per row (zero `v_p[i]` terms
+///    uniformly included, so the chain shape never depends on the data);
+/// 2. `W²[p][j] = Σ_q T'[p][q] · W[q][j]` — same column chunks, ascending
+///    `q`, zero `T'` entries included;
+/// 3. `x[i][j] −= Σ_p v_p[i] · W²[p][j]` — row chunks, ascending `p`, one
+///    fused [`simd::fnma_scaled`] lane per reflector.
+///
+/// Per-element arithmetic and accumulation order are identical to the plain
+/// loops in [`wy_apply_scalar`].
+fn wy_apply(
+    x: &mut Matrix,
+    panel: &WyPanel<'_>,
+    col0: usize,
+    col1: usize,
+    transpose_t: bool,
+    w: &mut [f64],
+    w2: &mut [f64],
+) {
+    let n = x.nrows();
+    let width = x.ncols();
+    let ncols = col1 - col0;
+    let (k0, nb) = (panel.k0, panel.nb);
+    let w = &mut w[..nb * ncols];
+    let w2 = &mut w2[..nb * ncols];
+
+    // Passes 1+2 share one column decomposition: each chunk fully computes
+    // its column slice of W and then of W², so no barrier is needed
+    // between them.
+    let col_chunks = Chunks::new(ncols, QR_MIN_CHUNK_COLS, QR_MAX_CHUNKS);
+    {
+        let x_ref = &*x;
+        let w_ptr = par::SendPtr(w.as_mut_ptr());
+        let w2_ptr = par::SendPtr(w2.as_mut_ptr());
+        par::run_chunks(col_chunks.count(), |ci| {
+            let range = col_chunks.range(ci);
+            // SAFETY: chunk `ci` touches only columns `range` of every W/W²
+            // row; the ranges are disjoint across chunks.
+            for p in 0..nb {
+                unsafe { w_ptr.slice(p * ncols + range.start, range.len()) }.fill(0.0);
+            }
+            for i in k0..n {
+                let row = &x_ref.row(i)[col0 + range.start..col0 + range.end];
+                for p in 0..nb {
+                    let w_p = unsafe { w_ptr.slice(p * ncols + range.start, range.len()) };
+                    axpy_slices(w_p, panel.vs[(k0 + p, i)], row);
+                }
+            }
+            for p in 0..nb {
+                let w2_p = unsafe { w2_ptr.slice(p * ncols + range.start, range.len()) };
+                w2_p.fill(0.0);
+                for q in 0..nb {
+                    let t = if transpose_t {
+                        panel.ts[(panel.t_row0 + q, p)]
+                    } else {
+                        panel.ts[(panel.t_row0 + p, q)]
+                    };
+                    let w_q = unsafe { w_ptr.slice(q * ncols + range.start, range.len()) };
+                    axpy_slices(w2_p, t, w_q);
+                }
+            }
+        });
+    }
+
+    // Pass 3 over disjoint row chunks.
+    let row_chunks = Chunks::new(n - k0, QR_MIN_CHUNK_ROWS, QR_MAX_CHUNKS);
+    let w2_ref = &*w2;
+    let vs = panel.vs;
+    let rows_below = &mut x.as_mut_slice()[k0 * width..];
+    par::map_chunks(&row_chunks, width, rows_below, |range, region| {
+        for (local, off) in range.enumerate() {
+            let i = k0 + off;
+            let row = &mut region[local * width + col0..local * width + col1];
+            for p in 0..nb {
+                simd::fnma_scaled(row, &w2_ref[p * ncols..(p + 1) * ncols], vs[(k0 + p, i)]);
+            }
+        }
+    });
+}
+
+/// Plain-loop WY block application (the reference tree): the same three
+/// passes as [`wy_apply`] as sequential loops, every multiply-add through
+/// the dispatched element ops in the same `i`/`p`/`q` order.
+fn wy_apply_scalar(
+    x: &mut Matrix,
+    panel: &WyPanel<'_>,
+    col0: usize,
+    col1: usize,
+    transpose_t: bool,
+    w: &mut [f64],
+    w2: &mut [f64],
+) {
+    let n = x.nrows();
+    let ncols = col1 - col0;
+    let (k0, nb) = (panel.k0, panel.nb);
+    let w = &mut w[..nb * ncols];
+    let w2 = &mut w2[..nb * ncols];
+
+    w.fill(0.0);
+    for i in k0..n {
+        for p in 0..nb {
+            let vpi = panel.vs[(k0 + p, i)];
+            for (slot, j) in w[p * ncols..(p + 1) * ncols].iter_mut().zip(col0..col1) {
+                *slot = simd::madd(*slot, vpi, x[(i, j)]);
+            }
+        }
+    }
+    w2.fill(0.0);
+    for p in 0..nb {
+        for q in 0..nb {
+            let t = if transpose_t {
+                panel.ts[(panel.t_row0 + q, p)]
+            } else {
+                panel.ts[(panel.t_row0 + p, q)]
+            };
+            for j in 0..ncols {
+                w2[p * ncols + j] = simd::madd(w2[p * ncols + j], t, w[q * ncols + j]);
+            }
+        }
+    }
+    for i in k0..n {
+        for p in 0..nb {
+            let vpi = panel.vs[(k0 + p, i)];
+            for (j, col) in (col0..col1).enumerate() {
+                x[(i, col)] = simd::fnma(x[(i, col)], w2[p * ncols + j], vpi);
+            }
+        }
+    }
+}
+
+/// The pre-aggregation driver: one reflector at a time over the full
+/// trailing column range, exactly the PR 4 schedule. Kept as a public
+/// entry point because it computes the same factorisation through a
+/// *different* summation tree — the compact-WY equivalence suite checks
+/// `qr_factor_into` against it numerically, and the decomposition benches
+/// use it as the per-reflector baseline.
+///
+/// # Errors
+/// See [`Qr::new`].
+pub fn qr_factor_per_reflector_into(
+    a: &Matrix,
+    q: &mut Matrix,
+    r: &mut Matrix,
+    scratch: &mut QrScratch,
+) -> Result<()> {
+    qr_reflector_driver(a, q, r, scratch, apply_reflector)
+}
+
+/// Per-reflector driver shared by [`qr_factor_per_reflector_into`] and the
+/// tridiagonalisation module's Q back-accumulation tests.
+fn qr_reflector_driver(
     a: &Matrix,
     q: &mut Matrix,
     r: &mut Matrix,
@@ -181,8 +506,8 @@ fn qr_driver(
         vs,
         dots,
         vnorms,
+        ..
     } = scratch;
-    // Capacity-reusing copy (Matrix::clone_from would reallocate).
     rf.reshape_zeroed(n, m);
     rf.as_mut_slice().copy_from_slice(a.as_slice());
     vs.reshape_zeroed(m, n);
@@ -191,7 +516,6 @@ fn qr_driver(
     vnorms.clear();
     vnorms.resize(m, 0.0);
 
-    // Forward sweep: build and apply each reflector to the trailing columns.
     #[allow(clippy::needless_range_loop)] // k is the reflector index throughout
     for k in 0..m {
         let v_norm_sq = build_reflector(rf, vs, k, n);
@@ -204,9 +528,6 @@ fn qr_driver(
     extract_r(rf, r, m);
 
     // Thin Q by back-accumulation: Q = H_0 (H_1 (… H_{m-1} [I_m; 0])).
-    // Reflector k only touches rows k..n, and column j of the partial
-    // product is still e_j until step j runs, so the column range k..m
-    // covers every non-trivial dot.
     q.reshape_zeroed(n, m);
     for j in 0..m {
         q[(j, j)] = 1.0;
@@ -223,8 +544,9 @@ fn qr_driver(
 /// Applies `H = I − 2 v vᵀ / (vᵀv)` to `x[row0.., col0..col1]` with the
 /// chunk-parallel two-pass scheme (dots over column chunks, update over row
 /// chunks). Per-element arithmetic and accumulation order are identical to
-/// the plain loops in [`qr_factor_scalar_into`].
-fn apply_reflector(
+/// the plain loops in [`apply_reflector_scalar`]. Shared with the
+/// tridiagonalisation module's Q back-accumulation.
+pub(crate) fn apply_reflector(
     x: &mut Matrix,
     v: &[f64],
     v_norm_sq: f64,
@@ -277,10 +599,10 @@ fn apply_reflector(
     });
 }
 
-/// The plain-loop reference: the same driver as [`qr_factor_into`] with
-/// every reflector applied by sequential loops instead of the
-/// chunk-parallel passes — used by the parity suite (bitwise) and the
-/// decomposition benches (scalar baseline).
+/// The plain-loop reference: the same compact-WY panel driver as
+/// [`qr_factor_into`] with every reflector and WY block applied by
+/// sequential loops instead of the chunk-parallel passes — used by the
+/// parity suite (bitwise) and the decomposition benches (scalar baseline).
 ///
 /// # Errors
 /// See [`Qr::new`].
@@ -290,11 +612,12 @@ pub fn qr_factor_scalar_into(
     r: &mut Matrix,
     scratch: &mut QrScratch,
 ) -> Result<()> {
-    qr_driver(a, q, r, scratch, apply_reflector_scalar)
+    qr_wy_driver(a, q, r, scratch, apply_reflector_scalar, wy_apply_scalar)
 }
 
-/// Plain-loop reflector application (the reference tree).
-fn apply_reflector_scalar(
+/// Plain-loop reflector application (the reference tree). Shared with the
+/// tridiagonalisation module's scalar Q back-accumulation.
+pub(crate) fn apply_reflector_scalar(
     x: &mut Matrix,
     v: &[f64],
     v_norm_sq: f64,
@@ -434,6 +757,31 @@ mod tests {
         qr_factor_scalar_into(&a, &mut q2, &mut r2, &mut scratch).unwrap();
         assert_eq!(q1, q2);
         assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn compact_wy_agrees_with_per_reflector() {
+        // 67×40 crosses the QR_NB=32 panel boundary. The diagonal boost
+        // keeps the columns independent (a rank-deficient input has no
+        // unique Q, so the two summation trees could legitimately diverge).
+        let a = Matrix::from_fn(67, 40, |i, j| {
+            (((i * 31 + j * 17) % 23) as f64 - 11.0) / 7.0 + if i == j { 5.0 } else { 0.0 }
+        });
+        let mut scratch = QrScratch::default();
+        let (mut q1, mut r1) = (Matrix::zeros(0, 0), Matrix::zeros(0, 0));
+        qr_factor_into(&a, &mut q1, &mut r1, &mut scratch).unwrap();
+        let (mut q2, mut r2) = (Matrix::zeros(0, 0), Matrix::zeros(0, 0));
+        qr_factor_per_reflector_into(&a, &mut q2, &mut r2, &mut scratch).unwrap();
+        for i in 0..67 {
+            for j in 0..40 {
+                assert!((q1[(i, j)] - q2[(i, j)]).abs() < 1e-12, "Q at {i},{j}");
+            }
+        }
+        for i in 0..40 {
+            for j in 0..40 {
+                assert!((r1[(i, j)] - r2[(i, j)]).abs() < 1e-10, "R at {i},{j}");
+            }
+        }
     }
 
     #[test]

@@ -6,10 +6,11 @@
 //! * **bitwise equality of the scalar, blocked and pool paths** — the
 //!   plain-loop scalar references produce the *same bits* as the blocked
 //!   kernels, under `PRIU_THREADS ∈ {1, 4}` pinned per call via
-//!   `par::with_threads` (for the eigen sweep the scalar reference is an
+//!   `par::with_threads` (for the Jacobi fallback the scalar reference is an
 //!   independent plain-loop reimplementation of the documented round-robin
 //!   schedule — same tree, zero shared code with the chunked production
-//!   path);
+//!   path; the default tridiag + QL pipeline checks `eigen_scalar_into`
+//!   against the pool path, and the Jacobi fallback numerically);
 //! * **edge cases** — 1×1, panel/chunk-boundary sizes, ill-conditioned
 //!   inputs (typed error or finite factor, never a NaN factor), and
 //!   non-SPD rejection with the failing pivot index on every path.
@@ -20,8 +21,10 @@
 //! decomposition.
 
 use priu_linalg::decomposition::{
-    cholesky_factor_into, cholesky_factor_scalar_into, cholesky_solve_into, qr_factor_into,
-    qr_factor_scalar_into, Cholesky, JacobiScratch, Qr, QrScratch, SymmetricEigen,
+    cholesky_factor_into, cholesky_factor_scalar_into, cholesky_solve_into, eigen_into,
+    eigen_scalar_into, qr_factor_into, qr_factor_per_reflector_into, qr_factor_scalar_into,
+    tridiag_factor_into, tridiag_factor_scalar_into, with_eigen_method, Cholesky, EigenMethod,
+    EigenScratch, Qr, QrScratch, SymmetricEigen, TridiagScratch,
 };
 use priu_linalg::{par, simd, LinalgError, Matrix, Vector};
 use priu_rng::Rng64;
@@ -414,30 +417,35 @@ fn eigen_scalar_blocked_and_pool_paths_are_bitwise_identical() {
     // The rotation microkernel is deliberately FMA-free, so the plain-loop
     // reference (computed once, outside any level override) must match the
     // production path bitwise on *every* SIMD level — eigenpairs are
-    // level-invariant, not merely level-consistent.
-    let mut scratch = JacobiScratch::default();
-    for (case, &n) in EIGEN_SIZES.iter().enumerate() {
-        let a = random_symmetric(n, 0xB0 + case as u64);
-        let (ref_values, ref_vectors) = reference_round_robin_eigen(&a);
-        for level in simd_levels() {
-            simd::with_level(level, || {
-                for threads in [1usize, 4] {
-                    let eig =
-                        par::with_threads(threads, || SymmetricEigen::new_with(&a, &mut scratch))
-                            .unwrap();
-                    assert_eq!(
-                        eig.values.as_slice(),
-                        &ref_values[..],
-                        "eigenvalues blocked({threads}) vs scalar reference n={n} ({level})"
-                    );
-                    assert_eq!(
-                        eig.vectors, ref_vectors,
-                        "eigenvectors blocked({threads}) vs scalar reference n={n} ({level})"
-                    );
-                }
-            });
+    // level-invariant, not merely level-consistent. Pinned to the Jacobi
+    // fallback: the reference reimplements the round-robin schedule, not the
+    // (default) tridiag + QL pipeline, which has its own parity suite below.
+    let mut scratch = EigenScratch::default();
+    with_eigen_method(EigenMethod::Jacobi, || {
+        for (case, &n) in EIGEN_SIZES.iter().enumerate() {
+            let a = random_symmetric(n, 0xB0 + case as u64);
+            let (ref_values, ref_vectors) = reference_round_robin_eigen(&a);
+            for level in simd_levels() {
+                simd::with_level(level, || {
+                    for threads in [1usize, 4] {
+                        let eig = par::with_threads(threads, || {
+                            SymmetricEigen::new_with(&a, &mut scratch)
+                        })
+                        .unwrap();
+                        assert_eq!(
+                            eig.values.as_slice(),
+                            &ref_values[..],
+                            "eigenvalues blocked({threads}) vs scalar reference n={n} ({level})"
+                        );
+                        assert_eq!(
+                            eig.vectors, ref_vectors,
+                            "eigenvectors blocked({threads}) vs scalar reference n={n} ({level})"
+                        );
+                    }
+                });
+            }
         }
-    }
+    });
 }
 
 #[test]
@@ -445,7 +453,7 @@ fn eigen_reconstructs_with_orthonormal_vectors() {
     // Includes a 256 case (pool path at scale) checked for the spectral
     // properties only — the O(n³)-per-sweep reference would dominate the
     // suite's runtime there.
-    let mut scratch = JacobiScratch::default();
+    let mut scratch = EigenScratch::default();
     for (case, &n) in [5usize, 33, 64, 192, 256].iter().enumerate() {
         let a = random_symmetric(n, 0xD0 + case as u64);
         let serial = par::with_threads(1, || SymmetricEigen::new_with(&a, &mut scratch)).unwrap();
@@ -502,8 +510,16 @@ fn decompositions_compose_under_nested_parallel_sections() {
         let mut l = Matrix::zeros(0, 0);
         cholesky_factor_into(&a, &mut l).unwrap();
         assert_eq!(l, scalar);
-        let eig = SymmetricEigen::new(&sym).unwrap();
+        let eig = with_eigen_method(EigenMethod::Jacobi, || SymmetricEigen::new(&sym)).unwrap();
         assert_eq!(eig.values.as_slice(), &ref_values[..]);
+        // The default tridiag + QL pipeline nests the same way: inside the
+        // override it still matches its own scalar reference bitwise.
+        let mut pooled = EigenScratch::default();
+        let mut reference = EigenScratch::default();
+        eigen_into(&sym, &mut pooled).unwrap();
+        eigen_scalar_into(&sym, &mut reference).unwrap();
+        assert_eq!(pooled.values(), reference.values());
+        assert_eq!(pooled.vectors(), reference.vectors());
     });
 }
 
@@ -524,4 +540,251 @@ fn solve_matches_eigen_inverse_application() {
         .zip(x_eig.as_slice())
         .fold(0.0_f64, |acc, (p, q)| acc.max((p - q).abs()));
     assert!(worst < 1e-9, "cholesky vs eigen solve: {worst}");
+}
+
+// ---------------------------------------------------------------------------
+// Tridiagonalization + implicit-shift QL (the default eigen pipeline)
+// ---------------------------------------------------------------------------
+
+/// Symmetric sizes straddling every boundary the two-stage pipeline has:
+/// the reflector row-chunk minimum, the rank-2 chunk minimum, the QL
+/// column-chunk minimum (128), up to the 512×512 acceptance shape.
+const TRI_SIZES: [usize; 12] = [1, 2, 3, 5, 31, 33, 64, 65, 127, 129, 256, 512];
+
+fn tridiagonal_from(d: &[f64], e: &[f64]) -> Matrix {
+    let n = d.len();
+    Matrix::from_fn(n, n, |i, j| {
+        if i == j {
+            d[i]
+        } else if i + 1 == j || j + 1 == i {
+            e[i.min(j)]
+        } else {
+            0.0
+        }
+    })
+}
+
+#[test]
+fn tridiag_scalar_blocked_and_pool_paths_are_bitwise_identical() {
+    // Both paths share the per-row `simd::dot` / `fnma` microkernels, so the
+    // bits agree *per SIMD level* (the Avx2 level fuses, the portable level
+    // does not) — exactly the Cholesky / QR contract.
+    let mut scratch = TridiagScratch::default();
+    let (mut qs, mut qb) = (Matrix::zeros(0, 0), Matrix::zeros(0, 0));
+    let (mut ds, mut es) = (Vec::new(), Vec::new());
+    let (mut db, mut eb) = (Vec::new(), Vec::new());
+    for level in simd_levels() {
+        simd::with_level(level, || {
+            for (case, &n) in TRI_SIZES.iter().enumerate() {
+                let a = random_symmetric(n, 0x100 + case as u64);
+                tridiag_factor_scalar_into(&a, &mut qs, &mut ds, &mut es, &mut scratch).unwrap();
+                for threads in [1usize, 4] {
+                    par::with_threads(threads, || {
+                        tridiag_factor_into(&a, &mut qb, &mut db, &mut eb, &mut scratch).unwrap()
+                    });
+                    assert_eq!(qb, qs, "Q blocked({threads}) vs scalar n={n} ({level})");
+                    assert_eq!(db, ds, "d blocked({threads}) vs scalar n={n} ({level})");
+                    assert_eq!(eb, es, "e blocked({threads}) vs scalar n={n} ({level})");
+                }
+            }
+        });
+    }
+}
+
+#[test]
+fn tridiag_reconstructs_with_orthogonal_q() {
+    let mut scratch = TridiagScratch::default();
+    let mut q = Matrix::zeros(0, 0);
+    let (mut d, mut e) = (Vec::new(), Vec::new());
+    for (case, &n) in [1usize, 2, 5, 33, 65, 129, 256, 512].iter().enumerate() {
+        let a = random_symmetric(n, 0x120 + case as u64);
+        tridiag_factor_into(&a, &mut q, &mut d, &mut e, &mut scratch).unwrap();
+        let t = tridiagonal_from(&d, &e);
+        let rec = q.matmul(&t).unwrap().matmul(&q.transpose()).unwrap();
+        let tol = 1e-12 * (n as f64).max(1.0);
+        assert!(
+            max_abs_diff(&rec, &a) < tol,
+            "Q·T·Qᵀ reconstruction n={n}: {}",
+            max_abs_diff(&rec, &a)
+        );
+        let qtq = q.transpose().matmul(&q).unwrap();
+        assert!(
+            max_abs_diff(&qtq, &Matrix::identity(n)) < tol,
+            "QᵀQ orthogonality n={n}"
+        );
+    }
+}
+
+#[test]
+fn eigen_pipeline_scalar_blocked_and_pool_paths_are_bitwise_identical() {
+    // `eigen_scalar_into` runs the plain-loop tridiagonalisation and the
+    // serial QL rotation application; the production path chunks both
+    // through the pool. Same summation tree per SIMD level, same bits.
+    let mut blocked = EigenScratch::default();
+    let mut reference = EigenScratch::default();
+    for level in simd_levels() {
+        simd::with_level(level, || {
+            for (case, &n) in [1usize, 2, 5, 31, 33, 64, 65, 127, 129, 256]
+                .iter()
+                .enumerate()
+            {
+                let a = random_symmetric(n, 0x140 + case as u64);
+                eigen_scalar_into(&a, &mut reference).unwrap();
+                for threads in [1usize, 4] {
+                    par::with_threads(threads, || eigen_into(&a, &mut blocked).unwrap());
+                    assert_eq!(
+                        blocked.values(),
+                        reference.values(),
+                        "eigenvalues blocked({threads}) vs scalar n={n} ({level})"
+                    );
+                    assert_eq!(
+                        blocked.vectors(),
+                        reference.vectors(),
+                        "eigenvectors blocked({threads}) vs scalar n={n} ({level})"
+                    );
+                }
+            }
+        });
+    }
+}
+
+#[test]
+fn eigen_pipeline_agrees_with_jacobi_numerically() {
+    // Different algorithms, different bits — but the same spectrum and the
+    // same invariant subspaces. Eigenvalues compare elementwise (both sort
+    // descending); eigenvectors compare through the reconstruction, which is
+    // basis-independent.
+    let mut pipeline = EigenScratch::default();
+    for (case, &n) in [2usize, 5, 31, 64, 127, 192].iter().enumerate() {
+        let a = random_symmetric(n, 0x160 + case as u64);
+        eigen_into(&a, &mut pipeline).unwrap();
+        let jacobi = with_eigen_method(EigenMethod::Jacobi, || SymmetricEigen::new(&a)).unwrap();
+        let tol = 1e-10 * (n as f64).max(1.0);
+        for (i, (got, want)) in pipeline
+            .values()
+            .iter()
+            .zip(jacobi.values.as_slice())
+            .enumerate()
+        {
+            assert!(
+                (got - want).abs() < tol,
+                "eigenvalue {i} n={n}: tridiag+QL {got} vs Jacobi {want}"
+            );
+        }
+        let lambda = Matrix::from_fn(n, n, |i, j| if i == j { pipeline.values()[i] } else { 0.0 });
+        let v = pipeline.vectors();
+        let rec = v.matmul(&lambda).unwrap().matmul(&v.transpose()).unwrap();
+        assert!(
+            max_abs_diff(&rec, &a) < tol,
+            "V·Λ·Vᵀ reconstruction n={n}: {}",
+            max_abs_diff(&rec, &a)
+        );
+        let vtv = v.transpose().matmul(v).unwrap();
+        assert!(
+            max_abs_diff(&vtv, &Matrix::identity(n)) < tol,
+            "VᵀV orthogonality n={n}"
+        );
+    }
+}
+
+#[test]
+fn eigen_pipeline_resolves_clustered_eigenvalues() {
+    // A = Q·D·Qᵀ with a heavily clustered spectrum (repeated eigenvalues
+    // force the QL deflation logic down the degenerate branch, and panel
+    // sizes 65/129 put the cluster across chunk boundaries). The recovered
+    // spectrum must match D and the reconstruction must close even though
+    // the eigenbasis inside a cluster is not unique.
+    let mut scratch = EigenScratch::default();
+    let mut qr_scratch = QrScratch::default();
+    let (mut q, mut r) = (Matrix::zeros(0, 0), Matrix::zeros(0, 0));
+    for (case, &n) in [65usize, 129].iter().enumerate() {
+        // Exact-multiplicity spectrum: half at 4, a quarter at −2, rest spread.
+        let spectrum: Vec<f64> = (0..n)
+            .map(|i| {
+                if i < n / 2 {
+                    4.0
+                } else if i < 3 * n / 4 {
+                    -2.0
+                } else {
+                    (i as f64) / (n as f64)
+                }
+            })
+            .collect();
+        let m = random_matrix(n, n, 0x180 + case as u64);
+        qr_factor_into(&m, &mut q, &mut r, &mut qr_scratch).unwrap();
+        let d = Matrix::from_fn(n, n, |i, j| if i == j { spectrum[i] } else { 0.0 });
+        let a = q.matmul(&d).unwrap().matmul(&q.transpose()).unwrap();
+
+        eigen_into(&a, &mut scratch).unwrap();
+        let mut want = spectrum.clone();
+        want.sort_unstable_by(|x, y| y.partial_cmp(x).unwrap());
+        let tol = 1e-10 * (n as f64);
+        for (i, (got, want)) in scratch.values().iter().zip(&want).enumerate() {
+            assert!(
+                (got - want).abs() < tol,
+                "clustered eigenvalue {i} n={n}: got {got}, want {want}"
+            );
+        }
+        let v = scratch.vectors();
+        let lambda = Matrix::from_fn(n, n, |i, j| if i == j { scratch.values()[i] } else { 0.0 });
+        let rec = v.matmul(&lambda).unwrap().matmul(&v.transpose()).unwrap();
+        assert!(
+            max_abs_diff(&rec, &a) < tol,
+            "clustered reconstruction n={n}: {}",
+            max_abs_diff(&rec, &a)
+        );
+        let vtv = v.transpose().matmul(v).unwrap();
+        assert!(
+            max_abs_diff(&vtv, &Matrix::identity(n)) < tol,
+            "clustered VᵀV orthogonality n={n}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compact-WY vs per-reflector QR
+// ---------------------------------------------------------------------------
+
+/// Panel-boundary shapes around `QR_NB = 32` on top of the main grid.
+const WY_EXTRA_SHAPES: [(usize, usize); 4] = [(32, 32), (33, 33), (64, 64), (96, 65)];
+
+#[test]
+fn compact_wy_qr_matches_per_reflector_numerically() {
+    // The WY aggregation reassociates the trailing update (two pool matmuls
+    // instead of m rank-1 applies), so the bits differ — but on a full-rank
+    // input the thin Householder Q/R pair is unique given the sign
+    // convention, so both drivers converge to the same factors numerically.
+    // Random dense matrices are full column rank (rows ≥ cols throughout).
+    let mut scratch = QrScratch::default();
+    let (mut q_wy, mut r_wy) = (Matrix::zeros(0, 0), Matrix::zeros(0, 0));
+    let (mut q_pr, mut r_pr) = (Matrix::zeros(0, 0), Matrix::zeros(0, 0));
+    let (mut q_pr4, mut r_pr4) = (Matrix::zeros(0, 0), Matrix::zeros(0, 0));
+    let shapes = QR_SHAPES.iter().chain(WY_EXTRA_SHAPES.iter());
+    for (case, &(n, m)) in shapes.enumerate() {
+        let a = random_matrix(n, m, 0x1A0 + case as u64);
+        qr_factor_into(&a, &mut q_wy, &mut r_wy, &mut scratch).unwrap();
+        qr_factor_per_reflector_into(&a, &mut q_pr, &mut r_pr, &mut scratch).unwrap();
+        let tol = 1e-11 * (n as f64).max(1.0);
+        assert!(
+            max_abs_diff(&q_wy, &q_pr) < tol,
+            "Q compact-WY vs per-reflector {n}x{m}: {}",
+            max_abs_diff(&q_wy, &q_pr)
+        );
+        assert!(
+            max_abs_diff(&r_wy, &r_pr) < tol,
+            "R compact-WY vs per-reflector {n}x{m}: {}",
+            max_abs_diff(&r_wy, &r_pr)
+        );
+        // The surviving per-reflector driver keeps its own pool-invariance
+        // guarantee: 1 thread and 4 threads produce identical bits.
+        par::with_threads(4, || {
+            qr_factor_per_reflector_into(&a, &mut q_pr4, &mut r_pr4, &mut scratch).unwrap()
+        });
+        let serial = par::with_threads(1, || {
+            qr_factor_per_reflector_into(&a, &mut q_pr, &mut r_pr, &mut scratch)
+        });
+        serial.unwrap();
+        assert_eq!(q_pr4, q_pr, "per-reflector pool invariance Q {n}x{m}");
+        assert_eq!(r_pr4, r_pr, "per-reflector pool invariance R {n}x{m}");
+    }
 }

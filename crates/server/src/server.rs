@@ -294,6 +294,11 @@ fn apply_batch(inner: &Inner, batch: ReadyBatch) {
                     survivors.push(id);
                 }
             }
+            // A retrain's successor carries the measured offline phase of
+            // its refit (training + provenance capture) — feed it to the
+            // flat retrain term so scheduling tracks the real eigensolver.
+            let refit_offline = (method == Method::Retrain)
+                .then(|| chained.session.capture_snapshot().training_seconds);
             let epoch = slot.commit(
                 Arc::new(chained.session),
                 survivors,
@@ -301,10 +306,11 @@ fn apply_batch(inner: &Inner, batch: ReadyBatch) {
                 method == Method::Retrain,
             );
             if let Some(model) = &cost {
-                model
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .observe(method, rows.len(), snapshot.num_samples, seconds);
+                let mut model = model.lock().unwrap_or_else(PoisonError::into_inner);
+                model.observe(method, rows.len(), snapshot.num_samples, seconds);
+                if let Some(offline) = refit_offline {
+                    model.observe_offline(offline);
+                }
             }
             for request in &batch.requests {
                 let (requested, applied) = live(&request.ids);
