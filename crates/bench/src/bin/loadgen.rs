@@ -1,4 +1,4 @@
-//! `loadgen` — load generator for the deletion service (`priu-server`).
+//! `loadgen` — load generator for the delta service (`priu-server`).
 //!
 //! Drives a grid of (concurrent sessions) × (coalescing on/off) cells.
 //! Each cell starts one server, registers N linear sessions and runs, per
@@ -7,13 +7,20 @@
 //! for). Latencies are recorded per request — predict latency is the
 //! synchronous snapshot round trip, delete latency spans admission to
 //! batch commit (so it includes the coalescing window by design) — and
-//! summarised as p50/p99 into a `BENCH_6.json` next to the other BENCH
-//! records. A wire section additionally round-trips predicts through the
+//! summarised as p50/p99 into a `BENCH_8.json` next to the other BENCH
+//! records. A **sliding-window** section additionally runs the
+//! bidirectional workload: per session one streamer issues single-row
+//! `tick`s (append one fresh row, retain the last `W`) while a deleter
+//! removes mid-window rows and a predictor hammers the snapshot —
+//! predict/delete/add latencies all recorded. A **rank-1** section
+//! measures appending one row to a 2000×256 closed-form capture via the
+//! rank-1 Gram/Cholesky update against rebuilding the capture from
+//! scratch. A wire section round-trips predicts through the
 //! length-prefixed protocol over the in-memory duplex transport.
 //!
 //! ```text
 //! loadgen [--sessions 1,4,16] [--seconds 0.5] [--coalesce both|on|off]
-//!         [--out BENCH_6.json] [--date YYYY-MM-DD]
+//!         [--out BENCH_8.json] [--date YYYY-MM-DD]
 //! ```
 
 use std::collections::HashMap;
@@ -24,13 +31,18 @@ use std::time::{Duration, Instant, SystemTime};
 use std::{env, process::ExitCode, thread};
 
 use priu_bench::report::JsonValue;
-use priu_core::{Session, SessionBuilder, TrainerConfig};
+use priu_core::baseline::closed_form::{
+    closed_form_delta_with, closed_form_full, ClosedFormCapture,
+};
+use priu_core::{Session, SessionBuilder, TrainerConfig, Workspace};
 use priu_data::catalog::Hyperparameters;
+use priu_data::dataset::{DenseDataset, Labels};
 use priu_data::synthetic::regression::{generate_regression, RegressionConfig};
 use priu_linalg::simd;
+use priu_linalg::{Matrix, Vector};
 use priu_server::{
-    decode_response, duplex, encode_request, read_frame, write_frame, PlannerConfig, Request,
-    RequestEnvelope, Response, Server, ServerConfig,
+    decode_response, duplex, encode_request, read_frame, write_frame, AddedRows, PlannerConfig,
+    Request, RequestEnvelope, Response, Server, ServerConfig,
 };
 
 const SAMPLES_PER_SESSION: usize = 300;
@@ -52,7 +64,7 @@ fn parse_args() -> Result<Cli, String> {
         sessions: vec![1, 4, 16],
         seconds: 0.5,
         modes: vec![true, false],
-        out: "BENCH_6.json".to_string(),
+        out: "BENCH_8.json".to_string(),
         date: None,
     };
     let mut args = env::args().skip(1);
@@ -94,7 +106,7 @@ fn parse_args() -> Result<Cli, String> {
             "--help" | "-h" => {
                 eprintln!(
                     "loadgen [--sessions 1,4,16] [--seconds 0.5] \
-                     [--coalesce both|on|off] [--out BENCH_6.json] [--date YYYY-MM-DD]"
+                     [--coalesce both|on|off] [--out BENCH_8.json] [--date YYYY-MM-DD]"
                 );
                 std::process::exit(0);
             }
@@ -266,6 +278,242 @@ fn run_cell(sessions: usize, coalesce: bool, seconds: f64) -> CellResult {
     }
 }
 
+struct WindowResult {
+    sessions: usize,
+    wall_seconds: f64,
+    predicts: Vec<u64>,
+    deletes: Vec<u64>,
+    adds: Vec<u64>,
+    rows_added: u64,
+    rows_expired: u64,
+    rows_deleted: u64,
+    batches: u64,
+    final_samples: usize,
+}
+
+/// A deterministic fresh row for the streaming workload (a tiny
+/// splitmix-style hash keeps rows distinct without an RNG dependency).
+fn fresh_row(counter: u64) -> AddedRows {
+    let mut features = Vec::with_capacity(FEATURES);
+    for i in 0..FEATURES {
+        let mut z = counter
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(i as u64);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        features.push(((z >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0);
+    }
+    let label = features.iter().sum::<f64>() * 0.5;
+    AddedRows {
+        num_features: FEATURES,
+        features,
+        labels: vec![label],
+    }
+}
+
+/// The bidirectional sliding-window workload: per session one streamer
+/// issues single-row `tick`s (append one row, retain the last
+/// `SAMPLES_PER_SESSION`), one deleter removes mid-window rows by stable
+/// id, one predictor hammers the snapshot. Coalescing is always on — the
+/// planner folds ticks and deletes into mixed batches.
+fn run_window_cell(sessions: usize, seconds: f64) -> WindowResult {
+    let server = Arc::new(Server::start(ServerConfig {
+        planner: PlannerConfig {
+            window: Duration::from_millis(2),
+            max_batch: 64,
+            coalesce: true,
+        },
+        ..ServerConfig::default()
+    }));
+    let names: Vec<String> = (0..sessions).map(|s| format!("w{s}")).collect();
+    for (s, name) in names.iter().enumerate() {
+        server
+            .register_session(name, fit_session(0x8000 + s as u64))
+            .expect("register");
+    }
+
+    let barrier = Arc::new(Barrier::new(3 * sessions + 1));
+    let done = Arc::new(AtomicBool::new(false));
+    let mut predictors = Vec::new();
+    let mut streamers = Vec::new();
+    let mut deleters = Vec::new();
+    for (s, name) in names.iter().enumerate() {
+        {
+            let server = Arc::clone(&server);
+            let barrier = Arc::clone(&barrier);
+            let done = Arc::clone(&done);
+            let name = name.clone();
+            predictors.push(thread::spawn(move || {
+                let probe: Vec<f64> = (0..FEATURES).map(|i| 0.25 * (i as f64 + 1.0)).collect();
+                let mut latencies = Vec::new();
+                barrier.wait();
+                while !done.load(Ordering::Acquire) {
+                    let t0 = Instant::now();
+                    server.predict(&name, &probe).expect("predict");
+                    latencies.push(t0.elapsed().as_nanos() as u64);
+                }
+                latencies
+            }));
+        }
+        {
+            // The streamer: single-row ticks with a constant retention
+            // window, so every committed tick expires the oldest row.
+            let server = Arc::clone(&server);
+            let barrier = Arc::clone(&barrier);
+            let done = Arc::clone(&done);
+            let name = name.clone();
+            let seed = 0x9000 + ((s as u64) << 8);
+            streamers.push(thread::spawn(move || {
+                let mut latencies = Vec::new();
+                let (mut added, mut expired) = (0u64, 0u64);
+                let mut counter = seed;
+                barrier.wait();
+                // A window slightly below the registration size, so the
+                // very first tick batch already expires the oldest rows.
+                let keep = SAMPLES_PER_SESSION as u64 - 20;
+                while !done.load(Ordering::Acquire) && added < DELETE_BUDGET {
+                    counter += 1;
+                    let t0 = Instant::now();
+                    let ticket = server
+                        .tick(&name, Some(fresh_row(counter)), keep)
+                        .expect("tick");
+                    let reply = ticket.wait().expect("tick ticket");
+                    latencies.push(t0.elapsed().as_nanos() as u64);
+                    added += reply.added as u64;
+                    expired += reply.expired as u64;
+                    thread::sleep(Duration::from_micros(200));
+                }
+                let _ = server.flush(&name);
+                (latencies, added, expired)
+            }));
+        }
+        {
+            // The deleter: single-row deletes walking down from the top of
+            // the registration-time ids — the rows retention expires last,
+            // so early requests hit live rows even as the window slides.
+            let server = Arc::clone(&server);
+            let barrier = Arc::clone(&barrier);
+            let done = Arc::clone(&done);
+            let name = name.clone();
+            deleters.push(thread::spawn(move || {
+                let mut latencies = Vec::new();
+                let mut removed = 0u64;
+                let mut issued = 0u64;
+                barrier.wait();
+                while !done.load(Ordering::Acquire) && issued < DELETE_BUDGET {
+                    let id = SAMPLES_PER_SESSION as u64 - 1 - issued;
+                    issued += 1;
+                    let t0 = Instant::now();
+                    let ticket = server.delete(&name, &[id]).expect("delete");
+                    let reply = ticket.wait().expect("delete ticket");
+                    latencies.push(t0.elapsed().as_nanos() as u64);
+                    removed += reply.applied as u64;
+                    thread::sleep(Duration::from_micros(400));
+                }
+                let _ = server.flush(&name);
+                (latencies, removed)
+            }));
+        }
+    }
+
+    barrier.wait();
+    let t0 = Instant::now();
+    thread::sleep(Duration::from_secs_f64(seconds));
+    done.store(true, Ordering::Release);
+    let mut predicts: Vec<u64> = Vec::new();
+    for handle in predictors {
+        predicts.extend(handle.join().expect("predictor"));
+    }
+    let mut adds: Vec<u64> = Vec::new();
+    let (mut rows_added, mut rows_expired) = (0u64, 0u64);
+    for handle in streamers {
+        let (latencies, added, expired) = handle.join().expect("streamer");
+        adds.extend(latencies);
+        rows_added += added;
+        rows_expired += expired;
+    }
+    let mut deletes: Vec<u64> = Vec::new();
+    let mut rows_deleted = 0u64;
+    for handle in deleters {
+        let (latencies, removed) = handle.join().expect("deleter");
+        deletes.extend(latencies);
+        rows_deleted += removed;
+    }
+    let wall_seconds = t0.elapsed().as_secs_f64();
+
+    let mut batches = 0u64;
+    let mut final_samples = 0usize;
+    for name in &names {
+        let stats = server.stats(name).expect("stats");
+        batches += stats.epoch;
+        final_samples += stats.num_samples;
+    }
+    server.shutdown();
+    predicts.sort_unstable();
+    deletes.sort_unstable();
+    adds.sort_unstable();
+    WindowResult {
+        sessions,
+        wall_seconds,
+        predicts,
+        deletes,
+        adds,
+        rows_added,
+        rows_expired,
+        rows_deleted,
+        batches,
+        final_samples,
+    }
+}
+
+/// Rank-1 addition against capture rebuild at 2000×256: appending one row
+/// to the closed-form normal equations via the rank-1 Gram/Cholesky
+/// update (+ solve) versus recomputing `XᵀX`/`XᵀY` over all 2001 rows
+/// from scratch (+ solve). The ratio is what makes warm additions
+/// serveable online.
+fn run_rank1_section() -> (f64, f64, f64) {
+    const N: usize = 2000;
+    const M: usize = 256;
+    let data = generate_regression(&RegressionConfig {
+        num_samples: N,
+        num_features: M,
+        noise_std: 0.1,
+        seed: 0x8801,
+        ..Default::default()
+    });
+    let capture = ClosedFormCapture::build(&data, 0.05).expect("capture");
+    let row: Vec<f64> = (0..M)
+        .map(|i| ((i * 37 + 11) % 97) as f64 / 97.0 - 0.5)
+        .collect();
+    let added = DenseDataset::new(
+        Matrix::from_vec(1, M, row).expect("added row"),
+        Labels::Continuous(Vector::from_vec(vec![0.75])),
+    );
+    let mut appended = data.clone();
+    appended.append(&added).expect("append");
+    let mut ws = Workspace::new();
+
+    // Warm both paths once, then time fixed iteration counts.
+    let _ = closed_form_delta_with(&data, &capture, &[], &added, &mut ws).expect("rank-1");
+    let rebuilt = ClosedFormCapture::build(&appended, 0.05).expect("rebuild");
+    let _ = closed_form_full(&rebuilt).expect("solve");
+
+    const RANK1_ITERS: u32 = 20;
+    let t0 = Instant::now();
+    for _ in 0..RANK1_ITERS {
+        let _ = closed_form_delta_with(&data, &capture, &[], &added, &mut ws).expect("rank-1");
+    }
+    let rank1_us = t0.elapsed().as_secs_f64() * 1e6 / f64::from(RANK1_ITERS);
+
+    const REBUILD_ITERS: u32 = 5;
+    let t0 = Instant::now();
+    for _ in 0..REBUILD_ITERS {
+        let rebuilt = ClosedFormCapture::build(&appended, 0.05).expect("rebuild");
+        let _ = closed_form_full(&rebuilt).expect("solve");
+    }
+    let rebuild_us = t0.elapsed().as_secs_f64() * 1e6 / f64::from(REBUILD_ITERS);
+    (rank1_us, rebuild_us, rebuild_us / rank1_us)
+}
+
 /// Predict round trips through the length-prefixed protocol over the
 /// in-memory duplex (reader thread + responder included in the measured
 /// path). Returns sorted per-request latencies in µs.
@@ -361,6 +609,30 @@ fn cell_json(cell: &CellResult) -> JsonValue {
     out
 }
 
+fn window_json(cell: &WindowResult) -> JsonValue {
+    let latency = |sorted: &[u64], wall: f64| {
+        let mut out = JsonValue::object();
+        out.push("count", sorted.len())
+            .push("p50_us", percentile_us(sorted, 50.0))
+            .push("p99_us", percentile_us(sorted, 99.0))
+            .push("throughput_per_s", sorted.len() as f64 / wall);
+        out
+    };
+    let mut out = JsonValue::object();
+    out.push("sessions", cell.sessions)
+        .push("wall_seconds", cell.wall_seconds)
+        .push("window_rows", SAMPLES_PER_SESSION - 20)
+        .push("predict", latency(&cell.predicts, cell.wall_seconds))
+        .push("delete", latency(&cell.deletes, cell.wall_seconds))
+        .push("add", latency(&cell.adds, cell.wall_seconds))
+        .push("rows_added", cell.rows_added)
+        .push("rows_expired", cell.rows_expired)
+        .push("rows_deleted", cell.rows_deleted)
+        .push("batches", cell.batches)
+        .push("final_samples", cell.final_samples);
+    out
+}
+
 fn main() -> ExitCode {
     let cli = match parse_args() {
         Ok(cli) => cli,
@@ -381,6 +653,16 @@ fn main() -> ExitCode {
             cells.push(run_cell(sessions, coalesce, cli.seconds));
         }
     }
+    let mut windows = Vec::new();
+    for &sessions in &cli.sessions {
+        eprintln!(
+            "loadgen: sliding window, {sessions} session(s), {}s ...",
+            cli.seconds
+        );
+        windows.push(run_window_cell(sessions, cli.seconds));
+    }
+    eprintln!("loadgen: rank-1 add vs capture rebuild at 2000x256 ...");
+    let (rank1_us, rebuild_us, speedup) = run_rank1_section();
     let wire = run_wire_section(200);
 
     let mut environment = JsonValue::object();
@@ -414,12 +696,19 @@ fn main() -> ExitCode {
         .push("predict_round_trips", wire.len())
         .push("p50_us", percentile_us(&wire, 50.0))
         .push("p99_us", percentile_us(&wire, 99.0));
+    let mut rank1_json = JsonValue::object();
+    rank1_json
+        .push("shape", "2000x256 linear, append 1 row")
+        .push("rank1_update_us", rank1_us)
+        .push("rebuild_capture_us", rebuild_us)
+        .push("speedup", speedup);
 
     let mut doc = JsonValue::object();
-    doc.push("pr", 6i64)
+    doc.push("pr", 8i64)
         .push(
             "label",
-            "deletion-as-a-service: multi-session server, coalescing planner, cost-model scheduler",
+            "bidirectional delta engine: sliding-window serving, mixed add/delete batches, \
+             rank-1 closed-form additions",
         )
         .push("date", cli.date.unwrap_or_else(today))
         .push("environment", environment)
@@ -428,6 +717,11 @@ fn main() -> ExitCode {
             "grid",
             JsonValue::Array(cells.iter().map(cell_json).collect()),
         )
+        .push(
+            "sliding_window",
+            JsonValue::Array(windows.iter().map(window_json).collect()),
+        )
+        .push("rank1_add", rank1_json)
         .push("wire", wire_json);
 
     let rendered = doc.render();
@@ -453,6 +747,20 @@ fn main() -> ExitCode {
             },
         );
     }
+    for cell in &windows {
+        eprintln!(
+            "loadgen: window sessions={:2} adds={:4} (p50 {:5.0}us) deletes={:4} \
+             expired={:4} batches={:3} final_samples={}",
+            cell.sessions,
+            cell.rows_added,
+            percentile_us(&cell.adds, 50.0),
+            cell.rows_deleted,
+            cell.rows_expired,
+            cell.batches,
+            cell.final_samples,
+        );
+    }
+    eprintln!("loadgen: rank-1 add {rank1_us:.0}us vs rebuild {rebuild_us:.0}us ({speedup:.1}x)");
     eprintln!("loadgen: wrote {}", cli.out);
     ExitCode::SUCCESS
 }

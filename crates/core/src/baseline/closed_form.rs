@@ -149,6 +149,112 @@ pub fn closed_form_incremental_with(
     Model::new(ModelKind::Linear, vec![w])
 }
 
+/// Like [`closed_form_incremental_with`], additionally folding a block of
+/// added rows into the views before solving — the bidirectional delta form
+/// of normal-equation maintenance: `M' = M − ΔXᵀΔX + AᵀA`,
+/// `N' = N − ΔXᵀΔY + AᵀY_A`, then one regularised solve with
+/// `n' = n − |Δ| + |A|`. Cost `O((Δn + |A|)·m² + m³)`, independent of `n`.
+///
+/// # Errors
+/// Label mismatches (on either the session dataset or the added block),
+/// invalid removals and factorisation failures are reported as usual.
+pub fn closed_form_delta_with(
+    dataset: &DenseDataset,
+    capture: &ClosedFormCapture,
+    removed: &[usize],
+    added: &DenseDataset,
+    ws: &mut Workspace,
+) -> Result<Model> {
+    let y = dataset
+        .labels
+        .as_continuous()
+        .ok_or(CoreError::LabelMismatch {
+            expected: "continuous labels for the closed-form baseline",
+        })?;
+    let y_added = added
+        .labels
+        .as_continuous()
+        .ok_or(CoreError::LabelMismatch {
+            expected: "continuous labels for rows added to the closed-form baseline",
+        })?;
+    let removed = normalize_removed(dataset.num_samples(), removed)?;
+    if removed.len() >= capture.num_samples {
+        return Err(CoreError::InvalidRemoval {
+            index: capture.num_samples,
+            num_samples: capture.num_samples,
+        });
+    }
+    let m = dataset.num_features();
+    let k = added.num_samples();
+
+    // Stage 1 — downdate the removed block, exactly as the incremental path.
+    ws.batch.clear();
+    ws.batch.extend_from_slice(&removed);
+    ws.select_batch_rows(&dataset.x);
+    ws.prepare_batch(removed.len());
+    ws.prepare_features(m);
+    ws.prepare_square(m);
+    {
+        let Workspace {
+            rows: delta_x,
+            b0: delta_y,
+            m0: xty,
+            mm0: xtx,
+            mm1: factor,
+            ..
+        } = ws;
+        for (slot, &i) in removed.iter().enumerate() {
+            delta_y[slot] = y[i];
+        }
+        xtx.as_mut_slice().copy_from_slice(capture.xtx.as_slice());
+        delta_x.weighted_gram_into(None, factor);
+        xtx.axpy(-1.0, factor)?;
+        delta_x.transpose_matvec_into(delta_y, xty)?;
+        for (slot, full) in xty.iter_mut().zip(capture.xty.iter()) {
+            *slot = full - *slot;
+        }
+    }
+
+    // Stage 2 — fold the added block in (same buffers, re-staged; the
+    // feature accumulators `m0`/`m1` survive the batch re-preparation).
+    if k > 0 {
+        ws.batch.clear();
+        ws.batch.extend(0..k);
+        ws.select_batch_rows(&added.x);
+        ws.prepare_batch(k);
+        let Workspace {
+            rows: added_x,
+            b0: added_y,
+            m0: xty,
+            m1: tmp,
+            mm0: xtx,
+            mm1: factor,
+            ..
+        } = ws;
+        added_y.copy_from_slice(y_added);
+        added_x.weighted_gram_into(None, factor);
+        xtx.axpy(1.0, factor)?;
+        added_x.transpose_matvec_into(added_y, tmp)?;
+        for (acc, inc) in xty.iter_mut().zip(tmp.iter()) {
+            *acc += *inc;
+        }
+    }
+
+    // Regularised normal equations via the blocked Cholesky `_into` pair.
+    let n_u = capture.num_samples - removed.len() + k;
+    let Workspace {
+        m0: xty,
+        mm0: xtx,
+        mm1: factor,
+        ..
+    } = ws;
+    xtx.add_diagonal_mut(n_u as f64 * capture.regularization / 2.0)?;
+    cholesky_factor_into(xtx, factor)?;
+    let mut w = Vector::zeros(m);
+    cholesky_solve_into(factor, xty, w.as_mut_slice())?;
+    Model::new(ModelKind::Linear, vec![w])
+}
+
 fn solve(mut xtx: Matrix, xty: Vector, n: usize, regularization: f64) -> Result<Model> {
     xtx.add_diagonal_mut(n as f64 * regularization / 2.0)?;
     let chol = Cholesky::new(&xtx)?;
@@ -200,6 +306,38 @@ mod tests {
 
         let diff = (&incremental.flatten() - &fresh.flatten()).norm_inf();
         assert!(diff < 1e-8, "difference {diff}");
+    }
+
+    #[test]
+    fn delta_update_equals_rebuilding_from_scratch() {
+        let data = dataset();
+        let capture = ClosedFormCapture::build(&data, 1e-3).unwrap();
+        let removed = random_subsets(data.num_samples(), 0.1, 1, 7)[0].clone();
+        let added = generate_regression(&RegressionConfig {
+            num_samples: 30,
+            num_features: 6,
+            noise_std: 0.05,
+            seed: 97,
+            ..Default::default()
+        });
+        let mut ws = Workspace::new();
+        let delta = closed_form_delta_with(&data, &capture, &removed, &added, &mut ws).unwrap();
+
+        // Ground truth: rebuild the views over survivors + added rows.
+        let kept: Vec<usize> = (0..data.num_samples())
+            .filter(|i| !removed.contains(i))
+            .collect();
+        let mut remaining = data.select(&kept);
+        remaining.append(&added).unwrap();
+        let fresh = closed_form_full(&ClosedFormCapture::build(&remaining, 1e-3).unwrap()).unwrap();
+        let diff = (&delta.flatten() - &fresh.flatten()).norm_inf();
+        assert!(diff < 1e-8, "difference {diff}");
+
+        // An empty added block reduces to the removal-only incremental path.
+        let empty = DenseDataset::new(Matrix::zeros(0, 6), Labels::Continuous(Vector::zeros(0)));
+        let removal_only = closed_form_incremental(&data, &capture, &removed).unwrap();
+        let via_delta = closed_form_delta_with(&data, &capture, &removed, &empty, &mut ws).unwrap();
+        assert_eq!(removal_only, via_delta);
     }
 
     #[test]

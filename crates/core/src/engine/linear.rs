@@ -6,17 +6,20 @@ use priu_data::dataset::{DenseDataset, TaskKind};
 use priu_linalg::decomposition::eigen::SymmetricEigen;
 use priu_linalg::Vector;
 
-use crate::baseline::closed_form::{closed_form_incremental_with, ClosedFormCapture};
+use crate::baseline::closed_form::{
+    closed_form_delta_with, closed_form_incremental_with, ClosedFormCapture,
+};
 use crate::baseline::influence::influence_update;
 use crate::baseline::retrain::retrain_linear;
 use crate::capture::{LinearIterationCache, LinearOptCapture, LinearProvenance, ProvenanceMemory};
 use crate::config::TrainerConfig;
 use crate::engine::{
-    split_survivors, timed_update, ChainedUpdate, DeletionEngine, Method, Session, UpdateOutcome,
+    appended_batches, split_survivors, timed_update, ChainedUpdate, DeletionEngine, Delta,
+    DeltaRows, Method, Session, UpdateOutcome,
 };
 use crate::error::{CoreError, Result};
-use crate::model::Model;
-use crate::trainer::linear::{train_linear_with, TrainedLinear};
+use crate::model::{Model, ModelKind};
+use crate::trainer::linear::{linear_step, train_linear_with, TrainedLinear};
 use crate::update::priu_linear::priu_update_linear_with;
 use crate::update::priu_opt_linear::priu_opt_update_linear_with;
 use crate::update::{normalize_removed, removed_positions};
@@ -122,6 +125,160 @@ impl LinearEngine {
         ws.reserve_gram_scratch(max_deflation);
         ws
     }
+
+    /// Validates a delta's added rows against this session: dense block,
+    /// matching feature width, continuous labels. Returns `None` for
+    /// deltas that add nothing (including an explicitly empty block).
+    fn validate_added<'a>(&self, delta: &'a Delta) -> Result<Option<&'a DenseDataset>> {
+        match &delta.added {
+            None => Ok(None),
+            Some(DeltaRows::Sparse(_)) => Err(CoreError::InvalidConfig(
+                "sparse rows cannot be added to a dense linear session".to_string(),
+            )),
+            Some(DeltaRows::Dense(rows)) => {
+                if rows.num_features() != self.dataset.num_features() {
+                    return Err(CoreError::InvalidConfig(format!(
+                        "added rows have {} features, the session has {}",
+                        rows.num_features(),
+                        self.dataset.num_features()
+                    )));
+                }
+                if rows.labels.as_continuous().is_none() {
+                    return Err(CoreError::LabelMismatch {
+                        expected: "continuous labels for rows added to a linear session",
+                    });
+                }
+                Ok((rows.num_samples() > 0).then_some(rows))
+            }
+        }
+    }
+
+    /// Runs the appended explicit-batch GD steps over `added`, chunked by
+    /// the schedule's batch size, warm-started from `w` (mutated in place).
+    /// When `captures` is provided, one iteration cache per appended batch
+    /// is collected (the apply path); without it the warm path allocates
+    /// nothing per step.
+    fn addition_steps(
+        &self,
+        added: &DenseDataset,
+        w: &mut Vector,
+        ws: &mut Workspace,
+        mut captures: Option<&mut Vec<LinearIterationCache>>,
+    ) -> Result<()> {
+        let y = added
+            .labels
+            .as_continuous()
+            .expect("added rows were validated as continuous");
+        let provenance = &self.trained.provenance;
+        let (eta, lambda) = (provenance.learning_rate, provenance.regularization);
+        for batch in appended_batches(0, added.num_samples(), provenance.schedule.batch_size()) {
+            ws.batch.clear();
+            ws.batch.extend_from_slice(&batch);
+            let cache = linear_step(
+                &added.x,
+                y,
+                w,
+                eta,
+                lambda,
+                captures.as_ref().map(|_| self.config.compression),
+                ws,
+            )?;
+            if let (Some(caps), Some(cache)) = (captures.as_deref_mut(), cache) {
+                caps.push(cache);
+            }
+        }
+        if !w.is_finite() {
+            return Err(CoreError::Diverged {
+                iteration: provenance.schedule.num_iterations(),
+            });
+        }
+        Ok(())
+    }
+
+    /// One timed closed-form solve folding the whole delta into the
+    /// normal-equation views (downdate removed, update added, solve once).
+    fn closed_form_delta(&self, removed: &[usize], added: &DenseDataset) -> Result<UpdateOutcome> {
+        let capture = self
+            .closed_form
+            .as_ref()
+            .ok_or(CoreError::UnsupportedMethod {
+                method: Method::ClosedForm.name(),
+                reason: "the closed-form views were not materialised for this session",
+            })?;
+        let num_removed = normalize_removed(self.num_samples(), removed)?.len();
+        let mut ws = self.sized_workspace(num_removed.max(added.num_samples()));
+        ws.reserve_decompositions(self.dataset.num_features());
+        timed_update(Method::ClosedForm, num_removed, added.num_samples(), || {
+            closed_form_delta_with(&self.dataset, capture, removed, added, &mut ws)
+        })
+    }
+
+    /// The deletion-only update path — exactly the pre-delta code, so
+    /// removal-only deltas stay bitwise identical to the old engine.
+    fn removal_update(&self, method: Method, removed: &[usize]) -> Result<UpdateOutcome> {
+        let num_removed = normalize_removed(self.num_samples(), removed)?.len();
+        match method {
+            Method::Retrain => timed_update(method, num_removed, 0, || {
+                retrain_linear(&self.dataset, &self.trained.provenance, removed)
+            }),
+            Method::Priu => {
+                // The workspace is sized before the timer starts, so the
+                // timed region measures pure replay work.
+                let mut ws = self.sized_workspace(num_removed);
+                timed_update(method, num_removed, 0, || {
+                    priu_update_linear_with(
+                        &self.dataset,
+                        &self.trained.provenance,
+                        removed,
+                        &mut ws,
+                    )
+                })
+            }
+            Method::PriuOpt => {
+                if self.trained.provenance.opt.is_none() {
+                    return Err(CoreError::UnsupportedMethod {
+                        method: method.name(),
+                        reason: "the PrIU-opt capture was not materialised for this session",
+                    });
+                }
+                let mut ws = self.sized_workspace(num_removed);
+                timed_update(method, num_removed, 0, || {
+                    priu_opt_update_linear_with(
+                        &self.dataset,
+                        &self.trained.provenance,
+                        removed,
+                        &mut ws,
+                    )
+                })
+            }
+            Method::ClosedForm => {
+                let capture = self
+                    .closed_form
+                    .as_ref()
+                    .ok_or(CoreError::UnsupportedMethod {
+                        method: method.name(),
+                        reason: "the closed-form views were not materialised for this session",
+                    })?;
+                // Sized before the timer: the downdate, blocked Cholesky
+                // factorisation and substitution all reuse workspace buffers
+                // (the m × m pair is reserved here only — the replay methods
+                // never touch it).
+                let mut ws = self.sized_workspace(num_removed);
+                ws.reserve_decompositions(self.dataset.num_features());
+                timed_update(method, num_removed, 0, || {
+                    closed_form_incremental_with(&self.dataset, capture, removed, &mut ws)
+                })
+            }
+            Method::Influence => timed_update(method, num_removed, 0, || {
+                influence_update(
+                    &self.dataset,
+                    &self.trained.model,
+                    self.config.hyper.regularization,
+                    removed,
+                )
+            }),
+        }
+    }
 }
 
 impl DeletionEngine for LinearEngine {
@@ -157,74 +314,36 @@ impl DeletionEngine for LinearEngine {
         methods
     }
 
-    fn update(&self, method: Method, removed: &[usize]) -> Result<UpdateOutcome> {
-        let num_removed = normalize_removed(self.num_samples(), removed)?.len();
-        match method {
-            Method::Retrain => timed_update(method, num_removed, || {
-                retrain_linear(&self.dataset, &self.trained.provenance, removed)
-            }),
-            Method::Priu => {
-                // The workspace is sized before the timer starts, so the
-                // timed region measures pure replay work.
-                let mut ws = self.sized_workspace(num_removed);
-                timed_update(method, num_removed, || {
-                    priu_update_linear_with(
-                        &self.dataset,
-                        &self.trained.provenance,
-                        removed,
-                        &mut ws,
-                    )
-                })
-            }
-            Method::PriuOpt => {
-                if self.trained.provenance.opt.is_none() {
-                    return Err(CoreError::UnsupportedMethod {
-                        method: method.name(),
-                        reason: "the PrIU-opt capture was not materialised for this session",
-                    });
-                }
-                let mut ws = self.sized_workspace(num_removed);
-                timed_update(method, num_removed, || {
-                    priu_opt_update_linear_with(
-                        &self.dataset,
-                        &self.trained.provenance,
-                        removed,
-                        &mut ws,
-                    )
-                })
-            }
-            Method::ClosedForm => {
-                let capture = self
-                    .closed_form
-                    .as_ref()
-                    .ok_or(CoreError::UnsupportedMethod {
-                        method: method.name(),
-                        reason: "the closed-form views were not materialised for this session",
-                    })?;
-                // Sized before the timer: the downdate, blocked Cholesky
-                // factorisation and substitution all reuse workspace buffers
-                // (the m × m pair is reserved here only — the replay methods
-                // never touch it).
-                let mut ws = self.sized_workspace(num_removed);
-                ws.reserve_decompositions(self.dataset.num_features());
-                timed_update(method, num_removed, || {
-                    closed_form_incremental_with(&self.dataset, capture, removed, &mut ws)
-                })
-            }
-            Method::Influence => timed_update(method, num_removed, || {
-                influence_update(
-                    &self.dataset,
-                    &self.trained.model,
-                    self.config.hyper.regularization,
-                    removed,
-                )
-            }),
+    fn update_delta(&self, method: Method, delta: &Delta) -> Result<UpdateOutcome> {
+        let Some(added) = self.validate_added(delta)? else {
+            return self.removal_update(method, &delta.removed);
+        };
+        // Closed-form folds both directions into the views and solves once;
+        // every other method removes with its own machinery and then runs
+        // the exact appended GD steps warm-started from the removal model.
+        if method == Method::ClosedForm {
+            return self.closed_form_delta(&delta.removed, added);
         }
+        let mut outcome = self.removal_update(method, &delta.removed)?;
+        let mut ws = self.sized_workspace(0);
+        let start = Instant::now();
+        let mut w = outcome.model.weight().clone();
+        self.addition_steps(added, &mut w, &mut ws, None)?;
+        outcome.model = Model::new(ModelKind::Linear, vec![w])?;
+        outcome.duration += start.elapsed();
+        outcome.num_added = added.num_samples();
+        Ok(outcome)
     }
 
-    fn apply(&self, method: Method, removed: &[usize]) -> Result<ChainedUpdate> {
-        let outcome = self.update(method, removed)?;
-        let (removed, survivors) = split_survivors(self.num_samples(), removed)?;
+    fn apply_delta(&self, method: Method, delta: &Delta) -> Result<ChainedUpdate> {
+        let added = self.validate_added(delta)?;
+        let mut outcome = match added {
+            Some(added) if method == Method::ClosedForm => {
+                self.closed_form_delta(&delta.removed, added)?
+            }
+            _ => self.removal_update(method, &delta.removed)?,
+        };
+        let (removed, survivors) = split_survivors(self.num_samples(), &delta.removed)?;
         let y = self.continuous_labels();
         let provenance = &self.trained.provenance;
 
@@ -264,44 +383,94 @@ impl DeletionEngine for LinearEngine {
         let delta_gram = delta_rows.gram();
         let delta_xty = delta_rows.transpose_matvec(&delta_y)?;
 
-        // The PrIU-opt capture shrinks exactly: `XᵀX` is downdated by the
-        // removed block and re-eigendecomposed (O(m³), independent of n).
+        // Added-block contributions (rank-k growth of the quadratic views).
+        let added_views = match added {
+            Some(added) => {
+                let y_added = added
+                    .labels
+                    .as_continuous()
+                    .expect("added rows were validated as continuous");
+                Some((added.x.gram(), added.x.transpose_matvec(y_added)?))
+            }
+            None => None,
+        };
+
+        // The PrIU-opt capture adjusts exactly: `XᵀX` is downdated by the
+        // removed block, grown by the added block, and re-eigendecomposed
+        // once (O(m³), independent of n).
         let opt = match &provenance.opt {
             Some(capture) => {
                 let mut gram = capture.eigen.reconstruct();
                 gram.axpy(-1.0, &delta_gram)?;
-                let eigen = SymmetricEigen::new(&gram)?;
                 let mut xty = capture.xty.clone();
                 xty.axpy(-1.0, &delta_xty)?;
+                if let Some((added_gram, added_xty)) = &added_views {
+                    gram.axpy(1.0, added_gram)?;
+                    xty.axpy(1.0, added_xty)?;
+                }
+                let eigen = SymmetricEigen::new(&gram)?;
                 Some(LinearOptCapture { eigen, xty })
             }
             None => None,
         };
 
-        // The closed-form views downdate the same way they do per-update.
+        // The closed-form views downdate and grow the same way they do
+        // per-update.
         let closed_form = match &self.closed_form {
             Some(capture) => {
                 let mut xtx = capture.xtx.clone();
                 xtx.axpy(-1.0, &delta_gram)?;
                 let mut xty = capture.xty.clone();
                 xty.axpy(-1.0, &delta_xty)?;
+                if let Some((added_gram, added_xty)) = &added_views {
+                    xtx.axpy(1.0, added_gram)?;
+                    xty.axpy(1.0, added_xty)?;
+                }
                 Some(ClosedFormCapture {
                     xtx,
                     xty,
-                    num_samples: survivors.len(),
+                    num_samples: survivors.len() + added.map_or(0, DenseDataset::num_samples),
                     regularization: capture.regularization,
                 })
             }
             None => None,
         };
 
+        let mut dataset = self.dataset.select(&survivors);
+        let mut schedule = provenance.schedule.restrict_from(&removed, batches);
+        if let Some(added) = added {
+            let k = added.num_samples();
+            // Appended explicit-batch iterations: run the exact GD steps
+            // warm-started from the removal-path model, capturing one
+            // iteration cache per appended batch. (The linear captures are
+            // trajectory-free — Gram + moment of the batch rows — so for
+            // closed-form, whose outcome model is the view solve, the same
+            // captures apply.)
+            let mut ws = self.sized_workspace(0);
+            let start = Instant::now();
+            let mut w = outcome.model.weight().clone();
+            let mut caps = Vec::with_capacity(k.div_ceil(schedule.batch_size().max(1)));
+            self.addition_steps(added, &mut w, &mut ws, Some(&mut caps))?;
+            iterations.extend(caps);
+            schedule = schedule.extend_with(
+                appended_batches(survivors.len(), k, provenance.schedule.batch_size()),
+                k,
+            );
+            dataset.append(added)?;
+            if method != Method::ClosedForm {
+                outcome.model = Model::new(ModelKind::Linear, vec![w])?;
+                outcome.duration += start.elapsed();
+                outcome.num_added = k;
+            }
+        }
+
         let successor = LinearEngine {
-            dataset: self.dataset.select(&survivors),
+            dataset,
             config: self.config,
             trained: TrainedLinear {
                 model: outcome.model.clone(),
                 provenance: LinearProvenance {
-                    schedule: provenance.schedule.restrict_from(&removed, batches),
+                    schedule,
                     learning_rate: provenance.learning_rate,
                     regularization: provenance.regularization,
                     initial_model: provenance.initial_model.clone(),

@@ -12,12 +12,14 @@ use crate::capture::{
 };
 use crate::config::TrainerConfig;
 use crate::engine::{
-    split_survivors, timed_update, ChainedUpdate, DeletionEngine, Method, Session, UpdateOutcome,
+    appended_batches, split_survivors, timed_update, ChainedUpdate, DeletionEngine, Delta,
+    DeltaRows, Method, Session, UpdateOutcome,
 };
 use crate::error::{CoreError, Result};
 use crate::model::Model;
 use crate::trainer::logistic::{
-    train_binary_logistic_with, train_multinomial_logistic_with, TrainedLogistic,
+    binary_logistic_step, multinomial_logistic_step, train_binary_logistic_with,
+    train_multinomial_logistic_with, TrainedLogistic,
 };
 use crate::update::priu_logistic::priu_update_logistic_with;
 use crate::update::priu_opt_logistic::priu_opt_update_logistic_with;
@@ -123,6 +125,170 @@ impl LogisticEngine {
             TaskKind::Regression => unreachable!("logistic sessions never hold regression labels"),
         }
     }
+
+    /// Validates a delta's added rows against this session: dense block,
+    /// matching feature width, label kind (and class count) matching the
+    /// task. Returns `None` for deltas that add nothing.
+    fn validate_added<'a>(&self, delta: &'a Delta) -> Result<Option<&'a DenseDataset>> {
+        match &delta.added {
+            None => Ok(None),
+            Some(DeltaRows::Sparse(_)) => Err(CoreError::InvalidConfig(
+                "sparse rows cannot be added to a dense logistic session".to_string(),
+            )),
+            Some(DeltaRows::Dense(rows)) => {
+                if rows.num_features() != self.dataset.num_features() {
+                    return Err(CoreError::InvalidConfig(format!(
+                        "added rows have {} features, the session has {}",
+                        rows.num_features(),
+                        self.dataset.num_features()
+                    )));
+                }
+                let fits = match self.dataset.task() {
+                    TaskKind::BinaryClassification => rows.labels.as_binary().is_some(),
+                    TaskKind::MulticlassClassification { num_classes } => rows
+                        .labels
+                        .as_multiclass()
+                        .is_some_and(|(_, q)| q == num_classes),
+                    TaskKind::Regression => false,
+                };
+                if !fits {
+                    return Err(CoreError::LabelMismatch {
+                        expected: "added rows with the same label kind (and class count) \
+                                   as the logistic session",
+                    });
+                }
+                Ok((rows.num_samples() > 0).then_some(rows))
+            }
+        }
+    }
+
+    /// Runs the appended explicit-batch GD steps over `added`, chunked by
+    /// the schedule's batch size, warm-started from `weights` (mutated in
+    /// place). When `captures` is provided, one iteration cache per
+    /// appended batch is collected — linearised around the trajectory the
+    /// steps actually take.
+    fn addition_steps(
+        &self,
+        added: &DenseDataset,
+        weights: &mut [Vector],
+        ws: &mut Workspace,
+        mut captures: Option<&mut Vec<LogisticIterationCache>>,
+    ) -> Result<()> {
+        let provenance = &self.trained.provenance;
+        let (eta, lambda) = (provenance.learning_rate, provenance.regularization);
+        let interp = &self.config.interpolation;
+        let batches = appended_batches(0, added.num_samples(), provenance.schedule.batch_size());
+        match self.dataset.task() {
+            TaskKind::BinaryClassification => {
+                let y = added
+                    .labels
+                    .as_binary()
+                    .expect("added rows were validated as binary");
+                for batch in batches {
+                    ws.batch.clear();
+                    ws.batch.extend_from_slice(&batch);
+                    let cache = binary_logistic_step(
+                        &added.x,
+                        y,
+                        &mut weights[0],
+                        eta,
+                        lambda,
+                        interp,
+                        captures.as_ref().map(|_| self.config.compression),
+                        ws,
+                    )?;
+                    if let (Some(caps), Some(cache)) = (captures.as_deref_mut(), cache) {
+                        caps.push(cache);
+                    }
+                }
+            }
+            TaskKind::MulticlassClassification { num_classes } => {
+                let (classes, _) = added
+                    .labels
+                    .as_multiclass()
+                    .expect("added rows were validated as multiclass");
+                for batch in batches {
+                    ws.batch.clear();
+                    ws.batch.extend_from_slice(&batch);
+                    let cache = multinomial_logistic_step(
+                        &added.x,
+                        classes,
+                        num_classes,
+                        weights,
+                        eta,
+                        lambda,
+                        interp,
+                        captures.as_ref().map(|_| self.config.compression),
+                        ws,
+                    )?;
+                    if let (Some(caps), Some(cache)) = (captures.as_deref_mut(), cache) {
+                        caps.push(cache);
+                    }
+                }
+            }
+            TaskKind::Regression => {
+                unreachable!("logistic sessions never hold regression labels")
+            }
+        }
+        if weights.iter().any(|w| !w.is_finite()) {
+            return Err(CoreError::Diverged {
+                iteration: provenance.schedule.num_iterations(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The deletion-only update path — exactly the pre-delta code, so
+    /// removal-only deltas stay bitwise identical to the old engine.
+    fn removal_update(&self, method: Method, removed: &[usize]) -> Result<UpdateOutcome> {
+        let num_removed = normalize_removed(self.num_samples(), removed)?.len();
+        match method {
+            Method::Retrain => timed_update(method, num_removed, 0, || self.retrain(removed)),
+            Method::Priu => {
+                // The workspace is sized before the timer starts, so the
+                // timed region measures pure replay work.
+                let mut ws = self.sized_workspace(num_removed);
+                timed_update(method, num_removed, 0, || {
+                    priu_update_logistic_with(
+                        &self.dataset,
+                        &self.trained.provenance,
+                        removed,
+                        &mut ws,
+                    )
+                })
+            }
+            Method::PriuOpt => {
+                if self.trained.provenance.opt.is_none() {
+                    return Err(CoreError::UnsupportedMethod {
+                        method: method.name(),
+                        reason: "the PrIU-opt capture was not materialised for this session",
+                    });
+                }
+                let mut ws = self.sized_workspace(num_removed);
+                timed_update(method, num_removed, 0, || {
+                    priu_opt_update_logistic_with(
+                        &self.dataset,
+                        &self.trained.provenance,
+                        removed,
+                        &mut ws,
+                    )
+                })
+            }
+            Method::ClosedForm => Err(CoreError::UnsupportedMethod {
+                method: method.name(),
+                reason: "the closed-form update maintains the regularised normal equations, \
+                         which exist only for linear regression",
+            }),
+            Method::Influence => timed_update(method, num_removed, 0, || {
+                influence_update(
+                    &self.dataset,
+                    &self.trained.model,
+                    self.config.hyper.regularization,
+                    removed,
+                )
+            }),
+        }
+    }
 }
 
 impl DeletionEngine for LogisticEngine {
@@ -155,59 +321,28 @@ impl DeletionEngine for LogisticEngine {
         methods
     }
 
-    fn update(&self, method: Method, removed: &[usize]) -> Result<UpdateOutcome> {
-        let num_removed = normalize_removed(self.num_samples(), removed)?.len();
-        match method {
-            Method::Retrain => timed_update(method, num_removed, || self.retrain(removed)),
-            Method::Priu => {
-                // The workspace is sized before the timer starts, so the
-                // timed region measures pure replay work.
-                let mut ws = self.sized_workspace(num_removed);
-                timed_update(method, num_removed, || {
-                    priu_update_logistic_with(
-                        &self.dataset,
-                        &self.trained.provenance,
-                        removed,
-                        &mut ws,
-                    )
-                })
-            }
-            Method::PriuOpt => {
-                if self.trained.provenance.opt.is_none() {
-                    return Err(CoreError::UnsupportedMethod {
-                        method: method.name(),
-                        reason: "the PrIU-opt capture was not materialised for this session",
-                    });
-                }
-                let mut ws = self.sized_workspace(num_removed);
-                timed_update(method, num_removed, || {
-                    priu_opt_update_logistic_with(
-                        &self.dataset,
-                        &self.trained.provenance,
-                        removed,
-                        &mut ws,
-                    )
-                })
-            }
-            Method::ClosedForm => Err(CoreError::UnsupportedMethod {
-                method: method.name(),
-                reason: "the closed-form update maintains the regularised normal equations, \
-                         which exist only for linear regression",
-            }),
-            Method::Influence => timed_update(method, num_removed, || {
-                influence_update(
-                    &self.dataset,
-                    &self.trained.model,
-                    self.config.hyper.regularization,
-                    removed,
-                )
-            }),
-        }
+    fn update_delta(&self, method: Method, delta: &Delta) -> Result<UpdateOutcome> {
+        let added = self.validate_added(delta)?;
+        let mut outcome = self.removal_update(method, &delta.removed)?;
+        let Some(added) = added else {
+            return Ok(outcome);
+        };
+        // Appended explicit-batch steps, warm-started from the post-removal
+        // model. The workspace is sized before the timer starts.
+        let mut ws = self.sized_workspace(0);
+        let start = Instant::now();
+        let mut weights = outcome.model.weights().to_vec();
+        self.addition_steps(added, &mut weights, &mut ws, None)?;
+        outcome.model = Model::new(outcome.model.kind(), weights)?;
+        outcome.duration += start.elapsed();
+        outcome.num_added = added.num_samples();
+        Ok(outcome)
     }
 
-    fn apply(&self, method: Method, removed: &[usize]) -> Result<ChainedUpdate> {
-        let outcome = self.update(method, removed)?;
-        let (removed, survivors) = split_survivors(self.num_samples(), removed)?;
+    fn apply_delta(&self, method: Method, delta: &Delta) -> Result<ChainedUpdate> {
+        let added = self.validate_added(delta)?;
+        let mut outcome = self.removal_update(method, &delta.removed)?;
+        let (removed, survivors) = split_survivors(self.num_samples(), &delta.removed)?;
         let provenance = &self.trained.provenance;
 
         // Deletion propagation per iteration and per class: the stored
@@ -246,13 +381,40 @@ impl DeletionEngine for LogisticEngine {
             });
         }
 
+        let mut dataset = self.dataset.select(&survivors);
+        let mut schedule = provenance.schedule.restrict_from(&removed, batches);
+
+        if let Some(added) = added {
+            // The addition steps run once — the successor's appended caches
+            // and the returned model come from the same trajectory. The
+            // schedule grows by the same chunking (`appended_batches`) that
+            // `update_delta` stepped through, with batch indices shifted to
+            // the successor's row space, so retraining the successor replays
+            // the identical steps over the identical rows.
+            let k = added.num_samples();
+            let mut ws = self.sized_workspace(0);
+            let start = Instant::now();
+            let mut weights = outcome.model.weights().to_vec();
+            let mut caps = Vec::with_capacity(k.div_ceil(schedule.batch_size().max(1)));
+            self.addition_steps(added, &mut weights, &mut ws, Some(&mut caps))?;
+            iterations.extend(caps);
+            schedule = schedule.extend_with(
+                appended_batches(survivors.len(), k, provenance.schedule.batch_size()),
+                k,
+            );
+            dataset.append(added)?;
+            outcome.model = Model::new(outcome.model.kind(), weights)?;
+            outcome.duration += start.elapsed();
+            outcome.num_added = k;
+        }
+
         let successor = LogisticEngine {
-            dataset: self.dataset.select(&survivors),
+            dataset,
             config: self.config,
             trained: TrainedLogistic {
                 model: outcome.model.clone(),
                 provenance: LogisticProvenance {
-                    schedule: provenance.schedule.restrict_from(&removed, batches),
+                    schedule,
                     learning_rate: provenance.learning_rate,
                     regularization: provenance.regularization,
                     initial_model: provenance.initial_model.clone(),

@@ -12,12 +12,16 @@
 //!   retraining, closed-form, INFL), with
 //!   [`DeletionEngine::supported_methods`] for introspection — closed-form is
 //!   discoverable as linear-only instead of simply missing;
+//! * [`Delta`] — a bidirectional change set: samples to remove *and* rows to
+//!   append, folded into the provenance in one pass;
 //! * [`DeletionEngine`] — the trait every session implements:
-//!   `update(method, removed)` runs one timed online update,
+//!   `update_delta(method, delta)` runs one timed online update,
 //!   `run_all(removed)` produces a [`MethodReport`] keyed by method, and
-//!   `apply(method, removed)` *consumes* a deletion, returning a new session
-//!   over the surviving samples with its provenance shrunk accordingly —
-//!   chained deletions (the paper's Figure 4 scenario) as a first-class API.
+//!   `apply_delta(method, delta)` *consumes* a delta, returning a new session
+//!   over the surviving + appended samples with its provenance adjusted —
+//!   chained deltas (the paper's Figure 4 scenario, generalised to sliding
+//!   windows) as a first-class API. The deletion-only `update`/`apply`
+//!   signatures remain as thin wrappers over a removal-only delta.
 //!
 //! The four pre-existing session types (`LinearSession`,
 //! `BinaryLogisticSession`, `MultinomialSession`, `SparseLogisticSession`)
@@ -96,6 +100,86 @@ impl std::fmt::Display for Method {
     }
 }
 
+/// Rows to append in a [`Delta`]: a dense or sparse block whose label kind
+/// must match the session's task (the engines validate this before touching
+/// any state).
+#[derive(Debug, Clone)]
+pub enum DeltaRows {
+    /// Dense rows, for linear and dense logistic sessions.
+    Dense(DenseDataset),
+    /// Sparse CSR rows, for sparse logistic sessions.
+    Sparse(SparseDataset),
+}
+
+impl DeltaRows {
+    /// Number of rows in the block.
+    pub fn num_rows(&self) -> usize {
+        match self {
+            DeltaRows::Dense(d) => d.num_samples(),
+            DeltaRows::Sparse(s) => s.num_samples(),
+        }
+    }
+}
+
+/// A bidirectional change set: sample indices to remove plus rows to append,
+/// applied as one unit.
+///
+/// Semantics, shared by every engine:
+///
+/// * `removed` holds **pre-addition** indices into the session's current
+///   dataset — a delta can never remove rows it is itself adding;
+/// * removals propagate through the captured provenance exactly as a
+///   deletion-only update does (the no-adds path is literally the old code);
+/// * added rows are appended *after* the removals as extra explicit-batch
+///   GD iterations on the provenance schedule, chunked by the schedule's
+///   batch size and warm-started from the post-removal model — so a
+///   subsequent retrain over the extended schedule reproduces the same
+///   trajectory, and deleting an added row later flows through the ordinary
+///   deflation path.
+#[derive(Debug, Clone, Default)]
+pub struct Delta {
+    /// Current-session sample indices to remove (deduplicated on use).
+    pub removed: Vec<usize>,
+    /// Rows to append after the removals.
+    pub added: Option<DeltaRows>,
+}
+
+impl Delta {
+    /// A removal-only delta — the classic deletion request.
+    pub fn removal(removed: &[usize]) -> Self {
+        Delta {
+            removed: removed.to_vec(),
+            added: None,
+        }
+    }
+
+    /// An addition-only delta.
+    pub fn addition(rows: DeltaRows) -> Self {
+        Delta {
+            removed: Vec::new(),
+            added: Some(rows),
+        }
+    }
+
+    /// A mixed delta: remove `removed` (current indices), then append `rows`.
+    pub fn mixed(removed: &[usize], rows: DeltaRows) -> Self {
+        Delta {
+            removed: removed.to_vec(),
+            added: Some(rows),
+        }
+    }
+
+    /// Number of rows the delta appends.
+    pub fn num_added(&self) -> usize {
+        self.added.as_ref().map_or(0, DeltaRows::num_rows)
+    }
+
+    /// Whether the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.removed.is_empty() && self.num_added() == 0
+    }
+}
+
 /// The result of one timed incremental-update (or retraining) run, carrying
 /// the method that produced it and the size of the (deduplicated) removal
 /// set so reports never have to thread that context separately.
@@ -109,6 +193,8 @@ pub struct UpdateOutcome {
     pub method: Method,
     /// Number of distinct samples removed.
     pub num_removed: usize,
+    /// Number of rows appended (0 for deletion-only updates).
+    pub num_added: usize,
 }
 
 /// The outcomes of running every supported method on one removal set,
@@ -199,32 +285,61 @@ pub trait DeletionEngine {
     /// materialised captures (PrIU-opt needs its offline eigendecomposition).
     fn supported_methods(&self) -> Vec<Method>;
 
-    /// Runs one timed online update with the given method.
+    /// Runs one timed online update for a bidirectional [`Delta`]: the
+    /// removal set is folded in with the given method, then any appended
+    /// rows are consumed as explicit-batch GD iterations warm-started from
+    /// the post-removal model (exact for every family; for linear
+    /// closed-form the normal-equation views fold both directions and are
+    /// solved once). The model reflects the whole delta; the session itself
+    /// is unchanged.
     ///
     /// # Errors
     /// [`CoreError::UnsupportedMethod`] if [`DeletionEngine::supports`] is
-    /// false for the method; otherwise whatever the underlying update
-    /// reports (invalid removal indices, factorisation failures, ...).
-    fn update(&self, method: Method, removed: &[usize]) -> Result<UpdateOutcome>;
+    /// false for the method; [`CoreError::LabelMismatch`] /
+    /// [`CoreError::InvalidConfig`] when the added rows don't fit the
+    /// session; otherwise whatever the underlying update reports (invalid
+    /// removal indices, factorisation failures, ...).
+    fn update_delta(&self, method: Method, delta: &Delta) -> Result<UpdateOutcome>;
 
-    /// Consumes a deletion: runs `update(method, removed)` and folds the
-    /// outcome into a successor session whose dataset and provenance cover
-    /// only the surviving samples (re-indexed by survivor rank). Removal
-    /// indices passed to the successor are relative to the survivors.
+    /// Consumes a delta: runs the [`DeletionEngine::update_delta`] work and
+    /// folds the outcome into a successor session whose dataset and
+    /// provenance cover the surviving samples (re-indexed by survivor rank)
+    /// plus the appended rows (indexed after the survivors). Removal indices
+    /// passed to the successor are relative to that layout.
     ///
-    /// Chaining `apply` calls composes deletions: two sequential applies are
-    /// equivalent to one update on the union of the removal sets — the
-    /// repeated-deletion scenario of the paper's Figure 4.
+    /// Chaining `apply_delta` calls composes: sequential applies are
+    /// equivalent to one apply of the union delta — the repeated-deletion
+    /// scenario of the paper's Figure 4, generalised to sliding windows.
     ///
-    /// Captures that cannot be shrunk exactly are dropped rather than left
+    /// Captures that cannot be adjusted exactly are dropped rather than left
     /// stale (currently only the logistic PrIU-opt capture, whose frozen
     /// linearisation point is no longer meaningful); `supported_methods` on
     /// the successor reflects what survived.
     ///
     /// # Errors
-    /// Everything `update` reports, plus [`CoreError::InvalidRemoval`] when
-    /// the removal would leave no training samples.
-    fn apply(&self, method: Method, removed: &[usize]) -> Result<ChainedUpdate>;
+    /// Everything `update_delta` reports, plus
+    /// [`CoreError::InvalidRemoval`] when the removal would leave no
+    /// pre-existing training samples.
+    fn apply_delta(&self, method: Method, delta: &Delta) -> Result<ChainedUpdate>;
+
+    /// Runs one timed online update for a deletion-only request — a thin
+    /// wrapper over [`DeletionEngine::update_delta`] with
+    /// [`Delta::removal`], preserved as the classic PrIU surface.
+    ///
+    /// # Errors
+    /// See [`DeletionEngine::update_delta`].
+    fn update(&self, method: Method, removed: &[usize]) -> Result<UpdateOutcome> {
+        self.update_delta(method, &Delta::removal(removed))
+    }
+
+    /// Consumes a deletion-only request — a thin wrapper over
+    /// [`DeletionEngine::apply_delta`] with [`Delta::removal`].
+    ///
+    /// # Errors
+    /// See [`DeletionEngine::apply_delta`].
+    fn apply(&self, method: Method, removed: &[usize]) -> Result<ChainedUpdate> {
+        self.apply_delta(method, &Delta::removal(removed))
+    }
 
     /// Whether this session can run the given method.
     fn supports(&self, method: Method) -> bool {
@@ -268,6 +383,7 @@ pub trait DeletionEngine {
 pub(crate) fn timed_update(
     method: Method,
     num_removed: usize,
+    num_added: usize,
     f: impl FnOnce() -> Result<Model>,
 ) -> Result<UpdateOutcome> {
     let start = Instant::now();
@@ -277,7 +393,30 @@ pub(crate) fn timed_update(
         duration: start.elapsed(),
         method,
         num_removed,
+        num_added,
     })
+}
+
+/// Chunks `num_added` appended rows — occupying successor indices
+/// `num_survivors..num_survivors + num_added` — into explicit batches of at
+/// most `batch_size`, in insertion order. Both `update_delta` (stepping over
+/// the delta's rows directly) and `apply_delta` (extending the schedule with
+/// these batches) derive their chunking from this one definition, which is
+/// what makes the two bitwise-agree on the post-addition model.
+pub(crate) fn appended_batches(
+    num_survivors: usize,
+    num_added: usize,
+    batch_size: usize,
+) -> Vec<Vec<usize>> {
+    let batch_size = batch_size.max(1);
+    let mut batches = Vec::with_capacity(num_added.div_ceil(batch_size));
+    let mut start = 0;
+    while start < num_added {
+        let end = (start + batch_size).min(num_added);
+        batches.push((num_survivors + start..num_survivors + end).collect());
+        start = end;
+    }
+    batches
 }
 
 /// Validates a removal set for `apply`: normalised, and leaving at least one
@@ -372,12 +511,12 @@ impl DeletionEngine for Session {
         delegate!(self, e => e.supported_methods())
     }
 
-    fn update(&self, method: Method, removed: &[usize]) -> Result<UpdateOutcome> {
-        delegate!(self, e => e.update(method, removed))
+    fn update_delta(&self, method: Method, delta: &Delta) -> Result<UpdateOutcome> {
+        delegate!(self, e => e.update_delta(method, delta))
     }
 
-    fn apply(&self, method: Method, removed: &[usize]) -> Result<ChainedUpdate> {
-        delegate!(self, e => e.apply(method, removed))
+    fn apply_delta(&self, method: Method, delta: &Delta) -> Result<ChainedUpdate> {
+        delegate!(self, e => e.apply_delta(method, delta))
     }
 }
 
@@ -841,6 +980,253 @@ mod tests {
         assert!(matches!(
             session.apply(Method::Priu, &everything),
             Err(CoreError::InvalidRemoval { .. })
+        ));
+    }
+
+    fn linear_added_rows(num_rows: usize, seed: u64) -> DenseDataset {
+        generate_regression(&RegressionConfig {
+            num_samples: num_rows,
+            num_features: 6,
+            seed,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn appended_batches_chunk_by_schedule_batch_size() {
+        assert_eq!(
+            appended_batches(10, 5, 2),
+            vec![vec![10, 11], vec![12, 13], vec![14]]
+        );
+        assert_eq!(appended_batches(0, 3, 50), vec![vec![0, 1, 2]]);
+        assert!(appended_batches(10, 0, 2).is_empty());
+        // A degenerate batch size still makes progress.
+        assert_eq!(appended_batches(1, 2, 0), vec![vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn empty_delta_is_identity_shaped() {
+        let session = linear_session();
+        let delta = Delta::default();
+        assert!(delta.is_empty());
+        let outcome = session.update_delta(Method::Priu, &delta).unwrap();
+        assert_eq!(outcome.num_removed, 0);
+        assert_eq!(outcome.num_added, 0);
+        assert!(outcome.model.is_finite());
+    }
+
+    #[test]
+    fn update_delta_and_apply_delta_agree_bitwise_on_the_model() {
+        // The two paths step over the same added rows with the same chunking
+        // from the same warm start, so their post-addition models must be
+        // bitwise identical — for every family and method that supports it.
+        let delta = Delta::mixed(&[3, 17, 40], DeltaRows::Dense(linear_added_rows(23, 21)));
+        let session = linear_session();
+        for method in [Method::Priu, Method::PriuOpt, Method::ClosedForm] {
+            let updated = session.update_delta(method, &delta).unwrap();
+            let chained = session.apply_delta(method, &delta).unwrap();
+            assert_eq!(
+                updated.model, chained.outcome.model,
+                "{method}: update_delta and apply_delta disagree"
+            );
+            assert_eq!(chained.session.model(), &chained.outcome.model);
+            assert_eq!(updated.num_added, 23);
+            assert_eq!(chained.session.num_samples(), 300 - 3 + 23);
+        }
+
+        let logistic = binary_session();
+        let added = generate_binary_classification(&ClassificationConfig {
+            num_samples: 23,
+            num_features: 6,
+            separation: 3.0,
+            seed: 22,
+            ..Default::default()
+        });
+        let delta = Delta::mixed(&[3, 17, 40], DeltaRows::Dense(added));
+        let updated = logistic.update_delta(Method::Priu, &delta).unwrap();
+        let chained = logistic.apply_delta(Method::Priu, &delta).unwrap();
+        assert_eq!(updated.model, chained.outcome.model);
+
+        let sparse = {
+            let data = generate_sparse_binary(&SparseConfig {
+                num_samples: 300,
+                num_features: 200,
+                nnz_per_row: 15,
+                informative_fraction: 0.2,
+                seed: 9,
+            });
+            let mut h = hyper();
+            h.learning_rate = 0.3;
+            SessionBuilder::sparse(data, TrainerConfig::from_hyper(h))
+                .fit()
+                .unwrap()
+        };
+        let added = generate_sparse_binary(&SparseConfig {
+            num_samples: 23,
+            num_features: 200,
+            nnz_per_row: 15,
+            informative_fraction: 0.2,
+            seed: 23,
+        });
+        let delta = Delta::mixed(&[3, 17, 40], DeltaRows::Sparse(added));
+        let updated = sparse.update_delta(Method::Priu, &delta).unwrap();
+        let chained = sparse.apply_delta(Method::Priu, &delta).unwrap();
+        assert_eq!(updated.model, chained.outcome.model);
+    }
+
+    #[test]
+    fn successor_retrain_reproduces_the_delta_model() {
+        // The whole-delta contract: retraining the successor over its
+        // extended schedule (survivor batches + appended explicit batches)
+        // replays the same trajectory the delta engine stepped through.
+        let session = linear_session();
+        let delta = Delta::mixed(&[5, 6, 7, 120], DeltaRows::Dense(linear_added_rows(37, 31)));
+        let chained = session.apply_delta(Method::Priu, &delta).unwrap();
+        assert_eq!(chained.session.num_samples(), 300 - 4 + 37);
+        let retrained = chained.session.update(Method::Retrain, &[]).unwrap();
+        let cmp = compare_models(&retrained.model, chained.session.model()).unwrap();
+        assert!(
+            cmp.l2_distance < 1e-8,
+            "successor retrain should replay the delta trajectory, distance {}",
+            cmp.l2_distance
+        );
+
+        let logistic = binary_session();
+        let added = generate_binary_classification(&ClassificationConfig {
+            num_samples: 37,
+            num_features: 6,
+            separation: 3.0,
+            seed: 32,
+            ..Default::default()
+        });
+        let chained = logistic
+            .apply_delta(
+                Method::Priu,
+                &Delta::mixed(&[5, 6, 7], DeltaRows::Dense(added)),
+            )
+            .unwrap();
+        let retrained = chained.session.update(Method::Retrain, &[]).unwrap();
+        let cmp = compare_models(&retrained.model, chained.session.model()).unwrap();
+        assert!(
+            cmp.cosine_similarity > 0.999,
+            "similarity {}",
+            cmp.cosine_similarity
+        );
+    }
+
+    #[test]
+    fn closed_form_mixed_delta_matches_rebuilding() {
+        // Closed-form folds both delta directions into the normal-equation
+        // views with one solve; the reference is a fresh closed-form session
+        // over the survivors + added rows.
+        let session = linear_session();
+        let added = linear_added_rows(29, 41);
+        let removed = vec![2, 9, 250, 251];
+        let delta = Delta::mixed(&removed, DeltaRows::Dense(added.clone()));
+        let outcome = session.update_delta(Method::ClosedForm, &delta).unwrap();
+
+        let base = session.dense_dataset().unwrap();
+        let survivors: Vec<usize> = (0..300).filter(|i| !removed.contains(i)).collect();
+        let mut rebuilt = base.select(&survivors);
+        rebuilt.append(&added).unwrap();
+        let fresh = SessionBuilder::dense(rebuilt, TrainerConfig::from_hyper(hyper()))
+            .fit()
+            .unwrap();
+        let reference = fresh.update(Method::ClosedForm, &[]).unwrap();
+        let cmp = compare_models(&reference.model, &outcome.model).unwrap();
+        assert!(cmp.l2_distance < 1e-7, "distance {}", cmp.l2_distance);
+    }
+
+    #[test]
+    fn added_rows_can_be_deleted_through_the_ordinary_path() {
+        // Rows appended by one delta flow through deflation like any other
+        // sample in the next delta.
+        let session = linear_session();
+        let chained = session
+            .apply_delta(
+                Method::Priu,
+                &Delta::addition(DeltaRows::Dense(linear_added_rows(20, 51))),
+            )
+            .unwrap();
+        assert_eq!(chained.session.num_samples(), 320);
+        // Delete a mix of original and freshly appended rows.
+        let second = chained
+            .session
+            .apply(Method::Priu, &[10, 305, 319])
+            .unwrap();
+        assert_eq!(second.session.num_samples(), 317);
+        let retrained = second.session.update(Method::Retrain, &[]).unwrap();
+        let cmp = compare_models(&retrained.model, second.session.model()).unwrap();
+        assert!(cmp.l2_distance < 1e-7, "distance {}", cmp.l2_distance);
+    }
+
+    #[test]
+    fn delta_validation_rejects_mismatched_rows() {
+        use priu_data::dataset::{Labels, SparseDataset};
+        use priu_linalg::{CsrMatrix, Matrix, Vector};
+
+        let session = linear_session();
+        // Wrong width.
+        let narrow = generate_regression(&RegressionConfig {
+            num_samples: 5,
+            num_features: 3,
+            seed: 61,
+            ..Default::default()
+        });
+        assert!(matches!(
+            session.update_delta(Method::Priu, &Delta::addition(DeltaRows::Dense(narrow))),
+            Err(CoreError::InvalidConfig(_))
+        ));
+        // Wrong label kind for the task.
+        let labelled = generate_binary_classification(&ClassificationConfig {
+            num_samples: 5,
+            num_features: 6,
+            separation: 3.0,
+            seed: 62,
+            ..Default::default()
+        });
+        assert!(matches!(
+            session.update_delta(Method::Priu, &Delta::addition(DeltaRows::Dense(labelled))),
+            Err(CoreError::LabelMismatch { .. })
+        ));
+        // Sparse rows into a dense session.
+        let sparse_rows = SparseDataset::new(
+            CsrMatrix::from_dense(&Matrix::from_fn(2, 6, |i, j| (i + j) as f64)),
+            Labels::Binary(Vector::from_vec(vec![1.0, -1.0])),
+        );
+        assert!(matches!(
+            session.update_delta(
+                Method::Priu,
+                &Delta::addition(DeltaRows::Sparse(sparse_rows))
+            ),
+            Err(CoreError::InvalidConfig(_))
+        ));
+
+        // Dense rows into a sparse session.
+        let sparse_session = {
+            let data = generate_sparse_binary(&SparseConfig {
+                num_samples: 100,
+                num_features: 80,
+                nnz_per_row: 8,
+                informative_fraction: 0.2,
+                seed: 63,
+            });
+            let mut h = hyper();
+            h.learning_rate = 0.3;
+            SessionBuilder::sparse(data, TrainerConfig::from_hyper(h))
+                .fit()
+                .unwrap()
+        };
+        let dense_rows = generate_regression(&RegressionConfig {
+            num_samples: 2,
+            num_features: 80,
+            seed: 64,
+            ..Default::default()
+        });
+        assert!(matches!(
+            sparse_session
+                .update_delta(Method::Priu, &Delta::addition(DeltaRows::Dense(dense_rows))),
+            Err(CoreError::InvalidConfig(_))
         ));
     }
 

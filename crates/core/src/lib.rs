@@ -81,8 +81,8 @@ pub mod workspace;
 
 pub use config::{Compression, TrainerConfig};
 pub use engine::{
-    CaptureSnapshot, ChainedUpdate, DeletionEngine, LinearEngine, LogisticEngine, Method,
-    MethodReport, Session, SessionBuilder, SparseLogisticEngine, UpdateOutcome,
+    CaptureSnapshot, ChainedUpdate, DeletionEngine, Delta, DeltaRows, LinearEngine, LogisticEngine,
+    Method, MethodReport, Session, SessionBuilder, SparseLogisticEngine, UpdateOutcome,
 };
 pub use error::{CoreError, Result};
 pub use metrics::{compare_models, ModelComparison};
@@ -96,8 +96,9 @@ pub mod prelude {
     pub use crate::capture::ProvenanceMemory;
     pub use crate::config::{Compression, TrainerConfig};
     pub use crate::engine::{
-        CaptureSnapshot, ChainedUpdate, DeletionEngine, LinearEngine, LogisticEngine, Method,
-        MethodReport, Session, SessionBuilder, SparseLogisticEngine, UpdateOutcome,
+        CaptureSnapshot, ChainedUpdate, DeletionEngine, Delta, DeltaRows, LinearEngine,
+        LogisticEngine, Method, MethodReport, Session, SessionBuilder, SparseLogisticEngine,
+        UpdateOutcome,
     };
     pub use crate::error::{CoreError, Result};
     pub use crate::interpolation::PiecewiseLinearSigmoid;

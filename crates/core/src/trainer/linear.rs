@@ -3,13 +3,74 @@
 use priu_data::dataset::{DenseDataset, Labels};
 use priu_data::minibatch::BatchSchedule;
 use priu_linalg::decomposition::eigen::SymmetricEigen;
-use priu_linalg::Vector;
+use priu_linalg::{Matrix, Vector};
 
 use crate::capture::{GramCache, LinearIterationCache, LinearOptCapture, LinearProvenance};
-use crate::config::TrainerConfig;
+use crate::config::{Compression, TrainerConfig};
 use crate::error::{CoreError, Result};
 use crate::model::{Model, ModelKind};
 use crate::workspace::Workspace;
+
+/// Runs one mb-SGD step (Eq. 5) on the batch currently staged in
+/// `ws.batch`, selecting rows from `x`/`y` and mutating `w` in place. This
+/// is the *single* definition of the linear GD step: the trainer loop calls
+/// it per scheduled iteration, and the delta engine calls it for appended
+/// explicit batches — so appended-iteration replays agree with training by
+/// construction.
+///
+/// With `capture` set the iteration's provenance (Gram cache + moment
+/// vector) is built and returned — that storage allocates by design. With
+/// `None` the step touches only workspace buffers, so a warm workspace makes
+/// it allocation-free (the delta engine's model-only addition fast path).
+pub(crate) fn linear_step(
+    x: &Matrix,
+    y: &Vector,
+    w: &mut Vector,
+    eta: f64,
+    lambda: f64,
+    capture: Option<Compression>,
+    ws: &mut Workspace,
+) -> Result<Option<LinearIterationCache>> {
+    let m = x.ncols();
+    let b = ws.batch.len();
+    ws.select_batch_rows(x);
+    ws.prepare_batch(b);
+    ws.prepare_features(m);
+    let Workspace {
+        batch,
+        rows,
+        b0: residuals,
+        b1: y_batch,
+        m0: grad,
+        ..
+    } = ws;
+
+    // Gradient step: w ← (1-ηλ) w − (2η/B) Σ x_i (x_iᵀ w − y_i).
+    rows.matvec_into(w, residuals)?;
+    for (pos, &i) in batch.iter().enumerate() {
+        y_batch[pos] = y[i];
+        residuals[pos] -= y[i];
+    }
+    rows.transpose_matvec_into(residuals, grad)?;
+    // Fused parameter step (bitwise identical to scale_mut + axpy on
+    // every SIMD level — one pass over w instead of two).
+    w.scale_add(1.0 - eta * lambda, -2.0 * eta / b as f64, grad)?;
+
+    let Some(compression) = capture else {
+        return Ok(None);
+    };
+    // Provenance capture for this iteration (allocates: it is storage).
+    let xy = rows.transpose_matvec(y_batch)?;
+    let b2 = &mut ws.b2;
+    b2.clear();
+    b2.resize(b, 1.0);
+    let gram = GramCache::build(&ws.rows, b2, compression)?;
+    Ok(Some(LinearIterationCache {
+        gram,
+        xy,
+        batch_size: b,
+    }))
+}
 
 /// The result of training a linear-regression model with provenance capture.
 #[derive(Debug, Clone)]
@@ -69,45 +130,20 @@ pub fn train_linear_with(
 
     for t in 0..hyper.num_iterations {
         schedule.batch_into(t, &mut ws.batch, &mut ws.idx_scratch);
-        let b = ws.batch.len();
-        ws.select_batch_rows(&dataset.x);
-        ws.prepare_batch(b);
-        ws.prepare_features(m);
-        let Workspace {
-            batch,
-            rows,
-            b0: residuals,
-            b1: y_batch,
-            m0: grad,
-            ..
-        } = ws;
-
-        // Gradient step: w ← (1-ηλ) w − (2η/B) Σ x_i (x_iᵀ w − y_i).
-        rows.matvec_into(&w, residuals)?;
-        for (pos, &i) in batch.iter().enumerate() {
-            y_batch[pos] = y[i];
-            residuals[pos] -= y[i];
-        }
-        rows.transpose_matvec_into(residuals, grad)?;
-        // Fused parameter step (bitwise identical to scale_mut + axpy on
-        // every SIMD level — one pass over w instead of two).
-        w.scale_add(1.0 - eta * lambda, -2.0 * eta / b as f64, grad)?;
-
+        let cache = linear_step(
+            &dataset.x,
+            y,
+            &mut w,
+            eta,
+            lambda,
+            Some(config.compression),
+            ws,
+        )?
+        .expect("capture was requested");
         if t % 32 == 0 && !w.is_finite() {
             return Err(CoreError::Diverged { iteration: t });
         }
-
-        // Provenance capture for this iteration (allocates: it is storage).
-        let xy = rows.transpose_matvec(y_batch)?;
-        let b2 = &mut ws.b2;
-        b2.clear();
-        b2.resize(b, 1.0);
-        let gram = GramCache::build(&ws.rows, b2, config.compression)?;
-        iterations.push(LinearIterationCache {
-            gram,
-            xy,
-            batch_size: b,
-        });
+        iterations.push(cache);
     }
     if !w.is_finite() {
         return Err(CoreError::Diverged {

@@ -23,7 +23,7 @@ use crate::capture::{
     ClassIterationCache, GramCache, LogisticIterationCache, LogisticOptCapture,
     LogisticOptClassCapture, LogisticProvenance,
 };
-use crate::config::TrainerConfig;
+use crate::config::{Compression, TrainerConfig};
 use crate::error::{CoreError, Result};
 use crate::interpolation::PiecewiseLinearSigmoid;
 use crate::model::{Model, ModelKind};
@@ -57,6 +57,159 @@ fn build_class_cache(
         d,
         coefficients,
     })
+}
+
+/// Runs one exact binary-logistic mb-SGD step (Eq. 6) on the batch staged
+/// in `ws.batch`, selecting rows from `x`/`y` and mutating `w` in place.
+/// The single definition of the step: the trainer loop calls it per
+/// scheduled iteration, the delta engine for appended explicit batches.
+///
+/// With `capture` set the iteration's linearised provenance — the `(a, b')`
+/// coefficients around the *current* trajectory plus the aggregated Gram
+/// form — is built and returned (allocates: it is storage). With `None` the
+/// step touches only workspace buffers.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn binary_logistic_step(
+    x: &Matrix,
+    y: &Vector,
+    w: &mut Vector,
+    eta: f64,
+    lambda: f64,
+    interp: &PiecewiseLinearSigmoid,
+    capture: Option<Compression>,
+    ws: &mut Workspace,
+) -> Result<Option<LogisticIterationCache>> {
+    let m = x.ncols();
+    let b = ws.batch.len();
+    ws.select_batch_rows(x);
+    ws.prepare_batch(b);
+    ws.prepare_features(m);
+    let Workspace {
+        batch,
+        rows,
+        b0: xw,
+        b1: update_coeffs,
+        b2: a_coeffs,
+        b3: b_coeffs,
+        m0: grad,
+        ..
+    } = ws;
+
+    rows.matvec_into(w, xw)?;
+    // Exact update: w ← (1-ηλ) w + (η/B) Σ y_i x_i f(y_i wᵀ x_i).
+    for pos in 0..b {
+        let yi = y[batch[pos]];
+        let margin = yi * xw[pos];
+        update_coeffs[pos] = yi * PiecewiseLinearSigmoid::exact(margin);
+        let seg = interp.coefficients(margin);
+        // Contribution of sample i: a·x xᵀ w + b'·x with b' = intercept·y.
+        a_coeffs[pos] = seg.slope;
+        b_coeffs[pos] = seg.intercept * yi;
+    }
+    rows.transpose_matvec_into(update_coeffs, grad)?;
+    // Fused parameter step (bitwise identical to scale_mut + axpy on
+    // every SIMD level).
+    w.scale_add(1.0 - eta * lambda, eta / b as f64, grad)?;
+
+    let Some(compression) = capture else {
+        return Ok(None);
+    };
+    let cache = build_class_cache(&ws.rows, &ws.b2, &ws.b3, compression)?;
+    Ok(Some(LogisticIterationCache {
+        classes: vec![cache],
+        batch_size: b,
+    }))
+}
+
+/// Runs one exact multinomial mb-SGD step on the batch staged in `ws.batch`
+/// (all class logits computed up front, so in-place weight updates never
+/// feed an updated class back in), mutating `weights` in place. As with
+/// [`binary_logistic_step`], `capture` controls whether the per-class
+/// linearised provenance is built and returned.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn multinomial_logistic_step(
+    x: &Matrix,
+    classes: &[u32],
+    q: usize,
+    weights: &mut [Vector],
+    eta: f64,
+    lambda: f64,
+    interp: &PiecewiseLinearSigmoid,
+    capture: Option<Compression>,
+    ws: &mut Workspace,
+) -> Result<Option<LogisticIterationCache>> {
+    let m = x.ncols();
+    let b = ws.batch.len();
+    ws.select_batch_rows(x);
+    ws.prepare_batch(b);
+    ws.prepare_features(m);
+    ws.classes.clear();
+    ws.classes
+        .extend(ws.batch.iter().map(|&i| classes[i] as usize));
+    // Per-class logits over the batch, one row of the logits buffer per
+    // class.
+    ws.logits.reshape_zeroed(q, b);
+    for (k, wk) in weights.iter().enumerate() {
+        ws.rows.matvec_into(wk, ws.logits.row_mut(k))?;
+    }
+
+    let mut class_caches = capture.map(|_| Vec::with_capacity(q));
+    // Pre-compute per-sample log-sum-exp over all classes.
+    {
+        let Workspace {
+            logits, b0: lse, ..
+        } = ws;
+        for i in 0..b {
+            let max = (0..q).fold(f64::NEG_INFINITY, |acc, k| acc.max(logits[(k, i)]));
+            let sum: f64 = (0..q).map(|k| (logits[(k, i)] - max).exp()).sum();
+            lse[i] = max + sum.ln();
+        }
+    }
+
+    for k in 0..q {
+        let Workspace {
+            classes: batch_classes,
+            logits,
+            b0: lse,
+            b1: exact_coeffs,
+            b2: a_coeffs,
+            b3: b_coeffs,
+            m0: grad,
+            rows,
+            ..
+        } = ws;
+        for i in 0..b {
+            let z = logits[(k, i)];
+            let p = (z - lse[i]).exp();
+            let indicator = if batch_classes[i] == k { 1.0 } else { 0.0 };
+            exact_coeffs[i] = p - indicator;
+
+            // Scalarised softmax: p = σ(z − L) with L the log-sum-exp of
+            // the *other* classes; clamp for numerical safety when p≈1.
+            let l_other = lse[i] + (1.0 - p).max(1e-300).ln();
+            let u = z - l_other;
+            let seg = interp.sigmoid_coefficients(u);
+            // Gradient contribution: x (σ(u) − 1[y=k]) ≈ α x xᵀ w_k +
+            // (β − α·L − 1[y=k]) x; cast into the Eq. 19 form
+            // `+ a x xᵀ w + b' x` with a = −α, b' = 1[y=k] − β + α·L.
+            a_coeffs[i] = -seg.slope;
+            b_coeffs[i] = indicator - seg.intercept + seg.slope * l_other;
+        }
+        // Exact update for class k (the logits were computed up front, so
+        // updating in place never feeds an updated weight back in).
+        rows.transpose_matvec_into(exact_coeffs, grad)?;
+        // Fused parameter step (bitwise identical to scale_mut + axpy).
+        weights[k].scale_add(1.0 - eta * lambda, -eta / b as f64, grad)?;
+
+        if let (Some(caches), Some(compression)) = (class_caches.as_mut(), capture) {
+            caches.push(build_class_cache(&ws.rows, &ws.b2, &ws.b3, compression)?);
+        }
+    }
+
+    Ok(class_caches.map(|classes| LogisticIterationCache {
+        classes,
+        batch_size: b,
+    }))
 }
 
 /// Trains a binary logistic-regression model (labels in `{-1, +1}`) with
@@ -113,46 +266,21 @@ pub fn train_binary_logistic_with(
         }
 
         schedule.batch_into(t, &mut ws.batch, &mut ws.idx_scratch);
-        let b = ws.batch.len();
-        ws.select_batch_rows(&dataset.x);
-        ws.prepare_batch(b);
-        ws.prepare_features(m);
-        let Workspace {
-            batch,
-            rows,
-            b0: xw,
-            b1: update_coeffs,
-            b2: a_coeffs,
-            b3: b_coeffs,
-            m0: grad,
-            ..
-        } = ws;
-
-        rows.matvec_into(&w, xw)?;
-        // Exact update: w ← (1-ηλ) w + (η/B) Σ y_i x_i f(y_i wᵀ x_i).
-        for pos in 0..b {
-            let yi = y[batch[pos]];
-            let margin = yi * xw[pos];
-            update_coeffs[pos] = yi * PiecewiseLinearSigmoid::exact(margin);
-            let seg = interp.coefficients(margin);
-            // Contribution of sample i: a·x xᵀ w + b'·x with b' = intercept·y.
-            a_coeffs[pos] = seg.slope;
-            b_coeffs[pos] = seg.intercept * yi;
-        }
-        rows.transpose_matvec_into(update_coeffs, grad)?;
-        // Fused parameter step (bitwise identical to scale_mut + axpy on
-        // every SIMD level).
-        w.scale_add(1.0 - eta * lambda, eta / b as f64, grad)?;
-
+        let cache = binary_logistic_step(
+            &dataset.x,
+            y,
+            &mut w,
+            eta,
+            lambda,
+            interp,
+            Some(config.compression),
+            ws,
+        )?
+        .expect("capture was requested");
         if t % 32 == 0 && !w.is_finite() {
             return Err(CoreError::Diverged { iteration: t });
         }
-
-        let cache = build_class_cache(&ws.rows, &ws.b2, &ws.b3, config.compression)?;
-        iterations.push(LogisticIterationCache {
-            classes: vec![cache],
-            batch_size: b,
-        });
+        iterations.push(cache);
     }
     if !w.is_finite() {
         return Err(CoreError::Diverged {
@@ -274,84 +402,24 @@ pub fn train_multinomial_logistic_with(
         }
 
         schedule.batch_into(t, &mut ws.batch, &mut ws.idx_scratch);
-        let b = ws.batch.len();
-        ws.select_batch_rows(&dataset.x);
-        ws.prepare_batch(b);
-        ws.prepare_features(m);
-        ws.classes.clear();
-        ws.classes
-            .extend(ws.batch.iter().map(|&i| classes[i] as usize));
-        // Per-class logits over the batch, one row of the logits buffer per
-        // class.
-        ws.logits.reshape_zeroed(q, b);
-        for (k, wk) in weights.iter().enumerate() {
-            ws.rows.matvec_into(wk, ws.logits.row_mut(k))?;
-        }
-
-        let mut class_caches = Vec::with_capacity(q);
-        // Pre-compute per-sample log-sum-exp over all classes.
-        {
-            let Workspace {
-                logits, b0: lse, ..
-            } = ws;
-            for i in 0..b {
-                let max = (0..q).fold(f64::NEG_INFINITY, |acc, k| acc.max(logits[(k, i)]));
-                let sum: f64 = (0..q).map(|k| (logits[(k, i)] - max).exp()).sum();
-                lse[i] = max + sum.ln();
-            }
-        }
-
-        for k in 0..q {
-            let Workspace {
-                classes: batch_classes,
-                logits,
-                b0: lse,
-                b1: exact_coeffs,
-                b2: a_coeffs,
-                b3: b_coeffs,
-                m0: grad,
-                rows,
-                ..
-            } = ws;
-            for i in 0..b {
-                let z = logits[(k, i)];
-                let p = (z - lse[i]).exp();
-                let indicator = if batch_classes[i] == k { 1.0 } else { 0.0 };
-                exact_coeffs[i] = p - indicator;
-
-                // Scalarised softmax: p = σ(z − L) with L the log-sum-exp of
-                // the *other* classes; clamp for numerical safety when p≈1.
-                let l_other = lse[i] + (1.0 - p).max(1e-300).ln();
-                let u = z - l_other;
-                let seg = interp.sigmoid_coefficients(u);
-                // Gradient contribution: x (σ(u) − 1[y=k]) ≈ α x xᵀ w_k +
-                // (β − α·L − 1[y=k]) x; cast into the Eq. 19 form
-                // `+ a x xᵀ w + b' x` with a = −α, b' = 1[y=k] − β + α·L.
-                a_coeffs[i] = -seg.slope;
-                b_coeffs[i] = indicator - seg.intercept + seg.slope * l_other;
-            }
-            // Exact update for class k (the logits were computed up front, so
-            // updating in place never feeds an updated weight back in).
-            rows.transpose_matvec_into(exact_coeffs, grad)?;
-            // Fused parameter step (bitwise identical to scale_mut + axpy).
-            weights[k].scale_add(1.0 - eta * lambda, -eta / b as f64, grad)?;
-
-            class_caches.push(build_class_cache(
-                &ws.rows,
-                &ws.b2,
-                &ws.b3,
-                config.compression,
-            )?);
-        }
+        let cache = multinomial_logistic_step(
+            &dataset.x,
+            classes,
+            q,
+            &mut weights,
+            eta,
+            lambda,
+            interp,
+            Some(config.compression),
+            ws,
+        )?
+        .expect("capture was requested");
 
         if t % 32 == 0 && weights.iter().any(|w| !w.is_finite()) {
             return Err(CoreError::Diverged { iteration: t });
         }
 
-        iterations.push(LogisticIterationCache {
-            classes: class_caches,
-            batch_size: b,
-        });
+        iterations.push(cache);
     }
     if weights.iter().any(|w| !w.is_finite()) {
         return Err(CoreError::Diverged {

@@ -8,7 +8,7 @@
 
 use priu_data::dataset::{Labels, SparseDataset};
 use priu_data::minibatch::BatchSchedule;
-use priu_linalg::Vector;
+use priu_linalg::{CsrMatrix, Vector};
 
 use crate::config::TrainerConfig;
 use crate::error::{CoreError, Result};
@@ -38,6 +38,56 @@ impl SparseLogisticProvenance {
     pub fn provenance_bytes(&self) -> usize {
         self.coefficients.iter().map(|c| c.len() * 16).sum()
     }
+}
+
+/// Runs one exact sparse binary-logistic mb-SGD step on the batch staged in
+/// `ws.batch` (gather margins, scatter gradient — the batched CSR kernels),
+/// mutating `w` in place. The single definition of the step: the trainer
+/// loop calls it per scheduled iteration, the delta engine for appended
+/// explicit batches. With `capture` set the iteration's `(a, b')`
+/// linearisation coefficients are collected and returned (allocates: it is
+/// storage); with `false` the step touches only workspace buffers.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sparse_logistic_step(
+    x: &CsrMatrix,
+    y: &Vector,
+    w: &mut Vector,
+    eta: f64,
+    lambda: f64,
+    interp: &PiecewiseLinearSigmoid,
+    capture: bool,
+    ws: &mut Workspace,
+) -> Result<Option<Vec<(f64, f64)>>> {
+    let m = x.ncols();
+    let b = ws.batch.len() as f64;
+    ws.prepare_features(m);
+    ws.prepare_sparse_batch(ws.batch.len());
+    let Workspace {
+        batch,
+        b0: dots,
+        b1: alphas,
+        m0: acc,
+        ..
+    } = ws;
+    let dots = &mut dots[..batch.len()];
+    let alphas = &mut alphas[..batch.len()];
+    // Gather phase: all per-sample margins in one parallel kernel.
+    x.rows_dot_into(batch, w, dots)?;
+    let mut iter_coeffs = capture.then(|| Vec::with_capacity(batch.len()));
+    for (pos, &i) in batch.iter().enumerate() {
+        let margin = y[i] * dots[pos];
+        let f = PiecewiseLinearSigmoid::exact(margin);
+        alphas[pos] = y[i] * f;
+        if let Some(coeffs) = iter_coeffs.as_mut() {
+            let seg = interp.coefficients(margin);
+            coeffs.push((seg.slope, seg.intercept * y[i]));
+        }
+    }
+    // Scatter phase: the batch gradient as one chunk-ordered reduction.
+    x.scatter_rows_into(batch, alphas, acc)?;
+    // Fused parameter step (bitwise identical to scale_mut + axpy).
+    w.scale_add(1.0 - eta * lambda, eta / b, acc)?;
+    Ok(iter_coeffs)
 }
 
 /// The result of training a sparse binary logistic model.
@@ -95,32 +145,9 @@ pub fn train_sparse_binary_logistic_with(
 
     for t in 0..hyper.num_iterations {
         schedule.batch_into(t, &mut ws.batch, &mut ws.idx_scratch);
-        let b = ws.batch.len() as f64;
-        ws.prepare_features(m);
-        ws.prepare_sparse_batch(ws.batch.len());
-        let Workspace {
-            batch,
-            b0: dots,
-            b1: alphas,
-            m0: acc,
-            ..
-        } = ws;
-        let dots = &mut dots[..batch.len()];
-        let alphas = &mut alphas[..batch.len()];
-        // Gather phase: all per-sample margins in one parallel kernel.
-        dataset.x.rows_dot_into(batch, &w, dots)?;
-        let mut iter_coeffs = Vec::with_capacity(batch.len());
-        for (pos, &i) in batch.iter().enumerate() {
-            let margin = y[i] * dots[pos];
-            let f = PiecewiseLinearSigmoid::exact(margin);
-            alphas[pos] = y[i] * f;
-            let seg = interp.coefficients(margin);
-            iter_coeffs.push((seg.slope, seg.intercept * y[i]));
-        }
-        // Scatter phase: the batch gradient as one chunk-ordered reduction.
-        dataset.x.scatter_rows_into(batch, alphas, acc)?;
-        // Fused parameter step (bitwise identical to scale_mut + axpy).
-        w.scale_add(1.0 - eta * lambda, eta / b, acc)?;
+        let iter_coeffs =
+            sparse_logistic_step(&dataset.x, y, &mut w, eta, lambda, interp, true, ws)?
+                .expect("capture was requested");
         if t % 32 == 0 && !w.is_finite() {
             return Err(CoreError::Diverged { iteration: t });
         }

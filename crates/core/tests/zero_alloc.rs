@@ -21,7 +21,9 @@ use priu_core::update::priu_linear::priu_update_linear_with;
 use priu_core::update::priu_logistic::priu_update_logistic_with;
 use priu_core::update::priu_opt_logistic::priu_opt_update_logistic_with;
 use priu_core::update::sparse_logistic::priu_update_sparse_logistic_with;
-use priu_core::{TrainerConfig, Workspace};
+use priu_core::{
+    DeletionEngine, Delta, DeltaRows, Method, SessionBuilder, TrainerConfig, Workspace,
+};
 use priu_data::catalog::Hyperparameters;
 use priu_data::dataset::{DenseDataset, SparseDataset};
 use priu_data::synthetic::classification::{generate_binary_classification, ClassificationConfig};
@@ -287,6 +289,52 @@ fn update_allocations_are_independent_of_iteration_count() {
         ws.grow_events(),
         0,
         "warm workspace grew during sparse retraining"
+    );
+
+    // The delta engines' warm addition path: the appended explicit-batch
+    // GD steps run entirely on workspace buffers, so an addition-only
+    // `update_delta` allocates per *call* plus at most one chunk-list
+    // header per appended batch — never per row and never per step.
+    let data = regression_data();
+    let session = SessionBuilder::dense(data, config(10, 0.05))
+        .opt_capture(false)
+        .fit()
+        .unwrap();
+    let extra = generate_regression(&RegressionConfig {
+        num_samples: 400,
+        num_features: 8,
+        noise_std: 0.1,
+        seed: 93,
+        ..Default::default()
+    });
+    // batch_size is 50: 25 rows and 50 rows are one appended batch each,
+    // 400 rows are eight.
+    let half: Vec<usize> = (0..25).collect();
+    let full: Vec<usize> = (0..50).collect();
+    let delta_half = Delta::addition(DeltaRows::Dense(extra.select(&half)));
+    let delta_full = Delta::addition(DeltaRows::Dense(extra.select(&full)));
+    let delta_eight = Delta::addition(DeltaRows::Dense(extra.clone()));
+    for delta in [&delta_half, &delta_full, &delta_eight] {
+        session.update_delta(Method::Priu, delta).unwrap(); // warm-up
+    }
+    let allocs_half = count_allocations(|| {
+        session.update_delta(Method::Priu, &delta_half).unwrap();
+    });
+    let allocs_full = count_allocations(|| {
+        session.update_delta(Method::Priu, &delta_full).unwrap();
+    });
+    let allocs_eight = count_allocations(|| {
+        session.update_delta(Method::Priu, &delta_eight).unwrap();
+    });
+    assert_eq!(
+        allocs_half, allocs_full,
+        "the appended GD step allocated per row ({allocs_half} vs {allocs_full} \
+         allocations for 25 vs 50 rows in one batch)"
+    );
+    assert!(
+        allocs_eight - allocs_full <= 7,
+        "the appended GD step allocated per batch beyond the chunk-list \
+         headers ({allocs_full} allocations for 1 batch vs {allocs_eight} for 8)"
     );
 
     offline_factorization_allocations_are_per_call_constants();

@@ -80,6 +80,36 @@ impl Labels {
         }
     }
 
+    /// Appends labels of the same kind (the delta engines' addition path).
+    ///
+    /// # Panics
+    /// Panics if the label kinds (or class counts) differ, mirroring the
+    /// length assertions of the dataset constructors — the engines validate
+    /// task agreement before appending.
+    pub fn append(&mut self, other: &Labels) {
+        match (self, other) {
+            (Labels::Continuous(v), Labels::Continuous(o))
+            | (Labels::Binary(v), Labels::Binary(o)) => v.extend_from_slice(o.as_slice()),
+            (
+                Labels::Multiclass {
+                    classes,
+                    num_classes,
+                },
+                Labels::Multiclass {
+                    classes: other_classes,
+                    num_classes: other_num_classes,
+                },
+            ) => {
+                assert_eq!(
+                    *num_classes, *other_num_classes,
+                    "class counts must match to append labels"
+                );
+                classes.extend_from_slice(other_classes);
+            }
+            _ => panic!("label kinds must match to append"),
+        }
+    }
+
     /// The continuous targets, if this is a regression label set.
     pub fn as_continuous(&self) -> Option<&Vector> {
         match self {
@@ -183,6 +213,28 @@ impl DenseDataset {
         }
     }
 
+    /// Appends the samples of `other` in place (same feature width, same
+    /// label kind) — the delta engines' addition path. Nothing is mutated
+    /// when the widths differ.
+    ///
+    /// # Errors
+    /// Returns [`priu_linalg::LinalgError::ShapeMismatch`] if the feature
+    /// counts differ.
+    ///
+    /// # Panics
+    /// Panics if the label kinds differ (see [`Labels::append`]).
+    pub fn append(&mut self, other: &DenseDataset) -> priu_linalg::Result<()> {
+        if other.num_features() != self.num_features() {
+            return Err(priu_linalg::LinalgError::ShapeMismatch {
+                op: "DenseDataset::append",
+                left: (self.num_samples(), self.num_features()),
+                right: (other.num_samples(), other.num_features()),
+            });
+        }
+        self.labels.append(&other.labels);
+        self.x.append_rows(&other.x)
+    }
+
     /// Splits into train/validation with the given training fraction, after a
     /// seeded shuffle (the paper uses 90% / 10%).
     ///
@@ -265,6 +317,27 @@ impl SparseDataset {
             x: self.x.select_rows(indices)?,
             labels: self.labels.select(indices),
         })
+    }
+
+    /// Appends the samples of `other` in place, like
+    /// [`DenseDataset::append`]. Nothing is mutated when the widths differ.
+    ///
+    /// # Errors
+    /// Returns [`priu_linalg::LinalgError::ShapeMismatch`] if the feature
+    /// counts differ.
+    ///
+    /// # Panics
+    /// Panics if the label kinds differ (see [`Labels::append`]).
+    pub fn append(&mut self, other: &SparseDataset) -> priu_linalg::Result<()> {
+        if other.num_features() != self.num_features() {
+            return Err(priu_linalg::LinalgError::ShapeMismatch {
+                op: "SparseDataset::append",
+                left: (self.num_samples(), self.num_features()),
+                right: (other.num_samples(), other.num_features()),
+            });
+        }
+        self.labels.append(&other.labels);
+        self.x.append_rows(&other.x)
     }
 }
 
@@ -364,6 +437,51 @@ mod tests {
         assert_eq!(mc.select(&[1]).as_multiclass().unwrap().0, &[2]);
         assert!(!mc.is_empty());
         assert_eq!(mc.len(), 3);
+    }
+
+    #[test]
+    fn append_grows_dense_and_sparse_datasets_in_place() {
+        let mut d = toy();
+        let extra = DenseDataset::new(
+            Matrix::from_fn(2, 3, |i, j| (100 + i * 3 + j) as f64),
+            Labels::Continuous(Vector::from_vec(vec![100.0, 101.0])),
+        );
+        d.append(&extra).unwrap();
+        assert_eq!(d.num_samples(), 12);
+        assert_eq!(d.x.row(10)[0], 100.0);
+        assert_eq!(d.labels.as_continuous().unwrap()[11], 101.0);
+        // Width mismatch is an error and leaves the dataset untouched.
+        let wrong = DenseDataset::new(Matrix::zeros(1, 2), Labels::Continuous(Vector::zeros(1)));
+        assert!(d.append(&wrong).is_err());
+        assert_eq!(d.num_samples(), 12);
+
+        let dense = Matrix::from_vec(2, 3, vec![0.0, 1.0, 0.0, 2.0, 0.0, 3.0]).unwrap();
+        let mut s = SparseDataset::new(
+            CsrMatrix::from_dense(&dense),
+            Labels::Binary(Vector::from_vec(vec![1.0, -1.0])),
+        );
+        let extra_dense = Matrix::from_vec(1, 3, vec![4.0, 0.0, 5.0]).unwrap();
+        let extra = SparseDataset::new(
+            CsrMatrix::from_dense(&extra_dense),
+            Labels::Binary(Vector::from_vec(vec![1.0])),
+        );
+        s.append(&extra).unwrap();
+        assert_eq!(s.num_samples(), 3);
+        let (cols, vals) = s.x.row(2);
+        assert_eq!(cols, &[0, 2]);
+        assert_eq!(vals, &[4.0, 5.0]);
+        assert_eq!(s.labels.as_binary().unwrap().as_slice(), &[1.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label kinds must match")]
+    fn append_rejects_mismatched_label_kinds() {
+        let mut d = toy();
+        let extra = DenseDataset::new(
+            Matrix::zeros(1, 3),
+            Labels::Binary(Vector::from_vec(vec![1.0])),
+        );
+        let _ = d.append(&extra);
     }
 
     #[test]

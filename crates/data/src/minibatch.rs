@@ -188,6 +188,39 @@ impl BatchSchedule {
             explicit: Some(batches),
         }
     }
+
+    /// Extends the schedule with explicit batches over newly appended rows:
+    /// every existing batch is materialised (so prior iterations replay
+    /// byte-for-byte), the extra batches become additional trailing
+    /// iterations, and the sample count grows by `added_samples`. The delta
+    /// engines run one exact SGD step per appended batch and capture it
+    /// like any other iteration, so later deletions of added rows flow
+    /// through the standard replay machinery.
+    ///
+    /// # Panics
+    /// Panics if an extra batch is empty or references a row at or beyond
+    /// `num_samples() + added_samples`.
+    pub fn extend_with(&self, extra: Vec<Vec<usize>>, added_samples: usize) -> BatchSchedule {
+        let new_n = self.num_samples + added_samples;
+        for batch in &extra {
+            assert!(!batch.is_empty(), "appended batches must be non-empty");
+            assert!(
+                batch.iter().all(|&i| i < new_n),
+                "appended batch indexes a row beyond the extended range"
+            );
+        }
+        let mut batches: Vec<Vec<usize>> =
+            (0..self.num_iterations).map(|t| self.batch(t)).collect();
+        let num_iterations = self.num_iterations + extra.len();
+        batches.extend(extra);
+        BatchSchedule {
+            num_samples: new_n,
+            batch_size: self.batch_size,
+            num_iterations,
+            seed: self.seed,
+            explicit: Some(batches),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -211,6 +244,41 @@ mod tests {
         // Different seeds give different batches.
         let s2 = BatchSchedule::new(100, 10, 50, 8);
         assert_ne!(s.batch(3), s2.batch(3));
+    }
+
+    #[test]
+    fn extend_with_appends_explicit_batches_and_preserves_history() {
+        let s = BatchSchedule::new(20, 4, 6, 11);
+        let before: Vec<Vec<usize>> = (0..6).map(|t| s.batch(t)).collect();
+        let grown = s.extend_with(vec![vec![20, 21], vec![22]], 3);
+        assert_eq!(grown.num_samples(), 23);
+        assert_eq!(grown.num_iterations(), 8);
+        // Prior iterations replay byte-for-byte.
+        for (t, batch) in before.iter().enumerate() {
+            assert_eq!(&grown.batch(t), batch);
+        }
+        assert_eq!(grown.batch(6), vec![20, 21]);
+        assert_eq!(grown.batch(7), vec![22]);
+        // Restriction still composes: drop an old and a new row.
+        let filtered: Vec<Vec<usize>> = (0..8)
+            .map(|t| {
+                grown
+                    .batch(t)
+                    .into_iter()
+                    .filter(|i| ![3usize, 21].contains(i))
+                    .collect()
+            })
+            .collect();
+        let restricted = grown.restrict_from(&[3, 21], filtered);
+        assert_eq!(restricted.num_samples(), 21);
+        assert_eq!(restricted.batch(6), vec![19]); // 20 shifts past removed 3
+        assert_eq!(restricted.batch(7), vec![20]); // 22 shifts past 3 and 21
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the extended range")]
+    fn extend_with_rejects_out_of_range_rows() {
+        BatchSchedule::new(10, 2, 3, 1).extend_with(vec![vec![12]], 2);
     }
 
     #[test]

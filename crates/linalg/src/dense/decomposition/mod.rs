@@ -35,7 +35,8 @@ pub mod tridiag;
 pub mod truncated;
 
 pub use cholesky::{
-    cholesky_factor_into, cholesky_factor_scalar_into, cholesky_solve_into, Cholesky,
+    cholesky_factor_into, cholesky_factor_scalar_into, cholesky_solve_into, cholesky_update_into,
+    cholesky_update_rank_k_into, cholesky_update_scalar_into, Cholesky,
 };
 pub use eigen::{
     eigen_into, eigen_scalar_into, with_eigen_method, EigenMethod, EigenScratch, JacobiScratch,
@@ -44,6 +45,7 @@ pub use eigen::{
 pub use lu::Lu;
 pub use qr::{
     qr_factor_into, qr_factor_per_reflector_into, qr_factor_scalar_into, Qr, QrScratch, QR_NB,
+    QR_WY_MIN_COLS,
 };
 pub use tridiag::{tridiag_factor_into, tridiag_factor_scalar_into, TridiagScratch};
 pub use truncated::{GramFactor, TruncatedGram, TruncationMethod};

@@ -54,6 +54,15 @@ const QR_MIN_CHUNK_ROWS: usize = 256;
 const QR_MIN_CHUNK_COLS: usize = 64;
 /// Chunk-count cap for both passes (map-style, disjoint outputs).
 const QR_MAX_CHUNKS: usize = 16;
+/// Column count below which [`qr_factor_into`] dispatches to the
+/// per-reflector driver instead of compact-WY: the `T`-block build is
+/// `O(m·nb²)` yet saves only trailing-pass traffic proportional to the
+/// trailing width, so it never amortises on narrow problems (BENCH_7:
+/// per-reflector wins at 512×128 on one CPU, WY wins by 512×257). The
+/// switch is mirrored in [`qr_factor_scalar_into`] so the bitwise
+/// scalar == blocked == pool contract is preserved on both sides of the
+/// crossover (`decomp_parity` pins it at the boundary).
+pub const QR_WY_MIN_COLS: usize = 192;
 /// Compact-WY panel width: reflectors aggregated per `I − V·T·Vᵀ` block.
 pub const QR_NB: usize = 32;
 
@@ -164,10 +173,13 @@ fn extract_r(rf: &Matrix, r: &mut Matrix, m: usize) {
     }
 }
 
-/// Compact-WY blocked, pool-parallel thin Householder QR into caller-owned
-/// matrices (`q` reshaped to `n × m`, `r` to `m × m`, both reusing
-/// allocations; `scratch` reused across calls). Bitwise identical to
-/// [`qr_factor_scalar_into`] for any thread count.
+/// Blocked, pool-parallel thin Householder QR into caller-owned matrices
+/// (`q` reshaped to `n × m`, `r` to `m × m`, both reusing allocations;
+/// `scratch` reused across calls). Runs compact-WY panels at
+/// [`QR_WY_MIN_COLS`] columns and above, the per-reflector driver below
+/// (where the `T`-block build never amortises). Bitwise identical to
+/// [`qr_factor_scalar_into`] for any thread count — the scalar reference
+/// switches drivers on the same width.
 ///
 /// # Errors
 /// See [`Qr::new`].
@@ -177,7 +189,11 @@ pub fn qr_factor_into(
     r: &mut Matrix,
     scratch: &mut QrScratch,
 ) -> Result<()> {
-    qr_wy_driver(a, q, r, scratch, apply_reflector, wy_apply)
+    if a.ncols() < QR_WY_MIN_COLS {
+        qr_reflector_driver(a, q, r, scratch, apply_reflector)
+    } else {
+        qr_wy_driver(a, q, r, scratch, apply_reflector, wy_apply)
+    }
 }
 
 /// How a reflector `(x, v, v_norm_sq, row0, col0, col1, dots)` is applied.
@@ -599,10 +615,11 @@ pub(crate) fn apply_reflector(
     });
 }
 
-/// The plain-loop reference: the same compact-WY panel driver as
-/// [`qr_factor_into`] with every reflector and WY block applied by
-/// sequential loops instead of the chunk-parallel passes — used by the
-/// parity suite (bitwise) and the decomposition benches (scalar baseline).
+/// The plain-loop reference: the same driver tree as [`qr_factor_into`] —
+/// including its [`QR_WY_MIN_COLS`] width switch — with every reflector and
+/// WY block applied by sequential loops instead of the chunk-parallel
+/// passes; used by the parity suite (bitwise) and the decomposition benches
+/// (scalar baseline).
 ///
 /// # Errors
 /// See [`Qr::new`].
@@ -612,7 +629,11 @@ pub fn qr_factor_scalar_into(
     r: &mut Matrix,
     scratch: &mut QrScratch,
 ) -> Result<()> {
-    qr_wy_driver(a, q, r, scratch, apply_reflector_scalar, wy_apply_scalar)
+    if a.ncols() < QR_WY_MIN_COLS {
+        qr_reflector_driver(a, q, r, scratch, apply_reflector_scalar)
+    } else {
+        qr_wy_driver(a, q, r, scratch, apply_reflector_scalar, wy_apply_scalar)
+    }
 }
 
 /// Plain-loop reflector application (the reference tree). Shared with the

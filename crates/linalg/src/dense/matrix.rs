@@ -244,6 +244,25 @@ impl Matrix {
         }
     }
 
+    /// Appends the rows of `other` beneath this matrix in place — row-major
+    /// storage makes this one `memcpy`-style extend, which is what lets the
+    /// delta engines grow a feature matrix without rebuilding it.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if the column counts differ.
+    pub fn append_rows(&mut self, other: &Matrix) -> Result<()> {
+        if other.cols != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "Matrix::append_rows",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        self.data.extend_from_slice(&other.data);
+        self.rows += other.rows;
+        Ok(())
+    }
+
     /// Reshapes the matrix to `rows x cols` with every entry zero, reusing
     /// the existing allocation when its capacity suffices.
     pub fn reshape_zeroed(&mut self, rows: usize, cols: usize) {

@@ -74,6 +74,12 @@ impl Vector {
         self.data
     }
 
+    /// Appends the entries of `other` (the label-append building block of
+    /// the delta engines' addition path).
+    pub fn extend_from_slice(&mut self, other: &[f64]) {
+        self.data.extend_from_slice(other);
+    }
+
     /// Dot product `self · other`.
     ///
     /// # Errors

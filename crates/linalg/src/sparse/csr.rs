@@ -212,6 +212,31 @@ impl CsrMatrix {
         })
     }
 
+    /// Appends the rows of `other` beneath this matrix in place (values and
+    /// column indices extend verbatim, row pointers shift by the current
+    /// nnz) — the sparse half of the delta engines' addition path. The
+    /// per-row sorted-columns invariant is preserved because `other`
+    /// already upholds it.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if the column counts differ.
+    pub fn append_rows(&mut self, other: &CsrMatrix) -> Result<()> {
+        if other.cols != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "CsrMatrix::append_rows",
+                left: (self.rows, self.cols),
+                right: (other.rows, other.cols),
+            });
+        }
+        let base = *self.row_ptr.last().expect("row_ptr is never empty");
+        self.row_ptr
+            .extend(other.row_ptr[1..].iter().map(|&p| base + p));
+        self.col_idx.extend_from_slice(&other.col_idx);
+        self.values.extend_from_slice(&other.values);
+        self.rows += other.rows;
+        Ok(())
+    }
+
     /// The sparse row `i` as parallel `(column, value)` slices.
     ///
     /// # Panics

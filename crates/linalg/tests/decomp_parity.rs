@@ -21,10 +21,11 @@
 //! decomposition.
 
 use priu_linalg::decomposition::{
-    cholesky_factor_into, cholesky_factor_scalar_into, cholesky_solve_into, eigen_into,
-    eigen_scalar_into, qr_factor_into, qr_factor_per_reflector_into, qr_factor_scalar_into,
-    tridiag_factor_into, tridiag_factor_scalar_into, with_eigen_method, Cholesky, EigenMethod,
-    EigenScratch, Qr, QrScratch, SymmetricEigen, TridiagScratch,
+    cholesky_factor_into, cholesky_factor_scalar_into, cholesky_solve_into, cholesky_update_into,
+    cholesky_update_rank_k_into, cholesky_update_scalar_into, eigen_into, eigen_scalar_into,
+    qr_factor_into, qr_factor_per_reflector_into, qr_factor_scalar_into, tridiag_factor_into,
+    tridiag_factor_scalar_into, with_eigen_method, Cholesky, EigenMethod, EigenScratch, Qr,
+    QrScratch, SymmetricEigen, TridiagScratch, QR_WY_MIN_COLS,
 };
 use priu_linalg::{par, simd, LinalgError, Matrix, Vector};
 use priu_rng::Rng64;
@@ -787,4 +788,166 @@ fn compact_wy_qr_matches_per_reflector_numerically() {
         assert_eq!(q_pr4, q_pr, "per-reflector pool invariance Q {n}x{m}");
         assert_eq!(r_pr4, r_pr, "per-reflector pool invariance R {n}x{m}");
     }
+}
+
+#[test]
+#[allow(clippy::assertions_on_constants)]
+fn qr_width_switch_pins_equivalence_at_the_wy_crossover() {
+    // BENCH_7 bounds the crossover: per-reflector wins at 512×128 on one
+    // CPU, compact-WY wins by 512×257 — the switch must sit between them.
+    assert!(QR_WY_MIN_COLS > 128 && QR_WY_MIN_COLS <= 257);
+    let mut scratch = QrScratch::default();
+    let (mut q1, mut r1) = (Matrix::zeros(0, 0), Matrix::zeros(0, 0));
+    let (mut q2, mut r2) = (Matrix::zeros(0, 0), Matrix::zeros(0, 0));
+
+    // One column below the switch the public entry point IS the
+    // per-reflector driver — bitwise, not merely close.
+    let narrow = random_matrix(320, QR_WY_MIN_COLS - 1, 0x1B0);
+    qr_factor_into(&narrow, &mut q1, &mut r1, &mut scratch).unwrap();
+    qr_factor_per_reflector_into(&narrow, &mut q2, &mut r2, &mut scratch).unwrap();
+    assert_eq!(q1, q2, "below-crossover Q must be the per-reflector bits");
+    assert_eq!(r1, r2, "below-crossover R must be the per-reflector bits");
+
+    // At the switch compact-WY takes over: same reflector sequence through
+    // a reassociated trailing tree, so the factors agree numerically across
+    // the crossover.
+    let wide = random_matrix(320, QR_WY_MIN_COLS, 0x1B1);
+    qr_factor_into(&wide, &mut q1, &mut r1, &mut scratch).unwrap();
+    qr_factor_per_reflector_into(&wide, &mut q2, &mut r2, &mut scratch).unwrap();
+    let tol = 1e-11 * 320.0;
+    assert!(max_abs_diff(&q1, &q2) < tol, "crossover Q drift");
+    assert!(max_abs_diff(&r1, &r2) < tol, "crossover R drift");
+
+    // The scalar == blocked == pool contract holds on both sides of the
+    // boundary (the scalar reference switches drivers on the same width).
+    let (mut qs, mut rs) = (Matrix::zeros(0, 0), Matrix::zeros(0, 0));
+    for (case, m) in [QR_WY_MIN_COLS - 1, QR_WY_MIN_COLS].into_iter().enumerate() {
+        let a = random_matrix(320, m, 0x1B2 + case as u64);
+        qr_factor_scalar_into(&a, &mut qs, &mut rs, &mut scratch).unwrap();
+        for threads in [1usize, 4] {
+            par::with_threads(threads, || {
+                qr_factor_into(&a, &mut q1, &mut r1, &mut scratch).unwrap()
+            });
+            assert_eq!(q1, qs, "Q blocked({threads}) vs scalar 320x{m}");
+            assert_eq!(r1, rs, "R blocked({threads}) vs scalar 320x{m}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rank-1 / rank-k Cholesky updates
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cholesky_update_scalar_and_kernel_paths_are_bitwise_identical() {
+    // The update is FMA-free by construction (rotation element ops perform
+    // the same three roundings on every level), so the kernel path must
+    // match the plain-loop reference bitwise on every level × thread count.
+    // (Across levels the update of a *given* factor is also bit-stable, but
+    // the base factorisation is not — FMA — so that is not asserted here.)
+    for level in simd_levels() {
+        simd::with_level(level, || {
+            for (case, &n) in SPD_SIZES.iter().enumerate() {
+                let a = random_spd(n, 0x2C0 + case as u64);
+                let mut base = Matrix::zeros(0, 0);
+                cholesky_factor_into(&a, &mut base).unwrap();
+                let x: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64 - 6.0) / 5.0).collect();
+
+                let mut scalar = base.clone();
+                let mut carry = x.clone();
+                cholesky_update_scalar_into(&mut scalar, &mut carry).unwrap();
+
+                let mut col = Vec::new();
+                for threads in [1usize, 4] {
+                    let mut kernel = base.clone();
+                    let mut carry = x.clone();
+                    par::with_threads(threads, || {
+                        cholesky_update_into(&mut kernel, &mut carry, &mut col).unwrap()
+                    });
+                    assert_eq!(
+                        kernel, scalar,
+                        "update({threads}) vs scalar n={n} ({level})"
+                    );
+                }
+            }
+        });
+    }
+}
+
+#[test]
+fn cholesky_update_matches_refactorisation_and_inverts_downdate() {
+    for (case, &n) in SPD_SIZES.iter().enumerate() {
+        if n < 2 {
+            continue;
+        }
+        let a = random_spd(n, 0x2D0 + case as u64);
+        let mut l = Matrix::zeros(0, 0);
+        cholesky_factor_into(&a, &mut l).unwrap();
+        let x = Vector::from_fn(n, |i| ((i * 11 % 17) as f64 - 8.0) / 7.0);
+
+        // update(L, x) == factor(A + x xᵀ), numerically.
+        let mut carry = x.as_slice().to_vec();
+        let mut col = Vec::new();
+        cholesky_update_into(&mut l, &mut carry, &mut col).unwrap();
+        let mut bumped = a.clone();
+        bumped.rank_one_update(1.0, &x).unwrap();
+        let mut fresh = Matrix::zeros(0, 0);
+        cholesky_factor_into(&bumped, &mut fresh).unwrap();
+        let tol = 1e-10 * (n as f64).max(1.0);
+        let mut worst = 0.0f64;
+        for i in 0..n {
+            for j in 0..=i {
+                worst = worst.max((l[(i, j)] - fresh[(i, j)]).abs());
+            }
+        }
+        assert!(worst < tol, "update vs refactor n={n}: {worst}");
+
+        // Round trip: updating the factor of A − x xᵀ recovers factor(A).
+        // (The closed-form engine downdates the Gram matrix itself; the
+        // factor-level inverse direction exercises the same identity.)
+        let mut shrunk = a.clone();
+        shrunk.rank_one_update(-1.0, &x).unwrap();
+        let mut round = Matrix::zeros(0, 0);
+        if cholesky_factor_into(&shrunk, &mut round).is_err() {
+            continue; // x too large for this A: downdate not SPD, skip.
+        }
+        let mut carry = x.as_slice().to_vec();
+        cholesky_update_into(&mut round, &mut carry, &mut col).unwrap();
+        let mut orig = Matrix::zeros(0, 0);
+        cholesky_factor_into(&a, &mut orig).unwrap();
+        let mut worst = 0.0f64;
+        for i in 0..n {
+            for j in 0..=i {
+                worst = worst.max((round[(i, j)] - orig[(i, j)]).abs());
+            }
+        }
+        assert!(worst < tol, "update∘downdate round trip n={n}: {worst}");
+    }
+}
+
+#[test]
+fn cholesky_rank_k_update_matches_gram_growth() {
+    let (n, k) = (96, 5);
+    let a = random_spd(n, 0x2E0);
+    let rows = random_matrix(k, n, 0x2E1);
+    let mut l = Matrix::zeros(0, 0);
+    cholesky_factor_into(&a, &mut l).unwrap();
+    let (mut xbuf, mut col) = (Vec::new(), Vec::new());
+    cholesky_update_rank_k_into(&mut l, &rows, &mut xbuf, &mut col).unwrap();
+
+    let mut grown = a.clone();
+    for r in 0..k {
+        grown
+            .rank_one_update(1.0, &Vector::from_vec(rows.row(r).to_vec()))
+            .unwrap();
+    }
+    let mut fresh = Matrix::zeros(0, 0);
+    cholesky_factor_into(&grown, &mut fresh).unwrap();
+    let mut worst = 0.0f64;
+    for i in 0..n {
+        for j in 0..=i {
+            worst = worst.max((l[(i, j)] - fresh[(i, j)]).abs());
+        }
+    }
+    assert!(worst < 1e-9, "rank-k update vs refactor: {worst}");
 }

@@ -21,6 +21,10 @@ pub enum ServerError {
         /// Features the request carried.
         got: usize,
     },
+    /// A change request's appended rows are malformed or do not fit the
+    /// session (shape, label kind, or class range). Rejected at admission
+    /// so one bad add never fails a whole coalesced batch.
+    InvalidRows(String),
     /// The underlying deletion engine failed (invalid removal set,
     /// factorisation failure, divergence, ...). The session is left on its
     /// pre-batch state.
@@ -46,6 +50,9 @@ impl fmt::Display for ServerError {
                 f,
                 "feature count mismatch: session expects {expected}, request carried {got}"
             ),
+            ServerError::InvalidRows(message) => {
+                write!(f, "invalid appended rows: {message}")
+            }
             ServerError::Engine(err) => write!(f, "deletion engine error: {err}"),
             ServerError::BatchFailed(message) => {
                 write!(f, "deletion batch failed: {message}")

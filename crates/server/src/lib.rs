@@ -34,7 +34,7 @@ pub mod scheduler;
 pub mod server;
 
 pub use error::{Result, ServerError};
-pub use planner::{BatchReply, DeleteTicket, PlannerConfig};
+pub use planner::{AddedRows, BatchReply, DeleteTicket, PlannerConfig};
 pub use protocol::{
     decode_request, decode_response, duplex, encode_request, encode_response, pipe, read_frame,
     spawn_frame_reader, write_frame, PipeReader, PipeWriter, ProtocolError, Request,

@@ -1,25 +1,32 @@
 //! The admission + coalescing batch planner.
 //!
-//! Per-user deletion requests arrive one row (or a few rows) at a time; the
-//! engines' `apply` takes an arbitrary removal set and its cost is heavily
-//! sub-linear in the set size (one downdate pass instead of N). The planner
-//! therefore *coalesces*: requests for one session accumulate in a FIFO
-//! queue and are folded into a single batched downdate when any of
+//! Per-user change requests — deletions, additions, sliding-window ticks —
+//! arrive one row (or a few rows) at a time; the engines' `apply_delta`
+//! takes an arbitrary bidirectional [`Delta`] and its cost is heavily
+//! sub-linear in the change-set size (one downdate/update pass instead of
+//! N). The planner therefore *coalesces*: requests for one session
+//! accumulate in a FIFO queue and are folded into a single batched delta
+//! when any of
 //!
 //! * the oldest pending request has waited the **coalescing window**,
-//! * the union of pending rows reaches the **max batch size**,
+//! * the folded change set (removal union + appended rows) reaches the
+//!   **max batch size**,
 //! * a flush was requested (or the server is shutting down)
 //!
-//! holds. The coalescing math is plain set union over *stable row ids*
-//! (assigned at registration, invariant under deletions — unlike current
-//! row indices, which shift whenever an earlier row is removed): the
-//! resulting batch is applied as one removal set, so its outcome is
-//! *identical* to a single `apply` with the union — not merely close, the
-//! same call. Duplicate ids across requests dedup; ids already deleted are
-//! counted per request as `stale` and acknowledged without work.
+//! holds. The removal side is plain set union over *stable row ids*
+//! (assigned monotonically, never reused — unlike current row indices,
+//! which shift whenever an earlier row is removed); the addition side
+//! concatenates appended rows in FIFO admission order. The resulting batch
+//! is applied as **one** `apply_delta` call, so its outcome is *identical*
+//! to a single apply with the union delta — not merely close, the same
+//! call. Duplicate ids across requests dedup; ids already deleted are
+//! counted per request as `stale` and acknowledged without work; `Tick`
+//! retention windows fold by minimum.
 //!
 //! With coalescing disabled every request becomes its own batch (the
 //! baseline the loadgen compares against).
+//!
+//! [`Delta`]: priu_core::Delta
 
 use std::collections::{BTreeSet, HashMap};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -53,7 +60,26 @@ impl Default for PlannerConfig {
     }
 }
 
-/// What a deletion request learns once its batch has been applied.
+/// Rows one request appends: a row-major dense block plus one label per
+/// row (interpreted against the session's task at apply time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AddedRows {
+    /// Feature width of every row.
+    pub num_features: usize,
+    /// Row-major features, `labels.len() * num_features` values.
+    pub features: Vec<f64>,
+    /// One label per row.
+    pub labels: Vec<f64>,
+}
+
+impl AddedRows {
+    /// Number of rows in the block.
+    pub fn num_rows(&self) -> usize {
+        self.labels.len()
+    }
+}
+
+/// What a change request learns once its batch has been applied.
 #[derive(Debug, Clone)]
 pub struct BatchReply {
     /// Distinct rows this request asked to delete.
@@ -62,10 +88,17 @@ pub struct BatchReply {
     pub applied: usize,
     /// How many were already gone (acknowledged without work).
     pub stale: usize,
-    /// Distinct rows in the whole coalesced batch.
+    /// Rows this request appended.
+    pub added: usize,
+    /// Rows the batch's sliding-window retention expired (batch-level:
+    /// expiry is a property of the whole coalesced batch, not of one
+    /// request).
+    pub expired: usize,
+    /// Distinct rows the whole coalesced batch removed (deletions plus
+    /// retention expiry).
     pub batch_rows: usize,
-    /// The method the scheduler picked (`None` when every row of the batch
-    /// was stale and nothing ran).
+    /// The method the scheduler picked (`None` when the batch changed
+    /// nothing and no engine call ran).
     pub method: Option<Method>,
     /// Engine-measured seconds of the online update (0 when nothing ran).
     pub seconds: f64,
@@ -94,15 +127,28 @@ impl DeleteTicket {
     }
 }
 
-/// One enqueued deletion request.
+/// One enqueued change request: deletions, appended rows, and/or a
+/// sliding-window retention bound.
 #[derive(Debug)]
-pub(crate) struct PendingDelete {
+pub(crate) struct PendingChange {
     /// Stable row ids the request wants gone (possibly with duplicates).
     pub ids: Vec<u64>,
+    /// Rows the request appends.
+    pub added: Option<AddedRows>,
+    /// Retention window (`Tick`): retain at most this many rows after the
+    /// batch commits.
+    pub keep_last: Option<u64>,
     /// Admission time; the coalescing window counts from the oldest one.
     pub enqueued: Instant,
     /// Resolution channel of the request's [`DeleteTicket`].
     pub reply: Sender<Result<BatchReply>>,
+}
+
+impl PendingChange {
+    /// Rows this request appends.
+    pub(crate) fn num_added(&self) -> usize {
+        self.added.as_ref().map_or(0, AddedRows::num_rows)
+    }
 }
 
 /// A batch the planner has decided to apply now.
@@ -111,14 +157,26 @@ pub(crate) struct ReadyBatch {
     /// The session the batch belongs to.
     pub session: String,
     /// The folded requests, FIFO order; each is answered individually.
-    pub requests: Vec<PendingDelete>,
+    /// Appended rows are consumed in this order, so the batch delta is the
+    /// FIFO concatenation of every request's additions.
+    pub requests: Vec<PendingChange>,
     /// Sorted distinct stable ids — the union removal set.
     pub union: Vec<u64>,
+    /// The tightest retention window among the folded requests (`Tick`
+    /// windows fold by minimum).
+    pub keep_last: Option<u64>,
+}
+
+impl ReadyBatch {
+    /// Total rows the batch appends, across every folded request.
+    pub fn num_added(&self) -> usize {
+        self.requests.iter().map(PendingChange::num_added).sum()
+    }
 }
 
 #[derive(Debug, Default)]
 struct SessionQueue {
-    pending: Vec<PendingDelete>,
+    pending: Vec<PendingChange>,
     flush: bool,
 }
 
@@ -130,15 +188,31 @@ pub(crate) struct PlannerState {
 }
 
 impl PlannerState {
-    /// Admits a request, returning the ticket its submitter waits on.
+    /// Admits a deletion-only request, returning the ticket its submitter
+    /// waits on.
+    #[cfg(test)]
     pub fn enqueue(&mut self, session: &str, ids: Vec<u64>) -> DeleteTicket {
+        self.enqueue_change(session, ids, None, None)
+    }
+
+    /// Admits a general change request — deletions, appended rows, and/or
+    /// a retention window — returning the ticket its submitter waits on.
+    pub fn enqueue_change(
+        &mut self,
+        session: &str,
+        ids: Vec<u64>,
+        added: Option<AddedRows>,
+        keep_last: Option<u64>,
+    ) -> DeleteTicket {
         let (tx, rx) = channel();
         self.queues
             .entry(session.to_string())
             .or_default()
             .pending
-            .push(PendingDelete {
+            .push(PendingChange {
                 ids,
+                added,
+                keep_last,
                 enqueued: Instant::now(),
                 reply: tx,
             });
@@ -182,10 +256,11 @@ impl PlannerState {
 
     /// Takes every batch that is ready at `now`, in session-name order
     /// (deterministic fan-out). With coalescing on, a ready queue folds
-    /// FIFO requests until the union would exceed `max_batch` (a single
-    /// oversized request still forms one batch); the remainder stays
-    /// queued — and stays ready, so the applier picks it up on its next
-    /// pass. With coalescing off, one request per session per call.
+    /// FIFO requests until the change set — removal union plus appended
+    /// rows — would exceed `max_batch` (a single oversized request still
+    /// forms one batch); the remainder stays queued — and stays ready, so
+    /// the applier picks it up on its next pass. With coalescing off, one
+    /// request per session per call.
     pub fn take_ready(&mut self, now: Instant, cfg: &PlannerConfig) -> Vec<ReadyBatch> {
         let mut names: Vec<&String> = self
             .queues
@@ -204,28 +279,33 @@ impl PlannerState {
                 .iter()
                 .flat_map(|r| r.ids.iter().copied())
                 .collect();
+            let added_all: usize = queue.pending.iter().map(PendingChange::num_added).sum();
             let window_ready = queue
                 .pending
                 .first()
                 .is_some_and(|oldest| oldest.enqueued + cfg.window <= now);
-            let ready =
-                queue.flush || !cfg.coalesce || union_all.len() >= cfg.max_batch || window_ready;
+            let ready = queue.flush
+                || !cfg.coalesce
+                || union_all.len() + added_all >= cfg.max_batch
+                || window_ready;
             if !ready {
                 continue;
             }
 
-            let requests: Vec<PendingDelete> = if !cfg.coalesce {
+            let requests: Vec<PendingChange> = if !cfg.coalesce {
                 vec![queue.pending.remove(0)]
             } else {
                 let mut union = BTreeSet::new();
+                let mut added = 0;
                 let mut take = 0;
                 for request in &queue.pending {
                     let mut grown = union.clone();
                     grown.extend(request.ids.iter().copied());
-                    if take > 0 && grown.len() > cfg.max_batch {
+                    if take > 0 && grown.len() + added + request.num_added() > cfg.max_batch {
                         break;
                     }
                     union = grown;
+                    added += request.num_added();
                     take += 1;
                 }
                 queue.pending.drain(..take).collect()
@@ -239,10 +319,12 @@ impl PlannerState {
                 .collect::<BTreeSet<u64>>()
                 .into_iter()
                 .collect();
+            let keep_last = requests.iter().filter_map(|r| r.keep_last).min();
             batches.push(ReadyBatch {
                 session: name,
                 requests,
                 union,
+                keep_last,
             });
         }
         batches
@@ -355,6 +437,50 @@ mod tests {
         assert_eq!(batches.len(), 2);
         assert_eq!(batches[0].session, "a");
         assert_eq!(batches[1].session, "b");
+    }
+
+    fn rows(n: usize) -> AddedRows {
+        AddedRows {
+            num_features: 2,
+            features: vec![0.0; n * 2],
+            labels: vec![1.0; n],
+        }
+    }
+
+    #[test]
+    fn mixed_requests_fold_into_one_batch_with_min_retention() {
+        let mut state = PlannerState::default();
+        let config = cfg(0, 100, true);
+        let _a = state.enqueue("s", vec![3, 5]);
+        let _b = state.enqueue_change("s", vec![], Some(rows(4)), None);
+        let _c = state.enqueue_change("s", vec![5, 9], Some(rows(2)), Some(120));
+        let _d = state.enqueue_change("s", vec![], None, Some(100));
+        let batches = state.take_ready(Instant::now(), &config);
+        assert_eq!(batches.len(), 1);
+        let batch = &batches[0];
+        assert_eq!(batch.requests.len(), 4);
+        assert_eq!(batch.union, vec![3, 5, 9]);
+        assert_eq!(batch.num_added(), 6);
+        // Tick windows fold by minimum: the tightest retention governs.
+        assert_eq!(batch.keep_last, Some(100));
+        assert!(state.is_empty());
+    }
+
+    #[test]
+    fn added_rows_count_toward_the_batch_cap() {
+        let mut state = PlannerState::default();
+        let config = cfg(120_000, 4, true);
+        let _a = state.enqueue_change("s", vec![0, 1], Some(rows(1)), None);
+        let _b = state.enqueue_change("s", vec![], Some(rows(3)), None);
+        // Change set = 2 removals + 4 additions ≥ max_batch → ready without
+        // the window; folding stops before the second request would push
+        // the set past the cap.
+        let batches = state.take_ready(Instant::now(), &config);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].requests.len(), 1);
+        assert_eq!(batches[0].num_added(), 1);
+        assert_eq!(batches[0].union, vec![0, 1]);
+        assert_eq!(state.pending("s"), 1);
     }
 
     #[test]

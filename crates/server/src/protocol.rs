@@ -106,6 +106,37 @@ pub enum Request {
         /// Session name.
         session: String,
     },
+    /// Append rows to the named session. The response arrives once the
+    /// coalesced batch containing the request commits; appended rows get
+    /// fresh stable ids (never reusing a retired id).
+    Add {
+        /// Session name.
+        session: String,
+        /// Feature width of every appended row; must match the session.
+        num_features: u32,
+        /// Row-major features, `labels.len() * num_features` values.
+        features: Vec<f64>,
+        /// One label per row: continuous value, ±1, or class index,
+        /// following the session's task.
+        labels: Vec<f64>,
+    },
+    /// Sliding-window tick: append rows (possibly none) and retain at most
+    /// `keep_last` rows after the batch commits. Expiry removes the oldest
+    /// pre-existing committed rows first (lowest stable ids) and never
+    /// touches rows the same batch appends; it is clamped so at least one
+    /// pre-existing row survives.
+    Tick {
+        /// Session name.
+        session: String,
+        /// Feature width of every appended row.
+        num_features: u32,
+        /// Row-major features, `labels.len() * num_features` values.
+        features: Vec<f64>,
+        /// One label per row.
+        labels: Vec<f64>,
+        /// Window size: the row count to retain after the commit.
+        keep_last: u64,
+    },
 }
 
 /// What the server answers.
@@ -132,6 +163,24 @@ pub enum Response {
         batch_rows: u64,
         /// Method the scheduler picked; `None` when the batch was all
         /// stale and nothing ran.
+        method: Option<Method>,
+        /// Engine-measured seconds of the online update.
+        seconds: f64,
+        /// Session epoch after the commit.
+        epoch: u64,
+    },
+    /// The request's add/tick batch committed.
+    Applied {
+        /// Rows this request appended.
+        added: u64,
+        /// Rows the batch's sliding-window retention expired (batch-level:
+        /// expiry is a property of the whole coalesced batch).
+        expired: u64,
+        /// Distinct rows the whole coalesced batch removed (deletions plus
+        /// retention expiry).
+        batch_rows: u64,
+        /// Method the scheduler picked; `None` when the batch changed
+        /// nothing and no engine call ran.
         method: Option<Method>,
         /// Engine-measured seconds of the online update.
         seconds: f64,
@@ -246,12 +295,15 @@ const TAG_PREDICT: u8 = 1;
 const TAG_DELETE: u8 = 2;
 const TAG_FLUSH: u8 = 3;
 const TAG_STATS: u8 = 4;
+const TAG_ADD: u8 = 5;
+const TAG_TICK: u8 = 6;
 
 const TAG_PREDICTED: u8 = 101;
 const TAG_DELETED: u8 = 102;
 const TAG_FLUSHED: u8 = 103;
 const TAG_STATS_REPLY: u8 = 104;
 const TAG_ERROR: u8 = 105;
+const TAG_APPLIED: u8 = 106;
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -307,8 +359,43 @@ pub fn encode_request(env: &RequestEnvelope) -> Vec<u8> {
             out.push(TAG_STATS);
             put_str(&mut out, session);
         }
+        Request::Add {
+            session,
+            num_features,
+            features,
+            labels,
+        } => {
+            out.push(TAG_ADD);
+            put_str(&mut out, session);
+            put_added_rows(&mut out, *num_features, features, labels);
+        }
+        Request::Tick {
+            session,
+            num_features,
+            features,
+            labels,
+            keep_last,
+        } => {
+            out.push(TAG_TICK);
+            put_str(&mut out, session);
+            put_added_rows(&mut out, *num_features, features, labels);
+            put_u64(&mut out, *keep_last);
+        }
     }
     out
+}
+
+/// Encodes an appended-rows block: feature width, row count, row-major
+/// features, then one label per row.
+fn put_added_rows(out: &mut Vec<u8>, num_features: u32, features: &[f64], labels: &[f64]) {
+    put_u32(out, num_features);
+    put_u32(out, labels.len() as u32);
+    for &x in features {
+        put_f64(out, x);
+    }
+    for &y in labels {
+        put_f64(out, y);
+    }
 }
 
 /// Encodes a response envelope into a frame payload.
@@ -345,6 +432,22 @@ pub fn encode_response(env: &ResponseEnvelope) -> Vec<u8> {
             put_u64(&mut out, *requested);
             put_u64(&mut out, *applied);
             put_u64(&mut out, *stale);
+            put_u64(&mut out, *batch_rows);
+            put_method(&mut out, *method);
+            put_f64(&mut out, *seconds);
+            put_u64(&mut out, *epoch);
+        }
+        Response::Applied {
+            added,
+            expired,
+            batch_rows,
+            method,
+            seconds,
+            epoch,
+        } => {
+            out.push(TAG_APPLIED);
+            put_u64(&mut out, *added);
+            put_u64(&mut out, *expired);
             put_u64(&mut out, *batch_rows);
             put_method(&mut out, *method);
             put_f64(&mut out, *seconds);
@@ -425,6 +528,27 @@ impl<'a> PayloadReader<'a> {
         String::from_utf8(bytes.to_vec()).map_err(|_| ProtocolError::BadUtf8)
     }
 
+    /// Decodes an appended-rows block (see [`put_added_rows`]). The
+    /// feature count is validated against the payload length by `take`:
+    /// a lying prefix truncates.
+    #[allow(clippy::type_complexity)]
+    fn added_rows(&mut self) -> Result<(u32, Vec<f64>, Vec<f64>), ProtocolError> {
+        let num_features = self.u32()?;
+        let num_rows = self.u32()? as usize;
+        let total = num_rows
+            .checked_mul(num_features as usize)
+            .ok_or(ProtocolError::Truncated)?;
+        let mut features = Vec::with_capacity(total.min(1 << 16));
+        for _ in 0..total {
+            features.push(self.f64()?);
+        }
+        let mut labels = Vec::with_capacity(num_rows.min(1 << 16));
+        for _ in 0..num_rows {
+            labels.push(self.f64()?);
+        }
+        Ok((num_features, features, labels))
+    }
+
     fn method(&mut self) -> Result<Option<Method>, ProtocolError> {
         let code = self.u8()?;
         if code == 0 {
@@ -477,6 +601,27 @@ pub fn decode_request(payload: &[u8]) -> Result<RequestEnvelope, ProtocolError> 
         }
         TAG_FLUSH => Request::Flush { session: r.str()? },
         TAG_STATS => Request::Stats { session: r.str()? },
+        TAG_ADD => {
+            let session = r.str()?;
+            let (num_features, features, labels) = r.added_rows()?;
+            Request::Add {
+                session,
+                num_features,
+                features,
+                labels,
+            }
+        }
+        TAG_TICK => {
+            let session = r.str()?;
+            let (num_features, features, labels) = r.added_rows()?;
+            Request::Tick {
+                session,
+                num_features,
+                features,
+                labels,
+                keep_last: r.u64()?,
+            }
+        }
         other => return Err(ProtocolError::BadTag(other)),
     };
     r.finish()?;
@@ -505,6 +650,14 @@ pub fn decode_response(payload: &[u8]) -> Result<ResponseEnvelope, ProtocolError
             requested: r.u64()?,
             applied: r.u64()?,
             stale: r.u64()?,
+            batch_rows: r.u64()?,
+            method: r.method()?,
+            seconds: r.f64()?,
+            epoch: r.u64()?,
+        },
+        TAG_APPLIED => Response::Applied {
+            added: r.u64()?,
+            expired: r.u64()?,
             batch_rows: r.u64()?,
             method: r.method()?,
             seconds: r.f64()?,
@@ -731,6 +884,32 @@ mod tests {
         round_trip_request(Request::Stats {
             session: "πρ/iu".into(),
         });
+        round_trip_request(Request::Add {
+            session: "s".into(),
+            num_features: 3,
+            features: vec![1.0, -2.5, 0.0, 4.0, f64::MAX, -0.0],
+            labels: vec![1.0, -1.0],
+        });
+        round_trip_request(Request::Add {
+            session: "s".into(),
+            num_features: 0,
+            features: vec![],
+            labels: vec![],
+        });
+        round_trip_request(Request::Tick {
+            session: "window".into(),
+            num_features: 2,
+            features: vec![0.5, 0.25],
+            labels: vec![7.0],
+            keep_last: 1000,
+        });
+        round_trip_request(Request::Tick {
+            session: "shrink-only".into(),
+            num_features: 4,
+            features: vec![],
+            labels: vec![],
+            keep_last: 64,
+        });
 
         round_trip_response(Response::Predicted {
             value: -3.25,
@@ -751,6 +930,16 @@ mod tests {
                 method,
                 seconds: 0.001953125,
                 epoch: 4,
+            });
+        }
+        for method in [Some(Method::ClosedForm), None] {
+            round_trip_response(Response::Applied {
+                added: 12,
+                expired: 7,
+                batch_rows: 9,
+                method,
+                seconds: 0.25,
+                epoch: 3,
             });
         }
         round_trip_response(Response::Flushed);
@@ -841,6 +1030,57 @@ mod tests {
         assert!(matches!(
             decode_response(&resp),
             Err(ProtocolError::BadTag(200))
+        ));
+    }
+
+    #[test]
+    fn malformed_added_rows_are_rejected() {
+        let good = encode_request(&RequestEnvelope {
+            id: 9,
+            request: Request::Add {
+                session: "s".into(),
+                num_features: 2,
+                features: vec![1.0, 2.0, 3.0, 4.0],
+                labels: vec![1.0, -1.0],
+            },
+        });
+        // Truncation anywhere inside the payload.
+        for cut in 0..good.len() {
+            assert!(
+                matches!(decode_request(&good[..cut]), Err(ProtocolError::Truncated)),
+                "cut at {cut}"
+            );
+        }
+        // A row count lying about the feature payload truncates.
+        // Layout: id(8) tag(1) strlen(4) "s"(1) num_features(4) num_rows(4).
+        let rows_at = 8 + 1 + 4 + 1 + 4;
+        let mut lying = good.clone();
+        lying[rows_at..rows_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_request(&lying),
+            Err(ProtocolError::Truncated)
+        ));
+        // Extra payload after the labels is trailing bytes.
+        let mut trailing = good;
+        trailing.extend_from_slice(&[0; 8]);
+        assert!(matches!(
+            decode_request(&trailing),
+            Err(ProtocolError::TrailingBytes(8))
+        ));
+        // A tick cut before `keep_last` truncates.
+        let tick = encode_request(&RequestEnvelope {
+            id: 9,
+            request: Request::Tick {
+                session: "s".into(),
+                num_features: 1,
+                features: vec![1.0],
+                labels: vec![1.0],
+                keep_last: 3,
+            },
+        });
+        assert!(matches!(
+            decode_request(&tick[..tick.len() - 8]),
+            Err(ProtocolError::Truncated)
         ));
     }
 

@@ -43,10 +43,16 @@ struct SlotState {
     /// The current session; replaced wholesale on batch commit.
     session: Arc<Session>,
     /// Stable row id of each current row, ascending (registration assigns
-    /// `0..n`; survivors keep their ids across batches). Requests address
-    /// rows by stable id, so ids stay valid while current indices shift
-    /// under coalesced deletions.
+    /// `0..n`; survivors keep their ids across batches; appended rows get
+    /// fresh ids from `next_id`). Requests address rows by stable id, so
+    /// ids stay valid while current indices shift under coalesced
+    /// deletions.
     ids: Vec<u64>,
+    /// The next stable id to assign. Strictly monotonic: every id ever
+    /// handed out is `< next_id`, so a retired id is never reallocated —
+    /// a delete request that races a sliding window can therefore never
+    /// remove a *different* row than the one it named.
+    next_id: u64,
     /// Bumped once per committed batch; predictions report the epoch of
     /// the snapshot they used.
     epoch: u64,
@@ -90,6 +96,7 @@ impl SessionSlot {
             state: RwLock::new(SlotState {
                 session: Arc::new(session),
                 ids: (0..n as u64).collect(),
+                next_id: n as u64,
                 epoch: 0,
                 initial_samples: n,
                 removed_since_refit: 0,
@@ -148,17 +155,37 @@ impl SessionSlot {
     }
 
     /// Commits a batch: swaps in the successor session and the surviving
-    /// id map, bumps the epoch and updates the drift counter (`refit`
-    /// resets it — a full retrain re-anchors the model on the survivors).
-    /// Returns the new epoch. Caller must hold the `apply_gate`.
+    /// id map, assigns `added` fresh stable ids to the rows the batch
+    /// appended (indexed after the survivors), bumps the epoch and updates
+    /// the drift counter (`refit` resets it — a full retrain re-anchors
+    /// the model on the survivors). Returns the new epoch. Caller must
+    /// hold the `apply_gate`.
+    ///
+    /// # Panics
+    /// If `ids` contains an id the slot never assigned: fresh ids come
+    /// from the strictly monotonic `next_id` counter, so every committed
+    /// id must be below it — the invariant that makes retired ids
+    /// unreusable.
     pub(crate) fn commit(
         &self,
         session: Arc<Session>,
-        ids: Vec<u64>,
+        mut ids: Vec<u64>,
         removed: usize,
+        added: usize,
         refit: bool,
     ) -> u64 {
         let mut state = self.state.write().unwrap_or_else(PoisonError::into_inner);
+        if let Some(&max) = ids.last() {
+            assert!(
+                max < state.next_id,
+                "stable id {max} was never assigned (next_id {})",
+                state.next_id
+            );
+        }
+        for _ in 0..added {
+            ids.push(state.next_id);
+            state.next_id += 1;
+        }
         state.session = session;
         state.ids = ids;
         state.epoch += 1;
@@ -320,7 +347,7 @@ mod tests {
             .copied()
             .filter(|&id| id != 1 && id != 3)
             .collect();
-        let epoch = slot.commit(Arc::new(chained.session), ids, 2, false);
+        let epoch = slot.commit(Arc::new(chained.session), ids, 2, 0, false);
         assert_eq!(epoch, 1);
         assert_eq!(slot.epoch(), 1);
         assert_eq!(slot.apply_view().ids.len(), 48);
@@ -328,8 +355,45 @@ mod tests {
 
         // A refit commit resets the drift counter.
         let (snap, _) = slot.snapshot();
-        let epoch = slot.commit(snap, (0..48).collect(), 0, true);
+        let epoch = slot.commit(snap, (0..48).collect(), 0, 0, true);
         assert_eq!(epoch, 2);
         assert_eq!(slot.drift(), 0.0);
+    }
+
+    #[test]
+    fn retired_ids_are_never_reallocated() {
+        let registry = SessionRegistry::new();
+        let slot = registry.register("s", session(10, 3)).unwrap();
+        let (snap, _) = slot.snapshot();
+
+        // Retire ids {0, 1} and append 3 rows in the same commit: the
+        // fresh ids continue from the monotonic counter, skipping nothing
+        // and reusing nothing.
+        let survivors: Vec<u64> = (2..10).collect();
+        slot.commit(snap.clone(), survivors, 2, 3, false);
+        let ids = slot.apply_view().ids;
+        assert_eq!(ids, (2..13).collect::<Vec<u64>>());
+        assert!(!ids.contains(&0) && !ids.contains(&1));
+
+        // Retire an appended row and append again: still no reuse — the
+        // next fresh id is 13 even though 0, 1 and 10 are free.
+        let survivors: Vec<u64> = ids.into_iter().filter(|&id| id != 10).collect();
+        slot.commit(snap, survivors, 1, 1, false);
+        let ids = slot.apply_view().ids;
+        assert_eq!(*ids.last().unwrap(), 13);
+        assert!(!ids.contains(&10));
+        // Every id ever retired stays retired.
+        for retired in [0, 1, 10] {
+            assert!(!ids.contains(&retired));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "never assigned")]
+    fn committing_an_unassigned_id_panics() {
+        let registry = SessionRegistry::new();
+        let slot = registry.register("s", session(10, 4)).unwrap();
+        let (snap, _) = slot.snapshot();
+        slot.commit(snap, vec![0, 99], 0, 0, false);
     }
 }

@@ -45,6 +45,12 @@ pub struct Calibration {
     pub closed_form_batch_seconds: f64,
     /// Seconds per surviving sample for a `BaseL` retrain.
     pub retrain_sample_seconds: f64,
+    /// Seconds per *added* row for the iterative methods (`PrIU` /
+    /// `PrIU-opt`): each appended row costs a share of the extra GD
+    /// iterations appended to the provenance schedule. The closed-form
+    /// update folds additions into the same rank-k refactor + solve it
+    /// already pays for, so it carries no per-added-row term.
+    pub add_row_seconds: f64,
     /// Flat per-retrain seconds for the offline phase the refit ends with
     /// (provenance capture: the symmetric eigendecomposition). Seeded from
     /// the tridiag + QL pipeline at the fig-scale feature counts (BENCH_7);
@@ -60,6 +66,7 @@ impl Default for Calibration {
             priu_opt_row_seconds: 8.0e-6,
             closed_form_batch_seconds: 4.0e-4,
             retrain_sample_seconds: 5.0e-6,
+            add_row_seconds: 6.0e-6,
             refit_offline_seconds: 2.0e-4,
         }
     }
@@ -109,6 +116,7 @@ pub struct CostModel {
     priu_opt_row: f64,
     closed_batch: f64,
     retrain_sample: f64,
+    add_row: f64,
     refit_offline: f64,
     /// Decision counts, indexed by the method's position in
     /// [`Method::ALL`].
@@ -124,6 +132,7 @@ impl CostModel {
             priu_opt_row: cfg.calibration.priu_opt_row_seconds,
             closed_batch: cfg.calibration.closed_form_batch_seconds,
             retrain_sample: cfg.calibration.retrain_sample_seconds,
+            add_row: cfg.calibration.add_row_seconds,
             refit_offline: cfg.calibration.refit_offline_seconds,
             decisions: [0; Method::ALL.len()],
         }
@@ -133,12 +142,23 @@ impl CostModel {
     /// with `method`. `Influence` estimates infinite: exact-deletion
     /// service, never scheduled.
     pub fn estimate(&self, method: Method, k: usize, n: usize) -> f64 {
-        let k = k as f64;
+        self.estimate_delta(method, k, 0, n)
+    }
+
+    /// Estimated seconds for a bidirectional delta — remove `k` rows and
+    /// append `added` — on an `n`-row session. The iterative methods pay
+    /// `add_row` per appended row (extra GD iterations on the extended
+    /// schedule); the closed-form update folds additions into its flat
+    /// rank-k refactor; a retrain replays `n - k + added` samples.
+    pub fn estimate_delta(&self, method: Method, k: usize, added: usize, n: usize) -> f64 {
+        let (k, a) = (k as f64, added as f64);
         match method {
-            Method::Priu => self.priu_row * k,
-            Method::PriuOpt => self.priu_opt_row * k,
+            Method::Priu => self.priu_row * k + self.add_row * a,
+            Method::PriuOpt => self.priu_opt_row * k + self.add_row * a,
             Method::ClosedForm => self.closed_batch,
-            Method::Retrain => self.retrain_sample * (n as f64 - k).max(0.0) + self.refit_offline,
+            Method::Retrain => {
+                self.retrain_sample * ((n as f64 - k).max(0.0) + a) + self.refit_offline
+            }
             Method::Influence => f64::INFINITY,
         }
     }
@@ -151,6 +171,21 @@ impl CostModel {
     /// drift ≻ cheapest estimate among supported candidates. Records the
     /// decision in the histogram.
     pub fn decide(&mut self, snapshot: &CaptureSnapshot, k: usize, drift_after: f64) -> Method {
+        self.decide_delta(snapshot, k, 0, drift_after)
+    }
+
+    /// Picks the method for a bidirectional batch: remove `k` rows, append
+    /// `added`. Identical to [`CostModel::decide`] when `added == 0`;
+    /// otherwise the per-added-row terms shift the comparison (add-heavy
+    /// batches favor the flat closed-form update on sessions that
+    /// support it).
+    pub fn decide_delta(
+        &mut self,
+        snapshot: &CaptureSnapshot,
+        k: usize,
+        added: usize,
+        drift_after: f64,
+    ) -> Method {
         let supported = |m: Method| snapshot.methods.contains(&m);
         let method = if let Some(forced) = self.cfg.force_method.filter(|&m| supported(m)) {
             forced
@@ -161,8 +196,8 @@ impl CostModel {
                 .into_iter()
                 .filter(|&m| supported(m))
                 .min_by(|&a, &b| {
-                    self.estimate(a, k, snapshot.num_samples)
-                        .total_cmp(&self.estimate(b, k, snapshot.num_samples))
+                    self.estimate_delta(a, k, added, snapshot.num_samples)
+                        .total_cmp(&self.estimate_delta(b, k, added, snapshot.num_samples))
                 })
                 .expect("every session supports at least BaseL retrain")
         };
@@ -178,23 +213,64 @@ impl CostModel {
     /// rows from an `n`-row session in `seconds`. The method's dominant
     /// coefficient moves toward the observation by EMA.
     pub fn observe(&mut self, method: Method, k: usize, n: usize, seconds: f64) {
+        self.observe_delta(method, k, 0, n, seconds);
+    }
+
+    /// Feeds a measured bidirectional batch back into the model: `method`
+    /// removed `k` rows and appended `added` on an `n`-row session in
+    /// `seconds`. For the iterative methods a mixed observation is split
+    /// between the per-removed-row and per-added-row coefficients in
+    /// proportion to their current estimates, so both converge under a
+    /// mixed workload.
+    pub fn observe_delta(
+        &mut self,
+        method: Method,
+        k: usize,
+        added: usize,
+        n: usize,
+        seconds: f64,
+    ) {
         if !seconds.is_finite() || seconds < 0.0 {
             return;
         }
         let alpha = self.cfg.ema_alpha.clamp(0.0, 1.0);
         let ema = |old: f64, obs: f64| old + alpha * (obs - old);
+        let split_rows = |row: f64, add: f64| -> (f64, f64) {
+            // Shares of the observation attributed to removal vs addition.
+            let (est_remove, est_add) = (row * k as f64, add * added as f64);
+            let total = est_remove + est_add;
+            if total > 0.0 {
+                (seconds * est_remove / total, seconds * est_add / total)
+            } else {
+                (0.0, 0.0)
+            }
+        };
         match method {
-            Method::Priu if k > 0 => self.priu_row = ema(self.priu_row, seconds / k as f64),
-            Method::PriuOpt if k > 0 => {
-                self.priu_opt_row = ema(self.priu_opt_row, seconds / k as f64);
+            Method::Priu if k > 0 || added > 0 => {
+                let (remove_share, add_share) = split_rows(self.priu_row, self.add_row);
+                if k > 0 {
+                    self.priu_row = ema(self.priu_row, remove_share / k as f64);
+                }
+                if added > 0 {
+                    self.add_row = ema(self.add_row, add_share / added as f64);
+                }
+            }
+            Method::PriuOpt if k > 0 || added > 0 => {
+                let (remove_share, add_share) = split_rows(self.priu_opt_row, self.add_row);
+                if k > 0 {
+                    self.priu_opt_row = ema(self.priu_opt_row, remove_share / k as f64);
+                }
+                if added > 0 {
+                    self.add_row = ema(self.add_row, add_share / added as f64);
+                }
             }
             Method::ClosedForm => self.closed_batch = ema(self.closed_batch, seconds),
-            Method::Retrain if n > k => {
+            Method::Retrain if n + added > k => {
                 // The flat offline term is observed separately (the refit
                 // reports its own capture seconds); attribute the rest to
-                // the per-sample replay.
+                // the per-sample replay over the survivors plus additions.
                 let replay = (seconds - self.refit_offline).max(0.0);
-                self.retrain_sample = ema(self.retrain_sample, replay / (n - k) as f64);
+                self.retrain_sample = ema(self.retrain_sample, replay / (n + added - k) as f64);
             }
             _ => {}
         }
@@ -368,6 +444,74 @@ mod tests {
         model.observe_offline(f64::NAN);
         model.observe_offline(-1.0);
         assert!((model.estimate(Method::Retrain, k, n) - (2.0e-5 + 10.0 * 3.0e-6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn added_rows_price_into_iterative_methods_but_not_closed_form() {
+        let mut model = CostModel::new(SchedulerConfig::default());
+        let all = snapshot(100_000, Method::ALL.to_vec());
+        // A deletion-only delta decides exactly like the classic path.
+        assert_eq!(
+            model.decide_delta(&all, 2, 0, 0.0),
+            Method::PriuOpt,
+            "added == 0 must not change decisions"
+        );
+        for method in [
+            Method::Priu,
+            Method::PriuOpt,
+            Method::ClosedForm,
+            Method::Retrain,
+        ] {
+            assert_eq!(
+                model.estimate_delta(method, 7, 0, 100_000),
+                model.estimate(method, 7, 100_000)
+            );
+        }
+        // The closed-form estimate is flat in the addition count; the
+        // iterative ones grow linearly, so an add-heavy batch flips to the
+        // rank-k closed-form update.
+        assert_eq!(
+            model.estimate_delta(Method::ClosedForm, 2, 5_000, 100_000),
+            model.estimate(Method::ClosedForm, 2, 100_000)
+        );
+        assert!(
+            model.estimate_delta(Method::PriuOpt, 2, 5_000, 100_000)
+                > model.estimate(Method::PriuOpt, 2, 100_000)
+        );
+        assert_eq!(model.decide_delta(&all, 2, 5_000, 0.0), Method::ClosedForm);
+    }
+
+    #[test]
+    fn mixed_observations_refine_the_per_added_row_term() {
+        let mut model = CostModel::new(SchedulerConfig {
+            ema_alpha: 1.0,
+            ..SchedulerConfig::default()
+        });
+        // A pure-addition batch attributes everything to the add term.
+        model.observe_delta(Method::Priu, 0, 10, 50_000, 10.0 * 4.0e-5);
+        assert!((model.estimate_delta(Method::Priu, 0, 1, 50_000) - 4.0e-5).abs() < 1e-12);
+        // A mixed batch splits proportionally to the current estimates, so
+        // a consistent workload keeps both coefficients at their fixpoint.
+        let before_row = model.estimate_delta(Method::Priu, 1, 0, 50_000);
+        let before_add = model.estimate_delta(Method::Priu, 0, 1, 50_000);
+        model.observe_delta(
+            Method::Priu,
+            3,
+            5,
+            50_000,
+            3.0 * before_row + 5.0 * before_add,
+        );
+        assert!((model.estimate_delta(Method::Priu, 1, 0, 50_000) - before_row).abs() < 1e-12);
+        assert!((model.estimate_delta(Method::Priu, 0, 1, 50_000) - before_add).abs() < 1e-12);
+        // Retrain replays survivors + additions.
+        model.observe_delta(
+            Method::Retrain,
+            100,
+            50,
+            1_050,
+            model.refit_offline + 1_000.0 * 7.0e-6,
+        );
+        assert!((model.retrain_sample - 7.0e-6).abs() < 1e-12);
     }
 
     #[test]

@@ -1,10 +1,11 @@
-//! The deletion service: session registry + planner + scheduler wired to
+//! The delta service: session registry + planner + scheduler wired to
 //! one applier thread, with an optional wire front-end.
 //!
 //! # Threads
 //!
 //! * **Callers** (any number) predict synchronously on immutable
-//!   snapshots and enqueue deletions, receiving a [`DeleteTicket`].
+//!   snapshots and enqueue change requests — deletions, additions,
+//!   sliding-window ticks — receiving a [`DeleteTicket`].
 //! * The **applier thread** sleeps on the planner condvar until a batch
 //!   deadline (or a flush/shutdown poke), takes every ready batch, and
 //!   applies them. When several sessions are ready at once the batches
@@ -13,21 +14,32 @@
 //!   cross-session parallelism.
 //! * **Connections** ([`Server::serve_connection`]) each get a dedicated
 //!   protocol reader thread plus a responder thread that resolves
-//!   deletion tickets in admission order.
+//!   change tickets in admission order.
 //!
 //! # Determinism
 //!
 //! A coalesced batch commits exactly the session produced by **one**
-//! [`DeletionEngine::apply`] call with the union removal set — the same
-//! call a direct engine user would make — so server results are
+//! [`DeletionEngine::apply_delta`] call with the union delta — removal
+//! union over stable ids (plus any sliding-window expiry), additions in
+//! FIFO admission order — the same call a direct engine user would make
+//! with the folded [`Delta`]. Server results are therefore
 //! bitwise-identical to engine results under the same `PRIU_THREADS` ×
 //! `PRIU_SIMD` pin. [`ServerConfig::apply_threads`] /
 //! [`ServerConfig::simd_level`] pin both on the applier thread
 //! regardless of which thread admitted the requests.
 //!
-//! [`DeletionEngine::apply`]: priu_core::DeletionEngine::apply
+//! # Sliding-window retention (`Tick`)
+//!
+//! A tick batch resolves its retention bound at apply time against the
+//! pre-batch id list: after the batch's deletions and additions, if more
+//! than `keep_last` rows would remain, the **oldest pre-existing** rows
+//! (lowest stable ids) are expired — never rows the same batch appends —
+//! clamped so at least one pre-existing row survives. Expired rows ride
+//! the same union delta, so a tick is still one engine call.
+//!
+//! [`DeletionEngine::apply_delta`]: priu_core::DeletionEngine::apply_delta
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::io::{Read, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::channel;
@@ -35,12 +47,16 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use priu_core::{DeletionEngine, Method, Model, ModelKind, Session};
+use priu_core::{DeletionEngine, Delta, DeltaRows, Method, Model, ModelKind, Session, TaskKind};
+use priu_data::dataset::{DenseDataset, Labels};
 use priu_linalg::par;
 use priu_linalg::simd::{self, SimdLevel};
+use priu_linalg::{Matrix, Vector};
 
 use crate::error::{Result, ServerError};
-use crate::planner::{BatchReply, DeleteTicket, PlannerConfig, PlannerState, ReadyBatch};
+use crate::planner::{
+    AddedRows, BatchReply, DeleteTicket, PlannerConfig, PlannerState, ReadyBatch,
+};
 use crate::protocol::{
     decode_request, encode_response, spawn_frame_reader, write_frame, Request, Response,
     ResponseEnvelope,
@@ -131,11 +147,34 @@ impl Inner {
     }
 
     fn delete(&self, session: &str, ids: Vec<u64>) -> Result<DeleteTicket> {
+        self.change(session, ids, None, None)
+    }
+
+    /// Admits a general change request — deletions, appended rows, and/or
+    /// a retention window. Appended rows are validated here, against the
+    /// session's current snapshot, so one malformed add never fails a
+    /// whole coalesced batch.
+    fn change(
+        &self,
+        session: &str,
+        ids: Vec<u64>,
+        added: Option<AddedRows>,
+        keep_last: Option<u64>,
+    ) -> Result<DeleteTicket> {
         if self.shutdown.load(Ordering::Acquire) {
             return Err(ServerError::ShuttingDown);
         }
-        self.registry.get(session)?; // admission check: session must exist
-        let ticket = self.planner().enqueue(session, ids);
+        let slot = self.registry.get(session)?; // admission check: session must exist
+        if let Some(rows) = &added {
+            let (snapshot, _) = slot.snapshot();
+            validate_added_rows(&snapshot, rows)?;
+        }
+        let ticket = self.planner().enqueue_change(
+            session,
+            ids,
+            added.filter(|r| r.num_rows() > 0),
+            keep_last,
+        );
         self.work.notify_all();
         Ok(ticket)
     }
@@ -190,6 +229,87 @@ fn predict_on(model: &Model, features: &[f64], epoch: u64) -> Prediction {
     }
 }
 
+/// Admission-time validation of appended rows against the session they
+/// target: shape, feature width, and label kind/range. Rejecting here
+/// keeps a malformed add from failing the coalesced batch it would have
+/// been folded into.
+fn validate_added_rows(session: &Session, rows: &AddedRows) -> Result<()> {
+    if rows.features.len() != rows.num_features * rows.labels.len() {
+        return Err(ServerError::InvalidRows(format!(
+            "{} features do not fill {} rows of width {}",
+            rows.features.len(),
+            rows.labels.len(),
+            rows.num_features
+        )));
+    }
+    if rows.num_rows() == 0 {
+        return Ok(());
+    }
+    if session.dense_dataset().is_none() {
+        return Err(ServerError::InvalidRows(
+            "appended rows are dense but the session is sparse".to_string(),
+        ));
+    }
+    let expected = session.model().num_features();
+    if rows.num_features != expected {
+        return Err(ServerError::FeatureMismatch {
+            expected,
+            got: rows.num_features,
+        });
+    }
+    match session.task() {
+        TaskKind::Regression => {}
+        TaskKind::BinaryClassification => {
+            if let Some(&bad) = rows.labels.iter().find(|&&l| l != 1.0 && l != -1.0) {
+                return Err(ServerError::InvalidRows(format!(
+                    "binary label {bad} is not ±1"
+                )));
+            }
+        }
+        TaskKind::MulticlassClassification { num_classes } => {
+            if let Some(&bad) = rows
+                .labels
+                .iter()
+                .find(|&&l| l.fract() != 0.0 || l < 0.0 || l >= num_classes as f64)
+            {
+                return Err(ServerError::InvalidRows(format!(
+                    "class label {bad} is not an integer in 0..{num_classes}"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Concatenates a batch's appended rows, FIFO admission order, into one
+/// dense block with task-appropriate labels. `None` when the batch
+/// appends nothing. Shapes were validated at admission.
+fn added_dataset(task: TaskKind, batch: &ReadyBatch) -> Option<DenseDataset> {
+    let mut width = 0;
+    let mut features = Vec::new();
+    let mut labels = Vec::new();
+    for request in &batch.requests {
+        if let Some(rows) = request.added.as_ref().filter(|r| r.num_rows() > 0) {
+            width = rows.num_features;
+            features.extend_from_slice(&rows.features);
+            labels.extend_from_slice(&rows.labels);
+        }
+    }
+    if labels.is_empty() {
+        return None;
+    }
+    let x = Matrix::from_vec(labels.len(), width, features).expect("shapes validated at admission");
+    let labels = match task {
+        TaskKind::Regression => Labels::Continuous(Vector::from_vec(labels)),
+        TaskKind::BinaryClassification => Labels::Binary(Vector::from_vec(labels)),
+        TaskKind::MulticlassClassification { num_classes } => Labels::Multiclass {
+            classes: labels.into_iter().map(|l| l as u32).collect(),
+            num_classes,
+        },
+    };
+    Some(DenseDataset::new(x, labels))
+}
+
 /// Runs `f` with the configured worker-thread count and SIMD level pinned
 /// (both thread-local, so the pin travels with the applier regardless of
 /// which thread admitted the work).
@@ -202,9 +322,9 @@ fn run_pinned<R>(cfg: &ServerConfig, f: impl FnOnce() -> R) -> R {
     }
 }
 
-/// Applies one ready batch end to end: gate → fresh view → id translation
-/// → schedule → one engine `apply` with the union → commit → resolve every
-/// folded ticket.
+/// Applies one ready batch end to end: gate, fresh view, id translation
+/// and retention expiry, schedule, one engine `apply_delta` with the
+/// union delta, commit, resolve every folded ticket.
 fn apply_batch(inner: &Inner, batch: ReadyBatch) {
     let reply_all_err = |batch: &ReadyBatch, message: &str| {
         for request in &batch.requests {
@@ -229,16 +349,37 @@ fn apply_batch(inner: &Inner, batch: ReadyBatch) {
     let _gate = slot.begin_apply();
     let view = slot.apply_view();
 
-    // Translate stable ids → current row indices. Union is sorted and the
-    // id map is ascending, so the produced indices are ascending too.
-    let mut rows: Vec<usize> = Vec::with_capacity(batch.union.len());
+    // Translate stable ids → current row indices. The set keeps the
+    // removal indices sorted and deduplicated against retention expiry.
+    let mut removal: BTreeSet<usize> = BTreeSet::new();
     for &id in &batch.union {
         if let Ok(ix) = view.ids.binary_search(&id) {
-            rows.push(ix);
+            removal.insert(ix);
         }
     }
+    let num_added = batch.num_added();
+
+    // Resolve the retention window against the pre-batch id list: expire
+    // the oldest pre-existing rows (lowest stable ids — the id map is
+    // ascending) not already deleted, never same-batch additions, clamped
+    // so at least one pre-existing row survives.
+    let mut expired = 0usize;
+    if let Some(keep) = batch.keep_last {
+        let pre_survivors = view.ids.len() - removal.len();
+        let over = (pre_survivors + num_added).saturating_sub(keep as usize);
+        let to_expire = over.min(pre_survivors.saturating_sub(1));
+        let mut ix = 0;
+        while expired < to_expire {
+            if removal.insert(ix) {
+                expired += 1;
+            }
+            ix += 1;
+        }
+    }
+    let rows: Vec<usize> = removal.into_iter().collect();
+
     let live = |request_ids: &[u64]| {
-        let distinct: std::collections::BTreeSet<u64> = request_ids.iter().copied().collect();
+        let distinct: BTreeSet<u64> = request_ids.iter().copied().collect();
         let applied = distinct
             .iter()
             .filter(|id| view.ids.binary_search(id).is_ok())
@@ -246,15 +387,18 @@ fn apply_batch(inner: &Inner, batch: ReadyBatch) {
         (distinct.len(), applied)
     };
 
-    if rows.is_empty() {
-        // Every id was already gone: acknowledge without touching the
-        // session.
+    if rows.is_empty() && num_added == 0 {
+        // The batch changes nothing — every id was already gone, nothing
+        // is appended, no retention bound bites: acknowledge without
+        // touching the session.
         for request in &batch.requests {
             let (requested, _) = live(&request.ids);
             let _ = request.reply.send(Ok(BatchReply {
                 requested,
                 applied: 0,
                 stale: requested,
+                added: 0,
+                expired: 0,
                 batch_rows: 0,
                 method: None,
                 seconds: 0.0,
@@ -272,16 +416,20 @@ fn apply_batch(inner: &Inner, batch: ReadyBatch) {
     };
     let cost = inner.cost_model(&batch.session);
     let method = match &cost {
-        Some(model) => model.lock().unwrap_or_else(PoisonError::into_inner).decide(
-            &snapshot,
-            rows.len(),
-            drift_after,
-        ),
+        Some(model) => model
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .decide_delta(&snapshot, rows.len(), num_added, drift_after),
         None => Method::Retrain,
     };
 
-    // The one engine call the whole batch reduces to.
-    let outcome = run_pinned(&inner.cfg, || view.session.apply(method, &rows));
+    // The one engine call the whole batch reduces to: the union delta,
+    // additions concatenated in FIFO admission order.
+    let delta = Delta {
+        removed: rows.clone(),
+        added: added_dataset(view.session.task(), &batch).map(DeltaRows::Dense),
+    };
+    let outcome = run_pinned(&inner.cfg, || view.session.apply_delta(method, &delta));
     match outcome {
         Ok(chained) => {
             let seconds = chained.outcome.duration.as_secs_f64();
@@ -303,11 +451,12 @@ fn apply_batch(inner: &Inner, batch: ReadyBatch) {
                 Arc::new(chained.session),
                 survivors,
                 rows.len(),
+                num_added,
                 method == Method::Retrain,
             );
             if let Some(model) = &cost {
                 let mut model = model.lock().unwrap_or_else(PoisonError::into_inner);
-                model.observe(method, rows.len(), snapshot.num_samples, seconds);
+                model.observe_delta(method, rows.len(), num_added, snapshot.num_samples, seconds);
                 if let Some(offline) = refit_offline {
                     model.observe_offline(offline);
                 }
@@ -318,6 +467,8 @@ fn apply_batch(inner: &Inner, batch: ReadyBatch) {
                     requested,
                     applied,
                     stale: requested - applied,
+                    added: request.num_added(),
+                    expired,
                     batch_rows: rows.len(),
                     method: Some(method),
                     seconds,
@@ -327,7 +478,10 @@ fn apply_batch(inner: &Inner, batch: ReadyBatch) {
         }
         Err(err) => {
             // The gate drops, the pre-batch state stays committed.
-            let message = format!("{method:?} on {} rows: {err}", rows.len());
+            let message = format!(
+                "{method:?} removing {} and adding {num_added} rows: {err}",
+                rows.len()
+            );
             reply_all_err(&batch, &message);
         }
     }
@@ -455,6 +609,35 @@ impl Server {
         self.inner.delete(session, ids.to_vec())
     }
 
+    /// Enqueues rows to append to the named session; resolves when the
+    /// coalesced batch containing it commits. Appended rows get fresh
+    /// stable ids, never reusing a retired id.
+    ///
+    /// # Errors
+    /// [`ServerError::UnknownSession`], [`ServerError::ShuttingDown`],
+    /// [`ServerError::InvalidRows`] / [`ServerError::FeatureMismatch`]
+    /// when the rows don't fit the session.
+    pub fn add(&self, session: &str, rows: AddedRows) -> Result<DeleteTicket> {
+        self.inner.change(session, Vec::new(), Some(rows), None)
+    }
+
+    /// Enqueues a sliding-window tick: append `rows` (possibly none) and
+    /// retain at most `keep_last` rows after the batch commits, expiring
+    /// the oldest pre-existing rows first. See the module docs for the
+    /// exact retention semantics.
+    ///
+    /// # Errors
+    /// Same as [`Server::add`].
+    pub fn tick(
+        &self,
+        session: &str,
+        rows: Option<AddedRows>,
+        keep_last: u64,
+    ) -> Result<DeleteTicket> {
+        self.inner
+            .change(session, Vec::new(), rows, Some(keep_last))
+    }
+
     /// Forces the named session's pending deletions into a batch now.
     ///
     /// # Errors
@@ -530,6 +713,15 @@ impl Drop for Server {
     }
 }
 
+/// Which wire response a resolved ticket maps to: `Delete` requests
+/// answer [`Response::Deleted`], `Add`/`Tick` requests answer
+/// [`Response::Applied`].
+#[derive(Debug, Clone, Copy)]
+enum TicketKind {
+    Delete,
+    Change,
+}
+
 /// Join handle of a served connection; resolves when the client closes
 /// its write half (EOF) or the transport fails.
 pub struct ConnectionHandle {
@@ -552,24 +744,36 @@ where
     let (requests, reader_thread) = spawn_frame_reader(reader, decode_request);
     let writer = Arc::new(Mutex::new(writer));
 
-    // Deletion tickets resolve long after admission; a responder thread
+    // Change tickets resolve long after admission; a responder thread
     // waits them out in admission order so the service loop stays free.
-    let (ticket_tx, ticket_rx) = channel::<(u64, DeleteTicket)>();
+    // The kind marker picks the response shape: deletions answer
+    // `Deleted`, add/tick requests answer `Applied`.
+    let (ticket_tx, ticket_rx) = channel::<(u64, TicketKind, DeleteTicket)>();
     let responder = {
         let writer = Arc::clone(&writer);
         thread::Builder::new()
             .name("priu-server-responder".to_string())
             .spawn(move || {
-                for (id, ticket) in ticket_rx {
+                for (id, kind, ticket) in ticket_rx {
                     let response = match ticket.wait() {
-                        Ok(reply) => Response::Deleted {
-                            requested: reply.requested as u64,
-                            applied: reply.applied as u64,
-                            stale: reply.stale as u64,
-                            batch_rows: reply.batch_rows as u64,
-                            method: reply.method,
-                            seconds: reply.seconds,
-                            epoch: reply.epoch,
+                        Ok(reply) => match kind {
+                            TicketKind::Delete => Response::Deleted {
+                                requested: reply.requested as u64,
+                                applied: reply.applied as u64,
+                                stale: reply.stale as u64,
+                                batch_rows: reply.batch_rows as u64,
+                                method: reply.method,
+                                seconds: reply.seconds,
+                                epoch: reply.epoch,
+                            },
+                            TicketKind::Change => Response::Applied {
+                                added: reply.added as u64,
+                                expired: reply.expired as u64,
+                                batch_rows: reply.batch_rows as u64,
+                                method: reply.method,
+                                seconds: reply.seconds,
+                                epoch: reply.epoch,
+                            },
                         },
                         Err(err) => Response::Error {
                             message: err.to_string(),
@@ -602,13 +806,56 @@ where
                     }
                     Request::Delete { session, ids } => match inner.delete(&session, ids) {
                         Ok(ticket) => {
-                            let _ = ticket_tx.send((id, ticket));
+                            let _ = ticket_tx.send((id, TicketKind::Delete, ticket));
                             continue; // answered by the responder later
                         }
                         Err(err) => Response::Error {
                             message: err.to_string(),
                         },
                     },
+                    Request::Add {
+                        session,
+                        num_features,
+                        features,
+                        labels,
+                    } => {
+                        let rows = AddedRows {
+                            num_features: num_features as usize,
+                            features,
+                            labels,
+                        };
+                        match inner.change(&session, Vec::new(), Some(rows), None) {
+                            Ok(ticket) => {
+                                let _ = ticket_tx.send((id, TicketKind::Change, ticket));
+                                continue;
+                            }
+                            Err(err) => Response::Error {
+                                message: err.to_string(),
+                            },
+                        }
+                    }
+                    Request::Tick {
+                        session,
+                        num_features,
+                        features,
+                        labels,
+                        keep_last,
+                    } => {
+                        let rows = AddedRows {
+                            num_features: num_features as usize,
+                            features,
+                            labels,
+                        };
+                        match inner.change(&session, Vec::new(), Some(rows), Some(keep_last)) {
+                            Ok(ticket) => {
+                                let _ = ticket_tx.send((id, TicketKind::Change, ticket));
+                                continue;
+                            }
+                            Err(err) => Response::Error {
+                                message: err.to_string(),
+                            },
+                        }
+                    }
                     Request::Flush { session } => match inner.flush(&session) {
                         Ok(()) => Response::Flushed,
                         Err(err) => Response::Error {

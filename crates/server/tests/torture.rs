@@ -19,13 +19,18 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use priu_core::{DeletionEngine, Method, Model, ModelKind, Session, SessionBuilder, TrainerConfig};
+use priu_core::{
+    DeletionEngine, Delta, DeltaRows, Method, Model, ModelKind, Session, SessionBuilder,
+    TrainerConfig,
+};
 use priu_data::catalog::Hyperparameters;
+use priu_data::dataset::{DenseDataset, Labels};
 use priu_data::synthetic::classification::{generate_binary_classification, ClassificationConfig};
 use priu_data::synthetic::regression::{generate_regression, RegressionConfig};
 use priu_linalg::par;
 use priu_linalg::simd::{self, SimdLevel};
-use priu_server::{PlannerConfig, SchedulerConfig, Server, ServerConfig};
+use priu_linalg::{Matrix, Vector};
+use priu_server::{AddedRows, PlannerConfig, SchedulerConfig, Server, ServerConfig};
 
 const N: usize = 200;
 
@@ -191,6 +196,265 @@ fn coalesced_batch_is_bitwise_one_union_apply_across_the_grid() {
             assert_eq!(server.model_snapshot(name).unwrap().1, 2, "no epoch bump");
             server.shutdown();
         }
+    }
+}
+
+/// Deterministic appended rows for the mixed-batch tests: xorshift
+/// features, labels following the task (`±1` when `binary`).
+fn fresh_rows(count: usize, width: usize, seed: u64, binary: bool) -> AddedRows {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let features: Vec<f64> = (0..count * width).map(|_| next()).collect();
+    let labels: Vec<f64> = (0..count)
+        .map(|i| {
+            if binary {
+                if (seed + i as u64).is_multiple_of(2) {
+                    1.0
+                } else {
+                    -1.0
+                }
+            } else {
+                features[i * width..(i + 1) * width].iter().sum::<f64>() * 0.5
+            }
+        })
+        .collect();
+    AddedRows {
+        num_features: width,
+        features,
+        labels,
+    }
+}
+
+/// The dense block a list of `AddedRows` folds into, in admission order.
+fn concat_rows(blocks: &[&AddedRows], binary: bool) -> DenseDataset {
+    let width = blocks[0].num_features;
+    let mut features = Vec::new();
+    let mut labels = Vec::new();
+    for block in blocks {
+        features.extend_from_slice(&block.features);
+        labels.extend_from_slice(&block.labels);
+    }
+    let x = Matrix::from_vec(labels.len(), width, features).expect("added block");
+    let labels = if binary {
+        Labels::Binary(Vector::from_vec(labels))
+    } else {
+        Labels::Continuous(Vector::from_vec(labels))
+    };
+    DenseDataset::new(x, labels)
+}
+
+fn pinned_apply_delta(
+    threads: usize,
+    level: SimdLevel,
+    session: &Session,
+    method: Method,
+    delta: &Delta,
+) -> Session {
+    par::with_threads(threads, || {
+        simd::with_level(level, || session.apply_delta(method, delta))
+    })
+    .expect("reference apply_delta")
+    .session
+}
+
+#[test]
+fn coalesced_mixed_batch_is_bitwise_one_union_apply_delta_across_the_grid() {
+    for (threads, level) in legs() {
+        for (name, session, reference, binary) in [
+            ("lin", linear_session(0xA7), linear_session(0xA7), false),
+            ("log", logistic_session(0xB8), logistic_session(0xB8), true),
+        ] {
+            let width = session.model().num_features();
+            let server = Server::start(server_config(threads, level, true, Some(Method::Priu)));
+            server.register_session(name, session).unwrap();
+
+            // One coalesced batch mixing all three request kinds: deletes
+            // {3, 10, 11}, 8 appended rows across two blocks, and a tick
+            // whose retention (197 pre-batch survivors + 8 added against
+            // keep_last = 203) expires the two oldest rows {0, 1}.
+            let block_a = fresh_rows(5, width, 0x11, binary);
+            let block_b = fresh_rows(3, width, 0x22, binary);
+            let keep = (N - 3 + 8 - 2) as u64;
+            let t1 = server.delete(name, &[3]).unwrap();
+            let t2 = server.add(name, block_a.clone()).unwrap();
+            let t3 = server.delete(name, &[10, 11]).unwrap();
+            let t4 = server.tick(name, Some(block_b.clone()), keep).unwrap();
+            server.flush(name).unwrap();
+            let replies = [
+                t1.wait().unwrap(),
+                t2.wait().unwrap(),
+                t3.wait().unwrap(),
+                t4.wait().unwrap(),
+            ];
+            for reply in &replies {
+                assert_eq!(
+                    reply.batch_rows, 5,
+                    "{name}@{threads}x{level:?}: 3 deleted + 2 expired"
+                );
+                assert_eq!(reply.expired, 2);
+                assert_eq!(reply.method, Some(Method::Priu));
+                assert_eq!(reply.epoch, 1);
+                assert_eq!(reply.stale, 0);
+            }
+            assert_eq!((replies[0].applied, replies[0].added), (1, 0));
+            assert_eq!((replies[1].applied, replies[1].added), (0, 5));
+            assert_eq!((replies[2].applied, replies[2].added), (2, 0));
+            assert_eq!((replies[3].applied, replies[3].added), (0, 3));
+
+            // Bitwise: the server committed exactly the model ONE direct
+            // `apply_delta` with the union delta produces under the same
+            // pin — expired rows ride the same removal set, additions fold
+            // in admission order.
+            let delta = Delta {
+                removed: vec![0, 1, 3, 10, 11],
+                added: Some(DeltaRows::Dense(concat_rows(&[&block_a, &block_b], binary))),
+            };
+            let expected = pinned_apply_delta(threads, level, &reference, Method::Priu, &delta);
+            let (snapshot, epoch) = server.model_snapshot(name).unwrap();
+            assert_eq!(epoch, 1);
+            assert_eq!(snapshot.num_samples(), N - 5 + 8);
+            assert_eq!(
+                model_bits(snapshot.model()),
+                model_bits(expected.model()),
+                "mixed batch differs from one union apply_delta for {name} \
+                 at threads={threads} level={level:?}"
+            );
+
+            // Appended rows got fresh stable ids N..N+8: deleting the
+            // first appended row lands on survivor row N-5 (five rows
+            // dropped out below it), while a retired id is stale.
+            let t5 = server.delete(name, &[N as u64, 0]).unwrap();
+            server.flush(name).unwrap();
+            let r5 = t5.wait().unwrap();
+            assert_eq!((r5.requested, r5.applied, r5.stale), (2, 1, 1));
+            assert_eq!(r5.epoch, 2);
+            let expected2 = pinned_apply(threads, level, &expected, Method::Priu, &[N - 5]);
+            let (snapshot2, _) = server.model_snapshot(name).unwrap();
+            assert_eq!(
+                model_bits(snapshot2.model()),
+                model_bits(expected2.model()),
+                "stable ids of appended rows broke for {name}"
+            );
+            server.shutdown();
+        }
+    }
+}
+
+/// Client-side mirror of the planner's batch semantics: the union of
+/// deletes lands first, then retention expires the oldest pre-batch
+/// survivors (clamped to leave one), then additions take fresh ids.
+struct Mirror {
+    live: Vec<u64>,
+    next_id: u64,
+}
+
+impl Mirror {
+    fn new(n: usize) -> Self {
+        Self {
+            live: (0..n as u64).collect(),
+            next_id: n as u64,
+        }
+    }
+
+    fn apply(&mut self, deleted: &[u64], added: usize, keep_last: Option<u64>) {
+        self.live.retain(|id| !deleted.contains(id));
+        if let Some(keep) = keep_last {
+            let over = (self.live.len() + added).saturating_sub(keep as usize);
+            let expire = over.min(self.live.len().saturating_sub(1));
+            self.live.drain(..expire);
+        }
+        for _ in 0..added {
+            self.live.push(self.next_id);
+            self.next_id += 1;
+        }
+    }
+}
+
+#[test]
+fn randomized_interleaved_stream_tracks_retrain_from_scratch() {
+    // A randomized interleaved stream of deletions, additions, and window
+    // ticks applied incrementally (PrIU) must stay numerically close to a
+    // server that refits offline on every batch — the paper's accuracy
+    // claim carried to the serving layer. Both servers see the identical
+    // stream, so any divergence is the update arithmetic itself.
+    let (threads, level) = (1, simd::available_levels()[0]);
+    for (name, binary, seed) in [("lin", false, 0xC301u64), ("log", true, 0xC302u64)] {
+        let incremental = Server::start(server_config(threads, level, true, Some(Method::Priu)));
+        let refit = Server::start(server_config(threads, level, true, Some(Method::Retrain)));
+        incremental
+            .register_session(
+                name,
+                if binary {
+                    logistic_session(0xEE)
+                } else {
+                    linear_session(0xEE)
+                },
+            )
+            .unwrap();
+        refit
+            .register_session(
+                name,
+                if binary {
+                    logistic_session(0xEE)
+                } else {
+                    linear_session(0xEE)
+                },
+            )
+            .unwrap();
+        let width = if binary { 6 } else { 5 };
+
+        let mut state = seed;
+        let mut rng = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut mirror = Mirror::new(N);
+        for wave in 0..8u64 {
+            // Three random live deletions + a 2-row addition; every third
+            // wave also shrinks the window by a few rows.
+            let deleted: Vec<u64> = (0..3)
+                .map(|_| mirror.live[rng() as usize % mirror.live.len()])
+                .collect();
+            let block = fresh_rows(2, width, seed ^ wave, binary);
+            let keep = (wave % 3 == 2).then(|| mirror.live.len() as u64 - 3);
+            let mut tickets = Vec::new();
+            for server in [&incremental, &refit] {
+                tickets.push(server.delete(name, &deleted).unwrap());
+                tickets.push(server.add(name, block.clone()).unwrap());
+                if let Some(keep) = keep {
+                    tickets.push(server.tick(name, None, keep).unwrap());
+                }
+                server.flush(name).unwrap();
+            }
+            for ticket in tickets {
+                ticket.wait().unwrap();
+            }
+            let distinct: std::collections::BTreeSet<u64> = deleted.iter().copied().collect();
+            let distinct: Vec<u64> = distinct.into_iter().collect();
+            mirror.apply(&distinct, block.num_rows(), keep);
+        }
+
+        let (priu_model, _) = incremental.model_snapshot(name).unwrap();
+        let (refit_model, _) = refit.model_snapshot(name).unwrap();
+        assert_eq!(priu_model.num_samples(), mirror.live.len());
+        assert_eq!(refit_model.num_samples(), mirror.live.len());
+        let cmp = priu_core::compare_models(refit_model.model(), priu_model.model()).unwrap();
+        assert!(
+            cmp.cosine_similarity > 0.99,
+            "{name}: incremental stream drifted from per-batch refit: \
+             similarity {} (l2 {})",
+            cmp.cosine_similarity,
+            cmp.l2_distance
+        );
+        incremental.shutdown();
+        refit.shutdown();
     }
 }
 
