@@ -1,14 +1,17 @@
 //! `loadgen` — load generator for the delta service (`priu-server`).
 //!
-//! Drives a grid of (concurrent sessions) × (coalescing on/off) cells.
-//! Each cell starts one server, registers N linear sessions and runs, per
-//! session, one predict client plus one deletion client issuing
-//! **single-row** deletions (the workload the coalescing planner exists
-//! for). Latencies are recorded per request — predict latency is the
-//! synchronous snapshot round trip, delete latency spans admission to
-//! batch commit (so it includes the coalescing window by design) — and
-//! summarised as p50/p99 into a `BENCH_8.json` next to the other BENCH
-//! records. A **sliding-window** section additionally runs the
+//! Drives a grid of (concurrent sessions) × (coalescing on/off) ×
+//! (durability on/off) cells. Each cell starts one server, registers N
+//! linear sessions and runs, per session, one predict client plus one
+//! deletion client issuing **single-row** deletions (the workload the
+//! coalescing planner exists for). Latencies are recorded per request —
+//! predict latency is the synchronous snapshot round trip, delete
+//! latency spans admission to batch commit (so it includes the
+//! coalescing window, and with the WAL enabled the pre-commit fsync, by
+//! design) — and summarised as p50/p99 into a `BENCH_9.json` next to the
+//! other BENCH records. Durable cells finish with a restart-and-recover
+//! cycle on the same store: the reopened server must report every
+//! session recovered, so the benchmark doubles as a durability smoke. A **sliding-window** section additionally runs the
 //! bidirectional workload: per session one streamer issues single-row
 //! `tick`s (append one fresh row, retain the last `W`) while a deleter
 //! removes mid-window rows and a predictor hammers the snapshot —
@@ -20,7 +23,7 @@
 //!
 //! ```text
 //! loadgen [--sessions 1,4,16] [--seconds 0.5] [--coalesce both|on|off]
-//!         [--out BENCH_8.json] [--date YYYY-MM-DD]
+//!         [--durability both|on|off] [--out BENCH_9.json] [--date YYYY-MM-DD]
 //! ```
 
 use std::collections::HashMap;
@@ -41,8 +44,8 @@ use priu_data::synthetic::regression::{generate_regression, RegressionConfig};
 use priu_linalg::simd;
 use priu_linalg::{Matrix, Vector};
 use priu_server::{
-    decode_response, duplex, encode_request, read_frame, write_frame, AddedRows, PlannerConfig,
-    Request, RequestEnvelope, Response, Server, ServerConfig,
+    decode_response, duplex, encode_request, read_frame, write_frame, AddedRows, DurabilityConfig,
+    PlannerConfig, Request, RequestEnvelope, Response, Server, ServerConfig,
 };
 
 const SAMPLES_PER_SESSION: usize = 300;
@@ -55,6 +58,7 @@ struct Cli {
     sessions: Vec<usize>,
     seconds: f64,
     modes: Vec<bool>,
+    durability: Vec<bool>,
     out: String,
     date: Option<String>,
 }
@@ -64,7 +68,8 @@ fn parse_args() -> Result<Cli, String> {
         sessions: vec![1, 4, 16],
         seconds: 0.5,
         modes: vec![true, false],
-        out: "BENCH_8.json".to_string(),
+        durability: vec![false, true],
+        out: "BENCH_9.json".to_string(),
         date: None,
     };
     let mut args = env::args().skip(1);
@@ -101,12 +106,21 @@ fn parse_args() -> Result<Cli, String> {
                     other => return Err(format!("--coalesce both|on|off, got {other:?}")),
                 };
             }
+            "--durability" => {
+                cli.durability = match args.next().as_deref() {
+                    Some("both") => vec![false, true],
+                    Some("on") => vec![true],
+                    Some("off") => vec![false],
+                    other => return Err(format!("--durability both|on|off, got {other:?}")),
+                };
+            }
             "--out" => cli.out = args.next().ok_or("--out needs a path")?,
             "--date" => cli.date = Some(args.next().ok_or("--date needs a value")?),
             "--help" | "-h" => {
                 eprintln!(
                     "loadgen [--sessions 1,4,16] [--seconds 0.5] \
-                     [--coalesce both|on|off] [--out BENCH_8.json] [--date YYYY-MM-DD]"
+                     [--coalesce both|on|off] [--durability both|on|off] \
+                     [--out BENCH_9.json] [--date YYYY-MM-DD]"
                 );
                 std::process::exit(0);
             }
@@ -150,23 +164,38 @@ fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
 struct CellResult {
     sessions: usize,
     coalesce: bool,
+    durable: bool,
     wall_seconds: f64,
     predicts: Vec<u64>,
     deletes: Vec<u64>,
     rows_deleted: u64,
     batches: u64,
     decisions: HashMap<&'static str, u64>,
+    /// Durable cells only: sessions the restart-and-recover cycle
+    /// brought back and WAL records it redid past the latest snapshots.
+    recovery: Option<(u64, u64)>,
 }
 
-fn run_cell(sessions: usize, coalesce: bool, seconds: f64) -> CellResult {
-    let server = Arc::new(Server::start(ServerConfig {
+fn run_cell(sessions: usize, coalesce: bool, durable: bool, seconds: f64) -> CellResult {
+    let store = durable.then(|| {
+        let dir = std::env::temp_dir().join(format!(
+            "priu-loadgen-{}-s{sessions}-c{}",
+            std::process::id(),
+            u8::from(coalesce)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    });
+    let config = || ServerConfig {
         planner: PlannerConfig {
             window: Duration::from_millis(2),
             max_batch: 64,
             coalesce,
         },
+        durability: store.clone().map(DurabilityConfig::new),
         ..ServerConfig::default()
-    }));
+    };
+    let server = Arc::new(Server::start(config()).expect("start server"));
     let names: Vec<String> = (0..sessions).map(|s| format!("s{s}")).collect();
     for (s, name) in names.iter().enumerate() {
         server
@@ -264,17 +293,41 @@ fn run_cell(sessions: usize, coalesce: bool, seconds: f64) -> CellResult {
         }
     }
     server.shutdown();
+
+    // Durable cells double as a recovery smoke: reopen the store and
+    // require every session back, then discard it.
+    let recovery = store.as_ref().map(|dir| {
+        let recovered = Server::start(config()).expect("recover store");
+        let report = recovered.recovery_report().expect("recovery report");
+        assert_eq!(
+            report.sessions.len(),
+            sessions,
+            "recovery lost sessions: {report:?}"
+        );
+        assert!(
+            report.sessions.iter().all(|s| s.skipped.is_empty()),
+            "recovery skipped records: {report:?}"
+        );
+        let redone = report.sessions.iter().map(|s| s.redone).sum();
+        let count = report.sessions.len() as u64;
+        recovered.shutdown();
+        let _ = std::fs::remove_dir_all(dir);
+        (count, redone)
+    });
+
     predicts.sort_unstable();
     deletes.sort_unstable();
     CellResult {
         sessions,
         coalesce,
+        durable,
         wall_seconds,
         predicts,
         deletes,
         rows_deleted,
         batches,
         decisions,
+        recovery,
     }
 }
 
@@ -316,14 +369,17 @@ fn fresh_row(counter: u64) -> AddedRows {
 /// id, one predictor hammers the snapshot. Coalescing is always on — the
 /// planner folds ticks and deletes into mixed batches.
 fn run_window_cell(sessions: usize, seconds: f64) -> WindowResult {
-    let server = Arc::new(Server::start(ServerConfig {
-        planner: PlannerConfig {
-            window: Duration::from_millis(2),
-            max_batch: 64,
-            coalesce: true,
-        },
-        ..ServerConfig::default()
-    }));
+    let server = Arc::new(
+        Server::start(ServerConfig {
+            planner: PlannerConfig {
+                window: Duration::from_millis(2),
+                max_batch: 64,
+                coalesce: true,
+            },
+            ..ServerConfig::default()
+        })
+        .expect("start server"),
+    );
     let names: Vec<String> = (0..sessions).map(|s| format!("w{s}")).collect();
     for (s, name) in names.iter().enumerate() {
         server
@@ -518,7 +574,7 @@ fn run_rank1_section() -> (f64, f64, f64) {
 /// in-memory duplex (reader thread + responder included in the measured
 /// path). Returns sorted per-request latencies in µs.
 fn run_wire_section(rounds: u64) -> Vec<u64> {
-    let server = Server::start(ServerConfig::default());
+    let server = Server::start(ServerConfig::default()).expect("start server");
     server
         .register_session("wire", fit_session(0x7000))
         .expect("register");
@@ -602,10 +658,18 @@ fn cell_json(cell: &CellResult) -> JsonValue {
     let mut out = JsonValue::object();
     out.push("sessions", cell.sessions)
         .push("coalesce", cell.coalesce)
+        .push("durable", cell.durable)
         .push("wall_seconds", cell.wall_seconds)
         .push("predict", predict)
         .push("delete", delete)
         .push("scheduler_decisions", decisions);
+    if let Some((recovered, redone)) = cell.recovery {
+        let mut recovery = JsonValue::object();
+        recovery
+            .push("sessions_recovered", recovered)
+            .push("wal_records_redone", redone);
+        out.push("recovery", recovery);
+    }
     out
 }
 
@@ -645,12 +709,15 @@ fn main() -> ExitCode {
     let mut cells = Vec::new();
     for &sessions in &cli.sessions {
         for &coalesce in &cli.modes {
-            eprintln!(
-                "loadgen: {sessions} session(s), coalesce={}, {}s ...",
-                if coalesce { "on" } else { "off" },
-                cli.seconds
-            );
-            cells.push(run_cell(sessions, coalesce, cli.seconds));
+            for &durable in &cli.durability {
+                eprintln!(
+                    "loadgen: {sessions} session(s), coalesce={}, wal={}, {}s ...",
+                    if coalesce { "on" } else { "off" },
+                    if durable { "on" } else { "off" },
+                    cli.seconds
+                );
+                cells.push(run_cell(sessions, coalesce, durable, cli.seconds));
+            }
         }
     }
     let mut windows = Vec::new();
@@ -683,13 +750,18 @@ fn main() -> ExitCode {
              noise and absolute throughputs are a floor, not a capability. Delete \
              latency spans admission -> batch commit and therefore includes the 2 ms \
              coalescing window by design; compare the coalesce on/off rows per session \
-             count, not across machines. Decision histograms come from the online \
-             cost model (BaseL entries are the forced drift retrains).",
+             count, not across machines. Durable rows additionally pay one WAL append + \
+             fsync per batch before acknowledgement — the delete p50/p99 delta against \
+             the matching wal=off row is the price of the durability guarantee, and \
+             coalescing amortises it across every request folded into the batch. \
+             Decision histograms come from the online cost model (BaseL entries are \
+             the forced drift retrains).",
         );
     let mut commands = JsonValue::object();
     commands.push(
         "loadgen",
-        "cargo run --release -p priu-bench --bin loadgen -- --sessions 1,4,16 --seconds 0.5",
+        "cargo run --release -p priu-bench --bin loadgen -- --sessions 1,4,16 --seconds 0.5 \
+         --durability both",
     );
     let mut wire_json = JsonValue::object();
     wire_json
@@ -704,11 +776,12 @@ fn main() -> ExitCode {
         .push("speedup", speedup);
 
     let mut doc = JsonValue::object();
-    doc.push("pr", 8i64)
+    doc.push("pr", 9i64)
         .push(
             "label",
-            "bidirectional delta engine: sliding-window serving, mixed add/delete batches, \
-             rank-1 closed-form additions",
+            "durability layer: deletion WAL + session snapshots; grid compares acknowledged \
+             delete latency with the pre-ack fsync on vs off, durable cells end in a \
+             restart-and-recover cycle",
         )
         .push("date", cli.date.unwrap_or_else(today))
         .push("environment", environment)
@@ -731,10 +804,11 @@ fn main() -> ExitCode {
     }
     for cell in &cells {
         eprintln!(
-            "loadgen: sessions={:2} coalesce={:3} predicts={:6} (p50 {:5.0}us p99 {:6.0}us) \
-             deletes={:4} batches={:3} rows/batch={:4.1}",
+            "loadgen: sessions={:2} coalesce={:3} wal={:3} predicts={:6} \
+             (p50 {:5.0}us p99 {:6.0}us) deletes={:4} batches={:3} rows/batch={:4.1}",
             cell.sessions,
             if cell.coalesce { "on" } else { "off" },
+            if cell.durable { "on" } else { "off" },
             cell.predicts.len(),
             percentile_us(&cell.predicts, 50.0),
             percentile_us(&cell.predicts, 99.0),

@@ -19,6 +19,11 @@ use crate::engine::{
 };
 use crate::error::{CoreError, Result};
 use crate::model::{Model, ModelKind};
+use crate::snapshot::{
+    get_closed_form, get_dense_dataset, get_linear_provenance, get_model, get_trainer_config,
+    put_closed_form, put_dense_dataset, put_linear_provenance, put_model, put_trainer_config,
+    SnapshotReader, SnapshotWriter,
+};
 use crate::trainer::linear::{linear_step, train_linear_with, TrainedLinear};
 use crate::update::priu_linear::priu_update_linear_with;
 use crate::update::priu_opt_linear::priu_opt_update_linear_with;
@@ -91,6 +96,46 @@ impl LinearEngine {
     /// The training dataset this session currently covers.
     pub fn dataset(&self) -> &DenseDataset {
         &self.dataset
+    }
+
+    /// Serializes the whole engine state bit-exactly (durability snapshots).
+    pub fn encode_snapshot(&self, w: &mut SnapshotWriter) {
+        put_dense_dataset(w, &self.dataset);
+        put_trainer_config(w, &self.config);
+        put_model(w, &self.trained.model);
+        put_linear_provenance(w, &self.trained.provenance);
+        match &self.closed_form {
+            None => w.bool(false),
+            Some(c) => {
+                w.bool(true);
+                put_closed_form(w, c);
+            }
+        }
+        w.u64(self.training_time.as_nanos() as u64);
+    }
+
+    /// Rebuilds an engine from [`LinearEngine::encode_snapshot`] bytes.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Snapshot`] on truncated or corrupt input.
+    pub fn decode_snapshot(r: &mut SnapshotReader<'_>) -> Result<Self> {
+        let dataset = get_dense_dataset(r, "linear dataset")?;
+        let config = get_trainer_config(r, "linear config")?;
+        let model = get_model(r, "linear model")?;
+        let provenance = get_linear_provenance(r, "linear provenance")?;
+        let closed_form = if r.bool("linear closed-form flag")? {
+            Some(get_closed_form(r, "linear closed-form")?)
+        } else {
+            None
+        };
+        let training_time = Duration::from_nanos(r.u64("linear training time")?);
+        Ok(Self {
+            dataset,
+            config,
+            trained: TrainedLinear { model, provenance },
+            closed_form,
+            training_time,
+        })
     }
 
     fn continuous_labels(&self) -> &Vector {

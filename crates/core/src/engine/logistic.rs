@@ -17,6 +17,10 @@ use crate::engine::{
 };
 use crate::error::{CoreError, Result};
 use crate::model::Model;
+use crate::snapshot::{
+    get_dense_dataset, get_logistic_provenance, get_model, get_trainer_config, put_dense_dataset,
+    put_logistic_provenance, put_model, put_trainer_config, SnapshotReader, SnapshotWriter,
+};
 use crate::trainer::logistic::{
     binary_logistic_step, multinomial_logistic_step, train_binary_logistic_with,
     train_multinomial_logistic_with, TrainedLogistic,
@@ -85,6 +89,33 @@ impl LogisticEngine {
     /// The training dataset this session currently covers.
     pub fn dataset(&self) -> &DenseDataset {
         &self.dataset
+    }
+
+    /// Serializes the whole engine state bit-exactly (durability snapshots).
+    pub fn encode_snapshot(&self, w: &mut SnapshotWriter) {
+        put_dense_dataset(w, &self.dataset);
+        put_trainer_config(w, &self.config);
+        put_model(w, &self.trained.model);
+        put_logistic_provenance(w, &self.trained.provenance);
+        w.u64(self.training_time.as_nanos() as u64);
+    }
+
+    /// Rebuilds an engine from [`LogisticEngine::encode_snapshot`] bytes.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Snapshot`] on truncated or corrupt input.
+    pub fn decode_snapshot(r: &mut SnapshotReader<'_>) -> Result<Self> {
+        let dataset = get_dense_dataset(r, "logistic dataset")?;
+        let config = get_trainer_config(r, "logistic config")?;
+        let model = get_model(r, "logistic model")?;
+        let provenance = get_logistic_provenance(r, "logistic provenance")?;
+        let training_time = Duration::from_nanos(r.u64("logistic training time")?);
+        Ok(Self {
+            dataset,
+            config,
+            trained: TrainedLogistic { model, provenance },
+            training_time,
+        })
     }
 
     /// A workspace pre-sized for this session's replay loops (called before

@@ -474,7 +474,59 @@ impl Session {
             _ => None,
         }
     }
+
+    /// Serializes the session bit-exactly for durability snapshots: the
+    /// dataset, trainer configuration, model, captured provenance and any
+    /// materialised views, every `f64` as its exact bit pattern. The inverse
+    /// is [`Session::from_snapshot_bytes`]; round-tripping yields a session
+    /// whose `apply_delta` chain is bitwise identical to the original's.
+    pub fn to_snapshot_bytes(&self) -> Vec<u8> {
+        let mut w = crate::snapshot::SnapshotWriter::new();
+        match self {
+            Session::Linear(e) => {
+                w.u8(SESSION_LINEAR);
+                e.encode_snapshot(&mut w);
+            }
+            Session::Logistic(e) => {
+                w.u8(SESSION_LOGISTIC);
+                e.encode_snapshot(&mut w);
+            }
+            Session::SparseLogistic(e) => {
+                w.u8(SESSION_SPARSE_LOGISTIC);
+                e.encode_snapshot(&mut w);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Rebuilds a session from [`Session::to_snapshot_bytes`] output.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Snapshot`](crate::error::CoreError::Snapshot) on
+    /// truncated, corrupt or trailing-byte input — never panics, so the
+    /// recovery path can skip a bad snapshot and fall back to an older one.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Session> {
+        let mut r = crate::snapshot::SnapshotReader::new(bytes);
+        let session = match r.u8("session family tag")? {
+            SESSION_LINEAR => Session::Linear(LinearEngine::decode_snapshot(&mut r)?),
+            SESSION_LOGISTIC => Session::Logistic(LogisticEngine::decode_snapshot(&mut r)?),
+            SESSION_SPARSE_LOGISTIC => {
+                Session::SparseLogistic(SparseLogisticEngine::decode_snapshot(&mut r)?)
+            }
+            tag => {
+                return Err(crate::error::CoreError::Snapshot(format!(
+                    "unknown session family tag {tag}"
+                )))
+            }
+        };
+        r.finish()?;
+        Ok(session)
+    }
 }
+
+const SESSION_LINEAR: u8 = 1;
+const SESSION_LOGISTIC: u8 = 2;
+const SESSION_SPARSE_LOGISTIC: u8 = 3;
 
 macro_rules! delegate {
     ($self:ident, $e:ident => $body:expr) => {

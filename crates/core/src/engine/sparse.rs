@@ -13,6 +13,10 @@ use crate::engine::{
 };
 use crate::error::{CoreError, Result};
 use crate::model::Model;
+use crate::snapshot::{
+    get_model, get_sparse_dataset, get_sparse_provenance, get_trainer_config, put_model,
+    put_sparse_dataset, put_sparse_provenance, put_trainer_config, SnapshotReader, SnapshotWriter,
+};
 use crate::trainer::sparse::{
     sparse_logistic_step, train_sparse_binary_logistic, SparseLogisticProvenance,
     TrainedSparseLogistic,
@@ -51,6 +55,34 @@ impl SparseLogisticEngine {
     /// The training dataset this session currently covers.
     pub fn dataset(&self) -> &SparseDataset {
         &self.dataset
+    }
+
+    /// Serializes the whole engine state bit-exactly (durability snapshots).
+    pub fn encode_snapshot(&self, w: &mut SnapshotWriter) {
+        put_sparse_dataset(w, &self.dataset);
+        put_trainer_config(w, &self.config);
+        put_model(w, &self.trained.model);
+        put_sparse_provenance(w, &self.trained.provenance);
+        w.u64(self.training_time.as_nanos() as u64);
+    }
+
+    /// Rebuilds an engine from [`SparseLogisticEngine::encode_snapshot`]
+    /// bytes.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Snapshot`] on truncated or corrupt input.
+    pub fn decode_snapshot(r: &mut SnapshotReader<'_>) -> Result<Self> {
+        let dataset = get_sparse_dataset(r, "sparse dataset")?;
+        let config = get_trainer_config(r, "sparse config")?;
+        let model = get_model(r, "sparse model")?;
+        let provenance = get_sparse_provenance(r, "sparse provenance")?;
+        let training_time = Duration::from_nanos(r.u64("sparse training time")?);
+        Ok(Self {
+            dataset,
+            config,
+            trained: TrainedSparseLogistic { model, provenance },
+            training_time,
+        })
     }
 
     /// A workspace pre-sized for this session's replay loops.

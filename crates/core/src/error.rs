@@ -42,6 +42,10 @@ pub enum CoreError {
         /// Why the method is unavailable on this session.
         reason: &'static str,
     },
+    /// Snapshot bytes could not be decoded (truncated, corrupted, or from
+    /// an incompatible format version). Recovery treats this as "skip the
+    /// snapshot and fall back", never as a panic.
+    Snapshot(String),
 }
 
 impl fmt::Display for CoreError {
@@ -68,6 +72,7 @@ impl fmt::Display for CoreError {
             CoreError::UnsupportedMethod { method, reason } => {
                 write!(f, "update method {method} not supported here: {reason}")
             }
+            CoreError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
         }
     }
 }

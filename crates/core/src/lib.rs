@@ -75,6 +75,7 @@ pub mod model;
 pub mod objective;
 pub mod reference;
 pub mod session;
+pub mod snapshot;
 pub mod trainer;
 pub mod update;
 pub mod workspace;

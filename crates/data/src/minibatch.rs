@@ -70,6 +70,39 @@ impl BatchSchedule {
         self.batch_size == self.num_samples
     }
 
+    /// The materialised batches, if this schedule carries them (schedules
+    /// produced by [`BatchSchedule::restrict_from`] / `extend_with`);
+    /// `None` for seed-derived schedules.
+    pub fn explicit_batches(&self) -> Option<&[Vec<usize>]> {
+        self.explicit.as_deref()
+    }
+
+    /// Rebuilds a schedule from serialized parts (the inverse of the field
+    /// accessors, used when deserializing a snapshot). An explicit batch
+    /// list takes precedence over seed derivation exactly as in the
+    /// schedules produced by `restrict_from`/`extend_with`.
+    ///
+    /// # Panics
+    /// Panics if `num_samples == 0` or `batch_size == 0` (same contract as
+    /// [`BatchSchedule::new`]).
+    pub fn from_parts(
+        num_samples: usize,
+        batch_size: usize,
+        num_iterations: usize,
+        seed: u64,
+        explicit: Option<Vec<Vec<usize>>>,
+    ) -> Self {
+        assert!(num_samples > 0, "a schedule needs at least one sample");
+        assert!(batch_size > 0, "a schedule needs a positive batch size");
+        Self {
+            num_samples,
+            batch_size,
+            num_iterations,
+            seed,
+            explicit,
+        }
+    }
+
     /// The sample indices of mini-batch `t`, drawn without replacement.
     /// Deterministic: the same `(schedule, t)` always yields the same batch.
     ///

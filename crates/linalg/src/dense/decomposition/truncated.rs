@@ -224,6 +224,24 @@ impl TruncatedGram {
         }
     }
 
+    /// Reassembles an approximation from previously extracted `P` and `V`
+    /// factors (the inverse of [`p`](Self::p)/[`v`](Self::v), used when
+    /// deserializing a snapshot).
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if the factors do not share
+    /// the same `m x r` shape.
+    pub fn from_parts(p: Matrix, v: Matrix) -> Result<Self> {
+        if p.nrows() != v.nrows() || p.ncols() != v.ncols() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "TruncatedGram::from_parts",
+                left: (p.nrows(), p.ncols()),
+                right: (v.nrows(), v.ncols()),
+            });
+        }
+        Ok(Self { p, v })
+    }
+
     fn from_eigenpairs(dim: usize, values: &[f64], vectors: &[Vector]) -> Result<Self> {
         let r = values.len();
         let mut p = Matrix::zeros(dim, r);

@@ -172,6 +172,21 @@ impl CsrMatrix {
         self.values.len()
     }
 
+    /// The raw row-pointer array (`nrows + 1` entries).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The raw column-index array (`nnz` entries, sorted within each row).
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// The raw stored values (`nnz` entries, row-major).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
     /// Fraction of stored entries over the full dense size (0 for an empty
     /// matrix).
     pub fn density(&self) -> f64 {

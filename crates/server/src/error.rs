@@ -35,6 +35,10 @@ pub enum ServerError {
     BatchFailed(String),
     /// The server is shutting down and no longer admits requests.
     ShuttingDown,
+    /// The durability layer failed (WAL I/O, snapshot write, or recovery
+    /// found unusable persisted state). Raised before acknowledgement, so
+    /// a caller seeing this knows the change was *not* made durable.
+    Durability(String),
     /// A wire-protocol frame could not be decoded.
     Protocol(ProtocolError),
 }
@@ -58,6 +62,7 @@ impl fmt::Display for ServerError {
                 write!(f, "deletion batch failed: {message}")
             }
             ServerError::ShuttingDown => f.write_str("the server is shutting down"),
+            ServerError::Durability(message) => write!(f, "durability error: {message}"),
             ServerError::Protocol(err) => write!(f, "protocol error: {err}"),
         }
     }

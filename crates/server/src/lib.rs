@@ -25,21 +25,40 @@
 //!   per connection.
 //! * [`server`] — wires the above to one applier thread; concurrent
 //!   session batches fan out over the shared `priu-linalg` worker pool.
+//! * [`wal`] / [`snapshot`] / [`recovery`] — the durability layer: an
+//!   append-only CRC-checksummed WAL fsync'd before every batch
+//!   acknowledgement, atomic per-session snapshots cut every few epochs,
+//!   and restart recovery that redoes the WAL suffix through the normal
+//!   `apply_delta` path — recovered models are bitwise identical to the
+//!   pre-crash state under the same thread/SIMD pin.
+//! * [`failpoint`] — named crash points (`PRIU_FAILPOINT`) the
+//!   crash-recovery torture suite uses to abort the process at exact
+//!   instants in the commit/snapshot/recovery paths.
 
 pub mod error;
+pub mod failpoint;
 pub mod planner;
 pub mod protocol;
+pub mod recovery;
 pub mod registry;
 pub mod scheduler;
 pub mod server;
+pub mod snapshot;
+pub mod wal;
 
 pub use error::{Result, ServerError};
+pub use failpoint::{fail_point, FAILPOINT_ENV};
 pub use planner::{AddedRows, BatchReply, DeleteTicket, PlannerConfig};
 pub use protocol::{
     decode_request, decode_response, duplex, encode_request, encode_response, pipe, read_frame,
-    spawn_frame_reader, write_frame, PipeReader, PipeWriter, ProtocolError, Request,
-    RequestEnvelope, Response, ResponseEnvelope,
+    spawn_frame_reader, write_frame, PipeReader, PipeWriter, ProtocolError, RecoverySessionStatus,
+    Request, RequestEnvelope, Response, ResponseEnvelope,
 };
+pub use recovery::{RecoveryReport, SessionRecovery, WAL_FILE};
 pub use registry::{SessionRegistry, SessionSlot};
 pub use scheduler::{Calibration, CostModel, SchedulerConfig};
-pub use server::{ConnectionHandle, Prediction, Server, ServerConfig, SessionStats};
+pub use server::{
+    ConnectionHandle, DurabilityConfig, Prediction, Server, ServerConfig, SessionStats,
+};
+pub use snapshot::{SkippedSnapshot, SNAPSHOT_MAGIC};
+pub use wal::{crc32, scan_wal, Wal, WalRecord, WalScan, WalTail, MAX_WAL_FRAME_BYTES};

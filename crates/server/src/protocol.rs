@@ -137,6 +137,22 @@ pub enum Request {
         /// Window size: the row count to retain after the commit.
         keep_last: u64,
     },
+    /// What restart recovery loaded, redid, and skipped (server-wide).
+    Recovery,
+}
+
+/// One session's line in a [`Response::RecoveryStatus`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoverySessionStatus {
+    /// Session name.
+    pub session: String,
+    /// WAL records redone onto the loaded snapshot.
+    pub redone: u64,
+    /// WAL records skipped (their apply failed live too, or their ids did
+    /// not resolve).
+    pub skipped: u64,
+    /// The epoch the session recovered to.
+    pub final_epoch: u64,
 }
 
 /// What the server answers.
@@ -203,6 +219,22 @@ pub enum Response {
         pending: u64,
         /// Scheduler decision histogram, [`Method::ALL`] order.
         decisions: Vec<(Method, u64)>,
+    },
+    /// What restart recovery did. `durable: false` means the server runs
+    /// without a durability layer (everything else is zero/empty).
+    RecoveryStatus {
+        /// Whether the server has a durability layer at all.
+        durable: bool,
+        /// Valid WAL records in the scanned prefix.
+        wal_records: u64,
+        /// Rendered torn-tail description, if the WAL did not end cleanly.
+        wal_tail: Option<String>,
+        /// Corrupt snapshot files recovery skipped.
+        snapshot_skips: u64,
+        /// WAL records whose session had no usable snapshot.
+        orphan_records: u64,
+        /// Per-session outcomes, sorted by name.
+        sessions: Vec<RecoverySessionStatus>,
     },
     /// The request failed; the message is the rendered server error.
     Error {
@@ -297,6 +329,7 @@ const TAG_FLUSH: u8 = 3;
 const TAG_STATS: u8 = 4;
 const TAG_ADD: u8 = 5;
 const TAG_TICK: u8 = 6;
+const TAG_RECOVERY: u8 = 7;
 
 const TAG_PREDICTED: u8 = 101;
 const TAG_DELETED: u8 = 102;
@@ -304,6 +337,7 @@ const TAG_FLUSHED: u8 = 103;
 const TAG_STATS_REPLY: u8 = 104;
 const TAG_ERROR: u8 = 105;
 const TAG_APPLIED: u8 = 106;
+const TAG_RECOVERY_STATUS: u8 = 107;
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -381,6 +415,7 @@ pub fn encode_request(env: &RequestEnvelope) -> Vec<u8> {
             put_added_rows(&mut out, *num_features, features, labels);
             put_u64(&mut out, *keep_last);
         }
+        Request::Recovery => out.push(TAG_RECOVERY),
     }
     out
 }
@@ -472,6 +507,34 @@ pub fn encode_response(env: &ResponseEnvelope) -> Vec<u8> {
             for &(method, count) in decisions {
                 put_method(&mut out, Some(method));
                 put_u64(&mut out, count);
+            }
+        }
+        Response::RecoveryStatus {
+            durable,
+            wal_records,
+            wal_tail,
+            snapshot_skips,
+            orphan_records,
+            sessions,
+        } => {
+            out.push(TAG_RECOVERY_STATUS);
+            out.push(u8::from(*durable));
+            put_u64(&mut out, *wal_records);
+            match wal_tail {
+                Some(tail) => {
+                    out.push(1);
+                    put_str(&mut out, tail);
+                }
+                None => out.push(0),
+            }
+            put_u64(&mut out, *snapshot_skips);
+            put_u64(&mut out, *orphan_records);
+            put_u32(&mut out, sessions.len() as u32);
+            for s in sessions {
+                put_str(&mut out, &s.session);
+                put_u64(&mut out, s.redone);
+                put_u64(&mut out, s.skipped);
+                put_u64(&mut out, s.final_epoch);
             }
         }
         Response::Error { message } => {
@@ -622,6 +685,7 @@ pub fn decode_request(payload: &[u8]) -> Result<RequestEnvelope, ProtocolError> 
                 keep_last: r.u64()?,
             }
         }
+        TAG_RECOVERY => Request::Recovery,
         other => return Err(ProtocolError::BadTag(other)),
     };
     r.finish()?;
@@ -683,6 +747,31 @@ pub fn decode_response(payload: &[u8]) -> Result<ResponseEnvelope, ProtocolError
                 drift,
                 pending,
                 decisions,
+            }
+        }
+        TAG_RECOVERY_STATUS => {
+            let durable = r.u8()? == 1;
+            let wal_records = r.u64()?;
+            let wal_tail = if r.u8()? == 1 { Some(r.str()?) } else { None };
+            let snapshot_skips = r.u64()?;
+            let orphan_records = r.u64()?;
+            let n = r.u32()? as usize;
+            let mut sessions = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                sessions.push(RecoverySessionStatus {
+                    session: r.str()?,
+                    redone: r.u64()?,
+                    skipped: r.u64()?,
+                    final_epoch: r.u64()?,
+                });
+            }
+            Response::RecoveryStatus {
+                durable,
+                wal_records,
+                wal_tail,
+                snapshot_skips,
+                orphan_records,
+                sessions,
             }
         }
         TAG_ERROR => Response::Error { message: r.str()? },

@@ -89,6 +89,26 @@ pub(crate) struct ApplyView {
     pub removed_since_refit: usize,
 }
 
+/// Everything the durability layer must persist to reconstruct a slot
+/// bit-exactly: the session snapshot plus the registry bookkeeping a
+/// [`SessionSlot::commit`] mutates.
+#[derive(Debug, Clone)]
+pub(crate) struct DurableState {
+    /// The current session snapshot.
+    pub session: Arc<Session>,
+    /// Stable ids of the snapshot's rows (ascending).
+    pub ids: Vec<u64>,
+    /// The monotonic fresh-id counter (never rewinds, even when the tail
+    /// ids were retired — reallocating one would resurrect a deleted row).
+    pub next_id: u64,
+    /// Epoch of the snapshot.
+    pub epoch: u64,
+    /// Registration-time sample count (drift denominator).
+    pub initial_samples: usize,
+    /// Incrementally removed rows since the last full retrain.
+    pub removed_since_refit: usize,
+}
+
 impl SessionSlot {
     fn new(session: Session) -> Self {
         let n = session.num_samples();
@@ -105,8 +125,37 @@ impl SessionSlot {
         }
     }
 
+    /// Rebuilds a slot from persisted durable state (recovery path).
+    pub(crate) fn restore(state: DurableState) -> Self {
+        Self {
+            state: RwLock::new(SlotState {
+                session: state.session,
+                ids: state.ids,
+                next_id: state.next_id,
+                epoch: state.epoch,
+                initial_samples: state.initial_samples,
+                removed_since_refit: state.removed_since_refit,
+            }),
+            apply_gate: Mutex::new(()),
+        }
+    }
+
     fn read(&self) -> std::sync::RwLockReadGuard<'_, SlotState> {
         self.state.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Reads everything the durability layer persists, in one shared
+    /// acquisition — the snapshot writer calls this right after a commit.
+    pub(crate) fn durable_state(&self) -> DurableState {
+        let state = self.read();
+        DurableState {
+            session: state.session.clone(),
+            ids: state.ids.clone(),
+            next_id: state.next_id,
+            epoch: state.epoch,
+            initial_samples: state.initial_samples,
+            removed_since_refit: state.removed_since_refit,
+        }
     }
 
     /// The shared grant: the current session snapshot and its epoch. The
@@ -221,6 +270,26 @@ impl SessionRegistry {
     /// [`ServerError::SessionExists`] if the name is taken.
     pub fn register(&self, name: &str, session: Session) -> Result<Arc<SessionSlot>> {
         let slot = Arc::new(SessionSlot::new(session));
+        let mut slots = self.lock();
+        if slots.contains_key(name) {
+            return Err(ServerError::SessionExists(name.to_string()));
+        }
+        slots.insert(name.to_string(), slot.clone());
+        Ok(slot)
+    }
+
+    /// Registers a slot rebuilt from persisted durable state (recovery
+    /// path) — unlike [`SessionRegistry::register`], the id map, epoch and
+    /// drift counters come from the snapshot, not from scratch.
+    ///
+    /// # Errors
+    /// [`ServerError::SessionExists`] if the name is taken.
+    pub(crate) fn register_restored(
+        &self,
+        name: &str,
+        state: DurableState,
+    ) -> Result<Arc<SessionSlot>> {
+        let slot = Arc::new(SessionSlot::restore(state));
         let mut slots = self.lock();
         if slots.contains_key(name) {
             return Err(ServerError::SessionExists(name.to_string()));

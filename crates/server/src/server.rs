@@ -41,6 +41,7 @@
 
 use std::collections::{BTreeSet, HashMap};
 use std::io::{Read, Write};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::channel;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
@@ -54,18 +55,45 @@ use priu_linalg::simd::{self, SimdLevel};
 use priu_linalg::{Matrix, Vector};
 
 use crate::error::{Result, ServerError};
+use crate::failpoint::fail_point;
 use crate::planner::{
     AddedRows, BatchReply, DeleteTicket, PlannerConfig, PlannerState, ReadyBatch,
 };
 use crate::protocol::{
-    decode_request, encode_response, spawn_frame_reader, write_frame, Request, Response,
-    ResponseEnvelope,
+    decode_request, encode_response, spawn_frame_reader, write_frame, RecoverySessionStatus,
+    Request, Response, ResponseEnvelope,
 };
+use crate::recovery::{recover, RecoveryReport};
 use crate::registry::{SessionRegistry, SessionSlot};
 use crate::scheduler::{CostModel, SchedulerConfig};
+use crate::snapshot::write_snapshot;
+use crate::wal::{Wal, WalRecord};
+
+/// Durability configuration: where the WAL and snapshots live, and how
+/// often snapshots are cut.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding `deltas.wal` and `snapshots/`. Created on start.
+    pub dir: PathBuf,
+    /// Write a session snapshot every this many committed batches (a
+    /// baseline snapshot is always written at registration). Bounds the
+    /// WAL suffix redo to at most `snapshot_every - 1` records per
+    /// session.
+    pub snapshot_every: u64,
+}
+
+impl DurabilityConfig {
+    /// Durability rooted at `dir` with the default snapshot cadence (8).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            snapshot_every: 8,
+        }
+    }
+}
 
 /// Server tuning knobs.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ServerConfig {
     /// Admission + coalescing planner configuration.
     pub planner: PlannerConfig,
@@ -77,6 +105,9 @@ pub struct ServerConfig {
     /// Pins the SIMD kernel level for every batch apply (`None` inherits
     /// `PRIU_SIMD` / runtime detection).
     pub simd_level: Option<SimdLevel>,
+    /// Durable WAL + snapshots. `None` keeps the pre-durability behaviour
+    /// (everything in memory, nothing survives a restart).
+    pub durability: Option<DurabilityConfig>,
 }
 
 /// One prediction from one immutable snapshot.
@@ -108,6 +139,21 @@ pub struct SessionStats {
     pub decisions: Vec<(Method, u64)>,
 }
 
+/// The live durability state: the open WAL plus the snapshot cadence.
+/// One WAL mutex serialises appends across sessions (batches fan out over
+/// the pool), which is also what assigns the global LSN order.
+struct Durability {
+    dir: PathBuf,
+    snapshot_every: u64,
+    wal: Mutex<Wal>,
+}
+
+impl Durability {
+    fn wal(&self) -> MutexGuard<'_, Wal> {
+        self.wal.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
 struct Inner {
     registry: SessionRegistry,
     cfg: ServerConfig,
@@ -117,6 +163,10 @@ struct Inner {
     /// Per-session cost models (per-session mutexes so fanned-out batches
     /// never contend on one model).
     cost: Mutex<HashMap<String, Arc<Mutex<CostModel>>>>,
+    /// WAL + snapshots, when configured.
+    durability: Option<Durability>,
+    /// What restart recovery found and redid (durable servers only).
+    recovery: Option<RecoveryReport>,
     shutdown: AtomicBool,
 }
 
@@ -281,10 +331,12 @@ fn validate_added_rows(session: &Session, rows: &AddedRows) -> Result<()> {
     Ok(())
 }
 
-/// Concatenates a batch's appended rows, FIFO admission order, into one
-/// dense block with task-appropriate labels. `None` when the batch
-/// appends nothing. Shapes were validated at admission.
-fn added_dataset(task: TaskKind, batch: &ReadyBatch) -> Option<DenseDataset> {
+/// Concatenates a batch's appended rows in FIFO admission order:
+/// `(width, features, labels)`. `None` when the batch appends nothing.
+/// This flat form is exactly what the WAL records — redo rebuilds the
+/// same dense block through [`dense_added`], so live and recovered
+/// appends are bit-identical.
+fn concat_added(batch: &ReadyBatch) -> Option<(usize, Vec<f64>, Vec<f64>)> {
     let mut width = 0;
     let mut features = Vec::new();
     let mut labels = Vec::new();
@@ -298,6 +350,18 @@ fn added_dataset(task: TaskKind, batch: &ReadyBatch) -> Option<DenseDataset> {
     if labels.is_empty() {
         return None;
     }
+    Some((width, features, labels))
+}
+
+/// Builds the dense appended block with task-appropriate labels — shared
+/// by the live batch path and WAL redo. Shapes were validated at
+/// admission (and ride the WAL verbatim).
+pub(crate) fn dense_added(
+    task: TaskKind,
+    width: usize,
+    features: Vec<f64>,
+    labels: Vec<f64>,
+) -> DenseDataset {
     let x = Matrix::from_vec(labels.len(), width, features).expect("shapes validated at admission");
     let labels = match task {
         TaskKind::Regression => Labels::Continuous(Vector::from_vec(labels)),
@@ -307,13 +371,14 @@ fn added_dataset(task: TaskKind, batch: &ReadyBatch) -> Option<DenseDataset> {
             num_classes,
         },
     };
-    Some(DenseDataset::new(x, labels))
+    DenseDataset::new(x, labels)
 }
 
 /// Runs `f` with the configured worker-thread count and SIMD level pinned
 /// (both thread-local, so the pin travels with the applier regardless of
-/// which thread admitted the work).
-fn run_pinned<R>(cfg: &ServerConfig, f: impl FnOnce() -> R) -> R {
+/// which thread admitted the work). Recovery redo runs under the same
+/// pin, which is what keeps replayed results bitwise identical.
+pub(crate) fn run_pinned<R>(cfg: &ServerConfig, f: impl FnOnce() -> R) -> R {
     match (cfg.apply_threads, cfg.simd_level) {
         (Some(t), Some(l)) => par::with_threads(t, || simd::with_level(l, f)),
         (Some(t), None) => par::with_threads(t, f),
@@ -423,11 +488,42 @@ fn apply_batch(inner: &Inner, batch: ReadyBatch) {
         None => Method::Retrain,
     };
 
+    // Durability boundary: the union delta — resolved removal set
+    // (retention expiry folded in) and the chosen method, both
+    // timing-dependent and hence recorded rather than re-derived — goes
+    // to the WAL and is fsync'd *before* the engine runs. Nothing has
+    // been acknowledged yet; a WAL failure fails the batch with the
+    // session untouched. A crash after the fsync is redone on restart.
+    let added_flat = concat_added(&batch);
+    let mut wal_lsn = None;
+    if let Some(durability) = &inner.durability {
+        let mut record = WalRecord {
+            lsn: 0,
+            session: batch.session.clone(),
+            method,
+            removed_ids: rows.iter().map(|&ix| view.ids[ix]).collect(),
+            keep_last: batch.keep_last,
+            added: added_flat.clone(),
+        };
+        match durability.wal().append_sync(&mut record) {
+            Ok(lsn) => wal_lsn = Some(lsn),
+            Err(err) => {
+                let message = err.to_string();
+                reply_all_err(&batch, &message);
+                return;
+            }
+        }
+    }
+
     // The one engine call the whole batch reduces to: the union delta,
     // additions concatenated in FIFO admission order.
     let delta = Delta {
         removed: rows.clone(),
-        added: added_dataset(view.session.task(), &batch).map(DeltaRows::Dense),
+        added: added_flat
+            .map(|(width, features, labels)| {
+                dense_added(view.session.task(), width, features, labels)
+            })
+            .map(DeltaRows::Dense),
     };
     let outcome = run_pinned(&inner.cfg, || view.session.apply_delta(method, &delta));
     match outcome {
@@ -447,6 +543,7 @@ fn apply_batch(inner: &Inner, batch: ReadyBatch) {
             // flat retrain term so scheduling tracks the real eigensolver.
             let refit_offline = (method == Method::Retrain)
                 .then(|| chained.session.capture_snapshot().training_seconds);
+            fail_point("apply-before-commit");
             let epoch = slot.commit(
                 Arc::new(chained.session),
                 survivors,
@@ -454,6 +551,25 @@ fn apply_batch(inner: &Inner, batch: ReadyBatch) {
                 num_added,
                 method == Method::Retrain,
             );
+            // Periodic snapshot, cut right after the commit while the
+            // apply gate still excludes further batches: the durable
+            // state covers every WAL record through this batch's LSN.
+            // Best-effort — the WAL already makes the batch durable, so a
+            // failed snapshot only lengthens the next redo.
+            if let (Some(durability), Some(lsn)) = (&inner.durability, wal_lsn) {
+                if epoch.is_multiple_of(durability.snapshot_every) {
+                    let state = slot.durable_state();
+                    if let Err(err) =
+                        write_snapshot(&durability.dir, &batch.session, lsn + 1, &state)
+                    {
+                        eprintln!(
+                            "snapshot of {} at epoch {epoch} failed: {err}",
+                            batch.session
+                        );
+                    }
+                }
+            }
+            fail_point("before-ack");
             if let Some(model) = &cost {
                 let mut model = model.lock().unwrap_or_else(PoisonError::into_inner);
                 model.observe_delta(method, rows.len(), num_added, snapshot.num_samples, seconds);
@@ -548,15 +664,51 @@ pub struct Server {
 
 impl Server {
     /// Starts a server (one applier thread) with the given configuration.
-    pub fn start(cfg: ServerConfig) -> Self {
+    /// When durability is configured, starting **is** recovering: the
+    /// durability directory's snapshots are loaded, the WAL suffix is
+    /// redone through the normal `apply_delta` path under the configured
+    /// thread/SIMD pin, and every previously registered session comes
+    /// back bitwise identical to its last acknowledged state
+    /// ([`Server::recovery_report`] says what happened).
+    ///
+    /// # Errors
+    /// [`ServerError::Durability`] on genuine I/O failure in the
+    /// durability directory. Corrupt WAL tails or snapshot files are
+    /// *not* errors — they are skipped and reported. A server without
+    /// durability never fails to start.
+    pub fn start(cfg: ServerConfig) -> Result<Self> {
+        let mut durability = None;
+        let mut recovery = None;
+        let mut restored = Vec::new();
+        if let Some(dur_cfg) = &cfg.durability {
+            let recovered = recover(&cfg, &dur_cfg.dir)?;
+            restored = recovered.sessions;
+            recovery = Some(recovered.report);
+            durability = Some(Durability {
+                dir: dur_cfg.dir.clone(),
+                snapshot_every: dur_cfg.snapshot_every.max(1),
+                wal: Mutex::new(recovered.wal),
+            });
+        }
+        let scheduler = cfg.scheduler;
         let inner = Arc::new(Inner {
             registry: SessionRegistry::new(),
             cfg,
             planner: Mutex::new(PlannerState::default()),
             work: Condvar::new(),
             cost: Mutex::new(HashMap::new()),
+            durability,
+            recovery,
             shutdown: AtomicBool::new(false),
         });
+        for (name, state) in restored {
+            inner.registry.register_restored(&name, state)?;
+            inner
+                .cost
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .insert(name, Arc::new(Mutex::new(CostModel::new(scheduler))));
+        }
         let applier = {
             let inner = Arc::clone(&inner);
             thread::Builder::new()
@@ -564,22 +716,44 @@ impl Server {
                 .spawn(move || applier_loop(&inner))
                 .expect("spawn applier thread")
         };
-        Self {
+        Ok(Self {
             inner,
             applier: Mutex::new(Some(applier)),
-        }
+        })
+    }
+
+    /// What restart recovery loaded, redid, and skipped. `None` on a
+    /// server without durability.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.inner.recovery.as_ref()
     }
 
     /// Registers a fitted session under `name`; its rows get stable ids
-    /// `0..n`.
+    /// `0..n`. On a durable server this also writes the session's
+    /// baseline snapshot (covering the current WAL position) so every
+    /// later WAL record has a redo base — the registration is not
+    /// acknowledged until the snapshot is on disk.
     ///
     /// # Errors
-    /// [`ServerError::SessionExists`], [`ServerError::ShuttingDown`].
+    /// [`ServerError::SessionExists`], [`ServerError::ShuttingDown`],
+    /// [`ServerError::Durability`] if the baseline snapshot cannot be
+    /// written (the session is not registered in that case).
     pub fn register_session(&self, name: &str, session: Session) -> Result<()> {
         if self.inner.shutdown.load(Ordering::Acquire) {
             return Err(ServerError::ShuttingDown);
         }
-        self.inner.registry.register(name, session)?;
+        let slot = self.inner.registry.register(name, session)?;
+        if let Some(durability) = &self.inner.durability {
+            // The covered LSN is read under the WAL lock so no batch can
+            // sneak a record for this session below it (it can't anyway —
+            // the session just appeared — but the invariant is free).
+            let covered_lsn = durability.wal().next_lsn();
+            let state = slot.durable_state();
+            if let Err(err) = write_snapshot(&durability.dir, name, covered_lsn, &state) {
+                let _ = self.inner.registry.remove(name);
+                return Err(err);
+            }
+        }
         self.inner
             .cost
             .lock()
@@ -860,6 +1034,33 @@ where
                         Ok(()) => Response::Flushed,
                         Err(err) => Response::Error {
                             message: err.to_string(),
+                        },
+                    },
+                    Request::Recovery => match &inner.recovery {
+                        Some(report) => Response::RecoveryStatus {
+                            durable: true,
+                            wal_records: report.wal_records,
+                            wal_tail: report.wal_tail.clone(),
+                            snapshot_skips: report.snapshot_skips.len() as u64,
+                            orphan_records: report.orphan_records,
+                            sessions: report
+                                .sessions
+                                .iter()
+                                .map(|s| RecoverySessionStatus {
+                                    session: s.session.clone(),
+                                    redone: s.redone,
+                                    skipped: s.skipped.len() as u64,
+                                    final_epoch: s.final_epoch,
+                                })
+                                .collect(),
+                        },
+                        None => Response::RecoveryStatus {
+                            durable: false,
+                            wal_records: 0,
+                            wal_tail: None,
+                            snapshot_skips: 0,
+                            orphan_records: 0,
+                            sessions: Vec::new(),
                         },
                     },
                     Request::Stats { session } => match inner.stats(&session) {

@@ -1,0 +1,492 @@
+//! Durable session snapshots.
+//!
+//! A snapshot is the full durable state of one session slot — engine
+//! state, stable-id map, fresh-id counter, epoch, drift counters —
+//! serialized bit-exactly, plus the WAL LSN it *covers*: every WAL record
+//! with `lsn < covered_lsn` is already folded into the snapshot, so
+//! recovery loads the newest valid snapshot and redoes only the WAL
+//! suffix.
+//!
+//! # File format
+//!
+//! ```text
+//! <dir>/snapshots/<hex(session name)>-<epoch, 20 digits>.snap
+//!
+//! [8  magic "PRIUSNP1"]
+//! [u32 payload len][u32 crc32(payload)]
+//! payload = u64 covered_lsn, u64 epoch, u64 next_id,
+//!           u64 initial_samples, u64 removed_since_refit,
+//!           u64 id count + that many u64 stable ids,
+//!           u64 session blob len + Session::to_snapshot_bytes
+//! ```
+//!
+//! Session names contain `/` (tenant × model), so the filename carries the
+//! name hex-encoded; the zero-padded epoch makes lexicographic order equal
+//! epoch order.
+//!
+//! # Atomicity
+//!
+//! A snapshot is written to `<final>.snap.tmp`, fsync'd, renamed over the
+//! final name, and the directory fsync'd — a crash at any point (the
+//! `snapshot-mid-write` / `snapshot-before-rename` / `snapshot-after-rename`
+//! fail points) leaves either the old snapshot set or the old set plus a
+//! complete new file. Loaders ignore `.tmp` leftovers and skip files that
+//! fail the magic, CRC, or decode — a corrupt snapshot falls back to the
+//! previous epoch, never panics.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use priu_core::snapshot::{SnapshotReader, SnapshotWriter};
+use priu_core::{DeletionEngine, Session};
+
+use crate::error::{Result, ServerError};
+use crate::failpoint::fail_point;
+use crate::registry::DurableState;
+use crate::wal::{crc32, read_file, sync_parent_dir};
+
+/// Identifies a file as a PrIU session snapshot, version 1.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"PRIUSNP1";
+
+/// A snapshot loaded back from disk.
+#[derive(Debug)]
+pub(crate) struct LoadedSnapshot {
+    /// Every WAL record with `lsn < covered_lsn` is folded in already.
+    pub covered_lsn: u64,
+    /// The slot state to restore.
+    pub state: DurableState,
+}
+
+/// A snapshot file that existed but could not be used — recovery reports
+/// these and falls back to an older epoch.
+#[derive(Debug, Clone)]
+pub struct SkippedSnapshot {
+    /// The unusable file.
+    pub path: PathBuf,
+    /// Why it was skipped.
+    pub reason: String,
+}
+
+// --- naming ---------------------------------------------------------------
+
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).ok())
+        .collect()
+}
+
+/// The directory holding a store's snapshot files.
+pub fn snapshot_dir(dir: &Path) -> PathBuf {
+    dir.join("snapshots")
+}
+
+fn snapshot_path(dir: &Path, session: &str, epoch: u64) -> PathBuf {
+    snapshot_dir(dir).join(format!(
+        "{}-{epoch:020}.snap",
+        hex_encode(session.as_bytes())
+    ))
+}
+
+/// Splits a snapshot filename back into `(session name, epoch)`; `None`
+/// for files that are not well-formed snapshot names (e.g. `.tmp`
+/// leftovers).
+fn parse_snapshot_name(file_name: &str) -> Option<(String, u64)> {
+    let stem = file_name.strip_suffix(".snap")?;
+    let (hex_name, epoch) = stem.rsplit_once('-')?;
+    let epoch = epoch.parse().ok()?;
+    let name = String::from_utf8(hex_decode(hex_name)?).ok()?;
+    Some((name, epoch))
+}
+
+// --- writing --------------------------------------------------------------
+
+fn encode_snapshot(covered_lsn: u64, state: &DurableState) -> Vec<u8> {
+    let mut w = SnapshotWriter::new();
+    w.u64(covered_lsn);
+    w.u64(state.epoch);
+    w.u64(state.next_id);
+    w.usize(state.initial_samples);
+    w.usize(state.removed_since_refit);
+    w.usize(state.ids.len());
+    for &id in &state.ids {
+        w.u64(id);
+    }
+    let blob = state.session.to_snapshot_bytes();
+    w.usize(blob.len());
+    let mut bytes = w.into_bytes();
+    bytes.extend_from_slice(&blob);
+    bytes
+}
+
+fn decode_snapshot(payload: &[u8]) -> std::result::Result<LoadedSnapshot, String> {
+    let fail = |e: priu_core::CoreError| e.to_string();
+    let mut r = SnapshotReader::new(payload);
+    let covered_lsn = r.u64("covered_lsn").map_err(fail)?;
+    let epoch = r.u64("epoch").map_err(fail)?;
+    let next_id = r.u64("next_id").map_err(fail)?;
+    let initial_samples = r.usize("initial_samples").map_err(fail)?;
+    let removed_since_refit = r.usize("removed_since_refit").map_err(fail)?;
+    let n = r.len(8, "stable ids").map_err(fail)?;
+    let mut ids = Vec::with_capacity(n);
+    for _ in 0..n {
+        ids.push(r.u64("stable id").map_err(fail)?);
+    }
+    let blob_len = r.usize("session blob length").map_err(fail)?;
+    if blob_len != r.remaining() {
+        return Err(format!(
+            "session blob length {blob_len} does not match remaining {} bytes",
+            r.remaining()
+        ));
+    }
+    let blob = r.take(blob_len, "session blob").map_err(fail)?;
+    let session = Session::from_snapshot_bytes(blob).map_err(fail)?;
+    if let Some(&max) = ids.last() {
+        if max >= next_id {
+            return Err(format!("stable id {max} is not below next_id {next_id}"));
+        }
+    }
+    if ids.len() != session.num_samples() {
+        return Err(format!(
+            "{} stable ids for a session of {} rows",
+            ids.len(),
+            session.num_samples()
+        ));
+    }
+    Ok(LoadedSnapshot {
+        covered_lsn,
+        state: DurableState {
+            session: Arc::new(session),
+            ids,
+            next_id,
+            epoch,
+            initial_samples,
+            removed_since_refit,
+        },
+    })
+}
+
+/// Writes one session snapshot atomically (temp file → fsync → rename →
+/// directory fsync) and prunes superseded epochs. Crash points:
+/// `snapshot-mid-write`, `snapshot-before-rename`, `snapshot-after-rename`.
+///
+/// # Errors
+/// [`ServerError::Durability`] on I/O failure; the previous snapshot set
+/// is untouched in that case.
+pub(crate) fn write_snapshot(
+    dir: &Path,
+    session: &str,
+    covered_lsn: u64,
+    state: &DurableState,
+) -> Result<PathBuf> {
+    let snap_dir = snapshot_dir(dir);
+    std::fs::create_dir_all(&snap_dir)
+        .map_err(|e| ServerError::Durability(format!("creating {}: {e}", snap_dir.display())))?;
+    let payload = encode_snapshot(covered_lsn, state);
+    let mut bytes = Vec::with_capacity(16 + payload.len());
+    bytes.extend_from_slice(SNAPSHOT_MAGIC);
+    bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+
+    let final_path = snapshot_path(dir, session, state.epoch);
+    let tmp_path = final_path.with_extension("snap.tmp");
+    let io = |what: &str, p: &Path, e: std::io::Error| {
+        ServerError::Durability(format!("{what} {}: {e}", p.display()))
+    };
+    {
+        let mut tmp = OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .write(true)
+            .open(&tmp_path)
+            .map_err(|e| io("creating", &tmp_path, e))?;
+        // Two half-writes with a crash point between them, so the torture
+        // suite can leave a genuinely torn temp file behind.
+        let mid = bytes.len() / 2;
+        tmp.write_all(&bytes[..mid])
+            .map_err(|e| io("writing", &tmp_path, e))?;
+        fail_point("snapshot-mid-write");
+        tmp.write_all(&bytes[mid..])
+            .map_err(|e| io("writing", &tmp_path, e))?;
+        tmp.sync_data().map_err(|e| io("syncing", &tmp_path, e))?;
+    }
+    fail_point("snapshot-before-rename");
+    std::fs::rename(&tmp_path, &final_path)
+        .map_err(|e| io("renaming into place", &final_path, e))?;
+    fail_point("snapshot-after-rename");
+    sync_parent_dir(&final_path)?;
+    prune_old_snapshots(dir, session, state.epoch);
+    Ok(final_path)
+}
+
+/// Removes snapshots of `session` older than the newest two epochs ≤
+/// `latest_epoch`. Keeping one predecessor means a corrupt latest file
+/// still has a fallback; best-effort (pruning failures are ignored — a
+/// stale file only costs disk).
+fn prune_old_snapshots(dir: &Path, session: &str, latest_epoch: u64) {
+    let Ok(mut epochs) = list_epochs(dir, session) else {
+        return;
+    };
+    epochs.retain(|&e| e <= latest_epoch);
+    epochs.sort_unstable();
+    if epochs.len() <= 2 {
+        return;
+    }
+    for &epoch in &epochs[..epochs.len() - 2] {
+        let _ = std::fs::remove_file(snapshot_path(dir, session, epoch));
+    }
+}
+
+// --- loading --------------------------------------------------------------
+
+fn list_epochs(dir: &Path, session: &str) -> Result<Vec<u64>> {
+    let snap_dir = snapshot_dir(dir);
+    let entries = match std::fs::read_dir(&snap_dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => {
+            return Err(ServerError::Durability(format!(
+                "listing {}: {e}",
+                snap_dir.display()
+            )))
+        }
+    };
+    let mut epochs = Vec::new();
+    for entry in entries {
+        let entry = entry
+            .map_err(|e| ServerError::Durability(format!("listing {}: {e}", snap_dir.display())))?;
+        if let Some((name, epoch)) = entry.file_name().to_str().and_then(parse_snapshot_name) {
+            if name == session {
+                epochs.push(epoch);
+            }
+        }
+    }
+    Ok(epochs)
+}
+
+/// Every session that has at least one snapshot file, sorted — the set of
+/// sessions recovery restores.
+pub(crate) fn list_sessions(dir: &Path) -> Result<Vec<String>> {
+    let snap_dir = snapshot_dir(dir);
+    let entries = match std::fs::read_dir(&snap_dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => {
+            return Err(ServerError::Durability(format!(
+                "listing {}: {e}",
+                snap_dir.display()
+            )))
+        }
+    };
+    let mut names = Vec::new();
+    for entry in entries {
+        let entry = entry
+            .map_err(|e| ServerError::Durability(format!("listing {}: {e}", snap_dir.display())))?;
+        if let Some((name, _)) = entry.file_name().to_str().and_then(parse_snapshot_name) {
+            if !names.contains(&name) {
+                names.push(name);
+            }
+        }
+    }
+    names.sort();
+    Ok(names)
+}
+
+fn load_snapshot_file(path: &Path) -> Result<std::result::Result<LoadedSnapshot, String>> {
+    let Some(bytes) = read_file(path)? else {
+        return Ok(Err("file vanished while loading".to_string()));
+    };
+    if bytes.len() < 16 {
+        return Ok(Err(format!(
+            "{} bytes is too short for a header",
+            bytes.len()
+        )));
+    }
+    if &bytes[..8] != SNAPSHOT_MAGIC {
+        return Ok(Err("bad magic".to_string()));
+    }
+    let len = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
+    if bytes.len() - 16 != len {
+        return Ok(Err(format!(
+            "header claims {len} payload bytes, file has {}",
+            bytes.len() - 16
+        )));
+    }
+    let payload = &bytes[16..];
+    if crc32(payload) != crc {
+        return Ok(Err("checksum mismatch".to_string()));
+    }
+    Ok(decode_snapshot(payload))
+}
+
+/// Loads the newest usable snapshot of `session`, skipping (and
+/// reporting) corrupt epochs. `Ok((None, skips))` means no usable
+/// snapshot exists.
+///
+/// # Errors
+/// Only genuine I/O failures; corruption is a skip, not an error.
+pub(crate) fn load_latest(
+    dir: &Path,
+    session: &str,
+) -> Result<(Option<LoadedSnapshot>, Vec<SkippedSnapshot>)> {
+    let mut epochs = list_epochs(dir, session)?;
+    epochs.sort_unstable();
+    let mut skips = Vec::new();
+    for &epoch in epochs.iter().rev() {
+        let path = snapshot_path(dir, session, epoch);
+        match load_snapshot_file(&path)? {
+            Ok(snapshot) => return Ok((Some(snapshot), skips)),
+            Err(reason) => skips.push(SkippedSnapshot { path, reason }),
+        }
+    }
+    Ok((None, skips))
+}
+
+/// Fsyncs the snapshot directory's parent chain after first creation.
+pub(crate) fn ensure_store_dirs(dir: &Path) -> Result<()> {
+    let snap_dir = snapshot_dir(dir);
+    std::fs::create_dir_all(&snap_dir)
+        .map_err(|e| ServerError::Durability(format!("creating {}: {e}", snap_dir.display())))?;
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    sync_parent_dir(&snap_dir.join("x"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use priu_core::{SessionBuilder, TrainerConfig};
+    use priu_data::catalog::Hyperparameters;
+    use priu_data::synthetic::regression::{generate_regression, RegressionConfig};
+
+    fn state(n: usize, seed: u64, epoch: u64) -> DurableState {
+        let data = generate_regression(&RegressionConfig {
+            num_samples: n,
+            num_features: 4,
+            seed,
+            ..Default::default()
+        });
+        let hyper = Hyperparameters {
+            batch_size: 20,
+            num_iterations: 30,
+            learning_rate: 0.05,
+            regularization: 0.01,
+        };
+        let session = SessionBuilder::dense(data, TrainerConfig::from_hyper(hyper))
+            .seed(1)
+            .fit()
+            .unwrap();
+        DurableState {
+            session: Arc::new(session),
+            ids: (5..5 + n as u64).collect(),
+            next_id: 5 + n as u64,
+            epoch,
+            initial_samples: n,
+            removed_since_refit: 3,
+        }
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("priu-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn filename_round_trip_handles_slashes() {
+        let path = snapshot_path(Path::new("/tmp/d"), "tenant/model-a", 7);
+        let file = path.file_name().unwrap().to_str().unwrap();
+        let (name, epoch) = parse_snapshot_name(file).unwrap();
+        assert_eq!(name, "tenant/model-a");
+        assert_eq!(epoch, 7);
+        assert!(parse_snapshot_name("nothex-00000000000000000007.snap").is_none());
+        assert!(parse_snapshot_name("ff-3.snap.tmp").is_none());
+    }
+
+    #[test]
+    fn write_load_round_trip_is_bitwise() {
+        let dir = tempdir("snap-roundtrip");
+        let original = state(40, 11, 3);
+        write_snapshot(&dir, "t/m", 17, &original).unwrap();
+        let (loaded, skips) = load_latest(&dir, "t/m").unwrap();
+        let loaded = loaded.unwrap();
+        assert!(skips.is_empty());
+        assert_eq!(loaded.covered_lsn, 17);
+        assert_eq!(loaded.state.epoch, 3);
+        assert_eq!(loaded.state.next_id, original.next_id);
+        assert_eq!(loaded.state.ids, original.ids);
+        assert_eq!(loaded.state.initial_samples, 40);
+        assert_eq!(loaded.state.removed_since_refit, 3);
+        // Bit-exact engine state: the serialized blobs must agree byte for
+        // byte, which implies to_bits equality of every weight.
+        assert_eq!(
+            loaded.state.session.to_snapshot_bytes(),
+            original.session.to_snapshot_bytes()
+        );
+        assert_eq!(list_sessions(&dir).unwrap(), vec!["t/m"]);
+    }
+
+    #[test]
+    fn corrupt_latest_falls_back_to_previous_epoch() {
+        let dir = tempdir("snap-fallback");
+        write_snapshot(&dir, "s", 5, &state(30, 2, 1)).unwrap();
+        let latest = write_snapshot(&dir, "s", 9, &state(30, 2, 2)).unwrap();
+        // Flip one payload byte of the newest epoch.
+        let mut bytes = std::fs::read(&latest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&latest, &bytes).unwrap();
+        let (loaded, skips) = load_latest(&dir, "s").unwrap();
+        assert_eq!(loaded.unwrap().covered_lsn, 5);
+        assert_eq!(skips.len(), 1);
+        assert!(skips[0].reason.contains("checksum"));
+
+        // Truncate the older one too: nothing usable remains, still no
+        // panic.
+        let older = snapshot_path(&dir, "s", 1);
+        let bytes = std::fs::read(&older).unwrap();
+        std::fs::write(&older, &bytes[..bytes.len() / 3]).unwrap();
+        std::fs::write(&latest, b"PRIUSNP1garbage").unwrap();
+        let (loaded, skips) = load_latest(&dir, "s").unwrap();
+        assert!(loaded.is_none());
+        assert_eq!(skips.len(), 2);
+    }
+
+    #[test]
+    fn tmp_leftovers_are_ignored_and_old_epochs_pruned() {
+        let dir = tempdir("snap-prune");
+        for epoch in 1..=4 {
+            write_snapshot(&dir, "s", epoch, &state(20, 3, epoch)).unwrap();
+        }
+        // Only the newest two epochs survive pruning.
+        let mut epochs = list_epochs(&dir, "s").unwrap();
+        epochs.sort_unstable();
+        assert_eq!(epochs, vec![3, 4]);
+        // A torn temp file next to them changes nothing.
+        std::fs::write(
+            snapshot_dir(&dir).join("73-00000000000000000009.snap.tmp"),
+            b"to",
+        )
+        .unwrap();
+        let (loaded, skips) = load_latest(&dir, "s").unwrap();
+        assert_eq!(loaded.unwrap().state.epoch, 4);
+        assert!(skips.is_empty());
+    }
+}

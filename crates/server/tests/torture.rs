@@ -127,6 +127,7 @@ fn server_config(
         },
         apply_threads: Some(threads),
         simd_level: Some(level),
+        durability: None,
     }
 }
 
@@ -137,7 +138,8 @@ fn coalesced_batch_is_bitwise_one_union_apply_across_the_grid() {
             ("lin", linear_session(0xA1), linear_session(0xA1)),
             ("log", logistic_session(0xB2), logistic_session(0xB2)),
         ] {
-            let server = Server::start(server_config(threads, level, true, Some(Method::Priu)));
+            let server = Server::start(server_config(threads, level, true, Some(Method::Priu)))
+                .expect("start server");
             server.register_session(name, session).unwrap();
 
             // Three overlapping requests fold into the union {3, 10, 11, 42}.
@@ -270,7 +272,8 @@ fn coalesced_mixed_batch_is_bitwise_one_union_apply_delta_across_the_grid() {
             ("log", logistic_session(0xB8), logistic_session(0xB8), true),
         ] {
             let width = session.model().num_features();
-            let server = Server::start(server_config(threads, level, true, Some(Method::Priu)));
+            let server = Server::start(server_config(threads, level, true, Some(Method::Priu)))
+                .expect("start server");
             server.register_session(name, session).unwrap();
 
             // One coalesced batch mixing all three request kinds: deletes
@@ -384,8 +387,10 @@ fn randomized_interleaved_stream_tracks_retrain_from_scratch() {
     // stream, so any divergence is the update arithmetic itself.
     let (threads, level) = (1, simd::available_levels()[0]);
     for (name, binary, seed) in [("lin", false, 0xC301u64), ("log", true, 0xC302u64)] {
-        let incremental = Server::start(server_config(threads, level, true, Some(Method::Priu)));
-        let refit = Server::start(server_config(threads, level, true, Some(Method::Retrain)));
+        let incremental = Server::start(server_config(threads, level, true, Some(Method::Priu)))
+            .expect("start server");
+        let refit = Server::start(server_config(threads, level, true, Some(Method::Retrain)))
+            .expect("start server");
         incremental
             .register_session(
                 name,
@@ -466,13 +471,15 @@ fn coalesced_and_sequential_deletion_agree_numerically() {
         level,
         true,
         Some(Method::ClosedForm),
-    ));
+    ))
+    .expect("start server");
     let one_by_one = Server::start(server_config(
         threads,
         level,
         false,
         Some(Method::ClosedForm),
-    ));
+    ))
+    .expect("start server");
     batched.register_session("s", linear_session(0xC3)).unwrap();
     one_by_one
         .register_session("s", linear_session(0xC3))
@@ -580,12 +587,10 @@ fn predictions_race_deletion_batches_without_tearing() {
             finals.push(model_bits(current.model()));
         }
 
-        let server = Arc::new(Server::start(server_config(
-            threads,
-            level,
-            true,
-            Some(Method::Priu),
-        )));
+        let server = Arc::new(
+            Server::start(server_config(threads, level, true, Some(Method::Priu)))
+                .expect("start server"),
+        );
         for (name, session) in sessions {
             server.register_session(&name, session).unwrap();
         }
@@ -695,7 +700,7 @@ fn predictions_race_deletion_batches_without_tearing() {
 #[test]
 fn admission_errors_and_shutdown_are_typed() {
     use priu_server::ServerError;
-    let server = Server::start(ServerConfig::default());
+    let server = Server::start(ServerConfig::default()).expect("start server");
     server.register_session("s", linear_session(0xE4)).unwrap();
     assert!(matches!(
         server.register_session("s", linear_session(0xE5)),

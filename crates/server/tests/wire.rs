@@ -46,7 +46,8 @@ fn a_full_client_conversation_over_the_duplex_transport() {
             ..SchedulerConfig::default()
         },
         ..ServerConfig::default()
-    });
+    })
+    .expect("start server");
     server.register_session("m", session()).unwrap();
 
     let ((mut client_w, mut client_r), (server_w, server_r)) = duplex();
@@ -190,7 +191,8 @@ fn a_wire_driven_interleaved_stream_matches_a_fresh_fit_on_the_survivors() {
             ..SchedulerConfig::default()
         },
         ..ServerConfig::default()
-    });
+    })
+    .expect("start server");
     // One 150-row pool from a single generative model: the session starts
     // on rows 0..120 and the stream appends rows 120..132 two at a time,
     // so stable id == pool row throughout (ids are never reused).
@@ -401,7 +403,7 @@ fn a_wire_driven_interleaved_stream_matches_a_fresh_fit_on_the_survivors() {
 
 #[test]
 fn undecodable_bytes_get_one_error_frame_and_a_hangup() {
-    let server = Server::start(ServerConfig::default());
+    let server = Server::start(ServerConfig::default()).expect("start server");
     let ((mut client_w, mut client_r), (server_w, server_r)) = duplex();
     let connection = server.serve_connection(server_r, server_w);
 
