@@ -7,11 +7,14 @@
 //! coalescing planner exists for). Latencies are recorded per request —
 //! predict latency is the synchronous snapshot round trip, delete
 //! latency spans admission to batch commit (so it includes the
-//! coalescing window, and with the WAL enabled the pre-commit fsync, by
-//! design) — and summarised as p50/p99 into a `BENCH_9.json` next to the
-//! other BENCH records. Durable cells finish with a restart-and-recover
-//! cycle on the same store: the reopened server must report every
-//! session recovered, so the benchmark doubles as a durability smoke. A **sliding-window** section additionally runs the
+//! coalescing window, and with the WAL enabled the pre-commit group
+//! fsync, by design) — and summarised as p50/p99 into a `BENCH_10.json`
+//! next to the other BENCH records. Durable cells also report the WAL's
+//! cumulative durability counters (fsyncs, frames, bytes, group sizes,
+//! checkpoints) and finish with a restart-and-recover cycle on the same
+//! store — timed separately as `recovery_seconds`, outside the measured
+//! wall clock: the reopened server must report every session recovered,
+//! so the benchmark doubles as a durability smoke. A **sliding-window** section additionally runs the
 //! bidirectional workload: per session one streamer issues single-row
 //! `tick`s (append one fresh row, retain the last `W`) while a deleter
 //! removes mid-window rows and a predictor hammers the snapshot —
@@ -23,7 +26,7 @@
 //!
 //! ```text
 //! loadgen [--sessions 1,4,16] [--seconds 0.5] [--coalesce both|on|off]
-//!         [--durability both|on|off] [--out BENCH_9.json] [--date YYYY-MM-DD]
+//!         [--durability both|on|off] [--out BENCH_10.json] [--date YYYY-MM-DD]
 //! ```
 
 use std::collections::HashMap;
@@ -45,7 +48,7 @@ use priu_linalg::simd;
 use priu_linalg::{Matrix, Vector};
 use priu_server::{
     decode_response, duplex, encode_request, read_frame, write_frame, AddedRows, DurabilityConfig,
-    PlannerConfig, Request, RequestEnvelope, Response, Server, ServerConfig,
+    PlannerConfig, Request, RequestEnvelope, Response, Server, ServerConfig, WalStats,
 };
 
 const SAMPLES_PER_SESSION: usize = 300;
@@ -69,7 +72,7 @@ fn parse_args() -> Result<Cli, String> {
         seconds: 0.5,
         modes: vec![true, false],
         durability: vec![false, true],
-        out: "BENCH_9.json".to_string(),
+        out: "BENCH_10.json".to_string(),
         date: None,
     };
     let mut args = env::args().skip(1);
@@ -120,7 +123,7 @@ fn parse_args() -> Result<Cli, String> {
                 eprintln!(
                     "loadgen [--sessions 1,4,16] [--seconds 0.5] \
                      [--coalesce both|on|off] [--durability both|on|off] \
-                     [--out BENCH_9.json] [--date YYYY-MM-DD]"
+                     [--out BENCH_10.json] [--date YYYY-MM-DD]"
                 );
                 std::process::exit(0);
             }
@@ -171,9 +174,14 @@ struct CellResult {
     rows_deleted: u64,
     batches: u64,
     decisions: HashMap<&'static str, u64>,
+    /// Durable cells only: the WAL's cumulative counters after the run
+    /// (snapshot queue drained first, so checkpoints are final).
+    durability: Option<WalStats>,
     /// Durable cells only: sessions the restart-and-recover cycle
-    /// brought back and WAL records it redid past the latest snapshots.
-    recovery: Option<(u64, u64)>,
+    /// brought back, WAL records it redid past the latest snapshots, and
+    /// the wall-clock seconds the recovery took (kept out of the cell's
+    /// measured `wall_seconds`).
+    recovery: Option<(u64, u64, f64)>,
 }
 
 fn run_cell(sessions: usize, coalesce: bool, durable: bool, seconds: f64) -> CellResult {
@@ -192,7 +200,13 @@ fn run_cell(sessions: usize, coalesce: bool, durable: bool, seconds: f64) -> Cel
             max_batch: 64,
             coalesce,
         },
-        durability: store.clone().map(DurabilityConfig::new),
+        durability: store.clone().map(|dir| {
+            let mut durability = DurabilityConfig::new(dir);
+            // Small enough that the default snapshot cadence fires a few
+            // compactions even in a short cell.
+            durability.checkpoint_bytes = 4096;
+            durability
+        }),
         ..ServerConfig::default()
     };
     let server = Arc::new(Server::start(config()).expect("start server"));
@@ -292,12 +306,21 @@ fn run_cell(sessions: usize, coalesce: bool, durable: bool, seconds: f64) -> Cel
             *decisions.entry(method.name()).or_insert(0) += count;
         }
     }
+    // Settle the background snapshot/checkpoint queue before reading the
+    // counters, so the reported checkpoint count is final.
+    let durability = store.is_some().then(|| {
+        server.drain_durability();
+        server.durability_stats().expect("durable cell has stats")
+    });
     server.shutdown();
 
     // Durable cells double as a recovery smoke: reopen the store and
-    // require every session back, then discard it.
+    // require every session back, then discard it. Timed on its own —
+    // the cell's wall clock was captured before this point.
     let recovery = store.as_ref().map(|dir| {
+        let t0 = Instant::now();
         let recovered = Server::start(config()).expect("recover store");
+        let recovery_seconds = t0.elapsed().as_secs_f64();
         let report = recovered.recovery_report().expect("recovery report");
         assert_eq!(
             report.sessions.len(),
@@ -312,7 +335,7 @@ fn run_cell(sessions: usize, coalesce: bool, durable: bool, seconds: f64) -> Cel
         let count = report.sessions.len() as u64;
         recovered.shutdown();
         let _ = std::fs::remove_dir_all(dir);
-        (count, redone)
+        (count, redone, recovery_seconds)
     });
 
     predicts.sort_unstable();
@@ -327,6 +350,7 @@ fn run_cell(sessions: usize, coalesce: bool, durable: bool, seconds: f64) -> Cel
         rows_deleted,
         batches,
         decisions,
+        durability,
         recovery,
     }
 }
@@ -663,11 +687,30 @@ fn cell_json(cell: &CellResult) -> JsonValue {
         .push("predict", predict)
         .push("delete", delete)
         .push("scheduler_decisions", decisions);
-    if let Some((recovered, redone)) = cell.recovery {
+    if let Some(stats) = cell.durability {
+        let mut durability = JsonValue::object();
+        durability
+            .push("fsyncs", stats.fsyncs)
+            .push("wal_frames", stats.frames)
+            .push("wal_bytes_appended", stats.bytes)
+            .push(
+                "mean_group",
+                if stats.fsyncs == 0 {
+                    0.0
+                } else {
+                    stats.frames as f64 / stats.fsyncs as f64
+                },
+            )
+            .push("max_group", stats.max_group)
+            .push("checkpoints", stats.checkpoints);
+        out.push("durability", durability);
+    }
+    if let Some((recovered, redone, recovery_seconds)) = cell.recovery {
         let mut recovery = JsonValue::object();
         recovery
             .push("sessions_recovered", recovered)
-            .push("wal_records_redone", redone);
+            .push("wal_records_redone", redone)
+            .push("recovery_seconds", recovery_seconds);
         out.push("recovery", recovery);
     }
     out
@@ -752,8 +795,10 @@ fn main() -> ExitCode {
              coalescing window by design; compare the coalesce on/off rows per session \
              count, not across machines. Durable rows additionally pay one WAL append + \
              fsync per batch before acknowledgement — the delete p50/p99 delta against \
-             the matching wal=off row is the price of the durability guarantee, and \
-             coalescing amortises it across every request folded into the batch. \
+             the matching wal=off row is the price of the durability guarantee. \
+             Coalescing amortises it across every request folded into the batch; \
+             with coalescing off, group commit amortises it instead by sharing one \
+             fsync across the chained backlog (see the per-cell durability counters). \
              Decision histograms come from the online cost model (BaseL entries are \
              the forced drift retrains).",
         );
@@ -776,12 +821,13 @@ fn main() -> ExitCode {
         .push("speedup", speedup);
 
     let mut doc = JsonValue::object();
-    doc.push("pr", 9i64)
+    doc.push("pr", 10i64)
         .push(
             "label",
-            "durability layer: deletion WAL + session snapshots; grid compares acknowledged \
-             delete latency with the pre-ack fsync on vs off, durable cells end in a \
-             restart-and-recover cycle",
+            "durability fast path: WAL group commit + background snapshots + checkpoint \
+             compaction; grid compares acknowledged delete latency with the pre-ack \
+             (group) fsync on vs off, durable cells report fsync/group/checkpoint \
+             counters and end in a separately-timed restart-and-recover cycle",
         )
         .push("date", cli.date.unwrap_or_else(today))
         .push("environment", environment)

@@ -32,6 +32,11 @@
 //! | `snapshot-before-rename`| temp file complete + fsync'd, not yet renamed |
 //! | `snapshot-after-rename` | after the atomic rename, before the dir fsync |
 //! | `recovery-mid-redo`     | between two WAL records during recovery redo |
+//! | `group-leader-sync`     | as the elected group-commit leader, before its shared fsync |
+//! | `snapshot-handoff`      | after commit, before the snapshot job reaches the snapshot thread |
+//! | `checkpoint-mid-rewrite`| half-way through writing the checkpoint's rewritten log |
+//! | `checkpoint-before-rename` | rewritten log complete + fsync'd, not yet renamed |
+//! | `checkpoint-after-rename`  | after the checkpoint rename, before the dir fsync |
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;

@@ -26,11 +26,15 @@
 //! * [`server`] — wires the above to one applier thread; concurrent
 //!   session batches fan out over the shared `priu-linalg` worker pool.
 //! * [`wal`] / [`snapshot`] / [`recovery`] — the durability layer: an
-//!   append-only CRC-checksummed WAL fsync'd before every batch
-//!   acknowledgement, atomic per-session snapshots cut every few epochs,
-//!   and restart recovery that redoes the WAL suffix through the normal
-//!   `apply_delta` path — recovered models are bitwise identical to the
-//!   pre-crash state under the same thread/SIMD pin.
+//!   append-only CRC-checksummed WAL with *group commit* (concurrent
+//!   batches share one fsync; every ack still waits for it), atomic
+//!   per-session snapshots cut on a dedicated background thread via
+//!   copy-on-write handoff of the committed session `Arc`, periodic WAL
+//!   checkpoints that rewrite the log down to the suffix not yet covered
+//!   by every session's snapshots, and restart recovery that redoes the
+//!   WAL suffix through the normal `apply_delta` path — recovered models
+//!   are bitwise identical to the pre-crash state under the same
+//!   thread/SIMD pin.
 //! * [`failpoint`] — named crash points (`PRIU_FAILPOINT`) the
 //!   crash-recovery torture suite uses to abort the process at exact
 //!   instants in the commit/snapshot/recovery paths.
@@ -61,4 +65,7 @@ pub use server::{
     ConnectionHandle, DurabilityConfig, Prediction, Server, ServerConfig, SessionStats,
 };
 pub use snapshot::{SkippedSnapshot, SNAPSHOT_MAGIC};
-pub use wal::{crc32, scan_wal, Wal, WalRecord, WalScan, WalTail, MAX_WAL_FRAME_BYTES};
+pub use wal::{
+    crc32, scan_wal, CheckpointRecord, GroupCommitConfig, GroupWal, Wal, WalRecord, WalScan,
+    WalStats, WalTail, MAX_WAL_FRAME_BYTES,
+};

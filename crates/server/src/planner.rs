@@ -259,8 +259,11 @@ impl PlannerState {
     /// FIFO requests until the change set — removal union plus appended
     /// rows — would exceed `max_batch` (a single oversized request still
     /// forms one batch); the remainder stays queued — and stays ready, so
-    /// the applier picks it up on its next pass. With coalescing off, one
-    /// request per session per call.
+    /// the applier picks it up on its next pass. With coalescing off, the
+    /// whole queue drains as *individual* single-request batches in FIFO
+    /// order — the applier chains them (resolving each against the
+    /// previous batch's predicted outcome) so an uncoalesced backlog can
+    /// share one group fsync without folding the deltas together.
     pub fn take_ready(&mut self, now: Instant, cfg: &PlannerConfig) -> Vec<ReadyBatch> {
         let mut names: Vec<&String> = self
             .queues
@@ -292,9 +295,30 @@ impl PlannerState {
                 continue;
             }
 
-            let requests: Vec<PendingChange> = if !cfg.coalesce {
-                vec![queue.pending.remove(0)]
-            } else {
+            if !cfg.coalesce {
+                // Drain the whole backlog as individual batches, FIFO:
+                // same-session batches stay adjacent in the output so the
+                // applier can chain them under one group fsync.
+                for request in queue.pending.drain(..) {
+                    let union: Vec<u64> = request
+                        .ids
+                        .iter()
+                        .copied()
+                        .collect::<BTreeSet<u64>>()
+                        .into_iter()
+                        .collect();
+                    let keep_last = request.keep_last;
+                    batches.push(ReadyBatch {
+                        session: name.clone(),
+                        requests: vec![request],
+                        union,
+                        keep_last,
+                    });
+                }
+                queue.flush = false;
+                continue;
+            }
+            let requests: Vec<PendingChange> = {
                 let mut union = BTreeSet::new();
                 let mut added = 0;
                 let mut take = 0;
@@ -419,12 +443,16 @@ mod tests {
         let config = cfg(120_000, 100, false);
         let _a = state.enqueue("s", vec![7]);
         let _b = state.enqueue("s", vec![8]);
-        let first = state.take_ready(Instant::now(), &config);
-        assert_eq!(first.len(), 1);
-        assert_eq!(first[0].union, vec![7]);
-        let second = state.take_ready(Instant::now(), &config);
-        assert_eq!(second[0].union, vec![8]);
+        // The backlog drains in one call, but as separate single-request
+        // batches in FIFO order — never folded together.
+        let batches = state.take_ready(Instant::now(), &config);
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].union, vec![7]);
+        assert_eq!(batches[1].union, vec![8]);
+        assert_eq!(batches[0].requests.len(), 1);
+        assert_eq!(batches[1].requests.len(), 1);
         assert!(state.is_empty());
+        assert!(state.take_ready(Instant::now(), &config).is_empty());
     }
 
     #[test]

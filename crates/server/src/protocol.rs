@@ -139,6 +139,9 @@ pub enum Request {
     },
     /// What restart recovery loaded, redid, and skipped (server-wide).
     Recovery,
+    /// Cumulative server-wide durability counters (fsyncs, WAL bytes,
+    /// group sizes, checkpoints).
+    DurabilityStats,
 }
 
 /// One session's line in a [`Response::RecoveryStatus`].
@@ -236,6 +239,23 @@ pub enum Response {
         /// Per-session outcomes, sorted by name.
         sessions: Vec<RecoverySessionStatus>,
     },
+    /// Cumulative durability counters. `durable: false` means the server
+    /// runs without a durability layer (all counters are zero).
+    DurabilityStats {
+        /// Whether the server has a durability layer at all.
+        durable: bool,
+        /// Total `fsync` calls the WAL issued (group commit shares one
+        /// fsync across many frames, so this lags `wal_frames`).
+        fsyncs: u64,
+        /// WAL frames appended (one per resolved non-noop batch).
+        wal_frames: u64,
+        /// WAL bytes appended (frame headers included).
+        wal_bytes: u64,
+        /// Largest number of frames a single fsync covered.
+        max_group: u64,
+        /// WAL checkpoint rewrites completed.
+        checkpoints: u64,
+    },
     /// The request failed; the message is the rendered server error.
     Error {
         /// Human-readable failure description.
@@ -330,6 +350,7 @@ const TAG_STATS: u8 = 4;
 const TAG_ADD: u8 = 5;
 const TAG_TICK: u8 = 6;
 const TAG_RECOVERY: u8 = 7;
+const TAG_DURABILITY_STATS: u8 = 8;
 
 const TAG_PREDICTED: u8 = 101;
 const TAG_DELETED: u8 = 102;
@@ -338,6 +359,7 @@ const TAG_STATS_REPLY: u8 = 104;
 const TAG_ERROR: u8 = 105;
 const TAG_APPLIED: u8 = 106;
 const TAG_RECOVERY_STATUS: u8 = 107;
+const TAG_DURABILITY_STATS_REPLY: u8 = 108;
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -416,6 +438,7 @@ pub fn encode_request(env: &RequestEnvelope) -> Vec<u8> {
             put_u64(&mut out, *keep_last);
         }
         Request::Recovery => out.push(TAG_RECOVERY),
+        Request::DurabilityStats => out.push(TAG_DURABILITY_STATS),
     }
     out
 }
@@ -536,6 +559,22 @@ pub fn encode_response(env: &ResponseEnvelope) -> Vec<u8> {
                 put_u64(&mut out, s.skipped);
                 put_u64(&mut out, s.final_epoch);
             }
+        }
+        Response::DurabilityStats {
+            durable,
+            fsyncs,
+            wal_frames,
+            wal_bytes,
+            max_group,
+            checkpoints,
+        } => {
+            out.push(TAG_DURABILITY_STATS_REPLY);
+            out.push(u8::from(*durable));
+            put_u64(&mut out, *fsyncs);
+            put_u64(&mut out, *wal_frames);
+            put_u64(&mut out, *wal_bytes);
+            put_u64(&mut out, *max_group);
+            put_u64(&mut out, *checkpoints);
         }
         Response::Error { message } => {
             out.push(TAG_ERROR);
@@ -686,6 +725,7 @@ pub fn decode_request(payload: &[u8]) -> Result<RequestEnvelope, ProtocolError> 
             }
         }
         TAG_RECOVERY => Request::Recovery,
+        TAG_DURABILITY_STATS => Request::DurabilityStats,
         other => return Err(ProtocolError::BadTag(other)),
     };
     r.finish()?;
@@ -774,6 +814,14 @@ pub fn decode_response(payload: &[u8]) -> Result<ResponseEnvelope, ProtocolError
                 sessions,
             }
         }
+        TAG_DURABILITY_STATS_REPLY => Response::DurabilityStats {
+            durable: r.u8()? == 1,
+            fsyncs: r.u64()?,
+            wal_frames: r.u64()?,
+            wal_bytes: r.u64()?,
+            max_group: r.u64()?,
+            checkpoints: r.u64()?,
+        },
         TAG_ERROR => Response::Error { message: r.str()? },
         other => return Err(ProtocolError::BadTag(other)),
     };
@@ -1039,6 +1087,23 @@ mod tests {
             drift: 0.04,
             pending: 3,
             decisions: Method::ALL.iter().map(|&m| (m, 2)).collect(),
+        });
+        round_trip_request(Request::DurabilityStats);
+        round_trip_response(Response::DurabilityStats {
+            durable: true,
+            fsyncs: 7,
+            wal_frames: 41,
+            wal_bytes: 9001,
+            max_group: 12,
+            checkpoints: 2,
+        });
+        round_trip_response(Response::DurabilityStats {
+            durable: false,
+            fsyncs: 0,
+            wal_frames: 0,
+            wal_bytes: 0,
+            max_group: 0,
+            checkpoints: 0,
         });
         round_trip_response(Response::Error {
             message: "unknown session \"x\"".into(),

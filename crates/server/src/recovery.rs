@@ -26,6 +26,13 @@
 //! fails the same way — the skip converges to the live outcome instead of
 //! diverging from it.
 //!
+//! Group commit appends *chains* of speculatively-resolved records before
+//! any of them applies; each record carries the LSN of its predecessor in
+//! the chain (`prev_lsn`). Live, an apply failure fails every later batch
+//! of its chain without applying them — so redo skips transitively: a
+//! record whose `prev_lsn` points at a skipped record is itself skipped,
+//! exactly as the live chain abandoned it.
+//!
 //! [`apply_delta`]: priu_core::DeletionEngine::apply_delta
 
 use std::path::Path;
@@ -126,6 +133,7 @@ pub(crate) fn recover(cfg: &ServerConfig, dir: &Path) -> Result<Recovered> {
             skipped: Vec::new(),
             final_epoch: state.epoch,
         };
+        let mut failed = std::collections::BTreeSet::new();
         for (ix, record) in scan.records.iter().enumerate() {
             if record.session != name {
                 continue;
@@ -135,9 +143,22 @@ pub(crate) fn recover(cfg: &ServerConfig, dir: &Path) -> Result<Recovered> {
                 continue; // already folded into the snapshot
             }
             fail_point("recovery-mid-redo");
+            // A chained record downstream of a skipped one was never
+            // applied live — skip it without attempting the redo (its
+            // removal set was resolved against state that never existed).
+            if let Some(prev) = record.prev_lsn.filter(|p| failed.contains(p)) {
+                failed.insert(record.lsn);
+                outcome
+                    .skipped
+                    .push((record.lsn, format!("chained onto skipped record {prev}")));
+                continue;
+            }
             match redo_record(cfg, &mut state, record) {
                 Ok(()) => outcome.redone += 1,
-                Err(reason) => outcome.skipped.push((record.lsn, reason)),
+                Err(reason) => {
+                    failed.insert(record.lsn);
+                    outcome.skipped.push((record.lsn, reason));
+                }
             }
         }
         outcome.final_epoch = state.epoch;

@@ -81,6 +81,10 @@ pub(crate) struct ApplyView {
     pub session: Arc<Session>,
     /// Stable ids of the snapshot's rows (ascending).
     pub ids: Vec<u64>,
+    /// The monotonic fresh-id counter — what the next committed append
+    /// will assign from. Chained (speculative) resolution needs it to
+    /// predict the ids a not-yet-committed batch will hand out.
+    pub next_id: u64,
     /// Epoch of the snapshot.
     pub epoch: u64,
     /// Registration-time sample count.
@@ -197,6 +201,7 @@ impl SessionSlot {
         ApplyView {
             session: state.session.clone(),
             ids: state.ids.clone(),
+            next_id: state.next_id,
             epoch: state.epoch,
             initial_samples: state.initial_samples,
             removed_since_refit: state.removed_since_refit,

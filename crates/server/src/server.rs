@@ -48,7 +48,9 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use priu_core::{DeletionEngine, Delta, DeltaRows, Method, Model, ModelKind, Session, TaskKind};
+use priu_core::{
+    CaptureSnapshot, DeletionEngine, Delta, DeltaRows, Method, Model, ModelKind, Session, TaskKind,
+};
 use priu_data::dataset::{DenseDataset, Labels};
 use priu_linalg::par;
 use priu_linalg::simd::{self, SimdLevel};
@@ -66,8 +68,8 @@ use crate::protocol::{
 use crate::recovery::{recover, RecoveryReport};
 use crate::registry::{SessionRegistry, SessionSlot};
 use crate::scheduler::{CostModel, SchedulerConfig};
-use crate::snapshot::write_snapshot;
-use crate::wal::{Wal, WalRecord};
+use crate::snapshot::{SnapshotJob, SnapshotService};
+use crate::wal::{GroupCommitConfig, GroupWal, WalRecord, WalStats};
 
 /// Durability configuration: where the WAL and snapshots live, and how
 /// often snapshots are cut.
@@ -80,14 +82,26 @@ pub struct DurabilityConfig {
     /// WAL suffix redo to at most `snapshot_every - 1` records per
     /// session.
     pub snapshot_every: u64,
+    /// Group-commit tuning: how many batches may share one WAL fsync and
+    /// how long a leader holds the group open. `max_group: 1` restores
+    /// one-fsync-per-batch.
+    pub group: GroupCommitConfig,
+    /// WAL compaction threshold: after each background snapshot lands,
+    /// the log is checkpointed (rewritten down to the snapshot coverage
+    /// frontier) once at least this many bytes were appended since the
+    /// previous checkpoint. Bounds log size for long-lived servers.
+    pub checkpoint_bytes: u64,
 }
 
 impl DurabilityConfig {
-    /// Durability rooted at `dir` with the default snapshot cadence (8).
+    /// Durability rooted at `dir` with the default snapshot cadence (8),
+    /// default group commit, and a 1 MiB checkpoint threshold.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         Self {
             dir: dir.into(),
             snapshot_every: 8,
+            group: GroupCommitConfig::default(),
+            checkpoint_bytes: 1 << 20,
         }
     }
 }
@@ -139,19 +153,15 @@ pub struct SessionStats {
     pub decisions: Vec<(Method, u64)>,
 }
 
-/// The live durability state: the open WAL plus the snapshot cadence.
-/// One WAL mutex serialises appends across sessions (batches fan out over
-/// the pool), which is also what assigns the global LSN order.
+/// The live durability state: the group-commit WAL plus the background
+/// snapshot service. The WAL's internal mutex serialises appends across
+/// sessions (batches fan out over the pool), which is also what assigns
+/// the global LSN order; fsyncs are amortised across whatever appended
+/// since the last one.
 struct Durability {
-    dir: PathBuf,
     snapshot_every: u64,
-    wal: Mutex<Wal>,
-}
-
-impl Durability {
-    fn wal(&self) -> MutexGuard<'_, Wal> {
-        self.wal.lock().unwrap_or_else(PoisonError::into_inner)
-    }
+    wal: Arc<GroupWal>,
+    snapshots: Arc<SnapshotService>,
 }
 
 struct Inner {
@@ -387,10 +397,68 @@ pub(crate) fn run_pinned<R>(cfg: &ServerConfig, f: impl FnOnce() -> R) -> R {
     }
 }
 
-/// Applies one ready batch end to end: gate, fresh view, id translation
-/// and retention expiry, schedule, one engine `apply_delta` with the
-/// union delta, commit, resolve every folded ticket.
-fn apply_batch(inner: &Inner, batch: ReadyBatch) {
+/// One resolved batch of a chain, as phase 3 needs it. Nothing
+/// proportional to the session's row count is stored per step — survivor
+/// lists are recomputed at commit time from the slot's live ids — so a
+/// long chain costs memory proportional to its deltas, not its models.
+enum ChainStep {
+    /// The batch changes nothing (every id already gone, nothing
+    /// appended, no retention bite) — acknowledged in chain order, after
+    /// the group fsync, because its resolution assumed the preceding
+    /// batches applied.
+    Noop {
+        /// Epoch to report: the predicted committed epoch at this point.
+        epoch: u64,
+        /// Per request `(requested, applied = 0 by definition)`.
+        acks: Vec<(usize, usize)>,
+    },
+    /// A real delta to apply and commit.
+    Apply {
+        /// Removal row indices into the batch's pre-state, sorted.
+        rows: Vec<usize>,
+        /// Appended rows, flat `(width, features, labels)`.
+        added: Option<(usize, Vec<f64>, Vec<f64>)>,
+        /// The method the cost model chose at resolve time.
+        method: Method,
+        /// Retention-expired row count (already folded into `rows`).
+        expired: usize,
+        /// Pre-batch sample count (cost-model observation denominator).
+        pre_samples: usize,
+        /// The LSN the batch's WAL record got, if durable.
+        wal_lsn: Option<u64>,
+        /// Per request `(requested, applied)` against the pre-state.
+        acks: Vec<(usize, usize)>,
+    },
+}
+
+/// Applies a *chain* of ready batches for one session end to end. A
+/// chain is the maximal run of same-session batches one planner pass
+/// produced — always length 1 with coalescing on; with coalescing off a
+/// drained backlog arrives as one chain of single-request batches. The
+/// chain takes the session's apply gate once and pipelines the
+/// durability boundary in three phases:
+///
+/// 1. **Resolve + append.** Each batch is resolved *speculatively*
+///    against the predicted outcome of the previous one: id translation,
+///    retention expiry, drift, and the method decision are pure
+///    arithmetic over `{ids, next_id, epoch, removed_since_refit}` plus
+///    the capture metadata, every input of which the commit path derives
+///    deterministically — so the prediction is exact, not heuristic. The
+///    batch's WAL frame is appended (unsynced) carrying the previous
+///    record's LSN as `prev_lsn`.
+/// 2. **One group fsync** covers every frame the chain appended (other
+///    chains' frames may share it too — see [`GroupWal::sync_through`]).
+/// 3. **Apply + commit + ack**, per batch in order: the engine call, the
+///    registry commit, the periodic snapshot handoff to the snapshot
+///    thread, and the replies — exactly the single-batch sequence.
+///
+/// Per batch the durability contract is unchanged — gate → resolve →
+/// decide → append → fsync → apply → commit → ack — but k batches share
+/// one fsync instead of paying k. If an apply fails mid-chain, every
+/// *downstream* batch fails with it (their resolutions assumed it
+/// applied) and recovery skips their WAL records the same way via the
+/// `prev_lsn` dependency.
+fn apply_chain(inner: &Inner, chain: Vec<ReadyBatch>) {
     let reply_all_err = |batch: &ReadyBatch, message: &str| {
         for request in &batch.requests {
             let _ = request
@@ -398,12 +466,15 @@ fn apply_batch(inner: &Inner, batch: ReadyBatch) {
                 .send(Err(ServerError::BatchFailed(message.to_string())));
         }
     };
-    let slot: Arc<SessionSlot> = match inner.registry.get(&batch.session) {
+    let session_name = chain[0].session.clone();
+    let slot: Arc<SessionSlot> = match inner.registry.get(&session_name) {
         Ok(slot) => slot,
         Err(err) => {
             // Session dropped between admission and batching.
             let message = err.to_string();
-            reply_all_err(&batch, &message);
+            for batch in &chain {
+                reply_all_err(batch, &message);
+            }
             return;
         }
     };
@@ -413,192 +484,312 @@ fn apply_batch(inner: &Inner, batch: ReadyBatch) {
     // committed state, not the pre-batch snapshot.
     let _gate = slot.begin_apply();
     let view = slot.apply_view();
+    let cost = inner.cost_model(&session_name);
 
-    // Translate stable ids → current row indices. The set keeps the
-    // removal indices sorted and deduplicated against retention expiry.
-    let mut removal: BTreeSet<usize> = BTreeSet::new();
-    for &id in &batch.union {
-        if let Ok(ix) = view.ids.binary_search(&id) {
-            removal.insert(ix);
-        }
-    }
-    let num_added = batch.num_added();
+    // --- Phase 1: speculative resolve + WAL append -----------------------
+    let base_session = view.session;
+    let mut spec_ids = view.ids;
+    let mut spec_next_id = view.next_id;
+    let mut spec_epoch = view.epoch;
+    let mut spec_removed = view.removed_since_refit;
+    let initial_samples = view.initial_samples;
+    // The capture metadata the scheduler reads is constant across a
+    // chain except for the sample count, which the speculation tracks.
+    let mut base_snapshot: Option<CaptureSnapshot> = None;
 
-    // Resolve the retention window against the pre-batch id list: expire
-    // the oldest pre-existing rows (lowest stable ids — the id map is
-    // ascending) not already deleted, never same-batch additions, clamped
-    // so at least one pre-existing row survives.
-    let mut expired = 0usize;
-    if let Some(keep) = batch.keep_last {
-        let pre_survivors = view.ids.len() - removal.len();
-        let over = (pre_survivors + num_added).saturating_sub(keep as usize);
-        let to_expire = over.min(pre_survivors.saturating_sub(1));
-        let mut ix = 0;
-        while expired < to_expire {
-            if removal.insert(ix) {
-                expired += 1;
+    let mut steps: Vec<ChainStep> = Vec::with_capacity(chain.len());
+    let mut last_lsn: Option<u64> = None;
+    let mut last_seq: Option<u64> = None;
+    let mut broken: Option<String> = None;
+
+    for batch in &chain {
+        // Translate stable ids → predicted row indices. The set keeps the
+        // removal indices sorted and deduplicated against retention
+        // expiry.
+        let mut removal: BTreeSet<usize> = BTreeSet::new();
+        for &id in &batch.union {
+            if let Ok(ix) = spec_ids.binary_search(&id) {
+                removal.insert(ix);
             }
-            ix += 1;
+        }
+        let num_added = batch.num_added();
+
+        // Resolve the retention window against the pre-batch id list:
+        // expire the oldest pre-existing rows (lowest stable ids — the id
+        // map is ascending) not already deleted, never same-batch
+        // additions, clamped so at least one pre-existing row survives.
+        let mut expired = 0usize;
+        if let Some(keep) = batch.keep_last {
+            let pre_survivors = spec_ids.len() - removal.len();
+            let over = (pre_survivors + num_added).saturating_sub(keep as usize);
+            let to_expire = over.min(pre_survivors.saturating_sub(1));
+            let mut ix = 0;
+            while expired < to_expire {
+                if removal.insert(ix) {
+                    expired += 1;
+                }
+                ix += 1;
+            }
+        }
+        let rows: Vec<usize> = removal.into_iter().collect();
+
+        let acks: Vec<(usize, usize)> = batch
+            .requests
+            .iter()
+            .map(|request| {
+                let distinct: BTreeSet<u64> = request.ids.iter().copied().collect();
+                let applied = distinct
+                    .iter()
+                    .filter(|id| spec_ids.binary_search(id).is_ok())
+                    .count();
+                (distinct.len(), applied)
+            })
+            .collect();
+
+        if rows.is_empty() && num_added == 0 {
+            steps.push(ChainStep::Noop {
+                epoch: spec_epoch,
+                acks,
+            });
+            continue;
+        }
+
+        let snapshot = {
+            let mut snapshot = base_snapshot
+                .get_or_insert_with(|| base_session.capture_snapshot())
+                .clone();
+            snapshot.num_samples = spec_ids.len();
+            snapshot
+        };
+        let drift_after = if initial_samples == 0 {
+            0.0
+        } else {
+            (spec_removed + rows.len()) as f64 / initial_samples as f64
+        };
+        let method = match &cost {
+            Some(model) => model
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .decide_delta(&snapshot, rows.len(), num_added, drift_after),
+            None => Method::Retrain,
+        };
+        let added_flat = concat_added(batch);
+
+        // Durability boundary: the resolved removal set (stable ids after
+        // retention expiry) and the chosen method — both timing-dependent
+        // and hence recorded rather than re-derived — go to the WAL now;
+        // the shared fsync follows in phase 2, before anything applies or
+        // acks.
+        let mut wal_lsn = None;
+        if let Some(durability) = &inner.durability {
+            let mut record = WalRecord {
+                lsn: 0,
+                prev_lsn: last_lsn,
+                session: session_name.clone(),
+                method,
+                removed_ids: rows.iter().map(|&ix| spec_ids[ix]).collect(),
+                keep_last: batch.keep_last,
+                added: added_flat.clone(),
+            };
+            match durability.wal.append(&mut record) {
+                Ok(seq) => {
+                    wal_lsn = Some(record.lsn);
+                    last_lsn = Some(record.lsn);
+                    last_seq = Some(seq);
+                }
+                Err(err) => {
+                    // The log is broken: earlier appends can never fsync,
+                    // later resolutions would depend on this one. Fail
+                    // the whole chain below.
+                    broken = Some(err.to_string());
+                    break;
+                }
+            }
+        }
+
+        // Predict the commit: survivors keep their ids, appended rows
+        // take fresh ids, epoch bumps, drift accumulates (or resets on a
+        // retrain) — the exact arithmetic `SessionSlot::commit` runs.
+        let pre_samples = spec_ids.len();
+        let refit = method == Method::Retrain;
+        let mut survivors = Vec::with_capacity(spec_ids.len() - rows.len());
+        let mut next_removed = 0;
+        for (ix, &id) in spec_ids.iter().enumerate() {
+            if next_removed < rows.len() && rows[next_removed] == ix {
+                next_removed += 1;
+            } else {
+                survivors.push(id);
+            }
+        }
+        spec_ids = survivors;
+        for _ in 0..num_added {
+            spec_ids.push(spec_next_id);
+            spec_next_id += 1;
+        }
+        spec_epoch += 1;
+        spec_removed = if refit { 0 } else { spec_removed + rows.len() };
+
+        steps.push(ChainStep::Apply {
+            rows,
+            added: added_flat,
+            method,
+            expired,
+            pre_samples,
+            wal_lsn,
+            acks,
+        });
+    }
+
+    // --- Phase 2: one group fsync for the whole chain --------------------
+    if broken.is_none() {
+        if let (Some(durability), Some(seq)) = (&inner.durability, last_seq) {
+            if let Err(err) = durability.wal.sync_through(seq) {
+                broken = Some(err.to_string());
+            }
         }
     }
-    let rows: Vec<usize> = removal.into_iter().collect();
-
-    let live = |request_ids: &[u64]| {
-        let distinct: BTreeSet<u64> = request_ids.iter().copied().collect();
-        let applied = distinct
-            .iter()
-            .filter(|id| view.ids.binary_search(id).is_ok())
-            .count();
-        (distinct.len(), applied)
-    };
-
-    if rows.is_empty() && num_added == 0 {
-        // The batch changes nothing — every id was already gone, nothing
-        // is appended, no retention bound bites: acknowledge without
-        // touching the session.
-        for request in &batch.requests {
-            let (requested, _) = live(&request.ids);
-            let _ = request.reply.send(Ok(BatchReply {
-                requested,
-                applied: 0,
-                stale: requested,
-                added: 0,
-                expired: 0,
-                batch_rows: 0,
-                method: None,
-                seconds: 0.0,
-                epoch: view.epoch,
-            }));
+    if let Some(message) = broken {
+        // Nothing was acknowledged; the session state is untouched.
+        let message = format!("durability failure: {message}");
+        for batch in &chain {
+            reply_all_err(batch, &message);
         }
         return;
     }
 
-    let snapshot = view.session.capture_snapshot();
-    let drift_after = if view.initial_samples == 0 {
-        0.0
-    } else {
-        (view.removed_since_refit + rows.len()) as f64 / view.initial_samples as f64
-    };
-    let cost = inner.cost_model(&batch.session);
-    let method = match &cost {
-        Some(model) => model
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .decide_delta(&snapshot, rows.len(), num_added, drift_after),
-        None => Method::Retrain,
-    };
-
-    // Durability boundary: the union delta — resolved removal set
-    // (retention expiry folded in) and the chosen method, both
-    // timing-dependent and hence recorded rather than re-derived — goes
-    // to the WAL and is fsync'd *before* the engine runs. Nothing has
-    // been acknowledged yet; a WAL failure fails the batch with the
-    // session untouched. A crash after the fsync is redone on restart.
-    let added_flat = concat_added(&batch);
-    let mut wal_lsn = None;
-    if let Some(durability) = &inner.durability {
-        let mut record = WalRecord {
-            lsn: 0,
-            session: batch.session.clone(),
-            method,
-            removed_ids: rows.iter().map(|&ix| view.ids[ix]).collect(),
-            keep_last: batch.keep_last,
-            added: added_flat.clone(),
-        };
-        match durability.wal().append_sync(&mut record) {
-            Ok(lsn) => wal_lsn = Some(lsn),
-            Err(err) => {
-                let message = err.to_string();
-                reply_all_err(&batch, &message);
-                return;
-            }
+    // --- Phase 3: apply + commit + ack, in chain order -------------------
+    let mut current_session = base_session;
+    let mut chain_failed: Option<String> = None;
+    for (step, batch) in steps.into_iter().zip(chain.iter()) {
+        if let Some(message) = &chain_failed {
+            // This batch's resolution assumed the failed batch applied —
+            // even a "nothing to do" resolution — so it fails with it.
+            reply_all_err(batch, message);
+            continue;
         }
-    }
-
-    // The one engine call the whole batch reduces to: the union delta,
-    // additions concatenated in FIFO admission order.
-    let delta = Delta {
-        removed: rows.clone(),
-        added: added_flat
-            .map(|(width, features, labels)| {
-                dense_added(view.session.task(), width, features, labels)
-            })
-            .map(DeltaRows::Dense),
-    };
-    let outcome = run_pinned(&inner.cfg, || view.session.apply_delta(method, &delta));
-    match outcome {
-        Ok(chained) => {
-            let seconds = chained.outcome.duration.as_secs_f64();
-            let mut survivors = Vec::with_capacity(view.ids.len() - rows.len());
-            let mut next_removed = 0;
-            for (ix, &id) in view.ids.iter().enumerate() {
-                if next_removed < rows.len() && rows[next_removed] == ix {
-                    next_removed += 1;
-                } else {
-                    survivors.push(id);
+        match step {
+            ChainStep::Noop { epoch, acks } => {
+                for (request, (requested, _)) in batch.requests.iter().zip(acks) {
+                    let _ = request.reply.send(Ok(BatchReply {
+                        requested,
+                        applied: 0,
+                        stale: requested,
+                        added: 0,
+                        expired: 0,
+                        batch_rows: 0,
+                        method: None,
+                        seconds: 0.0,
+                        epoch,
+                    }));
                 }
             }
-            // A retrain's successor carries the measured offline phase of
-            // its refit (training + provenance capture) — feed it to the
-            // flat retrain term so scheduling tracks the real eigensolver.
-            let refit_offline = (method == Method::Retrain)
-                .then(|| chained.session.capture_snapshot().training_seconds);
-            fail_point("apply-before-commit");
-            let epoch = slot.commit(
-                Arc::new(chained.session),
-                survivors,
-                rows.len(),
-                num_added,
-                method == Method::Retrain,
-            );
-            // Periodic snapshot, cut right after the commit while the
-            // apply gate still excludes further batches: the durable
-            // state covers every WAL record through this batch's LSN.
-            // Best-effort — the WAL already makes the batch durable, so a
-            // failed snapshot only lengthens the next redo.
-            if let (Some(durability), Some(lsn)) = (&inner.durability, wal_lsn) {
-                if epoch.is_multiple_of(durability.snapshot_every) {
-                    let state = slot.durable_state();
-                    if let Err(err) =
-                        write_snapshot(&durability.dir, &batch.session, lsn + 1, &state)
-                    {
-                        eprintln!(
-                            "snapshot of {} at epoch {epoch} failed: {err}",
-                            batch.session
+            ChainStep::Apply {
+                rows,
+                added,
+                method,
+                expired,
+                pre_samples,
+                wal_lsn,
+                acks,
+            } => {
+                let num_added = batch.num_added();
+                // The one engine call the batch reduces to: the union
+                // delta, additions concatenated in FIFO admission order.
+                let delta = Delta {
+                    removed: rows.clone(),
+                    added: added
+                        .map(|(width, features, labels)| {
+                            dense_added(current_session.task(), width, features, labels)
+                        })
+                        .map(DeltaRows::Dense),
+                };
+                let outcome =
+                    run_pinned(&inner.cfg, || current_session.apply_delta(method, &delta));
+                let chained = match outcome {
+                    Ok(chained) => chained,
+                    Err(err) => {
+                        // The pre-batch state stays committed; everything
+                        // downstream resolved against a state that will
+                        // now never exist.
+                        let message = format!(
+                            "{method:?} removing {} and adding {num_added} rows: {err}",
+                            rows.len()
                         );
+                        reply_all_err(batch, &message);
+                        chain_failed =
+                            Some(format!("a preceding batch of the chain failed: {message}"));
+                        continue;
+                    }
+                };
+                let seconds = chained.outcome.duration.as_secs_f64();
+                // A retrain's successor carries the measured offline
+                // phase of its refit (training + provenance capture) —
+                // feed it to the flat retrain term so scheduling tracks
+                // the real eigensolver.
+                let refit = method == Method::Retrain;
+                let refit_offline =
+                    refit.then(|| chained.session.capture_snapshot().training_seconds);
+                // Survivors from the slot's *live* ids (equal to the
+                // phase-1 prediction — the chain holds the gate, so only
+                // our own commits advanced the slot).
+                let pre_ids = slot.apply_view().ids;
+                let mut survivors = Vec::with_capacity(pre_ids.len() - rows.len());
+                let mut next_removed = 0;
+                for (ix, &id) in pre_ids.iter().enumerate() {
+                    if next_removed < rows.len() && rows[next_removed] == ix {
+                        next_removed += 1;
+                    } else {
+                        survivors.push(id);
                     }
                 }
-            }
-            fail_point("before-ack");
-            if let Some(model) = &cost {
-                let mut model = model.lock().unwrap_or_else(PoisonError::into_inner);
-                model.observe_delta(method, rows.len(), num_added, snapshot.num_samples, seconds);
-                if let Some(offline) = refit_offline {
-                    model.observe_offline(offline);
+                fail_point("apply-before-commit");
+                let successor = Arc::new(chained.session);
+                current_session = Arc::clone(&successor);
+                let epoch = slot.commit(successor, survivors, rows.len(), num_added, refit);
+                // Periodic snapshot: a copy-on-write handoff of the
+                // committed state to the snapshot thread — the Arc-swap
+                // commit already produced an immutable post-batch model,
+                // so the applier only enqueues and moves on. Best-effort:
+                // the WAL already makes the batch durable, a failed
+                // snapshot only lengthens the next redo.
+                if let (Some(durability), Some(lsn)) = (&inner.durability, wal_lsn) {
+                    if epoch.is_multiple_of(durability.snapshot_every) {
+                        fail_point("snapshot-handoff");
+                        let job = SnapshotJob {
+                            session: session_name.clone(),
+                            covered_lsn: lsn + 1,
+                            state: slot.durable_state(),
+                            reply: None,
+                        };
+                        if let Err(err) = durability.snapshots.enqueue(job) {
+                            eprintln!(
+                                "scheduling snapshot of {session_name} at epoch {epoch}: {err}"
+                            );
+                        }
+                    }
+                }
+                fail_point("before-ack");
+                if let Some(model) = &cost {
+                    let mut model = model.lock().unwrap_or_else(PoisonError::into_inner);
+                    model.observe_delta(method, rows.len(), num_added, pre_samples, seconds);
+                    if let Some(offline) = refit_offline {
+                        model.observe_offline(offline);
+                    }
+                }
+                for (request, (requested, applied)) in batch.requests.iter().zip(acks) {
+                    let _ = request.reply.send(Ok(BatchReply {
+                        requested,
+                        applied,
+                        stale: requested - applied,
+                        added: request.num_added(),
+                        expired,
+                        batch_rows: rows.len(),
+                        method: Some(method),
+                        seconds,
+                        epoch,
+                    }));
                 }
             }
-            for request in &batch.requests {
-                let (requested, applied) = live(&request.ids);
-                let _ = request.reply.send(Ok(BatchReply {
-                    requested,
-                    applied,
-                    stale: requested - applied,
-                    added: request.num_added(),
-                    expired,
-                    batch_rows: rows.len(),
-                    method: Some(method),
-                    seconds,
-                    epoch,
-                }));
-            }
-        }
-        Err(err) => {
-            // The gate drops, the pre-batch state stays committed.
-            let message = format!(
-                "{method:?} removing {} and adding {num_added} rows: {err}",
-                rows.len()
-            );
-            reply_all_err(&batch, &message);
         }
     }
 }
@@ -637,18 +828,27 @@ fn applier_loop(inner: &Arc<Inner>) {
             }
         };
         // Planner lock released: applying never blocks admission.
-        if ready.len() == 1 {
-            for batch in ready {
-                apply_batch(inner, batch);
+        // Same-session batches arrive adjacent (take_ready emits in
+        // session order), so maximal same-session runs become chains that
+        // share one group fsync; distinct sessions fan out over the pool.
+        let mut chains: Vec<Vec<ReadyBatch>> = Vec::new();
+        for batch in ready {
+            match chains.last_mut() {
+                Some(chain) if chain[0].session == batch.session => chain.push(batch),
+                _ => chains.push(vec![batch]),
+            }
+        }
+        if chains.len() == 1 {
+            for chain in chains {
+                apply_chain(inner, chain);
             }
         } else {
-            // Batches for distinct sessions: fan out over the shared pool.
             par::run_tasks(
-                ready
+                chains
                     .into_iter()
-                    .map(|batch| {
+                    .map(|chain| {
                         let inner = Arc::clone(inner);
-                        move || apply_batch(&inner, batch)
+                        move || apply_chain(&inner, chain)
                     })
                     .collect(),
             );
@@ -684,10 +884,16 @@ impl Server {
             let recovered = recover(&cfg, &dur_cfg.dir)?;
             restored = recovered.sessions;
             recovery = Some(recovered.report);
+            let wal = Arc::new(GroupWal::new(recovered.wal, dur_cfg.group));
+            let snapshots = SnapshotService::start(
+                dur_cfg.dir.clone(),
+                Arc::clone(&wal),
+                dur_cfg.checkpoint_bytes.max(1),
+            );
             durability = Some(Durability {
-                dir: dur_cfg.dir.clone(),
                 snapshot_every: dur_cfg.snapshot_every.max(1),
-                wal: Mutex::new(recovered.wal),
+                wal,
+                snapshots,
             });
         }
         let scheduler = cfg.scheduler;
@@ -746,10 +952,15 @@ impl Server {
         if let Some(durability) = &self.inner.durability {
             // The covered LSN is read under the WAL lock so no batch can
             // sneak a record for this session below it (it can't anyway —
-            // the session just appeared — but the invariant is free).
-            let covered_lsn = durability.wal().next_lsn();
+            // the session just appeared — but the invariant is free). The
+            // baseline rides the snapshot thread like every other
+            // snapshot, blocking until it is durable.
+            let covered_lsn = durability.wal.next_lsn();
             let state = slot.durable_state();
-            if let Err(err) = write_snapshot(&durability.dir, name, covered_lsn, &state) {
+            if let Err(err) = durability
+                .snapshots
+                .write_baseline(name, covered_lsn, state)
+            {
                 let _ = self.inner.registry.remove(name);
                 return Err(err);
             }
@@ -862,9 +1073,28 @@ impl Server {
         ConnectionHandle { handle }
     }
 
+    /// Cumulative durability counters — fsyncs, frames, bytes appended,
+    /// largest group one fsync covered, checkpoints completed. `None` on
+    /// a server without durability. Mean group size is
+    /// `frames / fsyncs`.
+    pub fn durability_stats(&self) -> Option<WalStats> {
+        self.inner.durability.as_ref().map(|d| d.wal.stats())
+    }
+
+    /// Blocks until every background snapshot scheduled so far has been
+    /// written (and any WAL checkpoint it triggered has completed) — the
+    /// drain barrier tests and benchmarks use before inspecting the
+    /// durability directory. No-op without durability.
+    pub fn drain_durability(&self) {
+        if let Some(durability) = &self.inner.durability {
+            durability.snapshots.drain();
+        }
+    }
+
     /// Shuts the server down: rejects new deletions, drains every pending
-    /// batch (tickets resolve), and joins the applier. Idempotent; safe
-    /// from multiple threads.
+    /// batch (tickets resolve), joins the applier, then drains and stops
+    /// the snapshot thread — so a clean shutdown never abandons a
+    /// scheduled snapshot. Idempotent; safe from multiple threads.
     pub fn shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::Release);
         self.inner.work.notify_all();
@@ -875,6 +1105,11 @@ impl Server {
             .take();
         if let Some(handle) = handle {
             let _ = handle.join();
+        }
+        // The applier is gone, so no new snapshot jobs can appear; the
+        // service drains its queue before exiting.
+        if let Some(durability) = &self.inner.durability {
+            durability.snapshots.stop();
         }
         // Anything admitted after the drain decision fails typed.
         self.inner.planner().fail_all();
@@ -1061,6 +1296,27 @@ where
                             snapshot_skips: 0,
                             orphan_records: 0,
                             sessions: Vec::new(),
+                        },
+                    },
+                    Request::DurabilityStats => match &inner.durability {
+                        Some(durability) => {
+                            let stats = durability.wal.stats();
+                            Response::DurabilityStats {
+                                durable: true,
+                                fsyncs: stats.fsyncs,
+                                wal_frames: stats.frames,
+                                wal_bytes: stats.bytes,
+                                max_group: stats.max_group,
+                                checkpoints: stats.checkpoints,
+                            }
+                        }
+                        None => Response::DurabilityStats {
+                            durable: false,
+                            fsyncs: 0,
+                            wal_frames: 0,
+                            wal_bytes: 0,
+                            max_group: 0,
+                            checkpoints: 0,
                         },
                     },
                     Request::Stats { session } => match inner.stats(&session) {

@@ -34,10 +34,13 @@
 //! fail the magic, CRC, or decode — a corrupt snapshot falls back to the
 //! previous epoch, never panics.
 
+use std::collections::VecDeque;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::{self, JoinHandle};
 
 use priu_core::snapshot::{SnapshotReader, SnapshotWriter};
 use priu_core::{DeletionEngine, Session};
@@ -45,7 +48,7 @@ use priu_core::{DeletionEngine, Session};
 use crate::error::{Result, ServerError};
 use crate::failpoint::fail_point;
 use crate::registry::DurableState;
-use crate::wal::{crc32, read_file, sync_parent_dir};
+use crate::wal::{crc32, read_file, sync_parent_dir, GroupWal};
 
 /// Identifies a file as a PrIU session snapshot, version 1.
 pub const SNAPSHOT_MAGIC: &[u8; 8] = b"PRIUSNP1";
@@ -357,6 +360,246 @@ pub(crate) fn load_latest(
     Ok((None, skips))
 }
 
+// --- coverage floors (checkpoint frontier) --------------------------------
+
+/// The `covered_lsn` of one snapshot file, if the file is fully valid —
+/// the light parse the checkpoint frontier uses: magic, length, CRC, then
+/// the first payload field. No session decode; a file that passes its CRC
+/// has a trustworthy `covered_lsn`.
+fn snapshot_floor(path: &Path) -> Option<u64> {
+    let bytes = read_file(path).ok()??;
+    if bytes.len() < 24 || &bytes[..8] != SNAPSHOT_MAGIC {
+        return None;
+    }
+    let len = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
+    if bytes.len() - 16 != len || crc32(&bytes[16..]) != crc {
+        return None;
+    }
+    Some(u64::from_le_bytes(
+        bytes[16..24].try_into().expect("8 bytes"),
+    ))
+}
+
+/// The per-session WAL frontier implied by the durable snapshot set: for
+/// each session, the minimum `covered_lsn` over **every** valid retained
+/// epoch — not just the newest — so a checkpoint never truncates a record
+/// the older fallback epoch would still need if the newest file turns out
+/// corrupt at recovery. Sessions with no valid file are omitted; the
+/// checkpoint treats them as floor 0 and retains all their records.
+///
+/// # Errors
+/// Only directory-listing I/O failures; an unreadable or corrupt snapshot
+/// file simply doesn't contribute a floor.
+pub(crate) fn coverage_floors(dir: &Path) -> Result<Vec<(String, u64)>> {
+    let mut floors: Vec<(String, u64)> = Vec::new();
+    for session in list_sessions(dir)? {
+        let floor = list_epochs(dir, &session)?
+            .into_iter()
+            .filter_map(|epoch| snapshot_floor(&snapshot_path(dir, &session, epoch)))
+            .min();
+        if let Some(floor) = floor {
+            floors.push((session, floor));
+        }
+    }
+    floors.sort();
+    Ok(floors)
+}
+
+// --- background snapshot service ------------------------------------------
+
+/// One queued snapshot: the copy-on-write handoff from the applier. The
+/// committed `Arc<Session>` and the registry bookkeeping are immutable
+/// once captured, so serialization proceeds on the snapshot thread with
+/// no lock on the slot and no stall on the applier.
+pub(crate) struct SnapshotJob {
+    /// Session the snapshot belongs to.
+    pub session: String,
+    /// The WAL frontier the snapshot covers (`lsn + 1` of the batch that
+    /// produced this state).
+    pub covered_lsn: u64,
+    /// The full durable state to serialize.
+    pub state: DurableState,
+    /// Registration baselines block on the write — the registration is
+    /// not acknowledged until the baseline is durable. Periodic snapshots
+    /// are fire-and-forget (`None`): the WAL already makes their batches
+    /// durable, a failed write only lengthens the next redo.
+    pub reply: Option<Sender<Result<PathBuf>>>,
+}
+
+struct ServiceState {
+    jobs: VecDeque<SnapshotJob>,
+    /// The worker is serializing a job it already popped.
+    in_flight: bool,
+    stop: bool,
+}
+
+/// The dedicated snapshot thread: drains a FIFO queue of
+/// [`SnapshotJob`]s, writes each through the same temp/rename path the
+/// inline writer used, and triggers a WAL checkpoint after each
+/// successful write (newest durable snapshot set = newest truncation
+/// frontier). FIFO with no superseding keeps the on-disk epoch history
+/// identical to the inline writer's — recovery's corrupt-newest-epoch
+/// fallback depends on the predecessor epoch actually existing.
+pub(crate) struct SnapshotService {
+    state: Mutex<ServiceState>,
+    /// Wakes the worker (new job / stop) and drain waiters (job done).
+    cv: Condvar,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl SnapshotService {
+    /// Spawns the snapshot thread for the store at `dir`. After every
+    /// successful snapshot the worker recomputes the coverage floors and
+    /// runs [`GroupWal::checkpoint_if_due`] with `checkpoint_bytes` as
+    /// the threshold.
+    pub(crate) fn start(dir: PathBuf, wal: Arc<GroupWal>, checkpoint_bytes: u64) -> Arc<Self> {
+        let service = Arc::new(Self {
+            state: Mutex::new(ServiceState {
+                jobs: VecDeque::new(),
+                in_flight: false,
+                stop: false,
+            }),
+            cv: Condvar::new(),
+            worker: Mutex::new(None),
+        });
+        let worker = {
+            let service = Arc::clone(&service);
+            thread::Builder::new()
+                .name("priu-server-snapshot".to_string())
+                .spawn(move || service.worker_loop(&dir, &wal, checkpoint_bytes))
+                .expect("spawn snapshot thread")
+        };
+        *service
+            .worker
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some(worker);
+        service
+    }
+
+    fn lock(&self) -> MutexGuard<'_, ServiceState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn worker_loop(&self, dir: &Path, wal: &GroupWal, checkpoint_bytes: u64) {
+        loop {
+            let job = {
+                let mut state = self.lock();
+                loop {
+                    // Pop before honoring stop: shutdown *drains* the
+                    // queue, so an enqueued-then-acked batch never loses
+                    // its scheduled snapshot to a clean exit.
+                    if let Some(job) = state.jobs.pop_front() {
+                        state.in_flight = true;
+                        break Some(job);
+                    }
+                    if state.stop {
+                        break None;
+                    }
+                    state = self.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
+                }
+            };
+            let Some(job) = job else { return };
+
+            let result = write_snapshot(dir, &job.session, job.covered_lsn, &job.state);
+            let wrote = result.is_ok();
+            match (job.reply, result) {
+                (Some(reply), result) => {
+                    let _ = reply.send(result);
+                }
+                (None, Err(err)) => {
+                    eprintln!(
+                        "snapshot of {} at epoch {} failed: {err}",
+                        job.session, job.state.epoch
+                    );
+                }
+                (None, Ok(_)) => {}
+            }
+            // The snapshot set just advanced: see whether the WAL has
+            // accumulated enough to be worth compacting against it.
+            if wrote {
+                match coverage_floors(dir) {
+                    Ok(floors) => {
+                        if let Err(err) = wal.checkpoint_if_due(checkpoint_bytes, &floors) {
+                            eprintln!("WAL checkpoint failed: {err}");
+                        }
+                    }
+                    Err(err) => eprintln!("skipping WAL checkpoint: {err}"),
+                }
+            }
+
+            let mut state = self.lock();
+            state.in_flight = false;
+            self.cv.notify_all();
+        }
+    }
+
+    /// Hands a snapshot job to the worker.
+    ///
+    /// # Errors
+    /// [`ServerError::ShuttingDown`] once [`SnapshotService::stop`] ran.
+    pub(crate) fn enqueue(&self, job: SnapshotJob) -> Result<()> {
+        let mut state = self.lock();
+        if state.stop {
+            return Err(ServerError::ShuttingDown);
+        }
+        state.jobs.push_back(job);
+        self.cv.notify_all();
+        Ok(())
+    }
+
+    /// Writes a registration baseline through the snapshot thread,
+    /// blocking until it is durable — same code path as periodic
+    /// snapshots, so there is exactly one writer ordering the epoch
+    /// files.
+    ///
+    /// # Errors
+    /// [`ServerError::Durability`] if the write failed (the caller then
+    /// unregisters the session), [`ServerError::ShuttingDown`] if the
+    /// service already stopped.
+    pub(crate) fn write_baseline(
+        &self,
+        session: &str,
+        covered_lsn: u64,
+        state: DurableState,
+    ) -> Result<PathBuf> {
+        let (tx, rx) = channel();
+        self.enqueue(SnapshotJob {
+            session: session.to_string(),
+            covered_lsn,
+            state,
+            reply: Some(tx),
+        })?;
+        rx.recv()
+            .map_err(|_| ServerError::Durability("snapshot thread exited".to_string()))?
+    }
+
+    /// The drain barrier: blocks until every job enqueued so far is fully
+    /// written (queue empty, nothing in flight) — so shutdown and tests
+    /// never observe a half-scheduled snapshot.
+    pub(crate) fn drain(&self) {
+        let mut state = self.lock();
+        while !state.jobs.is_empty() || state.in_flight {
+            state = self.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Stops the service: the worker drains the remaining queue, then
+    /// exits; new enqueues fail typed. Idempotent.
+    pub(crate) fn stop(&self) {
+        self.lock().stop = true;
+        self.cv.notify_all();
+        let worker = self
+            .worker
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        if let Some(worker) = worker {
+            let _ = worker.join();
+        }
+    }
+}
+
 /// Fsyncs the snapshot directory's parent chain after first creation.
 pub(crate) fn ensure_store_dirs(dir: &Path) -> Result<()> {
     let snap_dir = snapshot_dir(dir);
@@ -467,6 +710,71 @@ mod tests {
         let (loaded, skips) = load_latest(&dir, "s").unwrap();
         assert!(loaded.is_none());
         assert_eq!(skips.len(), 2);
+    }
+
+    #[test]
+    fn coverage_floors_take_the_minimum_over_valid_epochs() {
+        let dir = tempdir("snap-floors");
+        write_snapshot(&dir, "a", 5, &state(20, 1, 1)).unwrap();
+        write_snapshot(&dir, "a", 9, &state(20, 1, 2)).unwrap();
+        write_snapshot(&dir, "b", 3, &state(20, 2, 1)).unwrap();
+        assert_eq!(
+            coverage_floors(&dir).unwrap(),
+            vec![("a".to_string(), 5), ("b".to_string(), 3)]
+        );
+
+        // A corrupt older epoch stops holding the floor down: only the
+        // valid epochs count.
+        let older = snapshot_path(&dir, "a", 1);
+        let mut bytes = std::fs::read(&older).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 1;
+        std::fs::write(&older, &bytes).unwrap();
+        assert_eq!(
+            coverage_floors(&dir).unwrap(),
+            vec![("a".to_string(), 9), ("b".to_string(), 3)]
+        );
+
+        // A session with no valid file contributes no floor at all — the
+        // checkpoint then retains every record it has.
+        std::fs::write(snapshot_path(&dir, "b", 1), b"PRIUSNP1junk").unwrap();
+        assert_eq!(coverage_floors(&dir).unwrap(), vec![("a".to_string(), 9)]);
+    }
+
+    #[test]
+    fn snapshot_service_writes_in_fifo_order_and_drains() {
+        let dir = tempdir("snap-service");
+        let wal_path = dir.join("deltas.wal");
+        let (wal, _) = GroupWal::open(&wal_path, Default::default()).unwrap();
+        let service = SnapshotService::start(dir.clone(), Arc::new(wal), u64::MAX);
+        // A blocking baseline, then two fire-and-forget epochs.
+        service.write_baseline("s", 0, state(20, 7, 0)).unwrap();
+        for epoch in 1..=2 {
+            service
+                .enqueue(SnapshotJob {
+                    session: "s".to_string(),
+                    covered_lsn: epoch,
+                    state: state(20, 7, epoch),
+                    reply: None,
+                })
+                .unwrap();
+        }
+        service.drain();
+        let (loaded, skips) = load_latest(&dir, "s").unwrap();
+        assert_eq!(loaded.unwrap().state.epoch, 2);
+        assert!(skips.is_empty());
+        let mut epochs = list_epochs(&dir, "s").unwrap();
+        epochs.sort_unstable();
+        assert_eq!(epochs, vec![1, 2], "older epochs pruned as they land");
+        service.stop();
+        assert!(service
+            .enqueue(SnapshotJob {
+                session: "s".to_string(),
+                covered_lsn: 9,
+                state: state(20, 7, 9),
+                reply: None,
+            })
+            .is_err());
     }
 
     #[test]

@@ -1,16 +1,20 @@
-//! The deletion write-ahead log.
+//! The deletion write-ahead log: append-only CRC frames, group commit,
+//! and checkpoint compaction.
 //!
-//! An append-only file of length-prefixed, CRC-checksummed frames, one per
-//! committed union delta. A batch is acknowledged on the wire only after
-//! its frame is fsync'd (see `server::apply_batch` — WAL append + fsync →
-//! engine apply → registry commit → ack), so an acknowledged deletion can
-//! always be redone after a crash.
+//! An append-only file of length-prefixed, CRC-checksummed frames. A
+//! batch is acknowledged on the wire only after its frame is fsync'd
+//! (see `server::apply_chain` — WAL append → group fsync → engine apply
+//! → registry commit → ack), so an acknowledged deletion can always be
+//! redone after a crash.
 //!
 //! # Frame format
 //!
 //! ```text
 //! [u32 len][u32 crc32][payload: len bytes]
-//! payload = u64 lsn
+//! payload = u8 kind (0 = delta record, 1 = checkpoint)
+//!
+//! kind 0:   u64 lsn
+//!           u8  prev_lsn flag (+ u64 prev_lsn)
 //!           u32 session-name len + bytes (UTF-8)
 //!           u8  method index into Method::ALL
 //!           u64 removed-id count + that many u64 stable ids
@@ -18,12 +22,43 @@
 //!           u8  added flag (+ u64 num_features, u64 num_rows,
 //!                           num_rows*num_features f64 bit patterns,
 //!                           num_rows f64 label bit patterns)
+//!
+//! kind 1:   u64 next_lsn (the LSN counter at checkpoint time)
+//!           u64 floor count + per floor:
+//!               u32 session-name len + bytes, u64 floor LSN
 //! ```
 //!
 //! All integers little-endian; all `f64`s as [`f64::to_bits`] so redo
 //! reconstructs the exact added block the live path applied. The CRC
 //! (CRC-32/IEEE, hand-rolled table — no dependencies) covers the payload
 //! only: a torn length prefix already fails the length check.
+//!
+//! # Group commit
+//!
+//! [`GroupWal`] wraps the log for the applier path: concurrently (or
+//! consecutively) resolved batches are **appended as individual frames
+//! but share one fsync**. [`GroupWal::append`] writes the frame and
+//! returns a commit sequence number; [`GroupWal::sync_through`] blocks
+//! until that sequence is durable, electing the first waiter as the
+//! *leader* that fsyncs on behalf of everything appended so far (capped
+//! at [`GroupCommitConfig::max_group`]) while followers wait on the
+//! condvar. At `max_group == 1` this degenerates to the one-fsync-per-
+//! batch behaviour the durability layer shipped with. An append or fsync
+//! failure marks the log **broken** — sticky, because a failed
+//! `write_all` may leave a partial frame that later frames would land
+//! behind — and every subsequent operation fails fast.
+//!
+//! # Checkpoints
+//!
+//! [`GroupWal::checkpoint_if_due`] bounds the log: given the per-session
+//! covered-LSN floors implied by the durable snapshots, it rewrites the
+//! live suffix (every record at or past its session's floor) into a new
+//! log headed by a kind-1 checkpoint frame, atomically renames it over
+//! the old one, and truncates everything every session's snapshots
+//! already cover. The checkpoint frame preserves the LSN counter so
+//! sequence numbers never rewind. Crash points `checkpoint-mid-rewrite`
+//! / `checkpoint-before-rename` / `checkpoint-after-rename` leave either
+//! the old log (plus an ignored `.tmp`) or the complete new one.
 //!
 //! # Torn-tail semantics
 //!
@@ -44,11 +79,16 @@
 //! seconds), so redo must not re-derive them. Everything downstream of
 //! the record — id translation, `apply_delta`, survivor computation,
 //! fresh-id assignment — is deterministic, which is what makes replay
-//! bitwise-exact.
+//! bitwise-exact. A record resolved speculatively against the outcome of
+//! an earlier, not-yet-applied record in the same group carries that
+//! record's LSN as `prev_lsn`, so recovery can skip the dependent chain
+//! if the antecedent's redo fails.
 
 use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 use priu_core::snapshot::{SnapshotReader, SnapshotWriter};
 use priu_core::Method;
@@ -60,11 +100,22 @@ use crate::failpoint::fail_point;
 /// garbage bytes would otherwise ask for gigabytes).
 pub const MAX_WAL_FRAME_BYTES: u32 = 1 << 30;
 
+/// Frame payload kind: one committed union delta.
+const KIND_DELTA: u8 = 0;
+/// Frame payload kind: a checkpoint (compaction marker).
+const KIND_CHECKPOINT: u8 = 1;
+
 /// One committed union delta, as redo needs it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WalRecord {
     /// Log sequence number, strictly increasing across the file.
     pub lsn: u64,
+    /// LSN of the record this one was speculatively resolved against
+    /// (same-session, same commit group, not yet applied at resolve
+    /// time). Recovery skips this record if the antecedent's redo was
+    /// skipped — the resolution would no longer be meaningful. `None`
+    /// when the record was resolved against committed state.
+    pub prev_lsn: Option<u64>,
     /// The session the batch targeted.
     pub session: String,
     /// The method the cost model chose (recorded because the choice is
@@ -79,6 +130,19 @@ pub struct WalRecord {
     /// Appended rows in FIFO admission order: `(num_features, features,
     /// labels)`. `None` when the batch appended nothing.
     pub added: Option<(usize, Vec<f64>, Vec<f64>)>,
+}
+
+/// A checkpoint frame: the compaction marker heading a rewritten log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointRecord {
+    /// The LSN counter at checkpoint time — reopening seeds the next LSN
+    /// from this even when every delta frame was truncated away, so the
+    /// sequence never rewinds.
+    pub next_lsn: u64,
+    /// Per-session covered-LSN floors the compaction honored: every
+    /// record of `session` with `lsn < floor` was dropped because a
+    /// durable snapshot already folds it in. Sorted by session name.
+    pub floors: Vec<(String, u64)>,
 }
 
 /// Why WAL reading stopped before end-of-file. A torn tail after a crash
@@ -131,8 +195,12 @@ impl std::fmt::Display for WalTail {
 /// and why scanning stopped (if not clean EOF).
 #[derive(Debug)]
 pub struct WalScan {
-    /// Every record of the valid prefix, in LSN order.
+    /// Every delta record of the valid prefix, in LSN order (checkpoint
+    /// frames are reported separately, not here).
     pub records: Vec<WalRecord>,
+    /// The newest checkpoint frame in the valid prefix, if any (a
+    /// compacted log leads with one).
+    pub checkpoint: Option<CheckpointRecord>,
     /// Byte offset where the valid prefix ends; appending resumes here.
     pub valid_bytes: u64,
     /// Why the scan stopped early; `None` means the whole file was valid.
@@ -179,14 +247,39 @@ fn method_index(method: Method) -> u8 {
         .expect("every method is in Method::ALL") as u8
 }
 
-fn encode_record(record: &WalRecord) -> Vec<u8> {
-    let mut w = SnapshotWriter::new();
-    w.u64(record.lsn);
-    let name = record.session.as_bytes();
-    w.u32(name.len() as u32);
-    for &b in name {
+fn write_name(w: &mut SnapshotWriter, name: &str) {
+    let bytes = name.as_bytes();
+    w.u32(bytes.len() as u32);
+    for &b in bytes {
         w.u8(b);
     }
+}
+
+fn read_name(r: &mut SnapshotReader, what: &'static str) -> std::result::Result<String, String> {
+    let fail = |e: priu_core::CoreError| e.to_string();
+    let len = r.u32(what).map_err(fail)? as usize;
+    if len > r.remaining() {
+        return Err(format!("{what} longer than payload"));
+    }
+    let mut name = Vec::with_capacity(len);
+    for _ in 0..len {
+        name.push(r.u8(what).map_err(fail)?);
+    }
+    String::from_utf8(name).map_err(|_| format!("{what} not UTF-8"))
+}
+
+fn encode_record(record: &WalRecord) -> Vec<u8> {
+    let mut w = SnapshotWriter::new();
+    w.u8(KIND_DELTA);
+    w.u64(record.lsn);
+    match record.prev_lsn {
+        None => w.bool(false),
+        Some(prev) => {
+            w.bool(true);
+            w.u64(prev);
+        }
+    }
+    write_name(&mut w, &record.session);
     w.u8(method_index(record.method));
     w.usize(record.removed_ids.len());
     for &id in &record.removed_ids {
@@ -219,16 +312,17 @@ fn encode_record(record: &WalRecord) -> Vec<u8> {
 fn decode_record(payload: &[u8]) -> std::result::Result<WalRecord, String> {
     let fail = |e: priu_core::CoreError| e.to_string();
     let mut r = SnapshotReader::new(payload);
+    let kind = r.u8("frame kind").map_err(fail)?;
+    if kind != KIND_DELTA {
+        return Err(format!("expected delta frame, got kind {kind}"));
+    }
     let lsn = r.u64("lsn").map_err(fail)?;
-    let name_len = r.u32("session name length").map_err(fail)? as usize;
-    if name_len > r.remaining() {
-        return Err("session name longer than payload".to_string());
-    }
-    let mut name = Vec::with_capacity(name_len);
-    for _ in 0..name_len {
-        name.push(r.u8("session name").map_err(fail)?);
-    }
-    let session = String::from_utf8(name).map_err(|_| "session name not UTF-8".to_string())?;
+    let prev_lsn = if r.bool("prev_lsn flag").map_err(fail)? {
+        Some(r.u64("prev_lsn").map_err(fail)?)
+    } else {
+        None
+    };
+    let session = read_name(&mut r, "session name")?;
     let method_ix = r.u8("method").map_err(fail)? as usize;
     let method = *Method::ALL
         .get(method_ix)
@@ -272,6 +366,7 @@ fn decode_record(payload: &[u8]) -> std::result::Result<WalRecord, String> {
     r.finish().map_err(fail)?;
     Ok(WalRecord {
         lsn,
+        prev_lsn,
         session,
         method,
         removed_ids,
@@ -280,27 +375,49 @@ fn decode_record(payload: &[u8]) -> std::result::Result<WalRecord, String> {
     })
 }
 
+fn encode_checkpoint(cp: &CheckpointRecord) -> Vec<u8> {
+    let mut w = SnapshotWriter::new();
+    w.u8(KIND_CHECKPOINT);
+    w.u64(cp.next_lsn);
+    w.usize(cp.floors.len());
+    for (session, floor) in &cp.floors {
+        write_name(&mut w, session);
+        w.u64(*floor);
+    }
+    w.into_bytes()
+}
+
+fn decode_checkpoint(payload: &[u8]) -> std::result::Result<CheckpointRecord, String> {
+    let fail = |e: priu_core::CoreError| e.to_string();
+    let mut r = SnapshotReader::new(payload);
+    let kind = r.u8("frame kind").map_err(fail)?;
+    if kind != KIND_CHECKPOINT {
+        return Err(format!("expected checkpoint frame, got kind {kind}"));
+    }
+    let next_lsn = r.u64("checkpoint next_lsn").map_err(fail)?;
+    let n = r.len(12, "checkpoint floors").map_err(fail)?;
+    let mut floors = Vec::with_capacity(n);
+    for _ in 0..n {
+        let session = read_name(&mut r, "floor session name")?;
+        let floor = r.u64("floor lsn").map_err(fail)?;
+        floors.push((session, floor));
+    }
+    r.finish().map_err(fail)?;
+    Ok(CheckpointRecord { next_lsn, floors })
+}
+
+/// Appends one `[len][crc][payload]` frame to a byte buffer.
+fn push_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
 // --- scanning -------------------------------------------------------------
 
-/// Scans a WAL file, returning the longest valid frame prefix. A missing
-/// file is an empty log. Never panics on any byte sequence.
-///
-/// # Errors
-/// Only genuine I/O failures ([`ServerError::Durability`]); corruption is
-/// reported in [`WalScan::tail`], not as an error.
-pub fn scan_wal(path: &Path) -> Result<WalScan> {
-    let bytes = match std::fs::read(path) {
-        Ok(bytes) => bytes,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-            return Ok(WalScan {
-                records: Vec::new(),
-                valid_bytes: 0,
-                tail: None,
-            })
-        }
-        Err(e) => return Err(ServerError::Durability(format!("reading WAL: {e}"))),
-    };
+fn scan_bytes(bytes: &[u8]) -> WalScan {
     let mut records = Vec::new();
+    let mut checkpoint = None;
     let mut at = 0usize;
     let mut tail = None;
     while at < bytes.len() {
@@ -327,23 +444,49 @@ pub fn scan_wal(path: &Path) -> Result<WalScan> {
             tail = Some(WalTail::BadChecksum { at: at as u64 });
             break;
         }
-        match decode_record(payload) {
-            Ok(record) => records.push(record),
-            Err(reason) => {
-                tail = Some(WalTail::BadPayload {
-                    at: at as u64,
-                    reason,
-                });
-                break;
-            }
+        let decoded = match payload.first() {
+            Some(&KIND_DELTA) => decode_record(payload).map(|r| records.push(r)),
+            Some(&KIND_CHECKPOINT) => decode_checkpoint(payload).map(|c| checkpoint = Some(c)),
+            Some(&k) => Err(format!("unknown frame kind {k}")),
+            None => Err("empty frame payload".to_string()),
+        };
+        if let Err(reason) = decoded {
+            tail = Some(WalTail::BadPayload {
+                at: at as u64,
+                reason,
+            });
+            break;
         }
         at = body_end;
     }
-    Ok(WalScan {
+    WalScan {
         records,
+        checkpoint,
         valid_bytes: at as u64,
         tail,
-    })
+    }
+}
+
+/// Scans a WAL file, returning the longest valid frame prefix. A missing
+/// file is an empty log. Never panics on any byte sequence.
+///
+/// # Errors
+/// Only genuine I/O failures ([`ServerError::Durability`]); corruption is
+/// reported in [`WalScan::tail`], not as an error.
+pub fn scan_wal(path: &Path) -> Result<WalScan> {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(WalScan {
+                records: Vec::new(),
+                checkpoint: None,
+                valid_bytes: 0,
+                tail: None,
+            })
+        }
+        Err(e) => return Err(ServerError::Durability(format!("reading WAL: {e}"))),
+    };
+    Ok(scan_bytes(&bytes))
 }
 
 // --- appending ------------------------------------------------------------
@@ -358,9 +501,10 @@ pub struct Wal {
 
 impl Wal {
     /// Opens (or creates) the WAL at `path`, scanning the existing
-    /// contents: the valid prefix seeds the LSN counter, and any torn
-    /// tail is truncated away so new frames never land behind garbage.
-    /// Returns the scan so the caller can redo / report it.
+    /// contents: the valid prefix (and any checkpoint frame) seeds the
+    /// LSN counter, and any torn tail is truncated away so new frames
+    /// never land behind garbage. Returns the scan so the caller can
+    /// redo / report it.
     ///
     /// # Errors
     /// [`ServerError::Durability`] on I/O failure.
@@ -382,7 +526,11 @@ impl Wal {
         file.seek(SeekFrom::Start(scan.valid_bytes))
             .map_err(|e| io("seeking WAL", e))?;
         sync_parent_dir(path)?;
-        let next_lsn = scan.records.last().map_or(0, |r| r.lsn + 1);
+        let next_lsn = scan
+            .records
+            .last()
+            .map_or(0, |r| r.lsn + 1)
+            .max(scan.checkpoint.as_ref().map_or(0, |c| c.next_lsn));
         Ok((
             Wal {
                 file,
@@ -398,34 +546,408 @@ impl Wal {
         self.next_lsn
     }
 
+    /// Appends one record *without* syncing: frame write and LSN
+    /// assignment only (crash point `wal-after-append` after the write).
+    /// The record is not durable until a subsequent fsync; group commit
+    /// batches several appends under one. Returns `(lsn, frame bytes)`.
+    ///
+    /// # Errors
+    /// [`ServerError::Durability`] on I/O failure. A failed `write_all`
+    /// may leave a partial frame, so the caller must treat the log as
+    /// broken (see [`GroupWal`]).
+    pub fn append(&mut self, record: &mut WalRecord) -> Result<(u64, u64)> {
+        let lsn = self.next_lsn;
+        record.lsn = lsn;
+        let payload = encode_record(record);
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        push_frame(&mut frame, &payload);
+        self.file.write_all(&frame).map_err(|e| {
+            ServerError::Durability(format!("appending WAL frame {}: {e}", self.path.display()))
+        })?;
+        fail_point("wal-after-append");
+        self.next_lsn = lsn + 1;
+        Ok((lsn, frame.len() as u64))
+    }
+
     /// Appends one record and makes it durable: frame write, fsync, LSN
     /// assignment — with the `wal-after-append` / `wal-before-fsync` /
     /// `wal-after-fsync` crash points between the steps. Returns the
-    /// record's LSN.
+    /// record's LSN. (The applier path uses [`GroupWal`] instead, which
+    /// shares the fsync across a group.)
     ///
     /// # Errors
     /// [`ServerError::Durability`] on I/O failure; the caller must then
     /// fail the batch (nothing was acknowledged).
     pub fn append_sync(&mut self, record: &mut WalRecord) -> Result<u64> {
-        let lsn = self.next_lsn;
-        record.lsn = lsn;
-        let payload = encode_record(record);
-        let mut frame = Vec::with_capacity(8 + payload.len());
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
-        frame.extend_from_slice(&payload);
-        let io = |what: &str, e: std::io::Error| {
-            ServerError::Durability(format!("{what} {}: {e}", self.path.display()))
-        };
-        self.file
-            .write_all(&frame)
-            .map_err(|e| io("appending WAL frame", e))?;
-        fail_point("wal-after-append");
+        let (lsn, _) = self.append(record)?;
         fail_point("wal-before-fsync");
-        self.file.sync_data().map_err(|e| io("syncing WAL", e))?;
+        self.file.sync_data().map_err(|e| {
+            ServerError::Durability(format!("syncing WAL {}: {e}", self.path.display()))
+        })?;
         fail_point("wal-after-fsync");
-        self.next_lsn = lsn + 1;
         Ok(lsn)
+    }
+}
+
+// --- group commit ---------------------------------------------------------
+
+/// Group-commit tuning: how many frames one fsync may cover and how long
+/// a leader may hold the group open waiting for more appends.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupCommitConfig {
+    /// Maximum frames a single fsync may cover. `1` degenerates to one
+    /// fsync per batch (the pre-group-commit behaviour).
+    pub max_group: usize,
+    /// How long an elected leader waits for the group to fill before
+    /// fsyncing what it has. `ZERO` (the default) syncs immediately —
+    /// grouping then comes purely from appends that arrived while the
+    /// previous fsync was in flight, which never delays a lone batch.
+    pub max_hold: Duration,
+}
+
+impl Default for GroupCommitConfig {
+    fn default() -> Self {
+        Self {
+            max_group: 64,
+            max_hold: Duration::ZERO,
+        }
+    }
+}
+
+/// Cumulative durability counters, exposed through server stats and the
+/// loadgen JSON so group-commit amortisation is priced directly (mean
+/// group size = `frames / fsyncs`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// WAL fsyncs issued (group leaders + checkpoint rewrites excluded).
+    pub fsyncs: u64,
+    /// Delta frames appended.
+    pub frames: u64,
+    /// Bytes appended (frame headers included).
+    pub bytes: u64,
+    /// Largest number of frames one fsync covered.
+    pub max_group: u64,
+    /// Checkpoint compactions completed.
+    pub checkpoints: u64,
+}
+
+#[derive(Debug)]
+struct GroupState {
+    wal: Wal,
+    /// Commit sequence numbers: count of frames appended through this
+    /// handle (1-based; independent of LSNs, which survive restarts).
+    appended_seq: u64,
+    /// Highest sequence known durable.
+    synced_seq: u64,
+    /// Whether a leader fsync is in flight.
+    syncing: bool,
+    /// Sticky failure: a failed append may have left a partial frame, a
+    /// failed fsync an indeterminate prefix — nothing after either can
+    /// be trusted durable, so the log refuses further work.
+    broken: Option<String>,
+    stats: WalStats,
+    /// Bytes appended since the last checkpoint (compaction trigger).
+    bytes_since_checkpoint: u64,
+}
+
+/// The group-commit front of the WAL: shared appends, one fsync per
+/// group, checkpoint compaction. See the module docs.
+#[derive(Debug)]
+pub struct GroupWal {
+    cfg: GroupCommitConfig,
+    state: Mutex<GroupState>,
+    cv: Condvar,
+}
+
+impl GroupWal {
+    /// Wraps an already-opened [`Wal`] (the recovery path opens and scans
+    /// first, then hands the log over for serving).
+    pub fn new(wal: Wal, cfg: GroupCommitConfig) -> Self {
+        Self {
+            cfg: GroupCommitConfig {
+                max_group: cfg.max_group.max(1),
+                max_hold: cfg.max_hold,
+            },
+            state: Mutex::new(GroupState {
+                wal,
+                appended_seq: 0,
+                synced_seq: 0,
+                syncing: false,
+                broken: None,
+                stats: WalStats::default(),
+                bytes_since_checkpoint: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Opens (or creates) the log at `path` behind a group-commit front.
+    ///
+    /// # Errors
+    /// [`ServerError::Durability`] on I/O failure.
+    pub fn open(path: &Path, cfg: GroupCommitConfig) -> Result<(Self, WalScan)> {
+        let (wal, scan) = Wal::open(path)?;
+        Ok((Self::new(wal, cfg), scan))
+    }
+
+    fn lock(&self) -> MutexGuard<'_, GroupState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The LSN the next appended record will get.
+    pub fn next_lsn(&self) -> u64 {
+        self.lock().wal.next_lsn
+    }
+
+    /// Cumulative durability counters.
+    pub fn stats(&self) -> WalStats {
+        self.lock().stats
+    }
+
+    /// Appends one record without syncing, returning the commit sequence
+    /// number to pass to [`GroupWal::sync_through`]. The record's LSN is
+    /// assigned (and `record.lsn` set) under the same lock that orders
+    /// the frames, so LSN order equals file order.
+    ///
+    /// # Errors
+    /// [`ServerError::Durability`] on I/O failure or a previously broken
+    /// log. An append failure breaks the log (partial frame).
+    pub fn append(&self, record: &mut WalRecord) -> Result<u64> {
+        let mut state = self.lock();
+        if let Some(broken) = &state.broken {
+            return Err(ServerError::Durability(broken.clone()));
+        }
+        match state.wal.append(record) {
+            Ok((_, bytes)) => {
+                state.appended_seq += 1;
+                state.stats.frames += 1;
+                state.stats.bytes += bytes;
+                state.bytes_since_checkpoint += bytes;
+                Ok(state.appended_seq)
+            }
+            Err(err) => {
+                state.broken = Some(err.to_string());
+                self.cv.notify_all();
+                Err(err)
+            }
+        }
+    }
+
+    /// Blocks until every append up to `seq` is durable. The first
+    /// waiter that finds no fsync in flight becomes the *leader*: it
+    /// fsyncs once on behalf of everything appended so far (capped at
+    /// `max_group`, optionally holding `max_hold` for the group to
+    /// fill), then wakes the followers — which is what amortises the
+    /// fsync across the group while every ack still waits for *its* frame
+    /// to be durable.
+    ///
+    /// # Errors
+    /// [`ServerError::Durability`] if the fsync failed or the log is
+    /// broken; the caller must fail the batch (it was never durable).
+    pub fn sync_through(&self, seq: u64) -> Result<()> {
+        let mut state = self.lock();
+        loop {
+            if let Some(broken) = &state.broken {
+                return Err(ServerError::Durability(broken.clone()));
+            }
+            if state.synced_seq >= seq {
+                return Ok(());
+            }
+            if state.syncing {
+                state = self.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
+                continue;
+            }
+            // Leader election: fsync on behalf of the group.
+            if self.cfg.max_hold > Duration::ZERO {
+                let deadline = Instant::now() + self.cfg.max_hold;
+                while state.broken.is_none()
+                    && !state.syncing
+                    && state.appended_seq - state.synced_seq < self.cfg.max_group as u64
+                {
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        break;
+                    }
+                    state = self
+                        .cv
+                        .wait_timeout(state, left)
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .0;
+                }
+                if state.broken.is_some() || state.syncing || state.synced_seq >= seq {
+                    continue; // re-evaluate from the top
+                }
+            }
+            state.syncing = true;
+            let through = state
+                .appended_seq
+                .min(state.synced_seq + self.cfg.max_group as u64);
+            let group = through - state.synced_seq;
+            let file = state.wal.file.try_clone();
+            drop(state);
+
+            let outcome = match file {
+                Ok(file) => {
+                    fail_point("group-leader-sync");
+                    fail_point("wal-before-fsync");
+                    match file.sync_data() {
+                        Ok(()) => {
+                            fail_point("wal-after-fsync");
+                            Ok(())
+                        }
+                        Err(e) => Err(format!("syncing WAL: {e}")),
+                    }
+                }
+                Err(e) => Err(format!("cloning WAL handle for group fsync: {e}")),
+            };
+
+            state = self.lock();
+            state.syncing = false;
+            match outcome {
+                Ok(()) => {
+                    // A concurrent checkpoint may have advanced synced_seq
+                    // past `through` already; never move it backwards.
+                    state.synced_seq = state.synced_seq.max(through);
+                    state.stats.fsyncs += 1;
+                    state.stats.max_group = state.stats.max_group.max(group);
+                }
+                Err(message) => state.broken = Some(message),
+            }
+            self.cv.notify_all();
+        }
+    }
+
+    /// Appends one record and waits for its group fsync — the
+    /// single-record convenience the non-chained paths use. Returns the
+    /// record's LSN.
+    ///
+    /// # Errors
+    /// As [`GroupWal::append`] / [`GroupWal::sync_through`].
+    pub fn append_sync(&self, record: &mut WalRecord) -> Result<u64> {
+        let seq = self.append(record)?;
+        self.sync_through(seq)?;
+        Ok(record.lsn)
+    }
+
+    /// Compacts the log if at least `threshold` bytes were appended since
+    /// the last checkpoint: rewrites every record at or past its
+    /// session's floor (unknown sessions keep everything) into a new log
+    /// headed by a checkpoint frame, fsyncs it, atomically renames it
+    /// over the old one, and resumes appending there. Returns whether a
+    /// checkpoint ran. Runs on the snapshot thread; appends and group
+    /// fsyncs are excluded for the duration by the log mutex.
+    ///
+    /// Crash points: `checkpoint-mid-rewrite` (torn temp file, old log
+    /// intact), `checkpoint-before-rename` (complete temp, old log
+    /// intact), `checkpoint-after-rename` (new log in place, directory
+    /// fsync pending).
+    ///
+    /// # Errors
+    /// [`ServerError::Durability`] on I/O failure. Failures before the
+    /// rename abandon the temp file and leave the log serving; failures
+    /// after it break the log (the handle no longer matches the file).
+    pub fn checkpoint_if_due(&self, threshold: u64, floors: &[(String, u64)]) -> Result<bool> {
+        let mut state = self.lock();
+        if state.broken.is_some() || state.bytes_since_checkpoint < threshold {
+            return Ok(false);
+        }
+        // Let an in-flight leader finish: its cloned fd targets the file
+        // the rewrite is about to replace.
+        while state.syncing {
+            state = self.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
+            if state.broken.is_some() {
+                return Ok(false);
+            }
+        }
+
+        let path = state.wal.path.clone();
+        // The mutex quiesces appends, so every frame in the file is
+        // complete; unsynced frames are still visible (same page cache).
+        let scan = scan_wal(&path)?;
+        let floor_of = |session: &str| {
+            floors
+                .iter()
+                .find(|(name, _)| name == session)
+                .map_or(0, |&(_, floor)| floor)
+        };
+        let checkpoint = CheckpointRecord {
+            next_lsn: state.wal.next_lsn,
+            floors: floors.to_vec(),
+        };
+        let mut rewritten = Vec::new();
+        push_frame(&mut rewritten, &encode_checkpoint(&checkpoint));
+        for record in scan
+            .records
+            .iter()
+            .filter(|r| r.lsn >= floor_of(&r.session))
+        {
+            push_frame(&mut rewritten, &encode_record(record));
+        }
+
+        let tmp = path.with_extension("wal.tmp");
+        let io = |what: &str, p: &Path, e: std::io::Error| {
+            ServerError::Durability(format!("{what} {}: {e}", p.display()))
+        };
+        let staged = (|| -> Result<()> {
+            let mut file = OpenOptions::new()
+                .create(true)
+                .truncate(true)
+                .write(true)
+                .open(&tmp)
+                .map_err(|e| io("creating", &tmp, e))?;
+            // Two half-writes around the crash point, so the torture
+            // suite can leave a genuinely torn rewrite behind.
+            let mid = rewritten.len() / 2;
+            file.write_all(&rewritten[..mid])
+                .map_err(|e| io("writing", &tmp, e))?;
+            fail_point("checkpoint-mid-rewrite");
+            file.write_all(&rewritten[mid..])
+                .map_err(|e| io("writing", &tmp, e))?;
+            file.sync_data().map_err(|e| io("syncing", &tmp, e))
+        })();
+        if let Err(err) = staged {
+            // The old log is untouched and still serving; drop the stage.
+            let _ = std::fs::remove_file(&tmp);
+            return Err(err);
+        }
+        fail_point("checkpoint-before-rename");
+        if let Err(e) = std::fs::rename(&tmp, &path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(io("renaming checkpoint into place", &path, e));
+        }
+        fail_point("checkpoint-after-rename");
+
+        // Past the rename the open handle writes to the *old* inode, so
+        // any failure from here on breaks the log.
+        let mut fatal = |message: String| -> ServerError {
+            state.broken = Some(message.clone());
+            self.cv.notify_all();
+            ServerError::Durability(message)
+        };
+        if let Err(err) = sync_parent_dir(&path) {
+            return Err(fatal(err.to_string()));
+        }
+        let reopened = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .and_then(|mut f| f.seek(SeekFrom::End(0)).map(|_| f));
+        match reopened {
+            Ok(file) => state.wal.file = file,
+            Err(e) => {
+                return Err(fatal(format!(
+                    "reopening WAL after checkpoint {}: {e}",
+                    path.display()
+                )))
+            }
+        }
+        // The rewrite was fully fsync'd before the rename, so everything
+        // appended (synced or not) is now durable.
+        state.synced_seq = state.appended_seq;
+        state.bytes_since_checkpoint = 0;
+        state.stats.checkpoints += 1;
+        self.cv.notify_all();
+        Ok(true)
     }
 }
 
@@ -464,6 +986,7 @@ mod tests {
     fn record(lsn: u64, session: &str) -> WalRecord {
         WalRecord {
             lsn,
+            prev_lsn: None,
             session: session.to_string(),
             method: Method::Priu,
             removed_ids: vec![3, 5, 8],
@@ -488,9 +1011,13 @@ mod tests {
         let path = dir.join("deltas.wal");
         let (mut wal, scan) = Wal::open(&path).unwrap();
         assert!(scan.records.is_empty());
+        assert!(scan.checkpoint.is_none());
         assert!(scan.tail.is_none());
         for i in 0..5u64 {
             let mut r = record(999, &format!("s{}", i % 2));
+            if i > 2 {
+                r.prev_lsn = Some(i - 1);
+            }
             let lsn = wal.append_sync(&mut r).unwrap();
             assert_eq!(lsn, i); // LSN is assigned by the log, not the caller
         }
@@ -499,6 +1026,8 @@ mod tests {
         assert_eq!(scan.records.len(), 5);
         assert!(scan.tail.is_none());
         assert_eq!(scan.records[3].lsn, 3);
+        assert_eq!(scan.records[3].prev_lsn, Some(2));
+        assert_eq!(scan.records[2].prev_lsn, None);
         assert_eq!(scan.records[3].session, "s1");
         assert_eq!(scan.records[3].removed_ids, vec![3, 5, 8]);
         assert_eq!(scan.records[3].keep_last, Some(40));
@@ -579,6 +1108,114 @@ mod tests {
         let scan = scan_wal(&path).unwrap();
         assert!(scan.records.is_empty());
         assert!(matches!(scan.tail, Some(WalTail::OversizedFrame { .. })));
+    }
+
+    #[test]
+    fn group_commit_shares_fsyncs_and_acks_in_order() {
+        let dir = tempdir("wal-group");
+        let path = dir.join("deltas.wal");
+        let (wal, _) = GroupWal::open(&path, GroupCommitConfig::default()).unwrap();
+
+        // A chain of appends, one sync for the lot: every record durable,
+        // one fsync counted, group size = chain length.
+        let mut last = 0;
+        for i in 0..6u64 {
+            let mut r = record(0, "s");
+            r.prev_lsn = (i > 0).then(|| i - 1);
+            last = wal.append(&mut r).unwrap();
+            assert_eq!(r.lsn, i);
+        }
+        wal.sync_through(last).unwrap();
+        let stats = wal.stats();
+        assert_eq!(stats.frames, 6);
+        assert_eq!(stats.fsyncs, 1);
+        assert_eq!(stats.max_group, 6);
+        assert!(stats.bytes > 0);
+        let scan = scan_wal(&path).unwrap();
+        assert_eq!(scan.records.len(), 6);
+        assert!(scan.tail.is_none());
+
+        // Syncing an already-durable sequence is free.
+        wal.sync_through(last).unwrap();
+        assert_eq!(wal.stats().fsyncs, 1);
+
+        // max_group = 1 degenerates to one fsync per frame.
+        let dir = tempdir("wal-group-1");
+        let path = dir.join("deltas.wal");
+        let cfg = GroupCommitConfig {
+            max_group: 1,
+            ..GroupCommitConfig::default()
+        };
+        let (wal, _) = GroupWal::open(&path, cfg).unwrap();
+        let mut last = 0;
+        for _ in 0..3 {
+            last = wal.append(&mut record(0, "s")).unwrap();
+        }
+        wal.sync_through(last).unwrap();
+        let stats = wal.stats();
+        assert_eq!(stats.frames, 3);
+        assert_eq!(stats.fsyncs, 3, "a group of 1 per fsync");
+        assert_eq!(stats.max_group, 1);
+    }
+
+    #[test]
+    fn checkpoint_truncates_covered_records_and_preserves_lsns() {
+        let dir = tempdir("wal-checkpoint");
+        let path = dir.join("deltas.wal");
+        let (wal, _) = GroupWal::open(&path, GroupCommitConfig::default()).unwrap();
+        for i in 0..8u64 {
+            let session = if i % 2 == 0 { "a" } else { "b" };
+            let seq = wal.append(&mut record(0, session)).unwrap();
+            wal.sync_through(seq).unwrap();
+        }
+        let before = std::fs::metadata(&path).unwrap().len();
+
+        // Floors: a's snapshots cover LSN < 6, b's cover LSN < 3; session
+        // a keeps {6}, b keeps {3, 5, 7}.
+        let floors = vec![("a".to_string(), 6), ("b".to_string(), 3)];
+        assert!(wal.checkpoint_if_due(1, &floors).unwrap());
+        let after = std::fs::metadata(&path).unwrap().len();
+        assert!(after < before, "compaction shrank the log");
+
+        let scan = scan_wal(&path).unwrap();
+        let lsns: Vec<u64> = scan.records.iter().map(|r| r.lsn).collect();
+        assert_eq!(lsns, vec![3, 5, 6, 7]);
+        let checkpoint = scan.checkpoint.expect("checkpoint frame");
+        assert_eq!(checkpoint.next_lsn, 8);
+        assert_eq!(checkpoint.floors, floors);
+
+        // Below-threshold appends don't re-checkpoint.
+        assert!(!wal.checkpoint_if_due(1 << 30, &floors).unwrap());
+
+        // Appending continues the LSN sequence on the rewritten log.
+        let mut r = record(0, "a");
+        let seq = wal.append(&mut r).unwrap();
+        wal.sync_through(seq).unwrap();
+        assert_eq!(r.lsn, 8);
+
+        // Reopening seeds the counter from the checkpoint chain even if
+        // every remaining delta frame were truncated away.
+        let (reopened, scan) = Wal::open(&path).unwrap();
+        assert_eq!(scan.records.len(), 5);
+        assert_eq!(reopened.next_lsn(), 9);
+    }
+
+    #[test]
+    fn checkpoint_of_a_fully_covered_log_keeps_only_the_marker() {
+        let dir = tempdir("wal-checkpoint-empty");
+        let path = dir.join("deltas.wal");
+        let (wal, _) = GroupWal::open(&path, GroupCommitConfig::default()).unwrap();
+        for _ in 0..4 {
+            let seq = wal.append(&mut record(0, "s")).unwrap();
+            wal.sync_through(seq).unwrap();
+        }
+        assert!(wal.checkpoint_if_due(1, &[("s".to_string(), 4)]).unwrap());
+        let scan = scan_wal(&path).unwrap();
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.checkpoint.expect("marker").next_lsn, 4);
+        // The counter survives the empty rewrite.
+        let (reopened, _) = Wal::open(&path).unwrap();
+        assert_eq!(reopened.next_lsn(), 4);
     }
 
     fn tempdir(tag: &str) -> PathBuf {

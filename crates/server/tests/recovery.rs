@@ -134,11 +134,26 @@ fn config(durability: Option<DurabilityConfig>) -> ServerConfig {
     }
 }
 
+/// Durable config with the default group commit and checkpoint
+/// threshold, overridable through the same env vars the crash children
+/// inherit (`PRIU_CRASH_MAX_GROUP`, `PRIU_CRASH_CKPT_BYTES`) so a parent
+/// can steer the child's grouping and compaction without new plumbing.
 fn durable(dir: &Path, snapshot_every: u64) -> ServerConfig {
-    config(Some(DurabilityConfig {
-        dir: dir.to_path_buf(),
-        snapshot_every,
-    }))
+    let mut durability = DurabilityConfig::new(dir);
+    durability.snapshot_every = snapshot_every;
+    if let Some(max_group) = std::env::var("PRIU_CRASH_MAX_GROUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        durability.group.max_group = max_group;
+    }
+    if let Some(bytes) = std::env::var("PRIU_CRASH_CKPT_BYTES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        durability.checkpoint_bytes = bytes;
+    }
+    config(Some(durability))
 }
 
 fn tempdir(tag: &str) -> PathBuf {
@@ -423,6 +438,8 @@ fn crash_at_every_fail_point_recovers_the_acked_prefix() {
         "snapshot-mid-write:3",     // wave 1, lin: torn periodic snapshot tmp
         "snapshot-before-rename:3", // complete tmp, never renamed
         "snapshot-after-rename:4",  // wave 1, log: renamed, dir fsync pending
+        "group-leader-sync:3",      // wave 1, lin: elected leader, fsync pending
+        "snapshot-handoff:2",       // wave 1, log: committed, snapshot job never enqueued
     ];
     for point in points {
         let dir = tempdir(&format!("crash-{}", point.replace(':', "-")));
@@ -433,6 +450,41 @@ fn crash_at_every_fail_point_recovers_the_acked_prefix() {
             .expect("spawn crash child");
         assert!(!status.success(), "fail point {point} never fired");
         let acked = read_acked(&dir);
+        let server = Server::start(durable(&dir, 2))
+            .unwrap_or_else(|e| panic!("{point}: recovery failed: {e}"));
+        assert_recovered_prefix(point, &server, &acked);
+        server.shutdown();
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+/// Kill the server mid-checkpoint. The child checkpoints aggressively
+/// (`PRIU_CRASH_CKPT_BYTES=1`: compaction after every periodic
+/// snapshot), so the first periodic snapshot triggers a rewrite and the
+/// armed point fires during it. A crash before the rename must leave the
+/// pre-checkpoint log serving (the torn `.tmp` is ignored); a crash
+/// after it must leave the complete rewritten log — either way recovery
+/// pairs whatever log survives with the durable snapshots and lands
+/// bitwise on the acked floor.
+#[test]
+fn crash_during_checkpoint_recovers_the_acked_prefix() {
+    let points = [
+        "checkpoint-mid-rewrite",   // torn tmp beside the untouched old log
+        "checkpoint-before-rename", // complete tmp, never renamed
+        "checkpoint-after-rename",  // new log in place, dir fsync pending
+    ];
+    for point in points {
+        let dir = tempdir(&format!("ckpt-{point}"));
+        let status = child_cmd()
+            .env("PRIU_CRASH_RUN_DIR", &dir)
+            .env("PRIU_CRASH_CKPT_BYTES", "1")
+            .env(FAILPOINT_ENV, point)
+            .status()
+            .expect("spawn crash child");
+        assert!(!status.success(), "fail point {point} never fired");
+        let acked = read_acked(&dir);
+        // Recover with compaction effectively off (the default 1 MiB
+        // threshold), so the assertion sees exactly what the crash left.
         let server = Server::start(durable(&dir, 2))
             .unwrap_or_else(|e| panic!("{point}: recovery failed: {e}"));
         assert_recovered_prefix(point, &server, &acked);
